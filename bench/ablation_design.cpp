@@ -1,0 +1,107 @@
+// Design-choice ablations (DESIGN.md §6) — not a paper artifact, but the
+// studies that justify this reproduction's own decisions:
+//   A. tail quantization on/off (decision behind matching Table I's 2.2x);
+//   B. histogram bin count k of Eq. 3;
+//   C. patch grid granularity;
+//   D. Eq. 7 memory pressure (exercises Algorithm 1's repair loop).
+#include "bench_common.h"
+
+namespace {
+
+using namespace qmcu;
+
+struct Context {
+  nn::Graph g;
+  mcu::Device dev = mcu::arduino_nano_33_ble_sense();
+  mcu::CostModel cm{dev};
+  std::vector<nn::Tensor> calib;
+  std::vector<nn::Tensor> eval;
+
+  explicit Context(nn::Graph graph) : g(std::move(graph)) {}
+};
+
+Context make_context() {
+  models::ModelConfig cfg;
+  cfg.width_multiplier = 0.35f;
+  cfg.resolution = 96;
+  cfg.num_classes = 100;
+  Context ctx(models::make_mobilenet_v2(cfg));
+  const auto ds =
+      bench::dataset_for(data::DatasetKind::ImageNetLike, cfg.resolution);
+  ctx.calib = ds.batch(0, 2);
+  ctx.eval = ds.batch(8, 2);
+  return ctx;
+}
+
+void report(const Context& ctx, const char* label,
+            const core::QuantMcuConfig& qcfg) {
+  const core::QuantMcuPlan plan =
+      core::build_quantmcu_plan(ctx.g, ctx.dev, ctx.calib, qcfg);
+  const core::QuantMcuEvaluation ev =
+      core::evaluate_quantmcu(ctx.g, plan, ctx.cm, ctx.eval, qcfg);
+  int repair = 0;
+  bool fallback = false;
+  bool feasible = true;
+  for (const core::VdqsResult& r : plan.searches) {
+    repair += r.repair_rounds;
+    fallback = fallback || r.used_fallback;
+    feasible = feasible && r.feasible;
+  }
+  std::printf(
+      "  %-26s bitops=%7.0fM peak=%5.0fKB lat=%5.0fms pen=%4.2fpp "
+      "repair=%d%s%s\n",
+      label, ev.mean_bitops / 1e6, ev.mean_peak_bytes / 1024,
+      ev.mean_latency_ms, ev.top1_penalty_pp, repair,
+      fallback ? " fallback" : "", feasible ? "" : " INFEASIBLE");
+}
+
+}  // namespace
+
+int main() {
+  using namespace qmcu;
+  bench::print_title("Ablations", "design-choice studies (DESIGN.md §6)");
+  const Context ctx = make_context();
+
+  std::printf("\nA. tail quantization (drives the Table I BitOPs gap)\n");
+  {
+    core::QuantMcuConfig on;
+    on.patch.grid = 3;
+    core::QuantMcuConfig off = on;
+    off.quantize_tail = false;
+    report(ctx, "tail VDQS on (default)", on);
+    report(ctx, "tail VDQS off (stage only)", off);
+  }
+
+  std::printf("\nB. histogram bins k (Eq. 3)\n");
+  for (int k : {8, 16, 64, 256}) {
+    core::QuantMcuConfig c;
+    c.patch.grid = 3;
+    c.histogram_bins = k;
+    char label[32];
+    std::snprintf(label, sizeof label, "k = %d%s", k,
+                  k == 16 ? " (default)" : "");
+    report(ctx, label, c);
+  }
+
+  std::printf("\nC. patch grid\n");
+  for (int grid : {2, 3, 4}) {
+    core::QuantMcuConfig c;
+    c.patch.grid = grid;
+    char label[32];
+    std::snprintf(label, sizeof label, "%dx%d patches%s", grid, grid,
+                  grid == 3 ? " (default)" : "");
+    report(ctx, label, c);
+  }
+
+  std::printf("\nD. Eq. 7 memory pressure (Algorithm 1 repair)\n");
+  for (double frac : {0.5, 0.02, 0.005}) {
+    core::QuantMcuConfig c;
+    c.patch.grid = 3;
+    c.memory_fraction = frac;
+    char label[40];
+    std::snprintf(label, sizeof label, "M = %.1f%% of SRAM%s", 100.0 * frac,
+                  frac == 0.5 ? " (default)" : "");
+    report(ctx, label, c);
+  }
+  return 0;
+}

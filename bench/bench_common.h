@@ -1,0 +1,76 @@
+// bench_common.h — shared setup for the table/figure reproduction benches.
+//
+// Each bench binary regenerates one table or figure of the paper and prints
+// measured values next to the paper's reported ones where applicable.
+// Workload scales follow the Table I caption ("the width multiplier and
+// resolution of the model are adjusted to fit MCU memory"): the (width,
+// resolution) pairs below were chosen so the 8-bit layer-based BitOPs land
+// close to the paper's layer-based rows.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/quantmcu.h"
+#include "data/synthetic.h"
+#include "mcu/cost_model.h"
+#include "mcu/device.h"
+#include "models/zoo.h"
+#include "nn/memory_planner.h"
+#include "patch/mcunetv2.h"
+#include "patch/patch_cost.h"
+
+namespace qmcu::bench {
+
+// Arduino Nano 33 BLE Sense / ImageNet: paper row 1536 MBitOPs.
+inline models::ModelConfig nano_imagenet_scale() {
+  models::ModelConfig cfg;
+  cfg.width_multiplier = 0.35f;
+  cfg.resolution = 144;
+  cfg.num_classes = 1000;
+  return cfg;
+}
+
+// Arduino Nano 33 BLE Sense / VOC: paper row 2176 MBitOPs.
+inline models::ModelConfig nano_voc_scale() {
+  models::ModelConfig cfg;
+  cfg.width_multiplier = 0.5f;
+  cfg.resolution = 128;
+  cfg.num_classes = 20;
+  return cfg;
+}
+
+// STM32H743 / ImageNet: paper row 4057 MBitOPs.
+inline models::ModelConfig h7_imagenet_scale() {
+  models::ModelConfig cfg;
+  cfg.width_multiplier = 0.5f;
+  cfg.resolution = 176;
+  cfg.num_classes = 1000;
+  return cfg;
+}
+
+// STM32H743 / VOC: paper row 5842 MBitOPs.
+inline models::ModelConfig h7_voc_scale() {
+  models::ModelConfig cfg;
+  cfg.width_multiplier = 0.75f;
+  cfg.resolution = 160;
+  cfg.num_classes = 20;
+  return cfg;
+}
+
+inline data::SyntheticDataset dataset_for(data::DatasetKind kind,
+                                          int resolution) {
+  data::DataConfig dc;
+  dc.kind = kind;
+  dc.resolution = resolution;
+  return data::SyntheticDataset(dc);
+}
+
+inline void print_title(const char* artifact, const char* description) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", artifact, description);
+  std::printf("================================================================\n");
+}
+
+}  // namespace qmcu::bench

@@ -1,0 +1,75 @@
+// Figure 4 — accuracy of MCUNetV2 (8-bit patch inference), "QuantMCU w/o
+// VDPC" (VDQS applied blindly to every patch) and full QuantMCU, on five
+// networks and both datasets. The paper's signature: w/o VDPC loses 10-15
+// points vs MCUNetV2; full QuantMCU stays within ~1 point.
+#include "bench_common.h"
+
+namespace {
+
+using namespace qmcu;
+
+void run_dataset(data::DatasetKind kind) {
+  const mcu::Device dev = mcu::arduino_nano_33_ble_sense();
+  const mcu::CostModel cm(dev);
+  const char* metric =
+      kind == data::DatasetKind::ImageNetLike ? "Top-1" : "mAP";
+  std::printf("\n%s (%s)\n", data::dataset_name(kind), metric);
+  std::printf("  %-14s %10s %14s %10s\n", "network", "MCUNetV2", "w/o VDPC",
+              "QuantMCU");
+
+  const std::vector<std::string> nets{"mobilenetv2", "inceptionv3",
+                                      "squeezenet", "resnet18", "vgg16"};
+  for (const std::string& name : nets) {
+    models::ModelConfig cfg;
+    cfg.width_multiplier = 0.25f;
+    cfg.resolution = 64;
+    cfg.num_classes = kind == data::DatasetKind::ImageNetLike ? 100 : 20;
+    const nn::Graph g = models::make_model(name, cfg);
+
+    const auto ds = bench::dataset_for(kind, cfg.resolution);
+    const std::vector<nn::Tensor> calib = ds.batch(0, 2);
+    const std::vector<nn::Tensor> eval = ds.batch(8, 2);
+
+    core::QuantMcuConfig qcfg;
+    qcfg.patch.grid = 3;
+    const core::QuantMcuPlan plan =
+        core::build_quantmcu_plan(g, dev, calib, qcfg);
+    core::QuantMcuConfig blind = qcfg;
+    blind.enable_vdpc = false;
+
+    const core::AccuracyModel acc;
+    const core::AccuracyBase base = core::base_accuracy(name);
+    const double base_val = kind == data::DatasetKind::ImageNetLike
+                                ? base.imagenet_top1
+                                : base.voc_map;
+    const auto penalty = [&](const core::QuantMcuEvaluation& ev) {
+      return kind == data::DatasetKind::ImageNetLike ? ev.top1_penalty_pp
+                                                     : ev.map_penalty_pp;
+    };
+
+    const core::QuantMcuEvaluation mcunet =
+        core::evaluate_uniform_patch(g, plan.patch_plan, cm, eval, acc);
+    const core::QuantMcuEvaluation without =
+        core::evaluate_quantmcu(g, plan, cm, eval, blind, acc);
+    const core::QuantMcuEvaluation full =
+        core::evaluate_quantmcu(g, plan, cm, eval, qcfg, acc);
+
+    std::printf("  %-14s %9.1f%% %13.1f%% %9.1f%%\n", name.c_str(),
+                base_val - penalty(mcunet), base_val - penalty(without),
+                base_val - penalty(full));
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace qmcu;
+  bench::print_title("Figure 4",
+                     "accuracy ablation of VDPC (MCUNetV2 vs QuantMCU w/o "
+                     "VDPC vs QuantMCU)");
+  std::printf("paper: w/o VDPC loses 10-15 points vs MCUNetV2; full "
+              "QuantMCU stays within ~1 point\n");
+  run_dataset(data::DatasetKind::ImageNetLike);
+  run_dataset(data::DatasetKind::PascalVocLike);
+  return 0;
+}

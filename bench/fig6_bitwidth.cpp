@@ -1,0 +1,67 @@
+// Figure 6 — visualisation of the bitwidth assignment after VDQS for
+// MobileNetV2 and MCUNet. "BxLy" is the paper's notation: the yth feature
+// map on the xth dataflow branch. The paper observes that more than half
+// the feature maps end up sub-byte, with low bitwidths at the start of a
+// branch (large maps, computation-dominated) and 8-bit at the end
+// (accuracy-dominated).
+#include "bench_common.h"
+
+namespace {
+
+using namespace qmcu;
+
+void run_model(const char* name) {
+  const mcu::Device dev = mcu::arduino_nano_33_ble_sense();
+  models::ModelConfig cfg;
+  cfg.width_multiplier = 0.35f;
+  cfg.resolution = 96;
+  cfg.num_classes = 100;
+  const nn::Graph g = models::make_model(name, cfg);
+  const auto ds =
+      bench::dataset_for(data::DatasetKind::ImageNetLike, cfg.resolution);
+  const std::vector<nn::Tensor> calib = ds.batch(0, 2);
+
+  core::QuantMcuConfig qcfg;
+  qcfg.patch.grid = 2;  // 4 branches keeps the figure readable
+  const core::QuantMcuPlan plan =
+      core::build_quantmcu_plan(g, dev, calib, qcfg);
+
+  std::printf("\n%s (grid %dx%d, cut at layer %d '%s')\n", name,
+              plan.patch_plan.spec.grid_rows, plan.patch_plan.spec.grid_cols,
+              plan.patch_plan.spec.split_layer,
+              g.layer(plan.patch_plan.spec.split_layer).name.c_str());
+
+  int total = 0;
+  int subbyte = 0;
+  for (std::size_t b = 0; b < plan.mixed_bits.size(); ++b) {
+    std::printf("  B%zu:", b + 1);
+    for (std::size_t s = 0; s < plan.mixed_bits[b].bits.size(); ++s) {
+      const int bits = plan.mixed_bits[b].bits[s];
+      std::printf(" L%zu=%d", s + 1, bits);
+      ++total;
+      subbyte += bits < 8 ? 1 : 0;
+    }
+    std::printf("\n");
+  }
+  std::printf("  tail:");
+  for (int id = plan.patch_plan.spec.split_layer + 1; id < g.size(); ++id) {
+    const int bits = plan.tail_bits[static_cast<std::size_t>(id)];
+    std::printf(" %d", bits);
+    ++total;
+    subbyte += bits < 8 ? 1 : 0;
+  }
+  std::printf("\n  sub-byte feature maps: %d/%d (%.0f%%)\n", subbyte, total,
+              100.0 * subbyte / total);
+}
+
+}  // namespace
+
+int main() {
+  using namespace qmcu;
+  bench::print_title("Figure 6", "bitwidth assignment after quantization");
+  std::printf("paper: >50%% of feature maps sub-byte; branch starts low-bit, "
+              "branch ends mostly 8-bit\n");
+  run_model("mobilenetv2");
+  run_model("mcunet");
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Micro-benchmarks (google-benchmark) for the hot primitives: float/int8
+// convolution kernels, sub-byte packing, entropy estimation, the VDQS
+// search itself, and patch-plan construction. These bound the cost of the
+// host-side tooling (the paper's Table II "Time" column is dominated by
+// entropy profiling + vdqs_search).
+#include <benchmark/benchmark.h>
+
+#include "core/vdqs.h"
+#include "models/zoo.h"
+#include "nn/ops/float_kernels.h"
+#include "nn/ops/int8_kernels.h"
+#include "nn/rng.h"
+#include "patch/mcunetv2.h"
+#include "patch/patch_plan.h"
+#include "quant/bitpack.h"
+#include "quant/entropy.h"
+
+namespace {
+
+using namespace qmcu;
+
+nn::Tensor random_tensor(nn::TensorShape s, std::uint64_t seed) {
+  nn::Tensor t(s);
+  nn::Rng rng(seed);
+  for (float& v : t.data()) v = static_cast<float>(rng.normal(0.0, 1.0));
+  return t;
+}
+
+nn::Layer conv_layer(int out_c, int k, int s, int p) {
+  nn::Layer l;
+  l.kind = nn::OpKind::Conv2D;
+  l.kernel_h = l.kernel_w = k;
+  l.stride_h = l.stride_w = s;
+  l.pad_h = l.pad_w = p;
+  l.out_channels = out_c;
+  l.act = nn::Activation::ReLU6;
+  return l;
+}
+
+void BM_Conv2dF32(benchmark::State& state) {
+  const int c = static_cast<int>(state.range(0));
+  const nn::Tensor in = random_tensor({32, 32, c}, 1);
+  const nn::Layer l = conv_layer(c, 3, 1, 1);
+  std::vector<float> w(static_cast<std::size_t>(c * 3 * 3 * c));
+  nn::Rng rng(2);
+  for (float& v : w) v = static_cast<float>(rng.normal(0.0, 0.1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::ops::conv2d_f32(in, l, w, {}));
+  }
+  state.SetItemsProcessed(state.iterations() * 32 * 32 * c * 9 * c);
+}
+BENCHMARK(BM_Conv2dF32)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_Conv2dInt8(benchmark::State& state) {
+  const int c = static_cast<int>(state.range(0));
+  const nn::Tensor in = random_tensor({32, 32, c}, 3);
+  const nn::Layer l = conv_layer(c, 3, 1, 1);
+  std::vector<float> w(static_cast<std::size_t>(c * 3 * 3 * c));
+  nn::Rng rng(4);
+  for (float& v : w) v = static_cast<float>(rng.normal(0.0, 0.1));
+  const auto [lo, hi] = nn::tensor_min_max(in);
+  const nn::QuantParams in_p = nn::choose_quant_params(lo, hi, 8);
+  const nn::QTensor qin = nn::quantize(in, in_p);
+  const nn::ops::QuantizedWeights qw = nn::ops::quantize_weights(w);
+  const nn::QuantParams out_p = nn::choose_quant_params(-4.0f, 4.0f, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        nn::ops::conv2d_q(qin, l, qw.data, qw.params, {}, out_p));
+  }
+  state.SetItemsProcessed(state.iterations() * 32 * 32 * c * 9 * c);
+}
+BENCHMARK(BM_Conv2dInt8)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_BitPack(benchmark::State& state) {
+  const int bits = static_cast<int>(state.range(0));
+  std::vector<std::int8_t> values(1 << 16);
+  nn::Rng rng(5);
+  const int lo = -(1 << (bits - 1));
+  const int hi = (1 << (bits - 1)) - 1;
+  for (auto& v : values) {
+    v = static_cast<std::int8_t>(rng.uniform(lo, hi + 1));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quant::pack(values, bits));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(values.size()));
+}
+BENCHMARK(BM_BitPack)->Arg(2)->Arg(4);
+
+void BM_ActivationEntropy(benchmark::State& state) {
+  const nn::Tensor t = random_tensor({64, 64, 16}, 6);
+  const int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quant::quantized_activation_entropy(t, 4, k));
+  }
+  state.SetItemsProcessed(state.iterations() * t.elements());
+}
+BENCHMARK(BM_ActivationEntropy)->Arg(16)->Arg(256);
+
+void BM_VdqsSearch(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<core::FeatureMapProfile> fms;
+  nn::Rng rng(7);
+  for (int i = 0; i < n; ++i) {
+    core::FeatureMapProfile p;
+    p.elements = 1000 + static_cast<std::int64_t>(rng.uniform(0, 4000));
+    p.consumer_macs = 10000 + static_cast<std::int64_t>(rng.uniform(0, 1e6));
+    p.entropy_float = 2.5;
+    p.entropy_at_bits = {2.45, 2.2 + 0.2 * rng.uniform(), 1.0};
+    fms.push_back(p);
+  }
+  core::VdqsConfig cfg;
+  cfg.memory_budget = 6000;
+  cfg.reference_bitops = 64'000'000;
+  cfg.last_output_entropy = 2.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::vdqs_search(fms, cfg));
+  }
+}
+BENCHMARK(BM_VdqsSearch)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_PatchPlanBuild(benchmark::State& state) {
+  models::ModelConfig cfg;
+  cfg.width_multiplier = 0.35f;
+  cfg.resolution = 144;
+  cfg.init_weights = false;
+  const nn::Graph g = models::make_mobilenet_v2(cfg);
+  const patch::PatchSpec spec = patch::plan_mcunetv2(g, {3, 4});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(patch::build_patch_plan(g, spec));
+  }
+}
+BENCHMARK(BM_PatchPlanBuild);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,45 @@
+// Table III — the λ hyperparameter sweep. λ weighs the accuracy term Ω
+// against the computation term Φ in the quantization score (Eq. 6): larger
+// λ keeps feature maps at higher precision, raising both Top-1 and BitOPs.
+#include "bench_common.h"
+
+int main() {
+  using namespace qmcu;
+  bench::print_title("Table III", "impact of lambda on QuantMCU");
+  std::printf("paper: lambda 0.2..0.8 -> Top-1 65.6..71.2%%, BitOPs "
+              "7.6..18.7G (0.6 chosen)\n\n");
+
+  const mcu::Device dev = mcu::arduino_nano_33_ble_sense();
+  const mcu::CostModel cm(dev);
+  models::ModelConfig cfg;
+  cfg.width_multiplier = 0.35f;
+  cfg.resolution = 96;
+  cfg.num_classes = 100;
+  const nn::Graph g = models::make_mobilenet_v2(cfg);
+  const auto ds =
+      bench::dataset_for(data::DatasetKind::ImageNetLike, cfg.resolution);
+  const std::vector<nn::Tensor> calib = ds.batch(0, 2);
+  const std::vector<nn::Tensor> eval = ds.batch(8, 2);
+  const double base = core::base_accuracy("mobilenetv2").imagenet_top1;
+
+  std::printf("%8s %10s %12s %14s\n", "lambda", "Top-1", "BitOPs(M)",
+              "vs 8/8 patch");
+  double bitops8 = 0.0;
+  for (double lambda : {0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8}) {
+    core::QuantMcuConfig qcfg;
+    qcfg.patch.grid = 3;
+    qcfg.lambda = lambda;
+    const core::QuantMcuPlan plan =
+        core::build_quantmcu_plan(g, dev, calib, qcfg);
+    const core::QuantMcuEvaluation ev =
+        core::evaluate_quantmcu(g, plan, cm, eval, qcfg);
+    if (bitops8 == 0.0) {
+      bitops8 = core::evaluate_uniform_patch(g, plan.patch_plan, cm, eval)
+                    .mean_bitops;
+    }
+    std::printf("%8.1f %9.1f%% %12.0f %13.2fx\n", lambda,
+                base - ev.top1_penalty_pp, ev.mean_bitops / 1e6,
+                bitops8 / ev.mean_bitops);
+  }
+  return 0;
+}

@@ -1,0 +1,108 @@
+// deployment_report — a small CLI that answers the practitioner's question:
+// "which inference strategy fits my model on my MCU, and what does each
+// cost?" Compares layer-based int8, MCUNetV2 patching, Cipolletta
+// restructuring, RNNPool, and QuantMCU on a chosen model/device.
+//
+// Usage: deployment_report [model] [nano|h7]
+//   model in: mobilenetv2 mcunet mnasnet fbnet_a ofa_cpu resnet18 vgg16
+//             squeezenet inceptionv3        (default mobilenetv2)
+#include <cstdio>
+#include <cstring>
+
+#include "core/quantmcu.h"
+#include "data/synthetic.h"
+#include "models/weights.h"
+#include "models/zoo.h"
+#include "nn/memory_planner.h"
+#include "patch/restructuring.h"
+#include "patch/rnnpool.h"
+
+namespace {
+
+using namespace qmcu;
+
+void report(const char* strategy, double peak_kb, double bitops_m,
+            double lat_ms, const mcu::Device& dev) {
+  const bool fits = peak_kb * 1024 <= static_cast<double>(dev.sram_bytes);
+  std::printf("  %-20s %8.0f KB %10.0f M %8.0f ms   %s\n", strategy, peak_kb,
+              bitops_m, lat_ms, fits ? "fits" : "DOES NOT FIT");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace qmcu;
+  const char* model = argc > 1 ? argv[1] : "mobilenetv2";
+  const bool h7 = argc > 2 && std::strcmp(argv[2], "h7") == 0;
+  const mcu::Device dev =
+      h7 ? mcu::stm32h743() : mcu::arduino_nano_33_ble_sense();
+  const mcu::CostModel cm(dev);
+
+  models::ModelConfig mcfg;
+  mcfg.width_multiplier = h7 ? 0.5f : 0.35f;
+  mcfg.resolution = h7 ? 128 : 96;
+  mcfg.num_classes = 100;
+  const nn::Graph g = models::make_model(model, mcfg);
+
+  std::printf("deployment report: %s (w%.2f @ %d) on %s\n", model,
+              mcfg.width_multiplier, mcfg.resolution, dev.name.c_str());
+  std::printf("  %.1f MMACs, %.0f KB flash (int8 weights), SRAM budget %lld "
+              "KB\n\n",
+              static_cast<double>(g.total_macs()) / 1e6,
+              static_cast<double>(nn::model_flash_bytes(g, 8)) / 1024,
+              static_cast<long long>(dev.sram_bytes / 1024));
+  std::printf("  %-20s %11s %12s %11s\n", "strategy", "peak SRAM", "BitOPs",
+              "latency");
+
+  const std::vector<int> bits8 = nn::uniform_bits(g, 8);
+  report("layer-based int8",
+         static_cast<double>(nn::plan_layer_based(g, bits8).peak_bytes) /
+             1024,
+         static_cast<double>(g.total_macs()) * 64 / 1e6,
+         cm.graph_latency_ms(g, bits8), dev);
+
+  {
+    const patch::PatchPlan plan =
+        patch::build_patch_plan(g, patch::plan_mcunetv2(g, {3, 4}));
+    const patch::PatchCost pc = patch::evaluate_patch_cost(
+        g, plan, patch::uniform_branch_bits(plan, 8), bits8, cm);
+    report("MCUNetV2 patches", static_cast<double>(pc.peak_bytes) / 1024,
+           static_cast<double>(pc.bitops) / 1e6, pc.latency_ms, dev);
+  }
+  {
+    const patch::RestructuringResult r = patch::restructure_for_memory(g, cm);
+    report("Cipolletta restr.",
+           static_cast<double>(r.cost.peak_bytes) / 1024,
+           static_cast<double>(r.cost.bitops) / 1e6, r.cost.latency_ms, dev);
+  }
+  {
+    patch::RnnPoolResult r = patch::make_rnnpool_variant(g);
+    models::init_parameters(r.graph, 7);
+    const std::vector<int> vbits = nn::uniform_bits(r.graph, 8);
+    report("RNNPool stem",
+           static_cast<double>(
+               nn::plan_layer_based(r.graph, vbits).peak_bytes) /
+               1024,
+           static_cast<double>(r.graph.total_macs()) * 64 / 1e6,
+           cm.graph_latency_ms(r.graph, vbits), dev);
+  }
+  {
+    data::DataConfig dcfg;
+    dcfg.resolution = mcfg.resolution;
+    const data::SyntheticDataset ds(dcfg);
+    const std::vector<nn::Tensor> calib = ds.batch(0, 2);
+    core::QuantMcuConfig qcfg;
+    qcfg.planner = core::PatchPlannerKind::MinPeak;
+    const core::QuantMcuPlan plan =
+        core::build_quantmcu_plan(g, dev, calib, qcfg);
+    const core::QuantMcuEvaluation ev =
+        core::evaluate_quantmcu(g, plan, cm, ds.batch(10, 2), qcfg);
+    report("QuantMCU", ev.mean_peak_bytes / 1024, ev.mean_bitops / 1e6,
+           ev.mean_latency_ms, dev);
+    std::printf("\n  QuantMCU detail: %.0f%% outlier patches, est. Top-1 "
+                "loss %.2f pp, search %.2f s\n",
+                100.0 * ev.outlier_patch_fraction, ev.top1_penalty_pp,
+                plan.search_seconds);
+  }
+  return 0;
+}

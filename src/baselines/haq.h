@@ -1,0 +1,33 @@
+// haq.h — HAQ: hardware-aware automated quantization with RL (Wang et al.,
+// CVPR 2019, reference [2]).
+//
+// The original trains a DDPG agent whose reward mixes post-finetune
+// accuracy and hardware cost. This reproduction keeps the search structure
+// — episodic exploration of per-layer bitwidth assignments with an
+// accuracy-plus-cost reward and simulated-annealing acceptance — and makes
+// the reward *measured*: every episode runs a full simulated-quantization
+// forward pass over the calibration batch and scores output fidelity
+// against the float reference. That per-episode inference is what makes
+// HAQ the slowest entry of Table II's Time column, here as in the paper.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "baselines/method.h"
+
+namespace qmcu::baselines {
+
+struct HaqConfig {
+  int episodes = 24;
+  double target_bitops_ratio = 0.55;  // vs the all-8-bit deployment
+  double cost_weight = 2.0;           // reward trade-off
+  std::uint64_t seed = 0x4a51u;
+  double initial_temperature = 1.0;
+};
+
+MethodResult run_haq(const nn::Graph& g,
+                     std::span<const nn::Tensor> calibration,
+                     const HaqConfig& cfg = {});
+
+}  // namespace qmcu::baselines

@@ -1,0 +1,28 @@
+// pact.h — PACT (Choi et al., reference [20]): uniform 4/4 quantization
+// with learned activation clipping.
+//
+// The original learns a per-layer clip α by backpropagation during QAT;
+// this reproduction performs the equivalent *training-free* optimisation —
+// per-layer line search for the clip that minimises quantization MSE on
+// calibration activations, iterated to a fixed point — which is also where
+// the method's cost lives here: every refinement sweep re-touches every
+// calibration activation (Table II's Time column).
+#pragma once
+
+#include <span>
+
+#include "baselines/method.h"
+
+namespace qmcu::baselines {
+
+struct PactConfig {
+  int bits = 4;
+  int refine_iterations = 10;  // clip refinement sweeps
+  int clip_candidates = 16;    // line-search resolution per sweep
+};
+
+MethodResult run_pact(const nn::Graph& g,
+                      std::span<const nn::Tensor> calibration,
+                      const PactConfig& cfg = {});
+
+}  // namespace qmcu::baselines

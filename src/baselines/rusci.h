@@ -1,0 +1,29 @@
+// rusci.h — memory-driven mixed low-precision quantization (Rusci et al.,
+// MLSys 2020, reference [4]).
+//
+// Bitwidths are chosen purely so the deployment *fits*: activation bits are
+// cascaded down (8 → 4 → 2) wherever an adjacent producer/consumer pair of
+// feature maps exceeds the SRAM budget, and weight bits wherever the model
+// exceeds the flash budget. Accuracy is never consulted — which is exactly
+// the weakness the paper's Table II exhibits (Top-1 61.8 vs QuantMCU 69.2).
+// Each accepted cascade step is validated by a quantized inference pass on
+// the calibration batch, which is where the method's search time goes.
+#pragma once
+
+#include <span>
+
+#include "baselines/method.h"
+
+namespace qmcu::baselines {
+
+struct RusciConfig {
+  std::int64_t sram_budget = 0;   // bytes; adjacent fm pairs must fit
+  std::int64_t flash_budget = 0;  // bytes; all weights must fit
+  int validation_passes = 2;      // quantized runs per accepted step
+};
+
+MethodResult run_rusci(const nn::Graph& g,
+                       std::span<const nn::Tensor> calibration,
+                       const RusciConfig& cfg);
+
+}  // namespace qmcu::baselines

@@ -1,0 +1,38 @@
+#include "core/accuracy_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/check.h"
+
+namespace qmcu::core {
+
+AccuracyBase base_accuracy(std::string_view model_name) {
+  // Top-1/Top-5 from the usual ImageNet references (MobileNetV2 Top-1
+  // matches the paper's Table II baseline row); mAP from the common
+  // VOC07+12 detection setups on each backbone.
+  if (model_name == "mobilenetv2") return {71.9, 90.3, 62.4};
+  if (model_name == "inceptionv3") return {77.2, 93.5, 65.8};
+  if (model_name == "squeezenet") return {58.1, 80.4, 45.2};
+  if (model_name == "resnet18") return {69.8, 89.1, 58.9};
+  if (model_name == "vgg16") return {71.6, 90.4, 66.1};
+  if (model_name == "mcunet") return {61.8, 84.2, 51.6};
+  if (model_name == "mnasnet") return {75.2, 92.5, 60.0};
+  if (model_name == "fbnet_a") return {73.0, 90.9, 58.0};
+  if (model_name == "ofa_cpu") return {71.5, 90.1, 57.0};
+  QMCU_REQUIRE(false,
+               "no accuracy baseline for model: " + std::string(model_name));
+}
+
+double AccuracyModel::top1_penalty_pp(const NoiseSummary& s) const {
+  if (!s.any_quantization) return 0.0;
+  const double noise_term =
+      noise_scale_pp * std::log2(1.0 + std::max(0.0, s.mean_relative_mse));
+  const double crush_term =
+      outlier_scale_pp *
+      std::clamp(s.crushed_outlier_fraction, 0.0, 1.0) *
+      std::sqrt(std::clamp(s.crush_severity, 0.0, 1.0));
+  return int8_floor_pp + noise_term + crush_term;
+}
+
+}  // namespace qmcu::core

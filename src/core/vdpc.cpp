@@ -1,0 +1,106 @@
+#include "core/vdpc.h"
+
+#include <cmath>
+#include <limits>
+
+namespace qmcu::core {
+
+GaussianFit fit_gaussian(std::span<const float> values) {
+  QMCU_REQUIRE(!values.empty(), "cannot fit a distribution to no data");
+  double mean = 0.0;
+  for (float v : values) mean += v;
+  mean /= static_cast<double>(values.size());
+  double var = 0.0;
+  for (float v : values) {
+    const double d = static_cast<double>(v) - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(values.size());
+  return {mean, std::sqrt(var)};
+}
+
+double inverse_normal_cdf(double p) {
+  QMCU_REQUIRE(p > 0.0 && p < 1.0, "quantile argument must be in (0, 1)");
+  // Peter Acklam's algorithm.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double plow = 0.02425;
+  constexpr double phigh = 1.0 - plow;
+
+  if (p < plow) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p > phigh) {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  const double q = p - 0.5;
+  const double r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+          a[5]) *
+         q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
+
+double outlier_threshold(const GaussianFit& fit, double phi) {
+  if (phi >= 1.0) return std::numeric_limits<double>::infinity();
+  if (phi <= 0.0) return 0.0;
+  const double z = inverse_normal_cdf(0.5 * (1.0 + phi));
+  return fit.stddev * z;
+}
+
+int PatchClassification::num_outlier() const {
+  int n = 0;
+  for (bool o : outlier) n += o ? 1 : 0;
+  return n;
+}
+
+double PatchClassification::outlier_fraction() const {
+  return outlier.empty()
+             ? 0.0
+             : static_cast<double>(num_outlier()) /
+                   static_cast<double>(outlier.size());
+}
+
+PatchClassification classify_patches(const nn::Tensor& input,
+                                     const patch::PatchPlan& plan,
+                                     const VdpcConfig& cfg) {
+  PatchClassification out;
+  out.fit = fit_gaussian(input.data());
+  out.threshold = outlier_threshold(out.fit, cfg.phi);
+  out.outlier.reserve(plan.branches.size());
+
+  for (const patch::PatchBranch& br : plan.branches) {
+    const patch::Region tile = plan.input_tile(br.row, br.col, input.shape());
+    bool has_outlier = false;
+    for (int y = tile.y.begin; y < tile.y.end && !has_outlier; ++y) {
+      for (int x = tile.x.begin; x < tile.x.end && !has_outlier; ++x) {
+        for (int c = 0; c < input.shape().c; ++c) {
+          if (std::abs(static_cast<double>(input.at(y, x, c)) -
+                       out.fit.mean) > out.threshold) {
+            has_outlier = true;
+            break;
+          }
+        }
+      }
+    }
+    out.outlier.push_back(has_outlier);
+  }
+  return out;
+}
+
+}  // namespace qmcu::core

@@ -1,0 +1,64 @@
+// vdpc.h — Value-Driven Patch Classification (paper §III-A, Eq. 1).
+//
+// The activation distribution of early feature maps is bell-shaped
+// (Fig. 2a): most values cluster near the mean, a sparse tail carries a
+// disproportionate share of the information. Eq. 1 marks a value x as an
+// outlier when its Gaussian PDF value falls below a threshold φ. This
+// implementation expresses φ in its equivalent *central coverage* form: the
+// non-outlier band is the symmetric interval containing fraction φ of the
+// Gaussian mass, i.e. |x − μ| ≤ σ · z((1+φ)/2) with z the standard normal
+// quantile. The two forms are monotonically related (a PDF cutoff *is* a
+// |x − μ| cutoff); coverage is the form that makes the paper's sweep values
+// (φ = 0.90 … 1.00, Fig. 5) dimensionally meaningful, matching the observed
+// behaviour: small φ ⇒ wide tails counted as outliers ⇒ most patches kept
+// at 8-bit; φ → 1 ⇒ no value is an outlier ⇒ accuracy collapses.
+//
+// A patch is an **outlier-class patch** iff it contains at least one
+// outlier value; its whole dataflow branch then stays at 8-bit (paper
+// Fig. 3).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "nn/tensor.h"
+#include "patch/patch_plan.h"
+
+namespace qmcu::core {
+
+struct VdpcConfig {
+  double phi = 0.96;  // central coverage; paper's chosen operating point
+};
+
+struct GaussianFit {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+// Moment fit of the (assumed Gaussian, Eq. 1) activation distribution.
+GaussianFit fit_gaussian(std::span<const float> values);
+
+// Standard normal quantile (Acklam's rational approximation, |ε| < 1.2e-9).
+double inverse_normal_cdf(double p);
+
+// |x − μ| threshold above which a value is an outlier. Returns +inf when
+// phi >= 1 (nothing is an outlier) and 0 when phi <= 0 (everything is).
+double outlier_threshold(const GaussianFit& fit, double phi);
+
+struct PatchClassification {
+  std::vector<bool> outlier;  // per branch, plan order (row-major)
+  GaussianFit fit;
+  double threshold = 0.0;
+
+  [[nodiscard]] int num_outlier() const;
+  [[nodiscard]] double outlier_fraction() const;
+};
+
+// Classifies every patch of `input` (the feature map being split; each
+// patch is the branch's disjoint input tile). The Gaussian is fit on the
+// whole input, the threshold applied per patch.
+PatchClassification classify_patches(const nn::Tensor& input,
+                                     const patch::PatchPlan& plan,
+                                     const VdpcConfig& cfg);
+
+}  // namespace qmcu::core

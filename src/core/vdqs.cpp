@@ -1,0 +1,156 @@
+#include "core/vdqs.h"
+
+#include <algorithm>
+
+#include "mcu/bitops.h"
+
+namespace qmcu::core {
+
+namespace {
+
+int candidate_index(int bits) {
+  for (std::size_t j = 0; j < kVdqsCandidateBits.size(); ++j) {
+    if (kVdqsCandidateBits[j] == bits) return static_cast<int>(j);
+  }
+  QMCU_REQUIRE(false, "bits is not a VDQS candidate");
+}
+
+}  // namespace
+
+std::int64_t feature_map_bytes(const FeatureMapProfile& fm, int bits) {
+  return (fm.elements * bits + 7) / 8;
+}
+
+double quantization_score(const FeatureMapProfile& fm, int bits,
+                          const VdqsConfig& cfg) {
+  QMCU_REQUIRE(cfg.reference_bitops > 0, "B must be positive");
+  QMCU_REQUIRE(cfg.last_output_entropy > 0.0,
+               "H(N, b_last) must be positive");
+  const int j = candidate_index(bits);
+  // Eq. 2: ΔB(i,b) over the consumers of feature map i, measured against
+  // the deployed W8/A(reference_bits) baseline (see header note).
+  const double delta_b = static_cast<double>(fm.consumer_macs) *
+                         cfg.weight_bits *
+                         (cfg.reference_bits - bits);
+  const double phi = delta_b / static_cast<double>(cfg.reference_bitops);
+  // Eq. 5: ΔH(i,b), clamped at zero — binning noise can nudge the quantized
+  // estimate a hair above the float one; entropy cannot truly increase.
+  const double delta_h = std::max(
+      0.0, fm.entropy_float - fm.entropy_at_bits[static_cast<std::size_t>(j)]);
+  const double omega = delta_h / cfg.last_output_entropy;
+  // Eq. 6.
+  return -cfg.lambda * omega + (1.0 - cfg.lambda) * phi;
+}
+
+VdqsResult vdqs_search(std::span<const FeatureMapProfile> fms,
+                       const VdqsConfig& cfg) {
+  QMCU_REQUIRE(!fms.empty(), "branch must contain feature maps");
+  QMCU_REQUIRE(cfg.memory_budget > 0, "memory budget must be positive");
+  const int n = static_cast<int>(fms.size());
+  constexpr int m = static_cast<int>(kVdqsCandidateBits.size());
+
+  VdqsResult result;
+  result.scores.resize(static_cast<std::size_t>(n));
+
+  // Score-sorted candidate lists t^i (Algorithm 1 lines 1–7).
+  std::vector<std::array<int, 3>> sorted(static_cast<std::size_t>(n));
+  std::vector<int> rank(static_cast<std::size_t>(n));  // index into sorted
+  for (int i = 0; i < n; ++i) {
+    std::array<double, 3>& s = result.scores[static_cast<std::size_t>(i)];
+    for (int j = 0; j < m; ++j) {
+      s[static_cast<std::size_t>(j)] = quantization_score(
+          fms[static_cast<std::size_t>(i)],
+          kVdqsCandidateBits[static_cast<std::size_t>(j)], cfg);
+    }
+    std::array<int, 3>& t = sorted[static_cast<std::size_t>(i)];
+    t = {0, 1, 2};
+    std::stable_sort(t.begin(), t.end(), [&s](int a, int b) {
+      return s[static_cast<std::size_t>(a)] > s[static_cast<std::size_t>(b)];
+    });
+    rank[static_cast<std::size_t>(i)] = 0;
+  }
+
+  const auto bits_of = [&](int i) {
+    return kVdqsCandidateBits[static_cast<std::size_t>(
+        sorted[static_cast<std::size_t>(i)][static_cast<std::size_t>(
+            rank[static_cast<std::size_t>(i)])])];
+  };
+  const auto mem_of = [&](int i) {
+    return feature_map_bytes(fms[static_cast<std::size_t>(i)], bits_of(i));
+  };
+  const auto pair_violated = [&](int i) {
+    return mem_of(i) + mem_of(i + 1) > cfg.memory_budget;
+  };
+  const auto any_violated = [&]() {
+    for (int i = 0; i + 1 < n; ++i) {
+      if (pair_violated(i)) return true;
+    }
+    return n == 1 && mem_of(0) > cfg.memory_budget;
+  };
+
+  // NEED_CHANGE (Algorithm 1 lines 20–27): demote fm (i+r) of pair
+  // (i, i+1) while the pair violates Eq. 7, the demoted fm has candidates
+  // left, and the non-demoted fm is not the larger of the two.
+  const auto need_change = [&](int i, int r) {
+    if (!pair_violated(i)) return false;
+    const int target = r > 0 ? i + 1 : i;
+    const int other = r > 0 ? i : i + 1;
+    if (rank[static_cast<std::size_t>(target)] >= m - 1) return false;
+    return mem_of(other) <= mem_of(target);
+  };
+
+  // TRAVERSE (lines 12–19). `r > 0`: forward pass demoting the latter fm of
+  // each pair; `r < 0`: backward pass demoting the former.
+  const auto traverse = [&](int r) {
+    if (r > 0) {
+      for (int i = 0; i + 1 < n; ++i) {
+        while (need_change(i, r)) ++rank[static_cast<std::size_t>(i + 1)];
+      }
+    } else {
+      for (int i = n - 2; i >= 0; --i) {
+        while (need_change(i, r)) ++rank[static_cast<std::size_t>(i)];
+      }
+    }
+  };
+
+  while (any_violated() && result.repair_rounds < cfg.max_repair_rounds) {
+    const std::vector<int> before = rank;
+    traverse(+1);
+    traverse(-1);
+    ++result.repair_rounds;
+    if (rank == before) {
+      // Printed algorithm stalled: demote the larger fm of the worst pair.
+      result.used_fallback = true;
+      int worst = -1;
+      std::int64_t worst_mem = -1;
+      for (int i = 0; i + 1 < n; ++i) {
+        if (!pair_violated(i)) continue;
+        const std::int64_t pair_mem = mem_of(i) + mem_of(i + 1);
+        if (pair_mem > worst_mem) {
+          worst_mem = pair_mem;
+          worst = i;
+        }
+      }
+      if (worst < 0) break;
+      const int bigger = mem_of(worst) >= mem_of(worst + 1) ? worst
+                                                            : worst + 1;
+      if (rank[static_cast<std::size_t>(bigger)] < m - 1) {
+        ++rank[static_cast<std::size_t>(bigger)];
+      } else if (rank[static_cast<std::size_t>(worst + 1 - (bigger - worst))] <
+                 m - 1) {
+        ++rank[static_cast<std::size_t>(worst + 1 - (bigger - worst))];
+      } else {
+        break;  // both exhausted: infeasible
+      }
+    }
+  }
+
+  result.feasible = !any_violated();
+  result.bits.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    result.bits[static_cast<std::size_t>(i)] = bits_of(i);
+  }
+  return result;
+}
+
+}  // namespace qmcu::core

@@ -1,0 +1,81 @@
+// vdqs.h — Value-Driven Quantization Search (paper §III-B, Eqs. 2–6,
+// Algorithm 1).
+//
+// For every feature map i of a dataflow branch and every candidate bitwidth
+// b ∈ {8, 4, 2} the quantization score combines the computation benefit
+//     Φ(i,b) = ΔBitOPs(i,b) / B                       (Eq. 2)
+// with the accuracy cost measured as activation-entropy loss
+//     Ω(i,b) = ΔH(i,b) / H(N, b_last)                  (Eq. 5)
+// into  S(i,b) = −λ·Ω(i,b) + (1−λ)·Φ(i,b)             (Eq. 6).
+//
+// Both ratios are normalised within the branch being searched (Algorithm
+// 1's N is the branch length), and ΔB is measured against the deployed
+// baseline — the W8/A8 configuration, since FP32 never runs on the MCU:
+//     ΔB(i,b) = consumer_MACs(i) · w_bits · (8 − b),  B = Σ MACs · w_bits · 8.
+// Measuring against FP32 instead would bury the candidate differences under
+// the constant 32×32 term (Φ would be nearly identical for b = 8, 4, 2) and
+// λ would lose its Table-III role as the accuracy/computation dial.
+// Entropy replaces training as the accuracy proxy, which is why the whole
+// search finishes in a fraction of a second (Table II's "Time" column).
+//
+// Algorithm 1 then assigns each feature map its best-scoring bitwidth and
+// repairs memory violations of Eq. 7 — Mem(i,b_i) + Mem(i+1,b_{i+1}) ≤ M for
+// adjacent feature maps — with two traversal passes (forward adjusting the
+// latter of each pair, backward the former), demoting feature maps one step
+// down their own score-sorted candidate list. As printed in the paper the
+// repair can stall (NEED_CHANGE's guard can reject every move of a violated
+// pair); this implementation adds a documented fallback that demotes the
+// larger feature map of the worst violated pair and flags `used_fallback`.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nn/check.h"
+
+namespace qmcu::core {
+
+inline constexpr std::array<int, 3> kVdqsCandidateBits{8, 4, 2};
+
+// Everything VDQS needs to know about one feature map of a branch.
+struct FeatureMapProfile {
+  std::int64_t elements = 0;       // region size; Mem(i,b) = elements*b/8
+  std::int64_t consumer_macs = 0;  // MACs of in-branch consumers of this fm
+  double entropy_float = 0.0;      // H(i) before quantization
+  // Entropy after simulated quantization, aligned with kVdqsCandidateBits.
+  std::array<double, 3> entropy_at_bits{};
+};
+
+struct VdqsConfig {
+  double lambda = 0.6;             // paper's chosen operating point (Table III)
+  int weight_bits = 8;
+  int reference_bits = 8;          // deployed baseline activation width
+  std::int64_t memory_budget = 0;  // M of Eq. 7 (bytes)
+  std::int64_t reference_bitops = 1;  // B of Eq. 2 (branch MACs·w_bits·ref)
+  double last_output_entropy = 1.0;   // H(N, b_last) of Eq. 5
+  int max_repair_rounds = 64;
+};
+
+struct VdqsResult {
+  std::vector<int> bits;  // chosen bitwidth per feature map
+  // score[i][j]: S(i, kVdqsCandidateBits[j]).
+  std::vector<std::array<double, 3>> scores;
+  int repair_rounds = 0;
+  bool used_fallback = false;
+  bool feasible = true;  // Eq. 7 satisfied for every adjacent pair
+};
+
+// Mem(i, b) in bytes (bit-packed storage).
+std::int64_t feature_map_bytes(const FeatureMapProfile& fm, int bits);
+
+// Quantization score S(i, b) (Eq. 6) for one feature map.
+double quantization_score(const FeatureMapProfile& fm, int bits,
+                          const VdqsConfig& cfg);
+
+// The full search over one dataflow branch (feature maps in branch order).
+VdqsResult vdqs_search(std::span<const FeatureMapProfile> fms,
+                       const VdqsConfig& cfg);
+
+}  // namespace qmcu::core

@@ -1,0 +1,42 @@
+#include "mcu/bitops.h"
+
+namespace qmcu::mcu {
+
+std::int64_t layer_bitops(const nn::Graph& g, int id, int w_bits,
+                          int in_bits) {
+  QMCU_REQUIRE(w_bits > 0 && in_bits > 0, "bit widths must be positive");
+  return g.macs(id) * w_bits * in_bits;
+}
+
+std::int64_t graph_bitops(const nn::Graph& g, std::span<const int> act_bits,
+                          int w_bits) {
+  QMCU_REQUIRE(static_cast<int>(act_bits.size()) == g.size(),
+               "act_bits must cover every layer");
+  std::int64_t total = 0;
+  for (int id = 0; id < g.size(); ++id) {
+    const nn::Layer& l = g.layer(id);
+    if (!nn::is_mac_op(l.kind)) continue;
+    const int in_bits = act_bits[static_cast<std::size_t>(l.inputs[0])];
+    total += layer_bitops(g, id, w_bits, in_bits);
+  }
+  return total;
+}
+
+std::int64_t full_precision_bitops(const nn::Graph& g) {
+  return g.total_macs() * kFullPrecisionBits * kFullPrecisionBits;
+}
+
+std::int64_t bitops_reduction(const nn::Graph& g, int fm, int b, int w_bits) {
+  QMCU_REQUIRE(b > 0 && b <= kFullPrecisionBits, "bits out of range");
+  std::int64_t delta = 0;
+  for (int consumer : g.consumers(fm)) {
+    const nn::Layer& l = g.layer(consumer);
+    if (!nn::is_mac_op(l.kind)) continue;
+    if (l.inputs[0] != fm) continue;  // weights of Add/Concat don't apply
+    delta += g.macs(consumer) *
+             (kFullPrecisionBits * kFullPrecisionBits - w_bits * b);
+  }
+  return delta;
+}
+
+}  // namespace qmcu::mcu

@@ -1,0 +1,33 @@
+// bitops.h — Bit Operations accounting (the paper's computation metric).
+//
+// BitOPs of a MAC layer = MACs x weight_bits x activation_bits, where the
+// activation bits are those of the layer's *input* feature map — quantizing
+// feature map i to b bits cheapens the layers that consume it (Eq. 2).
+// The full-precision reference B (denominator of Φ) charges 32 x 32.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "nn/graph.h"
+
+namespace qmcu::mcu {
+
+inline constexpr int kFullPrecisionBits = 32;
+
+// BitOPs of layer `id` with `w_bits` weights and `in_bits` input activations.
+std::int64_t layer_bitops(const nn::Graph& g, int id, int w_bits, int in_bits);
+
+// Whole-graph BitOPs. `act_bits[i]` is the storage bitwidth of layer i's
+// output feature map; each MAC layer is priced at the bits of its input.
+std::int64_t graph_bitops(const nn::Graph& g, std::span<const int> act_bits,
+                          int w_bits);
+
+// Full-precision reference: B = sum MACs x 32 x 32 (Eq. 2 denominator).
+std::int64_t full_precision_bitops(const nn::Graph& g);
+
+// BitOPs reduction ΔB(i, b) when feature map `i` is stored at `b` bits
+// instead of `kFullPrecisionBits`, with `w_bits` weights everywhere.
+std::int64_t bitops_reduction(const nn::Graph& g, int fm, int b, int w_bits);
+
+}  // namespace qmcu::mcu

@@ -1,0 +1,52 @@
+#include "mcu/cost_model.h"
+
+namespace qmcu::mcu {
+
+double CostModel::mac_cycles(std::int64_t macs, int a_bits) const {
+  QMCU_REQUIRE(macs >= 0, "MAC count must be non-negative");
+  double per_mac = device_.cycles_per_mac_int8;
+  switch (a_bits) {
+    case 8: break;
+    case 4: per_mac /= device_.speedup_4bit; break;
+    case 2: per_mac /= device_.speedup_2bit; break;
+    default:
+      QMCU_REQUIRE(false, "deployable activation bits are 8, 4 or 2");
+  }
+  return static_cast<double>(macs) * per_mac;
+}
+
+double CostModel::element_cycles(std::int64_t elems) const {
+  QMCU_REQUIRE(elems >= 0, "element count must be non-negative");
+  return static_cast<double>(elems) * device_.cycles_per_element_op;
+}
+
+double CostModel::layer_cycles(const nn::Graph& g, int id, int a_bits) const {
+  const nn::Layer& l = g.layer(id);
+  if (l.kind == nn::OpKind::Input) return 0.0;
+  double cycles = device_.per_layer_overhead_cycles;
+  if (nn::is_mac_op(l.kind)) {
+    cycles += mac_cycles(g.macs(id), a_bits);
+  } else {
+    cycles += element_cycles(g.element_ops(id));
+  }
+  return cycles;
+}
+
+double CostModel::graph_cycles(const nn::Graph& g,
+                               std::span<const int> act_bits) const {
+  QMCU_REQUIRE(static_cast<int>(act_bits.size()) == g.size(),
+               "act_bits must cover every layer");
+  double total = 0.0;
+  for (int id = 0; id < g.size(); ++id) {
+    const nn::Layer& l = g.layer(id);
+    if (l.kind == nn::OpKind::Input) continue;
+    const int a_bits =
+        l.inputs.empty()
+            ? 8
+            : act_bits[static_cast<std::size_t>(l.inputs[0])];
+    total += layer_cycles(g, id, a_bits);
+  }
+  return total;
+}
+
+}  // namespace qmcu::mcu

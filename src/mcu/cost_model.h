@@ -1,0 +1,54 @@
+// cost_model.h — analytic latency model for a Device.
+//
+// Latency of a schedule is the sum of per-layer kernel cycles plus fixed
+// per-layer dispatch overhead, divided by the device clock. MAC kernels are
+// priced at the device's calibrated cycles/MAC for int8 and scaled by the
+// CMix-NN sub-byte speedups for 4-/2-bit activations; non-MAC layers are
+// priced per element. The patch engine calls the same entry points with
+// per-patch MAC counts, so halo recomputation is charged automatically.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "mcu/device.h"
+#include "nn/graph.h"
+
+namespace qmcu::mcu {
+
+class CostModel {
+ public:
+  explicit CostModel(Device d) : device_(std::move(d)) {
+    QMCU_REQUIRE(device_.clock_hz > 0.0, "device clock must be positive");
+    QMCU_REQUIRE(device_.cycles_per_mac_int8 > 0.0,
+                 "cycles/MAC must be positive");
+  }
+
+  [[nodiscard]] const Device& device() const { return device_; }
+
+  // Cycles for `macs` multiply-accumulates at the given activation bits
+  // (weights are 8-bit on the deployment path).
+  [[nodiscard]] double mac_cycles(std::int64_t macs, int a_bits) const;
+
+  // Cycles for `elems` non-MAC element operations.
+  [[nodiscard]] double element_cycles(std::int64_t elems) const;
+
+  // Cycles to execute layer `id` once, reading `a_bits` activations.
+  [[nodiscard]] double layer_cycles(const nn::Graph& g, int id,
+                                    int a_bits) const;
+
+  // Whole-graph layer-based execution. `act_bits[i]` is the bitwidth of
+  // layer i's output feature map (MAC layers price at their input's bits).
+  [[nodiscard]] double graph_cycles(const nn::Graph& g,
+                                    std::span<const int> act_bits) const;
+
+  [[nodiscard]] double graph_latency_ms(const nn::Graph& g,
+                                        std::span<const int> act_bits) const {
+    return device_.ms_from_cycles(graph_cycles(g, act_bits));
+  }
+
+ private:
+  Device device_;
+};
+
+}  // namespace qmcu::mcu

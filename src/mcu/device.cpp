@@ -1,0 +1,39 @@
+#include "mcu/device.h"
+
+namespace qmcu::mcu {
+
+Device arduino_nano_33_ble_sense() {
+  Device d;
+  d.name = "Arduino Nano 33 BLE Sense";
+  d.sram_bytes = 256 * 1024;
+  d.flash_bytes = 1024 * 1024;
+  d.clock_hz = 64e6;
+  // Fit: Table I layer-based / ImageNet row — 1536 MBitOPs (= 24 MMACs at
+  // 8/8) in 617 ms at 64 MHz -> ~1.65 cycles/MAC.
+  d.cycles_per_mac_int8 = 1.65;
+  d.speedup_4bit = 1.55;
+  d.speedup_2bit = 2.10;
+  d.per_layer_overhead_cycles = 6000.0;
+  d.cycles_per_element_op = 2.2;
+  return d;
+}
+
+Device stm32h743() {
+  Device d;
+  d.name = "STM32H743";
+  d.sram_bytes = 512 * 1024;
+  d.flash_bytes = 2 * 1024 * 1024;
+  d.clock_hz = 480e6;
+  // Fit: Table I layer-based / ImageNet row — 4057 MBitOPs (= 63.4 MMACs)
+  // in 1684 ms at 480 MHz -> ~12.7 cycles/MAC. The M7 pays heavy flash
+  // wait-states for weight fetches on this board, which the effective
+  // figure absorbs.
+  d.cycles_per_mac_int8 = 12.7;
+  d.speedup_4bit = 1.55;
+  d.speedup_2bit = 2.10;
+  d.per_layer_overhead_cycles = 9000.0;
+  d.cycles_per_element_op = 3.0;
+  return d;
+}
+
+}  // namespace qmcu::mcu

@@ -1,0 +1,76 @@
+#include "models/blocks.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace qmcu::models {
+
+using nn::Activation;
+
+int add_inverted_residual(nn::Graph& g, int in, int expand_ratio,
+                          int out_channels, int kernel, int stride) {
+  QMCU_REQUIRE(expand_ratio >= 1, "expand ratio must be >= 1");
+  QMCU_REQUIRE(stride == 1 || stride == 2, "MBConv stride must be 1 or 2");
+  const int in_c = g.shape(in).c;
+  int x = in;
+  if (expand_ratio > 1) {
+    x = g.add_conv2d(x, in_c * expand_ratio, 1, 1, 0, Activation::ReLU6);
+  }
+  x = g.add_depthwise_conv2d(x, kernel, stride, kernel / 2,
+                             Activation::ReLU6);
+  x = g.add_conv2d(x, out_channels, 1, 1, 0, Activation::None);
+  if (stride == 1 && in_c == out_channels) {
+    x = g.add_residual_add(in, x, Activation::None);
+  }
+  return x;
+}
+
+int add_basic_block(nn::Graph& g, int in, int out_channels, int stride) {
+  const int in_c = g.shape(in).c;
+  int x = g.add_conv2d(in, out_channels, 3, stride, 1, Activation::ReLU);
+  x = g.add_conv2d(x, out_channels, 3, 1, 1, Activation::None);
+  int skip = in;
+  if (stride != 1 || in_c != out_channels) {
+    skip = g.add_conv2d(in, out_channels, 1, stride, 0, Activation::None);
+  }
+  return g.add_residual_add(skip, x, Activation::ReLU);
+}
+
+int add_fire_module(nn::Graph& g, int in, int squeeze_c, int expand1_c,
+                    int expand3_c) {
+  const int s = g.add_conv2d(in, squeeze_c, 1, 1, 0, Activation::ReLU);
+  const int e1 = g.add_conv2d(s, expand1_c, 1, 1, 0, Activation::ReLU);
+  const int e3 = g.add_conv2d(s, expand3_c, 3, 1, 1, Activation::ReLU);
+  const std::array<int, 2> branches{e1, e3};
+  return g.add_concat(branches);
+}
+
+int add_inception_module(nn::Graph& g, int in, int b1x1, int b3x3_reduce,
+                         int b3x3, int b5x5_reduce, int b5x5, int pool_proj) {
+  const int p1 = g.add_conv2d(in, b1x1, 1, 1, 0, Activation::ReLU);
+  int p2 = g.add_conv2d(in, b3x3_reduce, 1, 1, 0, Activation::ReLU);
+  p2 = g.add_conv2d(p2, b3x3, 3, 1, 1, Activation::ReLU);
+  int p3 = g.add_conv2d(in, b5x5_reduce, 1, 1, 0, Activation::ReLU);
+  p3 = g.add_conv2d(p3, b5x5, 5, 1, 2, Activation::ReLU);
+  int p4 = g.add_max_pool(in, 3, 1, 1);
+  p4 = g.add_conv2d(p4, pool_proj, 1, 1, 0, Activation::ReLU);
+  const std::array<int, 4> branches{p1, p2, p3, p4};
+  return g.add_concat(branches);
+}
+
+int add_separable_conv(nn::Graph& g, int in, int out_channels, int kernel,
+                       int stride) {
+  int x = g.add_depthwise_conv2d(in, kernel, stride, kernel / 2,
+                                 Activation::ReLU6);
+  return g.add_conv2d(x, out_channels, 1, 1, 0, Activation::ReLU6);
+}
+
+int scale_channels(int channels, float width_multiplier) {
+  QMCU_REQUIRE(width_multiplier > 0.0f, "width multiplier must be positive");
+  const int scaled = static_cast<int>(
+      std::lround(static_cast<double>(channels) * width_multiplier / 8.0) * 8);
+  return std::max(8, scaled);
+}
+
+}  // namespace qmcu::models

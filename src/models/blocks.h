@@ -1,0 +1,40 @@
+// blocks.h — reusable CNN building blocks for the model zoo.
+//
+// Each helper appends a block subgraph to `g` rooted at `in` and returns the
+// id of the block's output layer. Channel counts are the caller's (already
+// width-scaled) values.
+#pragma once
+
+#include "nn/graph.h"
+
+namespace qmcu::models {
+
+// MobileNetV2 inverted residual (MBConv): 1x1 expand (ReLU6) -> kxk
+// depthwise stride s (ReLU6) -> 1x1 linear project; residual add when
+// stride == 1 and in/out channels match. expand_ratio == 1 skips the expand.
+int add_inverted_residual(nn::Graph& g, int in, int expand_ratio,
+                          int out_channels, int kernel, int stride);
+
+// ResNet basic block: 3x3 (ReLU) -> 3x3, skip (1x1 stride-s projection when
+// geometry changes), add + ReLU.
+int add_basic_block(nn::Graph& g, int in, int out_channels, int stride);
+
+// SqueezeNet fire module: 1x1 squeeze (ReLU) -> concat[1x1 expand, 3x3
+// expand] (both ReLU).
+int add_fire_module(nn::Graph& g, int in, int squeeze_c, int expand1_c,
+                    int expand3_c);
+
+// GoogLeNet/Inception-style module with four branches: 1x1, 1x1->3x3,
+// 1x1->5x5, 3x3 maxpool->1x1 projection; channel concat.
+int add_inception_module(nn::Graph& g, int in, int b1x1, int b3x3_reduce,
+                         int b3x3, int b5x5_reduce, int b5x5, int pool_proj);
+
+// Depthwise-separable conv (MobileNetV1 / MnasNet SepConv): kxk depthwise
+// (ReLU6) -> 1x1 pointwise (ReLU6).
+int add_separable_conv(nn::Graph& g, int in, int out_channels, int kernel,
+                       int stride);
+
+// MobileNet channel rounding: nearest multiple of 8, never below 8.
+int scale_channels(int channels, float width_multiplier);
+
+}  // namespace qmcu::models

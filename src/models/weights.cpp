@@ -1,0 +1,49 @@
+#include "models/weights.h"
+
+#include <cmath>
+#include <vector>
+
+namespace qmcu::models {
+
+namespace {
+
+std::int64_t fan_in(const nn::Graph& g, int id) {
+  const nn::Layer& l = g.layer(id);
+  switch (l.kind) {
+    case nn::OpKind::Conv2D:
+      return static_cast<std::int64_t>(l.kernel_h) * l.kernel_w *
+             g.shape(l.inputs[0]).c;
+    case nn::OpKind::DepthwiseConv2D:
+      return static_cast<std::int64_t>(l.kernel_h) * l.kernel_w;
+    case nn::OpKind::FullyConnected:
+      return g.shape(l.inputs[0]).elements();
+    default:
+      return 1;
+  }
+}
+
+}  // namespace
+
+void init_parameters(nn::Graph& g, std::uint64_t seed) {
+  nn::Rng rng(seed);
+  for (int id = 0; id < g.size(); ++id) {
+    const nn::Layer& l = g.layer(id);
+    if (!nn::is_mac_op(l.kind) || g.has_parameters(id)) continue;
+
+    const double stddev = std::sqrt(2.0 / static_cast<double>(fan_in(g, id)));
+    std::vector<float> w(static_cast<std::size_t>(g.weight_count(id)));
+    for (float& v : w) v = static_cast<float>(rng.normal(0.0, stddev));
+
+    std::vector<float> b;
+    if (l.has_bias) {
+      const int bias_count = l.kind == nn::OpKind::DepthwiseConv2D
+                                 ? g.shape(l.inputs[0]).c
+                                 : l.out_channels;
+      b.resize(static_cast<std::size_t>(bias_count));
+      for (float& v : b) v = static_cast<float>(rng.uniform(-0.05, 0.05));
+    }
+    g.set_parameters(id, std::move(w), std::move(b));
+  }
+}
+
+}  // namespace qmcu::models

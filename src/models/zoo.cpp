@@ -1,0 +1,281 @@
+#include "models/zoo.h"
+
+#include <array>
+
+#include "models/blocks.h"
+#include "models/weights.h"
+
+namespace qmcu::models {
+
+using nn::Activation;
+using nn::Graph;
+using nn::TensorShape;
+
+namespace {
+
+int add_classifier_head(Graph& g, int x, const ModelConfig& cfg) {
+  x = g.add_global_avg_pool(x);
+  x = g.add_fully_connected(x, cfg.num_classes, Activation::None, "logits");
+  if (cfg.with_softmax) x = g.add_softmax(x, "probs");
+  return x;
+}
+
+void finish(Graph& g, const ModelConfig& cfg) {
+  if (cfg.init_weights) init_parameters(g, cfg.seed);
+}
+
+// One row of an MBConv stage table: expansion t, channels c, repeats n,
+// stride s (of the first block in the stage), kernel k.
+struct MBStage {
+  int t, c, n, s, k;
+};
+
+int add_mb_stages(Graph& g, int x, std::span<const MBStage> stages,
+                  float width) {
+  for (const MBStage& st : stages) {
+    const int out_c = scale_channels(st.c, width);
+    for (int i = 0; i < st.n; ++i) {
+      x = add_inverted_residual(g, x, st.t, out_c, st.k,
+                                i == 0 ? st.s : 1);
+    }
+  }
+  return x;
+}
+
+}  // namespace
+
+Graph make_mobilenet_v2(const ModelConfig& cfg) {
+  Graph g("mobilenetv2");
+  const float w = cfg.width_multiplier;
+  int x = g.add_input(TensorShape{cfg.resolution, cfg.resolution, 3});
+  x = g.add_conv2d(x, scale_channels(32, w), 3, 2, 1, Activation::ReLU6,
+                   "stem");
+  // Standard MobileNetV2 stage table (Sandler et al., Table 2).
+  constexpr std::array<MBStage, 7> stages{{{1, 16, 1, 1, 3},
+                                           {6, 24, 2, 2, 3},
+                                           {6, 32, 3, 2, 3},
+                                           {6, 64, 4, 2, 3},
+                                           {6, 96, 3, 1, 3},
+                                           {6, 160, 3, 2, 3},
+                                           {6, 320, 1, 1, 3}}};
+  x = add_mb_stages(g, x, stages, w);
+  const int head_c = w > 1.0f ? scale_channels(1280, w) : 1280;
+  x = g.add_conv2d(x, head_c, 1, 1, 0, Activation::ReLU6, "head");
+  add_classifier_head(g, x, cfg);
+  finish(g, cfg);
+  return g;
+}
+
+Graph make_mcunet(const ModelConfig& cfg) {
+  // MCUNet-class backbone (Lin et al.): TinyNAS-searched MBConv network with
+  // small early channel counts and mixed 3/5/7 kernels.
+  Graph g("mcunet");
+  const float w = cfg.width_multiplier;
+  int x = g.add_input(TensorShape{cfg.resolution, cfg.resolution, 3});
+  x = g.add_conv2d(x, scale_channels(16, w), 3, 2, 1, Activation::ReLU6,
+                   "stem");
+  constexpr std::array<MBStage, 6> stages{{{1, 8, 1, 1, 3},
+                                           {4, 16, 2, 2, 7},
+                                           {5, 24, 2, 2, 3},
+                                           {5, 40, 2, 2, 5},
+                                           {5, 48, 2, 1, 3},
+                                           {6, 96, 2, 2, 5}}};
+  x = add_mb_stages(g, x, stages, w);
+  x = g.add_conv2d(x, scale_channels(160, w), 1, 1, 0, Activation::ReLU6,
+                   "head");
+  add_classifier_head(g, x, cfg);
+  finish(g, cfg);
+  return g;
+}
+
+Graph make_mnasnet(const ModelConfig& cfg) {
+  // MnasNet-A1 (Tan et al.) without squeeze-and-excitation (documented).
+  Graph g("mnasnet");
+  const float w = cfg.width_multiplier;
+  int x = g.add_input(TensorShape{cfg.resolution, cfg.resolution, 3});
+  x = g.add_conv2d(x, scale_channels(32, w), 3, 2, 1, Activation::ReLU6,
+                   "stem");
+  x = add_separable_conv(g, x, scale_channels(16, w), 3, 1);
+  constexpr std::array<MBStage, 6> stages{{{6, 24, 2, 2, 3},
+                                           {3, 40, 3, 2, 5},
+                                           {6, 80, 4, 2, 3},
+                                           {6, 112, 2, 1, 3},
+                                           {6, 160, 3, 2, 5},
+                                           {6, 320, 1, 1, 3}}};
+  x = add_mb_stages(g, x, stages, w);
+  x = g.add_conv2d(x, scale_channels(1280, w), 1, 1, 0, Activation::ReLU6,
+                   "head");
+  add_classifier_head(g, x, cfg);
+  finish(g, cfg);
+  return g;
+}
+
+Graph make_fbnet_a(const ModelConfig& cfg) {
+  // FBNet-A (Wu et al.): DNAS-searched MBConv chain, mixed expansions and
+  // kernels.
+  Graph g("fbnet_a");
+  const float w = cfg.width_multiplier;
+  int x = g.add_input(TensorShape{cfg.resolution, cfg.resolution, 3});
+  x = g.add_conv2d(x, scale_channels(16, w), 3, 2, 1, Activation::ReLU6,
+                   "stem");
+  constexpr std::array<MBStage, 7> stages{{{1, 16, 1, 1, 3},
+                                           {6, 24, 2, 2, 3},
+                                           {6, 32, 3, 2, 5},
+                                           {6, 64, 3, 2, 3},
+                                           {6, 112, 3, 1, 5},
+                                           {6, 184, 3, 2, 5},
+                                           {6, 352, 1, 1, 3}}};
+  x = add_mb_stages(g, x, stages, w);
+  x = g.add_conv2d(x, scale_channels(1504, w), 1, 1, 0, Activation::ReLU6,
+                   "head");
+  add_classifier_head(g, x, cfg);
+  finish(g, cfg);
+  return g;
+}
+
+Graph make_ofa_cpu(const ModelConfig& cfg) {
+  // Once-for-All CPU-specialised subnet (Cai et al.): shallow early stages,
+  // wider late stages, kernel 3/5 mix.
+  Graph g("ofa_cpu");
+  const float w = cfg.width_multiplier;
+  int x = g.add_input(TensorShape{cfg.resolution, cfg.resolution, 3});
+  x = g.add_conv2d(x, scale_channels(24, w), 3, 2, 1, Activation::ReLU6,
+                   "stem");
+  constexpr std::array<MBStage, 6> stages{{{1, 24, 1, 1, 3},
+                                           {4, 32, 2, 2, 3},
+                                           {4, 48, 2, 2, 5},
+                                           {6, 96, 3, 2, 3},
+                                           {6, 136, 3, 1, 5},
+                                           {6, 192, 3, 2, 5}}};
+  x = add_mb_stages(g, x, stages, w);
+  x = g.add_conv2d(x, scale_channels(1152, w), 1, 1, 0, Activation::ReLU6,
+                   "head");
+  add_classifier_head(g, x, cfg);
+  finish(g, cfg);
+  return g;
+}
+
+Graph make_resnet18(const ModelConfig& cfg) {
+  Graph g("resnet18");
+  const float w = cfg.width_multiplier;
+  int x = g.add_input(TensorShape{cfg.resolution, cfg.resolution, 3});
+  x = g.add_conv2d(x, scale_channels(64, w), 7, 2, 3, Activation::ReLU,
+                   "stem");
+  x = g.add_max_pool(x, 3, 2, 1);
+  constexpr std::array<std::pair<int, int>, 4> stages{
+      {{64, 1}, {128, 2}, {256, 2}, {512, 2}}};
+  for (const auto& [c, s] : stages) {
+    const int out_c = scale_channels(c, w);
+    x = add_basic_block(g, x, out_c, s);
+    x = add_basic_block(g, x, out_c, 1);
+  }
+  add_classifier_head(g, x, cfg);
+  finish(g, cfg);
+  return g;
+}
+
+Graph make_vgg16(const ModelConfig& cfg) {
+  Graph g("vgg16");
+  const float w = cfg.width_multiplier;
+  int x = g.add_input(TensorShape{cfg.resolution, cfg.resolution, 3});
+  constexpr std::array<std::pair<int, int>, 5> stages{
+      {{64, 2}, {128, 2}, {256, 3}, {512, 3}, {512, 3}}};
+  for (const auto& [c, n] : stages) {
+    const int out_c = scale_channels(c, w);
+    for (int i = 0; i < n; ++i) {
+      x = g.add_conv2d(x, out_c, 3, 1, 1, Activation::ReLU);
+    }
+    x = g.add_max_pool(x, 2, 2, 0);
+  }
+  const int fc_c = scale_channels(4096, w);
+  x = g.add_fully_connected(x, fc_c, Activation::ReLU, "fc1");
+  x = g.add_fully_connected(x, fc_c, Activation::ReLU, "fc2");
+  x = g.add_fully_connected(x, cfg.num_classes, Activation::None, "logits");
+  if (cfg.with_softmax) x = g.add_softmax(x, "probs");
+  finish(g, cfg);
+  return g;
+}
+
+Graph make_squeezenet(const ModelConfig& cfg) {
+  // SqueezeNet v1.1 (Iandola et al.).
+  Graph g("squeezenet");
+  const float w = cfg.width_multiplier;
+  const auto ch = [w](int c) { return scale_channels(c, w); };
+  int x = g.add_input(TensorShape{cfg.resolution, cfg.resolution, 3});
+  x = g.add_conv2d(x, ch(64), 3, 2, 1, Activation::ReLU, "stem");
+  x = g.add_max_pool(x, 3, 2, 1);
+  x = add_fire_module(g, x, ch(16), ch(64), ch(64));
+  x = add_fire_module(g, x, ch(16), ch(64), ch(64));
+  x = g.add_max_pool(x, 3, 2, 1);
+  x = add_fire_module(g, x, ch(32), ch(128), ch(128));
+  x = add_fire_module(g, x, ch(32), ch(128), ch(128));
+  x = g.add_max_pool(x, 3, 2, 1);
+  x = add_fire_module(g, x, ch(48), ch(192), ch(192));
+  x = add_fire_module(g, x, ch(48), ch(192), ch(192));
+  x = add_fire_module(g, x, ch(64), ch(256), ch(256));
+  x = add_fire_module(g, x, ch(64), ch(256), ch(256));
+  // Classifier conv (SqueezeNet has no FC layers).
+  x = g.add_conv2d(x, cfg.num_classes, 1, 1, 0, Activation::ReLU,
+                   "classifier");
+  x = g.add_global_avg_pool(x);
+  if (cfg.with_softmax) x = g.add_softmax(x, "probs");
+  finish(g, cfg);
+  return g;
+}
+
+Graph make_inception_v3(const ModelConfig& cfg) {
+  // InceptionV3-class branched network built from square-kernel inception
+  // modules (see header note).
+  Graph g("inceptionv3");
+  const float w = cfg.width_multiplier;
+  const auto ch = [w](int c) { return scale_channels(c, w); };
+  int x = g.add_input(TensorShape{cfg.resolution, cfg.resolution, 3});
+  x = g.add_conv2d(x, ch(32), 3, 2, 1, Activation::ReLU, "stem1");
+  x = g.add_conv2d(x, ch(32), 3, 1, 1, Activation::ReLU, "stem2");
+  x = g.add_conv2d(x, ch(64), 3, 1, 1, Activation::ReLU, "stem3");
+  x = g.add_max_pool(x, 3, 2, 1);
+  x = g.add_conv2d(x, ch(80), 1, 1, 0, Activation::ReLU, "stem4");
+  x = g.add_conv2d(x, ch(192), 3, 2, 1, Activation::ReLU, "stem5");
+  // Three "A"-grade modules.
+  x = add_inception_module(g, x, ch(64), ch(48), ch(64), ch(48), ch(64),
+                           ch(32));
+  x = add_inception_module(g, x, ch(64), ch(48), ch(64), ch(48), ch(64),
+                           ch(64));
+  x = add_inception_module(g, x, ch(64), ch(48), ch(64), ch(48), ch(64),
+                           ch(64));
+  x = g.add_max_pool(x, 3, 2, 1);
+  // Four "B"-grade modules.
+  for (int i = 0; i < 4; ++i) {
+    x = add_inception_module(g, x, ch(192), ch(128), ch(192), ch(128),
+                             ch(192), ch(192));
+  }
+  x = g.add_max_pool(x, 3, 2, 1);
+  // Two "C"-grade modules.
+  x = add_inception_module(g, x, ch(320), ch(384), ch(384), ch(448), ch(384),
+                           ch(192));
+  x = add_inception_module(g, x, ch(320), ch(384), ch(384), ch(448), ch(384),
+                           ch(192));
+  add_classifier_head(g, x, cfg);
+  finish(g, cfg);
+  return g;
+}
+
+Graph make_model(std::string_view name, const ModelConfig& cfg) {
+  if (name == "mobilenetv2") return make_mobilenet_v2(cfg);
+  if (name == "mcunet") return make_mcunet(cfg);
+  if (name == "mnasnet") return make_mnasnet(cfg);
+  if (name == "fbnet_a") return make_fbnet_a(cfg);
+  if (name == "ofa_cpu") return make_ofa_cpu(cfg);
+  if (name == "resnet18") return make_resnet18(cfg);
+  if (name == "vgg16") return make_vgg16(cfg);
+  if (name == "squeezenet") return make_squeezenet(cfg);
+  if (name == "inceptionv3") return make_inception_v3(cfg);
+  QMCU_REQUIRE(false, "unknown model: " + std::string(name));
+}
+
+std::vector<std::string> model_names() {
+  return {"mobilenetv2", "mcunet",     "mnasnet",  "fbnet_a",    "ofa_cpu",
+          "resnet18",    "vgg16",      "squeezenet", "inceptionv3"};
+}
+
+}  // namespace qmcu::models

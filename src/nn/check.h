@@ -1,0 +1,53 @@
+// check.h — lightweight precondition / invariant checking for the qmcu
+// libraries.
+//
+// Policy (C++ Core Guidelines I.6 / E.2): violations of *caller-facing*
+// preconditions throw std::invalid_argument so that misuse is diagnosable
+// from tests and examples; violations of *internal* invariants throw
+// std::logic_error because they indicate a bug inside the library itself.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace qmcu {
+
+namespace detail {
+
+[[noreturn]] inline void throw_precondition(const char* expr, const char* file,
+                                            int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throw_invariant(const char* expr, const char* file,
+                                         int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "internal invariant violated: (" << expr << ") at " << file << ':'
+     << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace qmcu
+
+// Caller-facing precondition: throws std::invalid_argument on failure.
+#define QMCU_REQUIRE(cond, msg)                                         \
+  do {                                                                  \
+    if (!(cond))                                                        \
+      ::qmcu::detail::throw_precondition(#cond, __FILE__, __LINE__,     \
+                                         (msg));                        \
+  } while (false)
+
+// Internal invariant: throws std::logic_error on failure.
+#define QMCU_ENSURE(cond, msg)                                        \
+  do {                                                                \
+    if (!(cond))                                                      \
+      ::qmcu::detail::throw_invariant(#cond, __FILE__, __LINE__,      \
+                                      (msg));                         \
+  } while (false)

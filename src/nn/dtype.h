@@ -1,0 +1,62 @@
+// dtype.h — element types supported by the qmcu tensor library.
+//
+// The deployable activation bitwidths follow the paper (§III-B): "due to the
+// constraint of the software library, the feature map is only able to be
+// quantized to 8, 4, and 2 bits" (TensorFlow Lite for 8-bit, CMix-NN for
+// sub-byte). F32 is the reference type, I32 the accumulator type.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+#include "nn/check.h"
+
+namespace qmcu::nn {
+
+enum class DType {
+  F32,  // float reference path
+  I8,   // TFLite-Micro style 8-bit affine quantized
+  I4,   // CMix-NN style sub-byte (stored bit-packed, computed unpacked)
+  I2,   // CMix-NN style sub-byte
+  I32,  // accumulator / bias type
+};
+
+// Number of bits one element of `t` occupies in *storage*.
+constexpr int bit_width(DType t) {
+  switch (t) {
+    case DType::F32: return 32;
+    case DType::I8: return 8;
+    case DType::I4: return 4;
+    case DType::I2: return 2;
+    case DType::I32: return 32;
+  }
+  return 0;  // unreachable; keeps -Wreturn-type quiet
+}
+
+constexpr std::string_view to_string(DType t) {
+  switch (t) {
+    case DType::F32: return "f32";
+    case DType::I8: return "i8";
+    case DType::I4: return "i4";
+    case DType::I2: return "i2";
+    case DType::I32: return "i32";
+  }
+  return "?";
+}
+
+// The quantized activation dtype for a given bitwidth (8, 4 or 2).
+inline DType quantized_dtype_for_bits(int bits) {
+  switch (bits) {
+    case 8: return DType::I8;
+    case 4: return DType::I4;
+    case 2: return DType::I2;
+    default:
+      QMCU_REQUIRE(false, "supported quantized bitwidths are 8, 4, 2");
+  }
+}
+
+// Candidate activation bitwidths available to the quantization search
+// (m = 3 in the paper's Algorithm 1).
+inline constexpr std::array<int, 3> kCandidateBitwidths{8, 4, 2};
+
+}  // namespace qmcu::nn

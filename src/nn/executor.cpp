@@ -1,0 +1,206 @@
+#include "nn/executor.h"
+
+#include "nn/ops/float_kernels.h"
+
+namespace qmcu::nn {
+
+Tensor run_layer_f32(const Graph& g, int id, std::span<const Tensor> memo) {
+  const Layer& l = g.layer(id);
+  QMCU_REQUIRE(l.kind != OpKind::Input, "input layers are seeded, not run");
+  const auto in0 = [&]() -> const Tensor& {
+    return memo[static_cast<std::size_t>(l.inputs[0])];
+  };
+  switch (l.kind) {
+    case OpKind::Conv2D:
+      return ops::conv2d_f32(in0(), l, g.weights(id), g.bias(id));
+    case OpKind::DepthwiseConv2D:
+      return ops::depthwise_conv2d_f32(in0(), l, g.weights(id), g.bias(id));
+    case OpKind::FullyConnected:
+      return ops::fully_connected_f32(in0(), l, g.weights(id), g.bias(id));
+    case OpKind::MaxPool:
+      return ops::max_pool_f32(in0(), l);
+    case OpKind::AvgPool:
+      return ops::avg_pool_f32(in0(), l);
+    case OpKind::GlobalAvgPool:
+      return ops::global_avg_pool_f32(in0());
+    case OpKind::Add:
+      return ops::add_f32(memo[static_cast<std::size_t>(l.inputs[0])],
+                          memo[static_cast<std::size_t>(l.inputs[1])], l.act);
+    case OpKind::Concat: {
+      std::vector<const Tensor*> ins;
+      ins.reserve(l.inputs.size());
+      for (int in : l.inputs) {
+        ins.push_back(&memo[static_cast<std::size_t>(in)]);
+      }
+      return ops::concat_f32(ins);
+    }
+    case OpKind::Softmax:
+      return ops::softmax_f32(in0());
+    case OpKind::Input:
+      break;
+  }
+  QMCU_ENSURE(false, "unhandled op kind");
+}
+
+std::vector<Tensor> Executor::run_all(const Tensor& input) const {
+  const Graph& g = *graph_;
+  QMCU_REQUIRE(g.inputs().size() == 1, "executor expects one input layer");
+  QMCU_REQUIRE(input.shape() == g.shape(g.inputs().front()),
+               "input shape does not match graph input");
+
+  std::vector<Tensor> memo(static_cast<std::size_t>(g.size()));
+  for (int id = 0; id < g.size(); ++id) {
+    if (g.layer(id).kind == OpKind::Input) {
+      memo[static_cast<std::size_t>(id)] = input;
+    } else {
+      memo[static_cast<std::size_t>(id)] = run_layer_f32(g, id, memo);
+    }
+  }
+  return memo;
+}
+
+Tensor Executor::run(const Tensor& input) const {
+  auto memo = run_all(input);
+  return std::move(memo[static_cast<std::size_t>(graph_->output())]);
+}
+
+std::vector<Tensor> Executor::run_from(std::vector<Tensor> memo,
+                                       int changed_layer) const {
+  const Graph& g = *graph_;
+  QMCU_REQUIRE(static_cast<int>(memo.size()) == g.size(),
+               "memo must cover every layer");
+  QMCU_REQUIRE(changed_layer >= 0 && changed_layer < g.size(),
+               "changed layer out of range");
+  std::vector<bool> dirty(static_cast<std::size_t>(g.size()), false);
+  dirty[static_cast<std::size_t>(changed_layer)] = true;
+  for (int id = changed_layer + 1; id < g.size(); ++id) {
+    bool needs = false;
+    for (int in : g.layer(id).inputs) {
+      if (dirty[static_cast<std::size_t>(in)]) {
+        needs = true;
+        break;
+      }
+    }
+    if (needs) {
+      memo[static_cast<std::size_t>(id)] = run_layer_f32(g, id, memo);
+      dirty[static_cast<std::size_t>(id)] = true;
+    }
+  }
+  return memo;
+}
+
+QuantizedParameters QuantizedParameters::build(
+    const Graph& g, const ActivationQuantConfig& cfg) {
+  QMCU_REQUIRE(static_cast<int>(cfg.params.size()) == g.size(),
+               "quant config must cover every layer");
+  // The bias scale must match the *actual* scale of the tensor the kernel
+  // reads. Pools never requantize (TFLite contract), so a pool's output
+  // carries its producer's params, not cfg.params[pool] — resolve the
+  // chain before scaling biases.
+  std::vector<float> effective_scale(static_cast<std::size_t>(g.size()));
+  for (int id = 0; id < g.size(); ++id) {
+    const Layer& l = g.layer(id);
+    const bool pool = l.kind == OpKind::MaxPool || l.kind == OpKind::AvgPool ||
+                      l.kind == OpKind::GlobalAvgPool;
+    effective_scale[static_cast<std::size_t>(id)] =
+        pool ? effective_scale[static_cast<std::size_t>(l.inputs[0])]
+             : cfg.params[static_cast<std::size_t>(id)].scale;
+  }
+
+  QuantizedParameters out;
+  out.weights.resize(static_cast<std::size_t>(g.size()));
+  out.bias.resize(static_cast<std::size_t>(g.size()));
+  for (int id = 0; id < g.size(); ++id) {
+    const Layer& l = g.layer(id);
+    if (!is_mac_op(l.kind)) continue;
+    QMCU_REQUIRE(g.has_parameters(id),
+                 "MAC layer missing parameters: " + l.name);
+    out.weights[static_cast<std::size_t>(id)] =
+        ops::quantize_weights(g.weights(id));
+    if (!g.bias(id).empty()) {
+      const float in_scale =
+          effective_scale[static_cast<std::size_t>(l.inputs[0])];
+      out.bias[static_cast<std::size_t>(id)] = ops::quantize_bias(
+          g.bias(id), in_scale,
+          out.weights[static_cast<std::size_t>(id)].params.scale);
+    }
+  }
+  return out;
+}
+
+QTensor run_layer_q(const Graph& g, int id, std::span<const QTensor> memo,
+                    const QuantizedParameters& params,
+                    const QuantParams& out_p) {
+  const Layer& l = g.layer(id);
+  const auto& in0 = memo[static_cast<std::size_t>(l.inputs[0])];
+  switch (l.kind) {
+    case OpKind::Conv2D:
+      return ops::conv2d_q(in0, l,
+                           params.weights[static_cast<std::size_t>(id)].data,
+                           params.weights[static_cast<std::size_t>(id)].params,
+                           params.bias[static_cast<std::size_t>(id)], out_p);
+    case OpKind::DepthwiseConv2D:
+      return ops::depthwise_conv2d_q(
+          in0, l, params.weights[static_cast<std::size_t>(id)].data,
+          params.weights[static_cast<std::size_t>(id)].params,
+          params.bias[static_cast<std::size_t>(id)], out_p);
+    case OpKind::FullyConnected:
+      return ops::fully_connected_q(
+          in0, l, params.weights[static_cast<std::size_t>(id)].data,
+          params.weights[static_cast<std::size_t>(id)].params,
+          params.bias[static_cast<std::size_t>(id)], out_p);
+    case OpKind::MaxPool:
+      return ops::max_pool_q(in0, l);
+    case OpKind::AvgPool:
+      return ops::avg_pool_q(in0, l);
+    case OpKind::GlobalAvgPool:
+      return ops::global_avg_pool_q(in0);
+    case OpKind::Add:
+      return ops::add_q(in0, memo[static_cast<std::size_t>(l.inputs[1])],
+                        l.act, out_p);
+    case OpKind::Concat: {
+      std::vector<const QTensor*> ins;
+      ins.reserve(l.inputs.size());
+      for (int in : l.inputs) {
+        ins.push_back(&memo[static_cast<std::size_t>(in)]);
+      }
+      return ops::concat_q(ins, out_p);
+    }
+    case OpKind::Softmax:
+      return ops::softmax_q(in0, out_p);
+    case OpKind::Input:
+      QMCU_ENSURE(false, "input handled by caller");
+  }
+  QMCU_ENSURE(false, "unhandled op kind");
+}
+
+QuantExecutor::QuantExecutor(const Graph& g, ActivationQuantConfig cfg)
+    : graph_(&g),
+      cfg_(std::move(cfg)),
+      params_(QuantizedParameters::build(g, cfg_)) {}
+
+std::vector<QTensor> QuantExecutor::run_all(const Tensor& input) const {
+  const Graph& g = *graph_;
+  QMCU_REQUIRE(g.inputs().size() == 1, "executor expects one input layer");
+  QMCU_REQUIRE(input.shape() == g.shape(g.inputs().front()),
+               "input shape does not match graph input");
+
+  std::vector<QTensor> memo(static_cast<std::size_t>(g.size()));
+  for (int id = 0; id < g.size(); ++id) {
+    if (g.layer(id).kind == OpKind::Input) {
+      memo[static_cast<std::size_t>(id)] =
+          quantize(input, cfg_.params[static_cast<std::size_t>(id)]);
+    } else {
+      memo[static_cast<std::size_t>(id)] =
+          run_layer_q(g, id, memo, params_, cfg_.params[static_cast<std::size_t>(id)]);
+    }
+  }
+  return memo;
+}
+
+QTensor QuantExecutor::run(const Tensor& input) const {
+  auto memo = run_all(input);
+  return std::move(memo[static_cast<std::size_t>(graph_->output())]);
+}
+
+}  // namespace qmcu::nn

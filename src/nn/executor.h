@@ -1,0 +1,97 @@
+// executor.h — layer-based (whole feature map) execution.
+//
+// Two executors share the Graph IR:
+//   Executor      — float32 reference; also the calibration vehicle.
+//   QuantExecutor — integer inference with per-layer activation QuantParams
+//                   (the per-feature-map bitwidth assignment the paper's
+//                   VDQS produces) and 8-bit symmetric weights.
+//
+// `run_all` keeps every intermediate feature map alive, which the entropy
+// analysis and the patch-executor equivalence tests need; `run` returns only
+// the final output.
+#pragma once
+
+#include <vector>
+
+#include "nn/graph.h"
+#include "nn/ops/int8_kernels.h"
+#include "nn/tensor.h"
+
+namespace qmcu::nn {
+
+// Executes one non-Input layer of `g` against already-computed producer
+// tensors (memo is indexed by layer id; only the layer's inputs are read).
+// Shared by the layer-based executor and the patch executor's tail phase.
+Tensor run_layer_f32(const Graph& g, int id, std::span<const Tensor> memo);
+
+class Executor {
+ public:
+  explicit Executor(const Graph& g) : graph_(&g) {}
+
+  // Runs the whole graph; result[i] is the output feature map of layer i.
+  [[nodiscard]] std::vector<Tensor> run_all(const Tensor& input) const;
+
+  // Runs the whole graph and returns the final layer's output.
+  [[nodiscard]] Tensor run(const Tensor& input) const;
+
+  // Incremental re-execution: `memo` holds a full run's feature maps with
+  // memo[changed_layer] already replaced (e.g. by a fake-quantized copy);
+  // recomputes only the layers downstream of the change and returns the
+  // updated memo. Used by sensitivity analyses (HAWQ-style perturbation)
+  // that would otherwise pay a full forward pass per probed layer.
+  [[nodiscard]] std::vector<Tensor> run_from(std::vector<Tensor> memo,
+                                             int changed_layer) const;
+
+  [[nodiscard]] const Graph& graph() const { return *graph_; }
+
+ private:
+  const Graph* graph_;  // non-owning; graph must outlive the executor
+};
+
+// Per-layer activation quantization parameters, indexed by layer id.
+// `params[i].bits` is the feature-map bitwidth b_i of the paper.
+struct ActivationQuantConfig {
+  std::vector<QuantParams> params;
+
+  [[nodiscard]] int bits(int layer_id) const {
+    return params[static_cast<std::size_t>(layer_id)].bits;
+  }
+};
+
+// Ahead-of-time converted model parameters: 8-bit symmetric weights and
+// int32 biases rescaled to in_scale * weight_scale, per MAC layer. Shared
+// by the layer-based QuantExecutor and the patch-based quantized executor.
+struct QuantizedParameters {
+  std::vector<ops::QuantizedWeights> weights;  // indexed by layer id
+  std::vector<std::vector<std::int32_t>> bias;
+
+  static QuantizedParameters build(const Graph& g,
+                                   const ActivationQuantConfig& cfg);
+};
+
+// Executes one non-Input layer in the quantized domain. `memo` holds the
+// producers' quantized feature maps; `out_params` is the layer's output
+// quantization (from the ActivationQuantConfig).
+QTensor run_layer_q(const Graph& g, int id, std::span<const QTensor> memo,
+                    const QuantizedParameters& params,
+                    const QuantParams& out_params);
+
+class QuantExecutor {
+ public:
+  // Weights are quantized (8-bit symmetric) and biases rescaled at
+  // construction, mirroring ahead-of-time conversion on the MCU.
+  QuantExecutor(const Graph& g, ActivationQuantConfig cfg);
+
+  [[nodiscard]] std::vector<QTensor> run_all(const Tensor& input) const;
+  [[nodiscard]] QTensor run(const Tensor& input) const;
+
+  [[nodiscard]] const Graph& graph() const { return *graph_; }
+  [[nodiscard]] const ActivationQuantConfig& config() const { return cfg_; }
+
+ private:
+  const Graph* graph_;
+  ActivationQuantConfig cfg_;
+  QuantizedParameters params_;
+};
+
+}  // namespace qmcu::nn

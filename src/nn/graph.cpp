@@ -1,0 +1,303 @@
+#include "nn/graph.h"
+
+#include <numeric>
+
+namespace qmcu::nn {
+
+namespace {
+
+int windowed_extent(int in, int kernel, int stride, int pad) {
+  const int numer = in + 2 * pad - kernel;
+  QMCU_REQUIRE(numer >= 0, "kernel larger than padded input");
+  return numer / stride + 1;
+}
+
+}  // namespace
+
+int Graph::append(Layer layer, TensorShape out_shape) {
+  for (int in : layer.inputs) {
+    QMCU_REQUIRE(in >= 0 && in < size(), "layer input id out of range");
+  }
+  if (layer.name.empty()) {
+    layer.name = std::string(to_string(layer.kind)) + "_" +
+                 std::to_string(layers_.size());
+  }
+  layers_.push_back(std::move(layer));
+  shapes_.push_back(out_shape);
+  weights_.emplace_back();
+  biases_.emplace_back();
+  consumers_valid_ = false;
+  return size() - 1;
+}
+
+TensorShape Graph::windowed_out_shape(const TensorShape& in,
+                                      const Layer& l) const {
+  const int oh = windowed_extent(in.h, l.kernel_h, l.stride_h, l.pad_h);
+  const int ow = windowed_extent(in.w, l.kernel_w, l.stride_w, l.pad_w);
+  int oc = in.c;
+  if (l.kind == OpKind::Conv2D) oc = l.out_channels;
+  return {oh, ow, oc};
+}
+
+int Graph::add_input(TensorShape shape) {
+  QMCU_REQUIRE(shape.valid(), "input shape must be positive");
+  Layer l;
+  l.kind = OpKind::Input;
+  return append(std::move(l), shape);
+}
+
+int Graph::add_conv2d(int input, int out_channels, int kernel, int stride,
+                      int pad, Activation act, std::string name) {
+  QMCU_REQUIRE(out_channels > 0, "conv out_channels must be positive");
+  QMCU_REQUIRE(kernel > 0 && stride > 0 && pad >= 0, "bad conv geometry");
+  Layer l;
+  l.kind = OpKind::Conv2D;
+  l.name = std::move(name);
+  l.inputs = {input};
+  l.kernel_h = l.kernel_w = kernel;
+  l.stride_h = l.stride_w = stride;
+  l.pad_h = l.pad_w = pad;
+  l.out_channels = out_channels;
+  l.act = act;
+  const TensorShape out = windowed_out_shape(shape(input), l);
+  return append(std::move(l), out);
+}
+
+int Graph::add_depthwise_conv2d(int input, int kernel, int stride, int pad,
+                                Activation act, std::string name) {
+  QMCU_REQUIRE(kernel > 0 && stride > 0 && pad >= 0, "bad dwconv geometry");
+  Layer l;
+  l.kind = OpKind::DepthwiseConv2D;
+  l.name = std::move(name);
+  l.inputs = {input};
+  l.kernel_h = l.kernel_w = kernel;
+  l.stride_h = l.stride_w = stride;
+  l.pad_h = l.pad_w = pad;
+  l.act = act;
+  const TensorShape out = windowed_out_shape(shape(input), l);
+  return append(std::move(l), out);
+}
+
+int Graph::add_fully_connected(int input, int out_features, Activation act,
+                               std::string name) {
+  QMCU_REQUIRE(out_features > 0, "fc out_features must be positive");
+  Layer l;
+  l.kind = OpKind::FullyConnected;
+  l.name = std::move(name);
+  l.inputs = {input};
+  l.out_channels = out_features;
+  l.act = act;
+  return append(std::move(l), TensorShape{1, 1, out_features});
+}
+
+int Graph::add_max_pool(int input, int kernel, int stride, int pad,
+                        std::string name) {
+  Layer l;
+  l.kind = OpKind::MaxPool;
+  l.name = std::move(name);
+  l.inputs = {input};
+  l.kernel_h = l.kernel_w = kernel;
+  l.stride_h = l.stride_w = stride;
+  l.pad_h = l.pad_w = pad;
+  const TensorShape out = windowed_out_shape(shape(input), l);
+  return append(std::move(l), out);
+}
+
+int Graph::add_avg_pool(int input, int kernel, int stride, int pad,
+                        std::string name) {
+  Layer l;
+  l.kind = OpKind::AvgPool;
+  l.name = std::move(name);
+  l.inputs = {input};
+  l.kernel_h = l.kernel_w = kernel;
+  l.stride_h = l.stride_w = stride;
+  l.pad_h = l.pad_w = pad;
+  const TensorShape out = windowed_out_shape(shape(input), l);
+  return append(std::move(l), out);
+}
+
+int Graph::add_global_avg_pool(int input, std::string name) {
+  Layer l;
+  l.kind = OpKind::GlobalAvgPool;
+  l.name = std::move(name);
+  l.inputs = {input};
+  return append(std::move(l), TensorShape{1, 1, shape(input).c});
+}
+
+int Graph::add_residual_add(int lhs, int rhs, Activation act,
+                            std::string name) {
+  QMCU_REQUIRE(shape(lhs) == shape(rhs), "residual add operands must match");
+  Layer l;
+  l.kind = OpKind::Add;
+  l.name = std::move(name);
+  l.inputs = {lhs, rhs};
+  l.act = act;
+  const TensorShape out = shape(lhs);
+  return append(std::move(l), out);
+}
+
+int Graph::add_concat(std::span<const int> inputs, std::string name) {
+  QMCU_REQUIRE(inputs.size() >= 2, "concat needs at least two inputs");
+  const TensorShape& first = shape(inputs[0]);
+  int channels = 0;
+  for (int in : inputs) {
+    const TensorShape& s = shape(in);
+    QMCU_REQUIRE(s.h == first.h && s.w == first.w,
+                 "concat inputs must agree spatially");
+    channels += s.c;
+  }
+  Layer l;
+  l.kind = OpKind::Concat;
+  l.name = std::move(name);
+  l.inputs.assign(inputs.begin(), inputs.end());
+  return append(std::move(l), TensorShape{first.h, first.w, channels});
+}
+
+int Graph::add_softmax(int input, std::string name) {
+  Layer l;
+  l.kind = OpKind::Softmax;
+  l.name = std::move(name);
+  l.inputs = {input};
+  const TensorShape out = shape(input);
+  return append(std::move(l), out);
+}
+
+const Layer& Graph::layer(int id) const {
+  QMCU_REQUIRE(id >= 0 && id < size(), "layer id out of range");
+  return layers_[static_cast<std::size_t>(id)];
+}
+
+const TensorShape& Graph::shape(int id) const {
+  QMCU_REQUIRE(id >= 0 && id < size(), "layer id out of range");
+  return shapes_[static_cast<std::size_t>(id)];
+}
+
+int Graph::output() const {
+  QMCU_REQUIRE(size() > 0, "graph is empty");
+  return size() - 1;
+}
+
+std::vector<int> Graph::inputs() const {
+  std::vector<int> ids;
+  for (int i = 0; i < size(); ++i) {
+    if (layers_[static_cast<std::size_t>(i)].kind == OpKind::Input) {
+      ids.push_back(i);
+    }
+  }
+  return ids;
+}
+
+const std::vector<int>& Graph::consumers(int id) const {
+  QMCU_REQUIRE(id >= 0 && id < size(), "layer id out of range");
+  if (!consumers_valid_) {
+    consumers_.assign(static_cast<std::size_t>(size()), {});
+    for (int i = 0; i < size(); ++i) {
+      for (int in : layers_[static_cast<std::size_t>(i)].inputs) {
+        consumers_[static_cast<std::size_t>(in)].push_back(i);
+      }
+    }
+    consumers_valid_ = true;
+  }
+  return consumers_[static_cast<std::size_t>(id)];
+}
+
+std::int64_t Graph::weight_count(int id) const {
+  const Layer& l = layer(id);
+  switch (l.kind) {
+    case OpKind::Conv2D: {
+      const TensorShape& in = shape(l.inputs[0]);
+      return static_cast<std::int64_t>(l.out_channels) * l.kernel_h *
+             l.kernel_w * in.c;
+    }
+    case OpKind::DepthwiseConv2D: {
+      const TensorShape& in = shape(l.inputs[0]);
+      return static_cast<std::int64_t>(l.kernel_h) * l.kernel_w * in.c;
+    }
+    case OpKind::FullyConnected: {
+      const TensorShape& in = shape(l.inputs[0]);
+      return in.elements() * l.out_channels;
+    }
+    default:
+      return 0;
+  }
+}
+
+void Graph::set_parameters(int id, std::vector<float> weights,
+                           std::vector<float> bias) {
+  const Layer& l = layer(id);
+  QMCU_REQUIRE(is_mac_op(l.kind), "only MAC layers carry parameters");
+  QMCU_REQUIRE(static_cast<std::int64_t>(weights.size()) == weight_count(id),
+               "weight element count mismatch");
+  const int bias_count =
+      l.kind == OpKind::DepthwiseConv2D ? shape(l.inputs[0]).c : l.out_channels;
+  if (l.has_bias) {
+    QMCU_REQUIRE(static_cast<int>(bias.size()) == bias_count,
+                 "bias element count mismatch");
+  } else {
+    QMCU_REQUIRE(bias.empty(), "layer declared without bias");
+  }
+  weights_[static_cast<std::size_t>(id)] = std::move(weights);
+  biases_[static_cast<std::size_t>(id)] = std::move(bias);
+}
+
+std::span<const float> Graph::weights(int id) const {
+  QMCU_REQUIRE(id >= 0 && id < size(), "layer id out of range");
+  return weights_[static_cast<std::size_t>(id)];
+}
+
+std::span<const float> Graph::bias(int id) const {
+  QMCU_REQUIRE(id >= 0 && id < size(), "layer id out of range");
+  return biases_[static_cast<std::size_t>(id)];
+}
+
+bool Graph::has_parameters(int id) const {
+  QMCU_REQUIRE(id >= 0 && id < size(), "layer id out of range");
+  return !weights_[static_cast<std::size_t>(id)].empty();
+}
+
+std::int64_t Graph::macs(int id) const {
+  const Layer& l = layer(id);
+  const TensorShape& out = shape(id);
+  switch (l.kind) {
+    case OpKind::Conv2D: {
+      const TensorShape& in = shape(l.inputs[0]);
+      return out.elements() * l.kernel_h * l.kernel_w * in.c;
+    }
+    case OpKind::DepthwiseConv2D:
+      return out.elements() * l.kernel_h * l.kernel_w;
+    case OpKind::FullyConnected: {
+      const TensorShape& in = shape(l.inputs[0]);
+      return in.elements() * l.out_channels;
+    }
+    default:
+      return 0;
+  }
+}
+
+std::int64_t Graph::total_macs() const {
+  std::int64_t total = 0;
+  for (int i = 0; i < size(); ++i) total += macs(i);
+  return total;
+}
+
+std::int64_t Graph::element_ops(int id) const {
+  const Layer& l = layer(id);
+  const TensorShape& out = shape(id);
+  switch (l.kind) {
+    case OpKind::MaxPool:
+    case OpKind::AvgPool:
+      return out.elements() * l.kernel_h * l.kernel_w;
+    case OpKind::GlobalAvgPool:
+      return shape(l.inputs[0]).elements();
+    case OpKind::Add:
+      return out.elements();
+    case OpKind::Softmax:
+      return 3 * out.elements();  // exp, sum, divide
+    case OpKind::Concat:
+      return out.elements();  // copy traffic
+    default:
+      return 0;
+  }
+}
+
+}  // namespace qmcu::nn

@@ -1,0 +1,61 @@
+#include "nn/graph_io.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace qmcu::nn {
+
+std::string summarize(const Graph& g) {
+  std::ostringstream os;
+  os << "graph '" << g.name() << "' — " << g.size() << " layers\n";
+  os << std::left << std::setw(4) << "id" << std::setw(10) << "op"
+     << std::setw(22) << "name" << std::setw(14) << "geometry"
+     << std::setw(14) << "output" << std::right << std::setw(12) << "MACs"
+     << std::setw(10) << "params" << '\n';
+  std::int64_t total_params = 0;
+  for (int id = 0; id < g.size(); ++id) {
+    const Layer& l = g.layer(id);
+    std::ostringstream geom;
+    if (is_windowed_op(l.kind)) {
+      geom << l.kernel_h << 'x' << l.kernel_w << " s" << l.stride_h << " p"
+           << l.pad_h;
+    } else {
+      geom << '-';
+    }
+    std::ostringstream shape;
+    shape << g.shape(id);
+    const std::int64_t params = g.weight_count(id);
+    total_params += params;
+    os << std::left << std::setw(4) << id << std::setw(10) << to_string(l.kind)
+       << std::setw(22) << l.name.substr(0, 21) << std::setw(14) << geom.str()
+       << std::setw(14) << shape.str() << std::right << std::setw(12)
+       << g.macs(id) << std::setw(10) << params << '\n';
+  }
+  os << "total: " << g.total_macs() << " MACs, " << total_params
+     << " parameters\n";
+  return os.str();
+}
+
+std::string to_dot(const Graph& g, int highlight_through) {
+  std::ostringstream os;
+  os << "digraph \"" << g.name() << "\" {\n";
+  os << "  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n";
+  for (int id = 0; id < g.size(); ++id) {
+    const Layer& l = g.layer(id);
+    os << "  n" << id << " [label=\"" << id << ": " << to_string(l.kind)
+       << "\\n" << g.shape(id) << '"';
+    if (id <= highlight_through) {
+      os << ", style=filled, fillcolor=lightblue";
+    }
+    os << "];\n";
+  }
+  for (int id = 0; id < g.size(); ++id) {
+    for (int in : g.layer(id).inputs) {
+      os << "  n" << in << " -> n" << id << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace qmcu::nn

@@ -1,0 +1,23 @@
+// graph_io.h — human-readable graph inspection.
+//
+// `summarize` prints the per-layer table an engineer reaches for first
+// (id, op, geometry, output shape, MACs, parameter count); `to_dot` emits
+// Graphviz for the topology. Both are pure functions of the graph — no
+// side effects, easy to golden-test.
+#pragma once
+
+#include <string>
+
+#include "nn/graph.h"
+
+namespace qmcu::nn {
+
+// Multi-line table: one row per layer plus a totals footer.
+std::string summarize(const Graph& g);
+
+// Graphviz DOT (digraph) of the layer topology. Layer ids are node names,
+// labels carry op kind and output shape. Optionally highlights the layers
+// of a patch stage (e.g. everything up to a cut point).
+std::string to_dot(const Graph& g, int highlight_through = -1);
+
+}  // namespace qmcu::nn

@@ -1,0 +1,58 @@
+#include "nn/memory_planner.h"
+
+#include <algorithm>
+
+namespace qmcu::nn {
+
+int last_use_step(const Graph& g, int id) {
+  int last = id;
+  for (int c : g.consumers(id)) last = std::max(last, c);
+  return last;
+}
+
+MemoryPlan plan_layer_based(const Graph& g, std::span<const int> act_bits) {
+  QMCU_REQUIRE(static_cast<int>(act_bits.size()) == g.size(),
+               "act_bits must cover every layer");
+  std::vector<int> last_use(static_cast<std::size_t>(g.size()));
+  for (int i = 0; i < g.size(); ++i) last_use[static_cast<std::size_t>(i)] =
+      last_use_step(g, i);
+
+  MemoryPlan plan;
+  plan.step_bytes.assign(static_cast<std::size_t>(g.size()), 0);
+  for (int step = 0; step < g.size(); ++step) {
+    std::int64_t live = 0;
+    for (int i = 0; i <= step; ++i) {
+      if (last_use[static_cast<std::size_t>(i)] >= step) {
+        live += g.shape(i).bytes(act_bits[static_cast<std::size_t>(i)]);
+      }
+    }
+    plan.step_bytes[static_cast<std::size_t>(step)] = live;
+    if (live > plan.peak_bytes) {
+      plan.peak_bytes = live;
+      plan.peak_step = step;
+    }
+  }
+  return plan;
+}
+
+std::vector<int> uniform_bits(const Graph& g, int bits) {
+  return std::vector<int>(static_cast<std::size_t>(g.size()), bits);
+}
+
+std::int64_t model_flash_bytes(const Graph& g, int weight_bits) {
+  std::int64_t total = 0;
+  for (int i = 0; i < g.size(); ++i) {
+    const std::int64_t w = g.weight_count(i);
+    total += (w * weight_bits + 7) / 8;
+    const Layer& l = g.layer(i);
+    if (is_mac_op(l.kind) && l.has_bias) {
+      const int bias_count = l.kind == OpKind::DepthwiseConv2D
+                                 ? g.shape(l.inputs[0]).c
+                                 : l.out_channels;
+      total += static_cast<std::int64_t>(bias_count) * 4;
+    }
+  }
+  return total;
+}
+
+}  // namespace qmcu::nn

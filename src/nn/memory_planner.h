@@ -1,0 +1,40 @@
+// memory_planner.h — peak-SRAM accounting for layer-based execution.
+//
+// Models a TFLite-Micro style tensor arena: a feature map is resident from
+// the step that produces it until the step of its last consumer; while a
+// layer executes, its inputs and its output are live simultaneously. The
+// peak over all steps is the "Peak Memory" column of the paper's Table I
+// (for the layer-based row; patch-based peaks come from patch/patch_plan.h).
+//
+// Feature-map footprints honour per-layer activation bitwidths so the same
+// planner prices int8 and mixed sub-byte schedules.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nn/graph.h"
+
+namespace qmcu::nn {
+
+struct MemoryPlan {
+  std::int64_t peak_bytes = 0;
+  int peak_step = -1;                    // layer id at which the peak occurs
+  std::vector<std::int64_t> step_bytes;  // live bytes while each layer runs
+};
+
+// `act_bits[i]` is the storage bitwidth of layer i's output feature map.
+MemoryPlan plan_layer_based(const Graph& g, std::span<const int> act_bits);
+
+// Convenience: one bitwidth for every feature map (e.g. uniform int8).
+std::vector<int> uniform_bits(const Graph& g, int bits);
+
+// Step of the last consumer of layer `id` (its own step if unconsumed).
+int last_use_step(const Graph& g, int id);
+
+// Flash footprint: every MAC layer's weights at `weight_bits` plus int32
+// biases (the model resides in flash on the MCU).
+std::int64_t model_flash_bytes(const Graph& g, int weight_bits);
+
+}  // namespace qmcu::nn

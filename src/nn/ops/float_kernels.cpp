@@ -1,0 +1,266 @@
+#include "nn/ops/float_kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace qmcu::nn::ops {
+
+float activate(float v, Activation act) {
+  switch (act) {
+    case Activation::None: return v;
+    case Activation::ReLU: return v > 0.0f ? v : 0.0f;
+    case Activation::ReLU6: return std::clamp(v, 0.0f, 6.0f);
+  }
+  return v;
+}
+
+void apply_activation_f32(Tensor& t, Activation act) {
+  if (act == Activation::None) return;
+  for (float& v : t.data()) v = activate(v, act);
+}
+
+namespace {
+
+TensorShape windowed_shape(const TensorShape& in, const Layer& l,
+                           int out_channels) {
+  const int oh = (in.h + 2 * l.pad_h - l.kernel_h) / l.stride_h + 1;
+  const int ow = (in.w + 2 * l.pad_w - l.kernel_w) / l.stride_w + 1;
+  return {oh, ow, out_channels};
+}
+
+}  // namespace
+
+Tensor conv2d_f32(const Tensor& in, const Layer& l,
+                  std::span<const float> weights, std::span<const float> bias) {
+  const TensorShape& is = in.shape();
+  const TensorShape os = windowed_shape(is, l, l.out_channels);
+  QMCU_REQUIRE(static_cast<std::int64_t>(weights.size()) ==
+                   static_cast<std::int64_t>(l.out_channels) * l.kernel_h *
+                       l.kernel_w * is.c,
+               "conv weight count mismatch");
+  Tensor out(os);
+  const std::span<const float> x = in.data();
+  const std::span<float> y = out.data();
+
+  for (int oy = 0; oy < os.h; ++oy) {
+    const int iy0 = oy * l.stride_h - l.pad_h;
+    for (int ox = 0; ox < os.w; ++ox) {
+      const int ix0 = ox * l.stride_w - l.pad_w;
+      for (int oc = 0; oc < os.c; ++oc) {
+        float acc = bias.empty() ? 0.0f : bias[static_cast<std::size_t>(oc)];
+        const std::size_t wbase = static_cast<std::size_t>(oc) *
+                                  static_cast<std::size_t>(l.kernel_h) *
+                                  static_cast<std::size_t>(l.kernel_w) *
+                                  static_cast<std::size_t>(is.c);
+        for (int ky = 0; ky < l.kernel_h; ++ky) {
+          const int iy = iy0 + ky;
+          if (iy < 0 || iy >= is.h) continue;
+          for (int kx = 0; kx < l.kernel_w; ++kx) {
+            const int ix = ix0 + kx;
+            if (ix < 0 || ix >= is.w) continue;
+            const std::size_t xoff =
+                static_cast<std::size_t>(flat_index(is, iy, ix, 0));
+            const std::size_t woff =
+                wbase + (static_cast<std::size_t>(ky) *
+                             static_cast<std::size_t>(l.kernel_w) +
+                         static_cast<std::size_t>(kx)) *
+                            static_cast<std::size_t>(is.c);
+            for (int ic = 0; ic < is.c; ++ic) {
+              acc += x[xoff + static_cast<std::size_t>(ic)] *
+                     weights[woff + static_cast<std::size_t>(ic)];
+            }
+          }
+        }
+        y[static_cast<std::size_t>(flat_index(os, oy, ox, oc))] =
+            activate(acc, l.act);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor depthwise_conv2d_f32(const Tensor& in, const Layer& l,
+                            std::span<const float> weights,
+                            std::span<const float> bias) {
+  const TensorShape& is = in.shape();
+  const TensorShape os = windowed_shape(is, l, is.c);
+  QMCU_REQUIRE(static_cast<std::int64_t>(weights.size()) ==
+                   static_cast<std::int64_t>(l.kernel_h) * l.kernel_w * is.c,
+               "dwconv weight count mismatch");
+  Tensor out(os);
+  const std::span<const float> x = in.data();
+  const std::span<float> y = out.data();
+
+  for (int oy = 0; oy < os.h; ++oy) {
+    const int iy0 = oy * l.stride_h - l.pad_h;
+    for (int ox = 0; ox < os.w; ++ox) {
+      const int ix0 = ox * l.stride_w - l.pad_w;
+      for (int c = 0; c < os.c; ++c) {
+        float acc = bias.empty() ? 0.0f : bias[static_cast<std::size_t>(c)];
+        for (int ky = 0; ky < l.kernel_h; ++ky) {
+          const int iy = iy0 + ky;
+          if (iy < 0 || iy >= is.h) continue;
+          for (int kx = 0; kx < l.kernel_w; ++kx) {
+            const int ix = ix0 + kx;
+            if (ix < 0 || ix >= is.w) continue;
+            const std::size_t widx =
+                (static_cast<std::size_t>(ky) *
+                     static_cast<std::size_t>(l.kernel_w) +
+                 static_cast<std::size_t>(kx)) *
+                    static_cast<std::size_t>(is.c) +
+                static_cast<std::size_t>(c);
+            acc += x[static_cast<std::size_t>(flat_index(is, iy, ix, c))] *
+                   weights[widx];
+          }
+        }
+        y[static_cast<std::size_t>(flat_index(os, oy, ox, c))] =
+            activate(acc, l.act);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor fully_connected_f32(const Tensor& in, const Layer& l,
+                           std::span<const float> weights,
+                           std::span<const float> bias) {
+  const std::int64_t in_features = in.elements();
+  QMCU_REQUIRE(static_cast<std::int64_t>(weights.size()) ==
+                   in_features * l.out_channels,
+               "fc weight count mismatch");
+  Tensor out(TensorShape{1, 1, l.out_channels});
+  const std::span<const float> x = in.data();
+  const std::span<float> y = out.data();
+  for (int o = 0; o < l.out_channels; ++o) {
+    float acc = bias.empty() ? 0.0f : bias[static_cast<std::size_t>(o)];
+    const std::size_t wbase = static_cast<std::size_t>(o) *
+                              static_cast<std::size_t>(in_features);
+    for (std::int64_t i = 0; i < in_features; ++i) {
+      acc += x[static_cast<std::size_t>(i)] *
+             weights[wbase + static_cast<std::size_t>(i)];
+    }
+    y[static_cast<std::size_t>(o)] = activate(acc, l.act);
+  }
+  return out;
+}
+
+Tensor max_pool_f32(const Tensor& in, const Layer& l) {
+  const TensorShape& is = in.shape();
+  const TensorShape os = windowed_shape(is, l, is.c);
+  Tensor out(os);
+  for (int oy = 0; oy < os.h; ++oy) {
+    const int iy0 = oy * l.stride_h - l.pad_h;
+    for (int ox = 0; ox < os.w; ++ox) {
+      const int ix0 = ox * l.stride_w - l.pad_w;
+      for (int c = 0; c < os.c; ++c) {
+        float best = std::numeric_limits<float>::lowest();
+        for (int ky = 0; ky < l.kernel_h; ++ky) {
+          const int iy = iy0 + ky;
+          if (iy < 0 || iy >= is.h) continue;
+          for (int kx = 0; kx < l.kernel_w; ++kx) {
+            const int ix = ix0 + kx;
+            if (ix < 0 || ix >= is.w) continue;
+            best = std::max(best, in.at(iy, ix, c));
+          }
+        }
+        out.at(oy, ox, c) = best;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor avg_pool_f32(const Tensor& in, const Layer& l) {
+  const TensorShape& is = in.shape();
+  const TensorShape os = windowed_shape(is, l, is.c);
+  Tensor out(os);
+  for (int oy = 0; oy < os.h; ++oy) {
+    const int iy0 = oy * l.stride_h - l.pad_h;
+    for (int ox = 0; ox < os.w; ++ox) {
+      const int ix0 = ox * l.stride_w - l.pad_w;
+      for (int c = 0; c < os.c; ++c) {
+        float sum = 0.0f;
+        int count = 0;
+        for (int ky = 0; ky < l.kernel_h; ++ky) {
+          const int iy = iy0 + ky;
+          if (iy < 0 || iy >= is.h) continue;
+          for (int kx = 0; kx < l.kernel_w; ++kx) {
+            const int ix = ix0 + kx;
+            if (ix < 0 || ix >= is.w) continue;
+            sum += in.at(iy, ix, c);
+            ++count;
+          }
+        }
+        out.at(oy, ox, c) = count > 0 ? sum / static_cast<float>(count) : 0.0f;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor global_avg_pool_f32(const Tensor& in) {
+  const TensorShape& is = in.shape();
+  Tensor out(TensorShape{1, 1, is.c});
+  const float inv = 1.0f / static_cast<float>(is.h * is.w);
+  for (int c = 0; c < is.c; ++c) {
+    float sum = 0.0f;
+    for (int y = 0; y < is.h; ++y) {
+      for (int x = 0; x < is.w; ++x) sum += in.at(y, x, c);
+    }
+    out.at(0, 0, c) = sum * inv;
+  }
+  return out;
+}
+
+Tensor add_f32(const Tensor& lhs, const Tensor& rhs, Activation act) {
+  QMCU_REQUIRE(lhs.shape() == rhs.shape(), "add operand shape mismatch");
+  Tensor out(lhs.shape());
+  const auto a = lhs.data();
+  const auto b = rhs.data();
+  auto y = out.data();
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    y[i] = activate(a[i] + b[i], act);
+  }
+  return out;
+}
+
+Tensor concat_f32(std::span<const Tensor* const> inputs) {
+  QMCU_REQUIRE(!inputs.empty(), "concat needs inputs");
+  const TensorShape& first = inputs[0]->shape();
+  int channels = 0;
+  for (const Tensor* t : inputs) {
+    QMCU_REQUIRE(t->shape().h == first.h && t->shape().w == first.w,
+                 "concat inputs must agree spatially");
+    channels += t->shape().c;
+  }
+  Tensor out(TensorShape{first.h, first.w, channels});
+  for (int y = 0; y < first.h; ++y) {
+    for (int x = 0; x < first.w; ++x) {
+      int co = 0;
+      for (const Tensor* t : inputs) {
+        for (int c = 0; c < t->shape().c; ++c) {
+          out.at(y, x, co++) = t->at(y, x, c);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor softmax_f32(const Tensor& in) {
+  Tensor out(in.shape());
+  const auto x = in.data();
+  auto y = out.data();
+  const float maxv = *std::max_element(x.begin(), x.end());
+  float sum = 0.0f;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y[i] = std::exp(x[i] - maxv);
+    sum += y[i];
+  }
+  const float inv = 1.0f / sum;
+  for (float& v : y) v *= inv;
+  return out;
+}
+
+}  // namespace qmcu::nn::ops

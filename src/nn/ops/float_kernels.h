@@ -1,0 +1,43 @@
+// float_kernels.h — float32 reference kernels, NHWC, batch 1.
+//
+// These are the golden-path implementations: every quantized kernel and the
+// patch executor are validated against them. Geometry (kernel, stride,
+// symmetric zero padding, fused activation) comes from the Layer spec so the
+// kernels stay in lock-step with graph shape inference.
+#pragma once
+
+#include <span>
+
+#include "nn/graph.h"
+#include "nn/tensor.h"
+
+namespace qmcu::nn::ops {
+
+// 2-D convolution. `weights` layout [out_c][kh][kw][in_c]; `bias` may be
+// empty (treated as zero).
+Tensor conv2d_f32(const Tensor& in, const Layer& l,
+                  std::span<const float> weights, std::span<const float> bias);
+
+// Depthwise convolution (channel multiplier 1). `weights` layout [kh][kw][c].
+Tensor depthwise_conv2d_f32(const Tensor& in, const Layer& l,
+                            std::span<const float> weights,
+                            std::span<const float> bias);
+
+// Fully connected over the flattened input. `weights` layout [out][in].
+Tensor fully_connected_f32(const Tensor& in, const Layer& l,
+                           std::span<const float> weights,
+                           std::span<const float> bias);
+
+Tensor max_pool_f32(const Tensor& in, const Layer& l);
+Tensor avg_pool_f32(const Tensor& in, const Layer& l);
+Tensor global_avg_pool_f32(const Tensor& in);
+
+Tensor add_f32(const Tensor& lhs, const Tensor& rhs, Activation act);
+Tensor concat_f32(std::span<const Tensor* const> inputs);
+Tensor softmax_f32(const Tensor& in);
+
+// Fused activation applied in place.
+void apply_activation_f32(Tensor& t, Activation act);
+float activate(float v, Activation act);
+
+}  // namespace qmcu::nn::ops

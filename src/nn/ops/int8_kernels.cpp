@@ -1,0 +1,330 @@
+#include "nn/ops/int8_kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "nn/ops/float_kernels.h"
+#include "nn/ops/requantize.h"
+
+namespace qmcu::nn::ops {
+
+std::pair<std::int32_t, std::int32_t> activation_range(
+    Activation act, const QuantParams& out) {
+  switch (act) {
+    case Activation::None:
+      return {out.qmin(), out.qmax()};
+    case Activation::ReLU:
+      return {std::max(out.qmin(), out.zero_point), out.qmax()};
+    case Activation::ReLU6:
+      return {std::max(out.qmin(), out.zero_point),
+              std::min(out.qmax(), out.quantize(6.0f))};
+  }
+  return {out.qmin(), out.qmax()};
+}
+
+QuantizedWeights quantize_weights(std::span<const float> w) {
+  float absmax = 0.0f;
+  for (float v : w) absmax = std::max(absmax, std::abs(v));
+  QuantizedWeights out;
+  out.params = choose_symmetric_quant_params(absmax, 8);
+  out.data.resize(w.size());
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    out.data[i] = static_cast<std::int8_t>(out.params.quantize(w[i]));
+  }
+  return out;
+}
+
+std::vector<std::int32_t> quantize_bias(std::span<const float> bias,
+                                        float in_scale, float weight_scale) {
+  const double bias_scale = static_cast<double>(in_scale) * weight_scale;
+  QMCU_REQUIRE(bias_scale > 0.0, "bias scale must be positive");
+  std::vector<std::int32_t> out(bias.size());
+  for (std::size_t i = 0; i < bias.size(); ++i) {
+    out[i] = static_cast<std::int32_t>(
+        std::llround(static_cast<double>(bias[i]) / bias_scale));
+  }
+  return out;
+}
+
+namespace {
+
+TensorShape windowed_shape(const TensorShape& in, const Layer& l,
+                           int out_channels) {
+  const int oh = (in.h + 2 * l.pad_h - l.kernel_h) / l.stride_h + 1;
+  const int ow = (in.w + 2 * l.pad_w - l.kernel_w) / l.stride_w + 1;
+  return {oh, ow, out_channels};
+}
+
+}  // namespace
+
+QTensor conv2d_q(const QTensor& in, const Layer& l,
+                 std::span<const std::int8_t> qweights,
+                 const QuantParams& wparams,
+                 std::span<const std::int32_t> qbias,
+                 const QuantParams& out_params) {
+  const TensorShape& is = in.shape();
+  const TensorShape os = windowed_shape(is, l, l.out_channels);
+  QTensor out(os, out_params);
+  const auto& ip = in.params();
+  const FixedPointMultiplier m = quantize_multiplier(
+      static_cast<double>(ip.scale) * wparams.scale / out_params.scale);
+  const auto [act_lo, act_hi] = activation_range(l.act, out_params);
+  const auto x = in.data();
+  auto y = out.data();
+
+  for (int oy = 0; oy < os.h; ++oy) {
+    const int iy0 = oy * l.stride_h - l.pad_h;
+    for (int ox = 0; ox < os.w; ++ox) {
+      const int ix0 = ox * l.stride_w - l.pad_w;
+      for (int oc = 0; oc < os.c; ++oc) {
+        std::int32_t acc =
+            qbias.empty() ? 0 : qbias[static_cast<std::size_t>(oc)];
+        const std::size_t wbase = static_cast<std::size_t>(oc) *
+                                  static_cast<std::size_t>(l.kernel_h) *
+                                  static_cast<std::size_t>(l.kernel_w) *
+                                  static_cast<std::size_t>(is.c);
+        for (int ky = 0; ky < l.kernel_h; ++ky) {
+          const int iy = iy0 + ky;
+          if (iy < 0 || iy >= is.h) continue;
+          for (int kx = 0; kx < l.kernel_w; ++kx) {
+            const int ix = ix0 + kx;
+            if (ix < 0 || ix >= is.w) continue;
+            const std::size_t xoff =
+                static_cast<std::size_t>(flat_index(is, iy, ix, 0));
+            const std::size_t woff =
+                wbase + (static_cast<std::size_t>(ky) *
+                             static_cast<std::size_t>(l.kernel_w) +
+                         static_cast<std::size_t>(kx)) *
+                            static_cast<std::size_t>(is.c);
+            for (int ic = 0; ic < is.c; ++ic) {
+              const std::int32_t xv =
+                  static_cast<std::int32_t>(
+                      x[xoff + static_cast<std::size_t>(ic)]) -
+                  ip.zero_point;
+              acc += xv * qweights[woff + static_cast<std::size_t>(ic)];
+            }
+          }
+        }
+        const std::int32_t q =
+            clamp_to(apply_multiplier(acc, m) + out_params.zero_point, act_lo,
+                     act_hi);
+        y[static_cast<std::size_t>(flat_index(os, oy, ox, oc))] =
+            static_cast<std::int8_t>(q);
+      }
+    }
+  }
+  return out;
+}
+
+QTensor depthwise_conv2d_q(const QTensor& in, const Layer& l,
+                           std::span<const std::int8_t> qweights,
+                           const QuantParams& wparams,
+                           std::span<const std::int32_t> qbias,
+                           const QuantParams& out_params) {
+  const TensorShape& is = in.shape();
+  const TensorShape os = windowed_shape(is, l, is.c);
+  QTensor out(os, out_params);
+  const auto& ip = in.params();
+  const FixedPointMultiplier m = quantize_multiplier(
+      static_cast<double>(ip.scale) * wparams.scale / out_params.scale);
+  const auto [act_lo, act_hi] = activation_range(l.act, out_params);
+
+  for (int oy = 0; oy < os.h; ++oy) {
+    const int iy0 = oy * l.stride_h - l.pad_h;
+    for (int ox = 0; ox < os.w; ++ox) {
+      const int ix0 = ox * l.stride_w - l.pad_w;
+      for (int c = 0; c < os.c; ++c) {
+        std::int32_t acc =
+            qbias.empty() ? 0 : qbias[static_cast<std::size_t>(c)];
+        for (int ky = 0; ky < l.kernel_h; ++ky) {
+          const int iy = iy0 + ky;
+          if (iy < 0 || iy >= is.h) continue;
+          for (int kx = 0; kx < l.kernel_w; ++kx) {
+            const int ix = ix0 + kx;
+            if (ix < 0 || ix >= is.w) continue;
+            const std::size_t widx =
+                (static_cast<std::size_t>(ky) *
+                     static_cast<std::size_t>(l.kernel_w) +
+                 static_cast<std::size_t>(kx)) *
+                    static_cast<std::size_t>(is.c) +
+                static_cast<std::size_t>(c);
+            const std::int32_t xv =
+                static_cast<std::int32_t>(in.at(iy, ix, c)) - ip.zero_point;
+            acc += xv * qweights[widx];
+          }
+        }
+        const std::int32_t q =
+            clamp_to(apply_multiplier(acc, m) + out_params.zero_point, act_lo,
+                     act_hi);
+        out.at(oy, ox, c) = static_cast<std::int8_t>(q);
+      }
+    }
+  }
+  return out;
+}
+
+QTensor fully_connected_q(const QTensor& in, const Layer& l,
+                          std::span<const std::int8_t> qweights,
+                          const QuantParams& wparams,
+                          std::span<const std::int32_t> qbias,
+                          const QuantParams& out_params) {
+  const std::int64_t in_features = in.elements();
+  QTensor out(TensorShape{1, 1, l.out_channels}, out_params);
+  const auto& ip = in.params();
+  const FixedPointMultiplier m = quantize_multiplier(
+      static_cast<double>(ip.scale) * wparams.scale / out_params.scale);
+  const auto [act_lo, act_hi] = activation_range(l.act, out_params);
+  const auto x = in.data();
+  auto y = out.data();
+  for (int o = 0; o < l.out_channels; ++o) {
+    std::int32_t acc = qbias.empty() ? 0 : qbias[static_cast<std::size_t>(o)];
+    const std::size_t wbase =
+        static_cast<std::size_t>(o) * static_cast<std::size_t>(in_features);
+    for (std::int64_t i = 0; i < in_features; ++i) {
+      const std::int32_t xv =
+          static_cast<std::int32_t>(x[static_cast<std::size_t>(i)]) -
+          ip.zero_point;
+      acc += xv * qweights[wbase + static_cast<std::size_t>(i)];
+    }
+    const std::int32_t q = clamp_to(
+        apply_multiplier(acc, m) + out_params.zero_point, act_lo, act_hi);
+    y[static_cast<std::size_t>(o)] = static_cast<std::int8_t>(q);
+  }
+  return out;
+}
+
+QTensor max_pool_q(const QTensor& in, const Layer& l) {
+  const TensorShape& is = in.shape();
+  const TensorShape os = windowed_shape(is, l, is.c);
+  QTensor out(os, in.params());
+  for (int oy = 0; oy < os.h; ++oy) {
+    const int iy0 = oy * l.stride_h - l.pad_h;
+    for (int ox = 0; ox < os.w; ++ox) {
+      const int ix0 = ox * l.stride_w - l.pad_w;
+      for (int c = 0; c < os.c; ++c) {
+        std::int32_t best = std::numeric_limits<std::int32_t>::min();
+        for (int ky = 0; ky < l.kernel_h; ++ky) {
+          const int iy = iy0 + ky;
+          if (iy < 0 || iy >= is.h) continue;
+          for (int kx = 0; kx < l.kernel_w; ++kx) {
+            const int ix = ix0 + kx;
+            if (ix < 0 || ix >= is.w) continue;
+            best = std::max(best, static_cast<std::int32_t>(in.at(iy, ix, c)));
+          }
+        }
+        out.at(oy, ox, c) = static_cast<std::int8_t>(best);
+      }
+    }
+  }
+  return out;
+}
+
+QTensor avg_pool_q(const QTensor& in, const Layer& l) {
+  const TensorShape& is = in.shape();
+  const TensorShape os = windowed_shape(is, l, is.c);
+  QTensor out(os, in.params());
+  for (int oy = 0; oy < os.h; ++oy) {
+    const int iy0 = oy * l.stride_h - l.pad_h;
+    for (int ox = 0; ox < os.w; ++ox) {
+      const int ix0 = ox * l.stride_w - l.pad_w;
+      for (int c = 0; c < os.c; ++c) {
+        std::int32_t sum = 0;
+        std::int32_t count = 0;
+        for (int ky = 0; ky < l.kernel_h; ++ky) {
+          const int iy = iy0 + ky;
+          if (iy < 0 || iy >= is.h) continue;
+          for (int kx = 0; kx < l.kernel_w; ++kx) {
+            const int ix = ix0 + kx;
+            if (ix < 0 || ix >= is.w) continue;
+            sum += in.at(iy, ix, c);
+            ++count;
+          }
+        }
+        const std::int32_t q =
+            count > 0
+                ? static_cast<std::int32_t>(std::llround(
+                      static_cast<double>(sum) / count))
+                : in.params().zero_point;
+        out.at(oy, ox, c) = static_cast<std::int8_t>(
+            clamp_to(q, in.params().qmin(), in.params().qmax()));
+      }
+    }
+  }
+  return out;
+}
+
+QTensor global_avg_pool_q(const QTensor& in) {
+  const TensorShape& is = in.shape();
+  QTensor out(TensorShape{1, 1, is.c}, in.params());
+  for (int c = 0; c < is.c; ++c) {
+    std::int64_t sum = 0;
+    for (int y = 0; y < is.h; ++y) {
+      for (int x = 0; x < is.w; ++x) sum += in.at(y, x, c);
+    }
+    const auto q = static_cast<std::int32_t>(
+        std::llround(static_cast<double>(sum) / (is.h * is.w)));
+    out.at(0, 0, c) = static_cast<std::int8_t>(
+        clamp_to(q, in.params().qmin(), in.params().qmax()));
+  }
+  return out;
+}
+
+QTensor add_q(const QTensor& lhs, const QTensor& rhs, Activation act,
+              const QuantParams& out_params) {
+  QMCU_REQUIRE(lhs.shape() == rhs.shape(), "add operand shape mismatch");
+  QTensor out(lhs.shape(), out_params);
+  const auto& lp = lhs.params();
+  const auto& rp = rhs.params();
+  const auto [act_lo, act_hi] = activation_range(act, out_params);
+  const auto a = lhs.data();
+  const auto b = rhs.data();
+  auto y = out.data();
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const double real =
+        static_cast<double>(lp.scale) * (a[i] - lp.zero_point) +
+        static_cast<double>(rp.scale) * (b[i] - rp.zero_point);
+    const auto q = static_cast<std::int32_t>(
+        std::llround(real / out_params.scale) + out_params.zero_point);
+    y[i] = static_cast<std::int8_t>(clamp_to(q, act_lo, act_hi));
+  }
+  return out;
+}
+
+QTensor concat_q(std::span<const QTensor* const> inputs,
+                 const QuantParams& out_params) {
+  QMCU_REQUIRE(!inputs.empty(), "concat needs inputs");
+  const TensorShape& first = inputs[0]->shape();
+  int channels = 0;
+  for (const QTensor* t : inputs) {
+    QMCU_REQUIRE(t->shape().h == first.h && t->shape().w == first.w,
+                 "concat inputs must agree spatially");
+    channels += t->shape().c;
+  }
+  QTensor out(TensorShape{first.h, first.w, channels}, out_params);
+  for (int y = 0; y < first.h; ++y) {
+    for (int x = 0; x < first.w; ++x) {
+      int co = 0;
+      for (const QTensor* t : inputs) {
+        const auto& p = t->params();
+        for (int c = 0; c < t->shape().c; ++c) {
+          const double real =
+              static_cast<double>(p.scale) * (t->at(y, x, c) - p.zero_point);
+          const auto q = static_cast<std::int32_t>(
+              std::llround(real / out_params.scale) + out_params.zero_point);
+          out.at(y, x, co++) = static_cast<std::int8_t>(
+              clamp_to(q, out_params.qmin(), out_params.qmax()));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+QTensor softmax_q(const QTensor& in, const QuantParams& out_params) {
+  const Tensor real = dequantize(in);
+  const Tensor soft = softmax_f32(real);
+  return quantize(soft, out_params);
+}
+
+}  // namespace qmcu::nn::ops

@@ -1,0 +1,72 @@
+// int8_kernels.h — integer quantized kernels (TFLite-Micro arithmetic
+// contract, CMix-NN storage model).
+//
+// Activations are affine-quantized per tensor; weights are symmetric 8-bit.
+// The MAC path is integer-only: int32 accumulation, fixed-point
+// requantization (see requantize.h) and saturation into the activation's
+// [qmin, qmax]. Sub-byte activations (4/2-bit QuantParams) use the same
+// kernels on unpacked int8 storage — the form CMix-NN computes on — while
+// their accounted footprint is the packed size.
+//
+// Known deviation from a production TFLM build: residual Add, AvgPool mean
+// and Softmax use double-precision rescaling instead of the secondary
+// fixed-point path. The arithmetic contract (scale/zero-point semantics,
+// saturation) is identical; only the rounding of those three cheap ops may
+// differ by 1 LSB.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+
+#include "nn/graph.h"
+#include "nn/tensor.h"
+
+namespace qmcu::nn::ops {
+
+// Quantized clamp range implementing a fused activation on top of the
+// output QuantParams (TFLite convention: ReLU clamps at the zero point).
+std::pair<std::int32_t, std::int32_t> activation_range(Activation act,
+                                                       const QuantParams& out);
+
+// Symmetric 8-bit weight quantization of a float weight blob.
+struct QuantizedWeights {
+  std::vector<std::int8_t> data;
+  QuantParams params;  // zero_point == 0
+};
+QuantizedWeights quantize_weights(std::span<const float> w);
+
+// Bias quantized to int32 at scale in_scale * weight_scale.
+std::vector<std::int32_t> quantize_bias(std::span<const float> bias,
+                                        float in_scale, float weight_scale);
+
+QTensor conv2d_q(const QTensor& in, const Layer& l,
+                 std::span<const std::int8_t> qweights,
+                 const QuantParams& wparams,
+                 std::span<const std::int32_t> qbias,
+                 const QuantParams& out_params);
+
+QTensor depthwise_conv2d_q(const QTensor& in, const Layer& l,
+                           std::span<const std::int8_t> qweights,
+                           const QuantParams& wparams,
+                           std::span<const std::int32_t> qbias,
+                           const QuantParams& out_params);
+
+QTensor fully_connected_q(const QTensor& in, const Layer& l,
+                          std::span<const std::int8_t> qweights,
+                          const QuantParams& wparams,
+                          std::span<const std::int32_t> qbias,
+                          const QuantParams& out_params);
+
+// Pools keep the input QuantParams (TFLite requires matching scales).
+QTensor max_pool_q(const QTensor& in, const Layer& l);
+QTensor avg_pool_q(const QTensor& in, const Layer& l);
+QTensor global_avg_pool_q(const QTensor& in);
+
+QTensor add_q(const QTensor& lhs, const QTensor& rhs, Activation act,
+              const QuantParams& out_params);
+QTensor concat_q(std::span<const QTensor* const> inputs,
+                 const QuantParams& out_params);
+QTensor softmax_q(const QTensor& in, const QuantParams& out_params);
+
+}  // namespace qmcu::nn::ops

@@ -1,0 +1,74 @@
+#include "nn/ops/requantize.h"
+
+#include <cmath>
+#include <limits>
+
+namespace qmcu::nn::ops {
+
+FixedPointMultiplier quantize_multiplier(double real_multiplier) {
+  QMCU_REQUIRE(real_multiplier > 0.0, "multiplier must be positive");
+  QMCU_REQUIRE(real_multiplier < (1ll << 30),
+               "multiplier implausibly large");
+  FixedPointMultiplier out;
+  if (real_multiplier == 0.0) return out;
+
+  int exponent = 0;
+  const double mantissa = std::frexp(real_multiplier, &exponent);
+  // mantissa in [0.5, 1): scale into Q31.
+  auto q = static_cast<std::int64_t>(std::llround(mantissa * (1ll << 31)));
+  QMCU_ENSURE(q <= (1ll << 31), "frexp mantissa out of range");
+  if (q == (1ll << 31)) {
+    q /= 2;
+    ++exponent;
+  }
+  out.mantissa = static_cast<std::int32_t>(q);
+  out.right_shift = -exponent;  // real = mantissa * 2^exponent
+  return out;
+}
+
+std::int32_t saturating_rounding_doubling_high_mul(std::int32_t a,
+                                                   std::int32_t b) {
+  const bool overflow = a == b && a == std::numeric_limits<std::int32_t>::min();
+  if (overflow) return std::numeric_limits<std::int32_t>::max();
+  const std::int64_t ab = static_cast<std::int64_t>(a) * b;
+  const std::int32_t nudge = ab >= 0 ? (1 << 30) : (1 - (1 << 30));
+  return static_cast<std::int32_t>((ab + nudge) / (1ll << 31));
+}
+
+std::int32_t rounding_divide_by_pot(std::int32_t x, int exponent) {
+  QMCU_REQUIRE(exponent >= 0 && exponent <= 31, "shift exponent out of range");
+  if (exponent == 0) return x;
+  const std::int32_t mask = static_cast<std::int32_t>((1u << exponent) - 1);
+  const std::int32_t remainder = x & mask;
+  std::int32_t threshold = mask >> 1;
+  if (x < 0) ++threshold;
+  std::int32_t result = x >> exponent;
+  if (remainder > threshold) ++result;
+  return result;
+}
+
+std::int32_t apply_multiplier(std::int32_t acc,
+                              const FixedPointMultiplier& m) {
+  std::int32_t left_shifted = acc;
+  int right = m.right_shift;
+  if (right < 0) {
+    // Multiplier >= 1: pre-shift left (rare; happens for very small output
+    // scales). Saturate on the way.
+    const int left = -right;
+    const std::int64_t shifted = static_cast<std::int64_t>(acc) << left;
+    constexpr std::int64_t lo = std::numeric_limits<std::int32_t>::min();
+    constexpr std::int64_t hi = std::numeric_limits<std::int32_t>::max();
+    left_shifted = static_cast<std::int32_t>(
+        shifted < lo ? lo : (shifted > hi ? hi : shifted));
+    right = 0;
+  }
+  const std::int32_t mul =
+      saturating_rounding_doubling_high_mul(left_shifted, m.mantissa);
+  return rounding_divide_by_pot(mul, right);
+}
+
+std::int32_t clamp_to(std::int32_t v, std::int32_t lo, std::int32_t hi) {
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+}  // namespace qmcu::nn::ops

@@ -1,0 +1,38 @@
+// requantize.h — gemmlowp/TFLite-Micro style fixed-point requantization.
+//
+// The int32 convolution accumulator is rescaled to the output's quantized
+// domain by an effective real multiplier
+//     M = (input_scale * weight_scale) / output_scale,  0 < M < 1 typically,
+// represented as a Q31 fixed-point mantissa plus a right shift. This mirrors
+// the integer-only arithmetic MCU kernels (CMSIS-NN / TFLite-Micro) perform —
+// no float operations on the inference path.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/check.h"
+
+namespace qmcu::nn::ops {
+
+struct FixedPointMultiplier {
+  std::int32_t mantissa = 0;  // Q31
+  int right_shift = 0;        // total right shift applied after the mul
+};
+
+// Decomposes a positive real multiplier into Q31 mantissa and shift.
+FixedPointMultiplier quantize_multiplier(double real_multiplier);
+
+// Saturating rounding doubling high multiply (ARM SQRDMULH semantics).
+std::int32_t saturating_rounding_doubling_high_mul(std::int32_t a,
+                                                   std::int32_t b);
+
+// Rounding arithmetic shift right (round-half-away-from-zero).
+std::int32_t rounding_divide_by_pot(std::int32_t x, int exponent);
+
+// acc * M using the fixed-point representation.
+std::int32_t apply_multiplier(std::int32_t acc, const FixedPointMultiplier& m);
+
+// Clamp helper for the quantized output range.
+std::int32_t clamp_to(std::int32_t v, std::int32_t lo, std::int32_t hi);
+
+}  // namespace qmcu::nn::ops

@@ -1,0 +1,56 @@
+// rng.h — deterministic, platform-independent random stream.
+//
+// SplitMix64 (public domain, Sebastiano Vigna) + Box–Muller. Used instead
+// of <random> distributions because std::normal_distribution's output is
+// implementation-defined and this project promises bit-identical synthetic
+// models and datasets across toolchains.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+namespace qmcu::nn {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next_u64() {
+    state_ += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, 1) with 53 mantissa bits.
+  double uniform() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  // Standard normal via Box–Muller.
+  double normal() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u = uniform();
+    if (u < 1e-300) u = 1e-300;
+    const double v = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u));
+    const double theta = 2.0 * std::numbers::pi * v;
+    spare_ = r * std::sin(theta);
+    have_spare_ = true;
+    return r * std::cos(theta);
+  }
+
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+ private:
+  std::uint64_t state_;
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace qmcu::nn

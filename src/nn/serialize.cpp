@@ -1,0 +1,259 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+namespace qmcu::nn {
+
+namespace {
+
+constexpr char kGraphMagic[4] = {'Q', 'M', 'C', 'U'};
+constexpr char kConfigMagic[4] = {'Q', 'M', 'C', 'Q'};
+constexpr std::uint32_t kVersion = 1;
+
+// --- primitive writers/readers (explicit little-endian) --------------------
+
+void write_u32(std::ostream& os, std::uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  os.write(buf, 4);
+}
+
+std::uint32_t read_u32(std::istream& is) {
+  unsigned char buf[4];
+  is.read(reinterpret_cast<char*>(buf), 4);
+  QMCU_REQUIRE(is.good(), "truncated model file");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(buf[i]) << (8 * i);
+  return v;
+}
+
+void write_i32(std::ostream& os, std::int32_t v) {
+  write_u32(os, static_cast<std::uint32_t>(v));
+}
+
+std::int32_t read_i32(std::istream& is) {
+  return static_cast<std::int32_t>(read_u32(is));
+}
+
+void write_f32(std::ostream& os, float v) {
+  static_assert(sizeof(float) == 4);
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, 4);
+  write_u32(os, bits);
+}
+
+float read_f32(std::istream& is) {
+  const std::uint32_t bits = read_u32(is);
+  float v;
+  std::memcpy(&v, &bits, 4);
+  return v;
+}
+
+void write_string(std::ostream& os, const std::string& s) {
+  write_u32(os, static_cast<std::uint32_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& is) {
+  const std::uint32_t n = read_u32(is);
+  QMCU_REQUIRE(n <= (1u << 20), "implausible string length in model file");
+  std::string s(n, '\0');
+  is.read(s.data(), static_cast<std::streamsize>(n));
+  QMCU_REQUIRE(is.good(), "truncated model file");
+  return s;
+}
+
+void write_f32_blob(std::ostream& os, std::span<const float> data) {
+  write_u32(os, static_cast<std::uint32_t>(data.size()));
+  for (float v : data) write_f32(os, v);
+}
+
+std::vector<float> read_f32_blob(std::istream& is) {
+  const std::uint32_t n = read_u32(is);
+  QMCU_REQUIRE(n <= (1u << 28), "implausible blob length in model file");
+  std::vector<float> out(n);
+  for (float& v : out) v = read_f32(is);
+  return out;
+}
+
+void write_magic(std::ostream& os, const char (&magic)[4]) {
+  os.write(magic, 4);
+}
+
+void check_magic(std::istream& is, const char (&magic)[4],
+                 const char* what) {
+  char buf[4];
+  is.read(buf, 4);
+  QMCU_REQUIRE(is.good() && std::memcmp(buf, magic, 4) == 0,
+               std::string("bad magic: not a ") + what + " file");
+  const std::uint32_t version = read_u32(is);
+  QMCU_REQUIRE(version == kVersion, "unsupported file version");
+}
+
+}  // namespace
+
+void write_graph(const Graph& g, std::ostream& os) {
+  write_magic(os, kGraphMagic);
+  write_u32(os, kVersion);
+  write_string(os, g.name());
+  write_i32(os, g.size());
+  for (int id = 0; id < g.size(); ++id) {
+    const Layer& l = g.layer(id);
+    // Builders only produce square geometry; the reader reconstructs
+    // through the same builders, so enforce the invariant on the way out.
+    QMCU_REQUIRE(l.kernel_h == l.kernel_w && l.stride_h == l.stride_w &&
+                     l.pad_h == l.pad_w,
+                 "serializer supports square geometry only");
+    write_u32(os, static_cast<std::uint32_t>(l.kind));
+    write_u32(os, static_cast<std::uint32_t>(l.act));
+    write_string(os, l.name);
+    write_i32(os, static_cast<std::int32_t>(l.inputs.size()));
+    for (int in : l.inputs) write_i32(os, in);
+    write_i32(os, l.kernel_h);
+    write_i32(os, l.stride_h);
+    write_i32(os, l.pad_h);
+    write_i32(os, l.out_channels);
+    const TensorShape& s = g.shape(id);
+    write_i32(os, s.h);
+    write_i32(os, s.w);
+    write_i32(os, s.c);
+    write_u32(os, g.has_parameters(id) ? 1 : 0);
+    if (g.has_parameters(id)) {
+      write_f32_blob(os, g.weights(id));
+      write_f32_blob(os, g.bias(id));
+    }
+  }
+}
+
+Graph read_graph(std::istream& is) {
+  check_magic(is, kGraphMagic, "QMCU graph");
+  Graph g(read_string(is));
+  const std::int32_t count = read_i32(is);
+  QMCU_REQUIRE(count >= 0 && count <= (1 << 20),
+               "implausible layer count in model file");
+  for (std::int32_t id = 0; id < count; ++id) {
+    const auto kind = static_cast<OpKind>(read_u32(is));
+    const auto act = static_cast<Activation>(read_u32(is));
+    const std::string name = read_string(is);
+    const std::int32_t num_inputs = read_i32(is);
+    QMCU_REQUIRE(num_inputs >= 0 && num_inputs <= 64,
+                 "implausible input count in model file");
+    std::vector<int> inputs(static_cast<std::size_t>(num_inputs));
+    for (int& in : inputs) in = read_i32(is);
+    const int kernel = read_i32(is);
+    const int stride = read_i32(is);
+    const int pad = read_i32(is);
+    const int out_c = read_i32(is);
+    const TensorShape shape{read_i32(is), read_i32(is), read_i32(is)};
+
+    int nid = -1;
+    switch (kind) {
+      case OpKind::Input:
+        nid = g.add_input(shape);
+        break;
+      case OpKind::Conv2D:
+        nid = g.add_conv2d(inputs.at(0), out_c, kernel, stride, pad, act,
+                           name);
+        break;
+      case OpKind::DepthwiseConv2D:
+        nid = g.add_depthwise_conv2d(inputs.at(0), kernel, stride, pad, act,
+                                     name);
+        break;
+      case OpKind::FullyConnected:
+        nid = g.add_fully_connected(inputs.at(0), out_c, act, name);
+        break;
+      case OpKind::MaxPool:
+        nid = g.add_max_pool(inputs.at(0), kernel, stride, pad, name);
+        break;
+      case OpKind::AvgPool:
+        nid = g.add_avg_pool(inputs.at(0), kernel, stride, pad, name);
+        break;
+      case OpKind::GlobalAvgPool:
+        nid = g.add_global_avg_pool(inputs.at(0), name);
+        break;
+      case OpKind::Add:
+        nid = g.add_residual_add(inputs.at(0), inputs.at(1), act, name);
+        break;
+      case OpKind::Concat:
+        nid = g.add_concat(inputs, name);
+        break;
+      case OpKind::Softmax:
+        nid = g.add_softmax(inputs.at(0), name);
+        break;
+      default:
+        QMCU_REQUIRE(false, "unknown op kind in model file");
+    }
+    QMCU_ENSURE(nid == id, "layer ids must be stable across serialization");
+    QMCU_REQUIRE(g.shape(nid) == shape,
+                 "shape mismatch after reconstruction — corrupt file?");
+    if (read_u32(is) != 0) {
+      std::vector<float> w = read_f32_blob(is);
+      std::vector<float> b = read_f32_blob(is);
+      g.set_parameters(nid, std::move(w), std::move(b));
+    }
+  }
+  return g;
+}
+
+void save_graph(const Graph& g, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  QMCU_REQUIRE(os.is_open(), "cannot open file for writing: " + path);
+  write_graph(g, os);
+  QMCU_REQUIRE(os.good(), "write failed: " + path);
+}
+
+Graph load_graph(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  QMCU_REQUIRE(is.is_open(), "cannot open file for reading: " + path);
+  return read_graph(is);
+}
+
+void write_quant_config(const ActivationQuantConfig& cfg, std::ostream& os) {
+  write_magic(os, kConfigMagic);
+  write_u32(os, kVersion);
+  write_u32(os, static_cast<std::uint32_t>(cfg.params.size()));
+  for (const QuantParams& p : cfg.params) {
+    write_f32(os, p.scale);
+    write_i32(os, p.zero_point);
+    write_i32(os, p.bits);
+  }
+}
+
+ActivationQuantConfig read_quant_config(std::istream& is) {
+  check_magic(is, kConfigMagic, "QMCU quant-config");
+  const std::uint32_t n = read_u32(is);
+  QMCU_REQUIRE(n <= (1u << 20), "implausible layer count in config file");
+  ActivationQuantConfig cfg;
+  cfg.params.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    QuantParams p;
+    p.scale = read_f32(is);
+    p.zero_point = read_i32(is);
+    p.bits = read_i32(is);
+    QMCU_REQUIRE(p.scale > 0.0f && p.bits >= 2 && p.bits <= 8,
+                 "invalid quant params in config file");
+    cfg.params.push_back(p);
+  }
+  return cfg;
+}
+
+void save_quant_config(const ActivationQuantConfig& cfg,
+                       const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  QMCU_REQUIRE(os.is_open(), "cannot open file for writing: " + path);
+  write_quant_config(cfg, os);
+  QMCU_REQUIRE(os.good(), "write failed: " + path);
+}
+
+ActivationQuantConfig load_quant_config(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  QMCU_REQUIRE(is.is_open(), "cannot open file for reading: " + path);
+  return read_quant_config(is);
+}
+
+}  // namespace qmcu::nn

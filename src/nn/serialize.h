@@ -1,0 +1,34 @@
+// serialize.h — binary model (de)serialization.
+//
+// Format "QMCU" v1, little-endian, self-contained: graph topology, layer
+// geometry, float parameters, and optionally an ActivationQuantConfig (the
+// deployment package a converter would hand to the device runtime).
+// Loading validates magic, version, and structural invariants through the
+// regular Graph construction API, so a corrupted file fails loudly instead
+// of producing a malformed graph.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/executor.h"
+#include "nn/graph.h"
+
+namespace qmcu::nn {
+
+// --- whole-model files -----------------------------------------------------
+void save_graph(const Graph& g, const std::string& path);
+Graph load_graph(const std::string& path);
+
+// --- stream variants (testable without touching the filesystem) ------------
+void write_graph(const Graph& g, std::ostream& os);
+Graph read_graph(std::istream& is);
+
+// --- quantization configs ----------------------------------------------------
+void save_quant_config(const ActivationQuantConfig& cfg,
+                       const std::string& path);
+ActivationQuantConfig load_quant_config(const std::string& path);
+void write_quant_config(const ActivationQuantConfig& cfg, std::ostream& os);
+ActivationQuantConfig read_quant_config(std::istream& is);
+
+}  // namespace qmcu::nn

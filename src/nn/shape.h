@@ -1,0 +1,46 @@
+// shape.h — spatial tensor shapes (batch is always 1 on an MCU).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+
+#include "nn/check.h"
+
+namespace qmcu::nn {
+
+// Height x Width x Channels, NHWC layout with N == 1. A rank-1 tensor
+// (e.g. the output of a fully-connected head) is represented as 1 x 1 x C.
+struct TensorShape {
+  int h = 0;
+  int w = 0;
+  int c = 0;
+
+  constexpr TensorShape() = default;
+  constexpr TensorShape(int h_, int w_, int c_) : h(h_), w(w_), c(c_) {}
+
+  [[nodiscard]] constexpr std::int64_t elements() const {
+    return static_cast<std::int64_t>(h) * w * c;
+  }
+
+  // Storage bytes at `bits` per element, rounded up to whole bytes the way a
+  // bit-packed buffer would be allocated.
+  [[nodiscard]] constexpr std::int64_t bytes(int bits) const {
+    return (elements() * bits + 7) / 8;
+  }
+
+  [[nodiscard]] constexpr bool valid() const { return h > 0 && w > 0 && c > 0; }
+
+  friend constexpr bool operator==(const TensorShape&,
+                                   const TensorShape&) = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const TensorShape& s) {
+  return os << s.h << 'x' << s.w << 'x' << s.c;
+}
+
+// Row-major NHWC flat index.
+constexpr std::int64_t flat_index(const TensorShape& s, int y, int x, int ch) {
+  return (static_cast<std::int64_t>(y) * s.w + x) * s.c + ch;
+}
+
+}  // namespace qmcu::nn

@@ -1,0 +1,45 @@
+#include "nn/tensor.h"
+
+#include <algorithm>
+
+namespace qmcu::nn {
+
+QTensor quantize(const Tensor& t, const QuantParams& params) {
+  QTensor out(t.shape(), params);
+  const auto src = t.data();
+  auto dst = out.data();
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    dst[i] = static_cast<std::int8_t>(params.quantize(src[i]));
+  }
+  return out;
+}
+
+Tensor dequantize(const QTensor& q) {
+  Tensor out(q.shape());
+  const auto src = q.data();
+  auto dst = out.data();
+  const auto& p = q.params();
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    dst[i] = p.dequantize(src[i]);
+  }
+  return out;
+}
+
+Tensor fake_quantize(const Tensor& t, const QuantParams& params) {
+  Tensor out(t.shape());
+  const auto src = t.data();
+  auto dst = out.data();
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    dst[i] = params.quantize_dequantize(src[i]);
+  }
+  return out;
+}
+
+MinMax tensor_min_max(const Tensor& t) {
+  const auto d = t.data();
+  if (d.empty()) return {};
+  const auto [lo, hi] = std::minmax_element(d.begin(), d.end());
+  return {*lo, *hi};
+}
+
+}  // namespace qmcu::nn

@@ -1,0 +1,108 @@
+// tensor.h — owning float and quantized tensors (NHWC, batch 1).
+//
+// Two concrete tensor types keep the hot kernel loops monomorphic:
+//   Tensor   — float reference data (calibration, golden outputs)
+//   QTensor  — quantized data held *unpacked* in int8 storage together with
+//              its QuantParams. For sub-byte params (bits < 8) the storage
+//              is still one int8 per element — exactly the form CMix-NN
+//              kernels compute on after unpacking — while the *accounted*
+//              footprint (storage_bytes) reflects the packed size. The
+//              packed wire format itself lives in quant/bitpack.h.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nn/check.h"
+#include "nn/quant_params.h"
+#include "nn/shape.h"
+
+namespace qmcu::nn {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(TensorShape shape)
+      : shape_(shape), data_(static_cast<std::size_t>(shape.elements()), 0.0f) {
+    QMCU_REQUIRE(shape.valid(), "tensor shape must be positive");
+  }
+  Tensor(TensorShape shape, std::vector<float> data)
+      : shape_(shape), data_(std::move(data)) {
+    QMCU_REQUIRE(shape.valid(), "tensor shape must be positive");
+    QMCU_REQUIRE(
+        static_cast<std::int64_t>(data_.size()) == shape.elements(),
+        "data size must match shape");
+  }
+
+  [[nodiscard]] const TensorShape& shape() const { return shape_; }
+  [[nodiscard]] std::span<const float> data() const { return data_; }
+  [[nodiscard]] std::span<float> data() { return data_; }
+
+  [[nodiscard]] float at(int y, int x, int c) const {
+    return data_[static_cast<std::size_t>(flat_index(shape_, y, x, c))];
+  }
+  [[nodiscard]] float& at(int y, int x, int c) {
+    return data_[static_cast<std::size_t>(flat_index(shape_, y, x, c))];
+  }
+
+  [[nodiscard]] std::int64_t elements() const { return shape_.elements(); }
+
+ private:
+  TensorShape shape_{};
+  std::vector<float> data_;
+};
+
+class QTensor {
+ public:
+  QTensor() = default;
+  QTensor(TensorShape shape, QuantParams params)
+      : shape_(shape),
+        params_(params),
+        data_(static_cast<std::size_t>(shape.elements()), 0) {
+    QMCU_REQUIRE(shape.valid(), "tensor shape must be positive");
+  }
+
+  [[nodiscard]] const TensorShape& shape() const { return shape_; }
+  [[nodiscard]] const QuantParams& params() const { return params_; }
+  [[nodiscard]] std::span<const std::int8_t> data() const { return data_; }
+  [[nodiscard]] std::span<std::int8_t> data() { return data_; }
+
+  [[nodiscard]] std::int8_t at(int y, int x, int c) const {
+    return data_[static_cast<std::size_t>(flat_index(shape_, y, x, c))];
+  }
+  [[nodiscard]] std::int8_t& at(int y, int x, int c) {
+    return data_[static_cast<std::size_t>(flat_index(shape_, y, x, c))];
+  }
+
+  // Footprint of this tensor once bit-packed for storage on the MCU.
+  [[nodiscard]] std::int64_t storage_bytes() const {
+    return shape_.bytes(params_.bits);
+  }
+
+  [[nodiscard]] std::int64_t elements() const { return shape_.elements(); }
+
+ private:
+  TensorShape shape_{};
+  QuantParams params_{};
+  std::vector<std::int8_t> data_;
+};
+
+// Quantizes every element of `t` with `params` (saturating).
+QTensor quantize(const Tensor& t, const QuantParams& params);
+
+// Dequantizes `q` back to float.
+Tensor dequantize(const QTensor& q);
+
+// Quantize-dequantize round trip: the float tensor a b-bit deployment would
+// effectively compute on. Used by the entropy/accuracy analyses.
+Tensor fake_quantize(const Tensor& t, const QuantParams& params);
+
+// Min / max over the tensor data (returns {0, 0} for empty tensors).
+struct MinMax {
+  float min_v = 0.0f;
+  float max_v = 0.0f;
+};
+MinMax tensor_min_max(const Tensor& t);
+
+}  // namespace qmcu::nn

@@ -1,0 +1,35 @@
+#include "patch/mcunetv2.h"
+
+namespace qmcu::patch {
+
+PatchSpec plan_mcunetv2(const nn::Graph& g, const McuNetV2Options& opt) {
+  QMCU_REQUIRE(opt.grid >= 2, "patch grid must be at least 2");
+  QMCU_REQUIRE(opt.stage_downsample >= 2, "downsample target must be >= 2");
+  const std::vector<int> cuts = valid_cut_points(g);
+  QMCU_REQUIRE(!cuts.empty(), "graph has no valid cut points");
+
+  const nn::TensorShape& in = g.shape(g.inputs().front());
+  const int target_h = in.h / opt.stage_downsample;
+
+  PatchSpec spec;
+  spec.grid_rows = spec.grid_cols = opt.grid;
+  for (int cut : cuts) {
+    const nn::TensorShape& s = g.shape(cut);
+    if (s.h <= target_h && s.h >= opt.grid && s.w >= opt.grid) {
+      spec.split_layer = cut;
+      return spec;
+    }
+  }
+  // No cut reaches the downsample target: fall back to the deepest cut that
+  // still admits the grid.
+  for (auto it = cuts.rbegin(); it != cuts.rend(); ++it) {
+    const nn::TensorShape& s = g.shape(*it);
+    if (s.h >= opt.grid && s.w >= opt.grid) {
+      spec.split_layer = *it;
+      return spec;
+    }
+  }
+  QMCU_REQUIRE(false, "no cut point admits the requested patch grid");
+}
+
+}  // namespace qmcu::patch

@@ -1,0 +1,20 @@
+// mcunetv2.h — MCUNetV2-style patch planner (Lin et al., reference [8]).
+//
+// MCUNetV2 runs the memory-hungry initial stage per patch and the rest
+// layer-based. The planner picks the first valid cut point at which the
+// feature map has been spatially reduced by `stage_downsample` (default 4x,
+// the MCUNetV2 configuration) and a fixed patch grid.
+#pragma once
+
+#include "patch/patch_plan.h"
+
+namespace qmcu::patch {
+
+struct McuNetV2Options {
+  int grid = 3;              // p x p patches (MCUNetV2 default 3x3)
+  int stage_downsample = 4;  // patch until spatially reduced by this factor
+};
+
+PatchSpec plan_mcunetv2(const nn::Graph& g, const McuNetV2Options& opt = {});
+
+}  // namespace qmcu::patch

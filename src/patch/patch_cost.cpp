@@ -1,0 +1,157 @@
+#include "patch/patch_cost.h"
+
+#include <algorithm>
+
+#include "nn/memory_planner.h"
+
+namespace qmcu::patch {
+
+namespace {
+
+std::int64_t region_bytes(const BranchStep& step, int bits) {
+  return (step.out_elements * bits + 7) / 8;
+}
+
+}  // namespace
+
+std::vector<BranchBits> uniform_branch_bits(const PatchPlan& plan, int bits) {
+  std::vector<BranchBits> out;
+  out.reserve(plan.branches.size());
+  for (const PatchBranch& b : plan.branches) {
+    out.push_back(BranchBits{std::vector<int>(b.steps.size(), bits)});
+  }
+  return out;
+}
+
+std::int64_t split_feature_map_bytes(const nn::Graph& g, const PatchPlan& plan,
+                                     std::span<const BranchBits> branch_bits) {
+  QMCU_REQUIRE(branch_bits.size() == plan.branches.size(),
+               "branch bits must cover every branch");
+  (void)g;
+  std::int64_t total = 0;
+  for (std::size_t b = 0; b < plan.branches.size(); ++b) {
+    const BranchStep& last = plan.branches[b].steps.back();
+    total += region_bytes(last, branch_bits[b].bits.back());
+  }
+  return total;
+}
+
+PatchCost evaluate_patch_cost(const nn::Graph& g, const PatchPlan& plan,
+                              std::span<const BranchBits> branch_bits,
+                              std::span<const int> tail_bits,
+                              const mcu::CostModel& cost_model,
+                              int weight_bits) {
+  QMCU_REQUIRE(branch_bits.size() == plan.branches.size(),
+               "branch bits must cover every branch");
+  QMCU_REQUIRE(static_cast<int>(tail_bits.size()) == g.size(),
+               "tail bits must cover every layer");
+  const int split = plan.spec.split_layer;
+  const mcu::Device& dev = cost_model.device();
+
+  PatchCost cost;
+
+  // ---- Patch phase: compute + memory per branch -------------------------
+  const nn::TensorShape& in_shape = g.shape(g.inputs().front());
+  std::int64_t resident_input = 0;
+  for (std::size_t b = 0; b < plan.branches.size(); ++b) {
+    const PatchBranch& br = plan.branches[b];
+    const Region tile = plan.input_tile(br.row, br.col, in_shape);
+    resident_input +=
+        (tile.area() * in_shape.c * branch_bits[b].bits.front() + 7) / 8;
+  }
+
+  std::int64_t phase1_peak = 0;
+  std::int64_t acc_so_far = 0;
+  for (std::size_t b = 0; b < plan.branches.size(); ++b) {
+    const PatchBranch& br = plan.branches[b];
+    const BranchBits& bits = branch_bits[b];
+    QMCU_REQUIRE(bits.bits.size() == br.steps.size(),
+                 "branch bits must cover every step");
+    const int n = static_cast<int>(br.steps.size());
+
+    // Intra-branch liveness: a step's output is live until its last
+    // consumer step inside the branch.
+    std::vector<int> last_use(static_cast<std::size_t>(n));
+    for (int s = 0; s < n; ++s) last_use[static_cast<std::size_t>(s)] = s;
+    for (int s = 0; s < n; ++s) {
+      const nn::Layer& l = g.layer(br.steps[static_cast<std::size_t>(s)]
+                                       .layer_id);
+      for (int in : l.inputs) {
+        const int p = br.step_of(in);
+        if (p >= 0) {
+          last_use[static_cast<std::size_t>(p)] =
+              std::max(last_use[static_cast<std::size_t>(p)], s);
+        }
+      }
+    }
+
+    std::int64_t live_peak = 0;
+    for (int s = 0; s < n; ++s) {
+      std::int64_t live = 0;
+      for (int t = 0; t <= s; ++t) {
+        if (last_use[static_cast<std::size_t>(t)] >= s) {
+          live += region_bytes(br.steps[static_cast<std::size_t>(t)],
+                               bits.bits[static_cast<std::size_t>(t)]);
+        }
+      }
+      live_peak = std::max(live_peak, live);
+
+      // Compute cost of this step.
+      const BranchStep& step = br.steps[static_cast<std::size_t>(s)];
+      const nn::Layer& l = g.layer(step.layer_id);
+      if (l.kind == nn::OpKind::Input) continue;
+      cost.cycles += dev.per_layer_overhead_cycles;
+      if (step.macs > 0) {
+        const int p = br.step_of(l.inputs[0]);
+        QMCU_ENSURE(p >= 0, "MAC step without in-branch producer");
+        const int a_bits = bits.bits[static_cast<std::size_t>(p)];
+        cost.cycles += cost_model.mac_cycles(step.macs, a_bits);
+        const std::int64_t b_ops = step.macs * weight_bits * a_bits;
+        cost.bitops += b_ops;
+        cost.stage_bitops += b_ops;
+      } else {
+        cost.cycles += cost_model.element_cycles(step.element_ops);
+      }
+    }
+    phase1_peak =
+        std::max(phase1_peak, resident_input + acc_so_far + live_peak);
+    acc_so_far += region_bytes(br.steps.back(), bits.bits.back());
+  }
+
+  const std::int64_t split_fm_bytes = acc_so_far;
+
+  // ---- Tail phase: layer-based over layers after the cut ----------------
+  std::int64_t phase2_peak = 0;
+  const int split_last_use = nn::last_use_step(g, split);
+  for (int id = split + 1; id < g.size(); ++id) {
+    const nn::Layer& l = g.layer(id);
+    // Compute cost.
+    if (l.kind != nn::OpKind::Input) {
+      cost.cycles += dev.per_layer_overhead_cycles;
+      if (nn::is_mac_op(l.kind)) {
+        const int in = l.inputs[0];
+        const int a_bits = in == split
+                               ? 8  // reassembled slices are read as int8
+                               : tail_bits[static_cast<std::size_t>(in)];
+        cost.cycles += cost_model.mac_cycles(g.macs(id), a_bits);
+        cost.bitops += g.macs(id) * weight_bits * a_bits;
+      } else {
+        cost.cycles += cost_model.element_cycles(g.element_ops(id));
+      }
+    }
+    // Live bytes while this layer runs.
+    std::int64_t live = split_last_use >= id ? split_fm_bytes : 0;
+    for (int i = split + 1; i <= id; ++i) {
+      if (nn::last_use_step(g, i) >= id) {
+        live += g.shape(i).bytes(tail_bits[static_cast<std::size_t>(i)]);
+      }
+    }
+    phase2_peak = std::max(phase2_peak, live);
+  }
+
+  cost.peak_bytes = std::max(phase1_peak, phase2_peak);
+  cost.latency_ms = dev.ms_from_cycles(cost.cycles);
+  return cost;
+}
+
+}  // namespace qmcu::patch

@@ -1,0 +1,62 @@
+// patch_executor.h — actually *runs* patch-based inference.
+//
+// The correctness invariant of patch-based inference is that it computes
+// bit-identical results to layer-based inference: the halos exist precisely
+// so no receptive field is truncated. PatchExecutor enforces that invariant
+// (tests compare against nn::Executor exactly), and doubles as the
+// calibration vehicle for QuantMCU: run_stage() returns every branch's
+// region feature maps, optionally transformed per step — the hook the core
+// library uses to inject fake-quantization at searched bitwidths.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "nn/executor.h"
+#include "nn/graph.h"
+#include "patch/patch_plan.h"
+
+namespace qmcu::patch {
+
+// Extracts region `want` (possibly extending outside the feature map, where
+// it is zero-filled) from `have`, a tensor holding region `avail` of a
+// feature map with full shape `full`. Every in-bounds element of `want`
+// must be inside `avail`.
+nn::Tensor crop_from_region(const nn::Tensor& have, const Region& avail,
+                            const Region& want, const nn::TensorShape& full);
+
+class PatchExecutor {
+ public:
+  // Called after each branch step with (branch index, step index, tensor);
+  // may mutate the tensor (e.g. fake-quantize it).
+  using StepHook = std::function<void(int, int, nn::Tensor&)>;
+
+  PatchExecutor(const nn::Graph& g, PatchPlan plan);
+
+  // Stage feature maps per branch: result[b][s] corresponds to
+  // plan().branches[b].steps[s].
+  [[nodiscard]] std::vector<std::vector<nn::Tensor>> run_stage(
+      const nn::Tensor& input, const StepHook& hook = {}) const;
+
+  // Full inference: patch phase, reassembly of the cut layer's feature map,
+  // then layer-based tail. Equals nn::Executor::run bit-for-bit when no
+  // hook is installed.
+  [[nodiscard]] nn::Tensor run(const nn::Tensor& input,
+                               const StepHook& hook = {}) const;
+
+  // The reassembled cut-layer feature map (useful in tests/examples).
+  [[nodiscard]] nn::Tensor run_stage_assembled(const nn::Tensor& input,
+                                               const StepHook& hook = {}) const;
+
+  [[nodiscard]] const PatchPlan& plan() const { return plan_; }
+  [[nodiscard]] const nn::Graph& graph() const { return *graph_; }
+
+ private:
+  [[nodiscard]] std::vector<nn::Tensor> run_branch(
+      const nn::Tensor& input, int branch_index, const StepHook& hook) const;
+
+  const nn::Graph* graph_;
+  PatchPlan plan_;
+};
+
+}  // namespace qmcu::patch

@@ -1,0 +1,160 @@
+#include "patch/patch_plan.h"
+
+#include <algorithm>
+
+namespace qmcu::patch {
+
+namespace {
+
+// Per-output-pixel MAC count of a layer (0 for non-MAC ops).
+std::int64_t macs_per_output_pixel(const nn::Graph& g, int id) {
+  const nn::Layer& l = g.layer(id);
+  switch (l.kind) {
+    case nn::OpKind::Conv2D:
+      return static_cast<std::int64_t>(l.kernel_h) * l.kernel_w *
+             g.shape(l.inputs[0]).c * l.out_channels;
+    case nn::OpKind::DepthwiseConv2D:
+      return static_cast<std::int64_t>(l.kernel_h) * l.kernel_w *
+             g.shape(l.inputs[0]).c;
+    default:
+      return 0;
+  }
+}
+
+// Per-output-pixel non-MAC element ops.
+std::int64_t element_ops_per_output_pixel(const nn::Graph& g, int id) {
+  const nn::Layer& l = g.layer(id);
+  const int c = g.shape(id).c;
+  switch (l.kind) {
+    case nn::OpKind::MaxPool:
+    case nn::OpKind::AvgPool:
+      return static_cast<std::int64_t>(l.kernel_h) * l.kernel_w * c;
+    case nn::OpKind::Add:
+    case nn::OpKind::Concat:
+      return c;
+    default:
+      return 0;
+  }
+}
+
+Interval tile_interval(int extent, int tiles, int index) {
+  // Near-equal integer tiling: [floor(i*E/T), floor((i+1)*E/T)).
+  return {static_cast<int>(static_cast<std::int64_t>(index) * extent / tiles),
+          static_cast<int>(static_cast<std::int64_t>(index + 1) * extent /
+                           tiles)};
+}
+
+}  // namespace
+
+int PatchBranch::step_of(int layer_id) const {
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    if (steps[i].layer_id == layer_id) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<int> valid_cut_points(const nn::Graph& g) {
+  std::vector<int> cuts;
+  bool saw_windowed = false;
+  for (int l = 0; l < g.size(); ++l) {
+    if (nn::is_windowed_op(g.layer(l).kind)) saw_windowed = true;
+    if (!saw_windowed) continue;
+    // Spatial output required: patching a 1x1 map is meaningless.
+    const nn::TensorShape& s = g.shape(l);
+    if (s.h < 2 || s.w < 2) continue;
+    bool escapes = false;
+    for (int i = 0; i <= l && !escapes; ++i) {
+      if (i == l) break;  // edges out of the cut layer itself are fine
+      for (int c : g.consumers(i)) {
+        if (c > l) {
+          escapes = true;
+          break;
+        }
+      }
+    }
+    if (!escapes) cuts.push_back(l);
+  }
+  return cuts;
+}
+
+Region PatchPlan::input_tile(int row, int col,
+                             const nn::TensorShape& input_shape) const {
+  return {tile_interval(input_shape.h, spec.grid_rows, row),
+          tile_interval(input_shape.w, spec.grid_cols, col)};
+}
+
+PatchPlan build_patch_plan(const nn::Graph& g, const PatchSpec& spec) {
+  QMCU_REQUIRE(spec.grid_rows >= 1 && spec.grid_cols >= 1,
+               "patch grid must be at least 1x1");
+  const std::vector<int> cuts = valid_cut_points(g);
+  QMCU_REQUIRE(std::find(cuts.begin(), cuts.end(), spec.split_layer) !=
+                   cuts.end(),
+               "split_layer is not a valid cut point");
+  const nn::TensorShape& split_shape = g.shape(spec.split_layer);
+  QMCU_REQUIRE(split_shape.h >= spec.grid_rows &&
+                   split_shape.w >= spec.grid_cols,
+               "grid finer than the cut layer's feature map");
+
+  PatchPlan plan;
+  plan.spec = spec;
+  for (int l = 0; l <= spec.split_layer; ++l) plan.stage_layers.push_back(l);
+
+  for (int l : plan.stage_layers) {
+    plan.stage_macs_layer_based += g.macs(l);
+  }
+
+  const int n = spec.split_layer + 1;
+  for (int row = 0; row < spec.grid_rows; ++row) {
+    for (int col = 0; col < spec.grid_cols; ++col) {
+      PatchBranch branch;
+      branch.row = row;
+      branch.col = col;
+
+      // Backward propagation: required (clamped) region per stage layer.
+      std::vector<Region> required(static_cast<std::size_t>(n));
+      std::vector<Region> unclamped_need(static_cast<std::size_t>(n));
+      required[static_cast<std::size_t>(spec.split_layer)] = {
+          tile_interval(split_shape.h, spec.grid_rows, row),
+          tile_interval(split_shape.w, spec.grid_cols, col)};
+      for (int l = spec.split_layer; l >= 0; --l) {
+        const nn::Layer& layer = g.layer(l);
+        if (layer.kind == nn::OpKind::Input) continue;
+        const Region out = required[static_cast<std::size_t>(l)];
+        QMCU_ENSURE(!out.empty(), "stage layer with empty required region");
+        for (int in : layer.inputs) {
+          QMCU_ENSURE(in <= spec.split_layer,
+                      "stage layer consumes a post-cut tensor");
+          const Region need =
+              required_input_region(layer, g.shape(in), out);
+          unclamped_need[static_cast<std::size_t>(l)] =
+              unite(unclamped_need[static_cast<std::size_t>(l)], need);
+          const nn::TensorShape& ishape = g.shape(in);
+          const Region clamped = {clamp(need.y, 0, ishape.h),
+                                  clamp(need.x, 0, ishape.w)};
+          required[static_cast<std::size_t>(in)] =
+              unite(required[static_cast<std::size_t>(in)], clamped);
+        }
+      }
+
+      // Forward pass: materialise steps in topological order.
+      for (int l : plan.stage_layers) {
+        const Region out = required[static_cast<std::size_t>(l)];
+        if (out.empty()) continue;  // layer not needed by this patch
+        BranchStep step;
+        step.layer_id = l;
+        step.out_region = out;
+        step.in_region = unclamped_need[static_cast<std::size_t>(l)];
+        step.macs = out.area() * macs_per_output_pixel(g, l);
+        step.element_ops = out.area() * element_ops_per_output_pixel(g, l);
+        step.out_elements = out.area() * g.shape(l).c;
+        branch.total_macs += step.macs;
+        branch.steps.push_back(step);
+      }
+      plan.stage_macs_patched += branch.total_macs;
+      plan.branches.push_back(std::move(branch));
+    }
+  }
+  return plan;
+}
+
+}  // namespace qmcu::patch

@@ -1,0 +1,281 @@
+#include "patch/patch_quant_executor.h"
+
+#include <cmath>
+
+#include "nn/ops/int8_kernels.h"
+#include "nn/ops/requantize.h"
+#include "patch/region_pool.h"
+
+namespace qmcu::patch {
+
+nn::QTensor crop_from_region_q(const nn::QTensor& have, const Region& avail,
+                               const Region& want,
+                               const nn::TensorShape& full) {
+  QMCU_REQUIRE(have.shape().h == avail.y.size() &&
+                   have.shape().w == avail.x.size(),
+               "tensor extents must match its declared region");
+  const int c = have.shape().c;
+  nn::QTensor out(nn::TensorShape{want.y.size(), want.x.size(), c},
+                  have.params());
+  const auto zp = static_cast<std::int8_t>(have.params().zero_point);
+  for (int gy = want.y.begin; gy < want.y.end; ++gy) {
+    for (int gx = want.x.begin; gx < want.x.end; ++gx) {
+      const int oy = gy - want.y.begin;
+      const int ox = gx - want.x.begin;
+      const bool in_bounds = gy >= 0 && gy < full.h && gx >= 0 && gx < full.w;
+      if (!in_bounds) {
+        for (int ch = 0; ch < c; ++ch) out.at(oy, ox, ch) = zp;
+        continue;
+      }
+      QMCU_ENSURE(gy >= avail.y.begin && gy < avail.y.end &&
+                      gx >= avail.x.begin && gx < avail.x.end,
+                  "required element missing from available region");
+      const int sy = gy - avail.y.begin;
+      const int sx = gx - avail.x.begin;
+      for (int ch = 0; ch < c; ++ch) {
+        out.at(oy, ox, ch) = have.at(sy, sx, ch);
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Requantizes `q` into `target` params (identity when params match).
+nn::QTensor requantize_to(const nn::QTensor& q, const nn::QuantParams& target) {
+  if (q.params() == target) return q;
+  nn::QTensor out(q.shape(), target);
+  const auto& p = q.params();
+  const auto src = q.data();
+  auto dst = out.data();
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const double real = static_cast<double>(p.scale) * (src[i] - p.zero_point);
+    const auto v = static_cast<std::int32_t>(
+        std::llround(real / target.scale) + target.zero_point);
+    dst[i] = static_cast<std::int8_t>(
+        nn::ops::clamp_to(v, target.qmin(), target.qmax()));
+  }
+  return out;
+}
+
+}  // namespace
+
+PatchQuantExecutor::PatchQuantExecutor(const nn::Graph& g, PatchPlan plan,
+                                       nn::ActivationQuantConfig cfg)
+    : PatchQuantExecutor(g, std::move(plan), std::move(cfg), {}) {}
+
+namespace {
+
+bool is_pool(nn::OpKind k) {
+  return k == nn::OpKind::MaxPool || k == nn::OpKind::AvgPool ||
+         k == nn::OpKind::GlobalAvgPool;
+}
+
+}  // namespace
+
+PatchQuantExecutor::PatchQuantExecutor(
+    const nn::Graph& g, PatchPlan plan, nn::ActivationQuantConfig cfg,
+    std::vector<BranchQuantConfig> branch_cfgs)
+    : graph_(&g),
+      plan_(std::move(plan)),
+      cfg_(std::move(cfg)),
+      branch_cfgs_(std::move(branch_cfgs)),
+      params_(nn::QuantizedParameters::build(g, cfg_)) {
+  QMCU_REQUIRE(static_cast<int>(cfg_.params.size()) == g.size(),
+               "quant config must cover every layer");
+  effective_.reserve(cfg_.params.size());
+  for (int id = 0; id < g.size(); ++id) {
+    const nn::Layer& l = g.layer(id);
+    effective_.push_back(
+        is_pool(l.kind)
+            ? effective_[static_cast<std::size_t>(l.inputs[0])]
+            : cfg_.params[static_cast<std::size_t>(id)]);
+  }
+  if (!branch_cfgs_.empty()) {
+    QMCU_REQUIRE(branch_cfgs_.size() == plan_.branches.size(),
+                 "branch configs must cover every branch");
+    for (std::size_t b = 0; b < branch_cfgs_.size(); ++b) {
+      QMCU_REQUIRE(branch_cfgs_[b].per_step.size() ==
+                       plan_.branches[b].steps.size(),
+                   "branch config must cover every step");
+    }
+    // Mixed mode: the branch's step parameters set the real input scale of
+    // each MAC step, so biases must be rescaled per branch (the shared
+    // params_.bias table is built against the deployment config).
+    branch_bias_.resize(branch_cfgs_.size());
+    for (std::size_t b = 0; b < branch_cfgs_.size(); ++b) {
+      const PatchBranch& branch = plan_.branches[b];
+      branch_bias_[b].resize(branch.steps.size());
+      for (std::size_t s = 0; s < branch.steps.size(); ++s) {
+        const int id = branch.steps[s].layer_id;
+        const nn::Layer& l = g.layer(id);
+        if (!nn::is_mac_op(l.kind) || g.bias(id).empty()) continue;
+        const int p = branch.step_of(l.inputs[0]);
+        QMCU_ENSURE(p >= 0, "MAC step without in-branch producer");
+        branch_bias_[b][s] = nn::ops::quantize_bias(
+            g.bias(id), branch_cfgs_[b].per_step[static_cast<std::size_t>(p)]
+                            .scale,
+            params_.weights[static_cast<std::size_t>(id)].params.scale);
+      }
+    }
+  }
+}
+
+const nn::QuantParams& PatchQuantExecutor::step_params(int branch,
+                                                       int step) const {
+  if (!branch_cfgs_.empty()) {
+    return branch_cfgs_[static_cast<std::size_t>(branch)]
+        .per_step[static_cast<std::size_t>(step)];
+  }
+  const int layer_id = plan_.branches[static_cast<std::size_t>(branch)]
+                           .steps[static_cast<std::size_t>(step)]
+                           .layer_id;
+  return effective_[static_cast<std::size_t>(layer_id)];
+}
+
+std::vector<nn::QTensor> PatchQuantExecutor::run_branch(
+    const nn::QTensor& qinput, int branch_index) const {
+  const nn::Graph& g = *graph_;
+  const PatchBranch& branch =
+      plan_.branches[static_cast<std::size_t>(branch_index)];
+  std::vector<nn::QTensor> regions(branch.steps.size());
+
+  for (std::size_t s = 0; s < branch.steps.size(); ++s) {
+    const BranchStep& step = branch.steps[s];
+    const nn::Layer& layer = g.layer(step.layer_id);
+    const nn::QuantParams& out_p =
+        step_params(branch_index, static_cast<int>(s));
+
+    const auto producer_tensor = [&](int input_id,
+                                     const Region& want) -> nn::QTensor {
+      const int p = branch.step_of(input_id);
+      QMCU_ENSURE(p >= 0 && p < static_cast<int>(s),
+                  "producer step missing from branch");
+      return crop_from_region_q(regions[static_cast<std::size_t>(p)],
+                                branch.steps[static_cast<std::size_t>(p)]
+                                    .out_region,
+                                want, g.shape(input_id));
+    };
+
+    switch (layer.kind) {
+      case nn::OpKind::Input: {
+        // The input patch tile is quantized straight into the branch's
+        // params (mixed mode stores it sub-byte, uniform mode at int8).
+        nn::QTensor crop = crop_from_region_q(
+            qinput, full_region(g.shape(step.layer_id)), step.out_region,
+            g.shape(step.layer_id));
+        regions[s] = requantize_to(crop, out_p);
+        break;
+      }
+      case nn::OpKind::Conv2D:
+      case nn::OpKind::DepthwiseConv2D: {
+        // Out-of-bounds crop positions carry the producer's zero point —
+        // the quantized encoding of real 0, i.e. genuine zero padding.
+        const nn::QTensor padded =
+            producer_tensor(layer.inputs[0], step.in_region);
+        nn::Layer local = layer;
+        local.pad_h = local.pad_w = 0;
+        const std::vector<std::int32_t>& bias =
+            branch_cfgs_.empty()
+                ? params_.bias[static_cast<std::size_t>(step.layer_id)]
+                : branch_bias_[static_cast<std::size_t>(branch_index)][s];
+        if (layer.kind == nn::OpKind::Conv2D) {
+          regions[s] = nn::ops::conv2d_q(
+              padded, local,
+              params_.weights[static_cast<std::size_t>(step.layer_id)].data,
+              params_.weights[static_cast<std::size_t>(step.layer_id)].params,
+              bias, out_p);
+        } else {
+          regions[s] = nn::ops::depthwise_conv2d_q(
+              padded, local,
+              params_.weights[static_cast<std::size_t>(step.layer_id)].data,
+              params_.weights[static_cast<std::size_t>(step.layer_id)].params,
+              bias, out_p);
+        }
+        break;
+      }
+      case nn::OpKind::MaxPool:
+      case nn::OpKind::AvgPool: {
+        // Pooling excludes padding from the window; see region_pool.h.
+        const int p = branch.step_of(layer.inputs[0]);
+        QMCU_ENSURE(p >= 0, "producer step missing from branch");
+        regions[s] = pool_region_q(
+            regions[static_cast<std::size_t>(p)],
+            branch.steps[static_cast<std::size_t>(p)].out_region, layer,
+            step.out_region, g.shape(layer.inputs[0]));
+        break;
+      }
+      case nn::OpKind::Add: {
+        const nn::QTensor a =
+            producer_tensor(layer.inputs[0], step.out_region);
+        const nn::QTensor b =
+            producer_tensor(layer.inputs[1], step.out_region);
+        regions[s] = nn::ops::add_q(a, b, layer.act, out_p);
+        break;
+      }
+      case nn::OpKind::Concat: {
+        std::vector<nn::QTensor> cropped;
+        cropped.reserve(layer.inputs.size());
+        for (int in : layer.inputs) {
+          cropped.push_back(producer_tensor(in, step.out_region));
+        }
+        std::vector<const nn::QTensor*> ptrs;
+        ptrs.reserve(cropped.size());
+        for (const nn::QTensor& t : cropped) ptrs.push_back(&t);
+        regions[s] = nn::ops::concat_q(ptrs, out_p);
+        break;
+      }
+      default:
+        QMCU_REQUIRE(false,
+                     "op kind not supported inside a patch stage: " +
+                         std::string(nn::to_string(layer.kind)));
+    }
+  }
+  return regions;
+}
+
+nn::QTensor PatchQuantExecutor::run_stage_assembled(
+    const nn::Tensor& input) const {
+  const nn::Graph& g = *graph_;
+  const int split = plan_.spec.split_layer;
+  const int input_layer = g.inputs().front();
+  const nn::QTensor qinput =
+      nn::quantize(input, cfg_.params[static_cast<std::size_t>(input_layer)]);
+
+  nn::QTensor assembled(g.shape(split),
+                        effective_[static_cast<std::size_t>(split)]);
+  for (int b = 0; b < static_cast<int>(plan_.branches.size()); ++b) {
+    const std::vector<nn::QTensor> regions = run_branch(qinput, b);
+    const PatchBranch& branch = plan_.branches[static_cast<std::size_t>(b)];
+    const BranchStep& last = branch.steps.back();
+    QMCU_ENSURE(last.layer_id == split, "branch must end at the cut layer");
+    // The branch slice is requantized into the shared accumulation
+    // buffer's parameters (identity in uniform mode).
+    const nn::QTensor tile =
+        requantize_to(regions.back(), assembled.params());
+    for (int y = last.out_region.y.begin; y < last.out_region.y.end; ++y) {
+      for (int x = last.out_region.x.begin; x < last.out_region.x.end; ++x) {
+        for (int c = 0; c < assembled.shape().c; ++c) {
+          assembled.at(y, x, c) = tile.at(y - last.out_region.y.begin,
+                                          x - last.out_region.x.begin, c);
+        }
+      }
+    }
+  }
+  return assembled;
+}
+
+nn::QTensor PatchQuantExecutor::run(const nn::Tensor& input) const {
+  const nn::Graph& g = *graph_;
+  const int split = plan_.spec.split_layer;
+  std::vector<nn::QTensor> memo(static_cast<std::size_t>(g.size()));
+  memo[static_cast<std::size_t>(split)] = run_stage_assembled(input);
+  for (int id = split + 1; id < g.size(); ++id) {
+    memo[static_cast<std::size_t>(id)] = nn::run_layer_q(
+        g, id, memo, params_, effective_[static_cast<std::size_t>(id)]);
+  }
+  return std::move(memo[static_cast<std::size_t>(g.output())]);
+}
+
+}  // namespace qmcu::patch

@@ -1,0 +1,76 @@
+// patch_quant_executor.h — the deployed execution path: patch-based
+// inference in the quantized domain.
+//
+// Two operating modes, matching the paper's runtime:
+//   * uniform — every feature map at its calibrated per-layer QuantParams
+//     (the MCUNetV2-style int8 deployment). Bit-identical to the
+//     layer-based QuantExecutor: region crops fill padding with the
+//     producer's zero point, exactly what the windowed integer kernels
+//     assume for out-of-bounds positions.
+//   * mixed — each branch carries its own per-step QuantParams (the VDQS
+//     bitwidth assignment materialised over the calibrated ranges); the
+//     reassembled cut-layer feature map is requantized slice by slice into
+//     the tail's parameters, as the deployed runtime would do when copying
+//     a branch result into the shared accumulation buffer.
+#pragma once
+
+#include <vector>
+
+#include "nn/executor.h"
+#include "patch/patch_plan.h"
+
+namespace qmcu::patch {
+
+// Per-step QuantParams for one branch, parallel to PatchBranch::steps.
+struct BranchQuantConfig {
+  std::vector<nn::QuantParams> per_step;
+};
+
+class PatchQuantExecutor {
+ public:
+  // Uniform mode: stage steps inherit the per-layer params of `cfg`.
+  PatchQuantExecutor(const nn::Graph& g, PatchPlan plan,
+                     nn::ActivationQuantConfig cfg);
+
+  // Mixed mode: `branch_cfgs[b].per_step[s]` overrides the params of
+  // branch b's step s; `cfg` still rules the tail (and the reassembled cut
+  // feature map via cfg.params[split]).
+  PatchQuantExecutor(const nn::Graph& g, PatchPlan plan,
+                     nn::ActivationQuantConfig cfg,
+                     std::vector<BranchQuantConfig> branch_cfgs);
+
+  [[nodiscard]] nn::QTensor run(const nn::Tensor& input) const;
+
+  // The reassembled cut-layer feature map (tail params).
+  [[nodiscard]] nn::QTensor run_stage_assembled(const nn::Tensor& input) const;
+
+  [[nodiscard]] const PatchPlan& plan() const { return plan_; }
+
+ private:
+  [[nodiscard]] const nn::QuantParams& step_params(int branch,
+                                                   int step) const;
+  [[nodiscard]] std::vector<nn::QTensor> run_branch(const nn::QTensor& qinput,
+                                                    int branch) const;
+
+  const nn::Graph* graph_;
+  PatchPlan plan_;
+  nn::ActivationQuantConfig cfg_;
+  // Effective per-layer output params: pools propagate their producer's
+  // parameters (the TFLite contract — max/avg/global pooling never
+  // requantizes), so cfg.params[pool] is overridden by the producer chain.
+  std::vector<nn::QuantParams> effective_;
+  std::vector<BranchQuantConfig> branch_cfgs_;  // empty = uniform mode
+  // Mixed mode: per-branch per-step int32 biases rescaled to the branch's
+  // actual input scales (empty vectors for non-MAC steps).
+  std::vector<std::vector<std::vector<std::int32_t>>> branch_bias_;
+  nn::QuantizedParameters params_;
+};
+
+// Crops region `want` (unclamped; out-of-bounds positions are filled with
+// the tensor's zero point, the quantized encoding of real 0) from `have`
+// covering `avail` of a feature map with full extent `full`.
+nn::QTensor crop_from_region_q(const nn::QTensor& have, const Region& avail,
+                               const Region& want,
+                               const nn::TensorShape& full);
+
+}  // namespace qmcu::patch

@@ -1,0 +1,39 @@
+#include "patch/receptive_field.h"
+
+namespace qmcu::patch {
+
+namespace {
+
+Interval windowed_input_interval(Interval out, int kernel, int stride,
+                                 int pad) {
+  if (out.empty()) return {};
+  return {out.begin * stride - pad, (out.end - 1) * stride - pad + kernel};
+}
+
+}  // namespace
+
+Region required_input_region(const nn::Layer& l,
+                             const nn::TensorShape& input_shape,
+                             const Region& out) {
+  using nn::OpKind;
+  switch (l.kind) {
+    case OpKind::Conv2D:
+    case OpKind::DepthwiseConv2D:
+    case OpKind::MaxPool:
+    case OpKind::AvgPool:
+      return {windowed_input_interval(out.y, l.kernel_h, l.stride_h, l.pad_h),
+              windowed_input_interval(out.x, l.kernel_w, l.stride_w, l.pad_w)};
+    case OpKind::Add:
+    case OpKind::Concat:
+    case OpKind::Softmax:
+      return out;
+    case OpKind::GlobalAvgPool:
+    case OpKind::FullyConnected:
+      return full_region(input_shape);
+    case OpKind::Input:
+      QMCU_REQUIRE(false, "input layer has no input region");
+  }
+  QMCU_ENSURE(false, "unhandled op kind");
+}
+
+}  // namespace qmcu::patch

@@ -1,0 +1,77 @@
+// receptive_field.h — exact interval arithmetic for patch halos.
+//
+// Patch-based inference computes a spatial region of each feature map per
+// patch. Propagating a required *output* region backwards through a layer
+// yields the required *input* region; overlap between neighbouring patches'
+// input regions is the redundant computation the paper attacks (Fig. 1a).
+// Regions are half-open intervals per axis and may extend beyond the tensor
+// bounds before clamping — the unclamped form tells the executor where
+// zero padding applies.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <ostream>
+
+#include "nn/graph.h"
+
+namespace qmcu::patch {
+
+// Half-open [begin, end).
+struct Interval {
+  int begin = 0;
+  int end = 0;
+
+  [[nodiscard]] constexpr int size() const { return end - begin; }
+  [[nodiscard]] constexpr bool empty() const { return end <= begin; }
+
+  friend constexpr bool operator==(const Interval&, const Interval&) = default;
+};
+
+// Smallest interval containing both (intervals in this engine are always
+// contiguous per axis, so the hull is the union).
+constexpr Interval unite(Interval a, Interval b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  return {std::min(a.begin, b.begin), std::max(a.end, b.end)};
+}
+
+constexpr Interval clamp(Interval v, int lo, int hi) {
+  return {std::clamp(v.begin, lo, hi), std::clamp(v.end, lo, hi)};
+}
+
+struct Region {
+  Interval y;
+  Interval x;
+
+  [[nodiscard]] constexpr std::int64_t area() const {
+    return y.empty() || x.empty()
+               ? 0
+               : static_cast<std::int64_t>(y.size()) * x.size();
+  }
+  [[nodiscard]] constexpr bool empty() const { return area() == 0; }
+
+  friend constexpr bool operator==(const Region&, const Region&) = default;
+};
+
+constexpr Region unite(const Region& a, const Region& b) {
+  return {unite(a.y, b.y), unite(a.x, b.x)};
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Region& r) {
+  return os << "[y " << r.y.begin << ':' << r.y.end << ", x " << r.x.begin
+            << ':' << r.x.end << ')';
+}
+
+// Whole-tensor region for a shape.
+constexpr Region full_region(const nn::TensorShape& s) {
+  return {{0, s.h}, {0, s.w}};
+}
+
+// The (unclamped) input region layer `l` must read to produce `out`.
+// Windowed ops expand by kernel/stride/padding; element-wise, concat and
+// softmax are identity; global pool / fully-connected need the full input.
+Region required_input_region(const nn::Layer& l, const nn::TensorShape& input_shape,
+                             const Region& out);
+
+}  // namespace qmcu::patch

@@ -1,0 +1,106 @@
+#include "patch/region_pool.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace qmcu::patch {
+
+namespace {
+
+// Iterates the valid (in-bounds) window positions of one output element,
+// asserting each is present in the available region.
+template <typename Fn>
+void for_each_valid(const Region& avail, const nn::Layer& l, int gy, int gx,
+                    const nn::TensorShape& full, const Fn& fn) {
+  const int iy0 = gy * l.stride_h - l.pad_h;
+  const int ix0 = gx * l.stride_w - l.pad_w;
+  for (int ky = 0; ky < l.kernel_h; ++ky) {
+    const int iy = iy0 + ky;
+    if (iy < 0 || iy >= full.h) continue;
+    for (int kx = 0; kx < l.kernel_w; ++kx) {
+      const int ix = ix0 + kx;
+      if (ix < 0 || ix >= full.w) continue;
+      QMCU_ENSURE(iy >= avail.y.begin && iy < avail.y.end &&
+                      ix >= avail.x.begin && ix < avail.x.end,
+                  "pool window element missing from region");
+      fn(iy - avail.y.begin, ix - avail.x.begin);
+    }
+  }
+}
+
+void check_kind(const nn::Layer& l) {
+  QMCU_REQUIRE(l.kind == nn::OpKind::MaxPool || l.kind == nn::OpKind::AvgPool,
+               "region pooling handles MaxPool/AvgPool only");
+}
+
+}  // namespace
+
+nn::Tensor pool_region_f32(const nn::Tensor& have, const Region& avail,
+                           const nn::Layer& l, const Region& out_region,
+                           const nn::TensorShape& full) {
+  check_kind(l);
+  const bool is_max = l.kind == nn::OpKind::MaxPool;
+  nn::Tensor out(nn::TensorShape{out_region.y.size(), out_region.x.size(),
+                                 have.shape().c});
+  for (int gy = out_region.y.begin; gy < out_region.y.end; ++gy) {
+    for (int gx = out_region.x.begin; gx < out_region.x.end; ++gx) {
+      for (int c = 0; c < have.shape().c; ++c) {
+        float best = std::numeric_limits<float>::lowest();
+        float sum = 0.0f;
+        int count = 0;
+        for_each_valid(avail, l, gy, gx, full, [&](int y, int x) {
+          const float v = have.at(y, x, c);
+          best = std::max(best, v);
+          sum += v;
+          ++count;
+        });
+        out.at(gy - out_region.y.begin, gx - out_region.x.begin, c) =
+            is_max ? best
+                   : (count > 0 ? sum / static_cast<float>(count) : 0.0f);
+      }
+    }
+  }
+  return out;
+}
+
+nn::QTensor pool_region_q(const nn::QTensor& have, const Region& avail,
+                          const nn::Layer& l, const Region& out_region,
+                          const nn::TensorShape& full) {
+  check_kind(l);
+  const bool is_max = l.kind == nn::OpKind::MaxPool;
+  const nn::QuantParams& p = have.params();
+  nn::QTensor out(nn::TensorShape{out_region.y.size(), out_region.x.size(),
+                                  have.shape().c},
+                  p);
+  for (int gy = out_region.y.begin; gy < out_region.y.end; ++gy) {
+    for (int gx = out_region.x.begin; gx < out_region.x.end; ++gx) {
+      for (int c = 0; c < have.shape().c; ++c) {
+        std::int32_t best = std::numeric_limits<std::int32_t>::min();
+        std::int32_t sum = 0;
+        std::int32_t count = 0;
+        for_each_valid(avail, l, gy, gx, full, [&](int y, int x) {
+          const std::int32_t v = have.at(y, x, c);
+          best = std::max(best, v);
+          sum += v;
+          ++count;
+        });
+        std::int32_t q;
+        if (is_max) {
+          q = best;
+        } else {
+          // Identical rounding to nn::ops::avg_pool_q.
+          q = count > 0 ? static_cast<std::int32_t>(std::llround(
+                              static_cast<double>(sum) / count))
+                        : p.zero_point;
+          q = std::clamp(q, p.qmin(), p.qmax());
+        }
+        out.at(gy - out_region.y.begin, gx - out_region.x.begin, c) =
+            static_cast<std::int8_t>(q);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace qmcu::patch

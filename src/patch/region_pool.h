@@ -1,0 +1,28 @@
+// region_pool.h — bounds-aware pooling over feature-map regions.
+//
+// Convolution may treat out-of-bounds halo positions as zeros (that is
+// what zero padding means), but pooling must *exclude* them: layer-based
+// MaxPool never lets padding win the max and AvgPool divides by the valid
+// count only. A zero-filled crop would silently change both (e.g. the max
+// of an all-negative window). These helpers evaluate pool windows in the
+// feature map's global coordinate space, skipping positions outside the
+// map, and are the pooling path of both patch executors.
+#pragma once
+
+#include "nn/graph.h"
+#include "nn/tensor.h"
+#include "patch/receptive_field.h"
+
+namespace qmcu::patch {
+
+// Pools `out_region` of layer `l` (MaxPool or AvgPool) from the producer's
+// region tensor `have` covering `avail` of a map with full extent `full`.
+nn::Tensor pool_region_f32(const nn::Tensor& have, const Region& avail,
+                           const nn::Layer& l, const Region& out_region,
+                           const nn::TensorShape& full);
+
+nn::QTensor pool_region_q(const nn::QTensor& have, const Region& avail,
+                          const nn::Layer& l, const Region& out_region,
+                          const nn::TensorShape& full);
+
+}  // namespace qmcu::patch

@@ -1,0 +1,44 @@
+#include "patch/restructuring.h"
+
+#include "nn/memory_planner.h"
+
+namespace qmcu::patch {
+
+RestructuringResult restructure_for_memory(const nn::Graph& g,
+                                           const mcu::CostModel& cost_model,
+                                           std::span<const int> grids) {
+  QMCU_REQUIRE(!grids.empty(), "need at least one candidate grid");
+  const std::vector<int> cuts = valid_cut_points(g);
+  QMCU_REQUIRE(!cuts.empty(), "graph has no valid cut points");
+  const std::vector<int> tail8 = nn::uniform_bits(g, 8);
+
+  RestructuringResult best;
+  bool have_best = false;
+  for (int cut : cuts) {
+    const nn::TensorShape& s = g.shape(cut);
+    for (int grid : grids) {
+      if (s.h < grid || s.w < grid) continue;
+      PatchSpec spec;
+      spec.split_layer = cut;
+      spec.grid_rows = spec.grid_cols = grid;
+      const PatchPlan plan = build_patch_plan(g, spec);
+      const std::vector<BranchBits> bits = uniform_branch_bits(plan, 8);
+      const PatchCost cost =
+          evaluate_patch_cost(g, plan, bits, tail8, cost_model);
+      ++best.candidates_tried;
+      const bool better =
+          !have_best || cost.peak_bytes < best.cost.peak_bytes ||
+          (cost.peak_bytes == best.cost.peak_bytes &&
+           cost.bitops < best.cost.bitops);
+      if (better) {
+        const int tried = best.candidates_tried;
+        best = RestructuringResult{spec, cost, tried};
+        have_best = true;
+      }
+    }
+  }
+  QMCU_REQUIRE(have_best, "no feasible restructuring candidate");
+  return best;
+}
+
+}  // namespace qmcu::patch

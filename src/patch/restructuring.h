@@ -1,0 +1,34 @@
+// restructuring.h — dataflow restructuring for active memory reduction
+// (Cipolletta & Calimera, DATE 2021, reference [9]).
+//
+// Their restructuring algorithm searches for the patch split layer and
+// branch depth that minimise peak memory. This implementation performs the
+// same search exhaustively over every valid cut point and candidate patch
+// grid, pricing each candidate with the uniform-int8 patch cost model and
+// keeping the lowest-peak plan (ties broken towards fewer redundant MACs —
+// the paper notes the method trades extra recomputation for memory, which
+// is exactly what Table I shows: lowest peak, highest BitOPs).
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "mcu/cost_model.h"
+#include "patch/patch_cost.h"
+#include "patch/patch_plan.h"
+
+namespace qmcu::patch {
+
+struct RestructuringResult {
+  PatchSpec spec;
+  PatchCost cost;       // at uniform int8
+  int candidates_tried = 0;
+};
+
+inline constexpr std::array<int, 3> kDefaultGrids{2, 3, 4};
+
+RestructuringResult restructure_for_memory(
+    const nn::Graph& g, const mcu::CostModel& cost_model,
+    std::span<const int> grids = kDefaultGrids);
+
+}  // namespace qmcu::patch

@@ -1,0 +1,150 @@
+#include "patch/rnnpool.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "patch/patch_plan.h"
+
+namespace qmcu::patch {
+
+namespace {
+
+using nn::Activation;
+using nn::Graph;
+using nn::OpKind;
+
+// Appends the pooling block to `out` and returns its output layer id. The
+// block: conv3x3 s2 (width) -> [dw3x3 s2 + pw1x1] until the target spatial
+// size -> pw1x1 projection to `target_c`.
+int append_pool_block(Graph& out, int input, int width, int target_h,
+                      int target_c) {
+  int x = out.add_conv2d(input, width, 3, 2, 1, Activation::ReLU,
+                         "rnnpool_stem");
+  while (out.shape(x).h > target_h) {
+    x = out.add_depthwise_conv2d(x, 3, 2, 1, Activation::ReLU);
+    x = out.add_conv2d(x, width, 1, 1, 0, Activation::ReLU);
+  }
+  return out.add_conv2d(x, target_c, 1, 1, 0, Activation::None,
+                        "rnnpool_proj");
+}
+
+std::int64_t block_macs_for_width(const Graph& g, int input_id, int width,
+                                  int target_h, int target_c) {
+  Graph probe("probe");
+  const int in = probe.add_input(g.shape(input_id));
+  const int end = append_pool_block(probe, in, width, target_h, target_c);
+  std::int64_t macs = 0;
+  for (int i = 0; i <= end; ++i) macs += probe.macs(i);
+  return macs;
+}
+
+// Re-adds layer `id` of `src` into `dst` with remapped inputs; copies its
+// parameters verbatim.
+int clone_layer(const Graph& src, int id, Graph& dst,
+                const std::vector<int>& remap) {
+  const nn::Layer& l = src.layer(id);
+  std::vector<int> ins;
+  ins.reserve(l.inputs.size());
+  for (int in : l.inputs) {
+    QMCU_ENSURE(remap[static_cast<std::size_t>(in)] >= 0,
+                "tail layer consumes an unmapped tensor");
+    ins.push_back(remap[static_cast<std::size_t>(in)]);
+  }
+  int nid = -1;
+  switch (l.kind) {
+    case OpKind::Conv2D:
+      nid = dst.add_conv2d(ins[0], l.out_channels, l.kernel_h, l.stride_h,
+                           l.pad_h, l.act, l.name);
+      break;
+    case OpKind::DepthwiseConv2D:
+      nid = dst.add_depthwise_conv2d(ins[0], l.kernel_h, l.stride_h, l.pad_h,
+                                     l.act, l.name);
+      break;
+    case OpKind::FullyConnected:
+      nid = dst.add_fully_connected(ins[0], l.out_channels, l.act, l.name);
+      break;
+    case OpKind::MaxPool:
+      nid = dst.add_max_pool(ins[0], l.kernel_h, l.stride_h, l.pad_h, l.name);
+      break;
+    case OpKind::AvgPool:
+      nid = dst.add_avg_pool(ins[0], l.kernel_h, l.stride_h, l.pad_h, l.name);
+      break;
+    case OpKind::GlobalAvgPool:
+      nid = dst.add_global_avg_pool(ins[0], l.name);
+      break;
+    case OpKind::Add:
+      nid = dst.add_residual_add(ins[0], ins[1], l.act, l.name);
+      break;
+    case OpKind::Concat:
+      nid = dst.add_concat(ins, l.name);
+      break;
+    case OpKind::Softmax:
+      nid = dst.add_softmax(ins[0], l.name);
+      break;
+    case OpKind::Input:
+      QMCU_ENSURE(false, "inputs are not cloned");
+  }
+  if (src.has_parameters(id)) {
+    dst.set_parameters(nid,
+                       std::vector<float>(src.weights(id).begin(),
+                                          src.weights(id).end()),
+                       std::vector<float>(src.bias(id).begin(),
+                                          src.bias(id).end()));
+  }
+  return nid;
+}
+
+}  // namespace
+
+RnnPoolResult make_rnnpool_variant(const nn::Graph& g, int stage_downsample) {
+  QMCU_REQUIRE(stage_downsample >= 2, "downsample target must be >= 2");
+  const std::vector<int> cuts = valid_cut_points(g);
+  QMCU_REQUIRE(!cuts.empty(), "graph has no valid cut points");
+  const nn::TensorShape& in_shape = g.shape(g.inputs().front());
+  const int target_h = in_shape.h / stage_downsample;
+  int cut = -1;
+  for (int c : cuts) {
+    if (g.shape(c).h <= target_h) {
+      cut = c;
+      break;
+    }
+  }
+  QMCU_REQUIRE(cut >= 0, "no cut point reaches the downsample target");
+
+  RnnPoolResult result{Graph(g.name() + "_rnnpool"), cut, 0, 0};
+  for (int i = 0; i <= cut; ++i) result.original_stage_macs += g.macs(i);
+
+  const int input_id = g.inputs().front();
+  const nn::TensorShape& cut_shape = g.shape(cut);
+
+  // Width search: match block MACs to the replaced stage within ~10%.
+  int best_width = 8;
+  std::int64_t best_diff = std::numeric_limits<std::int64_t>::max();
+  for (int width = 8; width <= 256; width += 8) {
+    const std::int64_t macs = block_macs_for_width(
+        g, input_id, width, cut_shape.h, cut_shape.c);
+    const std::int64_t diff = std::abs(macs - result.original_stage_macs);
+    if (diff < best_diff) {
+      best_diff = diff;
+      best_width = width;
+    }
+    if (macs > result.original_stage_macs) break;  // monotone in width
+  }
+
+  Graph& out = result.graph;
+  const int new_input = out.add_input(in_shape);
+  const int block_out = append_pool_block(out, new_input, best_width,
+                                          cut_shape.h, cut_shape.c);
+  for (int i = 0; i <= block_out; ++i) result.block_macs += out.macs(i);
+
+  std::vector<int> remap(static_cast<std::size_t>(g.size()), -1);
+  remap[static_cast<std::size_t>(input_id)] = new_input;
+  remap[static_cast<std::size_t>(cut)] = block_out;
+  for (int id = cut + 1; id < g.size(); ++id) {
+    remap[static_cast<std::size_t>(id)] = clone_layer(g, id, out, remap);
+  }
+  return result;
+}
+
+}  // namespace qmcu::patch

@@ -1,0 +1,66 @@
+#include "quant/bitpack.h"
+
+namespace qmcu::quant {
+
+namespace {
+
+void check_bits(int bits) {
+  QMCU_REQUIRE(bits == 2 || bits == 4 || bits == 8,
+               "packing supports 2, 4 and 8 bit fields");
+}
+
+}  // namespace
+
+std::int64_t packed_size_bytes(std::int64_t count, int bits) {
+  check_bits(bits);
+  QMCU_REQUIRE(count >= 0, "count must be non-negative");
+  return (count * bits + 7) / 8;
+}
+
+std::vector<std::uint8_t> pack(std::span<const std::int8_t> values, int bits) {
+  check_bits(bits);
+  const int per_byte = 8 / bits;
+  const std::uint8_t mask = static_cast<std::uint8_t>((1u << bits) - 1);
+  const std::int32_t lo = -(1 << (bits - 1));
+  const std::int32_t hi = (1 << (bits - 1)) - 1;
+
+  std::vector<std::uint8_t> out(static_cast<std::size_t>(
+      packed_size_bytes(static_cast<std::int64_t>(values.size()), bits)));
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const std::int32_t v = values[i];
+    QMCU_REQUIRE(v >= lo && v <= hi, "value out of signed bit range");
+    const std::size_t byte = i / static_cast<std::size_t>(per_byte);
+    const int field = static_cast<int>(i % static_cast<std::size_t>(per_byte));
+    out[byte] = static_cast<std::uint8_t>(
+        out[byte] | ((static_cast<std::uint8_t>(v) & mask) << (field * bits)));
+  }
+  return out;
+}
+
+std::vector<std::int8_t> unpack(std::span<const std::uint8_t> packed,
+                                std::int64_t count, int bits) {
+  check_bits(bits);
+  const int per_byte = 8 / bits;
+  const std::uint8_t mask = static_cast<std::uint8_t>((1u << bits) - 1);
+  QMCU_REQUIRE(packed_size_bytes(count, bits) <=
+                   static_cast<std::int64_t>(packed.size()),
+               "packed buffer too small");
+
+  std::vector<std::int8_t> out(static_cast<std::size_t>(count));
+  for (std::int64_t i = 0; i < count; ++i) {
+    const std::size_t byte =
+        static_cast<std::size_t>(i / per_byte);
+    const int field = static_cast<int>(i % per_byte);
+    std::uint8_t raw =
+        static_cast<std::uint8_t>((packed[byte] >> (field * bits)) & mask);
+    // Sign-extend the b-bit field.
+    const std::uint8_t sign_bit = static_cast<std::uint8_t>(1u << (bits - 1));
+    if (raw & sign_bit) {
+      raw = static_cast<std::uint8_t>(raw | ~mask);
+    }
+    out[static_cast<std::size_t>(i)] = static_cast<std::int8_t>(raw);
+  }
+  return out;
+}
+
+}  // namespace qmcu::quant

@@ -1,0 +1,29 @@
+// bitpack.h — CMix-NN style sub-byte packing of quantized activations.
+//
+// Kernels compute on unpacked int8 lanes (see nn/ops/int8_kernels.h); the
+// packed form is what actually lives in SRAM between layers, and its size is
+// what the memory models charge. Packing is little-endian within the byte:
+// element 0 occupies the least-significant field. Values are stored in
+// two's complement truncated to the field width, so round-tripping any value
+// inside the b-bit signed range is exact.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nn/check.h"
+
+namespace qmcu::quant {
+
+// Number of bytes needed to pack `count` elements at `bits` per element.
+std::int64_t packed_size_bytes(std::int64_t count, int bits);
+
+// Packs int8 values (each must fit the signed `bits` range) into bytes.
+std::vector<std::uint8_t> pack(std::span<const std::int8_t> values, int bits);
+
+// Unpacks `count` elements. Inverse of pack for in-range values.
+std::vector<std::int8_t> unpack(std::span<const std::uint8_t> packed,
+                                std::int64_t count, int bits);
+
+}  // namespace qmcu::quant

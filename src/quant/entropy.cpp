@@ -1,0 +1,70 @@
+#include "quant/entropy.h"
+
+#include <cmath>
+
+#include "nn/quant_params.h"
+
+namespace qmcu::quant {
+
+double shannon_entropy(std::span<const std::int64_t> counts) {
+  std::int64_t total = 0;
+  for (std::int64_t c : counts) {
+    QMCU_REQUIRE(c >= 0, "histogram counts must be non-negative");
+    total += c;
+  }
+  if (total == 0) return 0.0;
+  const double inv = 1.0 / static_cast<double>(total);
+  double h = 0.0;
+  for (std::int64_t c : counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) * inv;
+    h -= p * std::log(p);
+  }
+  return h;
+}
+
+double activation_entropy(const nn::Tensor& t, int k) {
+  const Histogram h = histogram_of(t, k);
+  return shannon_entropy(h.counts());
+}
+
+double quantized_activation_entropy(const nn::Tensor& t, int bits, int k) {
+  const auto [lo, hi] = nn::tensor_min_max(t);
+  const nn::QuantParams p = nn::choose_quant_params(lo, hi, bits);
+  const nn::Tensor fq = nn::fake_quantize(t, p);
+  // Bin on the original range so the float and quantized histograms share a
+  // grid; quantization can then only merge bins, never split them.
+  const float span = hi - lo;
+  Histogram hist(lo, span > 0.0f ? hi : lo + 1.0f, k);
+  hist.add_all(fq.data());
+  return shannon_entropy(hist.counts());
+}
+
+double quantization_mse(const nn::Tensor& t, int bits) {
+  const auto [lo, hi] = nn::tensor_min_max(t);
+  const nn::QuantParams p = nn::choose_quant_params(lo, hi, bits);
+  double mse = 0.0;
+  const auto d = t.data();
+  if (d.empty()) return 0.0;
+  for (float v : d) {
+    const double err = static_cast<double>(v) - p.quantize_dequantize(v);
+    mse += err * err;
+  }
+  return mse / static_cast<double>(d.size());
+}
+
+double tensor_variance(const nn::Tensor& t) {
+  const auto d = t.data();
+  if (d.empty()) return 0.0;
+  double mean = 0.0;
+  for (float v : d) mean += v;
+  mean /= static_cast<double>(d.size());
+  double var = 0.0;
+  for (float v : d) {
+    const double dv = static_cast<double>(v) - mean;
+    var += dv * dv;
+  }
+  return var / static_cast<double>(d.size());
+}
+
+}  // namespace qmcu::quant

@@ -1,0 +1,35 @@
+// entropy.h — activation-value entropy, the accuracy proxy of VDQS.
+//
+// The paper (Eqs. 3–5) estimates the entropy H(i, b) of feature map i after
+// b-bit quantization from a k-bin empirical histogram, and uses the entropy
+// *reduction* relative to the unquantized feature map as the accuracy term
+// Ω(i, b) of the quantization score. Entropy here is Shannon entropy in
+// nats; only ratios of entropies enter the score, so the base cancels.
+#pragma once
+
+#include <span>
+
+#include "nn/tensor.h"
+#include "quant/histogram.h"
+
+namespace qmcu::quant {
+
+// Shannon entropy (nats) of a discrete distribution given as counts.
+double shannon_entropy(std::span<const std::int64_t> counts);
+
+// Entropy of the activation distribution of `t`, k-bin empirical estimate.
+double activation_entropy(const nn::Tensor& t, int k);
+
+// Entropy of `t` after simulated `bits`-bit affine quantization
+// (quantize-dequantize with range-derived params), measured on the same
+// k-bin grid over the *original* tensor range so H(i,b) <= H(i,float) holds
+// structurally.
+double quantized_activation_entropy(const nn::Tensor& t, int bits, int k);
+
+// Mean squared quantization error of `bits`-bit affine quantization of `t`.
+double quantization_mse(const nn::Tensor& t, int bits);
+
+// Population variance of the tensor values (0 for constant tensors).
+double tensor_variance(const nn::Tensor& t);
+
+}  // namespace qmcu::quant

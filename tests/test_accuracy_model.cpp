@@ -1,0 +1,103 @@
+// Tests for the proxy accuracy model (core/accuracy_model.h).
+#include <gtest/gtest.h>
+
+#include "core/accuracy_model.h"
+
+namespace qmcu::core {
+namespace {
+
+TEST(BaseAccuracy, MobileNetV2MatchesPaperBaseline) {
+  // Table II baseline row: 71.9% Top-1.
+  EXPECT_DOUBLE_EQ(base_accuracy("mobilenetv2").imagenet_top1, 71.9);
+}
+
+TEST(BaseAccuracy, AllZooModelsCovered) {
+  for (const char* name :
+       {"mobilenetv2", "inceptionv3", "squeezenet", "resnet18", "vgg16",
+        "mcunet", "mnasnet", "fbnet_a", "ofa_cpu"}) {
+    const AccuracyBase b = base_accuracy(name);
+    EXPECT_GT(b.imagenet_top1, 40.0) << name;
+    EXPECT_GT(b.imagenet_top5, b.imagenet_top1) << name;
+    EXPECT_GT(b.voc_map, 20.0) << name;
+  }
+}
+
+TEST(BaseAccuracy, UnknownModelRejected) {
+  EXPECT_THROW(base_accuracy("lenet"), std::invalid_argument);
+}
+
+TEST(AccuracyModel, FloatDeploymentIsLossless) {
+  const AccuracyModel m;
+  NoiseSummary s;
+  s.any_quantization = false;
+  EXPECT_DOUBLE_EQ(m.top1_penalty_pp(s), 0.0);
+}
+
+TEST(AccuracyModel, Int8FloorIsSmall) {
+  const AccuracyModel m;
+  NoiseSummary s;
+  s.any_quantization = true;
+  s.mean_relative_mse = 1e-4;  // typical int8 noise
+  const double p = m.top1_penalty_pp(s);
+  EXPECT_GT(p, 0.0);
+  EXPECT_LT(p, 0.5);
+}
+
+TEST(AccuracyModel, PenaltyMonotoneInNoise) {
+  const AccuracyModel m;
+  NoiseSummary a;
+  a.any_quantization = true;
+  a.mean_relative_mse = 0.01;
+  NoiseSummary b = a;
+  b.mean_relative_mse = 0.2;
+  EXPECT_LT(m.top1_penalty_pp(a), m.top1_penalty_pp(b));
+}
+
+TEST(AccuracyModel, CrushedOutliersDominateBlindSubByte) {
+  const AccuracyModel m;
+  // VDPC-guarded: sub-byte noise but no crushed outliers.
+  NoiseSummary guarded;
+  guarded.any_quantization = true;
+  guarded.mean_relative_mse = 0.02;
+  guarded.crushed_outlier_fraction = 0.0;
+  // Blind (w/o VDPC): same noise plus fully crushed outliers.
+  NoiseSummary blind = guarded;
+  blind.crushed_outlier_fraction = 1.0;
+  blind.crush_severity = 0.3;
+  const double p_guarded = m.top1_penalty_pp(guarded);
+  const double p_blind = m.top1_penalty_pp(blind);
+  EXPECT_LT(p_guarded, 1.5);   // paper: <1% loss with VDPC
+  EXPECT_GT(p_blind, 8.0);     // paper: 10-15% loss without
+}
+
+TEST(AccuracyModel, Top5DegradesSlowerThanTop1) {
+  const AccuracyModel m;
+  NoiseSummary s;
+  s.any_quantization = true;
+  s.mean_relative_mse = 0.1;
+  s.crushed_outlier_fraction = 0.5;
+  s.crush_severity = 0.2;
+  EXPECT_LT(m.top5_penalty_pp(s), m.top1_penalty_pp(s));
+}
+
+TEST(AccuracyModel, MapDegradesFasterThanTop1) {
+  const AccuracyModel m;
+  NoiseSummary s;
+  s.any_quantization = true;
+  s.mean_relative_mse = 0.1;
+  EXPECT_GT(m.map_penalty_pp(s), m.top1_penalty_pp(s));
+}
+
+TEST(AccuracyModel, SeverityClampedToUnitInterval) {
+  const AccuracyModel m;
+  NoiseSummary s;
+  s.any_quantization = true;
+  s.crushed_outlier_fraction = 1.0;
+  s.crush_severity = 50.0;  // bogus measurement must not explode
+  NoiseSummary capped = s;
+  capped.crush_severity = 1.0;
+  EXPECT_DOUBLE_EQ(m.top1_penalty_pp(s), m.top1_penalty_pp(capped));
+}
+
+}  // namespace
+}  // namespace qmcu::core

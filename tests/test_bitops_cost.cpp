@@ -1,0 +1,114 @@
+// Tests for BitOPs accounting and the device cost model (mcu/).
+#include <gtest/gtest.h>
+
+#include "mcu/bitops.h"
+#include "mcu/cost_model.h"
+#include "mcu/device.h"
+#include "nn/memory_planner.h"
+
+namespace qmcu::mcu {
+namespace {
+
+nn::Graph two_conv() {
+  nn::Graph g("t");
+  const int in = g.add_input(nn::TensorShape{8, 8, 3});
+  const int a = g.add_conv2d(in, 4, 3, 1, 1, nn::Activation::ReLU);
+  g.add_conv2d(a, 8, 3, 1, 1, nn::Activation::ReLU);
+  return g;
+}
+
+TEST(BitOps, LayerBitopsIsMacsTimesBitProduct) {
+  const nn::Graph g = two_conv();
+  EXPECT_EQ(layer_bitops(g, 1, 8, 8), g.macs(1) * 64);
+  EXPECT_EQ(layer_bitops(g, 1, 8, 4), g.macs(1) * 32);
+  EXPECT_EQ(layer_bitops(g, 1, 8, 2), g.macs(1) * 16);
+}
+
+TEST(BitOps, GraphBitopsPricesEachMacLayerAtItsInputBits) {
+  const nn::Graph g = two_conv();
+  std::vector<int> bits{4, 2, 8};  // input fm 4-bit, first conv out 2-bit
+  const std::int64_t expected = g.macs(1) * 8 * 4 + g.macs(2) * 8 * 2;
+  EXPECT_EQ(graph_bitops(g, bits, 8), expected);
+}
+
+TEST(BitOps, FullPrecisionUses32x32) {
+  const nn::Graph g = two_conv();
+  EXPECT_EQ(full_precision_bitops(g), g.total_macs() * 1024);
+}
+
+TEST(BitOps, ReductionCountsConsumersOfTheFeatureMap) {
+  const nn::Graph g = two_conv();
+  // Quantizing fm 1 to 4 bits cheapens conv 2 only.
+  EXPECT_EQ(bitops_reduction(g, 1, 4, 8), g.macs(2) * (1024 - 32));
+  // Quantizing the input fm cheapens conv 1 only.
+  EXPECT_EQ(bitops_reduction(g, 0, 8, 8), g.macs(1) * (1024 - 64));
+}
+
+TEST(BitOps, Table2BaselineMagnitude) {
+  // Paper Table II: MobileNetV2 8/8 baseline = 19.2 GBitOPs = ~300 MMACs.
+  EXPECT_EQ(300'000'000LL * 8 * 8, 19'200'000'000LL);
+}
+
+TEST(Device, PresetsMatchPaperHardware) {
+  const Device nano = arduino_nano_33_ble_sense();
+  EXPECT_EQ(nano.sram_bytes, 256 * 1024);
+  EXPECT_EQ(nano.flash_bytes, 1024 * 1024);
+  const Device h7 = stm32h743();
+  EXPECT_EQ(h7.sram_bytes, 512 * 1024);
+  EXPECT_EQ(h7.flash_bytes, 2 * 1024 * 1024);
+  EXPECT_GT(h7.clock_hz, nano.clock_hz);
+}
+
+TEST(CostModel, SubByteKernelsAreFasterButNotLinear) {
+  const CostModel cm(arduino_nano_33_ble_sense());
+  const double c8 = cm.mac_cycles(1'000'000, 8);
+  const double c4 = cm.mac_cycles(1'000'000, 4);
+  const double c2 = cm.mac_cycles(1'000'000, 2);
+  EXPECT_LT(c4, c8);
+  EXPECT_LT(c2, c4);
+  // CMix-NN unpacking overhead: 4-bit is NOT a clean 2x speedup.
+  EXPECT_GT(c4, c8 / 2.0);
+  EXPECT_GT(c2, c8 / 4.0);
+}
+
+TEST(CostModel, RejectsNonDeployableBits) {
+  const CostModel cm(arduino_nano_33_ble_sense());
+  EXPECT_THROW((void)cm.mac_cycles(100, 3), std::invalid_argument);
+  EXPECT_THROW((void)cm.mac_cycles(100, 16), std::invalid_argument);
+}
+
+TEST(CostModel, GraphCyclesSumLayers) {
+  const nn::Graph g = two_conv();
+  const CostModel cm(arduino_nano_33_ble_sense());
+  const auto bits = nn::uniform_bits(g, 8);
+  const double expected =
+      cm.layer_cycles(g, 1, 8) + cm.layer_cycles(g, 2, 8);
+  EXPECT_NEAR(cm.graph_cycles(g, bits), expected, 1e-6);
+}
+
+TEST(CostModel, LatencyScalesInverselyWithClock) {
+  const nn::Graph g = two_conv();
+  Device slow = arduino_nano_33_ble_sense();
+  Device fast = slow;
+  fast.clock_hz *= 2.0;
+  const auto bits = nn::uniform_bits(g, 8);
+  EXPECT_NEAR(CostModel(slow).graph_latency_ms(g, bits),
+              2.0 * CostModel(fast).graph_latency_ms(g, bits), 1e-9);
+}
+
+TEST(CostModel, CalibratedLatencyMatchesTable1LayerBasedRow) {
+  // Table I layer-based / ImageNet on the Nano: 1536 MBitOPs (24 MMACs) in
+  // 617 ms. The calibrated constant must land within 15%.
+  const CostModel cm(arduino_nano_33_ble_sense());
+  const double ms =
+      cm.device().ms_from_cycles(cm.mac_cycles(24'000'000, 8));
+  EXPECT_NEAR(ms, 617.0, 617.0 * 0.15);
+}
+
+TEST(CostModel, ElementOpsCostLessThanMacs) {
+  const CostModel cm(arduino_nano_33_ble_sense());
+  EXPECT_LT(cm.element_cycles(1000), cm.mac_cycles(1000, 8) * 2.0);
+}
+
+}  // namespace
+}  // namespace qmcu::mcu

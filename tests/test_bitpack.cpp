@@ -1,0 +1,87 @@
+// Unit tests for sub-byte bit packing (quant/bitpack.h).
+#include <gtest/gtest.h>
+
+#include "nn/rng.h"
+#include "quant/bitpack.h"
+
+namespace qmcu::quant {
+namespace {
+
+class BitpackRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitpackRoundTrip, AllInRangeValuesSurvive) {
+  const int bits = GetParam();
+  const std::int32_t lo = -(1 << (bits - 1));
+  const std::int32_t hi = (1 << (bits - 1)) - 1;
+  std::vector<std::int8_t> values;
+  for (std::int32_t v = lo; v <= hi; ++v) {
+    values.push_back(static_cast<std::int8_t>(v));
+  }
+  const auto packed = pack(values, bits);
+  const auto back =
+      unpack(packed, static_cast<std::int64_t>(values.size()), bits);
+  EXPECT_EQ(back, values);
+}
+
+TEST_P(BitpackRoundTrip, RandomStreamsSurvive) {
+  const int bits = GetParam();
+  const std::int32_t lo = -(1 << (bits - 1));
+  const std::int32_t hi = (1 << (bits - 1)) - 1;
+  nn::Rng rng(42);
+  std::vector<std::int8_t> values(1000);
+  for (auto& v : values) {
+    v = static_cast<std::int8_t>(
+        lo + static_cast<std::int32_t>(rng.uniform() * (hi - lo + 1)));
+  }
+  const auto packed = pack(values, bits);
+  const auto back = unpack(packed, 1000, bits);
+  EXPECT_EQ(back, values);
+}
+
+TEST_P(BitpackRoundTrip, PackedSizeIsExact) {
+  const int bits = GetParam();
+  EXPECT_EQ(packed_size_bytes(8, bits), bits);  // 8 elems * bits / 8
+  // Odd counts round up.
+  EXPECT_EQ(packed_size_bytes(9, bits), (9 * bits + 7) / 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFieldWidths, BitpackRoundTrip,
+                         ::testing::Values(2, 4, 8));
+
+TEST(Bitpack, CompressionRatioVsInt8) {
+  std::vector<std::int8_t> values(64, 1);
+  EXPECT_EQ(pack(values, 4).size(), 32u);
+  EXPECT_EQ(pack(values, 2).size(), 16u);
+}
+
+TEST(Bitpack, RejectsOutOfRangeValue) {
+  std::vector<std::int8_t> values{8};  // int4 range is [-8, 7]
+  EXPECT_THROW(pack(values, 4), std::invalid_argument);
+}
+
+TEST(Bitpack, RejectsUnsupportedWidth) {
+  std::vector<std::int8_t> values{0};
+  EXPECT_THROW(pack(values, 3), std::invalid_argument);
+  EXPECT_THROW(unpack({}, 0, 5), std::invalid_argument);
+}
+
+TEST(Bitpack, RejectsShortBuffer) {
+  std::vector<std::uint8_t> packed{0x00};
+  EXPECT_THROW(unpack(packed, 9, 4), std::invalid_argument);
+}
+
+TEST(Bitpack, FirstElementInLeastSignificantField) {
+  std::vector<std::int8_t> values{1, 2};
+  const auto packed = pack(values, 4);
+  ASSERT_EQ(packed.size(), 1u);
+  EXPECT_EQ(packed[0], 0x21);  // elem0 = low nibble
+}
+
+TEST(Bitpack, NegativeValuesSignExtendCorrectly) {
+  std::vector<std::int8_t> values{-1, -8, 7, 0};
+  const auto back = unpack(pack(values, 4), 4, 4);
+  EXPECT_EQ(back, values);
+}
+
+}  // namespace
+}  // namespace qmcu::quant

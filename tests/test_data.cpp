@@ -1,0 +1,147 @@
+// Tests for the synthetic dataset generators (data/synthetic.h).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/vdpc.h"
+#include "data/synthetic.h"
+
+namespace qmcu::data {
+namespace {
+
+DataConfig small(DatasetKind kind) {
+  DataConfig cfg;
+  cfg.kind = kind;
+  cfg.resolution = 48;
+  return cfg;
+}
+
+class BothDatasets : public ::testing::TestWithParam<DatasetKind> {};
+
+TEST_P(BothDatasets, DeterministicPerIndex) {
+  const SyntheticDataset ds(small(GetParam()));
+  const nn::Tensor a = ds.image(3);
+  const nn::Tensor b = ds.image(3);
+  ASSERT_EQ(a.shape(), b.shape());
+  for (std::size_t i = 0; i < a.data().size(); ++i) {
+    ASSERT_FLOAT_EQ(a.data()[i], b.data()[i]);
+  }
+}
+
+TEST_P(BothDatasets, DifferentIndicesDiffer) {
+  const SyntheticDataset ds(small(GetParam()));
+  const nn::Tensor a = ds.image(0);
+  const nn::Tensor b = ds.image(1);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < a.data().size(); ++i) {
+    diff += std::abs(a.data()[i] - b.data()[i]);
+  }
+  EXPECT_GT(diff, 1.0);
+}
+
+TEST_P(BothDatasets, BellShapedBodyWithHeavyTail) {
+  const SyntheticDataset ds(small(GetParam()));
+  const nn::Tensor img = ds.image(0);
+  const core::GaussianFit fit = core::fit_gaussian(img.data());
+  EXPECT_GT(fit.stddev, 0.0);
+  // Count mass beyond 3 sigma: a pure Gaussian would have ~0.27%; the
+  // heavy-tail component must push it visibly higher, but outliers must
+  // stay rare (that is what makes VDPC selective).
+  int beyond = 0;
+  for (float v : img.data()) {
+    if (std::abs(v - fit.mean) > 3.0 * fit.stddev) ++beyond;
+  }
+  const double frac =
+      static_cast<double>(beyond) / static_cast<double>(img.elements());
+  EXPECT_GT(frac, 0.001);
+  EXPECT_LT(frac, 0.2);
+}
+
+TEST_P(BothDatasets, BatchIsConsistentWithImage) {
+  const SyntheticDataset ds(small(GetParam()));
+  const auto batch = ds.batch(5, 3);
+  ASSERT_EQ(batch.size(), 3u);
+  const nn::Tensor direct = ds.image(6);
+  for (std::size_t i = 0; i < direct.data().size(); ++i) {
+    ASSERT_FLOAT_EQ(batch[1].data()[i], direct.data()[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, BothDatasets,
+                         ::testing::Values(DatasetKind::ImageNetLike,
+                                           DatasetKind::PascalVocLike));
+
+TEST(SyntheticDataset, SeedChangesContent) {
+  DataConfig a = small(DatasetKind::ImageNetLike);
+  DataConfig b = a;
+  b.seed = a.seed + 1;
+  const nn::Tensor ia = SyntheticDataset(a).image(0);
+  const nn::Tensor ib = SyntheticDataset(b).image(0);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < ia.data().size(); ++i) {
+    diff += std::abs(ia.data()[i] - ib.data()[i]);
+  }
+  EXPECT_GT(diff, 1.0);
+}
+
+TEST(SyntheticDataset, OutlierKnobControlsTailMass) {
+  DataConfig none = small(DatasetKind::ImageNetLike);
+  none.outlier_probability = 0.0;
+  DataConfig lots = none;
+  lots.outlier_probability = 0.05;
+
+  const auto tail_fraction = [](const nn::Tensor& img) {
+    const core::GaussianFit fit = core::fit_gaussian(img.data());
+    int beyond = 0;
+    for (float v : img.data()) {
+      if (std::abs(v - fit.mean) > 3.5 * fit.stddev) ++beyond;
+    }
+    return static_cast<double>(beyond) /
+           static_cast<double>(img.elements());
+  };
+  EXPECT_GT(tail_fraction(SyntheticDataset(lots).image(0)),
+            tail_fraction(SyntheticDataset(none).image(0)));
+}
+
+TEST(SyntheticDataset, VocImagesHaveHigherContrastThanImageNet) {
+  // Object boxes multiply local contrast, so the VOC-like generator should
+  // produce a larger dynamic range on average.
+  DataConfig in_cfg = small(DatasetKind::ImageNetLike);
+  DataConfig voc_cfg = small(DatasetKind::PascalVocLike);
+  double in_range = 0.0;
+  double voc_range = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    const auto [ilo, ihi] =
+        nn::tensor_min_max(SyntheticDataset(in_cfg).image(i));
+    const auto [vlo, vhi] =
+        nn::tensor_min_max(SyntheticDataset(voc_cfg).image(i));
+    in_range += ihi - ilo;
+    voc_range += vhi - vlo;
+  }
+  EXPECT_GT(voc_range, in_range);
+}
+
+TEST(SyntheticDataset, RespectsRequestedGeometry) {
+  DataConfig cfg = small(DatasetKind::ImageNetLike);
+  cfg.resolution = 31;
+  cfg.channels = 1;
+  const nn::Tensor img = SyntheticDataset(cfg).image(0);
+  EXPECT_EQ(img.shape(), (nn::TensorShape{31, 31, 1}));
+}
+
+TEST(SyntheticDataset, RejectsInvalidConfig) {
+  DataConfig cfg = small(DatasetKind::ImageNetLike);
+  cfg.resolution = 0;
+  EXPECT_THROW(SyntheticDataset{cfg}, std::invalid_argument);
+  cfg = small(DatasetKind::ImageNetLike);
+  cfg.outlier_probability = 1.5;
+  EXPECT_THROW(SyntheticDataset{cfg}, std::invalid_argument);
+}
+
+TEST(SyntheticDataset, DatasetNames) {
+  EXPECT_STREQ(dataset_name(DatasetKind::ImageNetLike), "ImageNet");
+  EXPECT_STREQ(dataset_name(DatasetKind::PascalVocLike), "PascalVOC");
+}
+
+}  // namespace
+}  // namespace qmcu::data

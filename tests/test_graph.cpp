@@ -1,0 +1,168 @@
+// Unit tests for the graph IR (nn/graph.h): shape inference, MAC counting,
+// consumer tracking, parameter validation.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "nn/graph.h"
+
+namespace qmcu::nn {
+namespace {
+
+TEST(Graph, ConvShapeInferenceSamePadding) {
+  Graph g("t");
+  const int in = g.add_input(TensorShape{32, 32, 3});
+  const int c = g.add_conv2d(in, 16, 3, 1, 1, Activation::ReLU);
+  EXPECT_EQ(g.shape(c), (TensorShape{32, 32, 16}));
+}
+
+TEST(Graph, ConvShapeInferenceStride2) {
+  Graph g("t");
+  const int in = g.add_input(TensorShape{32, 32, 3});
+  const int c = g.add_conv2d(in, 8, 3, 2, 1, Activation::None);
+  EXPECT_EQ(g.shape(c), (TensorShape{16, 16, 8}));
+}
+
+TEST(Graph, OddExtentStride2RoundsLikeCeilHalf) {
+  Graph g("t");
+  const int in = g.add_input(TensorShape{15, 15, 1});
+  const int c = g.add_conv2d(in, 1, 3, 2, 1, Activation::None);
+  EXPECT_EQ(g.shape(c).h, 8);  // ceil(15/2)
+}
+
+TEST(Graph, DepthwisePreservesChannels) {
+  Graph g("t");
+  const int in = g.add_input(TensorShape{8, 8, 24});
+  const int d = g.add_depthwise_conv2d(in, 3, 1, 1, Activation::ReLU6);
+  EXPECT_EQ(g.shape(d), (TensorShape{8, 8, 24}));
+}
+
+TEST(Graph, FullyConnectedFlattensInput) {
+  Graph g("t");
+  const int in = g.add_input(TensorShape{4, 4, 8});
+  const int f = g.add_fully_connected(in, 10, Activation::None);
+  EXPECT_EQ(g.shape(f), (TensorShape{1, 1, 10}));
+  EXPECT_EQ(g.macs(f), 4 * 4 * 8 * 10);
+}
+
+TEST(Graph, ConcatSumsChannels) {
+  Graph g("t");
+  const int in = g.add_input(TensorShape{8, 8, 4});
+  const int a = g.add_conv2d(in, 6, 1, 1, 0, Activation::ReLU);
+  const int b = g.add_conv2d(in, 10, 1, 1, 0, Activation::ReLU);
+  const std::array<int, 2> ins{a, b};
+  const int c = g.add_concat(ins);
+  EXPECT_EQ(g.shape(c), (TensorShape{8, 8, 16}));
+}
+
+TEST(Graph, ConcatRejectsSpatialMismatch) {
+  Graph g("t");
+  const int in = g.add_input(TensorShape{8, 8, 4});
+  const int a = g.add_conv2d(in, 4, 1, 1, 0, Activation::None);
+  const int b = g.add_conv2d(in, 4, 3, 2, 1, Activation::None);
+  const std::array<int, 2> ins{a, b};
+  EXPECT_THROW(g.add_concat(ins), std::invalid_argument);
+}
+
+TEST(Graph, ResidualAddRequiresMatchingShapes) {
+  Graph g("t");
+  const int in = g.add_input(TensorShape{8, 8, 4});
+  const int a = g.add_conv2d(in, 4, 3, 1, 1, Activation::None);
+  const int b = g.add_conv2d(in, 8, 3, 1, 1, Activation::None);
+  EXPECT_THROW(g.add_residual_add(a, b, Activation::None),
+               std::invalid_argument);
+  const int c = g.add_conv2d(in, 4, 3, 1, 1, Activation::None);
+  EXPECT_NO_THROW(g.add_residual_add(a, c, Activation::ReLU));
+}
+
+TEST(Graph, ConvMacsMatchClosedForm) {
+  Graph g("t");
+  const int in = g.add_input(TensorShape{16, 16, 3});
+  const int c = g.add_conv2d(in, 8, 3, 1, 1, Activation::None);
+  EXPECT_EQ(g.macs(c), 16LL * 16 * 8 * 3 * 3 * 3);
+}
+
+TEST(Graph, DepthwiseMacsMatchClosedForm) {
+  Graph g("t");
+  const int in = g.add_input(TensorShape{16, 16, 12});
+  const int d = g.add_depthwise_conv2d(in, 5, 1, 2, Activation::None);
+  EXPECT_EQ(g.macs(d), 16LL * 16 * 12 * 5 * 5);
+}
+
+TEST(Graph, NonMacOpsReportZeroMacs) {
+  Graph g("t");
+  const int in = g.add_input(TensorShape{8, 8, 4});
+  const int p = g.add_max_pool(in, 2, 2, 0);
+  const int q = g.add_global_avg_pool(p);
+  EXPECT_EQ(g.macs(in), 0);
+  EXPECT_EQ(g.macs(p), 0);
+  EXPECT_EQ(g.macs(q), 0);
+}
+
+TEST(Graph, ConsumersTracksAllEdges) {
+  Graph g("t");
+  const int in = g.add_input(TensorShape{8, 8, 4});
+  const int a = g.add_conv2d(in, 4, 3, 1, 1, Activation::None);
+  const int b = g.add_conv2d(in, 4, 3, 1, 1, Activation::None);
+  const int c = g.add_residual_add(a, b, Activation::None);
+  EXPECT_EQ(g.consumers(in).size(), 2u);
+  EXPECT_EQ(g.consumers(a), std::vector<int>{c});
+  EXPECT_TRUE(g.consumers(c).empty());
+}
+
+TEST(Graph, SetParametersValidatesCounts) {
+  Graph g("t");
+  const int in = g.add_input(TensorShape{4, 4, 2});
+  const int c = g.add_conv2d(in, 3, 1, 1, 0, Activation::None);
+  EXPECT_EQ(g.weight_count(c), 6);
+  EXPECT_THROW(g.set_parameters(c, std::vector<float>(5), {}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      g.set_parameters(c, std::vector<float>(6), std::vector<float>(2)),
+      std::invalid_argument);
+  EXPECT_NO_THROW(
+      g.set_parameters(c, std::vector<float>(6), std::vector<float>(3)));
+  EXPECT_TRUE(g.has_parameters(c));
+}
+
+TEST(Graph, RejectsParametersOnNonMacLayer) {
+  Graph g("t");
+  const int in = g.add_input(TensorShape{4, 4, 2});
+  const int p = g.add_max_pool(in, 2, 2, 0);
+  EXPECT_THROW(g.set_parameters(p, {}, {}), std::invalid_argument);
+}
+
+TEST(Graph, KernelLargerThanInputRejected) {
+  Graph g("t");
+  const int in = g.add_input(TensorShape{2, 2, 1});
+  EXPECT_THROW(g.add_conv2d(in, 1, 5, 1, 0, Activation::None),
+               std::invalid_argument);
+}
+
+TEST(Graph, TotalMacsIsSumOverLayers) {
+  Graph g("t");
+  const int in = g.add_input(TensorShape{8, 8, 3});
+  const int a = g.add_conv2d(in, 4, 3, 1, 1, Activation::ReLU);
+  const int b = g.add_conv2d(a, 8, 1, 1, 0, Activation::ReLU);
+  EXPECT_EQ(g.total_macs(), g.macs(a) + g.macs(b));
+}
+
+TEST(Graph, ElementOpsForPoolAndAdd) {
+  Graph g("t");
+  const int in = g.add_input(TensorShape{8, 8, 4});
+  const int p = g.add_avg_pool(in, 2, 2, 0);
+  EXPECT_EQ(g.element_ops(p), 4LL * 4 * 4 * 2 * 2);
+  const int a = g.add_conv2d(p, 4, 1, 1, 0, Activation::None);
+  const int s = g.add_residual_add(p, a, Activation::None);
+  EXPECT_EQ(g.element_ops(s), 4LL * 4 * 4);
+}
+
+TEST(Graph, LayerNamesAutoGeneratedWhenEmpty) {
+  Graph g("t");
+  const int in = g.add_input(TensorShape{4, 4, 1});
+  const int c = g.add_conv2d(in, 1, 1, 1, 0, Activation::None);
+  EXPECT_FALSE(g.layer(c).name.empty());
+}
+
+}  // namespace
+}  // namespace qmcu::nn

@@ -1,0 +1,71 @@
+// Tests for graph inspection (nn/graph_io.h).
+#include <gtest/gtest.h>
+
+#include "models/zoo.h"
+#include "nn/graph_io.h"
+
+namespace qmcu::nn {
+namespace {
+
+Graph small() {
+  Graph g("t");
+  const int in = g.add_input(TensorShape{8, 8, 3});
+  const int a = g.add_conv2d(in, 4, 3, 2, 1, Activation::ReLU, "stem");
+  g.add_global_avg_pool(a);
+  return g;
+}
+
+TEST(Summarize, ContainsEveryLayerAndTotals) {
+  const Graph g = small();
+  const std::string s = summarize(g);
+  EXPECT_NE(s.find("input"), std::string::npos);
+  EXPECT_NE(s.find("conv2d"), std::string::npos);
+  EXPECT_NE(s.find("gavgpool"), std::string::npos);
+  EXPECT_NE(s.find("stem"), std::string::npos);
+  EXPECT_NE(s.find("total:"), std::string::npos);
+  EXPECT_NE(s.find(std::to_string(g.total_macs())), std::string::npos);
+}
+
+TEST(Summarize, GeometryColumnShowsKernelStridePad) {
+  const std::string s = summarize(small());
+  EXPECT_NE(s.find("3x3 s2 p1"), std::string::npos);
+}
+
+TEST(ToDot, ProducesValidDigraphWithAllEdges) {
+  const Graph g = small();
+  const std::string d = to_dot(g);
+  EXPECT_EQ(d.find("digraph"), 0u);
+  EXPECT_NE(d.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(d.find("n1 -> n2"), std::string::npos);
+  EXPECT_EQ(d.back(), '\n');
+}
+
+TEST(ToDot, HighlightMarksPatchStage) {
+  const Graph g = small();
+  const std::string d = to_dot(g, 1);
+  // Layers 0 and 1 highlighted, layer 2 not.
+  EXPECT_EQ(std::count(d.begin(), d.end(), 'f') >= 2, true);
+  EXPECT_NE(d.find("fillcolor=lightblue"), std::string::npos);
+}
+
+TEST(ToDot, WorksOnBranchedTopologies) {
+  models::ModelConfig cfg;
+  cfg.width_multiplier = 0.25f;
+  cfg.resolution = 32;
+  cfg.num_classes = 10;
+  cfg.init_weights = false;
+  const Graph g = models::make_squeezenet(cfg);
+  const std::string d = to_dot(g);
+  // Every consumer edge appears exactly once.
+  std::size_t edges = 0;
+  for (std::size_t pos = d.find(" -> "); pos != std::string::npos;
+       pos = d.find(" -> ", pos + 1)) {
+    ++edges;
+  }
+  std::size_t expected = 0;
+  for (int i = 0; i < g.size(); ++i) expected += g.layer(i).inputs.size();
+  EXPECT_EQ(edges, expected);
+}
+
+}  // namespace
+}  // namespace qmcu::nn

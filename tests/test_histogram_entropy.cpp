@@ -1,0 +1,127 @@
+// Unit tests for histograms and activation entropy (quant/histogram.h,
+// quant/entropy.h) — the accuracy proxy of VDQS (paper Eqs. 3-4).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/rng.h"
+#include "quant/entropy.h"
+#include "quant/histogram.h"
+
+namespace qmcu::quant {
+namespace {
+
+TEST(Histogram, UniformDataFillsBinsEvenly) {
+  Histogram h(0.0f, 1.0f, 4);
+  for (int i = 0; i < 400; ++i) {
+    h.add((static_cast<float>(i) + 0.5f) / 400.0f);
+  }
+  for (std::int64_t c : h.counts()) EXPECT_EQ(c, 100);
+}
+
+TEST(Histogram, OutOfRangeValuesClampIntoEdgeBins) {
+  Histogram h(0.0f, 1.0f, 2);
+  h.add(-5.0f);
+  h.add(99.0f);
+  EXPECT_EQ(h.counts()[0], 1);
+  EXPECT_EQ(h.counts()[1], 1);
+  EXPECT_EQ(h.total(), 2);
+}
+
+TEST(Histogram, ProbabilitiesSumToOne) {
+  Histogram h(-1.0f, 1.0f, 8);
+  nn::Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    h.add(static_cast<float>(rng.normal(0.0, 0.3)));
+  }
+  double sum = 0.0;
+  for (double p : h.probabilities()) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Histogram, RejectsDegenerateConstruction) {
+  EXPECT_THROW(Histogram(1.0f, 1.0f, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0f, 1.0f, 0), std::invalid_argument);
+}
+
+TEST(ShannonEntropy, DeltaDistributionHasZeroEntropy) {
+  const std::vector<std::int64_t> counts{0, 100, 0, 0};
+  EXPECT_DOUBLE_EQ(shannon_entropy(counts), 0.0);
+}
+
+TEST(ShannonEntropy, UniformDistributionIsLogK) {
+  const std::vector<std::int64_t> counts{25, 25, 25, 25};
+  EXPECT_NEAR(shannon_entropy(counts), std::log(4.0), 1e-12);
+}
+
+TEST(ShannonEntropy, EmptyHistogramIsZero) {
+  const std::vector<std::int64_t> counts{0, 0, 0};
+  EXPECT_DOUBLE_EQ(shannon_entropy(counts), 0.0);
+}
+
+TEST(ShannonEntropy, UniformMaximisesEntropy) {
+  const std::vector<std::int64_t> uniform{50, 50, 50, 50};
+  const std::vector<std::int64_t> skewed{170, 10, 10, 10};
+  EXPECT_GT(shannon_entropy(uniform), shannon_entropy(skewed));
+}
+
+nn::Tensor gaussian_tensor(int n, double stddev, std::uint64_t seed) {
+  nn::Tensor t(nn::TensorShape{1, 1, n});
+  nn::Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    t.at(0, 0, i) = static_cast<float>(rng.normal(0.0, stddev));
+  }
+  return t;
+}
+
+// Property: quantizing to fewer bits can only destroy information —
+// H(i, 2) <= H(i, 4) <= H(i, 8) <= H(i, float) (paper's Eq. 5 premise).
+TEST(ActivationEntropy, MonotoneInBitwidthOnGaussianData) {
+  const nn::Tensor t = gaussian_tensor(4096, 1.0, 99);
+  const int k = 256;
+  const double h_float = activation_entropy(t, k);
+  const double h8 = quantized_activation_entropy(t, 8, k);
+  const double h4 = quantized_activation_entropy(t, 4, k);
+  const double h2 = quantized_activation_entropy(t, 2, k);
+  EXPECT_LE(h2, h4 + 1e-9);
+  EXPECT_LE(h4, h8 + 1e-9);
+  EXPECT_LE(h8, h_float + 1e-9);
+  EXPECT_GT(h_float, 0.0);
+}
+
+TEST(ActivationEntropy, QuantizedLevelsBoundEntropy) {
+  const nn::Tensor t = gaussian_tensor(8192, 1.0, 17);
+  // A b-bit tensor has at most 2^b distinct values -> entropy <= b ln 2.
+  EXPECT_LE(quantized_activation_entropy(t, 2, 256), 2.0 * std::log(2.0) + 1e-9);
+  EXPECT_LE(quantized_activation_entropy(t, 4, 256), 4.0 * std::log(2.0) + 1e-9);
+}
+
+TEST(ActivationEntropy, ConstantTensorHasZeroEntropy) {
+  nn::Tensor t(nn::TensorShape{1, 1, 16});
+  for (int i = 0; i < 16; ++i) t.at(0, 0, i) = 3.0f;
+  EXPECT_DOUBLE_EQ(activation_entropy(t, 64), 0.0);
+}
+
+TEST(QuantizationMse, ShrinksWithMoreBits) {
+  const nn::Tensor t = gaussian_tensor(2048, 1.0, 3);
+  const double m2 = quantization_mse(t, 2);
+  const double m4 = quantization_mse(t, 4);
+  const double m8 = quantization_mse(t, 8);
+  EXPECT_GT(m2, m4);
+  EXPECT_GT(m4, m8);
+  EXPECT_GE(m8, 0.0);
+}
+
+TEST(TensorVariance, MatchesClosedForm) {
+  nn::Tensor t(nn::TensorShape{1, 1, 4}, {1.0f, 3.0f, 5.0f, 7.0f});
+  EXPECT_NEAR(tensor_variance(t), 5.0, 1e-9);  // population variance
+}
+
+TEST(TensorVariance, ZeroForConstantTensor) {
+  nn::Tensor t(nn::TensorShape{1, 1, 8});
+  for (int i = 0; i < 8; ++i) t.at(0, 0, i) = -2.5f;
+  EXPECT_DOUBLE_EQ(tensor_variance(t), 0.0);
+}
+
+}  // namespace
+}  // namespace qmcu::quant

@@ -1,0 +1,97 @@
+// Tests for the arena memory planner (nn/memory_planner.h).
+#include <gtest/gtest.h>
+
+#include "nn/memory_planner.h"
+
+namespace qmcu::nn {
+namespace {
+
+TEST(MemoryPlanner, ChainPeakIsAdjacentPair) {
+  Graph g("chain");
+  const int in = g.add_input(TensorShape{8, 8, 4});    // 256 B at int8
+  const int a = g.add_conv2d(in, 16, 3, 1, 1, Activation::ReLU);  // 1024 B
+  const int b = g.add_conv2d(a, 2, 3, 2, 1, Activation::ReLU);    // 32 B
+  g.add_global_avg_pool(b);
+  const MemoryPlan plan = plan_layer_based(g, uniform_bits(g, 8));
+  // Peak while running `a`: input (256) + a's output (1024).
+  EXPECT_EQ(plan.peak_bytes, 256 + 1024);
+  EXPECT_EQ(plan.peak_step, a);
+}
+
+TEST(MemoryPlanner, ResidualKeepsSkipTensorAlive) {
+  Graph g("res");
+  const int in = g.add_input(TensorShape{8, 8, 8});  // 512 B
+  const int a = g.add_conv2d(in, 8, 3, 1, 1, Activation::ReLU);  // 512 B
+  const int b = g.add_conv2d(a, 8, 3, 1, 1, Activation::None);   // 512 B
+  g.add_residual_add(in, b, Activation::ReLU);  // consumes `in` again
+  const MemoryPlan plan = plan_layer_based(g, uniform_bits(g, 8));
+  // While running b: in (skip, still live) + a + b = 1536.
+  EXPECT_EQ(plan.peak_bytes, 512 * 3);
+}
+
+TEST(MemoryPlanner, WithoutSkipTensorIsFreedEarlier) {
+  Graph g("chain");
+  const int in = g.add_input(TensorShape{8, 8, 8});
+  const int a = g.add_conv2d(in, 8, 3, 1, 1, Activation::ReLU);
+  const int b = g.add_conv2d(a, 8, 3, 1, 1, Activation::None);
+  g.add_conv2d(b, 8, 3, 1, 1, Activation::None);
+  const MemoryPlan plan = plan_layer_based(g, uniform_bits(g, 8));
+  EXPECT_EQ(plan.peak_bytes, 512 * 2);  // only producer+consumer pairs
+}
+
+TEST(MemoryPlanner, SubByteBitsShrinkFootprint) {
+  Graph g("t");
+  const int in = g.add_input(TensorShape{8, 8, 8});
+  g.add_conv2d(in, 8, 3, 1, 1, Activation::ReLU);
+  const auto p8 = plan_layer_based(g, uniform_bits(g, 8));
+  const auto p4 = plan_layer_based(g, uniform_bits(g, 4));
+  const auto p2 = plan_layer_based(g, uniform_bits(g, 2));
+  EXPECT_EQ(p4.peak_bytes * 2, p8.peak_bytes);
+  EXPECT_EQ(p2.peak_bytes * 4, p8.peak_bytes);
+}
+
+TEST(MemoryPlanner, MixedBitsPriceEachTensorSeparately) {
+  Graph g("t");
+  const int in = g.add_input(TensorShape{8, 8, 8});  // layer 0
+  g.add_conv2d(in, 8, 3, 1, 1, Activation::ReLU);    // layer 1
+  std::vector<int> bits{4, 8};
+  const auto plan = plan_layer_based(g, bits);
+  EXPECT_EQ(plan.peak_bytes, 512 / 2 + 512);
+}
+
+TEST(MemoryPlanner, LastUseStepFollowsConsumers) {
+  Graph g("t");
+  const int in = g.add_input(TensorShape{8, 8, 4});
+  const int a = g.add_conv2d(in, 4, 3, 1, 1, Activation::ReLU);
+  const int b = g.add_conv2d(a, 4, 3, 1, 1, Activation::ReLU);
+  const int c = g.add_residual_add(a, b, Activation::None);
+  EXPECT_EQ(last_use_step(g, in), a);
+  EXPECT_EQ(last_use_step(g, a), c);  // kept alive by the residual
+  EXPECT_EQ(last_use_step(g, c), c);  // unconsumed output
+}
+
+TEST(MemoryPlanner, StepBytesHasOneEntryPerLayer) {
+  Graph g("t");
+  const int in = g.add_input(TensorShape{4, 4, 2});
+  g.add_conv2d(in, 2, 1, 1, 0, Activation::None);
+  const auto plan = plan_layer_based(g, uniform_bits(g, 8));
+  EXPECT_EQ(static_cast<int>(plan.step_bytes.size()), g.size());
+}
+
+TEST(MemoryPlanner, FlashBytesCountWeightsAndBias) {
+  Graph g("t");
+  const int in = g.add_input(TensorShape{4, 4, 2});
+  g.add_conv2d(in, 3, 1, 1, 0, Activation::None);  // 6 weights + 3 biases
+  EXPECT_EQ(model_flash_bytes(g, 8), 6 + 3 * 4);
+  EXPECT_EQ(model_flash_bytes(g, 4), 3 + 3 * 4);
+}
+
+TEST(MemoryPlanner, RejectsMismatchedBitsVector) {
+  Graph g("t");
+  g.add_input(TensorShape{4, 4, 2});
+  const std::vector<int> wrong{8, 8, 8};
+  EXPECT_THROW(plan_layer_based(g, wrong), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qmcu::nn

@@ -1,0 +1,139 @@
+// Tests for the patch cost/memory model (patch/patch_cost.h).
+#include <gtest/gtest.h>
+
+#include "mcu/device.h"
+#include "nn/memory_planner.h"
+#include "patch/mcunetv2.h"
+#include "patch/patch_cost.h"
+
+namespace qmcu::patch {
+namespace {
+
+nn::Graph stage_net() {
+  nn::Graph g("stage");
+  const int in = g.add_input(nn::TensorShape{32, 32, 3});
+  const int stem = g.add_conv2d(in, 8, 3, 2, 1, nn::Activation::ReLU6);
+  const int a = g.add_conv2d(stem, 16, 3, 1, 1, nn::Activation::ReLU);
+  const int b = g.add_conv2d(a, 16, 3, 2, 1, nn::Activation::ReLU);
+  const int c = g.add_conv2d(b, 32, 3, 1, 1, nn::Activation::ReLU);
+  const int gap = g.add_global_avg_pool(c);
+  g.add_fully_connected(gap, 10, nn::Activation::None);
+  return g;
+}
+
+PatchPlan make_plan(const nn::Graph& g, int split, int grid) {
+  PatchSpec spec;
+  spec.split_layer = split;
+  spec.grid_rows = spec.grid_cols = grid;
+  return build_patch_plan(g, spec);
+}
+
+mcu::CostModel cost_model() {
+  return mcu::CostModel(mcu::arduino_nano_33_ble_sense());
+}
+
+TEST(PatchCost, Uniform8BitopsExceedLayerBasedByRedundancy) {
+  const nn::Graph g = stage_net();
+  const PatchPlan plan = make_plan(g, 3, 2);
+  const auto bits = uniform_branch_bits(plan, 8);
+  const auto tail = nn::uniform_bits(g, 8);
+  const PatchCost cost =
+      evaluate_patch_cost(g, plan, bits, tail, cost_model());
+  const std::int64_t layer_bitops = g.total_macs() * 8 * 8;
+  EXPECT_GT(cost.bitops, layer_bitops);
+  // ... by exactly the redundant MACs at 8x8.
+  EXPECT_EQ(cost.bitops - layer_bitops, plan.redundant_macs() * 64);
+}
+
+TEST(PatchCost, PatchPeakBelowLayerBasedPeak) {
+  const nn::Graph g = stage_net();
+  const PatchPlan plan = make_plan(g, 3, 4);
+  const auto bits = uniform_branch_bits(plan, 8);
+  const auto tail = nn::uniform_bits(g, 8);
+  const PatchCost cost =
+      evaluate_patch_cost(g, plan, bits, tail, cost_model());
+  const auto layer_plan = nn::plan_layer_based(g, tail);
+  EXPECT_LT(cost.peak_bytes, layer_plan.peak_bytes);
+}
+
+TEST(PatchCost, SubByteBranchesCutBitopsAndMemory) {
+  const nn::Graph g = stage_net();
+  const PatchPlan plan = make_plan(g, 3, 2);
+  const auto tail = nn::uniform_bits(g, 8);
+  const auto c8 = evaluate_patch_cost(g, plan, uniform_branch_bits(plan, 8),
+                                      tail, cost_model());
+  const auto c4 = evaluate_patch_cost(g, plan, uniform_branch_bits(plan, 4),
+                                      tail, cost_model());
+  const auto c2 = evaluate_patch_cost(g, plan, uniform_branch_bits(plan, 2),
+                                      tail, cost_model());
+  EXPECT_LT(c4.bitops, c8.bitops);
+  EXPECT_LT(c2.bitops, c4.bitops);
+  EXPECT_LT(c4.peak_bytes, c8.peak_bytes);
+  EXPECT_LT(c2.peak_bytes, c4.peak_bytes);
+  EXPECT_LT(c4.latency_ms, c8.latency_ms);
+  EXPECT_LT(c2.latency_ms, c4.latency_ms);
+}
+
+TEST(PatchCost, MixedBranchesPriceIndividually) {
+  const nn::Graph g = stage_net();
+  const PatchPlan plan = make_plan(g, 3, 2);
+  const auto tail = nn::uniform_bits(g, 8);
+  auto mixed = uniform_branch_bits(plan, 8);
+  // One branch fully sub-byte: cost must fall strictly between all-8 and
+  // all-4.
+  mixed[0].bits.assign(mixed[0].bits.size(), 4);
+  const auto c8 = evaluate_patch_cost(g, plan, uniform_branch_bits(plan, 8),
+                                      tail, cost_model());
+  const auto c4 = evaluate_patch_cost(g, plan, uniform_branch_bits(plan, 4),
+                                      tail, cost_model());
+  const auto cm = evaluate_patch_cost(g, plan, mixed, tail, cost_model());
+  EXPECT_LT(cm.bitops, c8.bitops);
+  EXPECT_GT(cm.bitops, c4.bitops);
+}
+
+TEST(PatchCost, StageBitopsAreSubsetOfTotal) {
+  const nn::Graph g = stage_net();
+  const PatchPlan plan = make_plan(g, 1, 2);
+  const auto cost = evaluate_patch_cost(
+      g, plan, uniform_branch_bits(plan, 8), nn::uniform_bits(g, 8),
+      cost_model());
+  EXPECT_GT(cost.stage_bitops, 0);
+  EXPECT_LT(cost.stage_bitops, cost.bitops);
+}
+
+TEST(PatchCost, LatencyConsistentWithCycles) {
+  const nn::Graph g = stage_net();
+  const PatchPlan plan = make_plan(g, 3, 2);
+  const mcu::CostModel cm = cost_model();
+  const auto cost = evaluate_patch_cost(
+      g, plan, uniform_branch_bits(plan, 8), nn::uniform_bits(g, 8), cm);
+  EXPECT_NEAR(cost.latency_ms, cm.device().ms_from_cycles(cost.cycles),
+              1e-9);
+}
+
+TEST(PatchCost, SplitFeatureMapBytesSumSlices) {
+  const nn::Graph g = stage_net();
+  const PatchPlan plan = make_plan(g, 3, 2);
+  const auto bits8 = uniform_branch_bits(plan, 8);
+  const std::int64_t bytes = split_feature_map_bytes(g, plan, bits8);
+  EXPECT_EQ(bytes, g.shape(3).bytes(8));
+  const auto bits4 = uniform_branch_bits(plan, 4);
+  EXPECT_EQ(split_feature_map_bytes(g, plan, bits4), g.shape(3).bytes(4));
+}
+
+TEST(PatchCost, RejectsMismatchedConfigs) {
+  const nn::Graph g = stage_net();
+  const PatchPlan plan = make_plan(g, 3, 2);
+  const auto bits = uniform_branch_bits(plan, 8);
+  std::vector<int> short_tail{8};
+  EXPECT_THROW(
+      evaluate_patch_cost(g, plan, bits, short_tail, cost_model()),
+      std::invalid_argument);
+  std::vector<BranchBits> wrong(bits.begin(), bits.end() - 1);
+  EXPECT_THROW(evaluate_patch_cost(g, plan, wrong, nn::uniform_bits(g, 8),
+                                   cost_model()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qmcu::patch

@@ -1,0 +1,205 @@
+// Tests for patch planning (patch/patch_plan.h): cut points, tiling,
+// halo propagation and redundancy accounting.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "models/zoo.h"
+#include "patch/patch_plan.h"
+
+namespace qmcu::patch {
+namespace {
+
+// conv stem -> conv -> conv chain with stride 2s; simple and exact.
+nn::Graph chain_net() {
+  nn::Graph g("chain");
+  const int in = g.add_input(nn::TensorShape{16, 16, 3});
+  const int a = g.add_conv2d(in, 8, 3, 2, 1, nn::Activation::ReLU);   // 8x8
+  const int b = g.add_conv2d(a, 8, 3, 1, 1, nn::Activation::ReLU);    // 8x8
+  const int c = g.add_conv2d(b, 16, 3, 2, 1, nn::Activation::ReLU);   // 4x4
+  g.add_conv2d(c, 16, 1, 1, 0, nn::Activation::ReLU);
+  g.add_global_avg_pool(g.size() - 1);
+  return g;
+}
+
+// A residual block inside the stage exercises DAG propagation.
+nn::Graph residual_net() {
+  nn::Graph g("res");
+  const int in = g.add_input(nn::TensorShape{16, 16, 3});
+  const int stem = g.add_conv2d(in, 8, 3, 2, 1, nn::Activation::ReLU);
+  const int a = g.add_conv2d(stem, 8, 3, 1, 1, nn::Activation::ReLU);
+  const int b = g.add_residual_add(stem, a, nn::Activation::None);
+  g.add_conv2d(b, 16, 3, 2, 1, nn::Activation::ReLU);
+  g.add_global_avg_pool(g.size() - 1);
+  return g;
+}
+
+TEST(CutPoints, ChainHasEveryConvAsCut) {
+  const nn::Graph g = chain_net();
+  const std::vector<int> cuts = valid_cut_points(g);
+  // Layers 1..4 are all chain points with spatial outputs >= 2x2.
+  EXPECT_EQ(cuts, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(CutPoints, ResidualInteriorIsNotACut) {
+  const nn::Graph g = residual_net();
+  const std::vector<int> cuts = valid_cut_points(g);
+  // Layer 2 (conv a) is not a cut: stem (1) feeds the add (3) across it.
+  EXPECT_EQ(std::count(cuts.begin(), cuts.end(), 2), 0);
+  // stem itself and the add are cuts.
+  EXPECT_NE(std::count(cuts.begin(), cuts.end(), 1), 0);
+  EXPECT_NE(std::count(cuts.begin(), cuts.end(), 3), 0);
+}
+
+TEST(PatchPlan, TilesPartitionTheCutLayerExactly) {
+  const nn::Graph g = chain_net();
+  PatchSpec spec;
+  spec.split_layer = 2;  // 8x8 fm
+  spec.grid_rows = spec.grid_cols = 2;
+  const PatchPlan plan = build_patch_plan(g, spec);
+  ASSERT_EQ(plan.branches.size(), 4u);
+  // Collect every (y, x) covered by final-step out regions: must cover the
+  // 8x8 map exactly once.
+  std::set<std::pair<int, int>> covered;
+  for (const PatchBranch& b : plan.branches) {
+    const Region r = b.steps.back().out_region;
+    for (int y = r.y.begin; y < r.y.end; ++y) {
+      for (int x = r.x.begin; x < r.x.end; ++x) {
+        EXPECT_TRUE(covered.emplace(y, x).second)
+            << "double-covered " << y << "," << x;
+      }
+    }
+  }
+  EXPECT_EQ(covered.size(), 64u);
+}
+
+TEST(PatchPlan, HaloMakesIntermediateRegionsOverlap) {
+  const nn::Graph g = chain_net();
+  PatchSpec spec;
+  spec.split_layer = 2;
+  spec.grid_rows = spec.grid_cols = 2;
+  const PatchPlan plan = build_patch_plan(g, spec);
+  // Layer 1's regions (one below the cut) must overlap across branches.
+  std::int64_t sum_area = 0;
+  for (const PatchBranch& b : plan.branches) {
+    const int s = b.step_of(1);
+    ASSERT_GE(s, 0);
+    sum_area += b.steps[static_cast<std::size_t>(s)].out_region.area();
+  }
+  EXPECT_GT(sum_area, 8 * 8);  // overlap => sum exceeds the map area
+}
+
+TEST(PatchPlan, RedundancyPositiveAndBounded) {
+  const nn::Graph g = chain_net();
+  PatchSpec spec;
+  spec.split_layer = 2;
+  spec.grid_rows = spec.grid_cols = 2;
+  const PatchPlan plan = build_patch_plan(g, spec);
+  EXPECT_GT(plan.redundant_macs(), 0);
+  EXPECT_LT(plan.redundancy_ratio(), 1.0);  // far from doubling
+}
+
+TEST(PatchPlan, SingleTileGridHasZeroRedundancy) {
+  const nn::Graph g = chain_net();
+  PatchSpec spec;
+  spec.split_layer = 2;
+  spec.grid_rows = spec.grid_cols = 1;
+  const PatchPlan plan = build_patch_plan(g, spec);
+  EXPECT_EQ(plan.redundant_macs(), 0);
+  EXPECT_EQ(plan.stage_macs_patched, plan.stage_macs_layer_based);
+}
+
+TEST(PatchPlan, FinerGridMeansMoreRedundancy) {
+  const nn::Graph g = chain_net();
+  PatchSpec s2;
+  s2.split_layer = 2;
+  s2.grid_rows = s2.grid_cols = 2;
+  PatchSpec s4 = s2;
+  s4.grid_rows = s4.grid_cols = 4;
+  EXPECT_GT(build_patch_plan(g, s4).redundant_macs(),
+            build_patch_plan(g, s2).redundant_macs());
+}
+
+TEST(PatchPlan, DeeperSplitMeansMoreRedundancy) {
+  const nn::Graph g = chain_net();
+  PatchSpec shallow;
+  shallow.split_layer = 1;
+  shallow.grid_rows = shallow.grid_cols = 2;
+  PatchSpec deep = shallow;
+  deep.split_layer = 3;
+  EXPECT_GT(build_patch_plan(g, deep).redundant_macs(),
+            build_patch_plan(g, shallow).redundant_macs());
+}
+
+TEST(PatchPlan, ResidualStagePlansAllSteps) {
+  const nn::Graph g = residual_net();
+  PatchSpec spec;
+  spec.split_layer = 3;  // the residual add
+  spec.grid_rows = spec.grid_cols = 2;
+  const PatchPlan plan = build_patch_plan(g, spec);
+  for (const PatchBranch& b : plan.branches) {
+    // Steps: input, stem, conv a, add.
+    EXPECT_EQ(b.steps.size(), 4u);
+    EXPECT_EQ(b.steps.back().layer_id, 3);
+  }
+}
+
+TEST(PatchPlan, InputTilesPartitionTheImage) {
+  const nn::Graph g = chain_net();
+  PatchSpec spec;
+  spec.split_layer = 2;
+  spec.grid_rows = spec.grid_cols = 3;
+  const PatchPlan plan = build_patch_plan(g, spec);
+  std::int64_t area = 0;
+  for (const PatchBranch& b : plan.branches) {
+    area += plan.input_tile(b.row, b.col, g.shape(0)).area();
+  }
+  EXPECT_EQ(area, 16 * 16);
+}
+
+TEST(PatchPlan, RejectsInvalidSpecs) {
+  const nn::Graph g = residual_net();
+  PatchSpec bad_cut;
+  bad_cut.split_layer = 2;  // interior of the residual
+  bad_cut.grid_rows = bad_cut.grid_cols = 2;
+  EXPECT_THROW(build_patch_plan(g, bad_cut), std::invalid_argument);
+
+  PatchSpec fine;
+  fine.split_layer = 3;
+  fine.grid_rows = fine.grid_cols = 100;  // finer than the 8x8 map
+  EXPECT_THROW(build_patch_plan(g, fine), std::invalid_argument);
+}
+
+TEST(PatchPlan, MacsConsistentWithGraphTotals) {
+  const nn::Graph g = chain_net();
+  PatchSpec spec;
+  spec.split_layer = 2;
+  spec.grid_rows = spec.grid_cols = 2;
+  const PatchPlan plan = build_patch_plan(g, spec);
+  std::int64_t stage_macs = 0;
+  for (int l : plan.stage_layers) stage_macs += g.macs(l);
+  EXPECT_EQ(plan.stage_macs_layer_based, stage_macs);
+  std::int64_t patched = 0;
+  for (const PatchBranch& b : plan.branches) patched += b.total_macs;
+  EXPECT_EQ(plan.stage_macs_patched, patched);
+}
+
+TEST(PatchPlan, WorksOnMobileNetV2) {
+  models::ModelConfig cfg;
+  cfg.width_multiplier = 0.25f;
+  cfg.resolution = 64;
+  cfg.num_classes = 10;
+  cfg.init_weights = false;
+  const nn::Graph g = models::make_mobilenet_v2(cfg);
+  const std::vector<int> cuts = valid_cut_points(g);
+  ASSERT_FALSE(cuts.empty());
+  PatchSpec spec;
+  spec.split_layer = cuts[cuts.size() / 2];
+  spec.grid_rows = spec.grid_cols = 2;
+  const PatchPlan plan = build_patch_plan(g, spec);
+  EXPECT_EQ(plan.branches.size(), 4u);
+  EXPECT_GE(plan.redundant_macs(), 0);
+}
+
+}  // namespace
+}  // namespace qmcu::patch

@@ -1,0 +1,92 @@
+// Unit tests for the affine quantization contract (nn/quant_params.h).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/quant_params.h"
+
+namespace qmcu::nn {
+namespace {
+
+class QuantParamsBits : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantParamsBits, RangeEndpointsRepresentable) {
+  const int bits = GetParam();
+  const QuantParams p = choose_quant_params(-3.0f, 5.0f, bits);
+  EXPECT_NEAR(p.dequantize(p.quantize(-3.0f)), -3.0f, p.scale);
+  EXPECT_NEAR(p.dequantize(p.quantize(5.0f)), 5.0f, p.scale);
+}
+
+TEST_P(QuantParamsBits, ZeroIsExactlyRepresentable) {
+  const int bits = GetParam();
+  const QuantParams p = choose_quant_params(0.7f, 5.0f, bits);  // min > 0
+  EXPECT_EQ(p.quantize_dequantize(0.0f), 0.0f);
+}
+
+TEST_P(QuantParamsBits, RoundTripErrorBoundedByHalfScale) {
+  const int bits = GetParam();
+  const QuantParams p = choose_quant_params(-4.0f, 4.0f, bits);
+  for (float v = -4.0f; v <= 4.0f; v += 0.37f) {
+    EXPECT_LE(std::abs(p.quantize_dequantize(v) - v), p.scale * 0.5f + 1e-6f)
+        << "value " << v << " bits " << bits;
+  }
+}
+
+TEST_P(QuantParamsBits, SaturatesOutOfRangeValues) {
+  const int bits = GetParam();
+  const QuantParams p = choose_quant_params(-1.0f, 1.0f, bits);
+  EXPECT_EQ(p.quantize(100.0f), p.qmax());
+  EXPECT_EQ(p.quantize(-100.0f), p.qmin());
+}
+
+TEST_P(QuantParamsBits, QRangeMatchesBitWidth) {
+  const int bits = GetParam();
+  QuantParams p;
+  p.bits = bits;
+  EXPECT_EQ(p.qmax() - p.qmin() + 1, 1 << bits);
+  EXPECT_EQ(p.qmin(), -(1 << (bits - 1)));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBitwidths, QuantParamsBits,
+                         ::testing::Values(2, 4, 8));
+
+TEST(QuantParams, SymmetricHasZeroZeroPoint) {
+  const QuantParams p = choose_symmetric_quant_params(2.5f, 8);
+  EXPECT_EQ(p.zero_point, 0);
+  EXPECT_NEAR(p.scale, 2.5f / 127.0f, 1e-7f);
+}
+
+TEST(QuantParams, SymmetricRoundTripsAbsmax) {
+  const QuantParams p = choose_symmetric_quant_params(1.0f, 8);
+  EXPECT_NEAR(p.quantize_dequantize(1.0f), 1.0f, p.scale * 0.5f);
+  EXPECT_NEAR(p.quantize_dequantize(-1.0f), -1.0f, p.scale);  // -128 clamp
+}
+
+TEST(QuantParams, DegenerateRangeYieldsValidParams) {
+  const QuantParams p = choose_quant_params(0.0f, 0.0f, 8);
+  EXPECT_GT(p.scale, 0.0f);
+  EXPECT_EQ(p.quantize_dequantize(0.0f), 0.0f);
+}
+
+TEST(QuantParams, NegativeOnlyRangeWidenedToIncludeZero) {
+  const QuantParams p = choose_quant_params(-8.0f, -2.0f, 8);
+  EXPECT_EQ(p.quantize_dequantize(0.0f), 0.0f);
+  EXPECT_NEAR(p.quantize_dequantize(-8.0f), -8.0f, p.scale);
+}
+
+TEST(QuantParams, RejectsInvalidBits) {
+  EXPECT_THROW(choose_quant_params(0.0f, 1.0f, 1), std::invalid_argument);
+  EXPECT_THROW(choose_quant_params(0.0f, 1.0f, 16), std::invalid_argument);
+}
+
+TEST(QuantParams, RejectsInvertedRange) {
+  EXPECT_THROW(choose_quant_params(2.0f, 1.0f, 8), std::invalid_argument);
+}
+
+TEST(QuantParams, ScaleCoversRangeExactly) {
+  const QuantParams p = choose_quant_params(0.0f, 6.0f, 8);
+  EXPECT_NEAR(p.scale * 255.0f, 6.0f, 1e-5f);
+}
+
+}  // namespace
+}  // namespace qmcu::nn

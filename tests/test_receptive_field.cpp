@@ -1,0 +1,112 @@
+// Tests for receptive-field interval arithmetic (patch/receptive_field.h).
+#include <gtest/gtest.h>
+
+#include "patch/receptive_field.h"
+
+namespace qmcu::patch {
+namespace {
+
+nn::Layer windowed(nn::OpKind kind, int k, int s, int p) {
+  nn::Layer l;
+  l.kind = kind;
+  l.kernel_h = l.kernel_w = k;
+  l.stride_h = l.stride_w = s;
+  l.pad_h = l.pad_w = p;
+  return l;
+}
+
+TEST(Interval, SizeAndEmptiness) {
+  EXPECT_EQ((Interval{2, 7}).size(), 5);
+  EXPECT_TRUE((Interval{3, 3}).empty());
+  EXPECT_FALSE((Interval{0, 1}).empty());
+}
+
+TEST(Interval, UniteTakesHull) {
+  EXPECT_EQ(unite(Interval{0, 4}, Interval{2, 9}), (Interval{0, 9}));
+  EXPECT_EQ(unite(Interval{5, 6}, Interval{0, 1}), (Interval{0, 6}));
+}
+
+TEST(Interval, UniteWithEmptyIsIdentity) {
+  EXPECT_EQ(unite(Interval{}, Interval{3, 5}), (Interval{3, 5}));
+  EXPECT_EQ(unite(Interval{3, 5}, Interval{}), (Interval{3, 5}));
+}
+
+TEST(Interval, ClampBounds) {
+  EXPECT_EQ(clamp(Interval{-3, 12}, 0, 8), (Interval{0, 8}));
+  EXPECT_EQ(clamp(Interval{2, 5}, 0, 8), (Interval{2, 5}));
+}
+
+TEST(Region, AreaAndEmptiness) {
+  EXPECT_EQ((Region{{0, 3}, {0, 4}}).area(), 12);
+  EXPECT_TRUE((Region{{1, 1}, {0, 4}}).empty());
+}
+
+TEST(RequiredInput, Conv3x3Stride1Pad1ExpandsByOne) {
+  const nn::Layer l = windowed(nn::OpKind::Conv2D, 3, 1, 1);
+  const Region out{{4, 8}, {4, 8}};
+  const Region in = required_input_region(l, {16, 16, 3}, out);
+  EXPECT_EQ(in.y, (Interval{3, 9}));
+  EXPECT_EQ(in.x, (Interval{3, 9}));
+}
+
+TEST(RequiredInput, Conv3x3Stride2Pad1) {
+  const nn::Layer l = windowed(nn::OpKind::Conv2D, 3, 2, 1);
+  const Region out{{0, 4}, {0, 4}};
+  const Region in = required_input_region(l, {16, 16, 3}, out);
+  // in_begin = 0*2-1 = -1 (into padding); in_end = 3*2-1+3 = 8.
+  EXPECT_EQ(in.y, (Interval{-1, 8}));
+}
+
+TEST(RequiredInput, PointwiseConvIsPerPixel) {
+  const nn::Layer l = windowed(nn::OpKind::Conv2D, 1, 1, 0);
+  const Region out{{2, 5}, {7, 9}};
+  EXPECT_EQ(required_input_region(l, {16, 16, 8}, out), out);
+}
+
+TEST(RequiredInput, PoolMatchesConvGeometry) {
+  const nn::Layer pool = windowed(nn::OpKind::MaxPool, 2, 2, 0);
+  const Region out{{1, 3}, {0, 2}};
+  const Region in = required_input_region(pool, {8, 8, 4}, out);
+  EXPECT_EQ(in.y, (Interval{2, 6}));
+  EXPECT_EQ(in.x, (Interval{0, 4}));
+}
+
+TEST(RequiredInput, ElementwiseOpsAreIdentity) {
+  nn::Layer add;
+  add.kind = nn::OpKind::Add;
+  const Region out{{3, 6}, {2, 4}};
+  EXPECT_EQ(required_input_region(add, {8, 8, 4}, out), out);
+  nn::Layer cat;
+  cat.kind = nn::OpKind::Concat;
+  EXPECT_EQ(required_input_region(cat, {8, 8, 4}, out), out);
+}
+
+TEST(RequiredInput, GlobalOpsNeedFullInput) {
+  nn::Layer gap;
+  gap.kind = nn::OpKind::GlobalAvgPool;
+  const Region out{{0, 1}, {0, 1}};
+  EXPECT_EQ(required_input_region(gap, {8, 8, 4}, out),
+            (Region{{0, 8}, {0, 8}}));
+}
+
+// Property: composing two stride-2 convs multiplies the effective stride.
+TEST(RequiredInput, ComposedStridesMultiply) {
+  const nn::Layer l = windowed(nn::OpKind::Conv2D, 3, 2, 1);
+  const Region out{{2, 3}, {2, 3}};  // one pixel
+  const Region mid = required_input_region(l, {8, 8, 4}, out);
+  const Region in = required_input_region(l, {16, 16, 4}, mid);
+  // One output pixel two stride-2 layers up needs a 7x7 input region.
+  EXPECT_EQ(in.y.size(), 7);
+  EXPECT_EQ(in.x.size(), 7);
+}
+
+TEST(RequiredInput, RejectsInputLayer) {
+  nn::Layer input;
+  input.kind = nn::OpKind::Input;
+  EXPECT_THROW(
+      required_input_region(input, {8, 8, 3}, Region{{0, 1}, {0, 1}}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qmcu::patch

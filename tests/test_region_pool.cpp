@@ -1,0 +1,142 @@
+// Tests for bounds-aware region pooling (patch/region_pool.h) — padding
+// must be excluded from pool windows, exactly as in layer-based execution.
+#include <gtest/gtest.h>
+
+#include "nn/ops/float_kernels.h"
+#include "nn/ops/int8_kernels.h"
+#include "nn/rng.h"
+#include "patch/region_pool.h"
+
+namespace qmcu::patch {
+namespace {
+
+nn::Layer pool(nn::OpKind kind, int k, int s, int p) {
+  nn::Layer l;
+  l.kind = kind;
+  l.kernel_h = l.kernel_w = k;
+  l.stride_h = l.stride_w = s;
+  l.pad_h = l.pad_w = p;
+  return l;
+}
+
+nn::Tensor random_tensor(nn::TensorShape s, std::uint64_t seed) {
+  nn::Tensor t(s);
+  nn::Rng rng(seed);
+  for (float& v : t.data()) v = static_cast<float>(rng.normal(0.0, 1.0));
+  return t;
+}
+
+TEST(RegionPool, FullRegionMatchesLayerKernelMax) {
+  const nn::Tensor in = random_tensor({7, 7, 3}, 1);
+  const nn::Layer l = pool(nn::OpKind::MaxPool, 3, 2, 1);
+  const nn::Tensor ref = nn::ops::max_pool_f32(in, l);
+  const Region out_region = full_region(ref.shape());
+  const nn::Tensor got =
+      pool_region_f32(in, full_region(in.shape()), l, out_region, in.shape());
+  ASSERT_EQ(got.shape(), ref.shape());
+  for (std::size_t i = 0; i < ref.data().size(); ++i) {
+    ASSERT_FLOAT_EQ(got.data()[i], ref.data()[i]);
+  }
+}
+
+TEST(RegionPool, FullRegionMatchesLayerKernelAvg) {
+  const nn::Tensor in = random_tensor({6, 6, 2}, 2);
+  const nn::Layer l = pool(nn::OpKind::AvgPool, 2, 1, 1);
+  const nn::Tensor ref = nn::ops::avg_pool_f32(in, l);
+  const nn::Tensor got = pool_region_f32(in, full_region(in.shape()), l,
+                                         full_region(ref.shape()), in.shape());
+  for (std::size_t i = 0; i < ref.data().size(); ++i) {
+    ASSERT_FLOAT_EQ(got.data()[i], ref.data()[i]);
+  }
+}
+
+TEST(RegionPool, AllNegativeWindowKeepsNegativeMax) {
+  // The regression this module exists for: a zero-filled crop would make
+  // the padded corner max 0 instead of the true negative maximum.
+  nn::Tensor in(nn::TensorShape{2, 2, 1});
+  for (float& v : in.data()) v = -3.0f;
+  const nn::Layer l = pool(nn::OpKind::MaxPool, 3, 1, 1);
+  const nn::Tensor got = pool_region_f32(in, full_region(in.shape()), l,
+                                         Region{{0, 1}, {0, 1}}, in.shape());
+  EXPECT_FLOAT_EQ(got.at(0, 0, 0), -3.0f);
+}
+
+TEST(RegionPool, AvgDividesByValidCountOnly) {
+  nn::Tensor in(nn::TensorShape{2, 2, 1});
+  in.at(0, 0, 0) = 4.0f;
+  in.at(0, 1, 0) = 4.0f;
+  in.at(1, 0, 0) = 4.0f;
+  in.at(1, 1, 0) = 4.0f;
+  const nn::Layer l = pool(nn::OpKind::AvgPool, 2, 1, 1);
+  // Corner window covers one valid element; mean must be 4, not 1.
+  const nn::Tensor got = pool_region_f32(in, full_region(in.shape()), l,
+                                         Region{{0, 1}, {0, 1}}, in.shape());
+  EXPECT_FLOAT_EQ(got.at(0, 0, 0), 4.0f);
+}
+
+TEST(RegionPool, SubRegionReadsFromRegionTensorOffsets) {
+  const nn::Tensor full = random_tensor({8, 8, 1}, 3);
+  const nn::Layer l = pool(nn::OpKind::MaxPool, 2, 2, 0);
+  const nn::Tensor ref = nn::ops::max_pool_f32(full, l);
+  // The producer region covers rows/cols 2..8; pool output region 1..4
+  // (which reads inputs 2..8) must match the reference slice.
+  const Region avail{{2, 8}, {2, 8}};
+  nn::Tensor region(nn::TensorShape{6, 6, 1});
+  for (int y = 0; y < 6; ++y) {
+    for (int x = 0; x < 6; ++x) region.at(y, x, 0) = full.at(y + 2, x + 2, 0);
+  }
+  const Region out_region{{1, 4}, {1, 4}};
+  const nn::Tensor got =
+      pool_region_f32(region, avail, l, out_region, full.shape());
+  for (int y = 0; y < 3; ++y) {
+    for (int x = 0; x < 3; ++x) {
+      ASSERT_FLOAT_EQ(got.at(y, x, 0), ref.at(y + 1, x + 1, 0));
+    }
+  }
+}
+
+TEST(RegionPool, FailsWhenWindowDataMissing) {
+  const nn::Tensor in = random_tensor({4, 4, 1}, 4);
+  const nn::Layer l = pool(nn::OpKind::MaxPool, 3, 1, 1);
+  // Producer region covers only rows 0..2 but output row 2 needs row 3.
+  nn::Tensor region(nn::TensorShape{2, 4, 1});
+  EXPECT_THROW(pool_region_f32(region, Region{{0, 2}, {0, 4}}, l,
+                               Region{{2, 3}, {0, 4}}, in.shape()),
+               std::logic_error);
+}
+
+TEST(RegionPool, QuantizedMatchesLayerKernel) {
+  const nn::QuantParams p = nn::choose_quant_params(-2.0f, 2.0f, 8);
+  nn::QTensor in(nn::TensorShape{5, 5, 2}, p);
+  nn::Rng rng(5);
+  for (auto& v : in.data()) {
+    v = static_cast<std::int8_t>(rng.uniform(-100, 100));
+  }
+  for (auto kind : {nn::OpKind::MaxPool, nn::OpKind::AvgPool}) {
+    const nn::Layer l = pool(kind, 3, 2, 1);
+    const nn::QTensor ref = kind == nn::OpKind::MaxPool
+                                ? nn::ops::max_pool_q(in, l)
+                                : nn::ops::avg_pool_q(in, l);
+    const nn::QTensor got =
+        pool_region_q(in, full_region(in.shape()), l,
+                      full_region(ref.shape()), in.shape());
+    ASSERT_EQ(got.shape(), ref.shape());
+    for (std::size_t i = 0; i < ref.data().size(); ++i) {
+      ASSERT_EQ(static_cast<int>(got.data()[i]),
+                static_cast<int>(ref.data()[i]))
+          << to_string(kind) << " element " << i;
+    }
+  }
+}
+
+TEST(RegionPool, RejectsNonPoolOps) {
+  const nn::Tensor in = random_tensor({4, 4, 1}, 6);
+  nn::Layer conv;
+  conv.kind = nn::OpKind::Conv2D;
+  EXPECT_THROW(pool_region_f32(in, full_region(in.shape()), conv,
+                               Region{{0, 1}, {0, 1}}, in.shape()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qmcu::patch

@@ -1,0 +1,83 @@
+// Unit tests for fixed-point requantization (nn/ops/requantize.h) — the
+// gemmlowp/TFLite-Micro integer rescale path.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "nn/ops/requantize.h"
+#include "nn/rng.h"
+
+namespace qmcu::nn::ops {
+namespace {
+
+TEST(QuantizeMultiplier, ReconstructsRealValue) {
+  for (double real : {0.00037, 0.01, 0.25, 0.4999, 0.75, 1.0, 1.5, 7.3}) {
+    const FixedPointMultiplier m = quantize_multiplier(real);
+    const double reconstructed =
+        static_cast<double>(m.mantissa) / (1ll << 31) *
+        std::pow(2.0, -m.right_shift);
+    EXPECT_NEAR(reconstructed, real, real * 1e-8) << "real " << real;
+  }
+}
+
+TEST(QuantizeMultiplier, RejectsNonPositive) {
+  EXPECT_THROW(quantize_multiplier(0.0), std::invalid_argument);
+  EXPECT_THROW(quantize_multiplier(-1.0), std::invalid_argument);
+}
+
+TEST(SaturatingRoundingDoublingHighMul, MatchesReference) {
+  // (a * b * 2) >> 32 with rounding.
+  EXPECT_EQ(saturating_rounding_doubling_high_mul(1 << 30, 1 << 30),
+            1 << 29);
+  EXPECT_EQ(saturating_rounding_doubling_high_mul(0, 12345), 0);
+}
+
+TEST(SaturatingRoundingDoublingHighMul, SaturatesMinTimesMin) {
+  constexpr std::int32_t min = std::numeric_limits<std::int32_t>::min();
+  EXPECT_EQ(saturating_rounding_doubling_high_mul(min, min),
+            std::numeric_limits<std::int32_t>::max());
+}
+
+TEST(RoundingDivideByPot, RoundsHalfAwayFromZero) {
+  EXPECT_EQ(rounding_divide_by_pot(5, 1), 3);    // 2.5 -> 3
+  EXPECT_EQ(rounding_divide_by_pot(-5, 1), -3);  // -2.5 -> -3 (away)
+  EXPECT_EQ(rounding_divide_by_pot(4, 1), 2);
+  EXPECT_EQ(rounding_divide_by_pot(-4, 1), -2);
+  EXPECT_EQ(rounding_divide_by_pot(7, 2), 2);    // 1.75 -> 2
+}
+
+TEST(RoundingDivideByPot, ZeroShiftIsIdentity) {
+  EXPECT_EQ(rounding_divide_by_pot(123456, 0), 123456);
+  EXPECT_EQ(rounding_divide_by_pot(-7, 0), -7);
+}
+
+// Property sweep: fixed-point rescale of random accumulators must track the
+// real-valued product within 1 ulp of the output grid.
+TEST(ApplyMultiplier, TracksRealArithmeticWithinOneUnit) {
+  nn::Rng rng(123);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const double real_mult = std::exp(rng.uniform(std::log(1e-5), 0.0));
+    const auto acc = static_cast<std::int32_t>(rng.uniform(-1e6, 1e6));
+    const FixedPointMultiplier m = quantize_multiplier(real_mult);
+    const std::int32_t fixed = apply_multiplier(acc, m);
+    const double expected = static_cast<double>(acc) * real_mult;
+    EXPECT_NEAR(static_cast<double>(fixed), expected, 1.0)
+        << "acc " << acc << " mult " << real_mult;
+  }
+}
+
+TEST(ApplyMultiplier, MultiplierAboveOneUsesLeftShift) {
+  const FixedPointMultiplier m = quantize_multiplier(2.0);
+  EXPECT_EQ(apply_multiplier(100, m), 200);
+  EXPECT_EQ(apply_multiplier(-50, m), -100);
+}
+
+TEST(ClampTo, BoundsRespected) {
+  EXPECT_EQ(clamp_to(5, -128, 127), 5);
+  EXPECT_EQ(clamp_to(500, -128, 127), 127);
+  EXPECT_EQ(clamp_to(-500, -128, 127), -128);
+}
+
+}  // namespace
+}  // namespace qmcu::nn::ops

@@ -1,0 +1,93 @@
+// Unit tests for Tensor / QTensor (nn/tensor.h).
+#include <gtest/gtest.h>
+
+#include "nn/tensor.h"
+
+namespace qmcu::nn {
+namespace {
+
+TEST(TensorShape, ElementsAndBytes) {
+  const TensorShape s{4, 5, 3};
+  EXPECT_EQ(s.elements(), 60);
+  EXPECT_EQ(s.bytes(8), 60);
+  EXPECT_EQ(s.bytes(4), 30);
+  EXPECT_EQ(s.bytes(2), 15);
+}
+
+TEST(TensorShape, SubByteBytesRoundUp) {
+  const TensorShape s{1, 1, 3};  // 3 elements
+  EXPECT_EQ(s.bytes(4), 2);      // 12 bits -> 2 bytes
+  EXPECT_EQ(s.bytes(2), 1);      // 6 bits -> 1 byte
+}
+
+TEST(Tensor, IndexingIsRowMajorNhwc) {
+  Tensor t(TensorShape{2, 2, 2});
+  float v = 0.0f;
+  for (int y = 0; y < 2; ++y) {
+    for (int x = 0; x < 2; ++x) {
+      for (int c = 0; c < 2; ++c) t.at(y, x, c) = v++;
+    }
+  }
+  const auto d = t.data();
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_FLOAT_EQ(d[i], static_cast<float>(i));
+  }
+}
+
+TEST(Tensor, ConstructionValidatesShapeAndSize) {
+  EXPECT_THROW(Tensor(TensorShape{0, 1, 1}), std::invalid_argument);
+  EXPECT_THROW(Tensor(TensorShape{2, 2, 1}, std::vector<float>(3)),
+               std::invalid_argument);
+}
+
+TEST(QTensor, QuantizeDequantizeRoundTrip) {
+  Tensor t(TensorShape{1, 1, 4}, {0.0f, 1.0f, -1.0f, 0.5f});
+  const QuantParams p = choose_quant_params(-1.0f, 1.0f, 8);
+  const QTensor q = quantize(t, p);
+  const Tensor back = dequantize(q);
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_NEAR(back.at(0, 0, c), t.at(0, 0, c), p.scale * 0.5f + 1e-6f);
+  }
+}
+
+TEST(QTensor, StorageBytesReflectBitPacking) {
+  const QuantParams p4 = choose_quant_params(-1.0f, 1.0f, 4);
+  const QTensor q(TensorShape{2, 2, 2}, p4);  // 8 elements at 4 bits
+  EXPECT_EQ(q.storage_bytes(), 4);
+}
+
+TEST(FakeQuantize, IdentityForRepresentableValues) {
+  const QuantParams p = choose_quant_params(-2.0f, 2.0f, 8);
+  // Values exactly on the grid round-trip exactly.
+  Tensor t(TensorShape{1, 1, 2}, {p.dequantize(10), p.dequantize(-7)});
+  const Tensor fq = fake_quantize(t, p);
+  EXPECT_FLOAT_EQ(fq.at(0, 0, 0), t.at(0, 0, 0));
+  EXPECT_FLOAT_EQ(fq.at(0, 0, 1), t.at(0, 0, 1));
+}
+
+TEST(FakeQuantize, CoarserBitsMeanLargerError) {
+  Tensor t(TensorShape{1, 1, 64});
+  for (int c = 0; c < 64; ++c) {
+    t.at(0, 0, c) = -2.0f + 4.0f * static_cast<float>(c) / 63.0f;
+  }
+  double err8 = 0.0;
+  double err2 = 0.0;
+  const auto [lo, hi] = tensor_min_max(t);
+  const Tensor f8 = fake_quantize(t, choose_quant_params(lo, hi, 8));
+  const Tensor f2 = fake_quantize(t, choose_quant_params(lo, hi, 2));
+  for (int c = 0; c < 64; ++c) {
+    err8 += std::abs(f8.at(0, 0, c) - t.at(0, 0, c));
+    err2 += std::abs(f2.at(0, 0, c) - t.at(0, 0, c));
+  }
+  EXPECT_LT(err8, err2);
+}
+
+TEST(TensorMinMax, FindsExtremes) {
+  Tensor t(TensorShape{1, 2, 2}, {3.0f, -7.0f, 0.0f, 2.0f});
+  const auto [lo, hi] = tensor_min_max(t);
+  EXPECT_FLOAT_EQ(lo, -7.0f);
+  EXPECT_FLOAT_EQ(hi, 3.0f);
+}
+
+}  // namespace
+}  // namespace qmcu::nn

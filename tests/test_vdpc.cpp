@@ -1,0 +1,137 @@
+// Tests for Value-Driven Patch Classification (core/vdpc.h, paper Eq. 1).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/vdpc.h"
+#include "nn/rng.h"
+#include "patch/patch_plan.h"
+
+namespace qmcu::core {
+namespace {
+
+TEST(GaussianFit, RecoverMomentsOfKnownSample) {
+  nn::Rng rng(1);
+  std::vector<float> v(20000);
+  for (float& x : v) x = static_cast<float>(rng.normal(3.0, 2.0));
+  const GaussianFit fit = fit_gaussian(v);
+  EXPECT_NEAR(fit.mean, 3.0, 0.1);
+  EXPECT_NEAR(fit.stddev, 2.0, 0.1);
+}
+
+TEST(GaussianFit, RejectsEmptySample) {
+  EXPECT_THROW(fit_gaussian(std::span<const float>{}),
+               std::invalid_argument);
+}
+
+TEST(InverseNormalCdf, MatchesKnownQuantiles) {
+  EXPECT_NEAR(inverse_normal_cdf(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(inverse_normal_cdf(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(inverse_normal_cdf(0.84134), 1.0, 1e-3);
+  EXPECT_NEAR(inverse_normal_cdf(0.999), 3.090232, 1e-5);
+  // Symmetry.
+  EXPECT_NEAR(inverse_normal_cdf(0.025), -inverse_normal_cdf(0.975), 1e-9);
+}
+
+TEST(InverseNormalCdf, RejectsBoundaries) {
+  EXPECT_THROW(inverse_normal_cdf(0.0), std::invalid_argument);
+  EXPECT_THROW(inverse_normal_cdf(1.0), std::invalid_argument);
+}
+
+TEST(OutlierThreshold, MonotoneInPhi) {
+  const GaussianFit fit{0.0, 1.0};
+  double prev = 0.0;
+  for (double phi : {0.5, 0.8, 0.9, 0.96, 0.99}) {
+    const double tau = outlier_threshold(fit, phi);
+    EXPECT_GT(tau, prev) << "phi " << phi;
+    prev = tau;
+  }
+}
+
+TEST(OutlierThreshold, PaperOperatingPoint) {
+  // phi = 0.96 (central coverage) -> tau ~ 2.054 sigma.
+  const GaussianFit fit{0.0, 2.0};
+  EXPECT_NEAR(outlier_threshold(fit, 0.96), 2.0 * 2.0537, 2e-3);
+}
+
+TEST(OutlierThreshold, DegenerateEndpoints) {
+  const GaussianFit fit{0.0, 1.0};
+  EXPECT_TRUE(std::isinf(outlier_threshold(fit, 1.0)));
+  EXPECT_EQ(outlier_threshold(fit, 0.0), 0.0);
+}
+
+// Build a 2x2 patch plan over a minimal graph to test classification.
+struct VdpcFixture {
+  nn::Graph g{"t"};
+  patch::PatchPlan plan;
+  VdpcFixture() {
+    const int in = g.add_input(nn::TensorShape{16, 16, 1});
+    g.add_conv2d(in, 4, 3, 2, 1, nn::Activation::ReLU);
+    patch::PatchSpec spec;
+    spec.split_layer = 1;
+    spec.grid_rows = spec.grid_cols = 2;
+    plan = patch::build_patch_plan(g, spec);
+  }
+};
+
+nn::Tensor gaussian_image(std::uint64_t seed) {
+  nn::Tensor img(nn::TensorShape{16, 16, 1});
+  nn::Rng rng(seed);
+  for (float& v : img.data()) v = static_cast<float>(rng.normal(0.0, 1.0));
+  return img;
+}
+
+TEST(ClassifyPatches, SingleInjectedOutlierFlagsExactlyOnePatch) {
+  const VdpcFixture s;
+  nn::Tensor img = gaussian_image(2);
+  img.at(12, 12, 0) = 40.0f;  // bottom-right tile, unmissable outlier
+  const PatchClassification cls =
+      classify_patches(img, s.plan, VdpcConfig{0.96});
+  EXPECT_EQ(cls.num_outlier(), 1);
+  // Row-major branch order: (1,1) is the last branch.
+  EXPECT_TRUE(cls.outlier.back());
+  EXPECT_FALSE(cls.outlier.front());
+}
+
+TEST(ClassifyPatches, PhiOneMarksNothing) {
+  const VdpcFixture s;
+  nn::Tensor img = gaussian_image(3);
+  img.at(2, 2, 0) = 100.0f;
+  const PatchClassification cls =
+      classify_patches(img, s.plan, VdpcConfig{1.0});
+  EXPECT_EQ(cls.num_outlier(), 0);
+}
+
+TEST(ClassifyPatches, PhiZeroMarksEverything) {
+  const VdpcFixture s;
+  const PatchClassification cls =
+      classify_patches(gaussian_image(4), s.plan, VdpcConfig{0.0});
+  EXPECT_EQ(cls.num_outlier(), 4);
+  EXPECT_DOUBLE_EQ(cls.outlier_fraction(), 1.0);
+}
+
+// Property: raising phi never *adds* outlier patches (paper Fig. 5's knob).
+TEST(ClassifyPatches, OutlierSetShrinksAsPhiGrows) {
+  const VdpcFixture s;
+  nn::Tensor img = gaussian_image(5);
+  img.at(1, 1, 0) = 6.0f;
+  img.at(9, 9, 0) = 3.0f;
+  int prev = 5;
+  for (double phi : {0.5, 0.8, 0.9, 0.96, 0.995}) {
+    const PatchClassification cls =
+        classify_patches(img, s.plan, VdpcConfig{phi});
+    EXPECT_LE(cls.num_outlier(), prev) << "phi " << phi;
+    prev = cls.num_outlier();
+  }
+}
+
+TEST(ClassifyPatches, FractionConsistentWithCount) {
+  const VdpcFixture s;
+  const PatchClassification cls =
+      classify_patches(gaussian_image(6), s.plan, VdpcConfig{0.9});
+  EXPECT_DOUBLE_EQ(cls.outlier_fraction(),
+                   static_cast<double>(cls.num_outlier()) / 4.0);
+}
+
+}  // namespace
+}  // namespace qmcu::core

@@ -1,0 +1,290 @@
+// Tests for Value-Driven Quantization Search (core/vdqs.h): the score of
+// Eq. 6 and Algorithm 1's bitwidth determination with Eq. 7 repair.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/vdqs.h"
+#include "nn/rng.h"
+
+namespace qmcu::core {
+namespace {
+
+FeatureMapProfile fm(std::int64_t elements, std::int64_t consumer_macs,
+                     double h_float, double h8, double h4, double h2) {
+  FeatureMapProfile p;
+  p.elements = elements;
+  p.consumer_macs = consumer_macs;
+  p.entropy_float = h_float;
+  p.entropy_at_bits = {h8, h4, h2};
+  return p;
+}
+
+VdqsConfig config(std::int64_t budget, double lambda = 0.6) {
+  VdqsConfig cfg;
+  cfg.lambda = lambda;
+  cfg.memory_budget = budget;
+  cfg.reference_bitops = 1'000'000;
+  cfg.last_output_entropy = 2.0;
+  return cfg;
+}
+
+TEST(QuantizationScore, MatchesHandComputation) {
+  const FeatureMapProfile p = fm(100, 1000, 3.0, 2.9, 2.5, 1.5);
+  const VdqsConfig cfg = config(1 << 20, 0.5);
+  // Phi(i,4) = 1000*8*(8-4)/1e6 = 0.032; Omega = (3.0-2.5)/2 = 0.25.
+  // S = -0.5*0.25 + 0.5*0.032 = -0.109.
+  EXPECT_NEAR(quantization_score(p, 4, cfg), -0.109, 1e-9);
+}
+
+TEST(QuantizationScore, LambdaZeroIgnoresEntropy) {
+  const FeatureMapProfile p = fm(100, 1000, 3.0, 2.9, 2.0, 0.1);
+  const VdqsConfig cfg = config(1 << 20, 0.0);
+  // Pure computation: lower bits always score higher.
+  EXPECT_GT(quantization_score(p, 2, cfg), quantization_score(p, 4, cfg));
+  EXPECT_GT(quantization_score(p, 4, cfg), quantization_score(p, 8, cfg));
+}
+
+TEST(QuantizationScore, LambdaOneIgnoresComputation) {
+  const FeatureMapProfile p = fm(100, 1000, 3.0, 2.9, 2.0, 0.1);
+  const VdqsConfig cfg = config(1 << 20, 1.0);
+  // Pure accuracy: higher bits preserve entropy and score higher.
+  EXPECT_GT(quantization_score(p, 8, cfg), quantization_score(p, 4, cfg));
+  EXPECT_GT(quantization_score(p, 4, cfg), quantization_score(p, 2, cfg));
+}
+
+TEST(QuantizationScore, EntropyClampStopsNegativeDeltas) {
+  // Quantized estimate slightly above float (binning noise): Omega = 0.
+  const FeatureMapProfile p = fm(100, 1000, 3.0, 3.01, 3.02, 3.0);
+  const VdqsConfig cfg = config(1 << 20, 1.0);
+  EXPECT_DOUBLE_EQ(quantization_score(p, 8, cfg), 0.0);
+}
+
+TEST(FeatureMapBytes, PacksSubByte) {
+  const FeatureMapProfile p = fm(100, 0, 0, 0, 0, 0);
+  EXPECT_EQ(feature_map_bytes(p, 8), 100);
+  EXPECT_EQ(feature_map_bytes(p, 4), 50);
+  EXPECT_EQ(feature_map_bytes(p, 2), 25);
+}
+
+TEST(VdqsSearch, UnconstrainedPicksArgmaxScore) {
+  // Entropy-insensitive fms with big compute benefit: expect 2 bits.
+  std::vector<FeatureMapProfile> fms{
+      fm(100, 100000, 3.0, 3.0, 3.0, 3.0),
+      fm(100, 100000, 3.0, 3.0, 3.0, 3.0)};
+  const VdqsResult r = vdqs_search(fms, config(1 << 20));
+  EXPECT_EQ(r.bits, (std::vector<int>{2, 2}));
+  EXPECT_TRUE(r.feasible);
+  EXPECT_EQ(r.repair_rounds, 0);
+}
+
+TEST(VdqsSearch, EntropySensitiveMapsKeepEightBits) {
+  // Catastrophic entropy loss below 8 bits, tiny compute benefit.
+  std::vector<FeatureMapProfile> fms{
+      fm(100, 10, 3.0, 2.99, 0.5, 0.1),
+      fm(100, 10, 3.0, 2.99, 0.4, 0.05)};
+  VdqsConfig cfg = config(1 << 20, 0.9);
+  const VdqsResult r = vdqs_search(fms, cfg);
+  EXPECT_EQ(r.bits, (std::vector<int>{8, 8}));
+}
+
+TEST(VdqsSearch, MemoryRepairEnforcesEq7) {
+  // Two 1000-element fms preferring 8 bits; budget admits only 8+4.
+  std::vector<FeatureMapProfile> fms{
+      fm(1000, 10, 3.0, 2.99, 0.5, 0.1),
+      fm(1000, 10, 3.0, 2.99, 0.5, 0.1)};
+  VdqsConfig cfg = config(1500, 0.9);  // 1000 + 1000 > 1500
+  const VdqsResult r = vdqs_search(fms, cfg);
+  EXPECT_TRUE(r.feasible);
+  for (std::size_t i = 0; i + 1 < r.bits.size(); ++i) {
+    EXPECT_LE(feature_map_bytes(fms[i], r.bits[i]) +
+                  feature_map_bytes(fms[i + 1], r.bits[i + 1]),
+              cfg.memory_budget);
+  }
+  EXPECT_GT(r.repair_rounds, 0);
+}
+
+TEST(VdqsSearch, RepairDemotesTheLargerFeatureMap) {
+  // fm0 tiny, fm1 huge; the pair violates the budget: fm1 must drop.
+  std::vector<FeatureMapProfile> fms{
+      fm(10, 10, 3.0, 2.99, 0.5, 0.1),
+      fm(4000, 10, 3.0, 2.99, 0.5, 0.1)};
+  VdqsConfig cfg = config(2100, 0.9);
+  const VdqsResult r = vdqs_search(fms, cfg);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_EQ(r.bits[0], 8);
+  EXPECT_LT(r.bits[1], 8);
+}
+
+TEST(VdqsSearch, InfeasibleBudgetReported) {
+  // Even all-2-bit cannot fit.
+  std::vector<FeatureMapProfile> fms{
+      fm(4000, 10, 3.0, 2.9, 2.5, 2.0),
+      fm(4000, 10, 3.0, 2.9, 2.5, 2.0)};
+  VdqsConfig cfg = config(100, 0.5);
+  const VdqsResult r = vdqs_search(fms, cfg);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_EQ(r.bits, (std::vector<int>{2, 2}));  // best effort
+}
+
+TEST(VdqsSearch, LongChainConverges) {
+  std::vector<FeatureMapProfile> fms;
+  for (int i = 0; i < 24; ++i) {
+    fms.push_back(fm(500 + 100 * (i % 5), 1000, 3.0, 2.95, 2.4, 1.2));
+  }
+  VdqsConfig cfg = config(900, 0.6);
+  const VdqsResult r = vdqs_search(fms, cfg);
+  EXPECT_TRUE(r.feasible);
+  for (std::size_t i = 0; i + 1 < r.bits.size(); ++i) {
+    EXPECT_LE(feature_map_bytes(fms[i], r.bits[i]) +
+                  feature_map_bytes(fms[i + 1], r.bits[i + 1]),
+              cfg.memory_budget);
+  }
+}
+
+// Property sweep (Table III shape): larger lambda never lowers the chosen
+// bitwidths — accuracy pressure keeps maps at higher precision.
+TEST(VdqsSearch, BitwidthsMonotoneInLambda) {
+  std::vector<FeatureMapProfile> fms{
+      fm(100, 50000, 3.0, 2.9, 2.2, 1.0),
+      fm(200, 30000, 2.5, 2.45, 2.0, 0.8),
+      fm(400, 10000, 2.0, 1.95, 1.7, 0.9)};
+  std::vector<int> prev_sum{0};
+  int last = 0;
+  for (double lambda : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    const VdqsResult r = vdqs_search(fms, config(1 << 20, lambda));
+    int sum = 0;
+    for (int b : r.bits) sum += b;
+    EXPECT_GE(sum, last) << "lambda " << lambda;
+    last = sum;
+  }
+}
+
+TEST(VdqsSearch, ScoresExposedForEveryCandidate) {
+  std::vector<FeatureMapProfile> fms{fm(10, 10, 3.0, 2.9, 2.5, 2.0)};
+  const VdqsResult r = vdqs_search(fms, config(1 << 20));
+  ASSERT_EQ(r.scores.size(), 1u);
+  // Scores must differ across candidates for a non-degenerate profile.
+  EXPECT_NE(r.scores[0][0], r.scores[0][2]);
+}
+
+TEST(VdqsSearch, RejectsBadConfig) {
+  std::vector<FeatureMapProfile> fms{fm(10, 10, 3.0, 2.9, 2.5, 2.0)};
+  VdqsConfig cfg = config(0);
+  EXPECT_THROW(vdqs_search(fms, cfg), std::invalid_argument);
+  EXPECT_THROW(vdqs_search({}, config(100)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qmcu::core
+
+// ---------------------------------------------------------------------------
+// Brute-force cross-checks: on branches small enough to enumerate all 3^N
+// assignments, Algorithm 1's result must (a) be feasible whenever any
+// feasible assignment exists, and (b) match the exhaustive argmax when the
+// memory constraint does not bind.
+namespace qmcu::core {
+namespace {
+
+double total_score(std::span<const FeatureMapProfile> fms,
+                   std::span<const int> bits, const VdqsConfig& cfg) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < fms.size(); ++i) {
+    s += quantization_score(fms[i], bits[i], cfg);
+  }
+  return s;
+}
+
+bool feasible(std::span<const FeatureMapProfile> fms,
+              std::span<const int> bits, const VdqsConfig& cfg) {
+  for (std::size_t i = 0; i + 1 < fms.size(); ++i) {
+    if (feature_map_bytes(fms[i], bits[i]) +
+            feature_map_bytes(fms[i + 1], bits[i + 1]) >
+        cfg.memory_budget) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Enumerates all assignments; returns best feasible score or NaN if none.
+double brute_force_best(std::span<const FeatureMapProfile> fms,
+                        const VdqsConfig& cfg) {
+  const int n = static_cast<int>(fms.size());
+  std::vector<int> bits(static_cast<std::size_t>(n), 0);
+  double best = std::numeric_limits<double>::quiet_NaN();
+  const int total = 1 << (2 * n);  // 4^n counter, skip the unused value 3
+  for (int code = 0; code < total; ++code) {
+    bool valid = true;
+    for (int i = 0; i < n; ++i) {
+      const int d = (code >> (2 * i)) & 3;
+      if (d == 3) {
+        valid = false;
+        break;
+      }
+      bits[static_cast<std::size_t>(i)] =
+          kVdqsCandidateBits[static_cast<std::size_t>(d)];
+    }
+    if (!valid || !feasible(fms, bits, cfg)) continue;
+    const double s = total_score(fms, bits, cfg);
+    if (std::isnan(best) || s > best) best = s;
+  }
+  return best;
+}
+
+class VdqsVsBruteForce : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VdqsVsBruteForce, FeasibleWheneverPossibleAndOptimalUnconstrained) {
+  nn::Rng rng(GetParam());
+  const int n = 3 + static_cast<int>(rng.uniform() * 4.0);  // 3..6 maps
+  std::vector<FeatureMapProfile> fms;
+  for (int i = 0; i < n; ++i) {
+    FeatureMapProfile p;
+    p.elements = 200 + static_cast<std::int64_t>(rng.uniform() * 2000.0);
+    p.consumer_macs =
+        1000 + static_cast<std::int64_t>(rng.uniform() * 1e6);
+    p.entropy_float = rng.uniform(1.0, 3.0);
+    const double h8 = p.entropy_float - rng.uniform(0.0, 0.05);
+    const double h4 = h8 - rng.uniform(0.0, 0.8);
+    const double h2 = h4 - rng.uniform(0.0, 1.0);
+    p.entropy_at_bits = {h8, h4, std::max(0.0, h2)};
+    fms.push_back(p);
+  }
+  VdqsConfig cfg;
+  cfg.lambda = rng.uniform(0.2, 0.8);
+  cfg.reference_bitops = 64'000'000;
+  cfg.last_output_entropy = 2.0;
+
+  // (b) unconstrained: Algorithm 1 = exhaustive argmax.
+  cfg.memory_budget = 1 << 30;
+  const VdqsResult unconstrained = vdqs_search(fms, cfg);
+  EXPECT_NEAR(total_score(fms, unconstrained.bits, cfg),
+              brute_force_best(fms, cfg), 1e-12);
+
+  // (a) constrained: pick a budget that some assignment satisfies (the
+  // all-2-bit floor plus slack) — Algorithm 1 must find a feasible config.
+  std::int64_t floor_pair = 0;
+  for (std::size_t i = 0; i + 1 < fms.size(); ++i) {
+    floor_pair = std::max(floor_pair, feature_map_bytes(fms[i], 2) +
+                                          feature_map_bytes(fms[i + 1], 2));
+  }
+  cfg.memory_budget = floor_pair + static_cast<std::int64_t>(
+                                       rng.uniform() * floor_pair);
+  const double best = brute_force_best(fms, cfg);
+  ASSERT_FALSE(std::isnan(best));  // by construction feasible
+  const VdqsResult constrained = vdqs_search(fms, cfg);
+  EXPECT_TRUE(constrained.feasible) << "seed " << GetParam();
+  EXPECT_TRUE(feasible(fms, constrained.bits, cfg));
+  // The greedy repair need not be optimal, but must not be absurd: it keeps
+  // at least the all-2-bit baseline score.
+  const std::vector<int> all2(static_cast<std::size_t>(n), 2);
+  EXPECT_GE(total_score(fms, constrained.bits, cfg),
+            total_score(fms, all2, cfg) - 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(TenSeeds, VdqsVsBruteForce,
+                         ::testing::Range<std::uint64_t>(100, 110));
+
+}  // namespace
+}  // namespace qmcu::core
