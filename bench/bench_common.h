@@ -21,7 +21,41 @@
 #include "patch/mcunetv2.h"
 #include "patch/patch_cost.h"
 
+#if __has_include(<benchmark/benchmark.h>)
+#include <benchmark/benchmark.h>
+#define QMCU_HAVE_GOOGLE_BENCHMARK 1
+#endif
+
 namespace qmcu::bench {
+
+#ifdef QMCU_HAVE_GOOGLE_BENCHMARK
+// Runs google-benchmark with a machine-readable default report: unless the
+// caller already passed --benchmark_out, results are mirrored to
+// `default_json` (e.g. BENCH_micro_kernels.json) in the working directory,
+// so every CI run leaves a parseable perf trajectory artifact.
+inline int run_benchmarks_json(int argc, char** argv,
+                               const std::string& default_json) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=" + default_json;
+  std::string fmt_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) {
+      has_out = true;
+    }
+  }
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+#endif
 
 // Arduino Nano 33 BLE Sense / ImageNet: paper row 1536 MBitOPs.
 inline models::ModelConfig nano_imagenet_scale() {

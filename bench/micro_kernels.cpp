@@ -1,12 +1,16 @@
 // Micro-benchmarks (google-benchmark) for the hot primitives: float/int8
-// convolution kernels, sub-byte packing, entropy estimation, the VDQS
-// search itself, and patch-plan construction. These bound the cost of the
-// host-side tooling (the paper's Table II "Time" column is dominated by
-// entropy profiling + vdqs_search).
+// convolution kernels (Reference vs Fast tier), sub-byte packing, entropy
+// estimation, the VDQS search itself, and patch-plan construction. These
+// bound the cost of the host-side tooling (the paper's Table II "Time"
+// column is dominated by entropy profiling + vdqs_search) and track the
+// kernel-backend perf trajectory; results land in BENCH_micro_kernels.json
+// by default (see bench_common.h).
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.h"
 #include "core/vdqs.h"
 #include "models/zoo.h"
+#include "nn/ops/backend.h"
 #include "nn/ops/float_kernels.h"
 #include "nn/ops/int8_kernels.h"
 #include "nn/rng.h"
@@ -51,25 +55,132 @@ void BM_Conv2dF32(benchmark::State& state) {
 }
 BENCHMARK(BM_Conv2dF32)->Arg(8)->Arg(16)->Arg(32);
 
-void BM_Conv2dInt8(benchmark::State& state) {
-  const int c = static_cast<int>(state.range(0));
+struct QuantConvSetup {
+  nn::Layer l;
+  nn::QTensor qin;
+  nn::ops::QuantizedWeights qw;
+  nn::QuantParams out_p;
+};
+
+QuantConvSetup quant_conv_setup(int c) {
   const nn::Tensor in = random_tensor({32, 32, c}, 3);
-  const nn::Layer l = conv_layer(c, 3, 1, 1);
+  QuantConvSetup s;
+  s.l = conv_layer(c, 3, 1, 1);
   std::vector<float> w(static_cast<std::size_t>(c * 3 * 3 * c));
   nn::Rng rng(4);
   for (float& v : w) v = static_cast<float>(rng.normal(0.0, 0.1));
   const auto [lo, hi] = nn::tensor_min_max(in);
-  const nn::QuantParams in_p = nn::choose_quant_params(lo, hi, 8);
-  const nn::QTensor qin = nn::quantize(in, in_p);
-  const nn::ops::QuantizedWeights qw = nn::ops::quantize_weights(w);
-  const nn::QuantParams out_p = nn::choose_quant_params(-4.0f, 4.0f, 8);
+  s.qin = nn::quantize(in, nn::choose_quant_params(lo, hi, 8));
+  s.qw = nn::ops::quantize_weights(w);
+  s.out_p = nn::choose_quant_params(-4.0f, 4.0f, 8);
+  return s;
+}
+
+// The deployed path: Fast tier (im2col + tiled GEMM) through the backend.
+void BM_Conv2dInt8(benchmark::State& state) {
+  const int c = static_cast<int>(state.range(0));
+  const QuantConvSetup s = quant_conv_setup(c);
+  nn::ops::KernelBackend backend(nn::ops::KernelTier::Fast);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        nn::ops::conv2d_q(qin, l, qw.data, qw.params, {}, out_p));
+        backend.conv2d(s.qin, s.l, s.qw.data, s.qw.params, {}, s.out_p));
   }
   state.SetItemsProcessed(state.iterations() * 32 * 32 * c * 9 * c);
 }
 BENCHMARK(BM_Conv2dInt8)->Arg(8)->Arg(16)->Arg(32);
+
+// The seed's reference loop nest, kept as the comparison baseline.
+void BM_Conv2dInt8Ref(benchmark::State& state) {
+  const int c = static_cast<int>(state.range(0));
+  const QuantConvSetup s = quant_conv_setup(c);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        nn::ops::conv2d_q(s.qin, s.l, s.qw.data, s.qw.params, {}, s.out_p));
+  }
+  state.SetItemsProcessed(state.iterations() * 32 * 32 * c * 9 * c);
+}
+BENCHMARK(BM_Conv2dInt8Ref)->Arg(8)->Arg(16)->Arg(32);
+
+// Fused sub-byte path: 4-bit packed activations expanded inside im2col.
+void BM_Conv2dInt8Packed4(benchmark::State& state) {
+  const int c = static_cast<int>(state.range(0));
+  QuantConvSetup s = quant_conv_setup(c);
+  // Re-quantize the input to 4 bits and pack it.
+  nn::QuantParams p4 = s.qin.params();
+  p4.bits = 4;
+  const nn::QTensor q4 = nn::quantize(nn::dequantize(s.qin), p4);
+  const std::vector<std::uint8_t> packed = quant::pack(q4.data(), 4);
+  nn::ops::KernelBackend backend(nn::ops::KernelTier::Fast);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        backend.conv2d_packed(packed, q4.shape(), q4.params(), s.l, s.qw.data,
+                              s.qw.params, {}, s.out_p));
+  }
+  state.SetItemsProcessed(state.iterations() * 32 * 32 * c * 9 * c);
+}
+BENCHMARK(BM_Conv2dInt8Packed4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_DepthwiseInt8(benchmark::State& state) {
+  const int c = static_cast<int>(state.range(0));
+  const bool fast = state.range(1) != 0;
+  const nn::Tensor in = random_tensor({32, 32, c}, 8);
+  nn::Layer l;
+  l.kind = nn::OpKind::DepthwiseConv2D;
+  l.kernel_h = l.kernel_w = 3;
+  l.stride_h = l.stride_w = 1;
+  l.pad_h = l.pad_w = 1;
+  l.act = nn::Activation::ReLU6;
+  std::vector<float> w(static_cast<std::size_t>(3 * 3 * c));
+  nn::Rng rng(9);
+  for (float& v : w) v = static_cast<float>(rng.normal(0.0, 0.1));
+  const auto [lo, hi] = nn::tensor_min_max(in);
+  const nn::QTensor qin = nn::quantize(in, nn::choose_quant_params(lo, hi, 8));
+  const nn::ops::QuantizedWeights qw = nn::ops::quantize_weights(w);
+  const nn::QuantParams out_p = nn::choose_quant_params(0.0f, 6.0f, 8);
+  nn::ops::KernelBackend backend(fast ? nn::ops::KernelTier::Fast
+                                      : nn::ops::KernelTier::Reference);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        backend.depthwise_conv2d(qin, l, qw.data, qw.params, {}, out_p));
+  }
+  state.SetItemsProcessed(state.iterations() * 32 * 32 * c * 9);
+}
+BENCHMARK(BM_DepthwiseInt8)
+    ->Args({32, 0})
+    ->Args({32, 1})
+    ->Args({128, 0})
+    ->Args({128, 1});
+
+// Integer-only residual add (fixed-point rescale, no per-element doubles).
+void BM_AddInt8(benchmark::State& state) {
+  const nn::Tensor a = random_tensor({32, 32, 32}, 12);
+  const nn::Tensor b = random_tensor({32, 32, 32}, 13);
+  const nn::QTensor qa = nn::quantize(a, nn::choose_quant_params(-3.0f, 3.0f, 8));
+  const nn::QTensor qb = nn::quantize(b, nn::choose_quant_params(-2.0f, 4.0f, 8));
+  const nn::QuantParams out_p = nn::choose_quant_params(-5.0f, 5.0f, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        nn::ops::add_q(qa, qb, nn::Activation::None, out_p));
+  }
+  state.SetItemsProcessed(state.iterations() * a.elements());
+}
+BENCHMARK(BM_AddInt8);
+
+// Fast float tier (im2col + tiled GEMM), vs the BM_Conv2dF32 reference.
+void BM_Conv2dF32Fast(benchmark::State& state) {
+  const int c = static_cast<int>(state.range(0));
+  const nn::Tensor in = random_tensor({32, 32, c}, 1);
+  const nn::Layer l = conv_layer(c, 3, 1, 1);
+  std::vector<float> w(static_cast<std::size_t>(c * 3 * 3 * c));
+  nn::Rng rng(2);
+  for (float& v : w) v = static_cast<float>(rng.normal(0.0, 0.1));
+  nn::ops::KernelBackend backend(nn::ops::KernelTier::Fast);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(backend.conv2d_f32(in, l, w, {}));
+  }
+  state.SetItemsProcessed(state.iterations() * 32 * 32 * c * 9 * c);
+}
+BENCHMARK(BM_Conv2dF32Fast)->Arg(8)->Arg(16)->Arg(32);
 
 void BM_BitPack(benchmark::State& state) {
   const int bits = static_cast<int>(state.range(0));
@@ -135,4 +246,7 @@ BENCHMARK(BM_PatchPlanBuild);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return qmcu::bench::run_benchmarks_json(argc, argv,
+                                          "BENCH_micro_kernels.json");
+}

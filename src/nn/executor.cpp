@@ -4,7 +4,21 @@
 
 namespace qmcu::nn {
 
-Tensor run_layer_f32(const Graph& g, int id, std::span<const Tensor> memo) {
+namespace {
+
+// Backend for the legacy entry points that do not thread one through.
+// Weight-panel caching stays off: this backend outlives any particular
+// graph, so cached panels could dangle behind reused weight addresses.
+ops::KernelBackend& shared_backend() {
+  thread_local ops::KernelBackend backend(ops::KernelTier::Fast,
+                                          /*cache_weight_panels=*/false);
+  return backend;
+}
+
+}  // namespace
+
+Tensor run_layer_f32(const Graph& g, int id, std::span<const Tensor> memo,
+                     ops::KernelBackend& backend) {
   const Layer& l = g.layer(id);
   QMCU_REQUIRE(l.kind != OpKind::Input, "input layers are seeded, not run");
   const auto in0 = [&]() -> const Tensor& {
@@ -12,11 +26,12 @@ Tensor run_layer_f32(const Graph& g, int id, std::span<const Tensor> memo) {
   };
   switch (l.kind) {
     case OpKind::Conv2D:
-      return ops::conv2d_f32(in0(), l, g.weights(id), g.bias(id));
+      return backend.conv2d_f32(in0(), l, g.weights(id), g.bias(id));
     case OpKind::DepthwiseConv2D:
-      return ops::depthwise_conv2d_f32(in0(), l, g.weights(id), g.bias(id));
+      return backend.depthwise_conv2d_f32(in0(), l, g.weights(id),
+                                          g.bias(id));
     case OpKind::FullyConnected:
-      return ops::fully_connected_f32(in0(), l, g.weights(id), g.bias(id));
+      return backend.fully_connected_f32(in0(), l, g.weights(id), g.bias(id));
     case OpKind::MaxPool:
       return ops::max_pool_f32(in0(), l);
     case OpKind::AvgPool:
@@ -42,6 +57,10 @@ Tensor run_layer_f32(const Graph& g, int id, std::span<const Tensor> memo) {
   QMCU_ENSURE(false, "unhandled op kind");
 }
 
+Tensor run_layer_f32(const Graph& g, int id, std::span<const Tensor> memo) {
+  return run_layer_f32(g, id, memo, shared_backend());
+}
+
 std::vector<Tensor> Executor::run_all(const Tensor& input) const {
   const Graph& g = *graph_;
   QMCU_REQUIRE(g.inputs().size() == 1, "executor expects one input layer");
@@ -53,7 +72,7 @@ std::vector<Tensor> Executor::run_all(const Tensor& input) const {
     if (g.layer(id).kind == OpKind::Input) {
       memo[static_cast<std::size_t>(id)] = input;
     } else {
-      memo[static_cast<std::size_t>(id)] = run_layer_f32(g, id, memo);
+      memo[static_cast<std::size_t>(id)] = run_layer_f32(g, id, memo, backend_);
     }
   }
   return memo;
@@ -82,7 +101,7 @@ std::vector<Tensor> Executor::run_from(std::vector<Tensor> memo,
       }
     }
     if (needs) {
-      memo[static_cast<std::size_t>(id)] = run_layer_f32(g, id, memo);
+      memo[static_cast<std::size_t>(id)] = run_layer_f32(g, id, memo, backend_);
       dirty[static_cast<std::size_t>(id)] = true;
     }
   }
@@ -130,54 +149,62 @@ QuantizedParameters QuantizedParameters::build(
 
 QTensor run_layer_q(const Graph& g, int id, std::span<const QTensor> memo,
                     const QuantizedParameters& params,
-                    const QuantParams& out_p) {
+                    const QuantParams& out_p, ops::KernelBackend& backend) {
   const Layer& l = g.layer(id);
   const auto& in0 = memo[static_cast<std::size_t>(l.inputs[0])];
   switch (l.kind) {
     case OpKind::Conv2D:
-      return ops::conv2d_q(in0, l,
-                           params.weights[static_cast<std::size_t>(id)].data,
-                           params.weights[static_cast<std::size_t>(id)].params,
-                           params.bias[static_cast<std::size_t>(id)], out_p);
+      return backend.conv2d(in0, l,
+                            params.weights[static_cast<std::size_t>(id)].data,
+                            params.weights[static_cast<std::size_t>(id)].params,
+                            params.bias[static_cast<std::size_t>(id)], out_p);
     case OpKind::DepthwiseConv2D:
-      return ops::depthwise_conv2d_q(
+      return backend.depthwise_conv2d(
           in0, l, params.weights[static_cast<std::size_t>(id)].data,
           params.weights[static_cast<std::size_t>(id)].params,
           params.bias[static_cast<std::size_t>(id)], out_p);
     case OpKind::FullyConnected:
-      return ops::fully_connected_q(
+      return backend.fully_connected(
           in0, l, params.weights[static_cast<std::size_t>(id)].data,
           params.weights[static_cast<std::size_t>(id)].params,
           params.bias[static_cast<std::size_t>(id)], out_p);
     case OpKind::MaxPool:
-      return ops::max_pool_q(in0, l);
+      return backend.max_pool(in0, l);
     case OpKind::AvgPool:
-      return ops::avg_pool_q(in0, l);
+      return backend.avg_pool(in0, l);
     case OpKind::GlobalAvgPool:
-      return ops::global_avg_pool_q(in0);
+      return backend.global_avg_pool(in0);
     case OpKind::Add:
-      return ops::add_q(in0, memo[static_cast<std::size_t>(l.inputs[1])],
-                        l.act, out_p);
+      return backend.add(in0, memo[static_cast<std::size_t>(l.inputs[1])],
+                         l.act, out_p);
     case OpKind::Concat: {
       std::vector<const QTensor*> ins;
       ins.reserve(l.inputs.size());
       for (int in : l.inputs) {
         ins.push_back(&memo[static_cast<std::size_t>(in)]);
       }
-      return ops::concat_q(ins, out_p);
+      return backend.concat(ins, out_p);
     }
     case OpKind::Softmax:
-      return ops::softmax_q(in0, out_p);
+      return backend.softmax(in0, out_p);
     case OpKind::Input:
       QMCU_ENSURE(false, "input handled by caller");
   }
   QMCU_ENSURE(false, "unhandled op kind");
 }
 
-QuantExecutor::QuantExecutor(const Graph& g, ActivationQuantConfig cfg)
+QTensor run_layer_q(const Graph& g, int id, std::span<const QTensor> memo,
+                    const QuantizedParameters& params,
+                    const QuantParams& out_p) {
+  return run_layer_q(g, id, memo, params, out_p, shared_backend());
+}
+
+QuantExecutor::QuantExecutor(const Graph& g, ActivationQuantConfig cfg,
+                             ops::KernelTier tier)
     : graph_(&g),
       cfg_(std::move(cfg)),
-      params_(QuantizedParameters::build(g, cfg_)) {}
+      params_(QuantizedParameters::build(g, cfg_)),
+      backend_(tier) {}
 
 std::vector<QTensor> QuantExecutor::run_all(const Tensor& input) const {
   const Graph& g = *graph_;
@@ -192,7 +219,8 @@ std::vector<QTensor> QuantExecutor::run_all(const Tensor& input) const {
           quantize(input, cfg_.params[static_cast<std::size_t>(id)]);
     } else {
       memo[static_cast<std::size_t>(id)] =
-          run_layer_q(g, id, memo, params_, cfg_.params[static_cast<std::size_t>(id)]);
+          run_layer_q(g, id, memo, params_,
+                      cfg_.params[static_cast<std::size_t>(id)], backend_);
     }
   }
   return memo;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "nn/graph.h"
+#include "nn/ops/backend.h"
 #include "nn/ops/int8_kernels.h"
 #include "nn/tensor.h"
 
@@ -22,11 +23,17 @@ namespace qmcu::nn {
 // Executes one non-Input layer of `g` against already-computed producer
 // tensors (memo is indexed by layer id; only the layer's inputs are read).
 // Shared by the layer-based executor and the patch executor's tail phase.
+// Kernels dispatch through `backend`; the overload without one uses a
+// shared thread-local Fast backend.
+Tensor run_layer_f32(const Graph& g, int id, std::span<const Tensor> memo,
+                     ops::KernelBackend& backend);
 Tensor run_layer_f32(const Graph& g, int id, std::span<const Tensor> memo);
 
 class Executor {
  public:
-  explicit Executor(const Graph& g) : graph_(&g) {}
+  explicit Executor(const Graph& g,
+                    ops::KernelTier tier = ops::KernelTier::Fast)
+      : graph_(&g), backend_(tier) {}
 
   // Runs the whole graph; result[i] is the output feature map of layer i.
   [[nodiscard]] std::vector<Tensor> run_all(const Tensor& input) const;
@@ -46,6 +53,11 @@ class Executor {
 
  private:
   const Graph* graph_;  // non-owning; graph must outlive the executor
+  // Kernel dispatch + scratch arena; mutated (scratch reuse) during const
+  // runs, which does not affect observable results but does mean a single
+  // executor instance must not run concurrently from multiple threads —
+  // use one executor per thread instead.
+  mutable ops::KernelBackend backend_;
 };
 
 // Per-layer activation quantization parameters, indexed by layer id.
@@ -71,7 +83,12 @@ struct QuantizedParameters {
 
 // Executes one non-Input layer in the quantized domain. `memo` holds the
 // producers' quantized feature maps; `out_params` is the layer's output
-// quantization (from the ActivationQuantConfig).
+// quantization (from the ActivationQuantConfig). The overload without a
+// backend uses a shared thread-local Fast backend.
+QTensor run_layer_q(const Graph& g, int id, std::span<const QTensor> memo,
+                    const QuantizedParameters& params,
+                    const QuantParams& out_params,
+                    ops::KernelBackend& backend);
 QTensor run_layer_q(const Graph& g, int id, std::span<const QTensor> memo,
                     const QuantizedParameters& params,
                     const QuantParams& out_params);
@@ -80,7 +97,8 @@ class QuantExecutor {
  public:
   // Weights are quantized (8-bit symmetric) and biases rescaled at
   // construction, mirroring ahead-of-time conversion on the MCU.
-  QuantExecutor(const Graph& g, ActivationQuantConfig cfg);
+  QuantExecutor(const Graph& g, ActivationQuantConfig cfg,
+                ops::KernelTier tier = ops::KernelTier::Fast);
 
   [[nodiscard]] std::vector<QTensor> run_all(const Tensor& input) const;
   [[nodiscard]] QTensor run(const Tensor& input) const;
@@ -92,6 +110,7 @@ class QuantExecutor {
   const Graph* graph_;
   ActivationQuantConfig cfg_;
   QuantizedParameters params_;
+  mutable ops::KernelBackend backend_;
 };
 
 }  // namespace qmcu::nn

@@ -1,0 +1,454 @@
+#include "nn/ops/backend.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "nn/ops/float_kernels.h"
+#include "nn/ops/gemm_int8.h"
+#include "nn/ops/im2col.h"
+#include "quant/bitpack.h"
+
+namespace qmcu::nn::ops {
+
+namespace {
+
+template <typename T>
+std::span<T> take_block(std::vector<std::vector<T>>& blocks, std::size_t& next,
+                        std::size_t n) {
+  if (next == blocks.size()) blocks.emplace_back();
+  std::vector<T>& block = blocks[next++];
+  if (block.size() < n) block.resize(n);
+  return std::span<T>(block.data(), n);
+}
+
+}  // namespace
+
+std::span<std::int8_t> ScratchArena::i8(std::size_t n) {
+  return take_block(i8_blocks_, i8_next_, n);
+}
+
+std::span<std::int32_t> ScratchArena::i32(std::size_t n) {
+  return take_block(i32_blocks_, i32_next_, n);
+}
+
+std::span<float> ScratchArena::f32(std::size_t n) {
+  return take_block(f32_blocks_, f32_next_, n);
+}
+
+void ScratchArena::reset() {
+  i8_next_ = 0;
+  i32_next_ = 0;
+  f32_next_ = 0;
+}
+
+std::size_t ScratchArena::footprint_bytes() const {
+  std::size_t total = 0;
+  for (const auto& b : i8_blocks_) total += b.capacity();
+  for (const auto& b : i32_blocks_) total += b.capacity() * sizeof(std::int32_t);
+  for (const auto& b : f32_blocks_) total += b.capacity() * sizeof(float);
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Fast integer tier.
+
+namespace {
+
+// Output-index range [lo, hi) along one axis whose windows lie fully inside
+// the input — the interior that runs branch-free; everything outside is the
+// border handled with per-position bounds checks.
+struct OutputInterior {
+  int lo;
+  int hi;  // exclusive
+};
+
+OutputInterior output_interior(int kernel, int stride, int pad, int extent,
+                               int out_extent) {
+  int lo = pad <= 0 ? 0 : (pad + stride - 1) / stride;
+  int hi_inclusive = (extent - kernel + pad) / stride;
+  lo = std::max(lo, 0);
+  hi_inclusive = std::min(hi_inclusive, out_extent - 1);
+  return {lo, hi_inclusive + 1};
+}
+
+// Shared im2col + GEMM driver. `pack_row(oy, dst)` fills one output row's
+// im2col strip; everything else (zero-point folding, requantization) is
+// common to the unpacked and packed-input paths. `bt`/`wsum` come from
+// KernelBackend::weight_panel; the arena must already be reset by the
+// caller (the panel may live in it).
+template <typename PackRow>
+QTensor fast_conv2d_impl(ScratchArena& arena, const TensorShape& is,
+                         const QuantParams& ip, const Layer& l,
+                         std::span<const std::int8_t> bt,
+                         std::span<const std::int32_t> wsum,
+                         const QuantParams& wparams,
+                         std::span<const std::int32_t> qbias,
+                         const QuantParams& out_params,
+                         const PackRow& pack_row) {
+  const TensorShape os = conv_output_shape(is, l, l.out_channels);
+  const int n = l.out_channels;
+  const int k = static_cast<int>(im2col_row_elements(is, l));
+  QTensor out(os, out_params);
+
+  // Per-column constant folding bias and the input zero-point correction.
+  auto offset = arena.i32(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    const std::int32_t bias =
+        qbias.empty() ? 0 : qbias[static_cast<std::size_t>(j)];
+    offset[static_cast<std::size_t>(j)] =
+        bias - ip.zero_point * wsum[static_cast<std::size_t>(j)];
+  }
+  auto a = arena.i8(static_cast<std::size_t>(os.w) * k);
+  auto acc = arena.i32(4 * static_cast<std::size_t>(n));
+
+  GemmQuantPost post;
+  post.offset = offset.data();
+  post.multiplier = quantize_multiplier(
+      static_cast<double>(ip.scale) * wparams.scale / out_params.scale);
+  post.output_zp = out_params.zero_point;
+  const auto [act_lo, act_hi] = activation_range(l.act, out_params);
+  post.act_lo = act_lo;
+  post.act_hi = act_hi;
+
+  std::int8_t* y = out.data().data();
+  for (int oy = 0; oy < os.h; ++oy) {
+    pack_row(oy, a.data());
+    gemm_int8_requant(a.data(), bt.data(), os.w, n, k, post, acc.data(),
+                      y + static_cast<std::size_t>(oy) * os.w * n);
+  }
+  return out;
+}
+
+QTensor fast_depthwise_conv2d(ScratchArena& arena, const QTensor& in,
+                              const Layer& l,
+                              std::span<const std::int8_t> qweights,
+                              const QuantParams& wparams,
+                              std::span<const std::int32_t> qbias,
+                              const QuantParams& out_params) {
+  const TensorShape& is = in.shape();
+  const TensorShape os = conv_output_shape(is, l, is.c);
+  const int c = is.c;
+  QMCU_REQUIRE(static_cast<std::int64_t>(qweights.size()) ==
+                   static_cast<std::int64_t>(l.kernel_h) * l.kernel_w * c,
+               "dwconv weight count mismatch");
+  QTensor out(os, out_params);
+  const auto& ip = in.params();
+  const FixedPointMultiplier m = quantize_multiplier(
+      static_cast<double>(ip.scale) * wparams.scale / out_params.scale);
+  const auto [act_lo, act_hi] = activation_range(l.act, out_params);
+  const std::int32_t zp = ip.zero_point;
+  const std::int8_t* x = in.data().data();
+  const std::int8_t* w = qweights.data();
+  std::int8_t* y = out.data().data();
+
+  arena.reset();
+  auto acc = arena.i32(static_cast<std::size_t>(c));
+
+  const OutputInterior oy_int =
+      output_interior(l.kernel_h, l.stride_h, l.pad_h, is.h, os.h);
+  const OutputInterior ox_int =
+      output_interior(l.kernel_w, l.stride_w, l.pad_w, is.w, os.w);
+
+  const auto run_pixel = [&](int oy, int ox, bool border) {
+    const int iy0 = oy * l.stride_h - l.pad_h;
+    const int ix0 = ox * l.stride_w - l.pad_w;
+    const KernelRange kyr =
+        border ? valid_kernel_range(iy0, l.kernel_h, is.h)
+               : KernelRange{0, l.kernel_h};
+    const KernelRange kxr =
+        border ? valid_kernel_range(ix0, l.kernel_w, is.w)
+               : KernelRange{0, l.kernel_w};
+    const int ky_lo = kyr.lo;
+    const int ky_hi = kyr.hi;
+    const int kx_lo = kxr.lo;
+    const int kx_hi = kxr.hi;
+    if (qbias.empty()) {
+      std::fill(acc.begin(), acc.end(), 0);
+    } else {
+      std::memcpy(acc.data(), qbias.data(),
+                  static_cast<std::size_t>(c) * sizeof(std::int32_t));
+    }
+    for (int ky = ky_lo; ky < ky_hi; ++ky) {
+      const std::int8_t* xrow =
+          x + static_cast<std::size_t>(
+                  flat_index(is, iy0 + ky, ix0 + kx_lo, 0));
+      const std::int8_t* wrow =
+          w + (static_cast<std::size_t>(ky) *
+                   static_cast<std::size_t>(l.kernel_w) +
+               static_cast<std::size_t>(kx_lo)) *
+                  static_cast<std::size_t>(c);
+      for (int kx = kx_lo; kx < kx_hi; ++kx) {
+        for (int ch = 0; ch < c; ++ch) {
+          acc[static_cast<std::size_t>(ch)] +=
+              (static_cast<std::int32_t>(xrow[ch]) - zp) * wrow[ch];
+        }
+        xrow += c;
+        wrow += c;
+      }
+    }
+    std::int8_t* yrow =
+        y + static_cast<std::size_t>(flat_index(os, oy, ox, 0));
+    for (int ch = 0; ch < c; ++ch) {
+      yrow[ch] = static_cast<std::int8_t>(
+          clamp_to(apply_multiplier(acc[static_cast<std::size_t>(ch)], m) +
+                       out_params.zero_point,
+                   act_lo, act_hi));
+    }
+  };
+
+  for (int oy = 0; oy < os.h; ++oy) {
+    const bool y_border = oy < oy_int.lo || oy >= oy_int.hi;
+    for (int ox = 0; ox < os.w; ++ox) {
+      const bool border = y_border || ox < ox_int.lo || ox >= ox_int.hi;
+      run_pixel(oy, ox, border);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+KernelBackend::PanelView KernelBackend::weight_panel(
+    std::span<const std::int8_t> qweights, int n, int k) {
+  if (cache_weight_panels_) {
+    WeightPanel& p = panels_[qweights.data()];
+    if (static_cast<int>(p.wsum.size()) != n ||
+        static_cast<std::int64_t>(p.bt.size()) !=
+            static_cast<std::int64_t>(n) * k) {
+      p.bt.resize(static_cast<std::size_t>(n) * k);
+      pack_weights_kmajor(qweights, n, k, p.bt.data());
+      p.wsum.resize(static_cast<std::size_t>(n));
+      weight_column_sums(qweights, n, k, p.wsum.data());
+    }
+    return {p.bt, p.wsum};
+  }
+  auto bt = arena_.i8(static_cast<std::size_t>(n) * k);
+  pack_weights_kmajor(qweights, n, k, bt.data());
+  auto wsum = arena_.i32(static_cast<std::size_t>(n));
+  weight_column_sums(qweights, n, k, wsum.data());
+  return {bt, wsum};
+}
+
+QTensor KernelBackend::conv2d(const QTensor& in, const Layer& l,
+                              std::span<const std::int8_t> qweights,
+                              const QuantParams& wparams,
+                              std::span<const std::int32_t> qbias,
+                              const QuantParams& out_params) {
+  if (tier_ == KernelTier::Reference) {
+    return conv2d_q(in, l, qweights, wparams, qbias, out_params);
+  }
+  const TensorShape& is = in.shape();
+  const int n = l.out_channels;
+  const std::int64_t k = im2col_row_elements(is, l);
+  QMCU_REQUIRE(static_cast<std::int64_t>(qweights.size()) == k * n,
+               "conv weight count mismatch");
+  arena_.reset();
+  const PanelView w = weight_panel(qweights, n, static_cast<int>(k));
+  const auto x = in.data();
+  const std::int8_t pad =
+      static_cast<std::int8_t>(in.params().zero_point);
+  return fast_conv2d_impl(
+      arena_, is, in.params(), l, w.bt, w.wsum, wparams, qbias, out_params,
+      [&](int oy, std::int8_t* dst) {
+        im2col_pack_row(x, is, l, oy,
+                        conv_output_shape(is, l, l.out_channels).w, pad, dst);
+      });
+}
+
+QTensor KernelBackend::conv2d_packed(std::span<const std::uint8_t> packed,
+                                     const TensorShape& in_shape,
+                                     const QuantParams& in_params,
+                                     const Layer& l,
+                                     std::span<const std::int8_t> qweights,
+                                     const QuantParams& wparams,
+                                     std::span<const std::int32_t> qbias,
+                                     const QuantParams& out_params) {
+  QMCU_REQUIRE(
+      static_cast<std::int64_t>(packed.size()) >=
+          in_shape.bytes(in_params.bits),
+      "packed activation buffer too small");
+  if (tier_ == KernelTier::Reference) {
+    // Reference path materializes the unpacked tensor first.
+    QTensor in(in_shape, in_params);
+    quant::unpack_into(packed, 0, in_shape.elements(), in_params.bits,
+                       in.data().data());
+    return conv2d_q(in, l, qweights, wparams, qbias, out_params);
+  }
+  const int n = l.out_channels;
+  const std::int64_t k = im2col_row_elements(in_shape, l);
+  QMCU_REQUIRE(static_cast<std::int64_t>(qweights.size()) == k * n,
+               "conv weight count mismatch");
+  arena_.reset();
+  const PanelView w = weight_panel(qweights, n, static_cast<int>(k));
+  const std::int8_t pad = static_cast<std::int8_t>(in_params.zero_point);
+  const int bits = in_params.bits;
+  return fast_conv2d_impl(
+      arena_, in_shape, in_params, l, w.bt, w.wsum, wparams, qbias,
+      out_params, [&](int oy, std::int8_t* dst) {
+        im2col_pack_row_subbyte(
+            packed, bits, in_shape, l, oy,
+            conv_output_shape(in_shape, l, l.out_channels).w, pad, dst);
+      });
+}
+
+QTensor KernelBackend::depthwise_conv2d(const QTensor& in, const Layer& l,
+                                        std::span<const std::int8_t> qweights,
+                                        const QuantParams& wparams,
+                                        std::span<const std::int32_t> qbias,
+                                        const QuantParams& out_params) {
+  if (tier_ == KernelTier::Reference) {
+    return depthwise_conv2d_q(in, l, qweights, wparams, qbias, out_params);
+  }
+  return fast_depthwise_conv2d(arena_, in, l, qweights, wparams, qbias,
+                               out_params);
+}
+
+QTensor KernelBackend::fully_connected(const QTensor& in, const Layer& l,
+                                       std::span<const std::int8_t> qweights,
+                                       const QuantParams& wparams,
+                                       std::span<const std::int32_t> qbias,
+                                       const QuantParams& out_params) {
+  if (tier_ == KernelTier::Reference) {
+    return fully_connected_q(in, l, qweights, wparams, qbias, out_params);
+  }
+  // M == 1 GEMM: four output channels at a time against the flat input so
+  // each loaded activation feeds four weight rows; no repacking needed.
+  const std::int64_t in_features = in.elements();
+  QMCU_REQUIRE(static_cast<std::int64_t>(qweights.size()) ==
+                   in_features * l.out_channels,
+               "fc weight count mismatch");
+  QTensor out(TensorShape{1, 1, l.out_channels}, out_params);
+  const auto& ip = in.params();
+  const FixedPointMultiplier m = quantize_multiplier(
+      static_cast<double>(ip.scale) * wparams.scale / out_params.scale);
+  const auto [act_lo, act_hi] = activation_range(l.act, out_params);
+  const std::int32_t zp = ip.zero_point;
+  const std::int8_t* x = in.data().data();
+  const std::int8_t* w = qweights.data();
+  std::int8_t* y = out.data().data();
+  const std::size_t kf = static_cast<std::size_t>(in_features);
+  int o = 0;
+  for (; o + 4 <= l.out_channels; o += 4) {
+    const std::int8_t* w0 = w + static_cast<std::size_t>(o) * kf;
+    const std::int8_t* w1 = w0 + kf;
+    const std::int8_t* w2 = w1 + kf;
+    const std::int8_t* w3 = w2 + kf;
+    std::int32_t a0 = qbias.empty() ? 0 : qbias[static_cast<std::size_t>(o)];
+    std::int32_t a1 =
+        qbias.empty() ? 0 : qbias[static_cast<std::size_t>(o) + 1];
+    std::int32_t a2 =
+        qbias.empty() ? 0 : qbias[static_cast<std::size_t>(o) + 2];
+    std::int32_t a3 =
+        qbias.empty() ? 0 : qbias[static_cast<std::size_t>(o) + 3];
+    for (std::size_t i = 0; i < kf; ++i) {
+      const std::int32_t xv = static_cast<std::int32_t>(x[i]) - zp;
+      a0 += xv * w0[i];
+      a1 += xv * w1[i];
+      a2 += xv * w2[i];
+      a3 += xv * w3[i];
+    }
+    y[o] = static_cast<std::int8_t>(
+        clamp_to(apply_multiplier(a0, m) + out_params.zero_point, act_lo,
+                 act_hi));
+    y[o + 1] = static_cast<std::int8_t>(
+        clamp_to(apply_multiplier(a1, m) + out_params.zero_point, act_lo,
+                 act_hi));
+    y[o + 2] = static_cast<std::int8_t>(
+        clamp_to(apply_multiplier(a2, m) + out_params.zero_point, act_lo,
+                 act_hi));
+    y[o + 3] = static_cast<std::int8_t>(
+        clamp_to(apply_multiplier(a3, m) + out_params.zero_point, act_lo,
+                 act_hi));
+  }
+  for (; o < l.out_channels; ++o) {
+    const std::int8_t* wr = w + static_cast<std::size_t>(o) * kf;
+    std::int32_t acc = qbias.empty() ? 0 : qbias[static_cast<std::size_t>(o)];
+    for (std::size_t i = 0; i < kf; ++i) {
+      acc += (static_cast<std::int32_t>(x[i]) - zp) * wr[i];
+    }
+    y[o] = static_cast<std::int8_t>(
+        clamp_to(apply_multiplier(acc, m) + out_params.zero_point, act_lo,
+                 act_hi));
+  }
+  return out;
+}
+
+QTensor KernelBackend::max_pool(const QTensor& in, const Layer& l) {
+  // The reference max pool is already branch-light after the row-pointer
+  // hoist; both tiers share it.
+  return max_pool_q(in, l);
+}
+
+QTensor KernelBackend::avg_pool(const QTensor& in, const Layer& l) {
+  // Single integer implementation (interior/border aware) for both tiers.
+  return avg_pool_q(in, l);
+}
+
+QTensor KernelBackend::global_avg_pool(const QTensor& in) {
+  return global_avg_pool_q(in);
+}
+
+QTensor KernelBackend::add(const QTensor& lhs, const QTensor& rhs,
+                           Activation act, const QuantParams& out_params) {
+  return add_q(lhs, rhs, act, out_params);
+}
+
+QTensor KernelBackend::concat(std::span<const QTensor* const> inputs,
+                              const QuantParams& out_params) {
+  return concat_q(inputs, out_params);
+}
+
+QTensor KernelBackend::softmax(const QTensor& in,
+                               const QuantParams& out_params) {
+  return softmax_q(in, out_params);
+}
+
+QTensor KernelBackend::requantize(const QTensor& q, const QuantParams& target) {
+  return requantize_q(q, target);
+}
+
+// ---------------------------------------------------------------------------
+// Float tier.
+
+Tensor KernelBackend::conv2d_f32(const Tensor& in, const Layer& l,
+                                 std::span<const float> weights,
+                                 std::span<const float> bias) {
+  if (tier_ == KernelTier::Reference) {
+    return ops::conv2d_f32(in, l, weights, bias);
+  }
+  const TensorShape& is = in.shape();
+  const TensorShape os = conv_output_shape(is, l, l.out_channels);
+  const int n = l.out_channels;
+  const std::int64_t k64 = im2col_row_elements(is, l);
+  QMCU_REQUIRE(static_cast<std::int64_t>(weights.size()) == k64 * n,
+               "conv weight count mismatch");
+  const int k = static_cast<int>(k64);
+  Tensor out(os);
+  arena_.reset();
+  auto bt = arena_.f32(static_cast<std::size_t>(n) * k);
+  pack_weights_kmajor_f32(weights, n, k, bt.data());
+  auto a = arena_.f32(static_cast<std::size_t>(os.w) * k);
+  auto acc = arena_.f32(4 * static_cast<std::size_t>(n));
+  float* y = out.data().data();
+  for (int oy = 0; oy < os.h; ++oy) {
+    im2col_pack_row_f32(in.data(), is, l, oy, os.w, a.data());
+    gemm_f32(a.data(), bt.data(), os.w, n, k, bias, l.act, acc.data(),
+             y + static_cast<std::size_t>(oy) * os.w * n);
+  }
+  return out;
+}
+
+Tensor KernelBackend::depthwise_conv2d_f32(const Tensor& in, const Layer& l,
+                                           std::span<const float> weights,
+                                           std::span<const float> bias) {
+  return ops::depthwise_conv2d_f32(in, l, weights, bias);
+}
+
+Tensor KernelBackend::fully_connected_f32(const Tensor& in, const Layer& l,
+                                          std::span<const float> weights,
+                                          std::span<const float> bias) {
+  return ops::fully_connected_f32(in, l, weights, bias);
+}
+
+}  // namespace qmcu::nn::ops

@@ -1,0 +1,141 @@
+// backend.h — kernel tier dispatch and the per-executor scratch arena.
+//
+// Two implementation tiers share one arithmetic contract:
+//   Reference — the plain loop nests of int8_kernels.h / float_kernels.h;
+//               they define the bit pattern of every op.
+//   Fast      — im2col + register-tiled GEMM for conv/fc, interior/border
+//               split kernels for depthwise and pooling. Bit-identical to
+//               Reference (integer arithmetic is order-independent; the
+//               float GEMM preserves the reference accumulation order).
+//
+// Each executor owns one KernelBackend. Its ScratchArena is a grow-only
+// pool of typed blocks reused across every op the executor runs, so
+// patch-branch inference stops paying a heap allocation per temporary:
+// after the first branch the arena is at steady state and im2col strips,
+// repacked weight panels and accumulator tiles all come from recycled
+// memory. Elementwise ops (Add/Concat/Softmax/global pooling and the
+// requantize slice copy) have a single integer-only implementation shared
+// by both tiers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "nn/graph.h"
+#include "nn/ops/int8_kernels.h"
+#include "nn/tensor.h"
+
+namespace qmcu::nn::ops {
+
+enum class KernelTier { Reference, Fast };
+
+// Grow-only typed scratch pool. Blocks are handed out in request order and
+// all returned by reset() (called at the start of each op); capacity is
+// retained so steady-state inference performs no allocations. Blocks are
+// stable: a later request never invalidates an earlier span.
+class ScratchArena {
+ public:
+  std::span<std::int8_t> i8(std::size_t n);
+  std::span<std::int32_t> i32(std::size_t n);
+  std::span<float> f32(std::size_t n);
+  void reset();
+
+  // Total capacity held across all pools, for memory accounting.
+  [[nodiscard]] std::size_t footprint_bytes() const;
+
+ private:
+  std::vector<std::vector<std::int8_t>> i8_blocks_;
+  std::vector<std::vector<std::int32_t>> i32_blocks_;
+  std::vector<std::vector<float>> f32_blocks_;
+  std::size_t i8_next_ = 0;
+  std::size_t i32_next_ = 0;
+  std::size_t f32_next_ = 0;
+};
+
+class KernelBackend {
+ public:
+  // `cache_weight_panels` keeps the k-major weight repack + column sums of
+  // each weight blob across calls (keyed by the blob's address), so
+  // repeated convolutions over the same layer — every patch branch, every
+  // frame — pack once. It requires the weight spans to stay alive and
+  // unchanged for the backend's lifetime, which holds for executors (they
+  // own both); pass false where that cannot be guaranteed.
+  explicit KernelBackend(KernelTier tier = KernelTier::Fast,
+                         bool cache_weight_panels = true)
+      : tier_(tier), cache_weight_panels_(cache_weight_panels) {}
+
+  [[nodiscard]] KernelTier tier() const { return tier_; }
+  [[nodiscard]] ScratchArena& arena() { return arena_; }
+
+  // --- integer ops (contracts in int8_kernels.h) ---------------------------
+  QTensor conv2d(const QTensor& in, const Layer& l,
+                 std::span<const std::int8_t> qweights,
+                 const QuantParams& wparams,
+                 std::span<const std::int32_t> qbias,
+                 const QuantParams& out_params);
+  QTensor depthwise_conv2d(const QTensor& in, const Layer& l,
+                           std::span<const std::int8_t> qweights,
+                           const QuantParams& wparams,
+                           std::span<const std::int32_t> qbias,
+                           const QuantParams& out_params);
+  QTensor fully_connected(const QTensor& in, const Layer& l,
+                          std::span<const std::int8_t> qweights,
+                          const QuantParams& wparams,
+                          std::span<const std::int32_t> qbias,
+                          const QuantParams& out_params);
+  QTensor max_pool(const QTensor& in, const Layer& l);
+  QTensor avg_pool(const QTensor& in, const Layer& l);
+  QTensor global_avg_pool(const QTensor& in);
+  QTensor add(const QTensor& lhs, const QTensor& rhs, Activation act,
+              const QuantParams& out_params);
+  QTensor concat(std::span<const QTensor* const> inputs,
+                 const QuantParams& out_params);
+  QTensor softmax(const QTensor& in, const QuantParams& out_params);
+  QTensor requantize(const QTensor& q, const QuantParams& target);
+
+  // Sub-byte activations: convolution over a 2/4-bit packed input
+  // (quant/bitpack.h layout covering in_shape.elements() fields). The Fast
+  // tier expands packed rows directly into the im2col scratch; the
+  // Reference tier unpacks to a QTensor first. Bit-identical to conv2d on
+  // the unpacked equivalent.
+  QTensor conv2d_packed(std::span<const std::uint8_t> packed,
+                        const TensorShape& in_shape,
+                        const QuantParams& in_params, const Layer& l,
+                        std::span<const std::int8_t> qweights,
+                        const QuantParams& wparams,
+                        std::span<const std::int32_t> qbias,
+                        const QuantParams& out_params);
+
+  // --- float ops (contracts in float_kernels.h) ----------------------------
+  Tensor conv2d_f32(const Tensor& in, const Layer& l,
+                    std::span<const float> weights,
+                    std::span<const float> bias);
+  Tensor depthwise_conv2d_f32(const Tensor& in, const Layer& l,
+                              std::span<const float> weights,
+                              std::span<const float> bias);
+  Tensor fully_connected_f32(const Tensor& in, const Layer& l,
+                             std::span<const float> weights,
+                             std::span<const float> bias);
+
+ private:
+  struct WeightPanel {
+    std::vector<std::int8_t> bt;      // k-major repack [K][N]
+    std::vector<std::int32_t> wsum;   // per-column weight sums
+  };
+  struct PanelView {
+    std::span<const std::int8_t> bt;
+    std::span<const std::int32_t> wsum;
+  };
+
+  // Returns the k-major panel for `qweights` (cached or arena-backed).
+  PanelView weight_panel(std::span<const std::int8_t> qweights, int n, int k);
+
+  KernelTier tier_;
+  bool cache_weight_panels_;
+  ScratchArena arena_;
+  std::unordered_map<const std::int8_t*, WeightPanel> panels_;
+};
+
+}  // namespace qmcu::nn::ops

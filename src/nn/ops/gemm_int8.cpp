@@ -1,0 +1,195 @@
+#include "nn/ops/gemm_int8.h"
+
+#include <algorithm>
+
+#include "nn/ops/float_kernels.h"
+
+namespace qmcu::nn::ops {
+
+void pack_weights_kmajor(std::span<const std::int8_t> b, int n, int k,
+                         std::int8_t* bt) {
+  for (int row = 0; row < n; ++row) {
+    const std::int8_t* src = b.data() + static_cast<std::size_t>(row) * k;
+    for (int kk = 0; kk < k; ++kk) {
+      bt[static_cast<std::size_t>(kk) * n + row] = src[kk];
+    }
+  }
+}
+
+void pack_weights_kmajor_f32(std::span<const float> b, int n, int k,
+                             float* bt) {
+  for (int row = 0; row < n; ++row) {
+    const float* src = b.data() + static_cast<std::size_t>(row) * k;
+    for (int kk = 0; kk < k; ++kk) {
+      bt[static_cast<std::size_t>(kk) * n + row] = src[kk];
+    }
+  }
+}
+
+void weight_column_sums(std::span<const std::int8_t> b, int n, int k,
+                        std::int32_t* wsum) {
+  for (int row = 0; row < n; ++row) {
+    const std::int8_t* src = b.data() + static_cast<std::size_t>(row) * k;
+    std::int32_t s = 0;
+    for (int kk = 0; kk < k; ++kk) s += src[kk];
+    wsum[row] = s;
+  }
+}
+
+namespace {
+
+// Width of the register tile along n. 16 int32 lanes is one AVX-512
+// register (two NEON/SSE pairs on narrower machines) and small enough that
+// the 4 x kNTile accumulator block stays in registers across the k loop.
+constexpr int kNTile = 16;
+
+// Accumulates `rows` (1..4) A rows against the whole Bt panel into `acc`
+// (rows * n int32). The panel is walked in kNTile-wide column strips; each
+// strip's accumulators are fixed-size locals, so the compiler sees them as
+// non-aliased registers and fully unrolls the tile loops — the versioned
+// runtime aliasing checks a pointer-based accumulator would force on every
+// k iteration disappear entirely.
+void gemm_block_i8(const std::int8_t* __restrict a,
+                   const std::int8_t* __restrict bt, int rows, int n, int k,
+                   std::int32_t* __restrict acc) {
+  const std::int8_t* a0 = a;
+  const std::int8_t* a1 = a + k;
+  const std::int8_t* a2 = a + 2 * static_cast<std::size_t>(k);
+  const std::int8_t* a3 = a + 3 * static_cast<std::size_t>(k);
+  for (int j0 = 0; j0 < n; j0 += kNTile) {
+    const int jn = std::min(kNTile, n - j0);
+    if (rows == 4 && jn == kNTile) {
+      std::int32_t t0[kNTile] = {0};
+      std::int32_t t1[kNTile] = {0};
+      std::int32_t t2[kNTile] = {0};
+      std::int32_t t3[kNTile] = {0};
+      const std::int8_t* bp = bt + j0;
+      for (int kk = 0; kk < k; ++kk, bp += n) {
+        const std::int32_t v0 = a0[kk];
+        const std::int32_t v1 = a1[kk];
+        const std::int32_t v2 = a2[kk];
+        const std::int32_t v3 = a3[kk];
+        for (int j = 0; j < kNTile; ++j) {
+          const std::int32_t w = bp[j];
+          t0[j] += v0 * w;
+          t1[j] += v1 * w;
+          t2[j] += v2 * w;
+          t3[j] += v3 * w;
+        }
+      }
+      for (int j = 0; j < kNTile; ++j) {
+        acc[j0 + j] = t0[j];
+        acc[n + j0 + j] = t1[j];
+        acc[2 * n + j0 + j] = t2[j];
+        acc[3 * n + j0 + j] = t3[j];
+      }
+      continue;
+    }
+    for (int r = 0; r < rows; ++r) {
+      std::int32_t t[kNTile] = {0};
+      const std::int8_t* ar = a + static_cast<std::size_t>(r) * k;
+      const std::int8_t* bp = bt + j0;
+      for (int kk = 0; kk < k; ++kk, bp += n) {
+        const std::int32_t v = ar[kk];
+        for (int j = 0; j < jn; ++j) t[j] += v * bp[j];
+      }
+      for (int j = 0; j < jn; ++j) {
+        acc[static_cast<std::size_t>(r) * n + j0 + j] = t[j];
+      }
+    }
+  }
+}
+
+// Unlike the integer block, `acc` arrives pre-seeded with the bias so the
+// per-output accumulation order (bias first, then ascending k) matches the
+// reference float kernels bit-for-bit. Float keeps the pointer-row form
+// (the loop vectorizer handles it directly; fixed-size tiles would only be
+// SLP candidates, which gcc declines for FP accumulator groups). The
+// __restrict parameters make the four accumulator rows provably disjoint
+// from the operands, so no versioned aliasing checks survive. Row
+// regrouping never reorders a single output's own sum.
+void gemm_block_f32(const float* __restrict a, const float* __restrict bt,
+                    int rows, int n, int k, float* __restrict acc) {
+  if (rows == 4) {
+    const float* a0 = a;
+    const float* a1 = a + k;
+    const float* a2 = a + 2 * static_cast<std::size_t>(k);
+    const float* a3 = a + 3 * static_cast<std::size_t>(k);
+    float* c0 = acc;
+    float* c1 = acc + n;
+    float* c2 = acc + 2 * static_cast<std::size_t>(n);
+    float* c3 = acc + 3 * static_cast<std::size_t>(n);
+    for (int kk = 0; kk < k; ++kk) {
+      const float v0 = a0[kk];
+      const float v1 = a1[kk];
+      const float v2 = a2[kk];
+      const float v3 = a3[kk];
+      const float* bp = bt + static_cast<std::size_t>(kk) * n;
+      for (int j = 0; j < n; ++j) {
+        const float w = bp[j];
+        c0[j] += v0 * w;
+        c1[j] += v1 * w;
+        c2[j] += v2 * w;
+        c3[j] += v3 * w;
+      }
+    }
+    return;
+  }
+  for (int r = 0; r < rows; ++r) {
+    const float* ar = a + static_cast<std::size_t>(r) * k;
+    float* cr = acc + static_cast<std::size_t>(r) * n;
+    for (int kk = 0; kk < k; ++kk) {
+      const float v = ar[kk];
+      const float* bp = bt + static_cast<std::size_t>(kk) * n;
+      for (int j = 0; j < n; ++j) cr[j] += v * bp[j];
+    }
+  }
+}
+
+}  // namespace
+
+void gemm_int8_requant(const std::int8_t* a, const std::int8_t* bt, int m,
+                       int n, int k, const GemmQuantPost& post,
+                       std::int32_t* acc, std::int8_t* c) {
+  for (int m0 = 0; m0 < m; m0 += 4) {
+    const int rows = std::min(4, m - m0);
+    gemm_block_i8(a + static_cast<std::size_t>(m0) * k, bt, rows, n, k, acc);
+    for (int r = 0; r < rows; ++r) {
+      const std::int32_t* row = acc + static_cast<std::size_t>(r) * n;
+      std::int8_t* out = c + static_cast<std::size_t>(m0 + r) * n;
+      for (int j = 0; j < n; ++j) {
+        const std::int32_t total = row[j] + post.offset[j];
+        const std::int32_t q =
+            clamp_to(apply_multiplier(total, post.multiplier) + post.output_zp,
+                     post.act_lo, post.act_hi);
+        out[j] = static_cast<std::int8_t>(q);
+      }
+    }
+  }
+}
+
+void gemm_f32(const float* a, const float* bt, int m, int n, int k,
+              std::span<const float> bias, Activation act, float* acc,
+              float* c) {
+  for (int m0 = 0; m0 < m; m0 += 4) {
+    const int rows = std::min(4, m - m0);
+    for (int r = 0; r < rows; ++r) {
+      float* row = acc + static_cast<std::size_t>(r) * n;
+      if (bias.empty()) {
+        std::fill_n(row, n, 0.0f);
+      } else {
+        std::copy(bias.begin(), bias.end(), row);
+      }
+    }
+    gemm_block_f32(a + static_cast<std::size_t>(m0) * k, bt, rows, n, k, acc);
+    for (int r = 0; r < rows; ++r) {
+      const float* row = acc + static_cast<std::size_t>(r) * n;
+      float* out = c + static_cast<std::size_t>(m0 + r) * n;
+      for (int j = 0; j < n; ++j) {
+        out[j] = activate(row[j], act);
+      }
+    }
+  }
+}
+
+}  // namespace qmcu::nn::ops

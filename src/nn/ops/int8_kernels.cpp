@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 
 #include "nn/ops/float_kernels.h"
+#include "nn/ops/im2col.h"
 #include "nn/ops/requantize.h"
 
 namespace qmcu::nn::ops {
@@ -47,16 +49,20 @@ std::vector<std::int32_t> quantize_bias(std::span<const float> bias,
   return out;
 }
 
-namespace {
-
-TensorShape windowed_shape(const TensorShape& in, const Layer& l,
-                           int out_channels) {
-  const int oh = (in.h + 2 * l.pad_h - l.kernel_h) / l.stride_h + 1;
-  const int ow = (in.w + 2 * l.pad_w - l.kernel_w) / l.stride_w + 1;
-  return {oh, ow, out_channels};
+AvgPoolMultipliers::AvgPoolMultipliers(int max_count) {
+  QMCU_REQUIRE(max_count > 0, "pool window must have at least one position");
+  per_count_.reserve(static_cast<std::size_t>(max_count));
+  for (int count = 1; count <= max_count; ++count) {
+    per_count_.emplace_back(1.0 / count, 128 * count);
+  }
 }
 
-}  // namespace
+std::int32_t AvgPoolMultipliers::average(std::int32_t sum, int count) const {
+  QMCU_REQUIRE(count >= 1 &&
+                   count <= static_cast<int>(per_count_.size()),
+               "window count out of precomputed range");
+  return per_count_[static_cast<std::size_t>(count - 1)].apply(sum);
+}
 
 QTensor conv2d_q(const QTensor& in, const Layer& l,
                  std::span<const std::int8_t> qweights,
@@ -64,7 +70,7 @@ QTensor conv2d_q(const QTensor& in, const Layer& l,
                  std::span<const std::int32_t> qbias,
                  const QuantParams& out_params) {
   const TensorShape& is = in.shape();
-  const TensorShape os = windowed_shape(is, l, l.out_channels);
+  const TensorShape os = conv_output_shape(is, l, l.out_channels);
   QTensor out(os, out_params);
   const auto& ip = in.params();
   const FixedPointMultiplier m = quantize_multiplier(
@@ -123,41 +129,49 @@ QTensor depthwise_conv2d_q(const QTensor& in, const Layer& l,
                            std::span<const std::int32_t> qbias,
                            const QuantParams& out_params) {
   const TensorShape& is = in.shape();
-  const TensorShape os = windowed_shape(is, l, is.c);
+  const TensorShape os = conv_output_shape(is, l, is.c);
   QTensor out(os, out_params);
   const auto& ip = in.params();
   const FixedPointMultiplier m = quantize_multiplier(
       static_cast<double>(ip.scale) * wparams.scale / out_params.scale);
   const auto [act_lo, act_hi] = activation_range(l.act, out_params);
+  const std::int8_t* x = in.data().data();
+  const std::int8_t* w = qweights.data();
+  std::int8_t* y = out.data().data();
+  const int c = is.c;
 
   for (int oy = 0; oy < os.h; ++oy) {
     const int iy0 = oy * l.stride_h - l.pad_h;
+    const KernelRange kyr = valid_kernel_range(iy0, l.kernel_h, is.h);
     for (int ox = 0; ox < os.w; ++ox) {
       const int ix0 = ox * l.stride_w - l.pad_w;
-      for (int c = 0; c < os.c; ++c) {
+      const KernelRange kxr = valid_kernel_range(ix0, l.kernel_w, is.w);
+      std::int8_t* yrow =
+          y + static_cast<std::size_t>(flat_index(os, oy, ox, 0));
+      for (int ch = 0; ch < c; ++ch) {
         std::int32_t acc =
-            qbias.empty() ? 0 : qbias[static_cast<std::size_t>(c)];
-        for (int ky = 0; ky < l.kernel_h; ++ky) {
-          const int iy = iy0 + ky;
-          if (iy < 0 || iy >= is.h) continue;
-          for (int kx = 0; kx < l.kernel_w; ++kx) {
-            const int ix = ix0 + kx;
-            if (ix < 0 || ix >= is.w) continue;
-            const std::size_t widx =
-                (static_cast<std::size_t>(ky) *
-                     static_cast<std::size_t>(l.kernel_w) +
-                 static_cast<std::size_t>(kx)) *
-                    static_cast<std::size_t>(is.c) +
-                static_cast<std::size_t>(c);
-            const std::int32_t xv =
-                static_cast<std::int32_t>(in.at(iy, ix, c)) - ip.zero_point;
-            acc += xv * qweights[widx];
+            qbias.empty() ? 0 : qbias[static_cast<std::size_t>(ch)];
+        for (int ky = kyr.lo; ky < kyr.hi; ++ky) {
+          // Row base pointers hoisted: both walk with stride c along kx.
+          const std::int8_t* xrow =
+              x + static_cast<std::size_t>(
+                      flat_index(is, iy0 + ky, ix0 + kxr.lo, ch));
+          const std::int8_t* wrow =
+              w + (static_cast<std::size_t>(ky) *
+                       static_cast<std::size_t>(l.kernel_w) +
+                   static_cast<std::size_t>(kxr.lo)) *
+                      static_cast<std::size_t>(c) +
+              static_cast<std::size_t>(ch);
+          for (int kx = kxr.lo; kx < kxr.hi; ++kx) {
+            acc += (static_cast<std::int32_t>(*xrow) - ip.zero_point) * *wrow;
+            xrow += c;
+            wrow += c;
           }
         }
         const std::int32_t q =
             clamp_to(apply_multiplier(acc, m) + out_params.zero_point, act_lo,
                      act_hi);
-        out.at(oy, ox, c) = static_cast<std::int8_t>(q);
+        yrow[ch] = static_cast<std::int8_t>(q);
       }
     }
   }
@@ -196,24 +210,31 @@ QTensor fully_connected_q(const QTensor& in, const Layer& l,
 
 QTensor max_pool_q(const QTensor& in, const Layer& l) {
   const TensorShape& is = in.shape();
-  const TensorShape os = windowed_shape(is, l, is.c);
+  const TensorShape os = conv_output_shape(is, l, is.c);
   QTensor out(os, in.params());
+  const std::int8_t* x = in.data().data();
+  std::int8_t* y = out.data().data();
+  const int c = is.c;
   for (int oy = 0; oy < os.h; ++oy) {
     const int iy0 = oy * l.stride_h - l.pad_h;
+    const KernelRange kyr = valid_kernel_range(iy0, l.kernel_h, is.h);
     for (int ox = 0; ox < os.w; ++ox) {
       const int ix0 = ox * l.stride_w - l.pad_w;
-      for (int c = 0; c < os.c; ++c) {
+      const KernelRange kxr = valid_kernel_range(ix0, l.kernel_w, is.w);
+      std::int8_t* yrow =
+          y + static_cast<std::size_t>(flat_index(os, oy, ox, 0));
+      for (int ch = 0; ch < c; ++ch) {
         std::int32_t best = std::numeric_limits<std::int32_t>::min();
-        for (int ky = 0; ky < l.kernel_h; ++ky) {
-          const int iy = iy0 + ky;
-          if (iy < 0 || iy >= is.h) continue;
-          for (int kx = 0; kx < l.kernel_w; ++kx) {
-            const int ix = ix0 + kx;
-            if (ix < 0 || ix >= is.w) continue;
-            best = std::max(best, static_cast<std::int32_t>(in.at(iy, ix, c)));
+        for (int ky = kyr.lo; ky < kyr.hi; ++ky) {
+          const std::int8_t* xrow =
+              x + static_cast<std::size_t>(
+                      flat_index(is, iy0 + ky, ix0 + kxr.lo, ch));
+          for (int kx = kxr.lo; kx < kxr.hi; ++kx) {
+            best = std::max(best, static_cast<std::int32_t>(*xrow));
+            xrow += c;
           }
         }
-        out.at(oy, ox, c) = static_cast<std::int8_t>(best);
+        yrow[ch] = static_cast<std::int8_t>(best);
       }
     }
   }
@@ -222,32 +243,41 @@ QTensor max_pool_q(const QTensor& in, const Layer& l) {
 
 QTensor avg_pool_q(const QTensor& in, const Layer& l) {
   const TensorShape& is = in.shape();
-  const TensorShape os = windowed_shape(is, l, is.c);
+  const TensorShape os = conv_output_shape(is, l, is.c);
   QTensor out(os, in.params());
+  const AvgPoolMultipliers avg(l.kernel_h * l.kernel_w);
+  const std::int32_t qmin = in.params().qmin();
+  const std::int32_t qmax = in.params().qmax();
+  const std::int8_t* x = in.data().data();
+  std::int8_t* y = out.data().data();
+  const int c = is.c;
   for (int oy = 0; oy < os.h; ++oy) {
     const int iy0 = oy * l.stride_h - l.pad_h;
+    const KernelRange kyr = valid_kernel_range(iy0, l.kernel_h, is.h);
     for (int ox = 0; ox < os.w; ++ox) {
       const int ix0 = ox * l.stride_w - l.pad_w;
-      for (int c = 0; c < os.c; ++c) {
-        std::int32_t sum = 0;
-        std::int32_t count = 0;
-        for (int ky = 0; ky < l.kernel_h; ++ky) {
-          const int iy = iy0 + ky;
-          if (iy < 0 || iy >= is.h) continue;
-          for (int kx = 0; kx < l.kernel_w; ++kx) {
-            const int ix = ix0 + kx;
-            if (ix < 0 || ix >= is.w) continue;
-            sum += in.at(iy, ix, c);
-            ++count;
+      const KernelRange kxr = valid_kernel_range(ix0, l.kernel_w, is.w);
+      const int count = kyr.count() * kxr.count();
+      std::int8_t* yrow =
+          y + static_cast<std::size_t>(flat_index(os, oy, ox, 0));
+      for (int ch = 0; ch < c; ++ch) {
+        std::int32_t q;
+        if (count > 0) {
+          std::int32_t sum = 0;
+          for (int ky = kyr.lo; ky < kyr.hi; ++ky) {
+            const std::int8_t* xrow =
+                x + static_cast<std::size_t>(
+                        flat_index(is, iy0 + ky, ix0 + kxr.lo, ch));
+            for (int kx = kxr.lo; kx < kxr.hi; ++kx) {
+              sum += *xrow;
+              xrow += c;
+            }
           }
+          q = avg.average(sum, count);
+        } else {
+          q = in.params().zero_point;
         }
-        const std::int32_t q =
-            count > 0
-                ? static_cast<std::int32_t>(std::llround(
-                      static_cast<double>(sum) / count))
-                : in.params().zero_point;
-        out.at(oy, ox, c) = static_cast<std::int8_t>(
-            clamp_to(q, in.params().qmin(), in.params().qmax()));
+        yrow[ch] = static_cast<std::int8_t>(clamp_to(q, qmin, qmax));
       }
     }
   }
@@ -257,15 +287,21 @@ QTensor avg_pool_q(const QTensor& in, const Layer& l) {
 QTensor global_avg_pool_q(const QTensor& in) {
   const TensorShape& is = in.shape();
   QTensor out(TensorShape{1, 1, is.c}, in.params());
-  for (int c = 0; c < is.c; ++c) {
-    std::int64_t sum = 0;
-    for (int y = 0; y < is.h; ++y) {
-      for (int x = 0; x < is.w; ++x) sum += in.at(y, x, c);
+  const int pixels = is.h * is.w;
+  const ElementRequantizer mean(1.0 / pixels, 128 * pixels);
+  const std::int32_t qmin = in.params().qmin();
+  const std::int32_t qmax = in.params().qmax();
+  std::vector<std::int32_t> sums(static_cast<std::size_t>(is.c), 0);
+  const std::int8_t* p = in.data().data();
+  for (int i = 0; i < pixels; ++i) {
+    for (int ch = 0; ch < is.c; ++ch) {
+      sums[static_cast<std::size_t>(ch)] += p[ch];
     }
-    const auto q = static_cast<std::int32_t>(
-        std::llround(static_cast<double>(sum) / (is.h * is.w)));
-    out.at(0, 0, c) = static_cast<std::int8_t>(
-        clamp_to(q, in.params().qmin(), in.params().qmax()));
+    p += is.c;
+  }
+  for (int ch = 0; ch < is.c; ++ch) {
+    out.at(0, 0, ch) = static_cast<std::int8_t>(clamp_to(
+        mean.apply(sums[static_cast<std::size_t>(ch)]), qmin, qmax));
   }
   return out;
 }
@@ -277,15 +313,32 @@ QTensor add_q(const QTensor& lhs, const QTensor& rhs, Activation act,
   const auto& lp = lhs.params();
   const auto& rp = rhs.params();
   const auto [act_lo, act_hi] = activation_range(act, out_params);
+  // TFLite integer Add: both operands are rescaled onto a shared grid at
+  // 2*max(scale) with 20 bits of shifted headroom, summed in int32, then
+  // rescaled once into the output params. No per-element float math.
+  constexpr int kLeftShift = 20;
+  const double twice_max =
+      2.0 * std::max(static_cast<double>(lp.scale),
+                     static_cast<double>(rp.scale));
+  const FixedPointMultiplier ml =
+      quantize_multiplier(static_cast<double>(lp.scale) / twice_max);
+  const FixedPointMultiplier mr =
+      quantize_multiplier(static_cast<double>(rp.scale) / twice_max);
+  const FixedPointMultiplier mo = quantize_multiplier(
+      twice_max /
+      ((std::int64_t{1} << kLeftShift) * static_cast<double>(out_params.scale)));
   const auto a = lhs.data();
   const auto b = rhs.data();
   auto y = out.data();
   for (std::size_t i = 0; i < y.size(); ++i) {
-    const double real =
-        static_cast<double>(lp.scale) * (a[i] - lp.zero_point) +
-        static_cast<double>(rp.scale) * (b[i] - rp.zero_point);
-    const auto q = static_cast<std::int32_t>(
-        std::llround(real / out_params.scale) + out_params.zero_point);
+    const std::int32_t av =
+        (static_cast<std::int32_t>(a[i]) - lp.zero_point) * (1 << kLeftShift);
+    const std::int32_t bv =
+        (static_cast<std::int32_t>(b[i]) - rp.zero_point) * (1 << kLeftShift);
+    const std::int32_t sum =
+        apply_multiplier(av, ml) + apply_multiplier(bv, mr);
+    const std::int32_t q =
+        apply_multiplier(sum, mo) + out_params.zero_point;
     y[i] = static_cast<std::int8_t>(clamp_to(q, act_lo, act_hi));
   }
   return out;
@@ -302,21 +355,38 @@ QTensor concat_q(std::span<const QTensor* const> inputs,
     channels += t->shape().c;
   }
   QTensor out(TensorShape{first.h, first.w, channels}, out_params);
-  for (int y = 0; y < first.h; ++y) {
-    for (int x = 0; x < first.w; ++x) {
-      int co = 0;
-      for (const QTensor* t : inputs) {
-        const auto& p = t->params();
-        for (int c = 0; c < t->shape().c; ++c) {
-          const double real =
-              static_cast<double>(p.scale) * (t->at(y, x, c) - p.zero_point);
-          const auto q = static_cast<std::int32_t>(
-              std::llround(real / out_params.scale) + out_params.zero_point);
-          out.at(y, x, co++) = static_cast<std::int8_t>(
-              clamp_to(q, out_params.qmin(), out_params.qmax()));
+  const std::int32_t qmin = out_params.qmin();
+  const std::int32_t qmax = out_params.qmax();
+  std::int8_t* y = out.data().data();
+  const int pixels = first.h * first.w;
+  int co = 0;
+  for (const QTensor* t : inputs) {
+    const auto& p = t->params();
+    const int tc = t->shape().c;
+    const std::int8_t* src = t->data().data();
+    std::int8_t* dst = y + co;
+    if (p == out_params) {
+      // Matching params: the slice is a raw channel-block copy.
+      for (int i = 0; i < pixels; ++i) {
+        std::memcpy(dst, src, static_cast<std::size_t>(tc));
+        src += tc;
+        dst += channels;
+      }
+    } else {
+      const ElementRequantizer r(static_cast<double>(p.scale) /
+                                 static_cast<double>(out_params.scale));
+      for (int i = 0; i < pixels; ++i) {
+        for (int ch = 0; ch < tc; ++ch) {
+          const std::int32_t q =
+              r.apply(static_cast<std::int32_t>(src[ch]) - p.zero_point) +
+              out_params.zero_point;
+          dst[ch] = static_cast<std::int8_t>(clamp_to(q, qmin, qmax));
         }
+        src += tc;
+        dst += channels;
       }
     }
+    co += tc;
   }
   return out;
 }
@@ -325,6 +395,25 @@ QTensor softmax_q(const QTensor& in, const QuantParams& out_params) {
   const Tensor real = dequantize(in);
   const Tensor soft = softmax_f32(real);
   return quantize(soft, out_params);
+}
+
+QTensor requantize_q(const QTensor& q, const QuantParams& target) {
+  if (q.params() == target) return q;
+  QTensor out(q.shape(), target);
+  const auto& p = q.params();
+  const ElementRequantizer r(static_cast<double>(p.scale) /
+                             static_cast<double>(target.scale));
+  const std::int32_t qmin = target.qmin();
+  const std::int32_t qmax = target.qmax();
+  const auto src = q.data();
+  auto dst = out.data();
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const std::int32_t v =
+        r.apply(static_cast<std::int32_t>(src[i]) - p.zero_point) +
+        target.zero_point;
+    dst[i] = static_cast<std::int8_t>(clamp_to(v, qmin, qmax));
+  }
+  return out;
 }
 
 }  // namespace qmcu::nn::ops

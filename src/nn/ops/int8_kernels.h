@@ -1,5 +1,7 @@
 // int8_kernels.h — integer quantized kernels (TFLite-Micro arithmetic
-// contract, CMix-NN storage model).
+// contract, CMix-NN storage model). These are the *Reference tier*: plain
+// loop nests that define the arithmetic every fast implementation must
+// reproduce bit-for-bit (see nn/ops/backend.h for the dispatching tiers).
 //
 // Activations are affine-quantized per tensor; weights are symmetric 8-bit.
 // The MAC path is integer-only: int32 accumulation, fixed-point
@@ -8,18 +10,20 @@
 // kernels on unpacked int8 storage — the form CMix-NN computes on — while
 // their accounted footprint is the packed size.
 //
-// Known deviation from a production TFLM build: residual Add, AvgPool mean
-// and Softmax use double-precision rescaling instead of the secondary
-// fixed-point path. The arithmetic contract (scale/zero-point semantics,
-// saturation) is identical; only the rounding of those three cheap ops may
-// differ by 1 LSB.
+// Elementwise ops (residual Add, Concat rescale, AvgPool mean, slice
+// requantization) are integer-only too: precomputed fixed-point multipliers
+// (ElementRequantizer) replace any per-element float math, exactly as a
+// deployed CMSIS-NN/TFLite-Micro build computes them. The only remaining
+// float detour is Softmax, which runs on the dequantized logits.
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <utility>
+#include <vector>
 
 #include "nn/graph.h"
+#include "nn/ops/requantize.h"
 #include "nn/tensor.h"
 
 namespace qmcu::nn::ops {
@@ -39,6 +43,22 @@ QuantizedWeights quantize_weights(std::span<const float> w);
 // Bias quantized to int32 at scale in_scale * weight_scale.
 std::vector<std::int32_t> quantize_bias(std::span<const float> bias,
                                         float in_scale, float weight_scale);
+
+// Integer mean of a pool window: precomputed fixed-point reciprocals for
+// every valid-count a kernel window can produce, shared by the layer
+// kernels, the region pooling used by patch executors, and the Fast tier so
+// all of them round identically (half away from zero, within 1 LSB of the
+// exact rational mean for non-power-of-two counts).
+class AvgPoolMultipliers {
+ public:
+  explicit AvgPoolMultipliers(int max_count);
+
+  // Rounded average of a window sum over `count` valid positions.
+  [[nodiscard]] std::int32_t average(std::int32_t sum, int count) const;
+
+ private:
+  std::vector<ElementRequantizer> per_count_;  // index = count - 1
+};
 
 QTensor conv2d_q(const QTensor& in, const Layer& l,
                  std::span<const std::int8_t> qweights,
@@ -68,5 +88,10 @@ QTensor add_q(const QTensor& lhs, const QTensor& rhs, Activation act,
 QTensor concat_q(std::span<const QTensor* const> inputs,
                  const QuantParams& out_params);
 QTensor softmax_q(const QTensor& in, const QuantParams& out_params);
+
+// Rescales `q` into `target` params with a single fixed-point multiplier
+// (identity copy when the params already match). This is the branch-slice
+// copy of the mixed-precision patch runtime.
+QTensor requantize_q(const QTensor& q, const QuantParams& target);
 
 }  // namespace qmcu::nn::ops

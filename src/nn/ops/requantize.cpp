@@ -1,5 +1,6 @@
 #include "nn/ops/requantize.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
@@ -69,6 +70,21 @@ std::int32_t apply_multiplier(std::int32_t acc,
 
 std::int32_t clamp_to(std::int32_t v, std::int32_t lo, std::int32_t hi) {
   return v < lo ? lo : (v > hi ? hi : v);
+}
+
+ElementRequantizer::ElementRequantizer(double real_multiplier,
+                                       std::int32_t max_abs_input) {
+  QMCU_REQUIRE(max_abs_input > 0, "max_abs_input must be positive");
+  const FixedPointMultiplier base = quantize_multiplier(real_multiplier);
+  // Two ceilings on the pre-shift: the shifted input must stay below 2^30
+  // (SRDHM headroom), and the combined right shift must stay within the
+  // 31-bit budget of rounding_divide_by_pot.
+  int magnitude_bits = 0;
+  while ((std::int64_t{1} << magnitude_bits) < max_abs_input) ++magnitude_bits;
+  const int input_headroom = 30 - magnitude_bits;
+  const int shift_headroom = 31 - std::max(base.right_shift, 0);
+  left_shift_ = std::max(0, std::min({20, input_headroom, shift_headroom}));
+  m_ = quantize_multiplier(std::ldexp(real_multiplier, -left_shift_));
 }
 
 }  // namespace qmcu::nn::ops

@@ -35,4 +35,27 @@ std::int32_t apply_multiplier(std::int32_t acc, const FixedPointMultiplier& m);
 // Clamp helper for the quantized output range.
 std::int32_t clamp_to(std::int32_t v, std::int32_t lo, std::int32_t hi);
 
+// Precision-boosted elementwise requantizer for the integer-only elementwise
+// ops (Add, Concat, AvgPool mean, slice requantization). The centered input
+// is pre-shifted left so the Q31 multiply keeps up to 20 extra fractional
+// bits (the TFLite Add left-shift convention) before the single fixed-point
+// rescale. `max_abs_input` bounds the values that will be passed to apply();
+// the left shift is chosen so the shifted value cannot overflow int32 and
+// the total right shift stays within the 31-bit budget.
+class ElementRequantizer {
+ public:
+  explicit ElementRequantizer(double real_multiplier,
+                              std::int32_t max_abs_input = 256);
+
+  [[nodiscard]] std::int32_t apply(std::int32_t centered) const {
+    return apply_multiplier(centered * (1 << left_shift_), m_);
+  }
+
+  [[nodiscard]] int left_shift() const { return left_shift_; }
+
+ private:
+  FixedPointMultiplier m_{};
+  int left_shift_ = 0;
+};
+
 }  // namespace qmcu::nn::ops

@@ -32,8 +32,9 @@ nn::Tensor crop_from_region(const nn::Tensor& have, const Region& avail,
   return out;
 }
 
-PatchExecutor::PatchExecutor(const nn::Graph& g, PatchPlan plan)
-    : graph_(&g), plan_(std::move(plan)) {
+PatchExecutor::PatchExecutor(const nn::Graph& g, PatchPlan plan,
+                             nn::ops::KernelTier tier)
+    : graph_(&g), plan_(std::move(plan)), backend_(tier) {
   QMCU_REQUIRE(!plan_.branches.empty(), "plan has no branches");
 }
 
@@ -75,11 +76,11 @@ std::vector<nn::Tensor> PatchExecutor::run_branch(const nn::Tensor& input,
         nn::Layer local = layer;
         local.pad_h = local.pad_w = 0;
         if (layer.kind == nn::OpKind::Conv2D) {
-          regions[s] = nn::ops::conv2d_f32(padded, local,
+          regions[s] = backend_.conv2d_f32(padded, local,
                                            g.weights(step.layer_id),
                                            g.bias(step.layer_id));
         } else {
-          regions[s] = nn::ops::depthwise_conv2d_f32(
+          regions[s] = backend_.depthwise_conv2d_f32(
               padded, local, g.weights(step.layer_id),
               g.bias(step.layer_id));
         }
@@ -168,7 +169,8 @@ nn::Tensor PatchExecutor::run(const nn::Tensor& input,
   std::vector<nn::Tensor> memo(static_cast<std::size_t>(g.size()));
   memo[static_cast<std::size_t>(split)] = run_stage_assembled(input, hook);
   for (int id = split + 1; id < g.size(); ++id) {
-    memo[static_cast<std::size_t>(id)] = nn::run_layer_f32(g, id, memo);
+    memo[static_cast<std::size_t>(id)] =
+        nn::run_layer_f32(g, id, memo, backend_);
   }
   return std::move(memo[static_cast<std::size_t>(g.output())]);
 }

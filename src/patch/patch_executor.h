@@ -31,7 +31,8 @@ class PatchExecutor {
   // may mutate the tensor (e.g. fake-quantize it).
   using StepHook = std::function<void(int, int, nn::Tensor&)>;
 
-  PatchExecutor(const nn::Graph& g, PatchPlan plan);
+  PatchExecutor(const nn::Graph& g, PatchPlan plan,
+                nn::ops::KernelTier tier = nn::ops::KernelTier::Fast);
 
   // Stage feature maps per branch: result[b][s] corresponds to
   // plan().branches[b].steps[s].
@@ -57,6 +58,10 @@ class PatchExecutor {
 
   const nn::Graph* graph_;
   PatchPlan plan_;
+  // Kernel dispatch + scratch arena shared by every branch step, so the
+  // patch phase reuses its im2col/accumulator scratch instead of
+  // allocating per op.
+  mutable nn::ops::KernelBackend backend_;
 };
 
 }  // namespace qmcu::patch

@@ -40,30 +40,10 @@ nn::QTensor crop_from_region_q(const nn::QTensor& have, const Region& avail,
   return out;
 }
 
-namespace {
-
-// Requantizes `q` into `target` params (identity when params match).
-nn::QTensor requantize_to(const nn::QTensor& q, const nn::QuantParams& target) {
-  if (q.params() == target) return q;
-  nn::QTensor out(q.shape(), target);
-  const auto& p = q.params();
-  const auto src = q.data();
-  auto dst = out.data();
-  for (std::size_t i = 0; i < src.size(); ++i) {
-    const double real = static_cast<double>(p.scale) * (src[i] - p.zero_point);
-    const auto v = static_cast<std::int32_t>(
-        std::llround(real / target.scale) + target.zero_point);
-    dst[i] = static_cast<std::int8_t>(
-        nn::ops::clamp_to(v, target.qmin(), target.qmax()));
-  }
-  return out;
-}
-
-}  // namespace
-
 PatchQuantExecutor::PatchQuantExecutor(const nn::Graph& g, PatchPlan plan,
-                                       nn::ActivationQuantConfig cfg)
-    : PatchQuantExecutor(g, std::move(plan), std::move(cfg), {}) {}
+                                       nn::ActivationQuantConfig cfg,
+                                       nn::ops::KernelTier tier)
+    : PatchQuantExecutor(g, std::move(plan), std::move(cfg), {}, tier) {}
 
 namespace {
 
@@ -76,12 +56,13 @@ bool is_pool(nn::OpKind k) {
 
 PatchQuantExecutor::PatchQuantExecutor(
     const nn::Graph& g, PatchPlan plan, nn::ActivationQuantConfig cfg,
-    std::vector<BranchQuantConfig> branch_cfgs)
+    std::vector<BranchQuantConfig> branch_cfgs, nn::ops::KernelTier tier)
     : graph_(&g),
       plan_(std::move(plan)),
       cfg_(std::move(cfg)),
       branch_cfgs_(std::move(branch_cfgs)),
-      params_(nn::QuantizedParameters::build(g, cfg_)) {
+      params_(nn::QuantizedParameters::build(g, cfg_)),
+      backend_(tier) {
   QMCU_REQUIRE(static_cast<int>(cfg_.params.size()) == g.size(),
                "quant config must cover every layer");
   effective_.reserve(cfg_.params.size());
@@ -165,7 +146,7 @@ std::vector<nn::QTensor> PatchQuantExecutor::run_branch(
         nn::QTensor crop = crop_from_region_q(
             qinput, full_region(g.shape(step.layer_id)), step.out_region,
             g.shape(step.layer_id));
-        regions[s] = requantize_to(crop, out_p);
+        regions[s] = backend_.requantize(crop, out_p);
         break;
       }
       case nn::OpKind::Conv2D:
@@ -181,13 +162,13 @@ std::vector<nn::QTensor> PatchQuantExecutor::run_branch(
                 ? params_.bias[static_cast<std::size_t>(step.layer_id)]
                 : branch_bias_[static_cast<std::size_t>(branch_index)][s];
         if (layer.kind == nn::OpKind::Conv2D) {
-          regions[s] = nn::ops::conv2d_q(
+          regions[s] = backend_.conv2d(
               padded, local,
               params_.weights[static_cast<std::size_t>(step.layer_id)].data,
               params_.weights[static_cast<std::size_t>(step.layer_id)].params,
               bias, out_p);
         } else {
-          regions[s] = nn::ops::depthwise_conv2d_q(
+          regions[s] = backend_.depthwise_conv2d(
               padded, local,
               params_.weights[static_cast<std::size_t>(step.layer_id)].data,
               params_.weights[static_cast<std::size_t>(step.layer_id)].params,
@@ -211,7 +192,7 @@ std::vector<nn::QTensor> PatchQuantExecutor::run_branch(
             producer_tensor(layer.inputs[0], step.out_region);
         const nn::QTensor b =
             producer_tensor(layer.inputs[1], step.out_region);
-        regions[s] = nn::ops::add_q(a, b, layer.act, out_p);
+        regions[s] = backend_.add(a, b, layer.act, out_p);
         break;
       }
       case nn::OpKind::Concat: {
@@ -223,7 +204,7 @@ std::vector<nn::QTensor> PatchQuantExecutor::run_branch(
         std::vector<const nn::QTensor*> ptrs;
         ptrs.reserve(cropped.size());
         for (const nn::QTensor& t : cropped) ptrs.push_back(&t);
-        regions[s] = nn::ops::concat_q(ptrs, out_p);
+        regions[s] = backend_.concat(ptrs, out_p);
         break;
       }
       default:
@@ -253,7 +234,7 @@ nn::QTensor PatchQuantExecutor::run_stage_assembled(
     // The branch slice is requantized into the shared accumulation
     // buffer's parameters (identity in uniform mode).
     const nn::QTensor tile =
-        requantize_to(regions.back(), assembled.params());
+        backend_.requantize(regions.back(), assembled.params());
     for (int y = last.out_region.y.begin; y < last.out_region.y.end; ++y) {
       for (int x = last.out_region.x.begin; x < last.out_region.x.end; ++x) {
         for (int c = 0; c < assembled.shape().c; ++c) {
@@ -272,8 +253,9 @@ nn::QTensor PatchQuantExecutor::run(const nn::Tensor& input) const {
   std::vector<nn::QTensor> memo(static_cast<std::size_t>(g.size()));
   memo[static_cast<std::size_t>(split)] = run_stage_assembled(input);
   for (int id = split + 1; id < g.size(); ++id) {
-    memo[static_cast<std::size_t>(id)] = nn::run_layer_q(
-        g, id, memo, params_, effective_[static_cast<std::size_t>(id)]);
+    memo[static_cast<std::size_t>(id)] =
+        nn::run_layer_q(g, id, memo, params_,
+                        effective_[static_cast<std::size_t>(id)], backend_);
   }
   return std::move(memo[static_cast<std::size_t>(g.output())]);
 }

@@ -30,14 +30,16 @@ class PatchQuantExecutor {
  public:
   // Uniform mode: stage steps inherit the per-layer params of `cfg`.
   PatchQuantExecutor(const nn::Graph& g, PatchPlan plan,
-                     nn::ActivationQuantConfig cfg);
+                     nn::ActivationQuantConfig cfg,
+                     nn::ops::KernelTier tier = nn::ops::KernelTier::Fast);
 
   // Mixed mode: `branch_cfgs[b].per_step[s]` overrides the params of
   // branch b's step s; `cfg` still rules the tail (and the reassembled cut
   // feature map via cfg.params[split]).
   PatchQuantExecutor(const nn::Graph& g, PatchPlan plan,
                      nn::ActivationQuantConfig cfg,
-                     std::vector<BranchQuantConfig> branch_cfgs);
+                     std::vector<BranchQuantConfig> branch_cfgs,
+                     nn::ops::KernelTier tier = nn::ops::KernelTier::Fast);
 
   [[nodiscard]] nn::QTensor run(const nn::Tensor& input) const;
 
@@ -64,6 +66,10 @@ class PatchQuantExecutor {
   // actual input scales (empty vectors for non-MAC steps).
   std::vector<std::vector<std::vector<std::int32_t>>> branch_bias_;
   nn::QuantizedParameters params_;
+  // Kernel dispatch + scratch arena shared by all branch steps and the
+  // layer-based tail, so patch-branch inference stops allocating per-op
+  // temporaries.
+  mutable nn::ops::KernelBackend backend_;
 };
 
 // Crops region `want` (unclamped; out-of-bounds positions are filled with

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
+
+#include "nn/ops/int8_kernels.h"
 
 namespace qmcu::patch {
 
@@ -70,6 +73,11 @@ nn::QTensor pool_region_q(const nn::QTensor& have, const Region& avail,
   check_kind(l);
   const bool is_max = l.kind == nn::OpKind::MaxPool;
   const nn::QuantParams& p = have.params();
+  // Only the averaging path needs the reciprocal table.
+  const std::optional<nn::ops::AvgPoolMultipliers> avg =
+      is_max ? std::nullopt
+             : std::optional<nn::ops::AvgPoolMultipliers>(
+                   std::in_place, l.kernel_h * l.kernel_w);
   nn::QTensor out(nn::TensorShape{out_region.y.size(), out_region.x.size(),
                                   have.shape().c},
                   p);
@@ -89,10 +97,9 @@ nn::QTensor pool_region_q(const nn::QTensor& have, const Region& avail,
         if (is_max) {
           q = best;
         } else {
-          // Identical rounding to nn::ops::avg_pool_q.
-          q = count > 0 ? static_cast<std::int32_t>(std::llround(
-                              static_cast<double>(sum) / count))
-                        : p.zero_point;
+          // Shared fixed-point mean: identical rounding to
+          // nn::ops::avg_pool_q by construction.
+          q = count > 0 ? avg->average(sum, count) : p.zero_point;
           q = std::clamp(q, p.qmin(), p.qmax());
         }
         out.at(gy - out_region.y.begin, gx - out_region.x.begin, c) =

@@ -1,5 +1,7 @@
 #include "quant/bitpack.h"
 
+#include <cstring>
+
 namespace qmcu::quant {
 
 namespace {
@@ -40,27 +42,59 @@ std::vector<std::uint8_t> pack(std::span<const std::int8_t> values, int bits) {
 std::vector<std::int8_t> unpack(std::span<const std::uint8_t> packed,
                                 std::int64_t count, int bits) {
   check_bits(bits);
-  const int per_byte = 8 / bits;
-  const std::uint8_t mask = static_cast<std::uint8_t>((1u << bits) - 1);
   QMCU_REQUIRE(packed_size_bytes(count, bits) <=
                    static_cast<std::int64_t>(packed.size()),
                "packed buffer too small");
-
   std::vector<std::int8_t> out(static_cast<std::size_t>(count));
-  for (std::int64_t i = 0; i < count; ++i) {
-    const std::size_t byte =
-        static_cast<std::size_t>(i / per_byte);
-    const int field = static_cast<int>(i % per_byte);
-    std::uint8_t raw =
-        static_cast<std::uint8_t>((packed[byte] >> (field * bits)) & mask);
-    // Sign-extend the b-bit field.
-    const std::uint8_t sign_bit = static_cast<std::uint8_t>(1u << (bits - 1));
-    if (raw & sign_bit) {
-      raw = static_cast<std::uint8_t>(raw | ~mask);
-    }
-    out[static_cast<std::size_t>(i)] = static_cast<std::int8_t>(raw);
-  }
+  unpack_into(packed, 0, count, bits, out.data());
   return out;
+}
+
+void unpack_into(std::span<const std::uint8_t> packed, std::int64_t first,
+                 std::int64_t count, int bits, std::int8_t* dst) {
+  check_bits(bits);
+  QMCU_REQUIRE(first >= 0 && count >= 0, "element range must be non-negative");
+  QMCU_REQUIRE(packed_size_bytes(first + count, bits) <=
+                   static_cast<std::int64_t>(packed.size()),
+               "packed buffer too small");
+  if (bits == 8) {
+    std::memcpy(dst, packed.data() + first, static_cast<std::size_t>(count));
+    return;
+  }
+  const int per_byte = 8 / bits;
+  const std::uint8_t mask = static_cast<std::uint8_t>((1u << bits) - 1);
+  const std::uint8_t sign_bit = static_cast<std::uint8_t>(1u << (bits - 1));
+  std::int64_t i = first;
+  const std::int64_t end = first + count;
+  // Head: fields of a partially-consumed leading byte.
+  while (i < end && i % per_byte != 0) {
+    const std::uint8_t byte = packed[static_cast<std::size_t>(i / per_byte)];
+    std::uint8_t raw = static_cast<std::uint8_t>(
+        (byte >> (static_cast<int>(i % per_byte) * bits)) & mask);
+    if (raw & sign_bit) raw = static_cast<std::uint8_t>(raw | ~mask);
+    *dst++ = static_cast<std::int8_t>(raw);
+    ++i;
+  }
+  // Body: whole bytes, all fields expanded without per-field index math.
+  while (end - i >= per_byte) {
+    std::uint8_t byte = packed[static_cast<std::size_t>(i / per_byte)];
+    for (int f = 0; f < per_byte; ++f) {
+      std::uint8_t raw = static_cast<std::uint8_t>(byte & mask);
+      if (raw & sign_bit) raw = static_cast<std::uint8_t>(raw | ~mask);
+      *dst++ = static_cast<std::int8_t>(raw);
+      byte = static_cast<std::uint8_t>(byte >> bits);
+    }
+    i += per_byte;
+  }
+  // Tail: remaining fields of the final byte.
+  while (i < end) {
+    const std::uint8_t byte = packed[static_cast<std::size_t>(i / per_byte)];
+    std::uint8_t raw = static_cast<std::uint8_t>(
+        (byte >> (static_cast<int>(i % per_byte) * bits)) & mask);
+    if (raw & sign_bit) raw = static_cast<std::uint8_t>(raw | ~mask);
+    *dst++ = static_cast<std::int8_t>(raw);
+    ++i;
+  }
 }
 
 }  // namespace qmcu::quant

@@ -26,4 +26,11 @@ std::vector<std::uint8_t> pack(std::span<const std::int8_t> values, int bits);
 std::vector<std::int8_t> unpack(std::span<const std::uint8_t> packed,
                                 std::int64_t count, int bits);
 
+// Allocation-free unpack of the element range [first, first + count) into
+// `dst` (which must hold `count` int8 lanes). This is the fused
+// sub-byte→GEMM path: the im2col packer expands 2/4-bit rows straight into
+// its scratch buffer instead of materializing a full unpacked tensor.
+void unpack_into(std::span<const std::uint8_t> packed, std::int64_t first,
+                 std::int64_t count, int bits, std::int8_t* dst);
+
 }  // namespace qmcu::quant

@@ -1,0 +1,350 @@
+// Reference-vs-Fast kernel backend parity: the Fast tier (im2col + tiled
+// GEMM, interior/border split kernels, fused sub-byte unpack) must be
+// bit-identical to the Reference loop nests over randomized geometries,
+// activations, and 2/4/8-bit weight/activation ranges. Integer arithmetic
+// makes this an exact contract, not a tolerance; the float fast conv
+// preserves the reference accumulation order, so it is exact too.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/quantmcu.h"
+#include "data/synthetic.h"
+#include "models/zoo.h"
+#include "nn/executor.h"
+#include "nn/memory_planner.h"
+#include "nn/ops/backend.h"
+#include "nn/ops/float_kernels.h"
+#include "nn/ops/int8_kernels.h"
+#include "nn/rng.h"
+#include "patch/mcunetv2.h"
+#include "patch/patch_quant_executor.h"
+#include "quant/bitpack.h"
+#include "quant/calibration.h"
+
+namespace qmcu::nn::ops {
+namespace {
+
+struct RandomCase {
+  TensorShape in_shape;
+  Layer layer;
+  QuantParams in_params;
+  QuantParams out_params;
+  QuantParams wparams;
+  std::vector<std::int8_t> qweights;
+  std::vector<std::int32_t> qbias;
+  QTensor qin;
+};
+
+// Draws a random quantized conv/dwconv/pool case. `weight_bits` and
+// `act_bits` in {2, 4, 8} exercise the sub-byte ranges on int8 storage.
+RandomCase random_case(nn::Rng& rng, OpKind kind, int weight_bits,
+                       int act_bits) {
+  RandomCase c;
+  const int h = 4 + static_cast<int>(rng.uniform(0, 10));
+  const int w = 4 + static_cast<int>(rng.uniform(0, 10));
+  const int ch = 1 + static_cast<int>(rng.uniform(0, 23));
+  c.in_shape = {h, w, ch};
+
+  Layer& l = c.layer;
+  l.kind = kind;
+  const int k = 1 + 2 * static_cast<int>(rng.uniform(0, 3));  // 1, 3, 5
+  l.kernel_h = l.kernel_w = std::min(k, std::min(h, w));
+  l.stride_h = l.stride_w = 1 + static_cast<int>(rng.uniform(0, 2));
+  l.pad_h = l.pad_w = static_cast<int>(rng.uniform(0, l.kernel_h));
+  const Activation acts[] = {Activation::None, Activation::ReLU,
+                             Activation::ReLU6};
+  l.act = acts[static_cast<int>(rng.uniform(0, 3))];
+  l.out_channels = kind == OpKind::Conv2D
+                       ? 1 + static_cast<int>(rng.uniform(0, 39))
+                       : ch;
+
+  c.in_params = QuantParams{0.05f, static_cast<std::int32_t>(
+                                       rng.uniform(-8, 8)),
+                            act_bits};
+  c.out_params =
+      QuantParams{0.07f, static_cast<std::int32_t>(rng.uniform(-8, 8)), 8};
+  c.wparams = QuantParams{0.02f, 0, weight_bits};
+
+  c.qin = QTensor(c.in_shape, c.in_params);
+  for (std::int8_t& v : c.qin.data()) {
+    v = static_cast<std::int8_t>(
+        rng.uniform(c.in_params.qmin(), c.in_params.qmax() + 1));
+  }
+
+  std::int64_t wcount = 0;
+  if (kind == OpKind::Conv2D) {
+    wcount = static_cast<std::int64_t>(l.out_channels) * l.kernel_h *
+             l.kernel_w * ch;
+  } else if (kind == OpKind::DepthwiseConv2D) {
+    wcount = static_cast<std::int64_t>(l.kernel_h) * l.kernel_w * ch;
+  }
+  c.qweights.resize(static_cast<std::size_t>(wcount));
+  for (std::int8_t& v : c.qweights) {
+    v = static_cast<std::int8_t>(
+        rng.uniform(c.wparams.qmin(), c.wparams.qmax() + 1));
+  }
+  if (wcount > 0 && rng.uniform() < 0.7) {
+    c.qbias.resize(static_cast<std::size_t>(
+        kind == OpKind::Conv2D ? l.out_channels : ch));
+    for (std::int32_t& b : c.qbias) {
+      b = static_cast<std::int32_t>(rng.uniform(-2000, 2000));
+    }
+  }
+  return c;
+}
+
+void expect_q_identical(const QTensor& a, const QTensor& b,
+                        const char* what) {
+  ASSERT_EQ(a.shape(), b.shape()) << what;
+  ASSERT_EQ(a.params(), b.params()) << what;
+  const auto da = a.data();
+  const auto db = b.data();
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    ASSERT_EQ(static_cast<int>(da[i]), static_cast<int>(db[i]))
+        << what << " element " << i;
+  }
+}
+
+TEST(KernelParity, Conv2dRandomizedBitExact) {
+  nn::Rng rng(101);
+  const int bit_options[] = {2, 4, 8};
+  for (int trial = 0; trial < 60; ++trial) {
+    const int wb = bit_options[trial % 3];
+    const int ab = bit_options[(trial / 3) % 3];
+    const RandomCase c = random_case(rng, OpKind::Conv2D, wb, ab);
+    KernelBackend ref(KernelTier::Reference);
+    KernelBackend fast(KernelTier::Fast);
+    const QTensor a = ref.conv2d(c.qin, c.layer, c.qweights, c.wparams,
+                                 c.qbias, c.out_params);
+    const QTensor b = fast.conv2d(c.qin, c.layer, c.qweights, c.wparams,
+                                  c.qbias, c.out_params);
+    expect_q_identical(a, b, "conv2d");
+  }
+}
+
+TEST(KernelParity, DepthwiseRandomizedBitExact) {
+  nn::Rng rng(202);
+  const int bit_options[] = {2, 4, 8};
+  for (int trial = 0; trial < 40; ++trial) {
+    const RandomCase c = random_case(rng, OpKind::DepthwiseConv2D,
+                                     bit_options[trial % 3],
+                                     bit_options[(trial / 3) % 3]);
+    KernelBackend ref(KernelTier::Reference);
+    KernelBackend fast(KernelTier::Fast);
+    expect_q_identical(
+        ref.depthwise_conv2d(c.qin, c.layer, c.qweights, c.wparams, c.qbias,
+                             c.out_params),
+        fast.depthwise_conv2d(c.qin, c.layer, c.qweights, c.wparams, c.qbias,
+                              c.out_params),
+        "depthwise");
+  }
+}
+
+TEST(KernelParity, FullyConnectedRandomizedBitExact) {
+  nn::Rng rng(303);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int features = 3 + static_cast<int>(rng.uniform(0, 120));
+    const int out_c = 1 + static_cast<int>(rng.uniform(0, 22));
+    Layer l;
+    l.kind = OpKind::FullyConnected;
+    l.out_channels = out_c;
+    const QuantParams in_p{0.04f, 3, 8};
+    const QuantParams out_p{0.1f, -2, 8};
+    const QuantParams wp{0.015f, 0, 8};
+    QTensor qin(TensorShape{1, 1, features}, in_p);
+    for (std::int8_t& v : qin.data()) {
+      v = static_cast<std::int8_t>(rng.uniform(-128, 128));
+    }
+    std::vector<std::int8_t> w(static_cast<std::size_t>(features) * out_c);
+    for (std::int8_t& v : w) {
+      v = static_cast<std::int8_t>(rng.uniform(-128, 128));
+    }
+    std::vector<std::int32_t> bias(static_cast<std::size_t>(out_c));
+    for (std::int32_t& b : bias) {
+      b = static_cast<std::int32_t>(rng.uniform(-3000, 3000));
+    }
+    KernelBackend ref(KernelTier::Reference);
+    KernelBackend fast(KernelTier::Fast);
+    expect_q_identical(ref.fully_connected(qin, l, w, wp, bias, out_p),
+                       fast.fully_connected(qin, l, w, wp, bias, out_p),
+                       "fc");
+  }
+}
+
+TEST(KernelParity, PoolsRandomizedBitExact) {
+  nn::Rng rng(404);
+  for (int trial = 0; trial < 30; ++trial) {
+    const RandomCase c = random_case(rng, OpKind::MaxPool, 8, 8);
+    KernelBackend ref(KernelTier::Reference);
+    KernelBackend fast(KernelTier::Fast);
+    expect_q_identical(ref.max_pool(c.qin, c.layer),
+                       fast.max_pool(c.qin, c.layer), "max_pool");
+    expect_q_identical(ref.avg_pool(c.qin, c.layer),
+                       fast.avg_pool(c.qin, c.layer), "avg_pool");
+    expect_q_identical(ref.global_avg_pool(c.qin),
+                       fast.global_avg_pool(c.qin), "global_avg_pool");
+  }
+}
+
+// The fused sub-byte path: conv over 2/4-bit packed activations must equal
+// conv over the unpacked int8 tensor, on both tiers.
+TEST(KernelParity, PackedConvMatchesUnpacked) {
+  nn::Rng rng(505);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int bits = trial % 2 == 0 ? 4 : 2;
+    const RandomCase c = random_case(rng, OpKind::Conv2D, 8, bits);
+    const std::vector<std::uint8_t> packed = quant::pack(c.qin.data(), bits);
+
+    KernelBackend ref(KernelTier::Reference);
+    KernelBackend fast(KernelTier::Fast);
+    const QTensor base = ref.conv2d(c.qin, c.layer, c.qweights, c.wparams,
+                                    c.qbias, c.out_params);
+    expect_q_identical(
+        base,
+        ref.conv2d_packed(packed, c.in_shape, c.in_params, c.layer,
+                          c.qweights, c.wparams, c.qbias, c.out_params),
+        "packed-ref");
+    expect_q_identical(
+        base,
+        fast.conv2d_packed(packed, c.in_shape, c.in_params, c.layer,
+                           c.qweights, c.wparams, c.qbias, c.out_params),
+        "packed-fast");
+  }
+}
+
+TEST(KernelParity, FloatConvBitExact) {
+  nn::Rng rng(606);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int h = 4 + static_cast<int>(rng.uniform(0, 10));
+    const int w = 4 + static_cast<int>(rng.uniform(0, 10));
+    const int ch = 1 + static_cast<int>(rng.uniform(0, 15));
+    const int out_c = 1 + static_cast<int>(rng.uniform(0, 39));
+    Layer l;
+    l.kind = OpKind::Conv2D;
+    l.kernel_h = l.kernel_w = 1 + 2 * static_cast<int>(rng.uniform(0, 2));
+    l.stride_h = l.stride_w = 1 + static_cast<int>(rng.uniform(0, 2));
+    l.pad_h = l.pad_w = static_cast<int>(rng.uniform(0, l.kernel_h));
+    l.out_channels = out_c;
+    l.act = Activation::ReLU;
+    Tensor in(TensorShape{h, w, ch});
+    for (float& v : in.data()) v = static_cast<float>(rng.normal(0.0, 1.0));
+    std::vector<float> weights(static_cast<std::size_t>(out_c) * l.kernel_h *
+                               l.kernel_w * ch);
+    for (float& v : weights) v = static_cast<float>(rng.normal(0.0, 0.2));
+    std::vector<float> bias(static_cast<std::size_t>(out_c));
+    for (float& v : bias) v = static_cast<float>(rng.uniform(-0.3, 0.3));
+
+    KernelBackend fast(KernelTier::Fast);
+    const Tensor ref = conv2d_f32(in, l, weights, bias);
+    const Tensor got = fast.conv2d_f32(in, l, weights, bias);
+    ASSERT_EQ(ref.shape(), got.shape());
+    for (std::size_t i = 0; i < ref.data().size(); ++i) {
+      ASSERT_EQ(ref.data()[i], got.data()[i]) << "element " << i;
+    }
+  }
+}
+
+// Steady-state inference must not grow the arena: after one run the scratch
+// footprint is fixed.
+TEST(ScratchArena, FootprintStabilizesAcrossRuns) {
+  nn::Rng rng(707);
+  const RandomCase c = random_case(rng, OpKind::Conv2D, 8, 8);
+  KernelBackend fast(KernelTier::Fast);
+  (void)fast.conv2d(c.qin, c.layer, c.qweights, c.wparams, c.qbias,
+                    c.out_params);
+  const std::size_t after_first = fast.arena().footprint_bytes();
+  EXPECT_GT(after_first, 0u);
+  for (int i = 0; i < 5; ++i) {
+    (void)fast.conv2d(c.qin, c.layer, c.qweights, c.wparams, c.qbias,
+                      c.out_params);
+  }
+  EXPECT_EQ(fast.arena().footprint_bytes(), after_first);
+}
+
+}  // namespace
+}  // namespace qmcu::nn::ops
+
+// ---------------------------------------------------------------------------
+// Executor-level regression: switching the backend tier must not change any
+// executor output — uniform int8 and the mixed-precision patch runtime.
+namespace qmcu::patch {
+namespace {
+
+nn::Tensor random_input(nn::TensorShape s, std::uint64_t seed) {
+  nn::Tensor t(s);
+  nn::Rng rng(seed);
+  for (float& v : t.data()) v = static_cast<float>(rng.normal(0.0, 1.0));
+  return t;
+}
+
+nn::Graph small_mbv2() {
+  models::ModelConfig cfg;
+  cfg.width_multiplier = 0.25f;
+  cfg.resolution = 48;
+  cfg.num_classes = 10;
+  return models::make_mobilenet_v2(cfg);
+}
+
+void expect_q_identical(const nn::QTensor& a, const nn::QTensor& b) {
+  ASSERT_EQ(a.shape(), b.shape());
+  ASSERT_EQ(a.params(), b.params());
+  for (std::size_t i = 0; i < a.data().size(); ++i) {
+    ASSERT_EQ(static_cast<int>(a.data()[i]), static_cast<int>(b.data()[i]))
+        << "element " << i;
+  }
+}
+
+TEST(BackendRegression, QuantExecutorTierInvariant) {
+  const nn::Graph g = small_mbv2();
+  const std::vector<nn::Tensor> calib{random_input(g.shape(0), 21)};
+  const auto ranges = quant::calibrate_ranges(g, calib);
+  const auto cfg = quant::make_quant_config(g, ranges, nn::uniform_bits(g, 8));
+  const nn::QuantExecutor ref(g, cfg, nn::ops::KernelTier::Reference);
+  const nn::QuantExecutor fast(g, cfg, nn::ops::KernelTier::Fast);
+  const nn::Tensor in = random_input(g.shape(0), 22);
+  expect_q_identical(ref.run(in), fast.run(in));
+}
+
+TEST(BackendRegression, PatchQuantExecutorMixedModeTierInvariant) {
+  const nn::Graph g = small_mbv2();
+  data::DataConfig dc;
+  dc.resolution = 48;
+  const data::SyntheticDataset ds(dc);
+  const std::vector<nn::Tensor> calib = ds.batch(0, 2);
+
+  core::QuantMcuConfig qcfg;
+  qcfg.patch.grid = 2;
+  qcfg.patch.stage_downsample = 4;
+  const core::QuantMcuPlan plan = core::build_quantmcu_plan(
+      g, mcu::arduino_nano_33_ble_sense(), calib, qcfg);
+  const auto ranges = quant::calibrate_ranges(g, calib);
+  const auto branch_cfgs = core::make_branch_quant_configs(g, plan, ranges);
+  const auto deploy_cfg = core::make_deployment_quant_config(g, plan, ranges);
+
+  const PatchQuantExecutor ref(g, plan.patch_plan, deploy_cfg, branch_cfgs,
+                               nn::ops::KernelTier::Reference);
+  const PatchQuantExecutor fast(g, plan.patch_plan, deploy_cfg, branch_cfgs,
+                                nn::ops::KernelTier::Fast);
+  const nn::Tensor in = ds.image(11);
+  expect_q_identical(ref.run(in), fast.run(in));
+}
+
+TEST(BackendRegression, PatchExecutorFloatTierInvariant) {
+  const nn::Graph g = small_mbv2();
+  const PatchSpec spec = plan_mcunetv2(g, {2, 4});
+  const PatchExecutor ref(g, build_patch_plan(g, spec),
+                          nn::ops::KernelTier::Reference);
+  const PatchExecutor fast(g, build_patch_plan(g, spec),
+                           nn::ops::KernelTier::Fast);
+  const nn::Tensor in = random_input(g.shape(0), 23);
+  const nn::Tensor a = ref.run(in);
+  const nn::Tensor b = fast.run(in);
+  ASSERT_EQ(a.shape(), b.shape());
+  for (std::size_t i = 0; i < a.data().size(); ++i) {
+    ASSERT_EQ(a.data()[i], b.data()[i]) << "element " << i;
+  }
+}
+
+}  // namespace
+}  // namespace qmcu::patch
