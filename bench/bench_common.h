@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -56,6 +57,50 @@ inline int run_benchmarks_json(int argc, char** argv,
   return 0;
 }
 #endif
+
+// Machine-readable artifact for the plain (non-google-benchmark) table and
+// figure benches: collects named metrics and writes BENCH_<bench>.json in
+// the working directory, so every bench run — local or CI — leaves a
+// parseable perf-trajectory artifact next to the human-readable table.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name)
+      : path_("BENCH_" + std::move(bench_name) + ".json") {}
+
+  // `name` identifies one measured cell, e.g.
+  // "table1/arduino_imagenet/quantmcu/peak_kb".
+  void add(const std::string& name, double value, const std::string& unit) {
+    entries_.push_back({name, value, unit});
+  }
+
+  // Writes the artifact (called explicitly so a crashed bench leaves no
+  // half-written file).
+  void write() const {
+    std::ofstream os(path_);
+    if (!os) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path_.c_str());
+      return;
+    }
+    os << "{\n  \"benchmarks\": [\n";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      os << "    {\"name\": \"" << e.name << "\", \"value\": " << e.value
+         << ", \"unit\": \"" << e.unit << "\"}"
+         << (i + 1 < entries_.size() ? ",\n" : "\n");
+    }
+    os << "  ]\n}\n";
+    std::printf("\nwrote %s (%zu metrics)\n", path_.c_str(), entries_.size());
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    double value;
+    std::string unit;
+  };
+  std::string path_;
+  std::vector<Entry> entries_;
+};
 
 // Arduino Nano 33 BLE Sense / ImageNet: paper row 1536 MBitOPs.
 inline models::ModelConfig nano_imagenet_scale() {

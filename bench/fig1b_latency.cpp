@@ -15,6 +15,7 @@ int main() {
   const std::vector<std::string> nets{"mobilenetv2", "mnasnet", "fbnet_a",
                                       "ofa_cpu", "mcunet"};
 
+  bench::JsonReport report("fig1b_latency");
   std::printf("%-14s %12s %12s %10s\n", "network", "layer (ms)", "patch (ms)",
               "overhead");
   for (const std::string& name : nets) {
@@ -32,8 +33,13 @@ int main() {
 
     std::printf("%-14s %12.0f %12.0f %+9.1f%%\n", name.c_str(), layer_ms,
                 pc.latency_ms, 100.0 * (pc.latency_ms / layer_ms - 1.0));
+    report.add("fig1b/" + name + "/layer_ms", layer_ms, "ms");
+    report.add("fig1b/" + name + "/patch_ms", pc.latency_ms, "ms");
+    report.add("fig1b/" + name + "/overhead_pct",
+               100.0 * (pc.latency_ms / layer_ms - 1.0), "%");
   }
   std::printf("\npaper: patch-based inference adds 8%%-17%% latency across "
               "these networks\n");
+  report.write();
   return 0;
 }

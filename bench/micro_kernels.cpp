@@ -231,6 +231,73 @@ void BM_VdqsSearch(benchmark::State& state) {
 }
 BENCHMARK(BM_VdqsSearch)->Arg(8)->Arg(32)->Arg(128);
 
+// Repeated (serving-style) inference: the compiled arena path vs the
+// heap-per-layer memo path on a small MobileNetV2. Arg 0 = legacy memo
+// (run_all, one heap feature map per layer per run), arg 1 = compiled
+// static-arena run() (zero per-layer allocation). Outputs are bit-identical;
+// only the allocator traffic differs.
+void BM_RepeatedRun(benchmark::State& state) {
+  const bool arena_path = state.range(0) != 0;
+  models::ModelConfig cfg;
+  cfg.width_multiplier = 0.35f;
+  cfg.resolution = 64;
+  cfg.num_classes = 100;
+  const nn::Graph g = models::make_mobilenet_v2(cfg);
+  const nn::Tensor in = random_tensor(g.shape(0), 21);
+  const auto ranges = quant::calibrate_ranges(g, std::vector<nn::Tensor>{in});
+  const auto qcfg = quant::make_quant_config(g, ranges, nn::uniform_bits(g, 8));
+  const nn::QuantExecutor qexec(g, qcfg);
+  for (auto _ : state) {
+    if (arena_path) {
+      benchmark::DoNotOptimize(qexec.run(in));
+    } else {
+      benchmark::DoNotOptimize(qexec.run_all(in).back());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * g.total_macs());
+}
+BENCHMARK(BM_RepeatedRun)->Arg(0)->Arg(1);
+
+// Same comparison for the deployed patch runtime: legacy per-step region
+// tensors (run_stage_assembled + tail) vs the compiled patch arena run().
+void BM_RepeatedPatchRun(benchmark::State& state) {
+  const bool arena_path = state.range(0) != 0;
+  models::ModelConfig cfg;
+  cfg.width_multiplier = 0.35f;
+  cfg.resolution = 64;
+  cfg.num_classes = 100;
+  const nn::Graph g = models::make_mobilenet_v2(cfg);
+  const nn::Tensor in = random_tensor(g.shape(0), 22);
+  const auto ranges = quant::calibrate_ranges(g, std::vector<nn::Tensor>{in});
+  const auto qcfg = quant::make_quant_config(g, ranges, nn::uniform_bits(g, 8));
+  const patch::PatchPlan plan =
+      patch::build_patch_plan(g, patch::plan_mcunetv2(g, {2, 2}));
+  const patch::PatchQuantExecutor pexec(g, plan, qcfg);
+  const int split = pexec.plan().spec.split_layer;
+  const auto effective = nn::effective_output_params(g, qcfg);
+  // The pre-arena full inference: per-step region tensors for the stage,
+  // then a heap-per-layer tail.
+  const auto legacy_run = [&]() {
+    std::vector<nn::QTensor> memo(static_cast<std::size_t>(g.size()));
+    memo[static_cast<std::size_t>(split)] = pexec.run_stage_assembled(in);
+    for (int id = split + 1; id < g.size(); ++id) {
+      memo[static_cast<std::size_t>(id)] = nn::run_layer_q(
+          g, id, memo, *pexec.shared_parameters(),
+          effective[static_cast<std::size_t>(id)]);
+    }
+    return std::move(memo[static_cast<std::size_t>(g.output())]);
+  };
+  for (auto _ : state) {
+    if (arena_path) {
+      benchmark::DoNotOptimize(pexec.run(in));
+    } else {
+      benchmark::DoNotOptimize(legacy_run());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * g.total_macs());
+}
+BENCHMARK(BM_RepeatedPatchRun)->Arg(0)->Arg(1);
+
 void BM_PatchPlanBuild(benchmark::State& state) {
   models::ModelConfig cfg;
   cfg.width_multiplier = 0.35f;

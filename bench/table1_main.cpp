@@ -8,11 +8,22 @@
 //   peak:    QuantMCU < Cipolletta < MCUNetV2 < RNNPool ~ layer
 //   BitOPs:  QuantMCU < layer < RNNPool < MCUNetV2 < Cipolletta
 //   latency: QuantMCU < layer < RNNPool < MCUNetV2 < Cipolletta
+//
+// For the headline platform the searched plan is additionally *executed*:
+// the deployment configs are materialised, QuantizedParameters are built
+// once and shared between the outlier-class (uniform int8) and mixed
+// executors, and both compiled arena runtimes process an eval image —
+// printing the static arena each would pin in SRAM. Results are mirrored
+// to BENCH_table1_main.json (see bench_common.h).
 #include "bench_common.h"
+
+#include <chrono>
+#include <limits>
 
 #include "models/weights.h"
 #include "patch/restructuring.h"
 #include "patch/rnnpool.h"
+#include "quant/calibration.h"
 
 namespace {
 
@@ -29,8 +40,74 @@ void print_row(const char* method, const Cell& c) {
               c.bitops_m, c.latency_ms);
 }
 
-void run_platform(const char* platform_name, const mcu::Device& dev,
-                  data::DatasetKind kind, const models::ModelConfig& scale) {
+void report_row(bench::JsonReport& report, const std::string& platform,
+                const char* method, const Cell& c) {
+  const std::string base = "table1/" + platform + "/" + method + "/";
+  report.add(base + "peak_kb", c.peak_kb, "KB");
+  report.add(base + "bitops_m", c.bitops_m, "MBitOPs");
+  report.add(base + "latency_ms", c.latency_ms, "ms");
+}
+
+// Executes the searched deployment on the host: one shared weight
+// conversion, two compiled patch runtimes (outlier-class uniform int8 and
+// the mixed-precision assignment) over one static arena each.
+void run_deployment(const nn::Graph& g, const core::QuantMcuPlan& plan,
+                    std::span<const nn::Tensor> calib,
+                    const nn::Tensor& image, const std::string& platform,
+                    bench::JsonReport& report) {
+  const auto ranges = quant::calibrate_ranges(g, calib);
+  const nn::ActivationQuantConfig deploy_cfg =
+      core::make_deployment_quant_config(g, plan, ranges);
+  const auto branch_cfgs = core::make_branch_quant_configs(g, plan, ranges);
+
+  // One weight conversion feeds both executors (and any sweep variants).
+  const auto params = nn::QuantizedParameters::build_shared(g, deploy_cfg);
+  const patch::PatchQuantExecutor uniform(g, plan.patch_plan, deploy_cfg,
+                                          nn::ops::KernelTier::Fast, params);
+  const patch::PatchQuantExecutor mixed(g, plan.patch_plan, deploy_cfg,
+                                        branch_cfgs,
+                                        nn::ops::KernelTier::Fast, params);
+
+  // Best of several warm runs: a single wall-clock sample on a shared
+  // runner is too jittery for a trajectory artifact.
+  const auto time_run = [&](const patch::PatchQuantExecutor& exec) {
+    (void)exec.run(image);  // warm the arena + weight panels
+    double best = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < 5; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const nn::QTensor out = exec.run(image);
+      const auto t1 = std::chrono::steady_clock::now();
+      (void)out;
+      best = std::min(
+          best, std::chrono::duration<double, std::milli>(t1 - t0).count());
+    }
+    return best;
+  };
+  const double uniform_ms = time_run(uniform);
+  const double mixed_ms = time_run(mixed);
+
+  const double uniform_arena_kb =
+      static_cast<double>(uniform.compiled().arena_bytes()) / 1024;
+  const double mixed_arena_kb =
+      static_cast<double>(mixed.compiled().arena_bytes()) / 1024;
+  std::printf(
+      "  (executed: uniform %.1f ms / %.0f KB arena, mixed %.1f ms / %.0f "
+      "KB arena, shared weight conversion)\n",
+      uniform_ms, uniform_arena_kb, mixed_ms, mixed_arena_kb);
+  report.add("table1/" + platform + "/executed/uniform_host_ms", uniform_ms,
+             "ms");
+  report.add("table1/" + platform + "/executed/mixed_host_ms", mixed_ms,
+             "ms");
+  report.add("table1/" + platform + "/executed/uniform_arena_kb",
+             uniform_arena_kb, "KB");
+  report.add("table1/" + platform + "/executed/mixed_arena_kb",
+             mixed_arena_kb, "KB");
+}
+
+void run_platform(const char* platform_name, const std::string& slug,
+                  const mcu::Device& dev, data::DatasetKind kind,
+                  const models::ModelConfig& scale,
+                  bench::JsonReport& report, bool execute_deployment) {
   const mcu::CostModel cm(dev);
   const nn::Graph g = models::make_mobilenet_v2(scale);
   const auto ds = bench::dataset_for(kind, scale.resolution);
@@ -53,6 +130,12 @@ void run_platform(const char* platform_name, const mcu::Device& dev,
     c.bitops_m = static_cast<double>(g.total_macs()) * 64 / 1e6;
     c.latency_ms = cm.graph_latency_ms(g, bits8);
     print_row("Layer-Based", c);
+    report_row(report, slug, "layer_based", c);
+    // The honest single-arena figure: feature maps + the Fast backend's
+    // im2col/GEMM scratch high-water (satellite of the arena planner).
+    const nn::MemoryPlan mp = nn::plan_layer_based(g, bits8);
+    report.add("table1/" + slug + "/layer_based/peak_with_scratch_kb",
+               static_cast<double>(mp.total_peak_bytes) / 1024, "KB");
   }
 
   // --- MCUNetV2 ------------------------------------------------------------
@@ -61,18 +144,20 @@ void run_platform(const char* platform_name, const mcu::Device& dev,
   {
     const patch::PatchCost pc = patch::evaluate_patch_cost(
         g, mcunet_plan, patch::uniform_branch_bits(mcunet_plan, 8), bits8, cm);
-    print_row("MCUNetV2",
-              {static_cast<double>(pc.peak_bytes) / 1024,
-               static_cast<double>(pc.bitops) / 1e6, pc.latency_ms});
+    const Cell c{static_cast<double>(pc.peak_bytes) / 1024,
+                 static_cast<double>(pc.bitops) / 1e6, pc.latency_ms};
+    print_row("MCUNetV2", c);
+    report_row(report, slug, "mcunetv2", c);
   }
 
   // --- Cipolletta et al. (restructuring for minimum peak) ------------------
   {
     const patch::RestructuringResult r =
         patch::restructure_for_memory(g, cm);
-    print_row("Cipolletta et al.",
-              {static_cast<double>(r.cost.peak_bytes) / 1024,
-               static_cast<double>(r.cost.bitops) / 1e6, r.cost.latency_ms});
+    const Cell c{static_cast<double>(r.cost.peak_bytes) / 1024,
+                 static_cast<double>(r.cost.bitops) / 1e6, r.cost.latency_ms};
+    print_row("Cipolletta et al.", c);
+    report_row(report, slug, "cipolletta", c);
   }
 
   // --- RNNPool (stem replaced by aggressive pooling block) -----------------
@@ -87,6 +172,7 @@ void run_platform(const char* platform_name, const mcu::Device& dev,
     c.bitops_m = static_cast<double>(r.graph.total_macs()) * 64 / 1e6;
     c.latency_ms = cm.graph_latency_ms(r.graph, vbits8);
     print_row("RNNPool", c);
+    report_row(report, slug, "rnnpool", c);
   }
 
   // --- QuantMCU --------------------------------------------------------------
@@ -97,10 +183,15 @@ void run_platform(const char* platform_name, const mcu::Device& dev,
         core::build_quantmcu_plan(g, dev, calib, qcfg);
     const core::QuantMcuEvaluation ev =
         core::evaluate_quantmcu(g, plan, cm, eval, qcfg);
-    print_row("QuantMCU", {ev.mean_peak_bytes / 1024, ev.mean_bitops / 1e6,
-                           ev.mean_latency_ms});
+    const Cell c{ev.mean_peak_bytes / 1024, ev.mean_bitops / 1e6,
+                 ev.mean_latency_ms};
+    print_row("QuantMCU", c);
+    report_row(report, slug, "quantmcu", c);
     std::printf("  (outlier-class patches: %.0f%%; VDQS search %.2fs)\n",
                 100.0 * ev.outlier_patch_fraction, plan.search_seconds);
+    if (execute_deployment) {
+      run_deployment(g, plan, calib, eval.front(), slug, report);
+    }
   }
 }
 
@@ -115,13 +206,21 @@ int main() {
       "196KB/1690M/741ms,\n  Cipolletta 122KB/1721M/784ms, RNNPool "
       "226KB/1582M/640ms, QuantMCU 78KB/719M/486ms\n");
 
-  run_platform("Arduino Nano 33 BLE Sense", mcu::arduino_nano_33_ble_sense(),
-               data::DatasetKind::ImageNetLike, bench::nano_imagenet_scale());
-  run_platform("Arduino Nano 33 BLE Sense", mcu::arduino_nano_33_ble_sense(),
-               data::DatasetKind::PascalVocLike, bench::nano_voc_scale());
-  run_platform("STM32H743", mcu::stm32h743(),
-               data::DatasetKind::ImageNetLike, bench::h7_imagenet_scale());
-  run_platform("STM32H743", mcu::stm32h743(),
-               data::DatasetKind::PascalVocLike, bench::h7_voc_scale());
+  bench::JsonReport report("table1_main");
+  run_platform("Arduino Nano 33 BLE Sense", "arduino_imagenet",
+               mcu::arduino_nano_33_ble_sense(),
+               data::DatasetKind::ImageNetLike, bench::nano_imagenet_scale(),
+               report, /*execute_deployment=*/true);
+  run_platform("Arduino Nano 33 BLE Sense", "arduino_voc",
+               mcu::arduino_nano_33_ble_sense(),
+               data::DatasetKind::PascalVocLike, bench::nano_voc_scale(),
+               report, false);
+  run_platform("STM32H743", "h7_imagenet", mcu::stm32h743(),
+               data::DatasetKind::ImageNetLike, bench::h7_imagenet_scale(),
+               report, false);
+  run_platform("STM32H743", "h7_voc", mcu::stm32h743(),
+               data::DatasetKind::PascalVocLike, bench::h7_voc_scale(),
+               report, false);
+  report.write();
   return 0;
 }

@@ -1,0 +1,158 @@
+#include "nn/compiled_model.h"
+
+#include <cstring>
+
+#include "nn/executor.h"
+#include "nn/ops/im2col.h"
+
+namespace qmcu::nn {
+
+namespace {
+
+// Layer-based arena requests: layer i's (unpacked, host-execution) feature
+// map is live from its producing step through its last consumer.
+ArenaPlan plan_execution_arena(const Graph& g, std::int64_t elem_bytes) {
+  std::vector<ArenaRequest> requests(static_cast<std::size_t>(g.size()));
+  for (int i = 0; i < g.size(); ++i) {
+    requests[static_cast<std::size_t>(i)] = {
+        g.shape(i).elements() * elem_bytes, i, last_use_step(g, i)};
+  }
+  return ArenaPlanner().plan(requests);
+}
+
+void prepack_conv_panels(const Graph& g, const QuantizedParameters& params,
+                         ops::KernelBackend& backend) {
+  if (backend.tier() != ops::KernelTier::Fast) return;
+  for (int id = 0; id < g.size(); ++id) {
+    const Layer& l = g.layer(id);
+    if (l.kind != OpKind::Conv2D || !g.has_parameters(id)) continue;
+    const int k = static_cast<int>(
+        ops::im2col_row_elements(g.shape(l.inputs[0]), l));
+    backend.prepack(params.weights[static_cast<std::size_t>(id)].data,
+                    l.out_channels, k);
+  }
+}
+
+}  // namespace
+
+void check_arena(std::span<const std::uint8_t> arena, std::int64_t need,
+                 std::size_t alignment) {
+  QMCU_REQUIRE(static_cast<std::int64_t>(arena.size()) >= need,
+               "arena smaller than the planned peak");
+  QMCU_REQUIRE(reinterpret_cast<std::uintptr_t>(arena.data()) % alignment == 0,
+               "arena base pointer is insufficiently aligned");
+}
+
+std::vector<QuantParams> effective_output_params(
+    const Graph& g, const ActivationQuantConfig& cfg) {
+  QMCU_REQUIRE(static_cast<int>(cfg.params.size()) == g.size(),
+               "quant config must cover every layer");
+  std::vector<QuantParams> effective;
+  effective.reserve(cfg.params.size());
+  for (int id = 0; id < g.size(); ++id) {
+    const Layer& l = g.layer(id);
+    effective.push_back(
+        is_pool_op(l.kind)
+            ? effective[static_cast<std::size_t>(l.inputs[0])]
+            : cfg.params[static_cast<std::size_t>(id)]);
+  }
+  return effective;
+}
+
+// --- float -----------------------------------------------------------------
+
+CompiledModel::CompiledModel(const Graph& g, ops::KernelTier tier)
+    : graph_(&g),
+      plan_(plan_execution_arena(g, static_cast<std::int64_t>(sizeof(float)))),
+      backend_(tier) {
+  QMCU_REQUIRE(g.inputs().size() == 1, "compiled model expects one input");
+}
+
+Tensor CompiledModel::run(const Tensor& input) const {
+  if (static_cast<std::int64_t>(arena_.size()) < plan_.peak_bytes) {
+    arena_.resize(static_cast<std::size_t>(plan_.peak_bytes));
+  }
+  return run(input, arena_);
+}
+
+Tensor CompiledModel::run(const Tensor& input,
+                          std::span<std::uint8_t> arena) const {
+  const Graph& g = *graph_;
+  QMCU_REQUIRE(input.shape() == g.shape(g.inputs().front()),
+               "input shape does not match graph input");
+  check_arena(arena, plan_.peak_bytes, alignof(float));
+
+  memo_.resize(static_cast<std::size_t>(g.size()));
+  measured_ = 0;
+  for (int id = 0; id < g.size(); ++id) {
+    const ArenaSlot& slot = plan_.slots[static_cast<std::size_t>(id)];
+    const std::int64_t n = g.shape(id).elements();
+    auto* base = reinterpret_cast<float*>(arena.data() + slot.offset);
+    memo_[static_cast<std::size_t>(id)] =
+        Tensor(g.shape(id), std::span<float>(base, static_cast<std::size_t>(n)));
+    measured_ = std::max(
+        measured_,
+        slot.offset + n * static_cast<std::int64_t>(sizeof(float)));
+    Tensor& out = memo_[static_cast<std::size_t>(id)];
+    if (g.layer(id).kind == OpKind::Input) {
+      std::memcpy(out.data().data(), input.data().data(),
+                  static_cast<std::size_t>(n) * sizeof(float));
+    } else {
+      run_layer_f32_into(g, id, memo_, backend_, out);
+    }
+  }
+  // Copying the borrowed view materialises an owning tensor for the caller.
+  return memo_[static_cast<std::size_t>(g.output())];
+}
+
+// --- quantized -------------------------------------------------------------
+
+CompiledQuantModel::CompiledQuantModel(
+    const Graph& g, ActivationQuantConfig cfg, ops::KernelTier tier,
+    std::shared_ptr<const QuantizedParameters> params)
+    : graph_(&g),
+      cfg_(std::move(cfg)),
+      effective_(effective_output_params(g, cfg_)),
+      params_(params ? std::move(params)
+                     : QuantizedParameters::build_shared(g, cfg_)),
+      plan_(plan_execution_arena(g, 1)),
+      backend_(tier) {
+  QMCU_REQUIRE(g.inputs().size() == 1, "compiled model expects one input");
+  prepack_conv_panels(g, *params_, backend_);
+}
+
+QTensor CompiledQuantModel::run(const Tensor& input) const {
+  if (static_cast<std::int64_t>(arena_.size()) < plan_.peak_bytes) {
+    arena_.resize(static_cast<std::size_t>(plan_.peak_bytes));
+  }
+  return run(input, arena_);
+}
+
+QTensor CompiledQuantModel::run(const Tensor& input,
+                                std::span<std::uint8_t> arena) const {
+  const Graph& g = *graph_;
+  QMCU_REQUIRE(input.shape() == g.shape(g.inputs().front()),
+               "input shape does not match graph input");
+  check_arena(arena, plan_.peak_bytes, 1);
+
+  memo_.resize(static_cast<std::size_t>(g.size()));
+  measured_ = 0;
+  for (int id = 0; id < g.size(); ++id) {
+    const ArenaSlot& slot = plan_.slots[static_cast<std::size_t>(id)];
+    const std::int64_t n = g.shape(id).elements();
+    auto* base = reinterpret_cast<std::int8_t*>(arena.data() + slot.offset);
+    memo_[static_cast<std::size_t>(id)] = QTensor(
+        g.shape(id), effective_[static_cast<std::size_t>(id)],
+        std::span<std::int8_t>(base, static_cast<std::size_t>(n)));
+    measured_ = std::max(measured_, slot.offset + n);
+    QTensor& out = memo_[static_cast<std::size_t>(id)];
+    if (g.layer(id).kind == OpKind::Input) {
+      quantize_into(input, out);
+    } else {
+      run_layer_q_into(g, id, memo_, *params_, backend_, out);
+    }
+  }
+  return memo_[static_cast<std::size_t>(g.output())];
+}
+
+}  // namespace qmcu::nn

@@ -17,8 +17,8 @@ ops::KernelBackend& shared_backend() {
 
 }  // namespace
 
-Tensor run_layer_f32(const Graph& g, int id, std::span<const Tensor> memo,
-                     ops::KernelBackend& backend) {
+void run_layer_f32_into(const Graph& g, int id, std::span<const Tensor> memo,
+                        ops::KernelBackend& backend, Tensor& out) {
   const Layer& l = g.layer(id);
   QMCU_REQUIRE(l.kind != OpKind::Input, "input layers are seeded, not run");
   const auto in0 = [&]() -> const Tensor& {
@@ -26,35 +26,53 @@ Tensor run_layer_f32(const Graph& g, int id, std::span<const Tensor> memo,
   };
   switch (l.kind) {
     case OpKind::Conv2D:
-      return backend.conv2d_f32(in0(), l, g.weights(id), g.bias(id));
+      backend.conv2d_f32_into(in0(), l, g.weights(id), g.bias(id), out);
+      return;
     case OpKind::DepthwiseConv2D:
-      return backend.depthwise_conv2d_f32(in0(), l, g.weights(id),
-                                          g.bias(id));
+      backend.depthwise_conv2d_f32_into(in0(), l, g.weights(id), g.bias(id),
+                                        out);
+      return;
     case OpKind::FullyConnected:
-      return backend.fully_connected_f32(in0(), l, g.weights(id), g.bias(id));
+      backend.fully_connected_f32_into(in0(), l, g.weights(id), g.bias(id),
+                                       out);
+      return;
     case OpKind::MaxPool:
-      return ops::max_pool_f32(in0(), l);
+      ops::max_pool_f32_into(in0(), l, out);
+      return;
     case OpKind::AvgPool:
-      return ops::avg_pool_f32(in0(), l);
+      ops::avg_pool_f32_into(in0(), l, out);
+      return;
     case OpKind::GlobalAvgPool:
-      return ops::global_avg_pool_f32(in0());
+      ops::global_avg_pool_f32_into(in0(), out);
+      return;
     case OpKind::Add:
-      return ops::add_f32(memo[static_cast<std::size_t>(l.inputs[0])],
-                          memo[static_cast<std::size_t>(l.inputs[1])], l.act);
+      ops::add_f32_into(memo[static_cast<std::size_t>(l.inputs[0])],
+                        memo[static_cast<std::size_t>(l.inputs[1])], l.act,
+                        out);
+      return;
     case OpKind::Concat: {
       std::vector<const Tensor*> ins;
       ins.reserve(l.inputs.size());
       for (int in : l.inputs) {
         ins.push_back(&memo[static_cast<std::size_t>(in)]);
       }
-      return ops::concat_f32(ins);
+      ops::concat_f32_into(ins, out);
+      return;
     }
     case OpKind::Softmax:
-      return ops::softmax_f32(in0());
+      ops::softmax_f32_into(in0(), out);
+      return;
     case OpKind::Input:
       break;
   }
   QMCU_ENSURE(false, "unhandled op kind");
+}
+
+Tensor run_layer_f32(const Graph& g, int id, std::span<const Tensor> memo,
+                     ops::KernelBackend& backend) {
+  Tensor out(g.shape(id));
+  run_layer_f32_into(g, id, memo, backend, out);
+  return out;
 }
 
 Tensor run_layer_f32(const Graph& g, int id, std::span<const Tensor> memo) {
@@ -72,15 +90,15 @@ std::vector<Tensor> Executor::run_all(const Tensor& input) const {
     if (g.layer(id).kind == OpKind::Input) {
       memo[static_cast<std::size_t>(id)] = input;
     } else {
-      memo[static_cast<std::size_t>(id)] = run_layer_f32(g, id, memo, backend_);
+      memo[static_cast<std::size_t>(id)] =
+          run_layer_f32(g, id, memo, compiled_.backend());
     }
   }
   return memo;
 }
 
 Tensor Executor::run(const Tensor& input) const {
-  auto memo = run_all(input);
-  return std::move(memo[static_cast<std::size_t>(graph_->output())]);
+  return compiled_.run(input);
 }
 
 std::vector<Tensor> Executor::run_from(std::vector<Tensor> memo,
@@ -101,7 +119,8 @@ std::vector<Tensor> Executor::run_from(std::vector<Tensor> memo,
       }
     }
     if (needs) {
-      memo[static_cast<std::size_t>(id)] = run_layer_f32(g, id, memo, backend_);
+      memo[static_cast<std::size_t>(id)] =
+          run_layer_f32(g, id, memo, compiled_.backend());
       dirty[static_cast<std::size_t>(id)] = true;
     }
   }
@@ -116,15 +135,7 @@ QuantizedParameters QuantizedParameters::build(
   // reads. Pools never requantize (TFLite contract), so a pool's output
   // carries its producer's params, not cfg.params[pool] — resolve the
   // chain before scaling biases.
-  std::vector<float> effective_scale(static_cast<std::size_t>(g.size()));
-  for (int id = 0; id < g.size(); ++id) {
-    const Layer& l = g.layer(id);
-    const bool pool = l.kind == OpKind::MaxPool || l.kind == OpKind::AvgPool ||
-                      l.kind == OpKind::GlobalAvgPool;
-    effective_scale[static_cast<std::size_t>(id)] =
-        pool ? effective_scale[static_cast<std::size_t>(l.inputs[0])]
-             : cfg.params[static_cast<std::size_t>(id)].scale;
-  }
+  const std::vector<QuantParams> effective = effective_output_params(g, cfg);
 
   QuantizedParameters out;
   out.weights.resize(static_cast<std::size_t>(g.size()));
@@ -138,7 +149,7 @@ QuantizedParameters QuantizedParameters::build(
         ops::quantize_weights(g.weights(id));
     if (!g.bias(id).empty()) {
       const float in_scale =
-          effective_scale[static_cast<std::size_t>(l.inputs[0])];
+          effective[static_cast<std::size_t>(l.inputs[0])].scale;
       out.bias[static_cast<std::size_t>(id)] = ops::quantize_bias(
           g.bias(id), in_scale,
           out.weights[static_cast<std::size_t>(id)].params.scale);
@@ -147,50 +158,80 @@ QuantizedParameters QuantizedParameters::build(
   return out;
 }
 
-QTensor run_layer_q(const Graph& g, int id, std::span<const QTensor> memo,
-                    const QuantizedParameters& params,
-                    const QuantParams& out_p, ops::KernelBackend& backend) {
+std::shared_ptr<const QuantizedParameters> QuantizedParameters::build_shared(
+    const Graph& g, const ActivationQuantConfig& cfg) {
+  return std::make_shared<const QuantizedParameters>(build(g, cfg));
+}
+
+void run_layer_q_into(const Graph& g, int id, std::span<const QTensor> memo,
+                      const QuantizedParameters& params,
+                      ops::KernelBackend& backend, QTensor& out) {
   const Layer& l = g.layer(id);
+  QMCU_REQUIRE(l.kind != OpKind::Input, "input layers are seeded, not run");
   const auto& in0 = memo[static_cast<std::size_t>(l.inputs[0])];
   switch (l.kind) {
     case OpKind::Conv2D:
-      return backend.conv2d(in0, l,
-                            params.weights[static_cast<std::size_t>(id)].data,
-                            params.weights[static_cast<std::size_t>(id)].params,
-                            params.bias[static_cast<std::size_t>(id)], out_p);
+      backend.conv2d_into(in0, l,
+                          params.weights[static_cast<std::size_t>(id)].data,
+                          params.weights[static_cast<std::size_t>(id)].params,
+                          params.bias[static_cast<std::size_t>(id)], out);
+      return;
     case OpKind::DepthwiseConv2D:
-      return backend.depthwise_conv2d(
+      backend.depthwise_conv2d_into(
           in0, l, params.weights[static_cast<std::size_t>(id)].data,
           params.weights[static_cast<std::size_t>(id)].params,
-          params.bias[static_cast<std::size_t>(id)], out_p);
+          params.bias[static_cast<std::size_t>(id)], out);
+      return;
     case OpKind::FullyConnected:
-      return backend.fully_connected(
+      backend.fully_connected_into(
           in0, l, params.weights[static_cast<std::size_t>(id)].data,
           params.weights[static_cast<std::size_t>(id)].params,
-          params.bias[static_cast<std::size_t>(id)], out_p);
+          params.bias[static_cast<std::size_t>(id)], out);
+      return;
     case OpKind::MaxPool:
-      return backend.max_pool(in0, l);
+      backend.max_pool_into(in0, l, out);
+      return;
     case OpKind::AvgPool:
-      return backend.avg_pool(in0, l);
+      backend.avg_pool_into(in0, l, out);
+      return;
     case OpKind::GlobalAvgPool:
-      return backend.global_avg_pool(in0);
+      backend.global_avg_pool_into(in0, out);
+      return;
     case OpKind::Add:
-      return backend.add(in0, memo[static_cast<std::size_t>(l.inputs[1])],
-                         l.act, out_p);
+      backend.add_into(in0, memo[static_cast<std::size_t>(l.inputs[1])],
+                       l.act, out);
+      return;
     case OpKind::Concat: {
       std::vector<const QTensor*> ins;
       ins.reserve(l.inputs.size());
       for (int in : l.inputs) {
         ins.push_back(&memo[static_cast<std::size_t>(in)]);
       }
-      return backend.concat(ins, out_p);
+      backend.concat_into(ins, out);
+      return;
     }
     case OpKind::Softmax:
-      return backend.softmax(in0, out_p);
+      backend.softmax_into(in0, out);
+      return;
     case OpKind::Input:
-      QMCU_ENSURE(false, "input handled by caller");
+      break;
   }
   QMCU_ENSURE(false, "unhandled op kind");
+}
+
+QTensor run_layer_q(const Graph& g, int id, std::span<const QTensor> memo,
+                    const QuantizedParameters& params,
+                    const QuantParams& out_p, ops::KernelBackend& backend) {
+  const Layer& l = g.layer(id);
+  // Pools never requantize: their output carries the producer's params
+  // regardless of the nominal out_p (TFLite contract).
+  const QuantParams& p =
+      is_pool_op(l.kind)
+          ? memo[static_cast<std::size_t>(l.inputs[0])].params()
+          : out_p;
+  QTensor out(g.shape(id), p);
+  run_layer_q_into(g, id, memo, params, backend, out);
+  return out;
 }
 
 QTensor run_layer_q(const Graph& g, int id, std::span<const QTensor> memo,
@@ -200,11 +241,9 @@ QTensor run_layer_q(const Graph& g, int id, std::span<const QTensor> memo,
 }
 
 QuantExecutor::QuantExecutor(const Graph& g, ActivationQuantConfig cfg,
-                             ops::KernelTier tier)
-    : graph_(&g),
-      cfg_(std::move(cfg)),
-      params_(QuantizedParameters::build(g, cfg_)),
-      backend_(tier) {}
+                             ops::KernelTier tier,
+                             std::shared_ptr<const QuantizedParameters> params)
+    : graph_(&g), compiled_(g, std::move(cfg), tier, std::move(params)) {}
 
 std::vector<QTensor> QuantExecutor::run_all(const Tensor& input) const {
   const Graph& g = *graph_;
@@ -212,23 +251,23 @@ std::vector<QTensor> QuantExecutor::run_all(const Tensor& input) const {
   QMCU_REQUIRE(input.shape() == g.shape(g.inputs().front()),
                "input shape does not match graph input");
 
+  const ActivationQuantConfig& cfg = compiled_.config();
   std::vector<QTensor> memo(static_cast<std::size_t>(g.size()));
   for (int id = 0; id < g.size(); ++id) {
     if (g.layer(id).kind == OpKind::Input) {
       memo[static_cast<std::size_t>(id)] =
-          quantize(input, cfg_.params[static_cast<std::size_t>(id)]);
+          quantize(input, cfg.params[static_cast<std::size_t>(id)]);
     } else {
-      memo[static_cast<std::size_t>(id)] =
-          run_layer_q(g, id, memo, params_,
-                      cfg_.params[static_cast<std::size_t>(id)], backend_);
+      memo[static_cast<std::size_t>(id)] = run_layer_q(
+          g, id, memo, *compiled_.shared_parameters(),
+          cfg.params[static_cast<std::size_t>(id)], compiled_.backend());
     }
   }
   return memo;
 }
 
 QTensor QuantExecutor::run(const Tensor& input) const {
-  auto memo = run_all(input);
-  return std::move(memo[static_cast<std::size_t>(graph_->output())]);
+  return compiled_.run(input);
 }
 
 }  // namespace qmcu::nn

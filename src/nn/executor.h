@@ -6,13 +6,18 @@
 //                   (the per-feature-map bitwidth assignment the paper's
 //                   VDQS produces) and 8-bit symmetric weights.
 //
-// `run_all` keeps every intermediate feature map alive, which the entropy
-// analysis and the patch-executor equivalence tests need; `run` returns only
-// the final output.
+// Both compile the graph once on construction (see nn/compiled_model.h):
+// `run` executes the compiled schedule against a static tensor arena with
+// zero per-layer allocation, bit-identical to the memo-based path.
+// `run_all` keeps every intermediate feature map alive — which the entropy
+// analysis and the patch-executor equivalence tests need, and which a
+// single overwriting arena cannot provide — so it stays on the
+// heap-per-layer memo path; `run` returns only the final output.
 #pragma once
 
 #include <vector>
 
+#include "nn/compiled_model.h"
 #include "nn/graph.h"
 #include "nn/ops/backend.h"
 #include "nn/ops/int8_kernels.h"
@@ -24,21 +29,26 @@ namespace qmcu::nn {
 // tensors (memo is indexed by layer id; only the layer's inputs are read).
 // Shared by the layer-based executor and the patch executor's tail phase.
 // Kernels dispatch through `backend`; the overload without one uses a
-// shared thread-local Fast backend.
+// shared thread-local Fast backend. The `_into` form writes into a
+// caller-bound destination (shape = g.shape(id); for quantized pools its
+// params must equal the producer's) — the compiled arena executors' path.
 Tensor run_layer_f32(const Graph& g, int id, std::span<const Tensor> memo,
                      ops::KernelBackend& backend);
 Tensor run_layer_f32(const Graph& g, int id, std::span<const Tensor> memo);
+void run_layer_f32_into(const Graph& g, int id, std::span<const Tensor> memo,
+                        ops::KernelBackend& backend, Tensor& out);
 
 class Executor {
  public:
   explicit Executor(const Graph& g,
                     ops::KernelTier tier = ops::KernelTier::Fast)
-      : graph_(&g), backend_(tier) {}
+      : graph_(&g), compiled_(g, tier) {}
 
   // Runs the whole graph; result[i] is the output feature map of layer i.
   [[nodiscard]] std::vector<Tensor> run_all(const Tensor& input) const;
 
-  // Runs the whole graph and returns the final layer's output.
+  // Runs the whole graph through the compiled arena schedule and returns
+  // the final layer's output.
   [[nodiscard]] Tensor run(const Tensor& input) const;
 
   // Incremental re-execution: `memo` holds a full run's feature maps with
@@ -50,35 +60,15 @@ class Executor {
                                              int changed_layer) const;
 
   [[nodiscard]] const Graph& graph() const { return *graph_; }
+  [[nodiscard]] const CompiledModel& compiled() const { return compiled_; }
 
  private:
   const Graph* graph_;  // non-owning; graph must outlive the executor
-  // Kernel dispatch + scratch arena; mutated (scratch reuse) during const
-  // runs, which does not affect observable results but does mean a single
-  // executor instance must not run concurrently from multiple threads —
-  // use one executor per thread instead.
-  mutable ops::KernelBackend backend_;
-};
-
-// Per-layer activation quantization parameters, indexed by layer id.
-// `params[i].bits` is the feature-map bitwidth b_i of the paper.
-struct ActivationQuantConfig {
-  std::vector<QuantParams> params;
-
-  [[nodiscard]] int bits(int layer_id) const {
-    return params[static_cast<std::size_t>(layer_id)].bits;
-  }
-};
-
-// Ahead-of-time converted model parameters: 8-bit symmetric weights and
-// int32 biases rescaled to in_scale * weight_scale, per MAC layer. Shared
-// by the layer-based QuantExecutor and the patch-based quantized executor.
-struct QuantizedParameters {
-  std::vector<ops::QuantizedWeights> weights;  // indexed by layer id
-  std::vector<std::vector<std::int32_t>> bias;
-
-  static QuantizedParameters build(const Graph& g,
-                                   const ActivationQuantConfig& cfg);
+  // All paths dispatch through the compiled model's backend (one scratch
+  // arena + weight-panel cache per executor); its state is mutated during
+  // const runs, so a single executor instance must not run concurrently
+  // from multiple threads — use one executor per thread instead.
+  CompiledModel compiled_;
 };
 
 // Executes one non-Input layer in the quantized domain. `memo` holds the
@@ -92,25 +82,39 @@ QTensor run_layer_q(const Graph& g, int id, std::span<const QTensor> memo,
 QTensor run_layer_q(const Graph& g, int id, std::span<const QTensor> memo,
                     const QuantizedParameters& params,
                     const QuantParams& out_params);
+void run_layer_q_into(const Graph& g, int id, std::span<const QTensor> memo,
+                      const QuantizedParameters& params,
+                      ops::KernelBackend& backend, QTensor& out);
 
 class QuantExecutor {
  public:
   // Weights are quantized (8-bit symmetric) and biases rescaled at
-  // construction, mirroring ahead-of-time conversion on the MCU.
+  // construction, mirroring ahead-of-time conversion on the MCU. Pass
+  // prebuilt shared parameters to amortise that conversion across several
+  // executors over the same graph (e.g. bench sweeps).
   QuantExecutor(const Graph& g, ActivationQuantConfig cfg,
-                ops::KernelTier tier = ops::KernelTier::Fast);
+                ops::KernelTier tier = ops::KernelTier::Fast,
+                std::shared_ptr<const QuantizedParameters> params = {});
 
   [[nodiscard]] std::vector<QTensor> run_all(const Tensor& input) const;
+  // Compiled arena path; bit-identical to run_all's final feature map.
   [[nodiscard]] QTensor run(const Tensor& input) const;
 
   [[nodiscard]] const Graph& graph() const { return *graph_; }
-  [[nodiscard]] const ActivationQuantConfig& config() const { return cfg_; }
+  [[nodiscard]] const ActivationQuantConfig& config() const {
+    return compiled_.config();
+  }
+  [[nodiscard]] const CompiledQuantModel& compiled() const {
+    return compiled_;
+  }
+  [[nodiscard]] const std::shared_ptr<const QuantizedParameters>&
+  shared_parameters() const {
+    return compiled_.shared_parameters();
+  }
 
  private:
   const Graph* graph_;
-  ActivationQuantConfig cfg_;
-  QuantizedParameters params_;
-  mutable ops::KernelBackend backend_;
+  CompiledQuantModel compiled_;
 };
 
 }  // namespace qmcu::nn

@@ -65,6 +65,14 @@ constexpr bool is_windowed_op(OpKind k) {
          k == OpKind::MaxPool || k == OpKind::AvgPool;
 }
 
+// True for pooling layers, which never requantize: their output carries the
+// producer's QuantParams (TFLite contract), a rule the executors, the
+// quantized-parameter builder and the compiled models all share.
+constexpr bool is_pool_op(OpKind k) {
+  return k == OpKind::MaxPool || k == OpKind::AvgPool ||
+         k == OpKind::GlobalAvgPool;
+}
+
 struct Layer {
   OpKind kind = OpKind::Input;
   std::string name;

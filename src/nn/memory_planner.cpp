@@ -1,6 +1,9 @@
 #include "nn/memory_planner.h"
 
 #include <algorithm>
+#include <numeric>
+
+#include "nn/ops/im2col.h"
 
 namespace qmcu::nn {
 
@@ -8,6 +11,42 @@ int last_use_step(const Graph& g, int id) {
   int last = id;
   for (int c : g.consumers(id)) last = std::max(last, c);
   return last;
+}
+
+std::int64_t fast_scratch_bytes(const Graph& g, int id) {
+  const Layer& l = g.layer(id);
+  switch (l.kind) {
+    case OpKind::Conv2D: {
+      // Mirrors KernelBackend::conv2d in uncached-panel mode: k-major
+      // panel (n*k i8) + column sums (n i32) + per-column offsets (n i32)
+      // + one output row of im2col strip (out_w * k i8) + GEMM accumulator
+      // tile (4n i32).
+      const TensorShape& is = g.shape(l.inputs[0]);
+      const std::int64_t k = ops::im2col_row_elements(is, l);
+      const std::int64_t n = l.out_channels;
+      const std::int64_t out_w = g.shape(id).w;
+      return n * k + out_w * k + (n + n + 4 * n) * 4;
+    }
+    case OpKind::DepthwiseConv2D:
+      // Per-channel int32 accumulators.
+      return static_cast<std::int64_t>(g.shape(l.inputs[0]).c) * 4;
+    case OpKind::GlobalAvgPool:
+      // Per-channel int32 sums.
+      return static_cast<std::int64_t>(g.shape(l.inputs[0]).c) * 4;
+    case OpKind::Softmax:
+      // Float detour: dequantized logits + softmax result.
+      return 2 * g.shape(id).elements() * 4;
+    default:
+      return 0;
+  }
+}
+
+std::int64_t fast_panel_bytes(const Graph& g, int id) {
+  const Layer& l = g.layer(id);
+  if (l.kind != OpKind::Conv2D) return 0;
+  const std::int64_t k = ops::im2col_row_elements(g.shape(l.inputs[0]), l);
+  const std::int64_t n = l.out_channels;
+  return n * k + n * 4;  // bt panel + wsum
 }
 
 MemoryPlan plan_layer_based(const Graph& g, std::span<const int> act_bits) {
@@ -19,6 +58,7 @@ MemoryPlan plan_layer_based(const Graph& g, std::span<const int> act_bits) {
 
   MemoryPlan plan;
   plan.step_bytes.assign(static_cast<std::size_t>(g.size()), 0);
+  plan.step_scratch_bytes.assign(static_cast<std::size_t>(g.size()), 0);
   for (int step = 0; step < g.size(); ++step) {
     std::int64_t live = 0;
     for (int i = 0; i <= step; ++i) {
@@ -31,6 +71,14 @@ MemoryPlan plan_layer_based(const Graph& g, std::span<const int> act_bits) {
       plan.peak_bytes = live;
       plan.peak_step = step;
     }
+    const std::int64_t scratch = fast_scratch_bytes(g, step);
+    plan.step_scratch_bytes[static_cast<std::size_t>(step)] = scratch;
+    plan.scratch_peak_bytes = std::max(plan.scratch_peak_bytes, scratch);
+    if (live + scratch > plan.total_peak_bytes) {
+      plan.total_peak_bytes = live + scratch;
+      plan.total_peak_step = step;
+    }
+    plan.panel_bytes += fast_panel_bytes(g, step);
   }
   return plan;
 }
@@ -53,6 +101,87 @@ std::int64_t model_flash_bytes(const Graph& g, int weight_bits) {
     }
   }
   return total;
+}
+
+// --- arena placement --------------------------------------------------------
+
+ArenaPlanner::ArenaPlanner(std::int64_t alignment) : alignment_(alignment) {
+  QMCU_REQUIRE(alignment > 0, "arena alignment must be positive");
+}
+
+ArenaPlan ArenaPlanner::plan(std::span<const ArenaRequest> requests) const {
+  ArenaPlan plan;
+  plan.slots.resize(requests.size());
+  const auto align_up = [&](std::int64_t v) {
+    return (v + alignment_ - 1) / alignment_ * alignment_;
+  };
+
+  // Largest first; ties broken by earlier birth then index, for determinism.
+  std::vector<std::size_t> order(requests.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (requests[a].size != requests[b].size)
+      return requests[a].size > requests[b].size;
+    if (requests[a].first_step != requests[b].first_step)
+      return requests[a].first_step < requests[b].first_step;
+    return a < b;
+  });
+
+  std::vector<std::size_t> placed;  // indices into plan.slots
+  placed.reserve(requests.size());
+  for (std::size_t idx : order) {
+    const ArenaRequest& req = requests[idx];
+    QMCU_REQUIRE(req.size >= 0, "arena request size must be non-negative");
+    QMCU_REQUIRE(req.first_step <= req.last_step,
+                 "arena request lifetime must be non-empty");
+    ArenaSlot slot{0, req.size, req.first_step, req.last_step};
+
+    // Collect byte ranges of lifetime-overlapping, already-placed slots,
+    // sorted by offset, and first-fit into the gaps.
+    std::vector<const ArenaSlot*> busy;
+    for (std::size_t p : placed) {
+      if (plan.slots[p].overlaps_lifetime(slot)) busy.push_back(&plan.slots[p]);
+    }
+    std::sort(busy.begin(), busy.end(),
+              [](const ArenaSlot* a, const ArenaSlot* b) {
+                return a->offset < b->offset;
+              });
+    std::int64_t candidate = 0;
+    for (const ArenaSlot* b : busy) {
+      if (candidate + slot.size <= b->offset) break;  // fits in this gap
+      candidate =
+          std::max(candidate, align_up(b->offset + b->size));
+    }
+    slot.offset = candidate;
+    plan.slots[idx] = slot;
+    placed.push_back(idx);
+    plan.peak_bytes = std::max(plan.peak_bytes, slot.offset + slot.size);
+  }
+
+  // Sum-of-live accounting peak, for comparison with the placed extent.
+  int max_step = 0;
+  for (const ArenaRequest& r : requests) max_step = std::max(max_step, r.last_step);
+  for (int step = 0; step <= max_step; ++step) {
+    std::int64_t live = 0;
+    for (const ArenaRequest& r : requests) {
+      if (r.first_step <= step && step <= r.last_step) live += r.size;
+    }
+    plan.live_peak_bytes = std::max(plan.live_peak_bytes, live);
+  }
+  return plan;
+}
+
+ArenaPlan ArenaPlanner::plan(const Graph& g,
+                             std::span<const int> act_bits) const {
+  QMCU_REQUIRE(static_cast<int>(act_bits.size()) == g.size(),
+               "act_bits must cover every layer");
+  std::vector<ArenaRequest> requests(static_cast<std::size_t>(g.size()));
+  for (int i = 0; i < g.size(); ++i) {
+    requests[static_cast<std::size_t>(i)] = {
+        g.shape(i).bytes(act_bits[static_cast<std::size_t>(i)]), i,
+        last_use_step(g, i)};
+  }
+  return plan(requests);
 }
 
 }  // namespace qmcu::nn

@@ -76,20 +76,20 @@ OutputInterior output_interior(int kernel, int stride, int pad, int extent,
 // im2col strip; everything else (zero-point folding, requantization) is
 // common to the unpacked and packed-input paths. `bt`/`wsum` come from
 // KernelBackend::weight_panel; the arena must already be reset by the
-// caller (the panel may live in it).
+// caller (the panel may live in it). Writes into the caller-bound `out`.
 template <typename PackRow>
-QTensor fast_conv2d_impl(ScratchArena& arena, const TensorShape& is,
-                         const QuantParams& ip, const Layer& l,
-                         std::span<const std::int8_t> bt,
-                         std::span<const std::int32_t> wsum,
-                         const QuantParams& wparams,
-                         std::span<const std::int32_t> qbias,
-                         const QuantParams& out_params,
-                         const PackRow& pack_row) {
+void fast_conv2d_impl(ScratchArena& arena, const TensorShape& is,
+                      const QuantParams& ip, const Layer& l,
+                      std::span<const std::int8_t> bt,
+                      std::span<const std::int32_t> wsum,
+                      const QuantParams& wparams,
+                      std::span<const std::int32_t> qbias,
+                      const PackRow& pack_row, QTensor& out) {
   const TensorShape os = conv_output_shape(is, l, l.out_channels);
   const int n = l.out_channels;
   const int k = static_cast<int>(im2col_row_elements(is, l));
-  QTensor out(os, out_params);
+  QMCU_REQUIRE(out.shape() == os, "conv2d: destination shape mismatch");
+  const QuantParams& out_params = out.params();
 
   // Per-column constant folding bias and the input zero-point correction.
   auto offset = arena.i32(static_cast<std::size_t>(n));
@@ -117,22 +117,23 @@ QTensor fast_conv2d_impl(ScratchArena& arena, const TensorShape& is,
     gemm_int8_requant(a.data(), bt.data(), os.w, n, k, post, acc.data(),
                       y + static_cast<std::size_t>(oy) * os.w * n);
   }
-  return out;
 }
 
-QTensor fast_depthwise_conv2d(ScratchArena& arena, const QTensor& in,
-                              const Layer& l,
-                              std::span<const std::int8_t> qweights,
-                              const QuantParams& wparams,
-                              std::span<const std::int32_t> qbias,
-                              const QuantParams& out_params) {
+void fast_depthwise_conv2d(ScratchArena& arena, const QTensor& in,
+                           const Layer& l,
+                           std::span<const std::int8_t> qweights,
+                           const QuantParams& wparams,
+                           std::span<const std::int32_t> qbias,
+                           QTensor& out) {
   const TensorShape& is = in.shape();
   const TensorShape os = conv_output_shape(is, l, is.c);
   const int c = is.c;
   QMCU_REQUIRE(static_cast<std::int64_t>(qweights.size()) ==
                    static_cast<std::int64_t>(l.kernel_h) * l.kernel_w * c,
                "dwconv weight count mismatch");
-  QTensor out(os, out_params);
+  QMCU_REQUIRE(out.shape() == os,
+               "depthwise_conv2d: destination shape mismatch");
+  const QuantParams& out_params = out.params();
   const auto& ip = in.params();
   const FixedPointMultiplier m = quantize_multiplier(
       static_cast<double>(ip.scale) * wparams.scale / out_params.scale);
@@ -204,7 +205,6 @@ QTensor fast_depthwise_conv2d(ScratchArena& arena, const QTensor& in,
       run_pixel(oy, ox, border);
     }
   }
-  return out;
 }
 
 }  // namespace
@@ -230,13 +230,20 @@ KernelBackend::PanelView KernelBackend::weight_panel(
   return {bt, wsum};
 }
 
-QTensor KernelBackend::conv2d(const QTensor& in, const Layer& l,
-                              std::span<const std::int8_t> qweights,
-                              const QuantParams& wparams,
-                              std::span<const std::int32_t> qbias,
-                              const QuantParams& out_params) {
+void KernelBackend::prepack(std::span<const std::int8_t> qweights, int n,
+                            int k) {
+  if (!cache_weight_panels_) return;
+  (void)weight_panel(qweights, n, k);
+}
+
+void KernelBackend::conv2d_into(const QTensor& in, const Layer& l,
+                                std::span<const std::int8_t> qweights,
+                                const QuantParams& wparams,
+                                std::span<const std::int32_t> qbias,
+                                QTensor& out) {
   if (tier_ == KernelTier::Reference) {
-    return conv2d_q(in, l, qweights, wparams, qbias, out_params);
+    conv2d_q_into(in, l, qweights, wparams, qbias, out);
+    return;
   }
   const TensorShape& is = in.shape();
   const int n = l.out_channels;
@@ -248,12 +255,23 @@ QTensor KernelBackend::conv2d(const QTensor& in, const Layer& l,
   const auto x = in.data();
   const std::int8_t pad =
       static_cast<std::int8_t>(in.params().zero_point);
-  return fast_conv2d_impl(
-      arena_, is, in.params(), l, w.bt, w.wsum, wparams, qbias, out_params,
+  fast_conv2d_impl(
+      arena_, is, in.params(), l, w.bt, w.wsum, wparams, qbias,
       [&](int oy, std::int8_t* dst) {
         im2col_pack_row(x, is, l, oy,
                         conv_output_shape(is, l, l.out_channels).w, pad, dst);
-      });
+      },
+      out);
+}
+
+QTensor KernelBackend::conv2d(const QTensor& in, const Layer& l,
+                              std::span<const std::int8_t> qweights,
+                              const QuantParams& wparams,
+                              std::span<const std::int32_t> qbias,
+                              const QuantParams& out_params) {
+  QTensor out(conv_output_shape(in.shape(), l, l.out_channels), out_params);
+  conv2d_into(in, l, qweights, wparams, qbias, out);
+  return out;
 }
 
 QTensor KernelBackend::conv2d_packed(std::span<const std::uint8_t> packed,
@@ -283,13 +301,28 @@ QTensor KernelBackend::conv2d_packed(std::span<const std::uint8_t> packed,
   const PanelView w = weight_panel(qweights, n, static_cast<int>(k));
   const std::int8_t pad = static_cast<std::int8_t>(in_params.zero_point);
   const int bits = in_params.bits;
-  return fast_conv2d_impl(
+  QTensor out(conv_output_shape(in_shape, l, l.out_channels), out_params);
+  fast_conv2d_impl(
       arena_, in_shape, in_params, l, w.bt, w.wsum, wparams, qbias,
-      out_params, [&](int oy, std::int8_t* dst) {
+      [&](int oy, std::int8_t* dst) {
         im2col_pack_row_subbyte(
             packed, bits, in_shape, l, oy,
             conv_output_shape(in_shape, l, l.out_channels).w, pad, dst);
-      });
+      },
+      out);
+  return out;
+}
+
+void KernelBackend::depthwise_conv2d_into(const QTensor& in, const Layer& l,
+                                          std::span<const std::int8_t> qweights,
+                                          const QuantParams& wparams,
+                                          std::span<const std::int32_t> qbias,
+                                          QTensor& out) {
+  if (tier_ == KernelTier::Reference) {
+    depthwise_conv2d_q_into(in, l, qweights, wparams, qbias, out);
+    return;
+  }
+  fast_depthwise_conv2d(arena_, in, l, qweights, wparams, qbias, out);
 }
 
 QTensor KernelBackend::depthwise_conv2d(const QTensor& in, const Layer& l,
@@ -297,20 +330,19 @@ QTensor KernelBackend::depthwise_conv2d(const QTensor& in, const Layer& l,
                                         const QuantParams& wparams,
                                         std::span<const std::int32_t> qbias,
                                         const QuantParams& out_params) {
-  if (tier_ == KernelTier::Reference) {
-    return depthwise_conv2d_q(in, l, qweights, wparams, qbias, out_params);
-  }
-  return fast_depthwise_conv2d(arena_, in, l, qweights, wparams, qbias,
-                               out_params);
+  QTensor out(conv_output_shape(in.shape(), l, in.shape().c), out_params);
+  depthwise_conv2d_into(in, l, qweights, wparams, qbias, out);
+  return out;
 }
 
-QTensor KernelBackend::fully_connected(const QTensor& in, const Layer& l,
-                                       std::span<const std::int8_t> qweights,
-                                       const QuantParams& wparams,
-                                       std::span<const std::int32_t> qbias,
-                                       const QuantParams& out_params) {
+void KernelBackend::fully_connected_into(const QTensor& in, const Layer& l,
+                                         std::span<const std::int8_t> qweights,
+                                         const QuantParams& wparams,
+                                         std::span<const std::int32_t> qbias,
+                                         QTensor& out) {
   if (tier_ == KernelTier::Reference) {
-    return fully_connected_q(in, l, qweights, wparams, qbias, out_params);
+    fully_connected_q_into(in, l, qweights, wparams, qbias, out);
+    return;
   }
   // M == 1 GEMM: four output channels at a time against the flat input so
   // each loaded activation feeds four weight rows; no repacking needed.
@@ -318,7 +350,9 @@ QTensor KernelBackend::fully_connected(const QTensor& in, const Layer& l,
   QMCU_REQUIRE(static_cast<std::int64_t>(qweights.size()) ==
                    in_features * l.out_channels,
                "fc weight count mismatch");
-  QTensor out(TensorShape{1, 1, l.out_channels}, out_params);
+  QMCU_REQUIRE(out.shape() == TensorShape(1, 1, l.out_channels),
+               "fully_connected: destination shape mismatch");
+  const QuantParams& out_params = out.params();
   const auto& ip = in.params();
   const FixedPointMultiplier m = quantize_multiplier(
       static_cast<double>(ip.scale) * wparams.scale / out_params.scale);
@@ -371,6 +405,15 @@ QTensor KernelBackend::fully_connected(const QTensor& in, const Layer& l,
         clamp_to(apply_multiplier(acc, m) + out_params.zero_point, act_lo,
                  act_hi));
   }
+}
+
+QTensor KernelBackend::fully_connected(const QTensor& in, const Layer& l,
+                                       std::span<const std::int8_t> qweights,
+                                       const QuantParams& wparams,
+                                       std::span<const std::int32_t> qbias,
+                                       const QuantParams& out_params) {
+  QTensor out(TensorShape{1, 1, l.out_channels}, out_params);
+  fully_connected_into(in, l, qweights, wparams, qbias, out);
   return out;
 }
 
@@ -380,13 +423,36 @@ QTensor KernelBackend::max_pool(const QTensor& in, const Layer& l) {
   return max_pool_q(in, l);
 }
 
+void KernelBackend::max_pool_into(const QTensor& in, const Layer& l,
+                                  QTensor& out) {
+  max_pool_q_into(in, l, out);
+}
+
 QTensor KernelBackend::avg_pool(const QTensor& in, const Layer& l) {
   // Single integer implementation (interior/border aware) for both tiers.
   return avg_pool_q(in, l);
 }
 
+void KernelBackend::avg_pool_into(const QTensor& in, const Layer& l,
+                                  QTensor& out) {
+  // The reciprocal table depends only on the window size — cache it so
+  // repeated runs stop paying its construction.
+  const int count = l.kernel_h * l.kernel_w;
+  auto it = avg_pool_tables_.find(count);
+  if (it == avg_pool_tables_.end()) {
+    it = avg_pool_tables_.emplace(count, AvgPoolMultipliers(count)).first;
+  }
+  avg_pool_q_into(in, l, it->second, out);
+}
+
 QTensor KernelBackend::global_avg_pool(const QTensor& in) {
   return global_avg_pool_q(in);
+}
+
+void KernelBackend::global_avg_pool_into(const QTensor& in, QTensor& out) {
+  arena_.reset();
+  global_avg_pool_q_into(
+      in, arena_.i32(static_cast<std::size_t>(in.shape().c)), out);
 }
 
 QTensor KernelBackend::add(const QTensor& lhs, const QTensor& rhs,
@@ -394,9 +460,19 @@ QTensor KernelBackend::add(const QTensor& lhs, const QTensor& rhs,
   return add_q(lhs, rhs, act, out_params);
 }
 
+void KernelBackend::add_into(const QTensor& lhs, const QTensor& rhs,
+                             Activation act, QTensor& out) {
+  add_q_into(lhs, rhs, act, out);
+}
+
 QTensor KernelBackend::concat(std::span<const QTensor* const> inputs,
                               const QuantParams& out_params) {
   return concat_q(inputs, out_params);
+}
+
+void KernelBackend::concat_into(std::span<const QTensor* const> inputs,
+                                QTensor& out) {
+  concat_q_into(inputs, out);
 }
 
 QTensor KernelBackend::softmax(const QTensor& in,
@@ -404,18 +480,40 @@ QTensor KernelBackend::softmax(const QTensor& in,
   return softmax_q(in, out_params);
 }
 
+void KernelBackend::softmax_into(const QTensor& in, QTensor& out) {
+  // Same arithmetic chain as softmax_q (dequantize → softmax_f32 →
+  // quantize), with the float detour living in arena scratch instead of
+  // two heap tensors.
+  QMCU_REQUIRE(out.shape() == in.shape(),
+               "softmax: destination shape mismatch");
+  arena_.reset();
+  const std::size_t n = in.data().size();
+  auto real_buf = arena_.f32(n);
+  auto soft_buf = arena_.f32(n);
+  Tensor real(in.shape(), std::span<float>(real_buf.data(), n));
+  dequantize_into(in, real);
+  Tensor soft(in.shape(), std::span<float>(soft_buf.data(), n));
+  softmax_f32_into(real, soft);
+  quantize_into(soft, out);
+}
+
 QTensor KernelBackend::requantize(const QTensor& q, const QuantParams& target) {
   return requantize_q(q, target);
+}
+
+void KernelBackend::requantize_into(const QTensor& q, QTensor& out) {
+  requantize_q_into(q, out);
 }
 
 // ---------------------------------------------------------------------------
 // Float tier.
 
-Tensor KernelBackend::conv2d_f32(const Tensor& in, const Layer& l,
-                                 std::span<const float> weights,
-                                 std::span<const float> bias) {
+void KernelBackend::conv2d_f32_into(const Tensor& in, const Layer& l,
+                                    std::span<const float> weights,
+                                    std::span<const float> bias, Tensor& out) {
   if (tier_ == KernelTier::Reference) {
-    return ops::conv2d_f32(in, l, weights, bias);
+    ops::conv2d_f32_into(in, l, weights, bias, out);
+    return;
   }
   const TensorShape& is = in.shape();
   const TensorShape os = conv_output_shape(is, l, l.out_channels);
@@ -423,8 +521,8 @@ Tensor KernelBackend::conv2d_f32(const Tensor& in, const Layer& l,
   const std::int64_t k64 = im2col_row_elements(is, l);
   QMCU_REQUIRE(static_cast<std::int64_t>(weights.size()) == k64 * n,
                "conv weight count mismatch");
+  QMCU_REQUIRE(out.shape() == os, "conv2d_f32: destination shape mismatch");
   const int k = static_cast<int>(k64);
-  Tensor out(os);
   arena_.reset();
   auto bt = arena_.f32(static_cast<std::size_t>(n) * k);
   pack_weights_kmajor_f32(weights, n, k, bt.data());
@@ -436,6 +534,13 @@ Tensor KernelBackend::conv2d_f32(const Tensor& in, const Layer& l,
     gemm_f32(a.data(), bt.data(), os.w, n, k, bias, l.act, acc.data(),
              y + static_cast<std::size_t>(oy) * os.w * n);
   }
+}
+
+Tensor KernelBackend::conv2d_f32(const Tensor& in, const Layer& l,
+                                 std::span<const float> weights,
+                                 std::span<const float> bias) {
+  Tensor out(conv_output_shape(in.shape(), l, l.out_channels));
+  conv2d_f32_into(in, l, weights, bias, out);
   return out;
 }
 
@@ -445,10 +550,24 @@ Tensor KernelBackend::depthwise_conv2d_f32(const Tensor& in, const Layer& l,
   return ops::depthwise_conv2d_f32(in, l, weights, bias);
 }
 
+void KernelBackend::depthwise_conv2d_f32_into(const Tensor& in, const Layer& l,
+                                              std::span<const float> weights,
+                                              std::span<const float> bias,
+                                              Tensor& out) {
+  ops::depthwise_conv2d_f32_into(in, l, weights, bias, out);
+}
+
 Tensor KernelBackend::fully_connected_f32(const Tensor& in, const Layer& l,
                                           std::span<const float> weights,
                                           std::span<const float> bias) {
   return ops::fully_connected_f32(in, l, weights, bias);
+}
+
+void KernelBackend::fully_connected_f32_into(const Tensor& in, const Layer& l,
+                                             std::span<const float> weights,
+                                             std::span<const float> bias,
+                                             Tensor& out) {
+  ops::fully_connected_f32_into(in, l, weights, bias, out);
 }
 
 }  // namespace qmcu::nn::ops

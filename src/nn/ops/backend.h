@@ -69,31 +69,63 @@ class KernelBackend {
   [[nodiscard]] KernelTier tier() const { return tier_; }
   [[nodiscard]] ScratchArena& arena() { return arena_; }
 
+  // Repacks (and caches) the k-major panel + column sums for a conv weight
+  // blob ahead of time, so a compiled model's first inference pays no
+  // packing cost. No-op unless panel caching is enabled.
+  void prepack(std::span<const std::int8_t> qweights, int n, int k);
+
   // --- integer ops (contracts in int8_kernels.h) ---------------------------
+  // Each op has a value-returning form and an `_into` form writing into a
+  // caller-bound destination (shape preset; its QuantParams are the output
+  // parameters). The compiled arena executors use the `_into` forms so the
+  // hot path performs no per-layer allocation.
   QTensor conv2d(const QTensor& in, const Layer& l,
                  std::span<const std::int8_t> qweights,
                  const QuantParams& wparams,
                  std::span<const std::int32_t> qbias,
                  const QuantParams& out_params);
+  void conv2d_into(const QTensor& in, const Layer& l,
+                   std::span<const std::int8_t> qweights,
+                   const QuantParams& wparams,
+                   std::span<const std::int32_t> qbias, QTensor& out);
   QTensor depthwise_conv2d(const QTensor& in, const Layer& l,
                            std::span<const std::int8_t> qweights,
                            const QuantParams& wparams,
                            std::span<const std::int32_t> qbias,
                            const QuantParams& out_params);
+  void depthwise_conv2d_into(const QTensor& in, const Layer& l,
+                             std::span<const std::int8_t> qweights,
+                             const QuantParams& wparams,
+                             std::span<const std::int32_t> qbias,
+                             QTensor& out);
   QTensor fully_connected(const QTensor& in, const Layer& l,
                           std::span<const std::int8_t> qweights,
                           const QuantParams& wparams,
                           std::span<const std::int32_t> qbias,
                           const QuantParams& out_params);
+  void fully_connected_into(const QTensor& in, const Layer& l,
+                            std::span<const std::int8_t> qweights,
+                            const QuantParams& wparams,
+                            std::span<const std::int32_t> qbias, QTensor& out);
   QTensor max_pool(const QTensor& in, const Layer& l);
+  void max_pool_into(const QTensor& in, const Layer& l, QTensor& out);
   QTensor avg_pool(const QTensor& in, const Layer& l);
+  void avg_pool_into(const QTensor& in, const Layer& l, QTensor& out);
   QTensor global_avg_pool(const QTensor& in);
+  void global_avg_pool_into(const QTensor& in, QTensor& out);
   QTensor add(const QTensor& lhs, const QTensor& rhs, Activation act,
               const QuantParams& out_params);
+  void add_into(const QTensor& lhs, const QTensor& rhs, Activation act,
+                QTensor& out);
   QTensor concat(std::span<const QTensor* const> inputs,
                  const QuantParams& out_params);
+  void concat_into(std::span<const QTensor* const> inputs, QTensor& out);
   QTensor softmax(const QTensor& in, const QuantParams& out_params);
+  // Scratch-backed softmax (dequantize → softmax_f32 → quantize over arena
+  // float scratch): bit-identical to softmax_q without its allocations.
+  void softmax_into(const QTensor& in, QTensor& out);
   QTensor requantize(const QTensor& q, const QuantParams& target);
+  void requantize_into(const QTensor& q, QTensor& out);
 
   // Sub-byte activations: convolution over a 2/4-bit packed input
   // (quant/bitpack.h layout covering in_shape.elements() fields). The Fast
@@ -112,12 +144,21 @@ class KernelBackend {
   Tensor conv2d_f32(const Tensor& in, const Layer& l,
                     std::span<const float> weights,
                     std::span<const float> bias);
+  void conv2d_f32_into(const Tensor& in, const Layer& l,
+                       std::span<const float> weights,
+                       std::span<const float> bias, Tensor& out);
   Tensor depthwise_conv2d_f32(const Tensor& in, const Layer& l,
                               std::span<const float> weights,
                               std::span<const float> bias);
+  void depthwise_conv2d_f32_into(const Tensor& in, const Layer& l,
+                                 std::span<const float> weights,
+                                 std::span<const float> bias, Tensor& out);
   Tensor fully_connected_f32(const Tensor& in, const Layer& l,
                              std::span<const float> weights,
                              std::span<const float> bias);
+  void fully_connected_f32_into(const Tensor& in, const Layer& l,
+                                std::span<const float> weights,
+                                std::span<const float> bias, Tensor& out);
 
  private:
   struct WeightPanel {
@@ -136,6 +177,8 @@ class KernelBackend {
   bool cache_weight_panels_;
   ScratchArena arena_;
   std::unordered_map<const std::int8_t*, WeightPanel> panels_;
+  // AvgPool reciprocal tables keyed by window size, reused across runs.
+  std::unordered_map<int, AvgPoolMultipliers> avg_pool_tables_;
 };
 
 }  // namespace qmcu::nn::ops

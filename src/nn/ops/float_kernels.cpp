@@ -29,17 +29,24 @@ TensorShape windowed_shape(const TensorShape& in, const Layer& l,
   return {oh, ow, out_channels};
 }
 
+void require_out_shape(const Tensor& out, const TensorShape& expect,
+                       const char* what) {
+  QMCU_REQUIRE(out.shape() == expect, std::string(what) +
+                                          ": destination shape mismatch");
+}
+
 }  // namespace
 
-Tensor conv2d_f32(const Tensor& in, const Layer& l,
-                  std::span<const float> weights, std::span<const float> bias) {
+void conv2d_f32_into(const Tensor& in, const Layer& l,
+                     std::span<const float> weights,
+                     std::span<const float> bias, Tensor& out) {
   const TensorShape& is = in.shape();
   const TensorShape os = windowed_shape(is, l, l.out_channels);
   QMCU_REQUIRE(static_cast<std::int64_t>(weights.size()) ==
                    static_cast<std::int64_t>(l.out_channels) * l.kernel_h *
                        l.kernel_w * is.c,
                "conv weight count mismatch");
-  Tensor out(os);
+  require_out_shape(out, os, "conv2d_f32");
   const std::span<const float> x = in.data();
   const std::span<float> y = out.data();
 
@@ -77,18 +84,24 @@ Tensor conv2d_f32(const Tensor& in, const Layer& l,
       }
     }
   }
+}
+
+Tensor conv2d_f32(const Tensor& in, const Layer& l,
+                  std::span<const float> weights, std::span<const float> bias) {
+  Tensor out(windowed_shape(in.shape(), l, l.out_channels));
+  conv2d_f32_into(in, l, weights, bias, out);
   return out;
 }
 
-Tensor depthwise_conv2d_f32(const Tensor& in, const Layer& l,
-                            std::span<const float> weights,
-                            std::span<const float> bias) {
+void depthwise_conv2d_f32_into(const Tensor& in, const Layer& l,
+                               std::span<const float> weights,
+                               std::span<const float> bias, Tensor& out) {
   const TensorShape& is = in.shape();
   const TensorShape os = windowed_shape(is, l, is.c);
   QMCU_REQUIRE(static_cast<std::int64_t>(weights.size()) ==
                    static_cast<std::int64_t>(l.kernel_h) * l.kernel_w * is.c,
                "dwconv weight count mismatch");
-  Tensor out(os);
+  require_out_shape(out, os, "depthwise_conv2d_f32");
   const std::span<const float> x = in.data();
   const std::span<float> y = out.data();
 
@@ -119,17 +132,25 @@ Tensor depthwise_conv2d_f32(const Tensor& in, const Layer& l,
       }
     }
   }
+}
+
+Tensor depthwise_conv2d_f32(const Tensor& in, const Layer& l,
+                            std::span<const float> weights,
+                            std::span<const float> bias) {
+  Tensor out(windowed_shape(in.shape(), l, in.shape().c));
+  depthwise_conv2d_f32_into(in, l, weights, bias, out);
   return out;
 }
 
-Tensor fully_connected_f32(const Tensor& in, const Layer& l,
-                           std::span<const float> weights,
-                           std::span<const float> bias) {
+void fully_connected_f32_into(const Tensor& in, const Layer& l,
+                              std::span<const float> weights,
+                              std::span<const float> bias, Tensor& out) {
   const std::int64_t in_features = in.elements();
   QMCU_REQUIRE(static_cast<std::int64_t>(weights.size()) ==
                    in_features * l.out_channels,
                "fc weight count mismatch");
-  Tensor out(TensorShape{1, 1, l.out_channels});
+  require_out_shape(out, TensorShape{1, 1, l.out_channels},
+                    "fully_connected_f32");
   const std::span<const float> x = in.data();
   const std::span<float> y = out.data();
   for (int o = 0; o < l.out_channels; ++o) {
@@ -142,13 +163,20 @@ Tensor fully_connected_f32(const Tensor& in, const Layer& l,
     }
     y[static_cast<std::size_t>(o)] = activate(acc, l.act);
   }
+}
+
+Tensor fully_connected_f32(const Tensor& in, const Layer& l,
+                           std::span<const float> weights,
+                           std::span<const float> bias) {
+  Tensor out(TensorShape{1, 1, l.out_channels});
+  fully_connected_f32_into(in, l, weights, bias, out);
   return out;
 }
 
-Tensor max_pool_f32(const Tensor& in, const Layer& l) {
+void max_pool_f32_into(const Tensor& in, const Layer& l, Tensor& out) {
   const TensorShape& is = in.shape();
   const TensorShape os = windowed_shape(is, l, is.c);
-  Tensor out(os);
+  require_out_shape(out, os, "max_pool_f32");
   for (int oy = 0; oy < os.h; ++oy) {
     const int iy0 = oy * l.stride_h - l.pad_h;
     for (int ox = 0; ox < os.w; ++ox) {
@@ -168,13 +196,18 @@ Tensor max_pool_f32(const Tensor& in, const Layer& l) {
       }
     }
   }
+}
+
+Tensor max_pool_f32(const Tensor& in, const Layer& l) {
+  Tensor out(windowed_shape(in.shape(), l, in.shape().c));
+  max_pool_f32_into(in, l, out);
   return out;
 }
 
-Tensor avg_pool_f32(const Tensor& in, const Layer& l) {
+void avg_pool_f32_into(const Tensor& in, const Layer& l, Tensor& out) {
   const TensorShape& is = in.shape();
   const TensorShape os = windowed_shape(is, l, is.c);
-  Tensor out(os);
+  require_out_shape(out, os, "avg_pool_f32");
   for (int oy = 0; oy < os.h; ++oy) {
     const int iy0 = oy * l.stride_h - l.pad_h;
     for (int ox = 0; ox < os.w; ++ox) {
@@ -196,12 +229,17 @@ Tensor avg_pool_f32(const Tensor& in, const Layer& l) {
       }
     }
   }
+}
+
+Tensor avg_pool_f32(const Tensor& in, const Layer& l) {
+  Tensor out(windowed_shape(in.shape(), l, in.shape().c));
+  avg_pool_f32_into(in, l, out);
   return out;
 }
 
-Tensor global_avg_pool_f32(const Tensor& in) {
+void global_avg_pool_f32_into(const Tensor& in, Tensor& out) {
   const TensorShape& is = in.shape();
-  Tensor out(TensorShape{1, 1, is.c});
+  require_out_shape(out, TensorShape{1, 1, is.c}, "global_avg_pool_f32");
   const float inv = 1.0f / static_cast<float>(is.h * is.w);
   for (int c = 0; c < is.c; ++c) {
     float sum = 0.0f;
@@ -210,22 +248,33 @@ Tensor global_avg_pool_f32(const Tensor& in) {
     }
     out.at(0, 0, c) = sum * inv;
   }
+}
+
+Tensor global_avg_pool_f32(const Tensor& in) {
+  Tensor out(TensorShape{1, 1, in.shape().c});
+  global_avg_pool_f32_into(in, out);
   return out;
 }
 
-Tensor add_f32(const Tensor& lhs, const Tensor& rhs, Activation act) {
+void add_f32_into(const Tensor& lhs, const Tensor& rhs, Activation act,
+                  Tensor& out) {
   QMCU_REQUIRE(lhs.shape() == rhs.shape(), "add operand shape mismatch");
-  Tensor out(lhs.shape());
+  require_out_shape(out, lhs.shape(), "add_f32");
   const auto a = lhs.data();
   const auto b = rhs.data();
   auto y = out.data();
   for (std::size_t i = 0; i < y.size(); ++i) {
     y[i] = activate(a[i] + b[i], act);
   }
+}
+
+Tensor add_f32(const Tensor& lhs, const Tensor& rhs, Activation act) {
+  Tensor out(lhs.shape());
+  add_f32_into(lhs, rhs, act, out);
   return out;
 }
 
-Tensor concat_f32(std::span<const Tensor* const> inputs) {
+void concat_f32_into(std::span<const Tensor* const> inputs, Tensor& out) {
   QMCU_REQUIRE(!inputs.empty(), "concat needs inputs");
   const TensorShape& first = inputs[0]->shape();
   int channels = 0;
@@ -234,7 +283,8 @@ Tensor concat_f32(std::span<const Tensor* const> inputs) {
                  "concat inputs must agree spatially");
     channels += t->shape().c;
   }
-  Tensor out(TensorShape{first.h, first.w, channels});
+  require_out_shape(out, TensorShape{first.h, first.w, channels},
+                    "concat_f32");
   for (int y = 0; y < first.h; ++y) {
     for (int x = 0; x < first.w; ++x) {
       int co = 0;
@@ -245,11 +295,20 @@ Tensor concat_f32(std::span<const Tensor* const> inputs) {
       }
     }
   }
+}
+
+Tensor concat_f32(std::span<const Tensor* const> inputs) {
+  QMCU_REQUIRE(!inputs.empty(), "concat needs inputs");
+  const TensorShape& first = inputs[0]->shape();
+  int channels = 0;
+  for (const Tensor* t : inputs) channels += t->shape().c;
+  Tensor out(TensorShape{first.h, first.w, channels});
+  concat_f32_into(inputs, out);
   return out;
 }
 
-Tensor softmax_f32(const Tensor& in) {
-  Tensor out(in.shape());
+void softmax_f32_into(const Tensor& in, Tensor& out) {
+  require_out_shape(out, in.shape(), "softmax_f32");
   const auto x = in.data();
   auto y = out.data();
   const float maxv = *std::max_element(x.begin(), x.end());
@@ -260,6 +319,11 @@ Tensor softmax_f32(const Tensor& in) {
   }
   const float inv = 1.0f / sum;
   for (float& v : y) v *= inv;
+}
+
+Tensor softmax_f32(const Tensor& in) {
+  Tensor out(in.shape());
+  softmax_f32_into(in, out);
   return out;
 }
 

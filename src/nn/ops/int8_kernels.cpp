@@ -64,14 +64,14 @@ std::int32_t AvgPoolMultipliers::average(std::int32_t sum, int count) const {
   return per_count_[static_cast<std::size_t>(count - 1)].apply(sum);
 }
 
-QTensor conv2d_q(const QTensor& in, const Layer& l,
-                 std::span<const std::int8_t> qweights,
-                 const QuantParams& wparams,
-                 std::span<const std::int32_t> qbias,
-                 const QuantParams& out_params) {
+void conv2d_q_into(const QTensor& in, const Layer& l,
+                   std::span<const std::int8_t> qweights,
+                   const QuantParams& wparams,
+                   std::span<const std::int32_t> qbias, QTensor& out) {
   const TensorShape& is = in.shape();
   const TensorShape os = conv_output_shape(is, l, l.out_channels);
-  QTensor out(os, out_params);
+  QMCU_REQUIRE(out.shape() == os, "conv2d_q: destination shape mismatch");
+  const QuantParams& out_params = out.params();
   const auto& ip = in.params();
   const FixedPointMultiplier m = quantize_multiplier(
       static_cast<double>(ip.scale) * wparams.scale / out_params.scale);
@@ -120,17 +120,28 @@ QTensor conv2d_q(const QTensor& in, const Layer& l,
       }
     }
   }
+}
+
+QTensor conv2d_q(const QTensor& in, const Layer& l,
+                 std::span<const std::int8_t> qweights,
+                 const QuantParams& wparams,
+                 std::span<const std::int32_t> qbias,
+                 const QuantParams& out_params) {
+  QTensor out(conv_output_shape(in.shape(), l, l.out_channels), out_params);
+  conv2d_q_into(in, l, qweights, wparams, qbias, out);
   return out;
 }
 
-QTensor depthwise_conv2d_q(const QTensor& in, const Layer& l,
-                           std::span<const std::int8_t> qweights,
-                           const QuantParams& wparams,
-                           std::span<const std::int32_t> qbias,
-                           const QuantParams& out_params) {
+void depthwise_conv2d_q_into(const QTensor& in, const Layer& l,
+                             std::span<const std::int8_t> qweights,
+                             const QuantParams& wparams,
+                             std::span<const std::int32_t> qbias,
+                             QTensor& out) {
   const TensorShape& is = in.shape();
   const TensorShape os = conv_output_shape(is, l, is.c);
-  QTensor out(os, out_params);
+  QMCU_REQUIRE(out.shape() == os,
+               "depthwise_conv2d_q: destination shape mismatch");
+  const QuantParams& out_params = out.params();
   const auto& ip = in.params();
   const FixedPointMultiplier m = quantize_multiplier(
       static_cast<double>(ip.scale) * wparams.scale / out_params.scale);
@@ -175,16 +186,27 @@ QTensor depthwise_conv2d_q(const QTensor& in, const Layer& l,
       }
     }
   }
+}
+
+QTensor depthwise_conv2d_q(const QTensor& in, const Layer& l,
+                           std::span<const std::int8_t> qweights,
+                           const QuantParams& wparams,
+                           std::span<const std::int32_t> qbias,
+                           const QuantParams& out_params) {
+  QTensor out(conv_output_shape(in.shape(), l, in.shape().c), out_params);
+  depthwise_conv2d_q_into(in, l, qweights, wparams, qbias, out);
   return out;
 }
 
-QTensor fully_connected_q(const QTensor& in, const Layer& l,
-                          std::span<const std::int8_t> qweights,
-                          const QuantParams& wparams,
-                          std::span<const std::int32_t> qbias,
-                          const QuantParams& out_params) {
+void fully_connected_q_into(const QTensor& in, const Layer& l,
+                            std::span<const std::int8_t> qweights,
+                            const QuantParams& wparams,
+                            std::span<const std::int32_t> qbias,
+                            QTensor& out) {
   const std::int64_t in_features = in.elements();
-  QTensor out(TensorShape{1, 1, l.out_channels}, out_params);
+  QMCU_REQUIRE(out.shape() == TensorShape(1, 1, l.out_channels),
+               "fully_connected_q: destination shape mismatch");
+  const QuantParams& out_params = out.params();
   const auto& ip = in.params();
   const FixedPointMultiplier m = quantize_multiplier(
       static_cast<double>(ip.scale) * wparams.scale / out_params.scale);
@@ -205,13 +227,24 @@ QTensor fully_connected_q(const QTensor& in, const Layer& l,
         apply_multiplier(acc, m) + out_params.zero_point, act_lo, act_hi);
     y[static_cast<std::size_t>(o)] = static_cast<std::int8_t>(q);
   }
+}
+
+QTensor fully_connected_q(const QTensor& in, const Layer& l,
+                          std::span<const std::int8_t> qweights,
+                          const QuantParams& wparams,
+                          std::span<const std::int32_t> qbias,
+                          const QuantParams& out_params) {
+  QTensor out(TensorShape{1, 1, l.out_channels}, out_params);
+  fully_connected_q_into(in, l, qweights, wparams, qbias, out);
   return out;
 }
 
-QTensor max_pool_q(const QTensor& in, const Layer& l) {
+void max_pool_q_into(const QTensor& in, const Layer& l, QTensor& out) {
   const TensorShape& is = in.shape();
   const TensorShape os = conv_output_shape(is, l, is.c);
-  QTensor out(os, in.params());
+  QMCU_REQUIRE(out.shape() == os, "max_pool_q: destination shape mismatch");
+  QMCU_REQUIRE(out.params() == in.params(),
+               "max_pool_q: pools keep the input params");
   const std::int8_t* x = in.data().data();
   std::int8_t* y = out.data().data();
   const int c = is.c;
@@ -238,14 +271,26 @@ QTensor max_pool_q(const QTensor& in, const Layer& l) {
       }
     }
   }
+}
+
+QTensor max_pool_q(const QTensor& in, const Layer& l) {
+  QTensor out(conv_output_shape(in.shape(), l, in.shape().c), in.params());
+  max_pool_q_into(in, l, out);
   return out;
 }
 
-QTensor avg_pool_q(const QTensor& in, const Layer& l) {
+void avg_pool_q_into(const QTensor& in, const Layer& l, QTensor& out) {
+  const AvgPoolMultipliers avg(l.kernel_h * l.kernel_w);
+  avg_pool_q_into(in, l, avg, out);
+}
+
+void avg_pool_q_into(const QTensor& in, const Layer& l,
+                     const AvgPoolMultipliers& avg, QTensor& out) {
   const TensorShape& is = in.shape();
   const TensorShape os = conv_output_shape(is, l, is.c);
-  QTensor out(os, in.params());
-  const AvgPoolMultipliers avg(l.kernel_h * l.kernel_w);
+  QMCU_REQUIRE(out.shape() == os, "avg_pool_q: destination shape mismatch");
+  QMCU_REQUIRE(out.params() == in.params(),
+               "avg_pool_q: pools keep the input params");
   const std::int32_t qmin = in.params().qmin();
   const std::int32_t qmax = in.params().qmax();
   const std::int8_t* x = in.data().data();
@@ -281,17 +326,33 @@ QTensor avg_pool_q(const QTensor& in, const Layer& l) {
       }
     }
   }
+}
+
+QTensor avg_pool_q(const QTensor& in, const Layer& l) {
+  QTensor out(conv_output_shape(in.shape(), l, in.shape().c), in.params());
+  avg_pool_q_into(in, l, out);
   return out;
 }
 
-QTensor global_avg_pool_q(const QTensor& in) {
+void global_avg_pool_q_into(const QTensor& in, QTensor& out) {
+  std::vector<std::int32_t> sums(static_cast<std::size_t>(in.shape().c), 0);
+  global_avg_pool_q_into(in, sums, out);
+}
+
+void global_avg_pool_q_into(const QTensor& in, std::span<std::int32_t> sums,
+                            QTensor& out) {
   const TensorShape& is = in.shape();
-  QTensor out(TensorShape{1, 1, is.c}, in.params());
+  QMCU_REQUIRE(out.shape() == TensorShape(1, 1, is.c),
+               "global_avg_pool_q: destination shape mismatch");
+  QMCU_REQUIRE(out.params() == in.params(),
+               "global_avg_pool_q: pools keep the input params");
+  QMCU_REQUIRE(static_cast<std::int64_t>(sums.size()) >= is.c,
+               "global_avg_pool_q: sums scratch too small");
   const int pixels = is.h * is.w;
   const ElementRequantizer mean(1.0 / pixels, 128 * pixels);
   const std::int32_t qmin = in.params().qmin();
   const std::int32_t qmax = in.params().qmax();
-  std::vector<std::int32_t> sums(static_cast<std::size_t>(is.c), 0);
+  std::fill(sums.begin(), sums.begin() + is.c, 0);
   const std::int8_t* p = in.data().data();
   for (int i = 0; i < pixels; ++i) {
     for (int ch = 0; ch < is.c; ++ch) {
@@ -303,13 +364,20 @@ QTensor global_avg_pool_q(const QTensor& in) {
     out.at(0, 0, ch) = static_cast<std::int8_t>(clamp_to(
         mean.apply(sums[static_cast<std::size_t>(ch)]), qmin, qmax));
   }
+}
+
+QTensor global_avg_pool_q(const QTensor& in) {
+  QTensor out(TensorShape{1, 1, in.shape().c}, in.params());
+  global_avg_pool_q_into(in, out);
   return out;
 }
 
-QTensor add_q(const QTensor& lhs, const QTensor& rhs, Activation act,
-              const QuantParams& out_params) {
+void add_q_into(const QTensor& lhs, const QTensor& rhs, Activation act,
+                QTensor& out) {
   QMCU_REQUIRE(lhs.shape() == rhs.shape(), "add operand shape mismatch");
-  QTensor out(lhs.shape(), out_params);
+  QMCU_REQUIRE(out.shape() == lhs.shape(),
+               "add_q: destination shape mismatch");
+  const QuantParams& out_params = out.params();
   const auto& lp = lhs.params();
   const auto& rp = rhs.params();
   const auto [act_lo, act_hi] = activation_range(act, out_params);
@@ -341,11 +409,16 @@ QTensor add_q(const QTensor& lhs, const QTensor& rhs, Activation act,
         apply_multiplier(sum, mo) + out_params.zero_point;
     y[i] = static_cast<std::int8_t>(clamp_to(q, act_lo, act_hi));
   }
+}
+
+QTensor add_q(const QTensor& lhs, const QTensor& rhs, Activation act,
+              const QuantParams& out_params) {
+  QTensor out(lhs.shape(), out_params);
+  add_q_into(lhs, rhs, act, out);
   return out;
 }
 
-QTensor concat_q(std::span<const QTensor* const> inputs,
-                 const QuantParams& out_params) {
+void concat_q_into(std::span<const QTensor* const> inputs, QTensor& out) {
   QMCU_REQUIRE(!inputs.empty(), "concat needs inputs");
   const TensorShape& first = inputs[0]->shape();
   int channels = 0;
@@ -354,7 +427,9 @@ QTensor concat_q(std::span<const QTensor* const> inputs,
                  "concat inputs must agree spatially");
     channels += t->shape().c;
   }
-  QTensor out(TensorShape{first.h, first.w, channels}, out_params);
+  QMCU_REQUIRE(out.shape() == TensorShape(first.h, first.w, channels),
+               "concat_q: destination shape mismatch");
+  const QuantParams& out_params = out.params();
   const std::int32_t qmin = out_params.qmin();
   const std::int32_t qmax = out_params.qmax();
   std::int8_t* y = out.data().data();
@@ -388,6 +463,16 @@ QTensor concat_q(std::span<const QTensor* const> inputs,
     }
     co += tc;
   }
+}
+
+QTensor concat_q(std::span<const QTensor* const> inputs,
+                 const QuantParams& out_params) {
+  QMCU_REQUIRE(!inputs.empty(), "concat needs inputs");
+  const TensorShape& first = inputs[0]->shape();
+  int channels = 0;
+  for (const QTensor* t : inputs) channels += t->shape().c;
+  QTensor out(TensorShape{first.h, first.w, channels}, out_params);
+  concat_q_into(inputs, out);
   return out;
 }
 
@@ -397,22 +482,33 @@ QTensor softmax_q(const QTensor& in, const QuantParams& out_params) {
   return quantize(soft, out_params);
 }
 
-QTensor requantize_q(const QTensor& q, const QuantParams& target) {
-  if (q.params() == target) return q;
-  QTensor out(q.shape(), target);
+void requantize_q_into(const QTensor& q, QTensor& out) {
+  QMCU_REQUIRE(out.shape() == q.shape(),
+               "requantize_q: destination shape mismatch");
+  const QuantParams& target = out.params();
+  const auto src = q.data();
+  auto dst = out.data();
+  if (q.params() == target) {
+    std::memcpy(dst.data(), src.data(), src.size());
+    return;
+  }
   const auto& p = q.params();
   const ElementRequantizer r(static_cast<double>(p.scale) /
                              static_cast<double>(target.scale));
   const std::int32_t qmin = target.qmin();
   const std::int32_t qmax = target.qmax();
-  const auto src = q.data();
-  auto dst = out.data();
   for (std::size_t i = 0; i < src.size(); ++i) {
     const std::int32_t v =
         r.apply(static_cast<std::int32_t>(src[i]) - p.zero_point) +
         target.zero_point;
     dst[i] = static_cast<std::int8_t>(clamp_to(v, qmin, qmax));
   }
+}
+
+QTensor requantize_q(const QTensor& q, const QuantParams& target) {
+  if (q.params() == target) return q;
+  QTensor out(q.shape(), target);
+  requantize_q_into(q, out);
   return out;
 }
 

@@ -6,23 +6,35 @@ namespace qmcu::nn {
 
 QTensor quantize(const Tensor& t, const QuantParams& params) {
   QTensor out(t.shape(), params);
+  quantize_into(t, out);
+  return out;
+}
+
+void quantize_into(const Tensor& t, QTensor& out) {
+  QMCU_REQUIRE(out.shape() == t.shape(), "quantize destination shape mismatch");
   const auto src = t.data();
   auto dst = out.data();
+  const QuantParams& params = out.params();
   for (std::size_t i = 0; i < src.size(); ++i) {
     dst[i] = static_cast<std::int8_t>(params.quantize(src[i]));
   }
-  return out;
 }
 
 Tensor dequantize(const QTensor& q) {
   Tensor out(q.shape());
+  dequantize_into(q, out);
+  return out;
+}
+
+void dequantize_into(const QTensor& q, Tensor& out) {
+  QMCU_REQUIRE(out.shape() == q.shape(),
+               "dequantize destination shape mismatch");
   const auto src = q.data();
   auto dst = out.data();
   const auto& p = q.params();
   for (std::size_t i = 0; i < src.size(); ++i) {
     dst[i] = p.dequantize(src[i]);
   }
-  return out;
 }
 
 Tensor fake_quantize(const Tensor& t, const QuantParams& params) {

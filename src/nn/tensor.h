@@ -1,4 +1,4 @@
-// tensor.h — owning float and quantized tensors (NHWC, batch 1).
+// tensor.h — float and quantized tensors (NHWC, batch 1).
 //
 // Two concrete tensor types keep the hot kernel loops monomorphic:
 //   Tensor   — float reference data (calibration, golden outputs)
@@ -8,6 +8,13 @@
 //              kernels compute on after unpacking — while the *accounted*
 //              footprint (storage_bytes) reflects the packed size. The
 //              packed wire format itself lives in quant/bitpack.h.
+//
+// Both types either own their storage (the default) or *borrow* it from a
+// caller-provided span — the form the compiled arena executors use to bind
+// feature maps onto planned tensor-arena offsets without per-layer heap
+// allocation. Borrowed tensors behave identically through the public API;
+// copying any tensor always deep-copies into fresh owned storage, so a
+// value escaping an arena (e.g. a returned network output) is self-owned.
 #pragma once
 
 #include <cstdint>
@@ -24,33 +31,82 @@ class Tensor {
  public:
   Tensor() = default;
   explicit Tensor(TensorShape shape)
-      : shape_(shape), data_(static_cast<std::size_t>(shape.elements()), 0.0f) {
+      : shape_(shape),
+        owned_(static_cast<std::size_t>(shape.elements()), 0.0f),
+        view_(owned_) {
     QMCU_REQUIRE(shape.valid(), "tensor shape must be positive");
   }
   Tensor(TensorShape shape, std::vector<float> data)
-      : shape_(shape), data_(std::move(data)) {
+      : shape_(shape), owned_(std::move(data)), view_(owned_) {
     QMCU_REQUIRE(shape.valid(), "tensor shape must be positive");
     QMCU_REQUIRE(
-        static_cast<std::int64_t>(data_.size()) == shape.elements(),
+        static_cast<std::int64_t>(owned_.size()) == shape.elements(),
         "data size must match shape");
+  }
+  // Borrowed storage: the tensor aliases `storage` (not owned, not resized).
+  // The caller guarantees `storage` outlives every read/write through this
+  // view; copying the view deep-copies into owned storage.
+  Tensor(TensorShape shape, std::span<float> storage)
+      : shape_(shape), view_(storage) {
+    QMCU_REQUIRE(shape.valid(), "tensor shape must be positive");
+    QMCU_REQUIRE(
+        static_cast<std::int64_t>(storage.size()) == shape.elements(),
+        "storage size must match shape");
+  }
+
+  Tensor(const Tensor& other)
+      : shape_(other.shape_),
+        owned_(other.view_.begin(), other.view_.end()),
+        view_(owned_) {}
+  Tensor& operator=(const Tensor& other) {
+    if (this != &other) {
+      shape_ = other.shape_;
+      owned_.assign(other.view_.begin(), other.view_.end());
+      view_ = owned_;
+    }
+    return *this;
+  }
+  // Moving a vector keeps its heap buffer, so the view stays valid across
+  // the transfer; the source is left empty so it cannot alias storage it
+  // no longer owns.
+  Tensor(Tensor&& other) noexcept
+      : shape_(other.shape_),
+        owned_(std::move(other.owned_)),
+        view_(other.view_) {
+    other.shape_ = {};
+    other.view_ = {};
+  }
+  Tensor& operator=(Tensor&& other) noexcept {
+    if (this != &other) {
+      shape_ = other.shape_;
+      owned_ = std::move(other.owned_);
+      view_ = other.view_;
+      other.shape_ = {};
+      other.view_ = {};
+    }
+    return *this;
   }
 
   [[nodiscard]] const TensorShape& shape() const { return shape_; }
-  [[nodiscard]] std::span<const float> data() const { return data_; }
-  [[nodiscard]] std::span<float> data() { return data_; }
+  [[nodiscard]] std::span<const float> data() const { return view_; }
+  [[nodiscard]] std::span<float> data() { return view_; }
+  [[nodiscard]] bool owns_storage() const {
+    return view_.empty() || view_.data() == owned_.data();
+  }
 
   [[nodiscard]] float at(int y, int x, int c) const {
-    return data_[static_cast<std::size_t>(flat_index(shape_, y, x, c))];
+    return view_[static_cast<std::size_t>(flat_index(shape_, y, x, c))];
   }
   [[nodiscard]] float& at(int y, int x, int c) {
-    return data_[static_cast<std::size_t>(flat_index(shape_, y, x, c))];
+    return view_[static_cast<std::size_t>(flat_index(shape_, y, x, c))];
   }
 
   [[nodiscard]] std::int64_t elements() const { return shape_.elements(); }
 
  private:
   TensorShape shape_{};
-  std::vector<float> data_;
+  std::vector<float> owned_;
+  std::span<float> view_;
 };
 
 class QTensor {
@@ -59,20 +115,67 @@ class QTensor {
   QTensor(TensorShape shape, QuantParams params)
       : shape_(shape),
         params_(params),
-        data_(static_cast<std::size_t>(shape.elements()), 0) {
+        owned_(static_cast<std::size_t>(shape.elements()), 0),
+        view_(owned_) {
     QMCU_REQUIRE(shape.valid(), "tensor shape must be positive");
+  }
+  // Borrowed storage (see Tensor): binds the quantized view onto
+  // caller-managed memory, e.g. a planned tensor-arena slot.
+  QTensor(TensorShape shape, QuantParams params, std::span<std::int8_t> storage)
+      : shape_(shape), params_(params), view_(storage) {
+    QMCU_REQUIRE(shape.valid(), "tensor shape must be positive");
+    QMCU_REQUIRE(
+        static_cast<std::int64_t>(storage.size()) == shape.elements(),
+        "storage size must match shape");
+  }
+
+  QTensor(const QTensor& other)
+      : shape_(other.shape_),
+        params_(other.params_),
+        owned_(other.view_.begin(), other.view_.end()),
+        view_(owned_) {}
+  QTensor& operator=(const QTensor& other) {
+    if (this != &other) {
+      shape_ = other.shape_;
+      params_ = other.params_;
+      owned_.assign(other.view_.begin(), other.view_.end());
+      view_ = owned_;
+    }
+    return *this;
+  }
+  QTensor(QTensor&& other) noexcept
+      : shape_(other.shape_),
+        params_(other.params_),
+        owned_(std::move(other.owned_)),
+        view_(other.view_) {
+    other.shape_ = {};
+    other.view_ = {};
+  }
+  QTensor& operator=(QTensor&& other) noexcept {
+    if (this != &other) {
+      shape_ = other.shape_;
+      params_ = other.params_;
+      owned_ = std::move(other.owned_);
+      view_ = other.view_;
+      other.shape_ = {};
+      other.view_ = {};
+    }
+    return *this;
   }
 
   [[nodiscard]] const TensorShape& shape() const { return shape_; }
   [[nodiscard]] const QuantParams& params() const { return params_; }
-  [[nodiscard]] std::span<const std::int8_t> data() const { return data_; }
-  [[nodiscard]] std::span<std::int8_t> data() { return data_; }
+  [[nodiscard]] std::span<const std::int8_t> data() const { return view_; }
+  [[nodiscard]] std::span<std::int8_t> data() { return view_; }
+  [[nodiscard]] bool owns_storage() const {
+    return view_.empty() || view_.data() == owned_.data();
+  }
 
   [[nodiscard]] std::int8_t at(int y, int x, int c) const {
-    return data_[static_cast<std::size_t>(flat_index(shape_, y, x, c))];
+    return view_[static_cast<std::size_t>(flat_index(shape_, y, x, c))];
   }
   [[nodiscard]] std::int8_t& at(int y, int x, int c) {
-    return data_[static_cast<std::size_t>(flat_index(shape_, y, x, c))];
+    return view_[static_cast<std::size_t>(flat_index(shape_, y, x, c))];
   }
 
   // Footprint of this tensor once bit-packed for storage on the MCU.
@@ -85,14 +188,19 @@ class QTensor {
  private:
   TensorShape shape_{};
   QuantParams params_{};
-  std::vector<std::int8_t> data_;
+  std::vector<std::int8_t> owned_;
+  std::span<std::int8_t> view_;
 };
 
 // Quantizes every element of `t` with `params` (saturating).
 QTensor quantize(const Tensor& t, const QuantParams& params);
 
+// Same, writing into a pre-shaped destination (its params are the target).
+void quantize_into(const Tensor& t, QTensor& out);
+
 // Dequantizes `q` back to float.
 Tensor dequantize(const QTensor& q);
+void dequantize_into(const QTensor& q, Tensor& out);
 
 // Quantize-dequantize round trip: the float tensor a b-bit deployment would
 // effectively compute on. Used by the entropy/accuracy analyses.

@@ -1,0 +1,536 @@
+#include "patch/compiled_patch_model.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "nn/executor.h"
+#include "nn/ops/float_kernels.h"
+#include "nn/ops/requantize.h"
+#include "patch/patch_executor.h"
+#include "patch/patch_quant_executor.h"
+#include "patch/region_pool.h"
+
+namespace qmcu::patch {
+
+namespace {
+
+using nn::ArenaRequest;
+
+// Branch step liveness is identical across branches (same layer structure),
+// so the unified timeline is: step indices [0, S) for the branch phase
+// (slots reused branch after branch), then one step per tail layer.
+struct PatchTimeline {
+  std::vector<ArenaRequest> requests;
+  int num_steps = 0;        // S
+  int assembled_index = 0;  // request index of the reassembled cut layer
+};
+
+PatchTimeline build_timeline(const nn::Graph& g, const PatchPlan& plan,
+                             std::int64_t elem_bytes) {
+  PatchTimeline t;
+  const PatchBranch& proto = plan.branches.front();
+  t.num_steps = static_cast<int>(proto.steps.size());
+  const int split = plan.spec.split_layer;
+  const int tail_count = g.size() - split - 1;
+
+  // Branch slots: the largest region any branch computes at each step.
+  for (int s = 0; s < t.num_steps; ++s) {
+    std::int64_t size = 0;
+    for (const PatchBranch& b : plan.branches) {
+      const BranchStep& step = b.steps[static_cast<std::size_t>(s)];
+      const std::int64_t c = g.shape(step.layer_id).c;
+      size = std::max(size, step.out_region.area() * c * elem_bytes);
+    }
+    t.requests.push_back({size, s, branch_last_use(g, proto, s)});
+  }
+  // Tail slots over layer-based lifetimes, shifted onto the timeline.
+  for (int id = split + 1; id < g.size(); ++id) {
+    t.requests.push_back({g.shape(id).elements() * elem_bytes,
+                          t.num_steps + (id - split - 1),
+                          t.num_steps + (nn::last_use_step(g, id) - split - 1)});
+  }
+  // The reassembled cut-layer map: written branch by branch, read by the
+  // tail — live from the first branch step through its last tail consumer.
+  const int last_use = nn::last_use_step(g, split);
+  const int assembled_last = last_use > split
+                                 ? t.num_steps + (last_use - split - 1)
+                                 : std::max(t.num_steps - 1, 0);
+  t.assembled_index = t.num_steps + tail_count;
+  t.requests.push_back(
+      {g.shape(split).elements() * elem_bytes, 0, assembled_last});
+  return t;
+}
+
+nn::TensorShape region_shape(const BranchStep& step, int channels) {
+  return {step.out_region.y.size(), step.out_region.x.size(), channels};
+}
+
+nn::Tensor borrow_f32(nn::ops::ScratchArena& a, const nn::TensorShape& s) {
+  auto buf = a.f32(static_cast<std::size_t>(s.elements()));
+  return nn::Tensor(s, std::span<float>(buf.data(), buf.size()));
+}
+
+nn::QTensor borrow_q(nn::ops::ScratchArena& a, const nn::TensorShape& s,
+                     const nn::QuantParams& p) {
+  auto buf = a.i8(static_cast<std::size_t>(s.elements()));
+  return nn::QTensor(s, p, std::span<std::int8_t>(buf.data(), buf.size()));
+}
+
+// Writes `tile` (covering `r` of the assembled map) into the assembled
+// buffer, rescaling into its params — the same values the legacy path
+// produces via requantize_q + per-element scatter.
+void requantize_region_into(const nn::QTensor& tile, const Region& r,
+                            nn::QTensor& assembled) {
+  const nn::QuantParams& p = tile.params();
+  const nn::QuantParams& t = assembled.params();
+  const int c = assembled.shape().c;
+  if (p == t) {
+    for (int y = r.y.begin; y < r.y.end; ++y) {
+      for (int x = r.x.begin; x < r.x.end; ++x) {
+        std::memcpy(
+            assembled.data().data() +
+                nn::flat_index(assembled.shape(), y, x, 0),
+            tile.data().data() +
+                nn::flat_index(tile.shape(), y - r.y.begin, x - r.x.begin, 0),
+            static_cast<std::size_t>(c));
+      }
+    }
+    return;
+  }
+  const nn::ops::ElementRequantizer rq(static_cast<double>(p.scale) /
+                                       static_cast<double>(t.scale));
+  const std::int32_t qmin = t.qmin();
+  const std::int32_t qmax = t.qmax();
+  for (int y = r.y.begin; y < r.y.end; ++y) {
+    for (int x = r.x.begin; x < r.x.end; ++x) {
+      for (int ch = 0; ch < c; ++ch) {
+        const std::int32_t v =
+            rq.apply(static_cast<std::int32_t>(
+                         tile.at(y - r.y.begin, x - r.x.begin, ch)) -
+                     p.zero_point) +
+            t.zero_point;
+        assembled.at(y, x, ch) = static_cast<std::int8_t>(
+            std::clamp(v, qmin, qmax));
+      }
+    }
+  }
+}
+
+void copy_region_into(const nn::Tensor& tile, const Region& r,
+                      nn::Tensor& assembled) {
+  const int c = assembled.shape().c;
+  for (int y = r.y.begin; y < r.y.end; ++y) {
+    for (int x = r.x.begin; x < r.x.end; ++x) {
+      std::memcpy(
+          assembled.data().data() + nn::flat_index(assembled.shape(), y, x, 0),
+          tile.data().data() +
+              nn::flat_index(tile.shape(), y - r.y.begin, x - r.x.begin, 0),
+          static_cast<std::size_t>(c) * sizeof(float));
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<std::vector<std::int32_t>>> build_branch_bias(
+    const nn::Graph& g, const PatchPlan& plan,
+    std::span<const BranchQuantConfig> branch_cfgs,
+    const nn::QuantizedParameters& params) {
+  std::vector<std::vector<std::vector<std::int32_t>>> branch_bias;
+  branch_bias.resize(branch_cfgs.size());
+  for (std::size_t b = 0; b < branch_cfgs.size(); ++b) {
+    const PatchBranch& branch = plan.branches[b];
+    branch_bias[b].resize(branch.steps.size());
+    for (std::size_t s = 0; s < branch.steps.size(); ++s) {
+      const int id = branch.steps[s].layer_id;
+      const nn::Layer& l = g.layer(id);
+      if (!nn::is_mac_op(l.kind) || g.bias(id).empty()) continue;
+      const int p = branch.step_of(l.inputs[0]);
+      QMCU_ENSURE(p >= 0, "MAC step without in-branch producer");
+      branch_bias[b][s] = nn::ops::quantize_bias(
+          g.bias(id),
+          branch_cfgs[b].per_step[static_cast<std::size_t>(p)].scale,
+          params.weights[static_cast<std::size_t>(id)].params.scale);
+    }
+  }
+  return branch_bias;
+}
+
+// --- float -----------------------------------------------------------------
+
+CompiledPatchModel::CompiledPatchModel(const nn::Graph& g, PatchPlan plan,
+                                       nn::ops::KernelTier tier)
+    : graph_(&g), plan_(std::move(plan)), backend_(tier) {
+  QMCU_REQUIRE(!plan_.branches.empty(), "plan has no branches");
+  const PatchTimeline t = build_timeline(
+      g, plan_, static_cast<std::int64_t>(sizeof(float)));
+  num_steps_ = t.num_steps;
+  assembled_slot_ = t.assembled_index;
+  aplan_ = nn::ArenaPlanner().plan(t.requests);
+}
+
+std::int64_t CompiledPatchModel::scratch_bytes() const {
+  return static_cast<std::int64_t>(crops_.footprint_bytes() +
+                                   backend_.arena().footprint_bytes());
+}
+
+nn::Tensor CompiledPatchModel::run(const nn::Tensor& input) const {
+  const nn::Graph& g = *graph_;
+  const int split = plan_.spec.split_layer;
+  QMCU_REQUIRE(input.shape() == g.shape(g.inputs().front()),
+               "input shape does not match graph input");
+  if (static_cast<std::int64_t>(arena_.size()) < aplan_.peak_bytes) {
+    arena_.resize(static_cast<std::size_t>(aplan_.peak_bytes));
+  }
+  nn::check_arena(arena_, aplan_.peak_bytes,alignof(float));
+  measured_ = 0;
+  const auto bind_f32 = [&](int slot_index,
+                            const nn::TensorShape& shape) -> nn::Tensor {
+    const nn::ArenaSlot& slot =
+        aplan_.slots[static_cast<std::size_t>(slot_index)];
+    const std::int64_t bytes =
+        shape.elements() * static_cast<std::int64_t>(sizeof(float));
+    QMCU_ENSURE(bytes <= slot.size, "bound view exceeds its arena slot");
+    // Actual bytes written through this view, not the planned slot size:
+    // the high-water is a measurement, and it reaches the planned peak
+    // because the largest branch fully exercises its slot.
+    measured_ = std::max(measured_, slot.offset + bytes);
+    auto* base = reinterpret_cast<float*>(arena_.data() + slot.offset);
+    return nn::Tensor(shape,
+                      std::span<float>(base, static_cast<std::size_t>(
+                                                 shape.elements())));
+  };
+
+  nn::Tensor assembled = bind_f32(assembled_slot_, g.shape(split));
+  step_views_.resize(static_cast<std::size_t>(num_steps_));
+
+  for (const PatchBranch& branch : plan_.branches) {
+    for (int s = 0; s < num_steps_; ++s) {
+      const BranchStep& step = branch.steps[static_cast<std::size_t>(s)];
+      const nn::Layer& layer = g.layer(step.layer_id);
+      nn::Tensor out =
+          bind_f32(s, region_shape(step, g.shape(step.layer_id).c));
+      crops_.reset();
+
+      const auto producer_crop = [&](int input_id,
+                                     const Region& want) -> nn::Tensor {
+        const int p = branch.step_of(input_id);
+        QMCU_ENSURE(p >= 0 && p < s, "producer step missing from branch");
+        const BranchStep& ps = branch.steps[static_cast<std::size_t>(p)];
+        nn::Tensor crop = borrow_f32(
+            crops_, nn::TensorShape{want.y.size(), want.x.size(),
+                                    g.shape(input_id).c});
+        crop_from_region_into(step_views_[static_cast<std::size_t>(p)],
+                              ps.out_region, want, g.shape(input_id), crop);
+        return crop;
+      };
+
+      switch (layer.kind) {
+        case nn::OpKind::Input:
+          crop_from_region_into(input, full_region(input.shape()),
+                                step.out_region, input.shape(), out);
+          break;
+        case nn::OpKind::Conv2D:
+        case nn::OpKind::DepthwiseConv2D: {
+          // Zero padding is exactly what the unclamped crop materialises,
+          // so run the kernel pad-free on the region tensor.
+          const nn::Tensor padded =
+              producer_crop(layer.inputs[0], step.in_region);
+          nn::Layer local = layer;
+          local.pad_h = local.pad_w = 0;
+          if (layer.kind == nn::OpKind::Conv2D) {
+            backend_.conv2d_f32_into(padded, local, g.weights(step.layer_id),
+                                     g.bias(step.layer_id), out);
+          } else {
+            backend_.depthwise_conv2d_f32_into(padded, local,
+                                               g.weights(step.layer_id),
+                                               g.bias(step.layer_id), out);
+          }
+          break;
+        }
+        case nn::OpKind::MaxPool:
+        case nn::OpKind::AvgPool: {
+          const int p = branch.step_of(layer.inputs[0]);
+          QMCU_ENSURE(p >= 0, "producer step missing from branch");
+          pool_region_f32_into(
+              step_views_[static_cast<std::size_t>(p)],
+              branch.steps[static_cast<std::size_t>(p)].out_region, layer,
+              step.out_region, g.shape(layer.inputs[0]), out);
+          break;
+        }
+        case nn::OpKind::Add: {
+          const nn::Tensor a = producer_crop(layer.inputs[0], step.out_region);
+          const nn::Tensor b = producer_crop(layer.inputs[1], step.out_region);
+          nn::ops::add_f32_into(a, b, layer.act, out);
+          break;
+        }
+        case nn::OpKind::Concat: {
+          std::vector<nn::Tensor> cropped;
+          cropped.reserve(layer.inputs.size());
+          for (int in : layer.inputs) {
+            cropped.push_back(producer_crop(in, step.out_region));
+          }
+          std::vector<const nn::Tensor*> ptrs;
+          ptrs.reserve(cropped.size());
+          for (const nn::Tensor& t : cropped) ptrs.push_back(&t);
+          nn::ops::concat_f32_into(ptrs, out);
+          break;
+        }
+        default:
+          QMCU_REQUIRE(false,
+                       "op kind not supported inside a patch stage: " +
+                           std::string(nn::to_string(layer.kind)));
+      }
+      step_views_[static_cast<std::size_t>(s)] = std::move(out);
+    }
+    const BranchStep& last = branch.steps.back();
+    QMCU_ENSURE(last.layer_id == split, "branch must end at the cut layer");
+    copy_region_into(step_views_[static_cast<std::size_t>(num_steps_ - 1)],
+                     last.out_region, assembled);
+  }
+
+  // Layer-based tail against the same arena.
+  tail_memo_.resize(static_cast<std::size_t>(g.size()));
+  tail_memo_[static_cast<std::size_t>(split)] = bind_f32(
+      assembled_slot_, g.shape(split));
+  for (int id = split + 1; id < g.size(); ++id) {
+    tail_memo_[static_cast<std::size_t>(id)] =
+        bind_f32(num_steps_ + (id - split - 1), g.shape(id));
+    nn::run_layer_f32_into(g, id, tail_memo_, backend_,
+                           tail_memo_[static_cast<std::size_t>(id)]);
+  }
+  return tail_memo_[static_cast<std::size_t>(g.output())];
+}
+
+// --- quantized -------------------------------------------------------------
+
+CompiledPatchQuantModel::CompiledPatchQuantModel(
+    const nn::Graph& g, PatchPlan plan, nn::ActivationQuantConfig cfg,
+    std::vector<BranchQuantConfig> branch_cfgs, nn::ops::KernelTier tier,
+    std::shared_ptr<const nn::QuantizedParameters> params)
+    : graph_(&g),
+      plan_(std::move(plan)),
+      cfg_(std::move(cfg)),
+      effective_(nn::effective_output_params(g, cfg_)),
+      branch_cfgs_(std::move(branch_cfgs)),
+      params_(params ? std::move(params)
+                     : nn::QuantizedParameters::build_shared(g, cfg_)),
+      backend_(tier) {
+  QMCU_REQUIRE(!plan_.branches.empty(), "plan has no branches");
+  if (!branch_cfgs_.empty()) {
+    QMCU_REQUIRE(branch_cfgs_.size() == plan_.branches.size(),
+                 "branch configs must cover every branch");
+    for (std::size_t b = 0; b < branch_cfgs_.size(); ++b) {
+      QMCU_REQUIRE(branch_cfgs_[b].per_step.size() ==
+                       plan_.branches[b].steps.size(),
+                   "branch config must cover every step");
+    }
+    branch_bias_ = build_branch_bias(g, plan_, branch_cfgs_, *params_);
+  }
+  PatchTimeline t = build_timeline(g, plan_, 1);
+  num_steps_ = t.num_steps;
+  assembled_slot_ = t.assembled_index;
+  // Quantized full input, cropped by every branch: live across the whole
+  // branch phase.
+  input_slot_ = static_cast<int>(t.requests.size());
+  t.requests.push_back({g.shape(g.inputs().front()).elements(), 0,
+                        std::max(num_steps_ - 1, 0)});
+  aplan_ = nn::ArenaPlanner().plan(t.requests);
+}
+
+const nn::QuantParams& CompiledPatchQuantModel::step_params(int branch,
+                                                            int step) const {
+  if (!branch_cfgs_.empty()) {
+    return branch_cfgs_[static_cast<std::size_t>(branch)]
+        .per_step[static_cast<std::size_t>(step)];
+  }
+  const int layer_id = plan_.branches[static_cast<std::size_t>(branch)]
+                           .steps[static_cast<std::size_t>(step)]
+                           .layer_id;
+  return effective_[static_cast<std::size_t>(layer_id)];
+}
+
+std::int64_t CompiledPatchQuantModel::scratch_bytes() const {
+  return static_cast<std::int64_t>(crops_.footprint_bytes() +
+                                   backend_.arena().footprint_bytes());
+}
+
+nn::QTensor CompiledPatchQuantModel::run(const nn::Tensor& input) const {
+  const nn::Graph& g = *graph_;
+  const int split = plan_.spec.split_layer;
+  const int input_layer = g.inputs().front();
+  QMCU_REQUIRE(input.shape() == g.shape(input_layer),
+               "input shape does not match graph input");
+  if (static_cast<std::int64_t>(arena_.size()) < aplan_.peak_bytes) {
+    arena_.resize(static_cast<std::size_t>(aplan_.peak_bytes));
+  }
+  nn::check_arena(arena_, aplan_.peak_bytes,1);
+  measured_ = 0;
+  const auto bind_q = [&](int slot_index, const nn::TensorShape& shape,
+                          const nn::QuantParams& p) -> nn::QTensor {
+    const nn::ArenaSlot& slot =
+        aplan_.slots[static_cast<std::size_t>(slot_index)];
+    QMCU_ENSURE(shape.elements() <= slot.size,
+                "bound view exceeds its arena slot");
+    measured_ = std::max(measured_, slot.offset + shape.elements());
+    auto* base = reinterpret_cast<std::int8_t*>(arena_.data() + slot.offset);
+    return nn::QTensor(
+        shape, p,
+        std::span<std::int8_t>(base,
+                               static_cast<std::size_t>(shape.elements())));
+  };
+
+  nn::QTensor qinput =
+      bind_q(input_slot_, g.shape(input_layer),
+             cfg_.params[static_cast<std::size_t>(input_layer)]);
+  nn::quantize_into(input, qinput);
+  nn::QTensor assembled = bind_q(assembled_slot_, g.shape(split),
+                                 effective_[static_cast<std::size_t>(split)]);
+  step_views_.resize(static_cast<std::size_t>(num_steps_));
+
+  for (int bi = 0; bi < static_cast<int>(plan_.branches.size()); ++bi) {
+    const PatchBranch& branch = plan_.branches[static_cast<std::size_t>(bi)];
+    for (int s = 0; s < num_steps_; ++s) {
+      const BranchStep& step = branch.steps[static_cast<std::size_t>(s)];
+      const nn::Layer& layer = g.layer(step.layer_id);
+      const bool pool = layer.kind == nn::OpKind::MaxPool ||
+                        layer.kind == nn::OpKind::AvgPool;
+      // Pools never requantize: their slot carries the producer's actual
+      // params, exactly as the legacy executor's region tensors do.
+      nn::QuantParams out_p;
+      if (pool) {
+        const int p = branch.step_of(layer.inputs[0]);
+        QMCU_ENSURE(p >= 0 && p < s, "producer step missing from branch");
+        out_p = step_views_[static_cast<std::size_t>(p)].params();
+      } else {
+        out_p = step_params(bi, s);
+      }
+      nn::QTensor out =
+          bind_q(s, region_shape(step, g.shape(step.layer_id).c), out_p);
+      crops_.reset();
+
+      const auto producer_crop = [&](int input_id,
+                                     const Region& want) -> nn::QTensor {
+        const int p = branch.step_of(input_id);
+        QMCU_ENSURE(p >= 0 && p < s, "producer step missing from branch");
+        const BranchStep& ps = branch.steps[static_cast<std::size_t>(p)];
+        const nn::QTensor& have = step_views_[static_cast<std::size_t>(p)];
+        nn::QTensor crop = borrow_q(
+            crops_,
+            nn::TensorShape{want.y.size(), want.x.size(),
+                            g.shape(input_id).c},
+            have.params());
+        crop_from_region_q_into(have, ps.out_region, want, g.shape(input_id),
+                                crop);
+        return crop;
+      };
+
+      switch (layer.kind) {
+        case nn::OpKind::Input: {
+          // The input patch tile is quantized straight into the branch's
+          // params (mixed mode stores it sub-byte, uniform mode at int8).
+          nn::QTensor crop =
+              borrow_q(crops_, out.shape(), qinput.params());
+          crop_from_region_q_into(qinput,
+                                  full_region(g.shape(step.layer_id)),
+                                  step.out_region, g.shape(step.layer_id),
+                                  crop);
+          backend_.requantize_into(crop, out);
+          break;
+        }
+        case nn::OpKind::Conv2D:
+        case nn::OpKind::DepthwiseConv2D: {
+          // Out-of-bounds crop positions carry the producer's zero point —
+          // the quantized encoding of real 0, i.e. genuine zero padding.
+          const nn::QTensor padded =
+              producer_crop(layer.inputs[0], step.in_region);
+          nn::Layer local = layer;
+          local.pad_h = local.pad_w = 0;
+          const std::vector<std::int32_t>& bias =
+              branch_cfgs_.empty()
+                  ? params_->bias[static_cast<std::size_t>(step.layer_id)]
+                  : branch_bias_[static_cast<std::size_t>(bi)]
+                                [static_cast<std::size_t>(s)];
+          const auto& w =
+              params_->weights[static_cast<std::size_t>(step.layer_id)];
+          if (layer.kind == nn::OpKind::Conv2D) {
+            backend_.conv2d_into(padded, local, w.data, w.params, bias, out);
+          } else {
+            backend_.depthwise_conv2d_into(padded, local, w.data, w.params,
+                                           bias, out);
+          }
+          break;
+        }
+        case nn::OpKind::MaxPool:
+        case nn::OpKind::AvgPool: {
+          const int p = branch.step_of(layer.inputs[0]);
+          QMCU_ENSURE(p >= 0, "producer step missing from branch");
+          const nn::ops::AvgPoolMultipliers* avg = nullptr;
+          if (layer.kind == nn::OpKind::AvgPool) {
+            const int count = layer.kernel_h * layer.kernel_w;
+            auto it = pool_tables_.find(count);
+            if (it == pool_tables_.end()) {
+              it = pool_tables_
+                       .emplace(count, nn::ops::AvgPoolMultipliers(count))
+                       .first;
+            }
+            avg = &it->second;
+          }
+          pool_region_q_into(
+              step_views_[static_cast<std::size_t>(p)],
+              branch.steps[static_cast<std::size_t>(p)].out_region, layer,
+              step.out_region, g.shape(layer.inputs[0]), avg, out);
+          break;
+        }
+        case nn::OpKind::Add: {
+          const nn::QTensor a =
+              producer_crop(layer.inputs[0], step.out_region);
+          const nn::QTensor b =
+              producer_crop(layer.inputs[1], step.out_region);
+          backend_.add_into(a, b, layer.act, out);
+          break;
+        }
+        case nn::OpKind::Concat: {
+          std::vector<nn::QTensor> cropped;
+          cropped.reserve(layer.inputs.size());
+          for (int in : layer.inputs) {
+            cropped.push_back(producer_crop(in, step.out_region));
+          }
+          std::vector<const nn::QTensor*> ptrs;
+          ptrs.reserve(cropped.size());
+          for (const nn::QTensor& t : cropped) ptrs.push_back(&t);
+          backend_.concat_into(ptrs, out);
+          break;
+        }
+        default:
+          QMCU_REQUIRE(false,
+                       "op kind not supported inside a patch stage: " +
+                           std::string(nn::to_string(layer.kind)));
+      }
+      step_views_[static_cast<std::size_t>(s)] = std::move(out);
+    }
+    const BranchStep& last = branch.steps.back();
+    QMCU_ENSURE(last.layer_id == split, "branch must end at the cut layer");
+    // The branch slice is requantized into the shared accumulation
+    // buffer's parameters (identity copy in uniform mode).
+    requantize_region_into(
+        step_views_[static_cast<std::size_t>(num_steps_ - 1)],
+        last.out_region, assembled);
+  }
+
+  // Layer-based tail against the same arena.
+  tail_memo_.resize(static_cast<std::size_t>(g.size()));
+  tail_memo_[static_cast<std::size_t>(split)] =
+      bind_q(assembled_slot_, g.shape(split),
+             effective_[static_cast<std::size_t>(split)]);
+  for (int id = split + 1; id < g.size(); ++id) {
+    tail_memo_[static_cast<std::size_t>(id)] =
+        bind_q(num_steps_ + (id - split - 1), g.shape(id),
+               effective_[static_cast<std::size_t>(id)]);
+    nn::run_layer_q_into(g, id, tail_memo_, *params_, backend_,
+                         tail_memo_[static_cast<std::size_t>(id)]);
+  }
+  return tail_memo_[static_cast<std::size_t>(g.output())];
+}
+
+}  // namespace qmcu::patch

@@ -1,0 +1,162 @@
+// compiled_patch_model.h — compile-once / run-many patch-based inference
+// against one static tensor arena.
+//
+// The patch executors walk every dataflow branch allocating a fresh region
+// tensor per step per run. A compiled patch model plans, once:
+//
+//   * one arena slot per branch *step index*, sized to the largest region
+//     any branch computes at that step (branches share the slot layout —
+//     they run sequentially and have identical step structure, only their
+//     region extents differ);
+//   * one slot for the reassembled cut-layer feature map, live from the
+//     first branch through its last tail consumer;
+//   * one slot per tail layer, placed over layer-based lifetimes;
+//   * (quantized) one slot for the quantized full input, live across the
+//     whole branch phase.
+//
+// All slots come from one nn::ArenaPlanner pass over a unified timeline
+// (branch steps first, tail steps after), so branch buffers, the shared
+// accumulation buffer and tail feature maps pack into a single arena the
+// way the deployed runtime lays out SRAM. Halo crop temporaries are scratch
+// (a grow-only pool reused across steps), not feature maps, and are
+// accounted via scratch_bytes(). Outputs are bit-identical to the legacy
+// patch executors: same kernels, same order, same values.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "nn/compiled_model.h"
+#include "nn/graph.h"
+#include "nn/memory_planner.h"
+#include "nn/ops/backend.h"
+#include "nn/tensor.h"
+#include "patch/patch_plan.h"
+
+namespace qmcu::patch {
+
+// Per-step QuantParams for one branch, parallel to PatchBranch::steps.
+struct BranchQuantConfig {
+  std::vector<nn::QuantParams> per_step;
+};
+
+// Mixed mode: per-branch per-step int32 biases rescaled to the branch's
+// actual input scales (empty vectors for non-MAC steps). The branch's step
+// parameters set the real input scale of each MAC step, so biases must be
+// rescaled per branch (the shared QuantizedParameters bias table is built
+// against the deployment config). Shared by the legacy executor and the
+// compiled model.
+std::vector<std::vector<std::vector<std::int32_t>>> build_branch_bias(
+    const nn::Graph& g, const PatchPlan& plan,
+    std::span<const BranchQuantConfig> branch_cfgs,
+    const nn::QuantizedParameters& params);
+
+// --- float -----------------------------------------------------------------
+
+class CompiledPatchModel {
+ public:
+  CompiledPatchModel(const nn::Graph& g, PatchPlan plan,
+                     nn::ops::KernelTier tier = nn::ops::KernelTier::Fast);
+
+  [[nodiscard]] nn::Tensor run(const nn::Tensor& input) const;
+
+  [[nodiscard]] const nn::ArenaPlan& arena_plan() const { return aplan_; }
+  [[nodiscard]] std::int64_t arena_bytes() const { return aplan_.peak_bytes; }
+  [[nodiscard]] std::int64_t measured_high_water() const { return measured_; }
+  // Crop-temporary + backend scratch held after the last run.
+  [[nodiscard]] std::int64_t scratch_bytes() const;
+  [[nodiscard]] const PatchPlan& plan() const { return plan_; }
+  [[nodiscard]] const nn::Graph& graph() const { return *graph_; }
+  // Shared with the owning executor's legacy (hooked) paths so only one
+  // scratch arena + weight-panel cache exists per executor.
+  [[nodiscard]] nn::ops::KernelBackend& backend() const { return backend_; }
+
+ private:
+  const nn::Graph* graph_;
+  PatchPlan plan_;
+  int num_steps_ = 0;      // steps per branch (identical across branches)
+  int assembled_slot_ = 0;  // request index of the reassembled cut layer
+  nn::ArenaPlan aplan_;
+  mutable nn::ops::KernelBackend backend_;
+  mutable nn::ops::ScratchArena crops_;  // halo crop temporaries
+  mutable std::vector<std::uint8_t> arena_;
+  mutable std::vector<nn::Tensor> step_views_;  // per step, rebound per branch
+  mutable std::vector<nn::Tensor> tail_memo_;   // per layer id (tail phase)
+  mutable std::int64_t measured_ = 0;
+};
+
+// --- quantized -------------------------------------------------------------
+
+class CompiledPatchQuantModel {
+ public:
+  // Uniform mode: branch steps inherit the per-layer params of `cfg`;
+  // mixed mode: `branch_cfgs[b].per_step[s]` overrides branch b's step s.
+  // Prebuilt shared parameters (QuantizedParameters::build_shared) skip the
+  // per-model weight conversion.
+  CompiledPatchQuantModel(
+      const nn::Graph& g, PatchPlan plan, nn::ActivationQuantConfig cfg,
+      std::vector<BranchQuantConfig> branch_cfgs = {},
+      nn::ops::KernelTier tier = nn::ops::KernelTier::Fast,
+      std::shared_ptr<const nn::QuantizedParameters> params = {});
+
+  [[nodiscard]] nn::QTensor run(const nn::Tensor& input) const;
+
+  [[nodiscard]] const nn::ArenaPlan& arena_plan() const { return aplan_; }
+  [[nodiscard]] std::int64_t arena_bytes() const { return aplan_.peak_bytes; }
+  [[nodiscard]] std::int64_t measured_high_water() const { return measured_; }
+  [[nodiscard]] std::int64_t scratch_bytes() const;
+  [[nodiscard]] const PatchPlan& plan() const { return plan_; }
+  [[nodiscard]] const nn::Graph& graph() const { return *graph_; }
+  [[nodiscard]] const std::shared_ptr<const nn::QuantizedParameters>&
+  shared_parameters() const {
+    return params_;
+  }
+  // Compile-time tables, exposed so the owning executor's legacy paths
+  // reuse them instead of rebuilding their own copies.
+  [[nodiscard]] const nn::ActivationQuantConfig& config() const {
+    return cfg_;
+  }
+  [[nodiscard]] std::span<const nn::QuantParams> effective_params() const {
+    return effective_;
+  }
+  [[nodiscard]] std::span<const BranchQuantConfig> branch_configs() const {
+    return branch_cfgs_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::vector<std::int32_t>>>&
+  branch_bias() const {
+    return branch_bias_;
+  }
+  [[nodiscard]] nn::ops::KernelBackend& backend() const { return backend_; }
+  // Params resolution for branch step `step` of branch `branch`: the
+  // mixed-mode per-step override when branch configs exist, otherwise the
+  // pool-propagated effective params of the step's layer. Shared with the
+  // owning executor's legacy path so both resolve identically.
+  [[nodiscard]] const nn::QuantParams& step_params(int branch,
+                                                   int step) const;
+
+ private:
+  const nn::Graph* graph_;
+  PatchPlan plan_;
+  nn::ActivationQuantConfig cfg_;
+  std::vector<nn::QuantParams> effective_;
+  std::vector<BranchQuantConfig> branch_cfgs_;  // empty = uniform mode
+  std::vector<std::vector<std::vector<std::int32_t>>> branch_bias_;
+  std::shared_ptr<const nn::QuantizedParameters> params_;
+  int num_steps_ = 0;
+  int assembled_slot_ = 0;
+  int input_slot_ = 0;  // quantized full input
+  nn::ArenaPlan aplan_;
+  mutable nn::ops::KernelBackend backend_;
+  mutable nn::ops::ScratchArena crops_;
+  // AvgPool reciprocal tables keyed by window size, reused across runs.
+  mutable std::unordered_map<int, nn::ops::AvgPoolMultipliers> pool_tables_;
+  mutable std::vector<std::uint8_t> arena_;
+  mutable std::vector<nn::QTensor> step_views_;
+  mutable std::vector<nn::QTensor> tail_memo_;
+  mutable std::int64_t measured_ = 0;
+};
+
+}  // namespace qmcu::patch

@@ -1,18 +1,24 @@
 #include "patch/patch_executor.h"
 
+#include <cstring>
+
 #include "nn/ops/float_kernels.h"
 #include "patch/region_pool.h"
 
 namespace qmcu::patch {
 
-nn::Tensor crop_from_region(const nn::Tensor& have, const Region& avail,
-                            const Region& want,
-                            const nn::TensorShape& full) {
+void crop_from_region_into(const nn::Tensor& have, const Region& avail,
+                           const Region& want, const nn::TensorShape& full,
+                           nn::Tensor& out) {
   QMCU_REQUIRE(have.shape().h == avail.y.size() &&
                    have.shape().w == avail.x.size(),
                "tensor extents must match its declared region");
   const int c = have.shape().c;
-  nn::Tensor out(nn::TensorShape{want.y.size(), want.x.size(), c});
+  QMCU_REQUIRE(out.shape() == nn::TensorShape(want.y.size(), want.x.size(), c),
+               "crop destination shape mismatch");
+  // Zero-fill first: destinations may be reused scratch, and out-of-bounds
+  // positions must read as zero padding.
+  std::memset(out.data().data(), 0, out.data().size() * sizeof(float));
   for (int gy = want.y.begin; gy < want.y.end; ++gy) {
     for (int gx = want.x.begin; gx < want.x.end; ++gx) {
       const int oy = gy - want.y.begin;
@@ -29,21 +35,27 @@ nn::Tensor crop_from_region(const nn::Tensor& have, const Region& avail,
       }
     }
   }
+}
+
+nn::Tensor crop_from_region(const nn::Tensor& have, const Region& avail,
+                            const Region& want,
+                            const nn::TensorShape& full) {
+  nn::Tensor out(
+      nn::TensorShape{want.y.size(), want.x.size(), have.shape().c});
+  crop_from_region_into(have, avail, want, full, out);
   return out;
 }
 
 PatchExecutor::PatchExecutor(const nn::Graph& g, PatchPlan plan,
                              nn::ops::KernelTier tier)
-    : graph_(&g), plan_(std::move(plan)), backend_(tier) {
-  QMCU_REQUIRE(!plan_.branches.empty(), "plan has no branches");
-}
+    : graph_(&g), compiled_(g, std::move(plan), tier) {}
 
 std::vector<nn::Tensor> PatchExecutor::run_branch(const nn::Tensor& input,
                                                   int branch_index,
                                                   const StepHook& hook) const {
   const nn::Graph& g = *graph_;
   const PatchBranch& branch =
-      plan_.branches[static_cast<std::size_t>(branch_index)];
+      plan().branches[static_cast<std::size_t>(branch_index)];
   std::vector<nn::Tensor> regions(branch.steps.size());
 
   for (std::size_t s = 0; s < branch.steps.size(); ++s) {
@@ -76,11 +88,11 @@ std::vector<nn::Tensor> PatchExecutor::run_branch(const nn::Tensor& input,
         nn::Layer local = layer;
         local.pad_h = local.pad_w = 0;
         if (layer.kind == nn::OpKind::Conv2D) {
-          regions[s] = backend_.conv2d_f32(padded, local,
+          regions[s] = compiled_.backend().conv2d_f32(padded, local,
                                            g.weights(step.layer_id),
                                            g.bias(step.layer_id));
         } else {
-          regions[s] = backend_.depthwise_conv2d_f32(
+          regions[s] = compiled_.backend().depthwise_conv2d_f32(
               padded, local, g.weights(step.layer_id),
               g.bias(step.layer_id));
         }
@@ -132,8 +144,8 @@ std::vector<nn::Tensor> PatchExecutor::run_branch(const nn::Tensor& input,
 std::vector<std::vector<nn::Tensor>> PatchExecutor::run_stage(
     const nn::Tensor& input, const StepHook& hook) const {
   std::vector<std::vector<nn::Tensor>> out;
-  out.reserve(plan_.branches.size());
-  for (int b = 0; b < static_cast<int>(plan_.branches.size()); ++b) {
+  out.reserve(plan().branches.size());
+  for (int b = 0; b < static_cast<int>(plan().branches.size()); ++b) {
     out.push_back(run_branch(input, b, hook));
   }
   return out;
@@ -142,11 +154,11 @@ std::vector<std::vector<nn::Tensor>> PatchExecutor::run_stage(
 nn::Tensor PatchExecutor::run_stage_assembled(const nn::Tensor& input,
                                               const StepHook& hook) const {
   const nn::Graph& g = *graph_;
-  const int split = plan_.spec.split_layer;
+  const int split = plan().spec.split_layer;
   nn::Tensor assembled(g.shape(split));
-  for (int b = 0; b < static_cast<int>(plan_.branches.size()); ++b) {
+  for (int b = 0; b < static_cast<int>(plan().branches.size()); ++b) {
     const std::vector<nn::Tensor> regions = run_branch(input, b, hook);
-    const PatchBranch& branch = plan_.branches[static_cast<std::size_t>(b)];
+    const PatchBranch& branch = plan().branches[static_cast<std::size_t>(b)];
     const BranchStep& last = branch.steps.back();
     QMCU_ENSURE(last.layer_id == split, "branch must end at the cut layer");
     const nn::Tensor& tile = regions.back();
@@ -164,13 +176,14 @@ nn::Tensor PatchExecutor::run_stage_assembled(const nn::Tensor& input,
 
 nn::Tensor PatchExecutor::run(const nn::Tensor& input,
                               const StepHook& hook) const {
+  if (!hook) return compiled_.run(input);
   const nn::Graph& g = *graph_;
-  const int split = plan_.spec.split_layer;
+  const int split = plan().spec.split_layer;
   std::vector<nn::Tensor> memo(static_cast<std::size_t>(g.size()));
   memo[static_cast<std::size_t>(split)] = run_stage_assembled(input, hook);
   for (int id = split + 1; id < g.size(); ++id) {
     memo[static_cast<std::size_t>(id)] =
-        nn::run_layer_f32(g, id, memo, backend_);
+        nn::run_layer_f32(g, id, memo, compiled_.backend());
   }
   return std::move(memo[static_cast<std::size_t>(g.output())]);
 }

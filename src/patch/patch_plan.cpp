@@ -53,6 +53,23 @@ int PatchBranch::step_of(int layer_id) const {
   return -1;
 }
 
+int branch_last_use(const nn::Graph& g, const PatchBranch& branch,
+                    int step_index) {
+  QMCU_REQUIRE(step_index >= 0 &&
+                   step_index < static_cast<int>(branch.steps.size()),
+               "step index out of range");
+  const int layer_id =
+      branch.steps[static_cast<std::size_t>(step_index)].layer_id;
+  int last = step_index;
+  for (std::size_t s = static_cast<std::size_t>(step_index) + 1;
+       s < branch.steps.size(); ++s) {
+    for (int in : g.layer(branch.steps[s].layer_id).inputs) {
+      if (in == layer_id) last = static_cast<int>(s);
+    }
+  }
+  return last;
+}
+
 std::vector<int> valid_cut_points(const nn::Graph& g) {
   std::vector<int> cuts;
   bool saw_windowed = false;

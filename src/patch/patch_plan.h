@@ -75,6 +75,13 @@ struct PatchPlan {
                                   const nn::TensorShape& input_shape) const;
 };
 
+// Last step index (within the branch) whose layer reads step
+// `step_index`'s output; `step_index` itself if unconsumed inside the
+// branch. This is the branch-local liveness interval the compiled patch
+// executor's arena planner places slots over.
+int branch_last_use(const nn::Graph& g, const PatchBranch& branch,
+                    int step_index);
+
 // Layer ids where the graph may be cut: every consumer edge leaving the
 // prefix {0..L} originates at L itself, L's feature map is spatial
 // (h, w >= grid), and the prefix contains at least one windowed op.

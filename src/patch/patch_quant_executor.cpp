@@ -8,15 +8,17 @@
 
 namespace qmcu::patch {
 
-nn::QTensor crop_from_region_q(const nn::QTensor& have, const Region& avail,
-                               const Region& want,
-                               const nn::TensorShape& full) {
+void crop_from_region_q_into(const nn::QTensor& have, const Region& avail,
+                             const Region& want, const nn::TensorShape& full,
+                             nn::QTensor& out) {
   QMCU_REQUIRE(have.shape().h == avail.y.size() &&
                    have.shape().w == avail.x.size(),
                "tensor extents must match its declared region");
   const int c = have.shape().c;
-  nn::QTensor out(nn::TensorShape{want.y.size(), want.x.size(), c},
-                  have.params());
+  QMCU_REQUIRE(out.shape() == nn::TensorShape(want.y.size(), want.x.size(), c),
+               "crop destination shape mismatch");
+  QMCU_REQUIRE(out.params() == have.params(),
+               "crop destination must carry the source params");
   const auto zp = static_cast<std::int8_t>(have.params().zero_point);
   for (int gy = want.y.begin; gy < want.y.end; ++gy) {
     for (int gx = want.x.begin; gx < want.x.end; ++gx) {
@@ -37,96 +39,46 @@ nn::QTensor crop_from_region_q(const nn::QTensor& have, const Region& avail,
       }
     }
   }
+}
+
+nn::QTensor crop_from_region_q(const nn::QTensor& have, const Region& avail,
+                               const Region& want,
+                               const nn::TensorShape& full) {
+  nn::QTensor out(nn::TensorShape{want.y.size(), want.x.size(),
+                                  have.shape().c},
+                  have.params());
+  crop_from_region_q_into(have, avail, want, full, out);
   return out;
 }
 
-PatchQuantExecutor::PatchQuantExecutor(const nn::Graph& g, PatchPlan plan,
-                                       nn::ActivationQuantConfig cfg,
-                                       nn::ops::KernelTier tier)
-    : PatchQuantExecutor(g, std::move(plan), std::move(cfg), {}, tier) {}
-
-namespace {
-
-bool is_pool(nn::OpKind k) {
-  return k == nn::OpKind::MaxPool || k == nn::OpKind::AvgPool ||
-         k == nn::OpKind::GlobalAvgPool;
-}
-
-}  // namespace
+PatchQuantExecutor::PatchQuantExecutor(
+    const nn::Graph& g, PatchPlan plan, nn::ActivationQuantConfig cfg,
+    nn::ops::KernelTier tier,
+    std::shared_ptr<const nn::QuantizedParameters> params)
+    : PatchQuantExecutor(g, std::move(plan), std::move(cfg), {}, tier,
+                         std::move(params)) {}
 
 PatchQuantExecutor::PatchQuantExecutor(
     const nn::Graph& g, PatchPlan plan, nn::ActivationQuantConfig cfg,
-    std::vector<BranchQuantConfig> branch_cfgs, nn::ops::KernelTier tier)
+    std::vector<BranchQuantConfig> branch_cfgs, nn::ops::KernelTier tier,
+    std::shared_ptr<const nn::QuantizedParameters> params)
     : graph_(&g),
-      plan_(std::move(plan)),
-      cfg_(std::move(cfg)),
-      branch_cfgs_(std::move(branch_cfgs)),
-      params_(nn::QuantizedParameters::build(g, cfg_)),
-      backend_(tier) {
-  QMCU_REQUIRE(static_cast<int>(cfg_.params.size()) == g.size(),
-               "quant config must cover every layer");
-  effective_.reserve(cfg_.params.size());
-  for (int id = 0; id < g.size(); ++id) {
-    const nn::Layer& l = g.layer(id);
-    effective_.push_back(
-        is_pool(l.kind)
-            ? effective_[static_cast<std::size_t>(l.inputs[0])]
-            : cfg_.params[static_cast<std::size_t>(id)]);
-  }
-  if (!branch_cfgs_.empty()) {
-    QMCU_REQUIRE(branch_cfgs_.size() == plan_.branches.size(),
-                 "branch configs must cover every branch");
-    for (std::size_t b = 0; b < branch_cfgs_.size(); ++b) {
-      QMCU_REQUIRE(branch_cfgs_[b].per_step.size() ==
-                       plan_.branches[b].steps.size(),
-                   "branch config must cover every step");
-    }
-    // Mixed mode: the branch's step parameters set the real input scale of
-    // each MAC step, so biases must be rescaled per branch (the shared
-    // params_.bias table is built against the deployment config).
-    branch_bias_.resize(branch_cfgs_.size());
-    for (std::size_t b = 0; b < branch_cfgs_.size(); ++b) {
-      const PatchBranch& branch = plan_.branches[b];
-      branch_bias_[b].resize(branch.steps.size());
-      for (std::size_t s = 0; s < branch.steps.size(); ++s) {
-        const int id = branch.steps[s].layer_id;
-        const nn::Layer& l = g.layer(id);
-        if (!nn::is_mac_op(l.kind) || g.bias(id).empty()) continue;
-        const int p = branch.step_of(l.inputs[0]);
-        QMCU_ENSURE(p >= 0, "MAC step without in-branch producer");
-        branch_bias_[b][s] = nn::ops::quantize_bias(
-            g.bias(id), branch_cfgs_[b].per_step[static_cast<std::size_t>(p)]
-                            .scale,
-            params_.weights[static_cast<std::size_t>(id)].params.scale);
-      }
-    }
-  }
-}
-
-const nn::QuantParams& PatchQuantExecutor::step_params(int branch,
-                                                       int step) const {
-  if (!branch_cfgs_.empty()) {
-    return branch_cfgs_[static_cast<std::size_t>(branch)]
-        .per_step[static_cast<std::size_t>(step)];
-  }
-  const int layer_id = plan_.branches[static_cast<std::size_t>(branch)]
-                           .steps[static_cast<std::size_t>(step)]
-                           .layer_id;
-  return effective_[static_cast<std::size_t>(layer_id)];
-}
+      compiled_(g, std::move(plan), std::move(cfg), std::move(branch_cfgs),
+                tier, std::move(params)) {}
 
 std::vector<nn::QTensor> PatchQuantExecutor::run_branch(
     const nn::QTensor& qinput, int branch_index) const {
   const nn::Graph& g = *graph_;
+  const nn::QuantizedParameters& params = *compiled_.shared_parameters();
   const PatchBranch& branch =
-      plan_.branches[static_cast<std::size_t>(branch_index)];
+      plan().branches[static_cast<std::size_t>(branch_index)];
   std::vector<nn::QTensor> regions(branch.steps.size());
 
   for (std::size_t s = 0; s < branch.steps.size(); ++s) {
     const BranchStep& step = branch.steps[s];
     const nn::Layer& layer = g.layer(step.layer_id);
     const nn::QuantParams& out_p =
-        step_params(branch_index, static_cast<int>(s));
+        compiled_.step_params(branch_index, static_cast<int>(s));
 
     const auto producer_tensor = [&](int input_id,
                                      const Region& want) -> nn::QTensor {
@@ -146,7 +98,7 @@ std::vector<nn::QTensor> PatchQuantExecutor::run_branch(
         nn::QTensor crop = crop_from_region_q(
             qinput, full_region(g.shape(step.layer_id)), step.out_region,
             g.shape(step.layer_id));
-        regions[s] = backend_.requantize(crop, out_p);
+        regions[s] = compiled_.backend().requantize(crop, out_p);
         break;
       }
       case nn::OpKind::Conv2D:
@@ -158,20 +110,21 @@ std::vector<nn::QTensor> PatchQuantExecutor::run_branch(
         nn::Layer local = layer;
         local.pad_h = local.pad_w = 0;
         const std::vector<std::int32_t>& bias =
-            branch_cfgs_.empty()
-                ? params_.bias[static_cast<std::size_t>(step.layer_id)]
-                : branch_bias_[static_cast<std::size_t>(branch_index)][s];
+            compiled_.branch_configs().empty()
+                ? params.bias[static_cast<std::size_t>(step.layer_id)]
+                : compiled_.branch_bias()
+                      [static_cast<std::size_t>(branch_index)][s];
         if (layer.kind == nn::OpKind::Conv2D) {
-          regions[s] = backend_.conv2d(
+          regions[s] = compiled_.backend().conv2d(
               padded, local,
-              params_.weights[static_cast<std::size_t>(step.layer_id)].data,
-              params_.weights[static_cast<std::size_t>(step.layer_id)].params,
+              params.weights[static_cast<std::size_t>(step.layer_id)].data,
+              params.weights[static_cast<std::size_t>(step.layer_id)].params,
               bias, out_p);
         } else {
-          regions[s] = backend_.depthwise_conv2d(
+          regions[s] = compiled_.backend().depthwise_conv2d(
               padded, local,
-              params_.weights[static_cast<std::size_t>(step.layer_id)].data,
-              params_.weights[static_cast<std::size_t>(step.layer_id)].params,
+              params.weights[static_cast<std::size_t>(step.layer_id)].data,
+              params.weights[static_cast<std::size_t>(step.layer_id)].params,
               bias, out_p);
         }
         break;
@@ -192,7 +145,7 @@ std::vector<nn::QTensor> PatchQuantExecutor::run_branch(
             producer_tensor(layer.inputs[0], step.out_region);
         const nn::QTensor b =
             producer_tensor(layer.inputs[1], step.out_region);
-        regions[s] = backend_.add(a, b, layer.act, out_p);
+        regions[s] = compiled_.backend().add(a, b, layer.act, out_p);
         break;
       }
       case nn::OpKind::Concat: {
@@ -204,7 +157,7 @@ std::vector<nn::QTensor> PatchQuantExecutor::run_branch(
         std::vector<const nn::QTensor*> ptrs;
         ptrs.reserve(cropped.size());
         for (const nn::QTensor& t : cropped) ptrs.push_back(&t);
-        regions[s] = backend_.concat(ptrs, out_p);
+        regions[s] = compiled_.backend().concat(ptrs, out_p);
         break;
       }
       default:
@@ -219,22 +172,24 @@ std::vector<nn::QTensor> PatchQuantExecutor::run_branch(
 nn::QTensor PatchQuantExecutor::run_stage_assembled(
     const nn::Tensor& input) const {
   const nn::Graph& g = *graph_;
-  const int split = plan_.spec.split_layer;
+  const int split = plan().spec.split_layer;
   const int input_layer = g.inputs().front();
-  const nn::QTensor qinput =
-      nn::quantize(input, cfg_.params[static_cast<std::size_t>(input_layer)]);
+  const nn::QTensor qinput = nn::quantize(
+      input,
+      compiled_.config().params[static_cast<std::size_t>(input_layer)]);
 
-  nn::QTensor assembled(g.shape(split),
-                        effective_[static_cast<std::size_t>(split)]);
-  for (int b = 0; b < static_cast<int>(plan_.branches.size()); ++b) {
+  nn::QTensor assembled(
+      g.shape(split),
+      compiled_.effective_params()[static_cast<std::size_t>(split)]);
+  for (int b = 0; b < static_cast<int>(plan().branches.size()); ++b) {
     const std::vector<nn::QTensor> regions = run_branch(qinput, b);
-    const PatchBranch& branch = plan_.branches[static_cast<std::size_t>(b)];
+    const PatchBranch& branch = plan().branches[static_cast<std::size_t>(b)];
     const BranchStep& last = branch.steps.back();
     QMCU_ENSURE(last.layer_id == split, "branch must end at the cut layer");
     // The branch slice is requantized into the shared accumulation
     // buffer's parameters (identity in uniform mode).
     const nn::QTensor tile =
-        backend_.requantize(regions.back(), assembled.params());
+        compiled_.backend().requantize(regions.back(), assembled.params());
     for (int y = last.out_region.y.begin; y < last.out_region.y.end; ++y) {
       for (int x = last.out_region.x.begin; x < last.out_region.x.end; ++x) {
         for (int c = 0; c < assembled.shape().c; ++c) {
@@ -248,16 +203,7 @@ nn::QTensor PatchQuantExecutor::run_stage_assembled(
 }
 
 nn::QTensor PatchQuantExecutor::run(const nn::Tensor& input) const {
-  const nn::Graph& g = *graph_;
-  const int split = plan_.spec.split_layer;
-  std::vector<nn::QTensor> memo(static_cast<std::size_t>(g.size()));
-  memo[static_cast<std::size_t>(split)] = run_stage_assembled(input);
-  for (int id = split + 1; id < g.size(); ++id) {
-    memo[static_cast<std::size_t>(id)] =
-        nn::run_layer_q(g, id, memo, params_,
-                        effective_[static_cast<std::size_t>(id)], backend_);
-  }
-  return std::move(memo[static_cast<std::size_t>(g.output())]);
+  return compiled_.run(input);
 }
 
 }  // namespace qmcu::patch

@@ -12,71 +12,76 @@
 //     reassembled cut-layer feature map is requantized slice by slice into
 //     the tail's parameters, as the deployed runtime would do when copying
 //     a branch result into the shared accumulation buffer.
+//
+// Construction compiles the plan into a patch::CompiledPatchQuantModel;
+// run() executes against its static tensor arena with zero per-step
+// allocation. Weight conversion (QuantizedParameters) can be prebuilt once
+// and shared across executors — bench sweeps construct many executors over
+// the same graph.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "nn/executor.h"
+#include "patch/compiled_patch_model.h"
 #include "patch/patch_plan.h"
 
 namespace qmcu::patch {
 
-// Per-step QuantParams for one branch, parallel to PatchBranch::steps.
-struct BranchQuantConfig {
-  std::vector<nn::QuantParams> per_step;
-};
-
 class PatchQuantExecutor {
  public:
   // Uniform mode: stage steps inherit the per-layer params of `cfg`.
-  PatchQuantExecutor(const nn::Graph& g, PatchPlan plan,
-                     nn::ActivationQuantConfig cfg,
-                     nn::ops::KernelTier tier = nn::ops::KernelTier::Fast);
+  PatchQuantExecutor(
+      const nn::Graph& g, PatchPlan plan, nn::ActivationQuantConfig cfg,
+      nn::ops::KernelTier tier = nn::ops::KernelTier::Fast,
+      std::shared_ptr<const nn::QuantizedParameters> params = {});
 
   // Mixed mode: `branch_cfgs[b].per_step[s]` overrides the params of
   // branch b's step s; `cfg` still rules the tail (and the reassembled cut
   // feature map via cfg.params[split]).
-  PatchQuantExecutor(const nn::Graph& g, PatchPlan plan,
-                     nn::ActivationQuantConfig cfg,
-                     std::vector<BranchQuantConfig> branch_cfgs,
-                     nn::ops::KernelTier tier = nn::ops::KernelTier::Fast);
+  PatchQuantExecutor(
+      const nn::Graph& g, PatchPlan plan, nn::ActivationQuantConfig cfg,
+      std::vector<BranchQuantConfig> branch_cfgs,
+      nn::ops::KernelTier tier = nn::ops::KernelTier::Fast,
+      std::shared_ptr<const nn::QuantizedParameters> params = {});
 
+  // Compiled arena path (bit-identical to the legacy per-step-tensor path).
   [[nodiscard]] nn::QTensor run(const nn::Tensor& input) const;
 
   // The reassembled cut-layer feature map (tail params).
   [[nodiscard]] nn::QTensor run_stage_assembled(const nn::Tensor& input) const;
 
-  [[nodiscard]] const PatchPlan& plan() const { return plan_; }
+  [[nodiscard]] const PatchPlan& plan() const { return compiled_.plan(); }
+  [[nodiscard]] const CompiledPatchQuantModel& compiled() const {
+    return compiled_;
+  }
+  [[nodiscard]] const std::shared_ptr<const nn::QuantizedParameters>&
+  shared_parameters() const {
+    return compiled_.shared_parameters();
+  }
 
  private:
-  [[nodiscard]] const nn::QuantParams& step_params(int branch,
-                                                   int step) const;
   [[nodiscard]] std::vector<nn::QTensor> run_branch(const nn::QTensor& qinput,
                                                     int branch) const;
 
   const nn::Graph* graph_;
-  PatchPlan plan_;
-  nn::ActivationQuantConfig cfg_;
-  // Effective per-layer output params: pools propagate their producer's
-  // parameters (the TFLite contract — max/avg/global pooling never
-  // requantizes), so cfg.params[pool] is overridden by the producer chain.
-  std::vector<nn::QuantParams> effective_;
-  std::vector<BranchQuantConfig> branch_cfgs_;  // empty = uniform mode
-  // Mixed mode: per-branch per-step int32 biases rescaled to the branch's
-  // actual input scales (empty vectors for non-MAC steps).
-  std::vector<std::vector<std::vector<std::int32_t>>> branch_bias_;
-  nn::QuantizedParameters params_;
-  // Kernel dispatch + scratch arena shared by all branch steps and the
-  // layer-based tail, so patch-branch inference stops allocating per-op
-  // temporaries.
-  mutable nn::ops::KernelBackend backend_;
+  // Single source of compile-time state: quant config, pool-propagated
+  // effective params, branch configs/biases, shared weight conversion and
+  // the kernel backend (scratch + panel cache) all live in the compiled
+  // model; the legacy run_stage_assembled path reads them from there.
+  CompiledPatchQuantModel compiled_;
 };
 
 // Crops region `want` (unclamped; out-of-bounds positions are filled with
 // the tensor's zero point, the quantized encoding of real 0) from `have`
-// covering `avail` of a feature map with full extent `full`.
+// covering `avail` of a feature map with full extent `full`. The `_into`
+// form writes into a caller-bound destination carrying `have`'s params.
 nn::QTensor crop_from_region_q(const nn::QTensor& have, const Region& avail,
                                const Region& want,
                                const nn::TensorShape& full);
+void crop_from_region_q_into(const nn::QTensor& have, const Region& avail,
+                             const Region& want, const nn::TensorShape& full,
+                             nn::QTensor& out);
 
 }  // namespace qmcu::patch

@@ -39,13 +39,15 @@ void check_kind(const nn::Layer& l) {
 
 }  // namespace
 
-nn::Tensor pool_region_f32(const nn::Tensor& have, const Region& avail,
-                           const nn::Layer& l, const Region& out_region,
-                           const nn::TensorShape& full) {
+void pool_region_f32_into(const nn::Tensor& have, const Region& avail,
+                          const nn::Layer& l, const Region& out_region,
+                          const nn::TensorShape& full, nn::Tensor& out) {
   check_kind(l);
   const bool is_max = l.kind == nn::OpKind::MaxPool;
-  nn::Tensor out(nn::TensorShape{out_region.y.size(), out_region.x.size(),
-                                 have.shape().c});
+  QMCU_REQUIRE(out.shape() == nn::TensorShape(out_region.y.size(),
+                                              out_region.x.size(),
+                                              have.shape().c),
+               "pool_region_f32: destination shape mismatch");
   for (int gy = out_region.y.begin; gy < out_region.y.end; ++gy) {
     for (int gx = out_region.x.begin; gx < out_region.x.end; ++gx) {
       for (int c = 0; c < have.shape().c; ++c) {
@@ -64,23 +66,46 @@ nn::Tensor pool_region_f32(const nn::Tensor& have, const Region& avail,
       }
     }
   }
+}
+
+nn::Tensor pool_region_f32(const nn::Tensor& have, const Region& avail,
+                           const nn::Layer& l, const Region& out_region,
+                           const nn::TensorShape& full) {
+  nn::Tensor out(nn::TensorShape{out_region.y.size(), out_region.x.size(),
+                                 have.shape().c});
+  pool_region_f32_into(have, avail, l, out_region, full, out);
   return out;
 }
 
-nn::QTensor pool_region_q(const nn::QTensor& have, const Region& avail,
-                          const nn::Layer& l, const Region& out_region,
-                          const nn::TensorShape& full) {
+void pool_region_q_into(const nn::QTensor& have, const Region& avail,
+                        const nn::Layer& l, const Region& out_region,
+                        const nn::TensorShape& full, nn::QTensor& out) {
   check_kind(l);
-  const bool is_max = l.kind == nn::OpKind::MaxPool;
-  const nn::QuantParams& p = have.params();
   // Only the averaging path needs the reciprocal table.
   const std::optional<nn::ops::AvgPoolMultipliers> avg =
-      is_max ? std::nullopt
-             : std::optional<nn::ops::AvgPoolMultipliers>(
-                   std::in_place, l.kernel_h * l.kernel_w);
-  nn::QTensor out(nn::TensorShape{out_region.y.size(), out_region.x.size(),
-                                  have.shape().c},
-                  p);
+      l.kind == nn::OpKind::MaxPool
+          ? std::nullopt
+          : std::optional<nn::ops::AvgPoolMultipliers>(
+                std::in_place, l.kernel_h * l.kernel_w);
+  pool_region_q_into(have, avail, l, out_region, full,
+                     avg ? &*avg : nullptr, out);
+}
+
+void pool_region_q_into(const nn::QTensor& have, const Region& avail,
+                        const nn::Layer& l, const Region& out_region,
+                        const nn::TensorShape& full,
+                        const nn::ops::AvgPoolMultipliers* avg,
+                        nn::QTensor& out) {
+  check_kind(l);
+  const bool is_max = l.kind == nn::OpKind::MaxPool;
+  QMCU_REQUIRE(is_max || avg != nullptr,
+               "pool_region_q: AvgPool needs a multiplier table");
+  const nn::QuantParams& p = have.params();
+  QMCU_REQUIRE(out.shape() == nn::TensorShape(out_region.y.size(),
+                                              out_region.x.size(),
+                                              have.shape().c),
+               "pool_region_q: destination shape mismatch");
+  QMCU_REQUIRE(out.params() == p, "pool_region_q: pools keep input params");
   for (int gy = out_region.y.begin; gy < out_region.y.end; ++gy) {
     for (int gx = out_region.x.begin; gx < out_region.x.end; ++gx) {
       for (int c = 0; c < have.shape().c; ++c) {
@@ -107,6 +132,15 @@ nn::QTensor pool_region_q(const nn::QTensor& have, const Region& avail,
       }
     }
   }
+}
+
+nn::QTensor pool_region_q(const nn::QTensor& have, const Region& avail,
+                          const nn::Layer& l, const Region& out_region,
+                          const nn::TensorShape& full) {
+  nn::QTensor out(nn::TensorShape{out_region.y.size(), out_region.x.size(),
+                                  have.shape().c},
+                  have.params());
+  pool_region_q_into(have, avail, l, out_region, full, out);
   return out;
 }
 

@@ -10,6 +10,7 @@
 #pragma once
 
 #include "nn/graph.h"
+#include "nn/ops/int8_kernels.h"
 #include "nn/tensor.h"
 #include "patch/receptive_field.h"
 
@@ -17,12 +18,29 @@ namespace qmcu::patch {
 
 // Pools `out_region` of layer `l` (MaxPool or AvgPool) from the producer's
 // region tensor `have` covering `avail` of a map with full extent `full`.
+// The `_into` forms write into a caller-bound destination sized
+// out_region x channels (quantized destinations carry the producer's
+// params) — the compiled patch executor's allocation-free path.
 nn::Tensor pool_region_f32(const nn::Tensor& have, const Region& avail,
                            const nn::Layer& l, const Region& out_region,
                            const nn::TensorShape& full);
+void pool_region_f32_into(const nn::Tensor& have, const Region& avail,
+                          const nn::Layer& l, const Region& out_region,
+                          const nn::TensorShape& full, nn::Tensor& out);
 
 nn::QTensor pool_region_q(const nn::QTensor& have, const Region& avail,
                           const nn::Layer& l, const Region& out_region,
                           const nn::TensorShape& full);
+void pool_region_q_into(const nn::QTensor& have, const Region& avail,
+                        const nn::Layer& l, const Region& out_region,
+                        const nn::TensorShape& full, nn::QTensor& out);
+// Allocation-free flavour for the compiled hot path: `avg` must cover the
+// layer's kernel window for AvgPool (callers cache it per window size) and
+// may be null for MaxPool.
+void pool_region_q_into(const nn::QTensor& have, const Region& avail,
+                        const nn::Layer& l, const Region& out_region,
+                        const nn::TensorShape& full,
+                        const nn::ops::AvgPoolMultipliers* avg,
+                        nn::QTensor& out);
 
 }  // namespace qmcu::patch

@@ -1,0 +1,184 @@
+// Tests for concrete arena placement (nn::ArenaPlanner) and the
+// measured-vs-predicted contract of the compiled executors: no two
+// lifetime-overlapping tensors may share bytes, and the arena high-water a
+// compiled run actually touches must equal the planner's peak_bytes.
+#include <gtest/gtest.h>
+
+#include "models/weights.h"
+#include "models/zoo.h"
+#include "nn/compiled_model.h"
+#include "nn/memory_planner.h"
+#include "nn/rng.h"
+#include "patch/compiled_patch_model.h"
+#include "patch/mcunetv2.h"
+#include "patch/patch_plan.h"
+#include "quant/calibration.h"
+
+namespace qmcu::nn {
+namespace {
+
+void expect_no_live_overlap(const ArenaPlan& plan) {
+  for (std::size_t a = 0; a < plan.slots.size(); ++a) {
+    for (std::size_t b = a + 1; b < plan.slots.size(); ++b) {
+      const ArenaSlot& x = plan.slots[a];
+      const ArenaSlot& y = plan.slots[b];
+      if (!x.overlaps_lifetime(y)) continue;
+      EXPECT_FALSE(x.overlaps_bytes(y))
+          << "slots " << a << " and " << b << " are live together at ["
+          << x.offset << ", " << x.offset + x.size << ") and [" << y.offset
+          << ", " << y.offset + y.size << ")";
+    }
+  }
+}
+
+TEST(ArenaPlanner, RandomizedIntervalsNeverOverlapInBytes) {
+  Rng rng(0xa7e4a);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int n = 3 + static_cast<int>(rng.uniform(0, 30));
+    std::vector<ArenaRequest> requests;
+    requests.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      const int first = static_cast<int>(rng.uniform(0, 40));
+      const int len = static_cast<int>(rng.uniform(0, 10));
+      requests.push_back({1 + static_cast<std::int64_t>(rng.uniform(0, 4096)),
+                          first, first + len});
+    }
+    const ArenaPlan plan = ArenaPlanner().plan(requests);
+    ASSERT_EQ(plan.slots.size(), requests.size());
+    expect_no_live_overlap(plan);
+    // The arena extent is exactly the furthest slot end, and can never
+    // undercut the sum-of-live accounting bound.
+    std::int64_t extent = 0;
+    for (const ArenaSlot& s : plan.slots) {
+      extent = std::max(extent, s.offset + s.size);
+    }
+    EXPECT_EQ(plan.peak_bytes, extent);
+    EXPECT_GE(plan.peak_bytes, plan.live_peak_bytes);
+  }
+}
+
+TEST(ArenaPlanner, DisjointLifetimesShareBytes) {
+  // Two tensors that are never live together must reuse the same offset.
+  std::vector<ArenaRequest> requests{{1000, 0, 1}, {1000, 2, 3}};
+  const ArenaPlan plan = ArenaPlanner().plan(requests);
+  EXPECT_EQ(plan.slots[0].offset, 0);
+  EXPECT_EQ(plan.slots[1].offset, 0);
+  EXPECT_EQ(plan.peak_bytes, 1000);
+}
+
+TEST(ArenaPlanner, ChainPacksToAccountingPeak) {
+  // A pure chain (producer + consumer live pairwise) packs without
+  // fragmentation: placed extent == sum-of-live peak.
+  Graph g("chain");
+  const int in = g.add_input(TensorShape{8, 8, 4});
+  const int a = g.add_conv2d(in, 16, 3, 1, 1, Activation::ReLU);
+  const int b = g.add_conv2d(a, 2, 3, 2, 1, Activation::ReLU);
+  g.add_global_avg_pool(b);
+  const ArenaPlan plan = ArenaPlanner(1).plan(g, uniform_bits(g, 8));
+  const MemoryPlan accounting = plan_layer_based(g, uniform_bits(g, 8));
+  EXPECT_EQ(plan.peak_bytes, accounting.peak_bytes);
+  EXPECT_EQ(plan.live_peak_bytes, accounting.peak_bytes);
+  expect_no_live_overlap(plan);
+}
+
+TEST(ArenaPlanner, HonoursSubByteBitwidths) {
+  Graph g("t");
+  const int in = g.add_input(TensorShape{8, 8, 8});
+  g.add_conv2d(in, 8, 3, 1, 1, Activation::ReLU);
+  const ArenaPlan p8 = ArenaPlanner(1).plan(g, uniform_bits(g, 8));
+  const ArenaPlan p4 = ArenaPlanner(1).plan(g, uniform_bits(g, 4));
+  EXPECT_EQ(p4.peak_bytes * 2, p8.peak_bytes);
+}
+
+TEST(ArenaPlanner, DeterministicPlacement) {
+  Rng rng(7);
+  std::vector<ArenaRequest> requests;
+  for (int i = 0; i < 20; ++i) {
+    const int first = static_cast<int>(rng.uniform(0, 10));
+    requests.push_back({64 * (1 + static_cast<std::int64_t>(rng.uniform(0, 8))),
+                        first, first + static_cast<int>(rng.uniform(0, 5))});
+  }
+  const ArenaPlan a = ArenaPlanner().plan(requests);
+  const ArenaPlan b = ArenaPlanner().plan(requests);
+  for (std::size_t i = 0; i < a.slots.size(); ++i) {
+    EXPECT_EQ(a.slots[i].offset, b.slots[i].offset);
+  }
+}
+
+TEST(ArenaPlanner, RejectsInvertedLifetime) {
+  std::vector<ArenaRequest> requests{{64, 3, 1}};
+  EXPECT_THROW(ArenaPlanner().plan(requests), std::invalid_argument);
+}
+
+// --- measured high-water == planned peak, across the model zoo ------------
+
+models::ModelConfig tiny_config() {
+  models::ModelConfig cfg;
+  cfg.width_multiplier = 0.35f;
+  cfg.resolution = 64;
+  cfg.num_classes = 10;
+  return cfg;
+}
+
+Tensor random_input(TensorShape s, std::uint64_t seed) {
+  Tensor t(s);
+  Rng rng(seed);
+  for (float& v : t.data()) v = static_cast<float>(rng.normal(0.0, 1.0));
+  return t;
+}
+
+TEST(CompiledArena, MeasuredHighWaterEqualsPlannedPeakOnZooModels) {
+  for (const char* name : {"mobilenetv2", "mcunet", "resnet18",
+                           "squeezenet"}) {
+    const Graph g = models::make_model(name, tiny_config());
+    const Tensor in = random_input(g.shape(0), 11);
+
+    const CompiledModel fmodel(g);
+    (void)fmodel.run(in);
+    EXPECT_EQ(fmodel.measured_high_water(), fmodel.arena_bytes()) << name;
+    expect_no_live_overlap(fmodel.arena_plan());
+
+    const auto ranges =
+        quant::calibrate_ranges(g, std::vector<Tensor>{in});
+    const auto cfg = quant::make_quant_config(g, ranges, uniform_bits(g, 8));
+    const CompiledQuantModel qmodel(g, cfg);
+    (void)qmodel.run(in);
+    EXPECT_EQ(qmodel.measured_high_water(), qmodel.arena_bytes()) << name;
+    expect_no_live_overlap(qmodel.arena_plan());
+  }
+}
+
+TEST(CompiledArena, PatchModelsMeasureTheirPlannedPeak) {
+  const Graph g = models::make_model("mobilenetv2", tiny_config());
+  const Tensor in = random_input(g.shape(0), 12);
+  const patch::PatchPlan plan =
+      patch::build_patch_plan(g, patch::plan_mcunetv2(g, {2, 2}));
+
+  const patch::CompiledPatchModel fmodel(g, plan);
+  (void)fmodel.run(in);
+  EXPECT_EQ(fmodel.measured_high_water(), fmodel.arena_bytes());
+  expect_no_live_overlap(fmodel.arena_plan());
+
+  const auto ranges = quant::calibrate_ranges(g, std::vector<Tensor>{in});
+  const auto cfg = quant::make_quant_config(g, ranges, uniform_bits(g, 8));
+  const patch::CompiledPatchQuantModel qmodel(g, plan, cfg);
+  (void)qmodel.run(in);
+  EXPECT_EQ(qmodel.measured_high_water(), qmodel.arena_bytes());
+  expect_no_live_overlap(qmodel.arena_plan());
+}
+
+TEST(CompiledArena, ArenaIsSmallerThanKeepEverything) {
+  // The whole point of placement: the arena must undercut the keep-every-
+  // feature-map footprint on a real network.
+  const Graph g = models::make_model("mobilenetv2", tiny_config());
+  std::int64_t keep_all = 0;
+  for (int i = 0; i < g.size(); ++i) keep_all += g.shape(i).elements();
+  const auto ranges = quant::calibrate_ranges(
+      g, std::vector<Tensor>{random_input(g.shape(0), 13)});
+  const auto cfg = quant::make_quant_config(g, ranges, uniform_bits(g, 8));
+  const CompiledQuantModel qmodel(g, cfg);
+  EXPECT_LT(qmodel.arena_bytes(), keep_all / 2);
+}
+
+}  // namespace
+}  // namespace qmcu::nn

@@ -1,7 +1,10 @@
 // Tests for the arena memory planner (nn/memory_planner.h).
 #include <gtest/gtest.h>
 
+#include "models/weights.h"
 #include "nn/memory_planner.h"
+#include "nn/ops/backend.h"
+#include "nn/ops/int8_kernels.h"
 
 namespace qmcu::nn {
 namespace {
@@ -91,6 +94,64 @@ TEST(MemoryPlanner, RejectsMismatchedBitsVector) {
   g.add_input(TensorShape{4, 4, 2});
   const std::vector<int> wrong{8, 8, 8};
   EXPECT_THROW(plan_layer_based(g, wrong), std::invalid_argument);
+}
+
+TEST(MemoryPlanner, AccountsFastBackendScratch) {
+  Graph g("t");
+  const int in = g.add_input(TensorShape{8, 8, 4});
+  const int conv = g.add_conv2d(in, 16, 3, 1, 1, Activation::ReLU);
+  g.add_depthwise_conv2d(conv, 3, 1, 1, Activation::ReLU);
+  const auto plan = plan_layer_based(g, uniform_bits(g, 8));
+
+  // Conv scratch: k-major panel (n*k) + im2col strip (out_w*k) + int32
+  // wsum/offset/accumulators (6n words).
+  const std::int64_t k = 3 * 3 * 4;
+  const std::int64_t expect_conv = 16 * k + 8 * k + (16 + 16 + 4 * 16) * 4;
+  EXPECT_EQ(plan.step_scratch_bytes[static_cast<std::size_t>(conv)],
+            expect_conv);
+  EXPECT_EQ(fast_scratch_bytes(g, conv), expect_conv);
+  // Depthwise scratch: per-channel int32 accumulators.
+  EXPECT_EQ(plan.step_scratch_bytes[2], 16 * 4);
+  EXPECT_EQ(plan.scratch_peak_bytes, expect_conv);
+  // The honest arena peak includes the scratch live at the peak step.
+  EXPECT_GE(plan.total_peak_bytes, plan.peak_bytes);
+  EXPECT_EQ(plan.total_peak_bytes,
+            plan.step_bytes[static_cast<std::size_t>(conv)] + expect_conv);
+  // Resident panel bytes: bt + wsum of the single Conv2D.
+  EXPECT_EQ(plan.panel_bytes, 16 * k + 16 * 4);
+  EXPECT_EQ(fast_panel_bytes(g, conv), 16 * k + 16 * 4);
+}
+
+TEST(MemoryPlanner, ScratchModelMatchesMeasuredBackendFootprint) {
+  // The planner's per-layer scratch estimate hand-mirrors the Fast
+  // backend's layout; this pins the two together: after one conv on a
+  // fresh uncached-panel backend, the ScratchArena's measured footprint
+  // must equal fast_scratch_bytes exactly.
+  Graph g("t");
+  const int in = g.add_input(TensorShape{8, 8, 4});
+  const int conv = g.add_conv2d(in, 16, 3, 1, 1, Activation::ReLU);
+  models::init_parameters(g, 5);
+
+  ops::KernelBackend backend(ops::KernelTier::Fast,
+                             /*cache_weight_panels=*/false);
+  const QuantParams in_p = choose_quant_params(-1.0f, 1.0f, 8);
+  const QuantParams out_p = choose_quant_params(-2.0f, 2.0f, 8);
+  const QTensor qin(g.shape(in), in_p);
+  const ops::QuantizedWeights qw = ops::quantize_weights(g.weights(conv));
+  (void)backend.conv2d(qin, g.layer(conv), qw.data, qw.params, {}, out_p);
+  EXPECT_EQ(static_cast<std::int64_t>(backend.arena().footprint_bytes()),
+            fast_scratch_bytes(g, conv));
+}
+
+TEST(MemoryPlanner, ScratchCoversSoftmaxFloatDetour) {
+  Graph g("t");
+  const int in = g.add_input(TensorShape{1, 1, 10});
+  const int fc = g.add_fully_connected(in, 10, Activation::None);
+  const int sm = g.add_softmax(fc);
+  const auto plan = plan_layer_based(g, uniform_bits(g, 8));
+  EXPECT_EQ(plan.step_scratch_bytes[static_cast<std::size_t>(fc)], 0);
+  EXPECT_EQ(plan.step_scratch_bytes[static_cast<std::size_t>(sm)],
+            2 * 10 * 4);
 }
 
 }  // namespace
