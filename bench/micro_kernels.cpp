@@ -14,6 +14,8 @@
 #include "nn/ops/float_kernels.h"
 #include "nn/ops/int8_kernels.h"
 #include "nn/rng.h"
+#include "nn/runtime/session_pool.h"
+#include "nn/runtime/worker_pool.h"
 #include "patch/mcunetv2.h"
 #include "patch/patch_plan.h"
 #include "quant/bitpack.h"
@@ -297,6 +299,80 @@ void BM_RepeatedPatchRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * g.total_macs());
 }
 BENCHMARK(BM_RepeatedPatchRun)->Arg(0)->Arg(1);
+
+// Thread-scaling sweep for the parallel patch runtime: stage-1 branches
+// fanned out over a WorkerPool at 1/2/4/8 workers (arg 0). A finer grid
+// (3x3 = 9 branches) gives the scheduler enough independent patches to
+// keep every worker busy. The 1-worker row is the sequential code path —
+// the scaling baseline the acceptance criterion compares against. On a
+// single-core host the rows collapse to ~1x; the shape of the curve is
+// the artifact CI tracks across machines.
+void BM_ParallelPatchRun(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  models::ModelConfig cfg;
+  cfg.width_multiplier = 0.35f;
+  cfg.resolution = 96;
+  cfg.num_classes = 100;
+  const nn::Graph g = models::make_mobilenet_v2(cfg);
+  const nn::Tensor in = random_tensor(g.shape(0), 31);
+  const auto ranges = quant::calibrate_ranges(g, std::vector<nn::Tensor>{in});
+  const auto qcfg = quant::make_quant_config(g, ranges, nn::uniform_bits(g, 8));
+  const patch::PatchPlan plan =
+      patch::build_patch_plan(g, patch::plan_mcunetv2(g, {3, 4}));
+  const patch::PatchQuantExecutor pexec(g, plan, qcfg);
+  nn::WorkerPool pool(workers);
+  // Warm-up: builds worker contexts + prepacks per-worker panels.
+  (void)pexec.run_parallel(in, &pool);
+  std::int64_t stage_macs = plan.stage_macs_patched;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pexec.run_parallel(in, &pool));
+  }
+  state.SetItemsProcessed(state.iterations() * stage_macs);
+  state.counters["workers"] = workers;
+  state.counters["branches"] =
+      static_cast<double>(plan.branches.size());
+}
+BENCHMARK(BM_ParallelPatchRun)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// Throughput under concurrency for the serving front-end: `sessions`
+// (arg 0) pre-compiled sessions serve a backlog of requests submitted from
+// the bench thread; items/s is end-to-end requests drained per second.
+void BM_SessionPoolThroughput(benchmark::State& state) {
+  const int sessions = static_cast<int>(state.range(0));
+  models::ModelConfig cfg;
+  cfg.width_multiplier = 0.35f;
+  cfg.resolution = 64;
+  cfg.num_classes = 100;
+  const nn::Graph g = models::make_mobilenet_v2(cfg);
+  const nn::Tensor in = random_tensor(g.shape(0), 33);
+  const auto ranges = quant::calibrate_ranges(g, std::vector<nn::Tensor>{in});
+  const auto qcfg = quant::make_quant_config(g, ranges, nn::uniform_bits(g, 8));
+  const auto params = nn::QuantizedParameters::build_shared(g, qcfg);
+  nn::SessionPool<nn::CompiledQuantModel> pool(sessions, [&] {
+    return std::make_unique<nn::CompiledQuantModel>(
+        g, qcfg, nn::ops::KernelTier::Fast, params);
+  });
+  constexpr int kBacklog = 16;
+  // Warm-up batch: sessions size their arenas lazily on first run, and a
+  // full backlog spreads requests across (almost surely) every session so
+  // the timed iterations measure steady-state serving, not allocation.
+  {
+    std::vector<std::future<nn::QTensor>> warm;
+    for (int i = 0; i < kBacklog; ++i) warm.push_back(pool.submit(in));
+    for (auto& f : warm) (void)f.get();
+  }
+  for (auto _ : state) {
+    std::vector<std::future<nn::QTensor>> futures;
+    futures.reserve(kBacklog);
+    for (int i = 0; i < kBacklog; ++i) futures.push_back(pool.submit(in));
+    for (auto& f : futures) benchmark::DoNotOptimize(f.get());
+  }
+  state.SetItemsProcessed(state.iterations() * kBacklog);
+  state.counters["sessions"] = sessions;
+}
+BENCHMARK(BM_SessionPoolThroughput)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void BM_PatchPlanBuild(benchmark::State& state) {
   models::ModelConfig cfg;

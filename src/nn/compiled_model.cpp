@@ -81,6 +81,9 @@ Tensor CompiledModel::run(const Tensor& input,
   QMCU_REQUIRE(input.shape() == g.shape(g.inputs().front()),
                "input shape does not match graph input");
   check_arena(arena, plan_.peak_bytes, alignof(float));
+  // Compiled runs are per-run thread-affine: a session pool may serve this
+  // model from a different thread than the one that compiled it.
+  backend_.rebind_thread();
 
   memo_.resize(static_cast<std::size_t>(g.size()));
   measured_ = 0;
@@ -134,6 +137,8 @@ QTensor CompiledQuantModel::run(const Tensor& input,
   QMCU_REQUIRE(input.shape() == g.shape(g.inputs().front()),
                "input shape does not match graph input");
   check_arena(arena, plan_.peak_bytes, 1);
+  // Per-run thread affinity (see CompiledModel::run).
+  backend_.rebind_thread();
 
   memo_.resize(static_cast<std::size_t>(g.size()));
   measured_ = 0;

@@ -171,6 +171,19 @@ ArenaPlan ArenaPlanner::plan(std::span<const ArenaRequest> requests) const {
   return plan;
 }
 
+ParallelArenaPlan ArenaPlanner::plan_parallel(
+    std::span<const ArenaRequest> per_worker,
+    std::span<const ArenaRequest> shared, int num_workers) const {
+  QMCU_REQUIRE(num_workers >= 1, "parallel plan needs at least one worker");
+  ParallelArenaPlan p;
+  p.slice = plan(per_worker);
+  p.shared = plan(shared);
+  p.num_workers = num_workers;
+  p.slice_stride =
+      (p.slice.peak_bytes + alignment_ - 1) / alignment_ * alignment_;
+  return p;
+}
+
 ArenaPlan ArenaPlanner::plan(const Graph& g,
                              std::span<const int> act_bits) const {
   QMCU_REQUIRE(static_cast<int>(act_bits.size()) == g.size(),

@@ -111,6 +111,35 @@ struct ArenaPlan {
   std::int64_t live_peak_bytes = 0;
 };
 
+// Arena layout for parallel patch execution: one privately-owned slice per
+// worker (the branch-phase feature maps a worker rebinds patch after patch)
+// followed by one shared region (the reassembled cut-layer map, the
+// layer-based tail, the quantized full input). Workers only ever write
+// inside their own slice and into disjoint tiles of the shared assembled
+// slot, so the layout needs no locks:
+//
+//   [ slice 0 | slice 1 | ... | slice W-1 | shared ]
+//
+// `slice` is planned once (it is worker-count independent); the stride is
+// its peak rounded up to the planner's alignment so every slice base keeps
+// the alignment guarantee.
+struct ParallelArenaPlan {
+  ArenaPlan slice;   // per-worker branch-phase slots (request order)
+  ArenaPlan shared;  // shared slots (request order)
+  int num_workers = 1;
+  std::int64_t slice_stride = 0;  // aligned slice.peak_bytes
+
+  [[nodiscard]] std::int64_t slice_offset(int worker) const {
+    return static_cast<std::int64_t>(worker) * slice_stride;
+  }
+  [[nodiscard]] std::int64_t shared_offset() const {
+    return slice_stride * num_workers;
+  }
+  [[nodiscard]] std::int64_t total_bytes() const {
+    return shared_offset() + shared.peak_bytes;
+  }
+};
+
 // Greedy-by-size first-fit placement over lifetime intervals (the
 // TFLite-Micro arena strategy): tensors are placed largest-first at the
 // lowest offset that does not collide with any already-placed tensor whose
@@ -127,6 +156,14 @@ class ArenaPlanner {
   // placement matching plan_layer_based's liveness model.
   [[nodiscard]] ArenaPlan plan(const Graph& g,
                                std::span<const int> act_bits) const;
+
+  // Parallel layout: places `per_worker` into one slice (replicated
+  // `num_workers` times at slice_stride) and `shared` into the region after
+  // the last slice. Slice request lifetimes are per-worker-local and shared
+  // request lifetimes global, so the two lists are packed independently.
+  [[nodiscard]] ParallelArenaPlan plan_parallel(
+      std::span<const ArenaRequest> per_worker,
+      std::span<const ArenaRequest> shared, int num_workers) const;
 
  private:
   std::int64_t alignment_;

@@ -25,18 +25,22 @@ std::span<T> take_block(std::vector<std::vector<T>>& blocks, std::size_t& next,
 }  // namespace
 
 std::span<std::int8_t> ScratchArena::i8(std::size_t n) {
+  affinity_.check("ScratchArena");
   return take_block(i8_blocks_, i8_next_, n);
 }
 
 std::span<std::int32_t> ScratchArena::i32(std::size_t n) {
+  affinity_.check("ScratchArena");
   return take_block(i32_blocks_, i32_next_, n);
 }
 
 std::span<float> ScratchArena::f32(std::size_t n) {
+  affinity_.check("ScratchArena");
   return take_block(f32_blocks_, f32_next_, n);
 }
 
 void ScratchArena::reset() {
+  affinity_.check("ScratchArena");
   i8_next_ = 0;
   i32_next_ = 0;
   f32_next_ = 0;
@@ -241,6 +245,7 @@ void KernelBackend::conv2d_into(const QTensor& in, const Layer& l,
                                 const QuantParams& wparams,
                                 std::span<const std::int32_t> qbias,
                                 QTensor& out) {
+  guard();
   if (tier_ == KernelTier::Reference) {
     conv2d_q_into(in, l, qweights, wparams, qbias, out);
     return;
@@ -269,6 +274,7 @@ QTensor KernelBackend::conv2d(const QTensor& in, const Layer& l,
                               const QuantParams& wparams,
                               std::span<const std::int32_t> qbias,
                               const QuantParams& out_params) {
+  guard();
   QTensor out(conv_output_shape(in.shape(), l, l.out_channels), out_params);
   conv2d_into(in, l, qweights, wparams, qbias, out);
   return out;
@@ -282,6 +288,7 @@ QTensor KernelBackend::conv2d_packed(std::span<const std::uint8_t> packed,
                                      const QuantParams& wparams,
                                      std::span<const std::int32_t> qbias,
                                      const QuantParams& out_params) {
+  guard();
   QMCU_REQUIRE(
       static_cast<std::int64_t>(packed.size()) >=
           in_shape.bytes(in_params.bits),
@@ -318,6 +325,7 @@ void KernelBackend::depthwise_conv2d_into(const QTensor& in, const Layer& l,
                                           const QuantParams& wparams,
                                           std::span<const std::int32_t> qbias,
                                           QTensor& out) {
+  guard();
   if (tier_ == KernelTier::Reference) {
     depthwise_conv2d_q_into(in, l, qweights, wparams, qbias, out);
     return;
@@ -330,6 +338,7 @@ QTensor KernelBackend::depthwise_conv2d(const QTensor& in, const Layer& l,
                                         const QuantParams& wparams,
                                         std::span<const std::int32_t> qbias,
                                         const QuantParams& out_params) {
+  guard();
   QTensor out(conv_output_shape(in.shape(), l, in.shape().c), out_params);
   depthwise_conv2d_into(in, l, qweights, wparams, qbias, out);
   return out;
@@ -340,6 +349,7 @@ void KernelBackend::fully_connected_into(const QTensor& in, const Layer& l,
                                          const QuantParams& wparams,
                                          std::span<const std::int32_t> qbias,
                                          QTensor& out) {
+  guard();
   if (tier_ == KernelTier::Reference) {
     fully_connected_q_into(in, l, qweights, wparams, qbias, out);
     return;
@@ -412,12 +422,14 @@ QTensor KernelBackend::fully_connected(const QTensor& in, const Layer& l,
                                        const QuantParams& wparams,
                                        std::span<const std::int32_t> qbias,
                                        const QuantParams& out_params) {
+  guard();
   QTensor out(TensorShape{1, 1, l.out_channels}, out_params);
   fully_connected_into(in, l, qweights, wparams, qbias, out);
   return out;
 }
 
 QTensor KernelBackend::max_pool(const QTensor& in, const Layer& l) {
+  guard();
   // The reference max pool is already branch-light after the row-pointer
   // hoist; both tiers share it.
   return max_pool_q(in, l);
@@ -425,16 +437,19 @@ QTensor KernelBackend::max_pool(const QTensor& in, const Layer& l) {
 
 void KernelBackend::max_pool_into(const QTensor& in, const Layer& l,
                                   QTensor& out) {
+  guard();
   max_pool_q_into(in, l, out);
 }
 
 QTensor KernelBackend::avg_pool(const QTensor& in, const Layer& l) {
+  guard();
   // Single integer implementation (interior/border aware) for both tiers.
   return avg_pool_q(in, l);
 }
 
 void KernelBackend::avg_pool_into(const QTensor& in, const Layer& l,
                                   QTensor& out) {
+  guard();
   // The reciprocal table depends only on the window size — cache it so
   // repeated runs stop paying its construction.
   const int count = l.kernel_h * l.kernel_w;
@@ -446,10 +461,12 @@ void KernelBackend::avg_pool_into(const QTensor& in, const Layer& l,
 }
 
 QTensor KernelBackend::global_avg_pool(const QTensor& in) {
+  guard();
   return global_avg_pool_q(in);
 }
 
 void KernelBackend::global_avg_pool_into(const QTensor& in, QTensor& out) {
+  guard();
   arena_.reset();
   global_avg_pool_q_into(
       in, arena_.i32(static_cast<std::size_t>(in.shape().c)), out);
@@ -457,30 +474,36 @@ void KernelBackend::global_avg_pool_into(const QTensor& in, QTensor& out) {
 
 QTensor KernelBackend::add(const QTensor& lhs, const QTensor& rhs,
                            Activation act, const QuantParams& out_params) {
+  guard();
   return add_q(lhs, rhs, act, out_params);
 }
 
 void KernelBackend::add_into(const QTensor& lhs, const QTensor& rhs,
                              Activation act, QTensor& out) {
+  guard();
   add_q_into(lhs, rhs, act, out);
 }
 
 QTensor KernelBackend::concat(std::span<const QTensor* const> inputs,
                               const QuantParams& out_params) {
+  guard();
   return concat_q(inputs, out_params);
 }
 
 void KernelBackend::concat_into(std::span<const QTensor* const> inputs,
                                 QTensor& out) {
+  guard();
   concat_q_into(inputs, out);
 }
 
 QTensor KernelBackend::softmax(const QTensor& in,
                                const QuantParams& out_params) {
+  guard();
   return softmax_q(in, out_params);
 }
 
 void KernelBackend::softmax_into(const QTensor& in, QTensor& out) {
+  guard();
   // Same arithmetic chain as softmax_q (dequantize → softmax_f32 →
   // quantize), with the float detour living in arena scratch instead of
   // two heap tensors.
@@ -498,10 +521,12 @@ void KernelBackend::softmax_into(const QTensor& in, QTensor& out) {
 }
 
 QTensor KernelBackend::requantize(const QTensor& q, const QuantParams& target) {
+  guard();
   return requantize_q(q, target);
 }
 
 void KernelBackend::requantize_into(const QTensor& q, QTensor& out) {
+  guard();
   requantize_q_into(q, out);
 }
 
@@ -511,6 +536,7 @@ void KernelBackend::requantize_into(const QTensor& q, QTensor& out) {
 void KernelBackend::conv2d_f32_into(const Tensor& in, const Layer& l,
                                     std::span<const float> weights,
                                     std::span<const float> bias, Tensor& out) {
+  guard();
   if (tier_ == KernelTier::Reference) {
     ops::conv2d_f32_into(in, l, weights, bias, out);
     return;
@@ -539,6 +565,7 @@ void KernelBackend::conv2d_f32_into(const Tensor& in, const Layer& l,
 Tensor KernelBackend::conv2d_f32(const Tensor& in, const Layer& l,
                                  std::span<const float> weights,
                                  std::span<const float> bias) {
+  guard();
   Tensor out(conv_output_shape(in.shape(), l, l.out_channels));
   conv2d_f32_into(in, l, weights, bias, out);
   return out;
@@ -547,6 +574,7 @@ Tensor KernelBackend::conv2d_f32(const Tensor& in, const Layer& l,
 Tensor KernelBackend::depthwise_conv2d_f32(const Tensor& in, const Layer& l,
                                            std::span<const float> weights,
                                            std::span<const float> bias) {
+  guard();
   return ops::depthwise_conv2d_f32(in, l, weights, bias);
 }
 
@@ -554,12 +582,14 @@ void KernelBackend::depthwise_conv2d_f32_into(const Tensor& in, const Layer& l,
                                               std::span<const float> weights,
                                               std::span<const float> bias,
                                               Tensor& out) {
+  guard();
   ops::depthwise_conv2d_f32_into(in, l, weights, bias, out);
 }
 
 Tensor KernelBackend::fully_connected_f32(const Tensor& in, const Layer& l,
                                           std::span<const float> weights,
                                           std::span<const float> bias) {
+  guard();
   return ops::fully_connected_f32(in, l, weights, bias);
 }
 
@@ -567,6 +597,7 @@ void KernelBackend::fully_connected_f32_into(const Tensor& in, const Layer& l,
                                              std::span<const float> weights,
                                              std::span<const float> bias,
                                              Tensor& out) {
+  guard();
   ops::fully_connected_f32_into(in, l, weights, bias, out);
 }
 

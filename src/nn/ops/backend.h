@@ -18,8 +18,10 @@
 // by both tiers.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <span>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -31,16 +33,56 @@ namespace qmcu::nn::ops {
 
 enum class KernelTier { Reference, Fast };
 
+// Thread-affinity guard for the backend's shared mutable state (the scratch
+// arena, the lazily-filled weight-panel and AvgPool-table caches). None of
+// that state is synchronised — the design is one KernelBackend per worker —
+// so silently sharing a backend across threads corrupts scratch in ways
+// that show up as wrong outputs long after the race. The guard makes the
+// misuse loud instead: the first guarded use after rebind() adopts the
+// calling thread as owner, and any use from a different thread throws. One
+// relaxed atomic load per *op* (not per element) — unmeasurable next to a
+// convolution.
+class ThreadAffinity {
+ public:
+  // Releases the binding; the next check() adopts its calling thread. Call
+  // when intentionally handing the guarded object to another thread (the
+  // parallel patch runtime rebinds each worker context at dispatch).
+  void rebind() { owner_.store(std::thread::id(), std::memory_order_release); }
+
+  void check(const char* what) const {
+    const std::thread::id self = std::this_thread::get_id();
+    std::thread::id seen = owner_.load(std::memory_order_relaxed);
+    if (seen == self) return;
+    if (seen == std::thread::id() &&
+        owner_.compare_exchange_strong(seen, self,
+                                       std::memory_order_acq_rel)) {
+      return;
+    }
+    QMCU_ENSURE(seen == self,
+                std::string(what) +
+                    ": used from a second thread without rebind() — one "
+                    "KernelBackend/ScratchArena per worker");
+  }
+
+ private:
+  mutable std::atomic<std::thread::id> owner_{std::thread::id()};
+};
+
 // Grow-only typed scratch pool. Blocks are handed out in request order and
 // all returned by reset() (called at the start of each op); capacity is
 // retained so steady-state inference performs no allocations. Blocks are
-// stable: a later request never invalidates an earlier span.
+// stable: a later request never invalidates an earlier span. Thread-affine:
+// all allocation and reset must come from one thread (rebind_thread() hands
+// the arena over); footprint accounting is read-only and exempt.
 class ScratchArena {
  public:
   std::span<std::int8_t> i8(std::size_t n);
   std::span<std::int32_t> i32(std::size_t n);
   std::span<float> f32(std::size_t n);
   void reset();
+
+  // Hands the arena to the next thread that allocates from it.
+  void rebind_thread() { affinity_.rebind(); }
 
   // Total capacity held across all pools, for memory accounting.
   [[nodiscard]] std::size_t footprint_bytes() const;
@@ -52,6 +94,7 @@ class ScratchArena {
   std::size_t i8_next_ = 0;
   std::size_t i32_next_ = 0;
   std::size_t f32_next_ = 0;
+  ThreadAffinity affinity_;
 };
 
 class KernelBackend {
@@ -68,6 +111,16 @@ class KernelBackend {
 
   [[nodiscard]] KernelTier tier() const { return tier_; }
   [[nodiscard]] ScratchArena& arena() { return arena_; }
+
+  // Hands the backend (scratch arena + panel/table caches) to the next
+  // thread that runs an op through it. Every op entry point asserts the
+  // calling thread matches the adopted owner, so a backend can never be
+  // silently shared across workers; prepack() is construction-time and
+  // exempt (it must complete before the backend is handed to a worker).
+  void rebind_thread() {
+    affinity_.rebind();
+    arena_.rebind_thread();
+  }
 
   // Repacks (and caches) the k-major panel + column sums for a conv weight
   // blob ahead of time, so a compiled model's first inference pays no
@@ -173,9 +226,13 @@ class KernelBackend {
   // Returns the k-major panel for `qweights` (cached or arena-backed).
   PanelView weight_panel(std::span<const std::int8_t> qweights, int n, int k);
 
+  // Affinity assert shared by every op entry point.
+  void guard() const { affinity_.check("KernelBackend"); }
+
   KernelTier tier_;
   bool cache_weight_panels_;
   ScratchArena arena_;
+  ThreadAffinity affinity_;
   std::unordered_map<const std::int8_t*, WeightPanel> panels_;
   // AvgPool reciprocal tables keyed by window size, reused across runs.
   std::unordered_map<int, AvgPoolMultipliers> avg_pool_tables_;

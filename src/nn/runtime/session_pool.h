@@ -1,0 +1,152 @@
+// session_pool.h — the concurrent serving front-end.
+//
+// Every compiled model in this repo is compile-once / run-many but
+// single-flight: one arena, one scratch arena, one weight-panel cache, all
+// rebound per run. Serving concurrent traffic therefore needs N pre-built
+// execution contexts, not per-request compilation. That is exactly what
+// this layer owns:
+//
+//   InferenceSession — one (model, arena, scratch) triple. The model owns
+//     its static tensor arena and its KernelBackend (scratch + panel
+//     cache); the session adds request accounting and is the unit of
+//     exclusive execution: at most one request runs on a session at a time.
+//
+//   SessionPool — N sessions plus N serving threads and one blocking
+//     request queue. submit() enqueues a request and returns a future;
+//     whichever serving thread frees up first pops it and runs it on *its
+//     own* session, so a session is only ever driven by one thread (the
+//     backend's thread-affinity guard holds by construction) and requests
+//     reuse compiled state instead of paying compilation per request.
+//
+// Both are templates over the model type — CompiledModel,
+// CompiledQuantModel, the patch models, or any type with
+// `Output run(const nn::Tensor&) const`. Construction runs the factory N
+// times on the calling thread (compilation + weight prepack happen here,
+// before any traffic); destruction drains already-queued requests, then
+// joins the serving threads.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "nn/check.h"
+#include "nn/runtime/task_queue.h"
+#include "nn/tensor.h"
+
+namespace qmcu::nn {
+
+template <class Model>
+class InferenceSession {
+ public:
+  using Output =
+      decltype(std::declval<const Model&>().run(std::declval<const Tensor&>()));
+
+  explicit InferenceSession(std::unique_ptr<Model> model)
+      : model_(std::move(model)) {
+    QMCU_REQUIRE(model_ != nullptr, "session needs a model");
+  }
+
+  // Exclusive execution: callers (SessionPool serving threads, or a user
+  // managing their own threads) must not run one session concurrently —
+  // the backend's affinity guard turns violations into exceptions.
+  Output run(const Tensor& input) {
+    ++requests_;
+    return model_->run(input);
+  }
+
+  [[nodiscard]] const Model& model() const { return *model_; }
+  [[nodiscard]] Model& model() { return *model_; }
+  [[nodiscard]] std::uint64_t requests_served() const { return requests_; }
+
+ private:
+  std::unique_ptr<Model> model_;
+  std::uint64_t requests_ = 0;  // touched only by the serving thread
+};
+
+template <class Model>
+class SessionPool {
+ public:
+  using Output = typename InferenceSession<Model>::Output;
+  using Factory = std::function<std::unique_ptr<Model>()>;
+
+  SessionPool(int sessions, const Factory& factory) {
+    QMCU_REQUIRE(sessions >= 1, "session pool needs at least one session");
+    sessions_.reserve(static_cast<std::size_t>(sessions));
+    for (int i = 0; i < sessions; ++i) {
+      sessions_.push_back(
+          std::make_unique<InferenceSession<Model>>(factory()));
+    }
+    threads_.reserve(static_cast<std::size_t>(sessions));
+    for (int i = 0; i < sessions; ++i) {
+      threads_.emplace_back([this, i] { serve(static_cast<std::size_t>(i)); });
+    }
+  }
+
+  ~SessionPool() {
+    queue_.shutdown();  // serving threads drain queued requests, then exit
+    for (std::thread& t : threads_) t.join();
+  }
+
+  SessionPool(const SessionPool&) = delete;
+  SessionPool& operator=(const SessionPool&) = delete;
+
+  // Enqueues one request; the future resolves with the output (or the
+  // exception the model threw). The input is captured by value — the
+  // caller's tensor may die before the request runs.
+  std::future<Output> submit(Tensor input) {
+    auto promise = std::make_shared<std::promise<Output>>();
+    std::future<Output> result = promise->get_future();
+    queue_.push([this, promise, input = std::move(input)](std::size_t si) {
+      try {
+        Output out = sessions_[si]->run(input);
+        // Count before fulfilling the promise so completed() is already
+        // up to date when the submitter's future.get() returns.
+        completed_.fetch_add(1, std::memory_order_relaxed);
+        promise->set_value(std::move(out));
+      } catch (...) {
+        promise->set_exception(std::current_exception());
+      }
+    });
+    return result;
+  }
+
+  // Synchronous convenience: submit + wait. Unlike calling a model
+  // directly, this is safe from any number of caller threads at once.
+  Output run(const Tensor& input) { return submit(input).get(); }
+
+  [[nodiscard]] int num_sessions() const {
+    return static_cast<int>(sessions_.size());
+  }
+  // Requests completed successfully across all sessions.
+  [[nodiscard]] std::uint64_t completed() const {
+    return completed_.load(std::memory_order_relaxed);
+  }
+  // Requests queued but not yet picked up by a serving thread.
+  [[nodiscard]] std::size_t pending() const { return queue_.depth(); }
+  // Per-session request counts (read when no traffic is in flight).
+  [[nodiscard]] std::vector<std::uint64_t> per_session_requests() const {
+    std::vector<std::uint64_t> counts;
+    counts.reserve(sessions_.size());
+    for (const auto& s : sessions_) counts.push_back(s->requests_served());
+    return counts;
+  }
+
+ private:
+  void serve(std::size_t session_index) {
+    runtime::TaskQueue::Task task;
+    while (queue_.pop(task)) task(session_index);
+  }
+
+  std::vector<std::unique_ptr<InferenceSession<Model>>> sessions_;
+  runtime::TaskQueue queue_;
+  std::vector<std::thread> threads_;
+  std::atomic<std::uint64_t> completed_{0};
+};
+
+}  // namespace qmcu::nn

@@ -1,0 +1,38 @@
+#include "nn/runtime/task_queue.h"
+
+#include <utility>
+
+namespace qmcu::nn::runtime {
+
+void TaskQueue::push(Task task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return;
+    tasks_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+bool TaskQueue::pop(Task& out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return closed_ || !tasks_.empty(); });
+  if (tasks_.empty()) return false;  // closed and drained
+  out = std::move(tasks_.front());
+  tasks_.pop_front();
+  return true;
+}
+
+void TaskQueue::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t TaskQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tasks_.size();
+}
+
+}  // namespace qmcu::nn::runtime

@@ -1,0 +1,46 @@
+// task_queue.h — blocking MPMC queue of serving-lane tasks.
+//
+// The non-template half of SessionPool: producers (any thread calling
+// submit) push closures, consumers (the pool's serving threads) block in
+// pop until a task or shutdown arrives. Each task receives the index of
+// the serving lane that runs it — that is how a queued request gets bound
+// to whichever pre-compiled session frees up first without ever sharing a
+// session between threads. shutdown() lets consumers drain what is already
+// queued, then releases them.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+
+namespace qmcu::nn::runtime {
+
+class TaskQueue {
+ public:
+  // Argument: the serving-lane index executing the task.
+  using Task = std::function<void(std::size_t)>;
+
+  // Enqueues a task. After shutdown the task is dropped: any promise it
+  // owned is destroyed unfulfilled, so the submitter's future.get() throws
+  // std::future_error(broken_promise) — a submit/teardown race is loud,
+  // not a hang.
+  void push(Task task);
+
+  // Blocks until a task is available or the queue is shut down *and*
+  // drained. Returns false only in the latter case.
+  bool pop(Task& out);
+
+  void shutdown();
+
+  [[nodiscard]] std::size_t depth() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Task> tasks_;
+  bool closed_ = false;
+};
+
+}  // namespace qmcu::nn::runtime

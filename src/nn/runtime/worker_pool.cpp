@@ -1,0 +1,146 @@
+#include "nn/runtime/worker_pool.h"
+
+#include <algorithm>
+
+#include "nn/check.h"
+
+namespace qmcu::nn {
+
+WorkerPool::WorkerPool(int workers) {
+  const int w = std::max(workers, 1);
+  lanes_.reserve(static_cast<std::size_t>(w));
+  for (int i = 0; i < w; ++i) lanes_.push_back(std::make_unique<Lane>());
+  threads_.reserve(static_cast<std::size_t>(w - 1));
+  for (int i = 1; i < w; ++i) {
+    threads_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(job_mu_);
+    shutdown_ = true;
+  }
+  job_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+int WorkerPool::hardware_workers() {
+  return std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+}
+
+bool WorkerPool::take_own(int lane, Chunk& out) {
+  Lane& l = *lanes_[static_cast<std::size_t>(lane)];
+  std::lock_guard<std::mutex> lock(l.mu);
+  if (l.chunks.empty()) return false;
+  out = l.chunks.front();
+  l.chunks.pop_front();
+  return true;
+}
+
+bool WorkerPool::steal_any(int thief, Chunk& out) {
+  const int w = num_workers();
+  for (int d = 1; d < w; ++d) {
+    Lane& victim = *lanes_[static_cast<std::size_t>((thief + d) % w)];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (victim.chunks.empty()) continue;
+    // Steal from the opposite end the owner pops from: the freshest (and
+    // for block-dealt ranges, the most distant) work migrates first.
+    out = victim.chunks.back();
+    victim.chunks.pop_back();
+    return true;
+  }
+  return false;
+}
+
+void WorkerPool::record_exception() {
+  std::lock_guard<std::mutex> lock(job_mu_);
+  if (!first_error_) first_error_ = std::current_exception();
+}
+
+void WorkerPool::drain(int lane, const Body& body) {
+  Chunk c{};
+  while (take_own(lane, c) || steal_any(lane, c)) {
+    try {
+      body(c.begin, c.end, lane);
+    } catch (...) {
+      record_exception();
+    }
+  }
+}
+
+void WorkerPool::worker_main(int lane) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const Body* body = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(job_mu_);
+      job_cv_.wait(lock,
+                   [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      body = body_;
+    }
+    drain(lane, *body);
+    {
+      std::lock_guard<std::mutex> lock(job_mu_);
+      if (--active_workers_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void WorkerPool::parallel_for(std::int64_t count, std::int64_t grain,
+                              const Body& body) {
+  if (count <= 0) return;
+  grain = std::max<std::int64_t>(grain, 1);
+  const int w = num_workers();
+
+  if (w == 1) {
+    // Inline sequential path: identical chunking, no scheduler involved.
+    for (std::int64_t b = 0; b < count; b += grain) {
+      body(b, std::min(b + grain, count), 0);
+    }
+    return;
+  }
+
+  // Deal contiguous chunk runs lane by lane (block distribution): each
+  // worker starts on a compact stretch of the range and stealing moves
+  // whole chunks from the far end of a loaded lane.
+  const std::int64_t chunks = (count + grain - 1) / grain;
+  const std::int64_t per_lane = chunks / w;
+  std::int64_t extra = chunks % w;
+  std::int64_t next = 0;
+  for (int lane = 0; lane < w; ++lane) {
+    const std::int64_t take = per_lane + (lane < extra ? 1 : 0);
+    Lane& l = *lanes_[static_cast<std::size_t>(lane)];
+    std::lock_guard<std::mutex> lock(l.mu);
+    QMCU_ENSURE(l.chunks.empty(), "parallel_for is not reentrant");
+    for (std::int64_t i = 0; i < take; ++i, ++next) {
+      l.chunks.push_back(
+          {next * grain, std::min((next + 1) * grain, count)});
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(job_mu_);
+    body_ = &body;
+    first_error_ = nullptr;
+    active_workers_ = w - 1;
+    ++generation_;
+  }
+  job_cv_.notify_all();
+
+  drain(0, body);  // the caller is worker 0
+
+  std::unique_lock<std::mutex> lock(job_mu_);
+  done_cv_.wait(lock, [&] { return active_workers_ == 0; });
+  body_ = nullptr;
+  if (first_error_) {
+    std::exception_ptr e = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
+}
+
+}  // namespace qmcu::nn

@@ -1,0 +1,99 @@
+// worker_pool.h — fixed thread pool with a chunked work-stealing scheduler.
+//
+// The patch stage of the paper's runtime is embarrassingly parallel: every
+// branch (patch) computes a spatially independent slice of the cut layer's
+// feature map, and the only cross-branch interaction is the final region
+// merge into disjoint tiles. WorkerPool is the execution substrate for that
+// stage: parallel_for splits an index range into chunks, deals the chunks
+// into per-worker deques, and lets idle workers steal from the back of a
+// victim's deque — so an unlucky worker stuck on an expensive border patch
+// does not serialise the whole grid.
+//
+// Contracts the patch runtime depends on:
+//   * The calling thread participates as worker 0, so a pool with
+//     num_workers() == 1 runs the loop inline with no locks, no thread
+//     hand-off and no memory-ordering surprises — exactly the sequential
+//     code path.
+//   * Each invocation of `body` receives the worker lane index [0, W) it
+//     runs on; lanes map 1:1 to threads for the duration of one
+//     parallel_for, which is what makes per-worker arenas and per-worker
+//     KernelBackend scratch sound.
+//   * parallel_for is a barrier: it returns only after every chunk has
+//     executed. Exceptions thrown by `body` are captured (first one wins)
+//     and rethrown on the calling thread after the barrier.
+//
+// A WorkerPool is itself thread-affine: only one parallel_for may be in
+// flight at a time (the patch models and benches own their pools), and it
+// must be driven from one thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qmcu::nn {
+
+class WorkerPool {
+ public:
+  // One chunk of a parallel_for range, executed by body(begin, end, worker).
+  using Body = std::function<void(std::int64_t, std::int64_t, int)>;
+
+  // `workers` total lanes including the caller; clamped to >= 1. The pool
+  // spawns workers-1 parked threads.
+  explicit WorkerPool(int workers);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  [[nodiscard]] int num_workers() const {
+    return static_cast<int>(lanes_.size());
+  }
+
+  // Runs body over [0, count) split into chunks of `grain` indices
+  // (last chunk may be short). Blocks until all chunks are done.
+  void parallel_for(std::int64_t count, std::int64_t grain, const Body& body);
+
+  // Reasonable default worker count for this host (>= 1).
+  static int hardware_workers();
+
+ private:
+  struct Chunk {
+    std::int64_t begin;
+    std::int64_t end;
+  };
+  // One worker's chunk deque. The owner pops from the front, thieves steal
+  // from the back; patch chunks are coarse (whole dataflow branches), so a
+  // plain mutex per lane costs nothing measurable next to the kernels.
+  struct Lane {
+    std::mutex mu;
+    std::deque<Chunk> chunks;
+  };
+
+  void worker_main(int lane);
+  void drain(int lane, const Body& body);
+  [[nodiscard]] bool take_own(int lane, Chunk& out);
+  [[nodiscard]] bool steal_any(int thief, Chunk& out);
+  void record_exception();
+
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::vector<std::thread> threads_;
+
+  // Dispatch state: generation bumps wake the parked workers for one job.
+  std::mutex job_mu_;
+  std::condition_variable job_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;
+  int active_workers_ = 0;
+  const Body* body_ = nullptr;
+  bool shutdown_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace qmcu::nn

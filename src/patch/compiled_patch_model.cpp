@@ -76,58 +76,33 @@ nn::QTensor borrow_q(nn::ops::ScratchArena& a, const nn::TensorShape& s,
   return nn::QTensor(s, p, std::span<std::int8_t>(buf.data(), buf.size()));
 }
 
-// Writes `tile` (covering `r` of the assembled map) into the assembled
-// buffer, rescaling into its params — the same values the legacy path
-// produces via requantize_q + per-element scatter.
-void requantize_region_into(const nn::QTensor& tile, const Region& r,
-                            nn::QTensor& assembled) {
-  const nn::QuantParams& p = tile.params();
-  const nn::QuantParams& t = assembled.params();
-  const int c = assembled.shape().c;
-  if (p == t) {
-    for (int y = r.y.begin; y < r.y.end; ++y) {
-      for (int x = r.x.begin; x < r.x.end; ++x) {
-        std::memcpy(
-            assembled.data().data() +
-                nn::flat_index(assembled.shape(), y, x, 0),
-            tile.data().data() +
-                nn::flat_index(tile.shape(), y - r.y.begin, x - r.x.begin, 0),
-            static_cast<std::size_t>(c));
-      }
-    }
-    return;
-  }
-  const nn::ops::ElementRequantizer rq(static_cast<double>(p.scale) /
-                                       static_cast<double>(t.scale));
-  const std::int32_t qmin = t.qmin();
-  const std::int32_t qmax = t.qmax();
-  for (int y = r.y.begin; y < r.y.end; ++y) {
-    for (int x = r.x.begin; x < r.x.end; ++x) {
-      for (int ch = 0; ch < c; ++ch) {
-        const std::int32_t v =
-            rq.apply(static_cast<std::int32_t>(
-                         tile.at(y - r.y.begin, x - r.x.begin, ch)) -
-                     p.zero_point) +
-            t.zero_point;
-        assembled.at(y, x, ch) = static_cast<std::int8_t>(
-            std::clamp(v, qmin, qmax));
-      }
-    }
-  }
+// Binds a float view onto its planned slot at `base`. `measured` tracks the
+// furthest byte actually written through bound views (base-relative), not
+// the planned slot size: the high-water is a measurement, and it reaches
+// the planned peak because the largest branch fully exercises its slot.
+nn::Tensor bind_f32_slot(std::uint8_t* base, const nn::ArenaSlot& slot,
+                         const nn::TensorShape& shape,
+                         std::int64_t& measured) {
+  const std::int64_t bytes =
+      shape.elements() * static_cast<std::int64_t>(sizeof(float));
+  QMCU_ENSURE(bytes <= slot.size, "bound view exceeds its arena slot");
+  measured = std::max(measured, slot.offset + bytes);
+  auto* data = reinterpret_cast<float*>(base + slot.offset);
+  return nn::Tensor(
+      shape, std::span<float>(data, static_cast<std::size_t>(shape.elements())));
 }
 
-void copy_region_into(const nn::Tensor& tile, const Region& r,
-                      nn::Tensor& assembled) {
-  const int c = assembled.shape().c;
-  for (int y = r.y.begin; y < r.y.end; ++y) {
-    for (int x = r.x.begin; x < r.x.end; ++x) {
-      std::memcpy(
-          assembled.data().data() + nn::flat_index(assembled.shape(), y, x, 0),
-          tile.data().data() +
-              nn::flat_index(tile.shape(), y - r.y.begin, x - r.x.begin, 0),
-          static_cast<std::size_t>(c) * sizeof(float));
-    }
-  }
+nn::QTensor bind_q_slot(std::uint8_t* base, const nn::ArenaSlot& slot,
+                        const nn::TensorShape& shape, const nn::QuantParams& p,
+                        std::int64_t& measured) {
+  QMCU_ENSURE(shape.elements() <= slot.size,
+              "bound view exceeds its arena slot");
+  measured = std::max(measured, slot.offset + shape.elements());
+  auto* data = reinterpret_cast<std::int8_t*>(base + slot.offset);
+  return nn::QTensor(
+      shape, p,
+      std::span<std::int8_t>(data,
+                             static_cast<std::size_t>(shape.elements())));
 }
 
 }  // namespace
@@ -167,11 +142,159 @@ CompiledPatchModel::CompiledPatchModel(const nn::Graph& g, PatchPlan plan,
   num_steps_ = t.num_steps;
   assembled_slot_ = t.assembled_index;
   aplan_ = nn::ArenaPlanner().plan(t.requests);
+  // Parallel layout inputs: branch-step slots become the per-worker slice,
+  // tail + assembled slots the shared region.
+  slice_requests_.assign(t.requests.begin(),
+                         t.requests.begin() + num_steps_);
+  shared_requests_.assign(t.requests.begin() + num_steps_, t.requests.end());
+  par_assembled_slot_ = static_cast<int>(shared_requests_.size()) - 1;
+}
+
+const nn::ParallelArenaPlan& CompiledPatchModel::parallel_plan(
+    int num_workers) const {
+  auto it = pplans_.find(num_workers);
+  if (it == pplans_.end()) {
+    it = pplans_
+             .emplace(num_workers,
+                      nn::ArenaPlanner().plan_parallel(
+                          slice_requests_, shared_requests_, num_workers))
+             .first;
+  }
+  return it->second;
+}
+
+CompiledPatchModel::WorkerCtx& CompiledPatchModel::worker_ctx(
+    int lane) const {
+  // Unlike the quant variant there is nothing to prepack: the float conv
+  // path packs its k-major panel into arena scratch per call (no f32 panel
+  // cache exists), so a fresh context is ready immediately.
+  while (static_cast<int>(workers_.size()) <= lane) {
+    workers_.push_back(std::make_unique<WorkerCtx>(backend_.tier()));
+  }
+  return *workers_[static_cast<std::size_t>(lane)];
 }
 
 std::int64_t CompiledPatchModel::scratch_bytes() const {
-  return static_cast<std::int64_t>(crops_.footprint_bytes() +
-                                   backend_.arena().footprint_bytes());
+  std::int64_t total = static_cast<std::int64_t>(
+      crops_.footprint_bytes() + backend_.arena().footprint_bytes());
+  for (const auto& w : workers_) {
+    total += static_cast<std::int64_t>(w->crops.footprint_bytes() +
+                                       w->backend.arena().footprint_bytes());
+  }
+  return total;
+}
+
+void CompiledPatchModel::exec_branch(
+    const PatchBranch& branch, const nn::Tensor& input, std::uint8_t* base,
+    std::span<const nn::ArenaSlot> slots, nn::ops::KernelBackend& backend,
+    nn::ops::ScratchArena& crops, std::span<nn::Tensor> step_views,
+    std::int64_t& measured, nn::Tensor& assembled) const {
+  const nn::Graph& g = *graph_;
+  const int split = plan_.spec.split_layer;
+  for (int s = 0; s < num_steps_; ++s) {
+    const BranchStep& step = branch.steps[static_cast<std::size_t>(s)];
+    const nn::Layer& layer = g.layer(step.layer_id);
+    nn::Tensor out = bind_f32_slot(
+        base, slots[static_cast<std::size_t>(s)],
+        region_shape(step, g.shape(step.layer_id).c), measured);
+    crops.reset();
+
+    const auto producer_crop = [&](int input_id,
+                                   const Region& want) -> nn::Tensor {
+      const int p = branch.step_of(input_id);
+      QMCU_ENSURE(p >= 0 && p < s, "producer step missing from branch");
+      const BranchStep& ps = branch.steps[static_cast<std::size_t>(p)];
+      nn::Tensor crop = borrow_f32(
+          crops, nn::TensorShape{want.y.size(), want.x.size(),
+                                 g.shape(input_id).c});
+      crop_from_region_into(step_views[static_cast<std::size_t>(p)],
+                            ps.out_region, want, g.shape(input_id), crop);
+      return crop;
+    };
+
+    switch (layer.kind) {
+      case nn::OpKind::Input:
+        crop_from_region_into(input, full_region(input.shape()),
+                              step.out_region, input.shape(), out);
+        break;
+      case nn::OpKind::Conv2D:
+      case nn::OpKind::DepthwiseConv2D: {
+        // Zero padding is exactly what the unclamped crop materialises,
+        // so run the kernel pad-free on the region tensor.
+        const nn::Tensor padded =
+            producer_crop(layer.inputs[0], step.in_region);
+        nn::Layer local = layer;
+        local.pad_h = local.pad_w = 0;
+        if (layer.kind == nn::OpKind::Conv2D) {
+          backend.conv2d_f32_into(padded, local, g.weights(step.layer_id),
+                                  g.bias(step.layer_id), out);
+        } else {
+          backend.depthwise_conv2d_f32_into(padded, local,
+                                            g.weights(step.layer_id),
+                                            g.bias(step.layer_id), out);
+        }
+        break;
+      }
+      case nn::OpKind::MaxPool:
+      case nn::OpKind::AvgPool: {
+        const int p = branch.step_of(layer.inputs[0]);
+        QMCU_ENSURE(p >= 0, "producer step missing from branch");
+        pool_region_f32_into(
+            step_views[static_cast<std::size_t>(p)],
+            branch.steps[static_cast<std::size_t>(p)].out_region, layer,
+            step.out_region, g.shape(layer.inputs[0]), out);
+        break;
+      }
+      case nn::OpKind::Add: {
+        const nn::Tensor a = producer_crop(layer.inputs[0], step.out_region);
+        const nn::Tensor b = producer_crop(layer.inputs[1], step.out_region);
+        nn::ops::add_f32_into(a, b, layer.act, out);
+        break;
+      }
+      case nn::OpKind::Concat: {
+        std::vector<nn::Tensor> cropped;
+        cropped.reserve(layer.inputs.size());
+        for (int in : layer.inputs) {
+          cropped.push_back(producer_crop(in, step.out_region));
+        }
+        std::vector<const nn::Tensor*> ptrs;
+        ptrs.reserve(cropped.size());
+        for (const nn::Tensor& t : cropped) ptrs.push_back(&t);
+        nn::ops::concat_f32_into(ptrs, out);
+        break;
+      }
+      default:
+        QMCU_REQUIRE(false, "op kind not supported inside a patch stage: " +
+                                std::string(nn::to_string(layer.kind)));
+    }
+    step_views[static_cast<std::size_t>(s)] = std::move(out);
+  }
+  const BranchStep& last = branch.steps.back();
+  QMCU_ENSURE(last.layer_id == split, "branch must end at the cut layer");
+  merge_region_f32(step_views[static_cast<std::size_t>(num_steps_ - 1)],
+                   last.out_region, assembled);
+}
+
+nn::Tensor CompiledPatchModel::exec_tail(std::uint8_t* base,
+                                         std::span<const nn::ArenaSlot> slots,
+                                         int first_tail_slot,
+                                         int assembled_slot,
+                                         std::int64_t& measured) const {
+  const nn::Graph& g = *graph_;
+  const int split = plan_.spec.split_layer;
+  tail_memo_.resize(static_cast<std::size_t>(g.size()));
+  tail_memo_[static_cast<std::size_t>(split)] = bind_f32_slot(
+      base, slots[static_cast<std::size_t>(assembled_slot)], g.shape(split),
+      measured);
+  for (int id = split + 1; id < g.size(); ++id) {
+    tail_memo_[static_cast<std::size_t>(id)] = bind_f32_slot(
+        base,
+        slots[static_cast<std::size_t>(first_tail_slot + (id - split - 1))],
+        g.shape(id), measured);
+    nn::run_layer_f32_into(g, id, tail_memo_, backend_,
+                           tail_memo_[static_cast<std::size_t>(id)]);
+  }
+  return tail_memo_[static_cast<std::size_t>(g.output())];
 }
 
 nn::Tensor CompiledPatchModel::run(const nn::Tensor& input) const {
@@ -182,124 +305,81 @@ nn::Tensor CompiledPatchModel::run(const nn::Tensor& input) const {
   if (static_cast<std::int64_t>(arena_.size()) < aplan_.peak_bytes) {
     arena_.resize(static_cast<std::size_t>(aplan_.peak_bytes));
   }
-  nn::check_arena(arena_, aplan_.peak_bytes,alignof(float));
+  nn::check_arena(arena_, aplan_.peak_bytes, alignof(float));
+  // Compiled runs are per-run thread-affine: hand this run's contexts to
+  // the calling thread.
+  backend_.rebind_thread();
+  crops_.rebind_thread();
   measured_ = 0;
-  const auto bind_f32 = [&](int slot_index,
-                            const nn::TensorShape& shape) -> nn::Tensor {
-    const nn::ArenaSlot& slot =
-        aplan_.slots[static_cast<std::size_t>(slot_index)];
-    const std::int64_t bytes =
-        shape.elements() * static_cast<std::int64_t>(sizeof(float));
-    QMCU_ENSURE(bytes <= slot.size, "bound view exceeds its arena slot");
-    // Actual bytes written through this view, not the planned slot size:
-    // the high-water is a measurement, and it reaches the planned peak
-    // because the largest branch fully exercises its slot.
-    measured_ = std::max(measured_, slot.offset + bytes);
-    auto* base = reinterpret_cast<float*>(arena_.data() + slot.offset);
-    return nn::Tensor(shape,
-                      std::span<float>(base, static_cast<std::size_t>(
-                                                 shape.elements())));
-  };
 
-  nn::Tensor assembled = bind_f32(assembled_slot_, g.shape(split));
+  nn::Tensor assembled = bind_f32_slot(
+      arena_.data(), aplan_.slots[static_cast<std::size_t>(assembled_slot_)],
+      g.shape(split), measured_);
   step_views_.resize(static_cast<std::size_t>(num_steps_));
-
   for (const PatchBranch& branch : plan_.branches) {
-    for (int s = 0; s < num_steps_; ++s) {
-      const BranchStep& step = branch.steps[static_cast<std::size_t>(s)];
-      const nn::Layer& layer = g.layer(step.layer_id);
-      nn::Tensor out =
-          bind_f32(s, region_shape(step, g.shape(step.layer_id).c));
-      crops_.reset();
+    exec_branch(branch, input, arena_.data(),
+                std::span<const nn::ArenaSlot>(aplan_.slots)
+                    .subspan(0, static_cast<std::size_t>(num_steps_)),
+                backend_, crops_, step_views_, measured_, assembled);
+  }
+  return exec_tail(arena_.data(), aplan_.slots, num_steps_, assembled_slot_,
+                   measured_);
+}
 
-      const auto producer_crop = [&](int input_id,
-                                     const Region& want) -> nn::Tensor {
-        const int p = branch.step_of(input_id);
-        QMCU_ENSURE(p >= 0 && p < s, "producer step missing from branch");
-        const BranchStep& ps = branch.steps[static_cast<std::size_t>(p)];
-        nn::Tensor crop = borrow_f32(
-            crops_, nn::TensorShape{want.y.size(), want.x.size(),
-                                    g.shape(input_id).c});
-        crop_from_region_into(step_views_[static_cast<std::size_t>(p)],
-                              ps.out_region, want, g.shape(input_id), crop);
-        return crop;
-      };
+nn::Tensor CompiledPatchModel::run(const nn::Tensor& input,
+                                   nn::WorkerPool* pool) const {
+  if (pool == nullptr || pool->num_workers() == 1) return run(input);
+  const nn::Graph& g = *graph_;
+  const int split = plan_.spec.split_layer;
+  QMCU_REQUIRE(input.shape() == g.shape(g.inputs().front()),
+               "input shape does not match graph input");
+  const int w = pool->num_workers();
+  const nn::ParallelArenaPlan& pplan = parallel_plan(w);
+  if (static_cast<std::int64_t>(arena_.size()) < pplan.total_bytes()) {
+    arena_.resize(static_cast<std::size_t>(pplan.total_bytes()));
+  }
+  nn::check_arena(arena_, pplan.total_bytes(), alignof(float));
+  backend_.rebind_thread();  // tail runs on the calling thread
+  crops_.rebind_thread();
+  std::uint8_t* shared_base = arena_.data() + pplan.shared_offset();
+  std::int64_t shared_measured = 0;
 
-      switch (layer.kind) {
-        case nn::OpKind::Input:
-          crop_from_region_into(input, full_region(input.shape()),
-                                step.out_region, input.shape(), out);
-          break;
-        case nn::OpKind::Conv2D:
-        case nn::OpKind::DepthwiseConv2D: {
-          // Zero padding is exactly what the unclamped crop materialises,
-          // so run the kernel pad-free on the region tensor.
-          const nn::Tensor padded =
-              producer_crop(layer.inputs[0], step.in_region);
-          nn::Layer local = layer;
-          local.pad_h = local.pad_w = 0;
-          if (layer.kind == nn::OpKind::Conv2D) {
-            backend_.conv2d_f32_into(padded, local, g.weights(step.layer_id),
-                                     g.bias(step.layer_id), out);
-          } else {
-            backend_.depthwise_conv2d_f32_into(padded, local,
-                                               g.weights(step.layer_id),
-                                               g.bias(step.layer_id), out);
-          }
-          break;
-        }
-        case nn::OpKind::MaxPool:
-        case nn::OpKind::AvgPool: {
-          const int p = branch.step_of(layer.inputs[0]);
-          QMCU_ENSURE(p >= 0, "producer step missing from branch");
-          pool_region_f32_into(
-              step_views_[static_cast<std::size_t>(p)],
-              branch.steps[static_cast<std::size_t>(p)].out_region, layer,
-              step.out_region, g.shape(layer.inputs[0]), out);
-          break;
-        }
-        case nn::OpKind::Add: {
-          const nn::Tensor a = producer_crop(layer.inputs[0], step.out_region);
-          const nn::Tensor b = producer_crop(layer.inputs[1], step.out_region);
-          nn::ops::add_f32_into(a, b, layer.act, out);
-          break;
-        }
-        case nn::OpKind::Concat: {
-          std::vector<nn::Tensor> cropped;
-          cropped.reserve(layer.inputs.size());
-          for (int in : layer.inputs) {
-            cropped.push_back(producer_crop(in, step.out_region));
-          }
-          std::vector<const nn::Tensor*> ptrs;
-          ptrs.reserve(cropped.size());
-          for (const nn::Tensor& t : cropped) ptrs.push_back(&t);
-          nn::ops::concat_f32_into(ptrs, out);
-          break;
-        }
-        default:
-          QMCU_REQUIRE(false,
-                       "op kind not supported inside a patch stage: " +
-                           std::string(nn::to_string(layer.kind)));
-      }
-      step_views_[static_cast<std::size_t>(s)] = std::move(out);
-    }
-    const BranchStep& last = branch.steps.back();
-    QMCU_ENSURE(last.layer_id == split, "branch must end at the cut layer");
-    copy_region_into(step_views_[static_cast<std::size_t>(num_steps_ - 1)],
-                     last.out_region, assembled);
+  nn::Tensor assembled = bind_f32_slot(
+      shared_base,
+      pplan.shared.slots[static_cast<std::size_t>(par_assembled_slot_)],
+      g.shape(split), shared_measured);
+
+  for (int lane = 0; lane < w; ++lane) {
+    WorkerCtx& ctx = worker_ctx(lane);
+    ctx.backend.rebind_thread();
+    ctx.crops.rebind_thread();
+    ctx.step_views.resize(static_cast<std::size_t>(num_steps_));
+    ctx.measured = 0;
   }
 
-  // Layer-based tail against the same arena.
-  tail_memo_.resize(static_cast<std::size_t>(g.size()));
-  tail_memo_[static_cast<std::size_t>(split)] = bind_f32(
-      assembled_slot_, g.shape(split));
-  for (int id = split + 1; id < g.size(); ++id) {
-    tail_memo_[static_cast<std::size_t>(id)] =
-        bind_f32(num_steps_ + (id - split - 1), g.shape(id));
-    nn::run_layer_f32_into(g, id, tail_memo_, backend_,
-                           tail_memo_[static_cast<std::size_t>(id)]);
+  const auto branches = static_cast<std::int64_t>(plan_.branches.size());
+  pool->parallel_for(
+      branches, 1, [&](std::int64_t b0, std::int64_t b1, int lane) {
+        WorkerCtx& ctx = *workers_[static_cast<std::size_t>(lane)];
+        std::uint8_t* base = arena_.data() + pplan.slice_offset(lane);
+        for (std::int64_t b = b0; b < b1; ++b) {
+          exec_branch(plan_.branches[static_cast<std::size_t>(b)], input,
+                      base, pplan.slice.slots, ctx.backend, ctx.crops,
+                      ctx.step_views, ctx.measured, assembled);
+        }
+      });
+
+  measured_ = pplan.shared_offset() + shared_measured;
+  for (int lane = 0; lane < w; ++lane) {
+    measured_ = std::max(
+        measured_, pplan.slice_offset(lane) +
+                       workers_[static_cast<std::size_t>(lane)]->measured);
   }
-  return tail_memo_[static_cast<std::size_t>(g.output())];
+  std::int64_t tail_measured = 0;
+  nn::Tensor out = exec_tail(shared_base, pplan.shared.slots, 0,
+                             par_assembled_slot_, tail_measured);
+  measured_ = std::max(measured_, pplan.shared_offset() + tail_measured);
+  return out;
 }
 
 // --- quantized -------------------------------------------------------------
@@ -327,6 +407,14 @@ CompiledPatchQuantModel::CompiledPatchQuantModel(
     }
     branch_bias_ = build_branch_bias(g, plan_, branch_cfgs_, *params_);
   }
+  // AvgPool reciprocal tables for every window size the graph uses —
+  // built now so the run path (possibly many workers at once) only reads.
+  for (int id = 0; id < g.size(); ++id) {
+    const nn::Layer& l = g.layer(id);
+    if (l.kind != nn::OpKind::AvgPool) continue;
+    const int count = l.kernel_h * l.kernel_w;
+    pool_tables_.emplace(count, nn::ops::AvgPoolMultipliers(count));
+  }
   PatchTimeline t = build_timeline(g, plan_, 1);
   num_steps_ = t.num_steps;
   assembled_slot_ = t.assembled_index;
@@ -336,6 +424,24 @@ CompiledPatchQuantModel::CompiledPatchQuantModel(
   t.requests.push_back({g.shape(g.inputs().front()).elements(), 0,
                         std::max(num_steps_ - 1, 0)});
   aplan_ = nn::ArenaPlanner().plan(t.requests);
+  slice_requests_.assign(t.requests.begin(),
+                         t.requests.begin() + num_steps_);
+  shared_requests_.assign(t.requests.begin() + num_steps_, t.requests.end());
+  par_assembled_slot_ = static_cast<int>(shared_requests_.size()) - 2;
+  par_input_slot_ = static_cast<int>(shared_requests_.size()) - 1;
+}
+
+const nn::ParallelArenaPlan& CompiledPatchQuantModel::parallel_plan(
+    int num_workers) const {
+  auto it = pplans_.find(num_workers);
+  if (it == pplans_.end()) {
+    it = pplans_
+             .emplace(num_workers,
+                      nn::ArenaPlanner().plan_parallel(
+                          slice_requests_, shared_requests_, num_workers))
+             .first;
+  }
+  return it->second;
 }
 
 const nn::QuantParams& CompiledPatchQuantModel::step_params(int branch,
@@ -351,8 +457,185 @@ const nn::QuantParams& CompiledPatchQuantModel::step_params(int branch,
 }
 
 std::int64_t CompiledPatchQuantModel::scratch_bytes() const {
-  return static_cast<std::int64_t>(crops_.footprint_bytes() +
-                                   backend_.arena().footprint_bytes());
+  std::int64_t total = static_cast<std::int64_t>(
+      crops_.footprint_bytes() + backend_.arena().footprint_bytes());
+  for (const auto& w : workers_) {
+    total += static_cast<std::int64_t>(w->crops.footprint_bytes() +
+                                       w->backend.arena().footprint_bytes());
+  }
+  return total;
+}
+
+const nn::ops::AvgPoolMultipliers* CompiledPatchQuantModel::pool_table(
+    const nn::Layer& l) const {
+  if (l.kind != nn::OpKind::AvgPool) return nullptr;
+  const auto it = pool_tables_.find(l.kernel_h * l.kernel_w);
+  QMCU_ENSURE(it != pool_tables_.end(),
+              "AvgPool window missing from the precomputed tables");
+  return &it->second;
+}
+
+CompiledPatchQuantModel::WorkerCtx& CompiledPatchQuantModel::worker_ctx(
+    int lane) const {
+  while (static_cast<int>(workers_.size()) <= lane) {
+    auto ctx = std::make_unique<WorkerCtx>(backend_.tier());
+    // Pre-pack the stage conv panels so a lane's first branch pays no
+    // packing cost (construction-time work, exempt from the affinity
+    // guard).
+    const nn::Graph& g = *graph_;
+    for (const BranchStep& step : plan_.branches.front().steps) {
+      const nn::Layer& l = g.layer(step.layer_id);
+      if (l.kind != nn::OpKind::Conv2D) continue;
+      const auto& w = params_->weights[static_cast<std::size_t>(step.layer_id)];
+      const int n = l.out_channels;
+      ctx->backend.prepack(w.data, n,
+                           static_cast<int>(w.data.size()) / n);
+    }
+    workers_.push_back(std::move(ctx));
+  }
+  return *workers_[static_cast<std::size_t>(lane)];
+}
+
+void CompiledPatchQuantModel::exec_branch(
+    int branch_index, const nn::QTensor& qinput, std::uint8_t* base,
+    std::span<const nn::ArenaSlot> slots, nn::ops::KernelBackend& backend,
+    nn::ops::ScratchArena& crops, std::span<nn::QTensor> step_views,
+    std::int64_t& measured, nn::QTensor& assembled) const {
+  const nn::Graph& g = *graph_;
+  const int split = plan_.spec.split_layer;
+  const PatchBranch& branch =
+      plan_.branches[static_cast<std::size_t>(branch_index)];
+  for (int s = 0; s < num_steps_; ++s) {
+    const BranchStep& step = branch.steps[static_cast<std::size_t>(s)];
+    const nn::Layer& layer = g.layer(step.layer_id);
+    const bool pool = layer.kind == nn::OpKind::MaxPool ||
+                      layer.kind == nn::OpKind::AvgPool;
+    // Pools never requantize: their slot carries the producer's actual
+    // params, exactly as the legacy executor's region tensors do.
+    nn::QuantParams out_p;
+    if (pool) {
+      const int p = branch.step_of(layer.inputs[0]);
+      QMCU_ENSURE(p >= 0 && p < s, "producer step missing from branch");
+      out_p = step_views[static_cast<std::size_t>(p)].params();
+    } else {
+      out_p = step_params(branch_index, s);
+    }
+    nn::QTensor out = bind_q_slot(
+        base, slots[static_cast<std::size_t>(s)],
+        region_shape(step, g.shape(step.layer_id).c), out_p, measured);
+    crops.reset();
+
+    const auto producer_crop = [&](int input_id,
+                                   const Region& want) -> nn::QTensor {
+      const int p = branch.step_of(input_id);
+      QMCU_ENSURE(p >= 0 && p < s, "producer step missing from branch");
+      const BranchStep& ps = branch.steps[static_cast<std::size_t>(p)];
+      const nn::QTensor& have = step_views[static_cast<std::size_t>(p)];
+      nn::QTensor crop = borrow_q(
+          crops,
+          nn::TensorShape{want.y.size(), want.x.size(), g.shape(input_id).c},
+          have.params());
+      crop_from_region_q_into(have, ps.out_region, want, g.shape(input_id),
+                              crop);
+      return crop;
+    };
+
+    switch (layer.kind) {
+      case nn::OpKind::Input: {
+        // The input patch tile is quantized straight into the branch's
+        // params (mixed mode stores it sub-byte, uniform mode at int8).
+        nn::QTensor crop = borrow_q(crops, out.shape(), qinput.params());
+        crop_from_region_q_into(qinput, full_region(g.shape(step.layer_id)),
+                                step.out_region, g.shape(step.layer_id),
+                                crop);
+        backend.requantize_into(crop, out);
+        break;
+      }
+      case nn::OpKind::Conv2D:
+      case nn::OpKind::DepthwiseConv2D: {
+        // Out-of-bounds crop positions carry the producer's zero point —
+        // the quantized encoding of real 0, i.e. genuine zero padding.
+        const nn::QTensor padded =
+            producer_crop(layer.inputs[0], step.in_region);
+        nn::Layer local = layer;
+        local.pad_h = local.pad_w = 0;
+        const std::vector<std::int32_t>& bias =
+            branch_cfgs_.empty()
+                ? params_->bias[static_cast<std::size_t>(step.layer_id)]
+                : branch_bias_[static_cast<std::size_t>(branch_index)]
+                              [static_cast<std::size_t>(s)];
+        const auto& w =
+            params_->weights[static_cast<std::size_t>(step.layer_id)];
+        if (layer.kind == nn::OpKind::Conv2D) {
+          backend.conv2d_into(padded, local, w.data, w.params, bias, out);
+        } else {
+          backend.depthwise_conv2d_into(padded, local, w.data, w.params,
+                                        bias, out);
+        }
+        break;
+      }
+      case nn::OpKind::MaxPool:
+      case nn::OpKind::AvgPool: {
+        const int p = branch.step_of(layer.inputs[0]);
+        QMCU_ENSURE(p >= 0, "producer step missing from branch");
+        pool_region_q_into(
+            step_views[static_cast<std::size_t>(p)],
+            branch.steps[static_cast<std::size_t>(p)].out_region, layer,
+            step.out_region, g.shape(layer.inputs[0]), pool_table(layer),
+            out);
+        break;
+      }
+      case nn::OpKind::Add: {
+        const nn::QTensor a = producer_crop(layer.inputs[0], step.out_region);
+        const nn::QTensor b = producer_crop(layer.inputs[1], step.out_region);
+        backend.add_into(a, b, layer.act, out);
+        break;
+      }
+      case nn::OpKind::Concat: {
+        std::vector<nn::QTensor> cropped;
+        cropped.reserve(layer.inputs.size());
+        for (int in : layer.inputs) {
+          cropped.push_back(producer_crop(in, step.out_region));
+        }
+        std::vector<const nn::QTensor*> ptrs;
+        ptrs.reserve(cropped.size());
+        for (const nn::QTensor& t : cropped) ptrs.push_back(&t);
+        backend.concat_into(ptrs, out);
+        break;
+      }
+      default:
+        QMCU_REQUIRE(false, "op kind not supported inside a patch stage: " +
+                                std::string(nn::to_string(layer.kind)));
+    }
+    step_views[static_cast<std::size_t>(s)] = std::move(out);
+  }
+  const BranchStep& last = branch.steps.back();
+  QMCU_ENSURE(last.layer_id == split, "branch must end at the cut layer");
+  // The branch slice is requantized into the shared accumulation buffer's
+  // parameters (identity copy in uniform mode). Tiles are disjoint, so
+  // concurrent merges from several workers commute.
+  merge_region_q(step_views[static_cast<std::size_t>(num_steps_ - 1)],
+                 last.out_region, assembled);
+}
+
+nn::QTensor CompiledPatchQuantModel::exec_tail(
+    std::uint8_t* base, std::span<const nn::ArenaSlot> slots,
+    int first_tail_slot, int assembled_slot, std::int64_t& measured) const {
+  const nn::Graph& g = *graph_;
+  const int split = plan_.spec.split_layer;
+  tail_memo_.resize(static_cast<std::size_t>(g.size()));
+  tail_memo_[static_cast<std::size_t>(split)] = bind_q_slot(
+      base, slots[static_cast<std::size_t>(assembled_slot)], g.shape(split),
+      effective_[static_cast<std::size_t>(split)], measured);
+  for (int id = split + 1; id < g.size(); ++id) {
+    tail_memo_[static_cast<std::size_t>(id)] = bind_q_slot(
+        base,
+        slots[static_cast<std::size_t>(first_tail_slot + (id - split - 1))],
+        g.shape(id), effective_[static_cast<std::size_t>(id)], measured);
+    nn::run_layer_q_into(g, id, tail_memo_, *params_, backend_,
+                         tail_memo_[static_cast<std::size_t>(id)]);
+  }
+  return tail_memo_[static_cast<std::size_t>(g.output())];
 }
 
 nn::QTensor CompiledPatchQuantModel::run(const nn::Tensor& input) const {
@@ -364,173 +647,95 @@ nn::QTensor CompiledPatchQuantModel::run(const nn::Tensor& input) const {
   if (static_cast<std::int64_t>(arena_.size()) < aplan_.peak_bytes) {
     arena_.resize(static_cast<std::size_t>(aplan_.peak_bytes));
   }
-  nn::check_arena(arena_, aplan_.peak_bytes,1);
+  nn::check_arena(arena_, aplan_.peak_bytes, 1);
+  backend_.rebind_thread();
+  crops_.rebind_thread();
   measured_ = 0;
-  const auto bind_q = [&](int slot_index, const nn::TensorShape& shape,
-                          const nn::QuantParams& p) -> nn::QTensor {
-    const nn::ArenaSlot& slot =
-        aplan_.slots[static_cast<std::size_t>(slot_index)];
-    QMCU_ENSURE(shape.elements() <= slot.size,
-                "bound view exceeds its arena slot");
-    measured_ = std::max(measured_, slot.offset + shape.elements());
-    auto* base = reinterpret_cast<std::int8_t*>(arena_.data() + slot.offset);
-    return nn::QTensor(
-        shape, p,
-        std::span<std::int8_t>(base,
-                               static_cast<std::size_t>(shape.elements())));
-  };
 
-  nn::QTensor qinput =
-      bind_q(input_slot_, g.shape(input_layer),
-             cfg_.params[static_cast<std::size_t>(input_layer)]);
+  nn::QTensor qinput = bind_q_slot(
+      arena_.data(), aplan_.slots[static_cast<std::size_t>(input_slot_)],
+      g.shape(input_layer), cfg_.params[static_cast<std::size_t>(input_layer)],
+      measured_);
   nn::quantize_into(input, qinput);
-  nn::QTensor assembled = bind_q(assembled_slot_, g.shape(split),
-                                 effective_[static_cast<std::size_t>(split)]);
+  nn::QTensor assembled = bind_q_slot(
+      arena_.data(), aplan_.slots[static_cast<std::size_t>(assembled_slot_)],
+      g.shape(split), effective_[static_cast<std::size_t>(split)], measured_);
   step_views_.resize(static_cast<std::size_t>(num_steps_));
 
   for (int bi = 0; bi < static_cast<int>(plan_.branches.size()); ++bi) {
-    const PatchBranch& branch = plan_.branches[static_cast<std::size_t>(bi)];
-    for (int s = 0; s < num_steps_; ++s) {
-      const BranchStep& step = branch.steps[static_cast<std::size_t>(s)];
-      const nn::Layer& layer = g.layer(step.layer_id);
-      const bool pool = layer.kind == nn::OpKind::MaxPool ||
-                        layer.kind == nn::OpKind::AvgPool;
-      // Pools never requantize: their slot carries the producer's actual
-      // params, exactly as the legacy executor's region tensors do.
-      nn::QuantParams out_p;
-      if (pool) {
-        const int p = branch.step_of(layer.inputs[0]);
-        QMCU_ENSURE(p >= 0 && p < s, "producer step missing from branch");
-        out_p = step_views_[static_cast<std::size_t>(p)].params();
-      } else {
-        out_p = step_params(bi, s);
-      }
-      nn::QTensor out =
-          bind_q(s, region_shape(step, g.shape(step.layer_id).c), out_p);
-      crops_.reset();
+    exec_branch(bi, qinput, arena_.data(),
+                std::span<const nn::ArenaSlot>(aplan_.slots)
+                    .subspan(0, static_cast<std::size_t>(num_steps_)),
+                backend_, crops_, step_views_, measured_, assembled);
+  }
+  return exec_tail(arena_.data(), aplan_.slots, num_steps_, assembled_slot_,
+                   measured_);
+}
 
-      const auto producer_crop = [&](int input_id,
-                                     const Region& want) -> nn::QTensor {
-        const int p = branch.step_of(input_id);
-        QMCU_ENSURE(p >= 0 && p < s, "producer step missing from branch");
-        const BranchStep& ps = branch.steps[static_cast<std::size_t>(p)];
-        const nn::QTensor& have = step_views_[static_cast<std::size_t>(p)];
-        nn::QTensor crop = borrow_q(
-            crops_,
-            nn::TensorShape{want.y.size(), want.x.size(),
-                            g.shape(input_id).c},
-            have.params());
-        crop_from_region_q_into(have, ps.out_region, want, g.shape(input_id),
-                                crop);
-        return crop;
-      };
+nn::QTensor CompiledPatchQuantModel::run(const nn::Tensor& input,
+                                         nn::WorkerPool* pool) const {
+  if (pool == nullptr || pool->num_workers() == 1) return run(input);
+  const nn::Graph& g = *graph_;
+  const int split = plan_.spec.split_layer;
+  const int input_layer = g.inputs().front();
+  QMCU_REQUIRE(input.shape() == g.shape(input_layer),
+               "input shape does not match graph input");
+  const int w = pool->num_workers();
+  const nn::ParallelArenaPlan& pplan = parallel_plan(w);
+  if (static_cast<std::int64_t>(arena_.size()) < pplan.total_bytes()) {
+    arena_.resize(static_cast<std::size_t>(pplan.total_bytes()));
+  }
+  nn::check_arena(arena_, pplan.total_bytes(), 1);
+  backend_.rebind_thread();
+  crops_.rebind_thread();
+  std::uint8_t* shared_base = arena_.data() + pplan.shared_offset();
+  std::int64_t shared_measured = 0;
 
-      switch (layer.kind) {
-        case nn::OpKind::Input: {
-          // The input patch tile is quantized straight into the branch's
-          // params (mixed mode stores it sub-byte, uniform mode at int8).
-          nn::QTensor crop =
-              borrow_q(crops_, out.shape(), qinput.params());
-          crop_from_region_q_into(qinput,
-                                  full_region(g.shape(step.layer_id)),
-                                  step.out_region, g.shape(step.layer_id),
-                                  crop);
-          backend_.requantize_into(crop, out);
-          break;
-        }
-        case nn::OpKind::Conv2D:
-        case nn::OpKind::DepthwiseConv2D: {
-          // Out-of-bounds crop positions carry the producer's zero point —
-          // the quantized encoding of real 0, i.e. genuine zero padding.
-          const nn::QTensor padded =
-              producer_crop(layer.inputs[0], step.in_region);
-          nn::Layer local = layer;
-          local.pad_h = local.pad_w = 0;
-          const std::vector<std::int32_t>& bias =
-              branch_cfgs_.empty()
-                  ? params_->bias[static_cast<std::size_t>(step.layer_id)]
-                  : branch_bias_[static_cast<std::size_t>(bi)]
-                                [static_cast<std::size_t>(s)];
-          const auto& w =
-              params_->weights[static_cast<std::size_t>(step.layer_id)];
-          if (layer.kind == nn::OpKind::Conv2D) {
-            backend_.conv2d_into(padded, local, w.data, w.params, bias, out);
-          } else {
-            backend_.depthwise_conv2d_into(padded, local, w.data, w.params,
-                                           bias, out);
-          }
-          break;
-        }
-        case nn::OpKind::MaxPool:
-        case nn::OpKind::AvgPool: {
-          const int p = branch.step_of(layer.inputs[0]);
-          QMCU_ENSURE(p >= 0, "producer step missing from branch");
-          const nn::ops::AvgPoolMultipliers* avg = nullptr;
-          if (layer.kind == nn::OpKind::AvgPool) {
-            const int count = layer.kernel_h * layer.kernel_w;
-            auto it = pool_tables_.find(count);
-            if (it == pool_tables_.end()) {
-              it = pool_tables_
-                       .emplace(count, nn::ops::AvgPoolMultipliers(count))
-                       .first;
-            }
-            avg = &it->second;
-          }
-          pool_region_q_into(
-              step_views_[static_cast<std::size_t>(p)],
-              branch.steps[static_cast<std::size_t>(p)].out_region, layer,
-              step.out_region, g.shape(layer.inputs[0]), avg, out);
-          break;
-        }
-        case nn::OpKind::Add: {
-          const nn::QTensor a =
-              producer_crop(layer.inputs[0], step.out_region);
-          const nn::QTensor b =
-              producer_crop(layer.inputs[1], step.out_region);
-          backend_.add_into(a, b, layer.act, out);
-          break;
-        }
-        case nn::OpKind::Concat: {
-          std::vector<nn::QTensor> cropped;
-          cropped.reserve(layer.inputs.size());
-          for (int in : layer.inputs) {
-            cropped.push_back(producer_crop(in, step.out_region));
-          }
-          std::vector<const nn::QTensor*> ptrs;
-          ptrs.reserve(cropped.size());
-          for (const nn::QTensor& t : cropped) ptrs.push_back(&t);
-          backend_.concat_into(ptrs, out);
-          break;
-        }
-        default:
-          QMCU_REQUIRE(false,
-                       "op kind not supported inside a patch stage: " +
-                           std::string(nn::to_string(layer.kind)));
-      }
-      step_views_[static_cast<std::size_t>(s)] = std::move(out);
-    }
-    const BranchStep& last = branch.steps.back();
-    QMCU_ENSURE(last.layer_id == split, "branch must end at the cut layer");
-    // The branch slice is requantized into the shared accumulation
-    // buffer's parameters (identity copy in uniform mode).
-    requantize_region_into(
-        step_views_[static_cast<std::size_t>(num_steps_ - 1)],
-        last.out_region, assembled);
+  // The quantized input is written once here, before dispatch, and only
+  // read by the branches (the dispatch barrier publishes it).
+  nn::QTensor qinput = bind_q_slot(
+      shared_base,
+      pplan.shared.slots[static_cast<std::size_t>(par_input_slot_)],
+      g.shape(input_layer), cfg_.params[static_cast<std::size_t>(input_layer)],
+      shared_measured);
+  nn::quantize_into(input, qinput);
+  nn::QTensor assembled = bind_q_slot(
+      shared_base,
+      pplan.shared.slots[static_cast<std::size_t>(par_assembled_slot_)],
+      g.shape(split), effective_[static_cast<std::size_t>(split)],
+      shared_measured);
+
+  for (int lane = 0; lane < w; ++lane) {
+    WorkerCtx& ctx = worker_ctx(lane);
+    ctx.backend.rebind_thread();
+    ctx.crops.rebind_thread();
+    ctx.step_views.resize(static_cast<std::size_t>(num_steps_));
+    ctx.measured = 0;
   }
 
-  // Layer-based tail against the same arena.
-  tail_memo_.resize(static_cast<std::size_t>(g.size()));
-  tail_memo_[static_cast<std::size_t>(split)] =
-      bind_q(assembled_slot_, g.shape(split),
-             effective_[static_cast<std::size_t>(split)]);
-  for (int id = split + 1; id < g.size(); ++id) {
-    tail_memo_[static_cast<std::size_t>(id)] =
-        bind_q(num_steps_ + (id - split - 1), g.shape(id),
-               effective_[static_cast<std::size_t>(id)]);
-    nn::run_layer_q_into(g, id, tail_memo_, *params_, backend_,
-                         tail_memo_[static_cast<std::size_t>(id)]);
+  const auto branches = static_cast<std::int64_t>(plan_.branches.size());
+  pool->parallel_for(
+      branches, 1, [&](std::int64_t b0, std::int64_t b1, int lane) {
+        WorkerCtx& ctx = *workers_[static_cast<std::size_t>(lane)];
+        std::uint8_t* base = arena_.data() + pplan.slice_offset(lane);
+        for (std::int64_t b = b0; b < b1; ++b) {
+          exec_branch(static_cast<int>(b), qinput, base, pplan.slice.slots,
+                      ctx.backend, ctx.crops, ctx.step_views, ctx.measured,
+                      assembled);
+        }
+      });
+
+  measured_ = pplan.shared_offset() + shared_measured;
+  for (int lane = 0; lane < w; ++lane) {
+    measured_ = std::max(
+        measured_, pplan.slice_offset(lane) +
+                       workers_[static_cast<std::size_t>(lane)]->measured);
   }
-  return tail_memo_[static_cast<std::size_t>(g.output())];
+  std::int64_t tail_measured = 0;
+  nn::QTensor out = exec_tail(shared_base, pplan.shared.slots, 0,
+                              par_assembled_slot_, tail_measured);
+  measured_ = std::max(measured_, pplan.shared_offset() + tail_measured);
+  return out;
 }
 
 }  // namespace qmcu::patch

@@ -1,26 +1,39 @@
 // compiled_patch_model.h — compile-once / run-many patch-based inference
-// against one static tensor arena.
+// against one static tensor arena, sequentially or across a worker pool.
 //
 // The patch executors walk every dataflow branch allocating a fresh region
 // tensor per step per run. A compiled patch model plans, once:
 //
 //   * one arena slot per branch *step index*, sized to the largest region
 //     any branch computes at that step (branches share the slot layout —
-//     they run sequentially and have identical step structure, only their
-//     region extents differ);
+//     they have identical step structure, only their region extents
+//     differ);
 //   * one slot for the reassembled cut-layer feature map, live from the
 //     first branch through its last tail consumer;
 //   * one slot per tail layer, placed over layer-based lifetimes;
 //   * (quantized) one slot for the quantized full input, live across the
 //     whole branch phase.
 //
-// All slots come from one nn::ArenaPlanner pass over a unified timeline
-// (branch steps first, tail steps after), so branch buffers, the shared
-// accumulation buffer and tail feature maps pack into a single arena the
-// way the deployed runtime lays out SRAM. Halo crop temporaries are scratch
-// (a grow-only pool reused across steps), not feature maps, and are
-// accounted via scratch_bytes(). Outputs are bit-identical to the legacy
-// patch executors: same kernels, same order, same values.
+// Sequential run(): all slots come from one nn::ArenaPlanner pass over a
+// unified timeline (branch steps first, tail steps after), so branch
+// buffers, the shared accumulation buffer and tail feature maps pack into a
+// single arena the way the deployed runtime lays out SRAM.
+//
+// Parallel run(input, pool): branches are spatially independent — their
+// only interaction is the final merge into *disjoint* tiles of the
+// assembled map — so stage 1 fans out over a nn::WorkerPool. The arena
+// switches to the nn::ParallelArenaPlan layout: one private branch-slot
+// slice per worker followed by one shared region (assembled map, tail
+// slots, quantized input). Each worker lane owns a WorkerCtx (KernelBackend
+// with its own scratch + panel cache, crop arena, step views) handed to its
+// thread at dispatch via the backend's thread-affinity guard; the merge is
+// the lock-free tiled merge of region_pool.h. Outputs are bit-identical to
+// the sequential path for every worker count (the kernels see the same
+// values; only which thread runs them changes), and a null/1-worker pool
+// takes the sequential code path exactly.
+//
+// Halo crop temporaries are scratch (a grow-only pool reused across steps),
+// not feature maps, and are accounted via scratch_bytes().
 #pragma once
 
 #include <cstdint>
@@ -33,6 +46,7 @@
 #include "nn/graph.h"
 #include "nn/memory_planner.h"
 #include "nn/ops/backend.h"
+#include "nn/runtime/worker_pool.h"
 #include "nn/tensor.h"
 #include "patch/patch_plan.h"
 
@@ -62,11 +76,21 @@ class CompiledPatchModel {
                      nn::ops::KernelTier tier = nn::ops::KernelTier::Fast);
 
   [[nodiscard]] nn::Tensor run(const nn::Tensor& input) const;
+  // Stage-1 branches distributed over `pool` (work stealing, per-worker
+  // arena slices); tail on the calling thread. Bit-identical to run().
+  // A null pool or a 1-worker pool takes the sequential path exactly.
+  [[nodiscard]] nn::Tensor run(const nn::Tensor& input,
+                               nn::WorkerPool* pool) const;
 
   [[nodiscard]] const nn::ArenaPlan& arena_plan() const { return aplan_; }
   [[nodiscard]] std::int64_t arena_bytes() const { return aplan_.peak_bytes; }
+  // The slice/shared layout a parallel run with `num_workers` binds
+  // (cached per worker count; also what tests assert non-overlap on).
+  [[nodiscard]] const nn::ParallelArenaPlan& parallel_plan(
+      int num_workers) const;
   [[nodiscard]] std::int64_t measured_high_water() const { return measured_; }
-  // Crop-temporary + backend scratch held after the last run.
+  // Crop-temporary + backend scratch held after the last run, including
+  // every worker context's share.
   [[nodiscard]] std::int64_t scratch_bytes() const;
   [[nodiscard]] const PatchPlan& plan() const { return plan_; }
   [[nodiscard]] const nn::Graph& graph() const { return *graph_; }
@@ -75,13 +99,46 @@ class CompiledPatchModel {
   [[nodiscard]] nn::ops::KernelBackend& backend() const { return backend_; }
 
  private:
+  // One worker lane's private execution state. The backend (scratch +
+  // panel cache) and crop arena are thread-affine; dispatch rebinds them to
+  // whichever pool thread runs the lane.
+  struct WorkerCtx {
+    explicit WorkerCtx(nn::ops::KernelTier tier) : backend(tier) {}
+    nn::ops::KernelBackend backend;
+    nn::ops::ScratchArena crops;
+    std::vector<nn::Tensor> step_views;
+    std::int64_t measured = 0;  // furthest byte written inside the slice
+  };
+
+  // Runs one branch's steps against the slot layout `slots` (indices equal
+  // step indices) at `base`, then merges the final tile into `assembled`.
+  void exec_branch(const PatchBranch& branch, const nn::Tensor& input,
+                   std::uint8_t* base, std::span<const nn::ArenaSlot> slots,
+                   nn::ops::KernelBackend& backend,
+                   nn::ops::ScratchArena& crops,
+                   std::span<nn::Tensor> step_views, std::int64_t& measured,
+                   nn::Tensor& assembled) const;
+  // Layer-based tail against slots [first_tail_slot ..) of `slots`.
+  nn::Tensor exec_tail(std::uint8_t* base,
+                       std::span<const nn::ArenaSlot> slots,
+                       int first_tail_slot, int assembled_slot,
+                       std::int64_t& measured) const;
+  WorkerCtx& worker_ctx(int lane) const;
+
   const nn::Graph* graph_;
   PatchPlan plan_;
-  int num_steps_ = 0;      // steps per branch (identical across branches)
+  int num_steps_ = 0;       // steps per branch (identical across branches)
   int assembled_slot_ = 0;  // request index of the reassembled cut layer
   nn::ArenaPlan aplan_;
+  // Request lists feeding parallel_plan(): branch-step slots (per-worker
+  // slice) and tail + assembled slots (shared region).
+  std::vector<nn::ArenaRequest> slice_requests_;
+  std::vector<nn::ArenaRequest> shared_requests_;
+  int par_assembled_slot_ = 0;  // index into the shared request list
+  mutable std::unordered_map<int, nn::ParallelArenaPlan> pplans_;
   mutable nn::ops::KernelBackend backend_;
   mutable nn::ops::ScratchArena crops_;  // halo crop temporaries
+  mutable std::vector<std::unique_ptr<WorkerCtx>> workers_;
   mutable std::vector<std::uint8_t> arena_;
   mutable std::vector<nn::Tensor> step_views_;  // per step, rebound per branch
   mutable std::vector<nn::Tensor> tail_memo_;   // per layer id (tail phase)
@@ -103,9 +160,14 @@ class CompiledPatchQuantModel {
       std::shared_ptr<const nn::QuantizedParameters> params = {});
 
   [[nodiscard]] nn::QTensor run(const nn::Tensor& input) const;
+  // Parallel stage-1 (see CompiledPatchModel::run(input, pool)).
+  [[nodiscard]] nn::QTensor run(const nn::Tensor& input,
+                                nn::WorkerPool* pool) const;
 
   [[nodiscard]] const nn::ArenaPlan& arena_plan() const { return aplan_; }
   [[nodiscard]] std::int64_t arena_bytes() const { return aplan_.peak_bytes; }
+  [[nodiscard]] const nn::ParallelArenaPlan& parallel_plan(
+      int num_workers) const;
   [[nodiscard]] std::int64_t measured_high_water() const { return measured_; }
   [[nodiscard]] std::int64_t scratch_bytes() const;
   [[nodiscard]] const PatchPlan& plan() const { return plan_; }
@@ -138,6 +200,28 @@ class CompiledPatchQuantModel {
                                                    int step) const;
 
  private:
+  struct WorkerCtx {
+    explicit WorkerCtx(nn::ops::KernelTier tier) : backend(tier) {}
+    nn::ops::KernelBackend backend;
+    nn::ops::ScratchArena crops;
+    std::vector<nn::QTensor> step_views;
+    std::int64_t measured = 0;
+  };
+
+  void exec_branch(int branch_index, const nn::QTensor& qinput,
+                   std::uint8_t* base, std::span<const nn::ArenaSlot> slots,
+                   nn::ops::KernelBackend& backend,
+                   nn::ops::ScratchArena& crops,
+                   std::span<nn::QTensor> step_views, std::int64_t& measured,
+                   nn::QTensor& assembled) const;
+  nn::QTensor exec_tail(std::uint8_t* base,
+                        std::span<const nn::ArenaSlot> slots,
+                        int first_tail_slot, int assembled_slot,
+                        std::int64_t& measured) const;
+  [[nodiscard]] const nn::ops::AvgPoolMultipliers* pool_table(
+      const nn::Layer& l) const;
+  WorkerCtx& worker_ctx(int lane) const;
+
   const nn::Graph* graph_;
   PatchPlan plan_;
   nn::ActivationQuantConfig cfg_;
@@ -149,10 +233,20 @@ class CompiledPatchQuantModel {
   int assembled_slot_ = 0;
   int input_slot_ = 0;  // quantized full input
   nn::ArenaPlan aplan_;
+  std::vector<nn::ArenaRequest> slice_requests_;
+  std::vector<nn::ArenaRequest> shared_requests_;
+  int par_assembled_slot_ = 0;
+  int par_input_slot_ = 0;
+  // AvgPool reciprocal tables keyed by window size. Filled at construction
+  // for every window the graph contains, then read-only — several workers
+  // share them concurrently during parallel runs, so no lazy inserts on the
+  // run path (that was the shared-mutable-state hazard the thread-affinity
+  // audit flagged).
+  std::unordered_map<int, nn::ops::AvgPoolMultipliers> pool_tables_;
+  mutable std::unordered_map<int, nn::ParallelArenaPlan> pplans_;
   mutable nn::ops::KernelBackend backend_;
   mutable nn::ops::ScratchArena crops_;
-  // AvgPool reciprocal tables keyed by window size, reused across runs.
-  mutable std::unordered_map<int, nn::ops::AvgPoolMultipliers> pool_tables_;
+  mutable std::vector<std::unique_ptr<WorkerCtx>> workers_;
   mutable std::vector<std::uint8_t> arena_;
   mutable std::vector<nn::QTensor> step_views_;
   mutable std::vector<nn::QTensor> tail_memo_;

@@ -55,6 +55,13 @@ class PatchExecutor {
   [[nodiscard]] nn::Tensor run(const nn::Tensor& input,
                                const StepHook& hook = {}) const;
 
+  // Hook-free inference with stage-1 patches fanned out over `pool`
+  // (per-worker arena slices + work stealing); bit-identical to run().
+  [[nodiscard]] nn::Tensor run_parallel(const nn::Tensor& input,
+                                        nn::WorkerPool* pool) const {
+    return compiled_.run(input, pool);
+  }
+
   // The reassembled cut-layer feature map (useful in tests/examples).
   [[nodiscard]] nn::Tensor run_stage_assembled(const nn::Tensor& input,
                                                const StepHook& hook = {}) const;

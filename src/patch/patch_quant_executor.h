@@ -49,6 +49,13 @@ class PatchQuantExecutor {
   // Compiled arena path (bit-identical to the legacy per-step-tensor path).
   [[nodiscard]] nn::QTensor run(const nn::Tensor& input) const;
 
+  // Stage-1 patches fanned out over `pool` (per-worker arena slices + work
+  // stealing); bit-identical to run() for every worker count.
+  [[nodiscard]] nn::QTensor run_parallel(const nn::Tensor& input,
+                                         nn::WorkerPool* pool) const {
+    return compiled_.run(input, pool);
+  }
+
   // The reassembled cut-layer feature map (tail params).
   [[nodiscard]] nn::QTensor run_stage_assembled(const nn::Tensor& input) const;
 

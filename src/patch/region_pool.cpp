@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <optional>
 
 #include "nn/ops/int8_kernels.h"
+#include "nn/ops/requantize.h"
 
 namespace qmcu::patch {
 
@@ -142,6 +144,71 @@ nn::QTensor pool_region_q(const nn::QTensor& have, const Region& avail,
                   have.params());
   pool_region_q_into(have, avail, l, out_region, full, out);
   return out;
+}
+
+void merge_region_f32(const nn::Tensor& tile, const Region& r,
+                      nn::Tensor& assembled) {
+  const int c = assembled.shape().c;
+  QMCU_REQUIRE(tile.shape() ==
+                   nn::TensorShape(r.y.size(), r.x.size(), c),
+               "merge_region_f32: tile does not cover its region");
+  QMCU_REQUIRE(r.y.begin >= 0 && r.y.end <= assembled.shape().h &&
+                   r.x.begin >= 0 && r.x.end <= assembled.shape().w,
+               "merge_region_f32: region exceeds the assembled map");
+  for (int y = r.y.begin; y < r.y.end; ++y) {
+    for (int x = r.x.begin; x < r.x.end; ++x) {
+      std::memcpy(
+          assembled.data().data() + nn::flat_index(assembled.shape(), y, x, 0),
+          tile.data().data() +
+              nn::flat_index(tile.shape(), y - r.y.begin, x - r.x.begin, 0),
+          static_cast<std::size_t>(c) * sizeof(float));
+    }
+  }
+}
+
+void merge_region_q(const nn::QTensor& tile, const Region& r,
+                    nn::QTensor& assembled) {
+  const nn::QuantParams& p = tile.params();
+  const nn::QuantParams& t = assembled.params();
+  const int c = assembled.shape().c;
+  QMCU_REQUIRE(tile.shape() ==
+                   nn::TensorShape(r.y.size(), r.x.size(), c),
+               "merge_region_q: tile does not cover its region");
+  QMCU_REQUIRE(r.y.begin >= 0 && r.y.end <= assembled.shape().h &&
+                   r.x.begin >= 0 && r.x.end <= assembled.shape().w,
+               "merge_region_q: region exceeds the assembled map");
+  if (p == t) {
+    for (int y = r.y.begin; y < r.y.end; ++y) {
+      for (int x = r.x.begin; x < r.x.end; ++x) {
+        std::memcpy(
+            assembled.data().data() +
+                nn::flat_index(assembled.shape(), y, x, 0),
+            tile.data().data() +
+                nn::flat_index(tile.shape(), y - r.y.begin, x - r.x.begin, 0),
+            static_cast<std::size_t>(c));
+      }
+    }
+    return;
+  }
+  // Mixed mode: rescale into the assembled map's params — the same values
+  // the legacy path produces via requantize_q + per-element scatter.
+  const nn::ops::ElementRequantizer rq(static_cast<double>(p.scale) /
+                                       static_cast<double>(t.scale));
+  const std::int32_t qmin = t.qmin();
+  const std::int32_t qmax = t.qmax();
+  for (int y = r.y.begin; y < r.y.end; ++y) {
+    for (int x = r.x.begin; x < r.x.end; ++x) {
+      for (int ch = 0; ch < c; ++ch) {
+        const std::int32_t v =
+            rq.apply(static_cast<std::int32_t>(
+                         tile.at(y - r.y.begin, x - r.x.begin, ch)) -
+                     p.zero_point) +
+            t.zero_point;
+        assembled.at(y, x, ch) =
+            static_cast<std::int8_t>(std::clamp(v, qmin, qmax));
+      }
+    }
+  }
 }
 
 }  // namespace qmcu::patch

@@ -43,4 +43,21 @@ void pool_region_q_into(const nn::QTensor& have, const Region& avail,
                         const nn::ops::AvgPoolMultipliers* avg,
                         nn::QTensor& out);
 
+// --- tiled region merge ----------------------------------------------------
+//
+// Writes one branch's finished tile into the shared assembled feature map.
+// Each call touches exactly the rows/columns of `r` and nothing else, and
+// the patch grid partitions the assembled map into disjoint tiles
+// (patch_plan.cpp: required[split] is the branch's tile_interval), so
+// merges commute: any completion order — sequential, shuffled, or
+// concurrent from several workers — produces the identical assembled map.
+// This is what lets the parallel patch runtime merge without locks and
+// still be bit-identical to the sequential path. The quantized form
+// rescales the tile into the assembled map's params (identity memcpy when
+// they already match — uniform mode).
+void merge_region_f32(const nn::Tensor& tile, const Region& r,
+                      nn::Tensor& assembled);
+void merge_region_q(const nn::QTensor& tile, const Region& r,
+                    nn::QTensor& assembled);
+
 }  // namespace qmcu::patch

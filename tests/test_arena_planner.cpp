@@ -105,6 +105,51 @@ TEST(ArenaPlanner, DeterministicPlacement) {
   }
 }
 
+TEST(ArenaPlanner, ParallelPlanReplicatesSliceAndAppendsShared) {
+  Rng rng(0x9b1d);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto random_requests = [&](int n) {
+      std::vector<ArenaRequest> reqs;
+      for (int i = 0; i < n; ++i) {
+        const int first = static_cast<int>(rng.uniform(0, 12));
+        reqs.push_back(
+            {1 + static_cast<std::int64_t>(rng.uniform(0, 2048)), first,
+             first + static_cast<int>(rng.uniform(0, 6))});
+      }
+      return reqs;
+    };
+    const auto slice_reqs =
+        random_requests(2 + static_cast<int>(rng.uniform(0, 8)));
+    const auto shared_reqs =
+        random_requests(1 + static_cast<int>(rng.uniform(0, 8)));
+    const int workers = 1 + static_cast<int>(rng.uniform(0, 8));
+    const ParallelArenaPlan p =
+        ArenaPlanner().plan_parallel(slice_reqs, shared_reqs, workers);
+
+    EXPECT_EQ(p.num_workers, workers);
+    expect_no_live_overlap(p.slice);
+    expect_no_live_overlap(p.shared);
+    // The stride covers the slice plan and keeps every slice base aligned.
+    EXPECT_GE(p.slice_stride, p.slice.peak_bytes);
+    EXPECT_EQ(p.slice_stride % 16, 0);
+    for (const ArenaSlot& s : p.slice.slots) {
+      EXPECT_LE(s.offset + s.size, p.slice_stride);
+    }
+    // Slices tile [0, shared_offset); the shared region follows.
+    for (int w = 0; w < workers; ++w) {
+      EXPECT_EQ(p.slice_offset(w), static_cast<std::int64_t>(w) * p.slice_stride);
+    }
+    EXPECT_EQ(p.shared_offset(), p.slice_stride * workers);
+    EXPECT_EQ(p.total_bytes(), p.shared_offset() + p.shared.peak_bytes);
+  }
+}
+
+TEST(ArenaPlanner, ParallelPlanRejectsZeroWorkers) {
+  const std::vector<ArenaRequest> reqs{{64, 0, 1}};
+  EXPECT_THROW(ArenaPlanner().plan_parallel(reqs, reqs, 0),
+               std::invalid_argument);
+}
+
 TEST(ArenaPlanner, RejectsInvertedLifetime) {
   std::vector<ArenaRequest> requests{{64, 3, 1}};
   EXPECT_THROW(ArenaPlanner().plan(requests), std::invalid_argument);

@@ -1,0 +1,180 @@
+// SessionPool / InferenceSession (nn/runtime/session_pool.h): concurrent
+// submitters against N pre-compiled sessions must get results bit-identical
+// to a lone model, exceptions must travel through the future, and the
+// accounting (completed / per-session counts) must add up under stress.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "models/zoo.h"
+#include "nn/compiled_model.h"
+#include "nn/executor.h"
+#include "nn/rng.h"
+#include "nn/runtime/session_pool.h"
+#include "patch/compiled_patch_model.h"
+#include "patch/mcunetv2.h"
+#include "quant/calibration.h"
+
+namespace qmcu {
+namespace {
+
+nn::Tensor random_input(nn::TensorShape s, std::uint64_t seed) {
+  nn::Tensor t(s);
+  nn::Rng rng(seed);
+  for (float& v : t.data()) v = static_cast<float>(rng.normal(0.0, 1.0));
+  return t;
+}
+
+models::ModelConfig small_cfg() {
+  models::ModelConfig cfg;
+  cfg.width_multiplier = 0.25f;
+  cfg.resolution = 48;
+  cfg.num_classes = 10;
+  return cfg;
+}
+
+void expect_q_identical(const nn::QTensor& a, const nn::QTensor& b) {
+  ASSERT_EQ(a.shape(), b.shape());
+  ASSERT_EQ(a.params(), b.params());
+  for (std::size_t i = 0; i < a.data().size(); ++i) {
+    ASSERT_EQ(static_cast<int>(a.data()[i]), static_cast<int>(b.data()[i]))
+        << "element " << i;
+  }
+}
+
+TEST(SessionPool, ServesQuantModelBitExact) {
+  const nn::Graph g = models::make_model("mobilenetv2", small_cfg());
+  const auto ranges = quant::calibrate_ranges(
+      g, std::vector<nn::Tensor>{random_input(g.shape(0), 1)});
+  const auto cfg = quant::make_quant_config(g, ranges, nn::uniform_bits(g, 8));
+  // One weight conversion shared by every session in the pool.
+  const auto params = nn::QuantizedParameters::build_shared(g, cfg);
+  const nn::CompiledQuantModel reference(g, cfg, nn::ops::KernelTier::Fast,
+                                         params);
+
+  nn::SessionPool<nn::CompiledQuantModel> pool(3, [&] {
+    return std::make_unique<nn::CompiledQuantModel>(
+        g, cfg, nn::ops::KernelTier::Fast, params);
+  });
+  EXPECT_EQ(pool.num_sessions(), 3);
+
+  std::vector<nn::Tensor> inputs;
+  std::vector<nn::QTensor> expected;
+  for (std::uint64_t seed = 2; seed < 8; ++seed) {
+    inputs.push_back(random_input(g.shape(0), seed));
+    expected.push_back(reference.run(inputs.back()));
+  }
+  std::vector<std::future<nn::QTensor>> futures;
+  for (const nn::Tensor& in : inputs) futures.push_back(pool.submit(in));
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    expect_q_identical(futures[i].get(), expected[i]);
+  }
+  EXPECT_EQ(pool.completed(), futures.size());
+}
+
+TEST(SessionPool, StressConcurrentSubmitters) {
+  const nn::Graph g = models::make_model("mobilenetv2", small_cfg());
+  const auto ranges = quant::calibrate_ranges(
+      g, std::vector<nn::Tensor>{random_input(g.shape(0), 10)});
+  const auto cfg = quant::make_quant_config(g, ranges, nn::uniform_bits(g, 8));
+  const auto params = nn::QuantizedParameters::build_shared(g, cfg);
+  const nn::CompiledQuantModel reference(g, cfg, nn::ops::KernelTier::Fast,
+                                         params);
+
+  // Two distinct inputs with known outputs; submitters interleave them.
+  const nn::Tensor in_a = random_input(g.shape(0), 11);
+  const nn::Tensor in_b = random_input(g.shape(0), 12);
+  const nn::QTensor out_a = reference.run(in_a);
+  const nn::QTensor out_b = reference.run(in_b);
+
+  constexpr int kSessions = 4;
+  constexpr int kSubmitters = 6;
+  constexpr int kPerSubmitter = 8;
+  nn::SessionPool<nn::CompiledQuantModel> pool(kSessions, [&] {
+    return std::make_unique<nn::CompiledQuantModel>(
+        g, cfg, nn::ops::KernelTier::Fast, params);
+  });
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = 0; i < kPerSubmitter; ++i) {
+        const bool use_a = (t + i) % 2 == 0;
+        const nn::QTensor got = pool.run(use_a ? in_a : in_b);
+        const nn::QTensor& want = use_a ? out_a : out_b;
+        if (!(got.shape() == want.shape()) ||
+            !std::equal(got.data().begin(), got.data().end(),
+                        want.data().begin())) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(pool.completed(),
+            static_cast<std::uint64_t>(kSubmitters * kPerSubmitter));
+  EXPECT_EQ(pool.pending(), 0u);
+  // Every request landed on some session, none on two.
+  std::uint64_t total = 0;
+  for (const std::uint64_t n : pool.per_session_requests()) total += n;
+  EXPECT_EQ(total, static_cast<std::uint64_t>(kSubmitters * kPerSubmitter));
+}
+
+TEST(SessionPool, PropagatesModelExceptionsThroughFuture) {
+  const nn::Graph g = models::make_model("mobilenetv2", small_cfg());
+  nn::SessionPool<nn::CompiledModel> pool(2, [&] {
+    return std::make_unique<nn::CompiledModel>(g);
+  });
+  // Wrong input shape: the model throws inside the serving thread and the
+  // exception must surface at future.get().
+  auto bad = pool.submit(random_input({4, 4, 3}, 13));
+  EXPECT_THROW(bad.get(), std::invalid_argument);
+  // The pool stays serviceable afterwards.
+  auto good = pool.submit(random_input(g.shape(0), 14));
+  EXPECT_EQ(good.get().shape(), g.shape(g.output()));
+  EXPECT_EQ(pool.completed(), 1u);
+}
+
+TEST(SessionPool, ServesPatchModels) {
+  const nn::Graph g = models::make_model("mobilenetv2", small_cfg());
+  const patch::PatchPlan plan =
+      patch::build_patch_plan(g, patch::plan_mcunetv2(g, {2, 2}));
+  const patch::CompiledPatchModel reference(g, plan);
+  const nn::Tensor in = random_input(g.shape(0), 15);
+  const nn::Tensor expect = reference.run(in);
+
+  nn::SessionPool<patch::CompiledPatchModel> pool(2, [&] {
+    return std::make_unique<patch::CompiledPatchModel>(g, plan);
+  });
+  std::vector<std::future<nn::Tensor>> futures;
+  for (int i = 0; i < 4; ++i) futures.push_back(pool.submit(in));
+  for (auto& f : futures) {
+    const nn::Tensor got = f.get();
+    ASSERT_EQ(got.shape(), expect.shape());
+    for (std::size_t i = 0; i < got.data().size(); ++i) {
+      ASSERT_EQ(got.data()[i], expect.data()[i]);
+    }
+  }
+}
+
+TEST(InferenceSession, CountsRequests) {
+  const nn::Graph g = models::make_model("mobilenetv2", small_cfg());
+  nn::InferenceSession<nn::CompiledModel> session(
+      std::make_unique<nn::CompiledModel>(g));
+  const nn::Tensor in = random_input(g.shape(0), 16);
+  (void)session.run(in);
+  (void)session.run(in);
+  EXPECT_EQ(session.requests_served(), 2u);
+  EXPECT_EQ(&session.model().graph(), &g);
+}
+
+}  // namespace
+}  // namespace qmcu

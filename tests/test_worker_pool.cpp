@@ -1,0 +1,120 @@
+// WorkerPool (nn/runtime/worker_pool.h): the chunked work-stealing
+// parallel_for must cover every index exactly once for any worker count,
+// chunking and load shape; keep lane indices inside [0, W); run inline on
+// one worker; and propagate body exceptions to the caller.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "nn/runtime/worker_pool.h"
+
+namespace qmcu {
+namespace {
+
+TEST(WorkerPool, CoversEveryIndexExactlyOnce) {
+  for (const int workers : {1, 2, 3, 4, 8}) {
+    nn::WorkerPool pool(workers);
+    for (const std::int64_t count : {0, 1, 3, 7, 64, 1000}) {
+      for (const std::int64_t grain : {1, 2, 5, 64, 2000}) {
+        std::vector<std::atomic<int>> hits(static_cast<std::size_t>(count));
+        for (auto& h : hits) h.store(0);
+        pool.parallel_for(count, grain,
+                          [&](std::int64_t b, std::int64_t e, int lane) {
+                            ASSERT_GE(lane, 0);
+                            ASSERT_LT(lane, pool.num_workers());
+                            ASSERT_LE(b, e);
+                            for (std::int64_t i = b; i < e; ++i) {
+                              hits[static_cast<std::size_t>(i)].fetch_add(1);
+                            }
+                          });
+        for (std::int64_t i = 0; i < count; ++i) {
+          ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1)
+              << "index " << i << " workers " << workers << " grain "
+              << grain;
+        }
+      }
+    }
+  }
+}
+
+TEST(WorkerPool, SingleWorkerRunsInlineOnCaller) {
+  nn::WorkerPool pool(1);
+  EXPECT_EQ(pool.num_workers(), 1);
+  const std::thread::id caller = std::this_thread::get_id();
+  int calls = 0;
+  pool.parallel_for(10, 3, [&](std::int64_t b, std::int64_t e, int lane) {
+    EXPECT_EQ(lane, 0);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    calls += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(calls, 10);
+}
+
+TEST(WorkerPool, StealingBalancesSkewedLoads) {
+  // One pathologically expensive chunk at the front of lane 0's deque: the
+  // other lanes must steal the rest of lane 0's work instead of idling.
+  nn::WorkerPool pool(4);
+  if (pool.num_workers() < 2) GTEST_SKIP() << "needs >= 2 workers";
+  std::mutex mu;
+  std::set<int> lanes_seen;
+  std::atomic<std::int64_t> done{0};
+  pool.parallel_for(64, 1, [&](std::int64_t b, std::int64_t, int lane) {
+    if (b == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      lanes_seen.insert(lane);
+    }
+    done.fetch_add(1);
+  });
+  EXPECT_EQ(done.load(), 64);
+  // All chunks completed; on a multi-core host several lanes participate.
+  // (On a single-core CI runner the OS may or may not schedule the helper
+  // threads before the caller drains everything, so only assert coverage.)
+  EXPECT_GE(static_cast<int>(lanes_seen.size()), 1);
+}
+
+TEST(WorkerPool, PropagatesBodyExceptions) {
+  for (const int workers : {1, 4}) {
+    nn::WorkerPool pool(workers);
+    EXPECT_THROW(
+        pool.parallel_for(16, 1,
+                          [&](std::int64_t b, std::int64_t, int) {
+                            if (b == 7) throw std::runtime_error("boom");
+                          }),
+        std::runtime_error);
+    // The pool must stay usable after a failed job.
+    std::atomic<std::int64_t> n{0};
+    pool.parallel_for(16, 1, [&](std::int64_t b, std::int64_t e, int) {
+      n.fetch_add(e - b);
+    });
+    EXPECT_EQ(n.load(), 16);
+  }
+}
+
+TEST(WorkerPool, BackToBackJobsReuseThreads) {
+  nn::WorkerPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::int64_t> sum{0};
+    pool.parallel_for(100, 7, [&](std::int64_t b, std::int64_t e, int) {
+      for (std::int64_t i = b; i < e; ++i) sum.fetch_add(i);
+    });
+    EXPECT_EQ(sum.load(), 100 * 99 / 2);
+  }
+}
+
+TEST(WorkerPool, ClampsWorkerCount) {
+  nn::WorkerPool pool(0);
+  EXPECT_EQ(pool.num_workers(), 1);
+  EXPECT_GE(nn::WorkerPool::hardware_workers(), 1);
+}
+
+}  // namespace
+}  // namespace qmcu
