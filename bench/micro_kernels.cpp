@@ -7,6 +7,8 @@
 // by default (see bench_common.h).
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "bench/bench_common.h"
 #include "core/vdqs.h"
 #include "models/zoo.h"
@@ -300,39 +302,76 @@ void BM_RepeatedPatchRun(benchmark::State& state) {
 }
 BENCHMARK(BM_RepeatedPatchRun)->Arg(0)->Arg(1);
 
-// Thread-scaling sweep for the parallel patch runtime: stage-1 branches
-// fanned out over a WorkerPool at 1/2/4/8 workers (arg 0). A finer grid
-// (3x3 = 9 branches) gives the scheduler enough independent patches to
-// keep every worker busy. The 1-worker row is the sequential code path —
-// the scaling baseline the acceptance criterion compares against. On a
-// single-core host the rows collapse to ~1x; the shape of the curve is
-// the artifact CI tracks across machines.
-void BM_ParallelPatchRun(benchmark::State& state) {
-  const int workers = static_cast<int>(state.range(0));
+// Thread-scaling sweeps for the parallel patch runtimes at 1/2/4/8
+// workers (arg 0), over the same model and grid (3x4 = 12 branches):
+//   BM_ParallelPatchRun  — the two-phase barrier runtime (branch barrier,
+//                          then the whole tail on the caller);
+//   BM_PipelinedPatchRun — the dependency-driven dataflow graph (branch
+//                          tasks -> tail row bands -> join), which hides
+//                          the tail behind the last branches.
+// The 1-worker row is the sequential code path — the scaling baseline the
+// acceptance criterion compares against; pipelined-vs-barrier at equal
+// workers is the overlap win. On a single-core host the rows collapse to
+// ~1x; the shape of the curves is the artifact CI tracks across machines.
+struct PatchRunSetup {
+  nn::Graph g;
+  nn::Tensor in;
+  std::unique_ptr<patch::PatchQuantExecutor> pexec;
+  std::int64_t stage_macs = 0;
+  std::size_t branches = 0;
+};
+
+PatchRunSetup patch_run_setup() {
   models::ModelConfig cfg;
   cfg.width_multiplier = 0.35f;
   cfg.resolution = 96;
   cfg.num_classes = 100;
-  const nn::Graph g = models::make_mobilenet_v2(cfg);
-  const nn::Tensor in = random_tensor(g.shape(0), 31);
-  const auto ranges = quant::calibrate_ranges(g, std::vector<nn::Tensor>{in});
-  const auto qcfg = quant::make_quant_config(g, ranges, nn::uniform_bits(g, 8));
-  const patch::PatchPlan plan =
-      patch::build_patch_plan(g, patch::plan_mcunetv2(g, {3, 4}));
-  const patch::PatchQuantExecutor pexec(g, plan, qcfg);
+  PatchRunSetup s{models::make_mobilenet_v2(cfg), {}, nullptr};
+  s.in = random_tensor(s.g.shape(0), 31);
+  const auto ranges =
+      quant::calibrate_ranges(s.g, std::vector<nn::Tensor>{s.in});
+  const auto qcfg =
+      quant::make_quant_config(s.g, ranges, nn::uniform_bits(s.g, 8));
+  patch::PatchPlan plan =
+      patch::build_patch_plan(s.g, patch::plan_mcunetv2(s.g, {3, 4}));
+  s.stage_macs = plan.stage_macs_patched;
+  s.branches = plan.branches.size();
+  s.pexec = std::make_unique<patch::PatchQuantExecutor>(s.g, std::move(plan),
+                                                        qcfg);
+  return s;
+}
+
+void BM_ParallelPatchRun(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  const PatchRunSetup s = patch_run_setup();
   nn::WorkerPool pool(workers);
   // Warm-up: builds worker contexts + prepacks per-worker panels.
-  (void)pexec.run_parallel(in, &pool);
-  std::int64_t stage_macs = plan.stage_macs_patched;
+  (void)s.pexec->run_parallel_barrier(s.in, &pool);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(pexec.run_parallel(in, &pool));
+    benchmark::DoNotOptimize(s.pexec->run_parallel_barrier(s.in, &pool));
   }
-  state.SetItemsProcessed(state.iterations() * stage_macs);
+  state.SetItemsProcessed(state.iterations() * s.stage_macs);
   state.counters["workers"] = workers;
-  state.counters["branches"] =
-      static_cast<double>(plan.branches.size());
+  state.counters["branches"] = static_cast<double>(s.branches);
 }
 BENCHMARK(BM_ParallelPatchRun)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_PipelinedPatchRun(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  const PatchRunSetup s = patch_run_setup();
+  nn::WorkerPool pool(workers);
+  (void)s.pexec->run_parallel(s.in, &pool);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.pexec->run_parallel(s.in, &pool));
+  }
+  state.SetItemsProcessed(state.iterations() * s.stage_macs);
+  state.counters["workers"] = workers;
+  state.counters["branches"] = static_cast<double>(s.branches);
+  state.counters["tail_bands"] = static_cast<double>(
+      s.pexec->compiled().pipelined_tail().size());
+}
+BENCHMARK(BM_PipelinedPatchRun)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 // Throughput under concurrency for the serving front-end: `sessions`
@@ -372,6 +411,48 @@ void BM_SessionPoolThroughput(benchmark::State& state) {
   state.counters["sessions"] = sessions;
 }
 BENCHMARK(BM_SessionPoolThroughput)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// Batched submission: the same backlog lands as `batch`-sized
+// submit_batch calls (arg 0 = batch size; 1 = the per-item baseline).
+// Larger batches amortise queue wakeups and keep a session looping on its
+// bound arena — the ROADMAP "batched submission" win, measured.
+void BM_SessionPoolBatchThroughput(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  models::ModelConfig cfg;
+  cfg.width_multiplier = 0.35f;
+  cfg.resolution = 64;
+  cfg.num_classes = 100;
+  const nn::Graph g = models::make_mobilenet_v2(cfg);
+  const nn::Tensor in = random_tensor(g.shape(0), 34);
+  const auto ranges = quant::calibrate_ranges(g, std::vector<nn::Tensor>{in});
+  const auto qcfg = quant::make_quant_config(g, ranges, nn::uniform_bits(g, 8));
+  const auto params = nn::QuantizedParameters::build_shared(g, qcfg);
+  nn::SessionPool<nn::CompiledQuantModel> pool(2, [&] {
+    return std::make_unique<nn::CompiledQuantModel>(
+        g, qcfg, nn::ops::KernelTier::Fast, params);
+  });
+  constexpr int kBacklog = 16;
+  {
+    std::vector<std::future<nn::QTensor>> warm;
+    for (int i = 0; i < kBacklog; ++i) warm.push_back(pool.submit(in));
+    for (auto& f : warm) (void)f.get();
+  }
+  for (auto _ : state) {
+    std::vector<std::future<nn::QTensor>> futures;
+    futures.reserve(kBacklog);
+    for (int sent = 0; sent < kBacklog; sent += batch) {
+      std::vector<nn::Tensor> inputs(
+          static_cast<std::size_t>(std::min(batch, kBacklog - sent)), in);
+      auto fs = pool.submit_batch(std::move(inputs));
+      for (auto& f : fs) futures.push_back(std::move(f));
+    }
+    for (auto& f : futures) benchmark::DoNotOptimize(f.get());
+  }
+  state.SetItemsProcessed(state.iterations() * kBacklog);
+  state.counters["batch"] = batch;
+}
+BENCHMARK(BM_SessionPoolBatchThroughput)->Arg(1)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void BM_PatchPlanBuild(benchmark::State& state) {

@@ -1,14 +1,17 @@
 // concurrent_serving.cpp — the parallel runtime end to end.
 //
-// Demonstrates the two axes PR 3 adds on top of compiled plans:
+// Demonstrates the axes the runtime stacks on top of compiled plans:
 //
-//   1. Intra-request parallelism: one patch-based inference with stage-1
-//      branches fanned out over a WorkerPool (per-worker arena slices,
-//      work-stealing scheduler, lock-free tiled merge) — bit-identical to
-//      the sequential run at every worker count.
+//   1. Intra-request parallelism: one patch-based inference scheduled as a
+//      dependency-driven task graph over a WorkerPool — branch tasks merge
+//      into the assembled map, tail row bands start on spare workers as
+//      soon as their input rows are ready, and the barrier runtime stays
+//      available for comparison. Bit-identical to the sequential run at
+//      every worker count.
 //   2. Inter-request parallelism: a SessionPool of pre-compiled
 //      (model, arena, scratch) triples serving submit()-style traffic from
-//      several client threads, sharing one weight conversion.
+//      several client threads, sharing one weight conversion — plus
+//      batched submission (one queue wakeup per batch).
 //
 // Build: cmake --build build --target example_concurrent_serving
 #include <algorithm>
@@ -69,34 +72,49 @@ int main() {
               static_cast<int>(plan.branches.size()),
               plan.spec.split_layer);
 
+  std::printf("  pipelined tail: %d row-banded layers before the join\n",
+              static_cast<int>(pexec.compiled().pipelined_tail().size()));
+
   const nn::QTensor sequential = pexec.run(input);
   for (const int workers : {1, 2, 4}) {
     nn::WorkerPool pool(workers);
     (void)pexec.run_parallel(input, &pool);  // warm worker contexts
-    const auto t0 = std::chrono::steady_clock::now();
     constexpr int kReps = 5;
-    for (int r = 0; r < kReps; ++r) {
-      const nn::QTensor out = pexec.run_parallel(input, &pool);
-      if (!std::equal(out.data().begin(), out.data().end(),
-                      sequential.data().begin())) {
-        std::printf("  !! worker count %d diverged from sequential\n",
-                    workers);
-        return 1;
+    double pipelined_ms = 0.0;
+    double barrier_ms = 0.0;
+    {
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int r = 0; r < kReps; ++r) {
+        const nn::QTensor out = pexec.run_parallel(input, &pool);
+        if (!std::equal(out.data().begin(), out.data().end(),
+                        sequential.data().begin())) {
+          std::printf("  !! worker count %d diverged from sequential\n",
+                      workers);
+          return 1;
+        }
       }
+      pipelined_ms = ms_since(t0) / kReps;
+    }
+    {
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int r = 0; r < kReps; ++r) {
+        (void)pexec.run_parallel_barrier(input, &pool);
+      }
+      barrier_ms = ms_since(t0) / kReps;
     }
     if (workers == 1) {
       // A 1-worker pool takes the sequential path: unified single arena.
       std::printf(
           "  %d worker(s): %6.2f ms/run  bit-exact  arena %lld B (unified, "
           "sequential path)\n",
-          workers, ms_since(t0) / kReps,
+          workers, pipelined_ms,
           static_cast<long long>(pexec.compiled().arena_bytes()));
     } else {
-      const auto& pplan = pexec.compiled().parallel_plan(workers);
+      const auto& pplan = pexec.compiled().pipelined_plan(workers);
       std::printf(
-          "  %d worker(s): %6.2f ms/run  bit-exact  arena %lld B "
-          "(%d x %lld slice + %lld shared)\n",
-          workers, ms_since(t0) / kReps,
+          "  %d worker(s): %6.2f ms/run pipelined, %6.2f ms/run barrier  "
+          "bit-exact  arena %lld B (%d x %lld slice + %lld shared)\n",
+          workers, pipelined_ms, barrier_ms,
           static_cast<long long>(pplan.total_bytes()), workers,
           static_cast<long long>(pplan.slice_stride),
           static_cast<long long>(pplan.shared.peak_bytes));
@@ -136,5 +154,18 @@ int main() {
     std::printf(" %llu", static_cast<unsigned long long>(n));
   }
   std::printf("\n");
+
+  // --- 3. batched submission ----------------------------------------------
+  constexpr int kBatch = 8;
+  std::vector<nn::Tensor> batch;
+  batch.reserve(kBatch);
+  for (int i = 0; i < kBatch; ++i) {
+    batch.push_back(random_input(g.shape(0), 500 + i));
+  }
+  const auto tb = std::chrono::steady_clock::now();
+  auto futures = sessions.submit_batch(std::move(batch));
+  for (auto& f : futures) (void)f.get();
+  std::printf("  batch of %d: one queue wakeup, %.1f ms end to end\n",
+              kBatch, ms_since(tb));
   return 0;
 }

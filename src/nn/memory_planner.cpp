@@ -184,6 +184,21 @@ ParallelArenaPlan ArenaPlanner::plan_parallel(
   return p;
 }
 
+ParallelArenaPlan ArenaPlanner::plan_pipelined(
+    std::span<const ArenaRequest> per_worker,
+    std::span<const ArenaRequest> shared, int num_workers,
+    int overlap_horizon) const {
+  QMCU_REQUIRE(overlap_horizon >= 0, "overlap horizon must be non-negative");
+  std::vector<ArenaRequest> widened(shared.begin(), shared.end());
+  for (ArenaRequest& r : widened) {
+    if (r.first_step <= overlap_horizon) {
+      r.first_step = 0;
+      r.last_step = std::max(r.last_step, overlap_horizon);
+    }
+  }
+  return plan_parallel(per_worker, widened, num_workers);
+}
+
 ArenaPlan ArenaPlanner::plan(const Graph& g,
                              std::span<const int> act_bits) const {
   QMCU_REQUIRE(static_cast<int>(act_bits.size()) == g.size(),

@@ -165,6 +165,22 @@ class ArenaPlanner {
       std::span<const ArenaRequest> per_worker,
       std::span<const ArenaRequest> shared, int num_workers) const;
 
+  // Pipelined variant: the dependency-driven patch runtime executes tail
+  // row bands *while* branches are still running, so the shared region's
+  // step timeline no longer serialises the two phases. Every shared
+  // request born at or before `overlap_horizon` (the timeline step of the
+  // last row-banded tail layer) is widened to live over the whole
+  // pipelined window [0, max(last_step, overlap_horizon)] — those slots
+  // (assembled map, quantized input, banded tail layers) may all be
+  // written or read concurrently, so none of them may reuse another's
+  // bytes. Requests born after the horizon run strictly after the
+  // pipeline's join and keep their step lifetimes (and may therefore
+  // still recycle a widened slot's bytes).
+  [[nodiscard]] ParallelArenaPlan plan_pipelined(
+      std::span<const ArenaRequest> per_worker,
+      std::span<const ArenaRequest> shared, int num_workers,
+      int overlap_horizon) const;
+
  private:
   std::int64_t alignment_;
 };

@@ -17,6 +17,10 @@
 //     own* session, so a session is only ever driven by one thread (the
 //     backend's thread-affinity guard holds by construction) and requests
 //     reuse compiled state instead of paying compilation per request.
+//     submit_batch() enqueues a whole batch as ONE queue entry — one
+//     wakeup instead of batch-size wakeups — and the serving session loops
+//     over the batch reusing its bound arena, which is what lifts
+//     small-model throughput (ROADMAP "batched submission").
 //
 // Both are templates over the model type — CompiledModel,
 // CompiledQuantModel, the patch models, or any type with
@@ -24,6 +28,12 @@
 // times on the calling thread (compilation + weight prepack happen here,
 // before any traffic); destruction drains already-queued requests, then
 // joins the serving threads.
+//
+// A pool can own an ArenaSlab shared by several pools (pass one in, or let
+// the pool create its own): factories wire it into their models via
+// set_arena_source, so every model leases its run arena for the duration
+// of a request and the fleet's arena memory is capped by concurrent
+// traffic (max model arena x busy lanes), not by the number of models.
 #pragma once
 
 #include <atomic>
@@ -36,6 +46,7 @@
 #include <vector>
 
 #include "nn/check.h"
+#include "nn/runtime/arena_slab.h"
 #include "nn/runtime/task_queue.h"
 #include "nn/tensor.h"
 
@@ -74,18 +85,38 @@ class SessionPool {
  public:
   using Output = typename InferenceSession<Model>::Output;
   using Factory = std::function<std::unique_ptr<Model>()>;
+  // Factory form that receives the pool's slab, for wiring it into each
+  // model (model->set_arena_source(slab)) as it is built.
+  using SlabFactory =
+      std::function<std::unique_ptr<Model>(const std::shared_ptr<ArenaSlab>&)>;
 
-  SessionPool(int sessions, const Factory& factory) {
+  // `slab`: the arena pool this SessionPool's models may lease run arenas
+  // from. Defaults to a pool-owned slab; pass a shared one to cap arena
+  // memory across several SessionPools serving different models.
+  explicit SessionPool(int sessions, const Factory& factory,
+                       std::shared_ptr<ArenaSlab> slab = nullptr)
+      : slab_(slab ? std::move(slab) : std::make_shared<ArenaSlab>()) {
     QMCU_REQUIRE(sessions >= 1, "session pool needs at least one session");
     sessions_.reserve(static_cast<std::size_t>(sessions));
     for (int i = 0; i < sessions; ++i) {
       sessions_.push_back(
           std::make_unique<InferenceSession<Model>>(factory()));
     }
-    threads_.reserve(static_cast<std::size_t>(sessions));
+    start_serving();
+  }
+
+  // Same, with the slab handed to the factory so each model can lease its
+  // run arenas from it (model->set_arena_source(slab)).
+  SessionPool(int sessions, const SlabFactory& factory,
+              std::shared_ptr<ArenaSlab> slab = nullptr)
+      : slab_(slab ? std::move(slab) : std::make_shared<ArenaSlab>()) {
+    QMCU_REQUIRE(sessions >= 1, "session pool needs at least one session");
+    sessions_.reserve(static_cast<std::size_t>(sessions));
     for (int i = 0; i < sessions; ++i) {
-      threads_.emplace_back([this, i] { serve(static_cast<std::size_t>(i)); });
+      sessions_.push_back(
+          std::make_unique<InferenceSession<Model>>(factory(slab_)));
     }
+    start_serving();
   }
 
   ~SessionPool() {
@@ -116,9 +147,42 @@ class SessionPool {
     return result;
   }
 
+  // Enqueues a whole batch as one queue entry — a single wakeup, and the
+  // serving session that pops it runs every input back to back on its
+  // already-bound arena (no per-item re-dispatch). Futures resolve in
+  // batch order as items finish; an item that throws fails only its own
+  // future, the rest of the batch still runs.
+  std::vector<std::future<Output>> submit_batch(std::vector<Tensor> inputs) {
+    std::vector<std::future<Output>> results;
+    results.reserve(inputs.size());
+    auto promises =
+        std::make_shared<std::vector<std::promise<Output>>>(inputs.size());
+    for (auto& p : *promises) results.push_back(p.get_future());
+    if (inputs.empty()) return results;
+    queue_.push([this, promises,
+                 inputs = std::move(inputs)](std::size_t si) {
+      for (std::size_t i = 0; i < inputs.size(); ++i) {
+        try {
+          Output out = sessions_[si]->run(inputs[i]);
+          completed_.fetch_add(1, std::memory_order_relaxed);
+          (*promises)[i].set_value(std::move(out));
+        } catch (...) {
+          (*promises)[i].set_exception(std::current_exception());
+        }
+      }
+    });
+    return results;
+  }
+
   // Synchronous convenience: submit + wait. Unlike calling a model
   // directly, this is safe from any number of caller threads at once.
   Output run(const Tensor& input) { return submit(input).get(); }
+
+  // The arena slab this pool's models lease from (shared across pools when
+  // passed at construction).
+  [[nodiscard]] const std::shared_ptr<ArenaSlab>& slab() const {
+    return slab_;
+  }
 
   [[nodiscard]] int num_sessions() const {
     return static_cast<int>(sessions_.size());
@@ -138,11 +202,20 @@ class SessionPool {
   }
 
  private:
+  void start_serving() {
+    const int sessions = static_cast<int>(sessions_.size());
+    threads_.reserve(static_cast<std::size_t>(sessions));
+    for (int i = 0; i < sessions; ++i) {
+      threads_.emplace_back([this, i] { serve(static_cast<std::size_t>(i)); });
+    }
+  }
+
   void serve(std::size_t session_index) {
     runtime::TaskQueue::Task task;
     while (queue_.pop(task)) task(session_index);
   }
 
+  std::shared_ptr<ArenaSlab> slab_;
   std::vector<std::unique_ptr<InferenceSession<Model>>> sessions_;
   runtime::TaskQueue queue_;
   std::vector<std::thread> threads_;

@@ -6,6 +6,26 @@
 
 namespace qmcu::nn {
 
+// --- TaskGraph ---------------------------------------------------------------
+
+int TaskGraph::add(Fn fn) {
+  QMCU_REQUIRE(fn != nullptr, "task graph node needs a body");
+  nodes_.push_back(Node{std::move(fn), {}, 0});
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+void TaskGraph::depend(int task, int prereq) {
+  QMCU_REQUIRE(task >= 0 && task < size() && prereq >= 0 && prereq < size(),
+               "task graph edge out of range");
+  QMCU_REQUIRE(task != prereq, "task cannot depend on itself");
+  nodes_[static_cast<std::size_t>(prereq)].successors.push_back(task);
+  ++nodes_[static_cast<std::size_t>(task)].preds;
+}
+
+void TaskGraph::clear() { nodes_.clear(); }
+
+// --- WorkerPool --------------------------------------------------------------
+
 WorkerPool::WorkerPool(int workers) {
   const int w = std::max(workers, 1);
   lanes_.reserve(static_cast<std::size_t>(w));
@@ -29,25 +49,25 @@ int WorkerPool::hardware_workers() {
   return std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
 }
 
-bool WorkerPool::take_own(int lane, Chunk& out) {
+bool WorkerPool::take_own(int lane, int& out) {
   Lane& l = *lanes_[static_cast<std::size_t>(lane)];
   std::lock_guard<std::mutex> lock(l.mu);
-  if (l.chunks.empty()) return false;
-  out = l.chunks.front();
-  l.chunks.pop_front();
+  if (l.tasks.empty()) return false;
+  out = l.tasks.front();
+  l.tasks.pop_front();
   return true;
 }
 
-bool WorkerPool::steal_any(int thief, Chunk& out) {
+bool WorkerPool::steal_any(int thief, int& out) {
   const int w = num_workers();
   for (int d = 1; d < w; ++d) {
     Lane& victim = *lanes_[static_cast<std::size_t>((thief + d) % w)];
     std::lock_guard<std::mutex> lock(victim.mu);
-    if (victim.chunks.empty()) continue;
+    if (victim.tasks.empty()) continue;
     // Steal from the opposite end the owner pops from: the freshest (and
     // for block-dealt ranges, the most distant) work migrates first.
-    out = victim.chunks.back();
-    victim.chunks.pop_back();
+    out = victim.tasks.back();
+    victim.tasks.pop_back();
     return true;
   }
   return false;
@@ -58,30 +78,90 @@ void WorkerPool::record_exception() {
   if (!first_error_) first_error_ = std::current_exception();
 }
 
-void WorkerPool::drain(int lane, const Body& body) {
-  Chunk c{};
-  while (take_own(lane, c) || steal_any(lane, c)) {
-    try {
-      body(c.begin, c.end, lane);
-    } catch (...) {
-      record_exception();
+// Makes a now-ready task visible: onto the publishing lane's own deque
+// (front — it is the natural continuation of what just finished), then a
+// ready-epoch bump so an idle worker that scanned the deques just before
+// the push re-checks instead of sleeping through it.
+void WorkerPool::publish(int lane, int task) {
+  {
+    Lane& l = *lanes_[static_cast<std::size_t>(lane)];
+    std::lock_guard<std::mutex> lock(l.mu);
+    l.tasks.push_front(task);
+  }
+  {
+    std::lock_guard<std::mutex> lock(ready_mu_);
+    ++ready_epoch_;
+  }
+  ready_cv_.notify_all();
+}
+
+void WorkerPool::execute(int task, int lane) {
+  TaskGraph::Node& node = graph_->nodes_[static_cast<std::size_t>(task)];
+  bool failed = false;
+  try {
+    node.fn(lane);
+  } catch (...) {
+    record_exception();
+    abort_.store(true, std::memory_order_release);
+    failed = true;
+  }
+  // acq_rel on the counters chains the happens-before edge: this task's
+  // writes are released by the decrement, and whichever thread takes the
+  // counter to zero (or sees remaining_ hit zero) acquires them. A failed
+  // task publishes nothing: its successors' counters never reach zero, so
+  // no dependent can observe its half-written output — abort_ terminates
+  // the drain loops and dispatch_and_wait clears the leftover deques.
+  if (!failed) {
+    for (const int s : node.successors) {
+      if (preds_[static_cast<std::size_t>(s)].fetch_sub(
+              1, std::memory_order_acq_rel) == 1) {
+        publish(lane, s);
+      }
     }
+  }
+  if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1 ||
+      abort_.load(std::memory_order_acquire)) {
+    {
+      std::lock_guard<std::mutex> lock(ready_mu_);
+      ++ready_epoch_;
+    }
+    ready_cv_.notify_all();
+  }
+}
+
+void WorkerPool::drain(int lane) {
+  int task = -1;
+  for (;;) {
+    if (abort_.load(std::memory_order_acquire)) return;
+    if (remaining_.load(std::memory_order_acquire) == 0) return;
+    if (take_own(lane, task) || steal_any(lane, task)) {
+      execute(task, lane);
+      continue;
+    }
+    // Nothing runnable: wait for a publish (or completion/abort). The
+    // epoch is read before the deque scan above could miss a concurrent
+    // publish — the publisher bumps it under ready_mu_ after pushing, so
+    // either the scan saw the task or the epoch moved.
+    std::unique_lock<std::mutex> lock(ready_mu_);
+    const std::uint64_t seen = ready_epoch_;
+    ready_cv_.wait(lock, [&] {
+      return ready_epoch_ != seen ||
+             remaining_.load(std::memory_order_acquire) == 0 ||
+             abort_.load(std::memory_order_acquire);
+    });
   }
 }
 
 void WorkerPool::worker_main(int lane) {
   std::uint64_t seen = 0;
   for (;;) {
-    const Body* body = nullptr;
     {
       std::unique_lock<std::mutex> lock(job_mu_);
-      job_cv_.wait(lock,
-                   [&] { return shutdown_ || generation_ != seen; });
+      job_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
       if (shutdown_) return;
       seen = generation_;
-      body = body_;
     }
-    drain(lane, *body);
+    drain(lane);
     {
       std::lock_guard<std::mutex> lock(job_mu_);
       if (--active_workers_ == 0) done_cv_.notify_one();
@@ -89,13 +169,145 @@ void WorkerPool::worker_main(int lane) {
   }
 }
 
+void WorkerPool::dispatch_and_wait() {
+  {
+    std::lock_guard<std::mutex> lock(job_mu_);
+    first_error_ = nullptr;
+    active_workers_ = num_workers() - 1;
+    ++generation_;
+  }
+  job_cv_.notify_all();
+
+  drain(0);  // the caller is worker 0
+
+  std::unique_lock<std::mutex> lock(job_mu_);
+  done_cv_.wait(lock, [&] { return active_workers_ == 0; });
+  graph_ = nullptr;
+  // An aborted graph leaves never-ready and never-popped tasks behind;
+  // clear the deques so the next run starts clean.
+  for (auto& lane : lanes_) {
+    std::lock_guard<std::mutex> l(lane->mu);
+    lane->tasks.clear();
+  }
+  if (first_error_) {
+    std::exception_ptr e = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
+}
+
+void WorkerPool::run_graph(TaskGraph& graph) {
+  if (graph.empty()) return;
+  const int w = num_workers();
+  const std::size_t n = graph.nodes_.size();
+
+  // A cycle would stall the workers forever (no counter ever reaches
+  // zero), so reject it up front — on every worker count, before any task
+  // runs — with a dry Kahn pass over the static counts. Graphs here are
+  // dozens of nodes; the check is free.
+  {
+    std::vector<int> preds(n);
+    std::vector<int> stack;
+    for (std::size_t i = 0; i < n; ++i) {
+      preds[i] = graph.nodes_[i].preds;
+      if (preds[i] == 0) stack.push_back(static_cast<int>(i));
+    }
+    std::size_t reached = 0;
+    while (!stack.empty()) {
+      const int t = stack.back();
+      stack.pop_back();
+      ++reached;
+      for (const int s : graph.nodes_[static_cast<std::size_t>(t)].successors) {
+        if (--preds[static_cast<std::size_t>(s)] == 0) stack.push_back(s);
+      }
+    }
+    QMCU_REQUIRE(reached == n, "task graph has a dependency cycle");
+  }
+
+  if (w == 1) {
+    // Inline sequential path: run tasks in dependency order (Kahn over the
+    // static counters), no scheduler involved.
+    std::vector<int> preds(n);
+    for (std::size_t i = 0; i < n; ++i) preds[i] = graph.nodes_[i].preds;
+    std::vector<int> stack;
+    for (std::size_t i = n; i-- > 0;) {
+      if (preds[i] == 0) stack.push_back(static_cast<int>(i));
+    }
+    while (!stack.empty()) {
+      const int t = stack.back();
+      stack.pop_back();
+      graph.nodes_[static_cast<std::size_t>(t)].fn(0);
+      for (const int s : graph.nodes_[static_cast<std::size_t>(t)].successors) {
+        if (--preds[static_cast<std::size_t>(s)] == 0) stack.push_back(s);
+      }
+    }
+    return;
+  }
+
+  if (preds_capacity_ < n) {
+    preds_ = std::make_unique<std::atomic<int>[]>(n);
+    preds_capacity_ = n;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    preds_[i].store(graph.nodes_[i].preds, std::memory_order_relaxed);
+  }
+  std::size_t ready = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (graph.nodes_[i].preds == 0) ++ready;
+  }
+  graph_ = &graph;
+  remaining_.store(static_cast<std::int64_t>(n), std::memory_order_relaxed);
+  abort_.store(false, std::memory_order_relaxed);
+
+  // Deal the initially-ready tasks lane by lane (block distribution): each
+  // worker starts on a compact stretch of the ready set and stealing moves
+  // whole tasks from the far end of a loaded lane.
+  const std::size_t per_lane = ready / static_cast<std::size_t>(w);
+  std::size_t extra = ready % static_cast<std::size_t>(w);
+  std::size_t next = 0;
+  for (int lane = 0; lane < w; ++lane) {
+    std::size_t take =
+        per_lane + (static_cast<std::size_t>(lane) < extra ? 1 : 0);
+    Lane& l = *lanes_[static_cast<std::size_t>(lane)];
+    std::lock_guard<std::mutex> lock(l.mu);
+    QMCU_ENSURE(l.tasks.empty(), "a graph run is already in flight");
+    while (take > 0 && next < n) {
+      if (graph.nodes_[next].preds == 0) {
+        l.tasks.push_back(static_cast<int>(next));
+        --take;
+      }
+      ++next;
+    }
+  }
+
+  dispatch_and_wait();
+}
+
+void WorkerPool::parallel_ranges(std::span<const IndexRange> ranges,
+                                 const Body& body) {
+  if (ranges.empty()) return;
+  if (num_workers() == 1) {
+    for (const IndexRange& r : ranges) {
+      QMCU_REQUIRE(r.begin < r.end, "parallel range must be non-empty");
+      body(r.begin, r.end, 0);
+    }
+    return;
+  }
+  TaskGraph graph;
+  for (const IndexRange& r : ranges) {
+    QMCU_REQUIRE(r.begin < r.end, "parallel range must be non-empty");
+    graph.add([&body, r](int lane) { body(r.begin, r.end, lane); });
+  }
+  run_graph(graph);
+}
+
 void WorkerPool::parallel_for(std::int64_t count, std::int64_t grain,
                               const Body& body) {
   if (count <= 0) return;
   grain = std::max<std::int64_t>(grain, 1);
-  const int w = num_workers();
 
-  if (w == 1) {
+  if (num_workers() == 1) {
     // Inline sequential path: identical chunking, no scheduler involved.
     for (std::int64_t b = 0; b < count; b += grain) {
       body(b, std::min(b + grain, count), 0);
@@ -103,44 +315,12 @@ void WorkerPool::parallel_for(std::int64_t count, std::int64_t grain,
     return;
   }
 
-  // Deal contiguous chunk runs lane by lane (block distribution): each
-  // worker starts on a compact stretch of the range and stealing moves
-  // whole chunks from the far end of a loaded lane.
-  const std::int64_t chunks = (count + grain - 1) / grain;
-  const std::int64_t per_lane = chunks / w;
-  std::int64_t extra = chunks % w;
-  std::int64_t next = 0;
-  for (int lane = 0; lane < w; ++lane) {
-    const std::int64_t take = per_lane + (lane < extra ? 1 : 0);
-    Lane& l = *lanes_[static_cast<std::size_t>(lane)];
-    std::lock_guard<std::mutex> lock(l.mu);
-    QMCU_ENSURE(l.chunks.empty(), "parallel_for is not reentrant");
-    for (std::int64_t i = 0; i < take; ++i, ++next) {
-      l.chunks.push_back(
-          {next * grain, std::min((next + 1) * grain, count)});
-    }
+  std::vector<IndexRange> ranges;
+  ranges.reserve(static_cast<std::size_t>((count + grain - 1) / grain));
+  for (std::int64_t b = 0; b < count; b += grain) {
+    ranges.push_back({b, std::min(b + grain, count)});
   }
-
-  {
-    std::lock_guard<std::mutex> lock(job_mu_);
-    body_ = &body;
-    first_error_ = nullptr;
-    active_workers_ = w - 1;
-    ++generation_;
-  }
-  job_cv_.notify_all();
-
-  drain(0, body);  // the caller is worker 0
-
-  std::unique_lock<std::mutex> lock(job_mu_);
-  done_cv_.wait(lock, [&] { return active_workers_ == 0; });
-  body_ = nullptr;
-  if (first_error_) {
-    std::exception_ptr e = first_error_;
-    first_error_ = nullptr;
-    lock.unlock();
-    std::rethrow_exception(e);
-  }
+  parallel_ranges(ranges, body);
 }
 
 }  // namespace qmcu::nn

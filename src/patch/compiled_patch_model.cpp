@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cstring>
+#include <utility>
 
 #include "nn/executor.h"
 #include "nn/ops/float_kernels.h"
 #include "nn/ops/requantize.h"
+#include "patch/patch_cost.h"
 #include "patch/patch_executor.h"
 #include "patch/patch_quant_executor.h"
 #include "patch/region_pool.h"
@@ -105,7 +107,187 @@ nn::QTensor bind_q_slot(std::uint8_t* base, const nn::ArenaSlot& slot,
                              static_cast<std::size_t>(shape.elements())));
 }
 
+// A zero-copy view of rows [rows.begin, rows.end) of a full feature map —
+// rows are contiguous in HWC layout, so a tail band writes (and element-wise
+// bands read) straight through the bound arena view.
+nn::Tensor row_view(nn::Tensor& t, const Interval& rows) {
+  const nn::TensorShape& s = t.shape();
+  const std::int64_t stride = static_cast<std::int64_t>(s.w) * s.c;
+  return nn::Tensor(
+      nn::TensorShape{rows.size(), s.w, s.c},
+      t.data().subspan(static_cast<std::size_t>(rows.begin * stride),
+                       static_cast<std::size_t>(rows.size() * stride)));
+}
+
+nn::QTensor row_view(nn::QTensor& t, const Interval& rows) {
+  const nn::TensorShape& s = t.shape();
+  const std::int64_t stride = static_cast<std::int64_t>(s.w) * s.c;
+  return nn::QTensor(
+      nn::TensorShape{rows.size(), s.w, s.c}, t.params(),
+      t.data().subspan(static_cast<std::size_t>(rows.begin * stride),
+                       static_cast<std::size_t>(rows.size() * stride)));
+}
+
+constexpr bool rows_overlap(const Interval& a, const Interval& b) {
+  return a.begin < b.end && b.begin < a.end;
+}
+
+// How many branch tasks each grid row contributes for `workers` lanes:
+// roughly two tasks per lane across the whole grid keeps the scheduler fed
+// without shredding the cost-weighted coalescing.
+int chunks_per_grid_row(const PatchPlan& plan, int workers) {
+  return std::max(1, (2 * workers + plan.spec.grid_rows - 1) /
+                         plan.spec.grid_rows);
+}
+
+// Builds the dataflow graph shared by the float and quant pipelined runs:
+// cost-weighted branch-chunk tasks per grid row -> tail row-band tasks
+// wired through the precomputed readiness structure -> one join task for
+// the non-banded rest of the tail. The body callbacks capture only the
+// model (`this`), so the returned graph is cacheable per worker count —
+// per-run state travels through the model's run_* members instead of the
+// closures. Signatures: branch(b, lane), band(pi, j, lane), rest(lane).
+template <class BranchBody, class BandBody, class RestBody>
+nn::TaskGraph build_pipeline_graph(const PatchPlan& plan,
+                                   std::span<const PipelinedTailLayer> bands,
+                                   std::span<const std::int64_t> costs,
+                                   int workers, BranchBody branch_body,
+                                   BandBody band_body, RestBody rest_body) {
+  nn::TaskGraph graph;
+  const int grid_rows = plan.spec.grid_rows;
+  const int grid_cols = plan.spec.grid_cols;
+  const int per_row = chunks_per_grid_row(plan, workers);
+  std::vector<std::vector<int>> row_tasks(
+      static_cast<std::size_t>(grid_rows));
+  for (int r = 0; r < grid_rows; ++r) {
+    const auto ranges = weighted_chunks(
+        costs.subspan(static_cast<std::size_t>(r * grid_cols),
+                      static_cast<std::size_t>(grid_cols)),
+        per_row);
+    for (const nn::IndexRange& range : ranges) {
+      const std::int64_t b0 = r * grid_cols + range.begin;
+      const std::int64_t b1 = r * grid_cols + range.end;
+      row_tasks[static_cast<std::size_t>(r)].push_back(
+          graph.add([branch_body, b0, b1](int lane) {
+            for (std::int64_t b = b0; b < b1; ++b) branch_body(b, lane);
+          }));
+    }
+  }
+  std::vector<std::vector<int>> band_tasks(bands.size());
+  for (std::size_t pi = 0; pi < bands.size(); ++pi) {
+    const PipelinedTailLayer& pl = bands[pi];
+    band_tasks[pi].resize(pl.bands.size());
+    for (std::size_t j = 0; j < pl.bands.size(); ++j) {
+      const int task = graph.add(
+          [band_body, pi, j](int lane) { band_body(pi, j, lane); });
+      band_tasks[pi][j] = task;
+      for (const int r : pl.grid_row_deps[j]) {
+        for (const int t : row_tasks[static_cast<std::size_t>(r)]) {
+          graph.depend(task, t);
+        }
+      }
+      for (const auto& [qi, k] : pl.band_deps[j]) {
+        graph.depend(task, band_tasks[static_cast<std::size_t>(qi)]
+                               [static_cast<std::size_t>(k)]);
+      }
+    }
+  }
+  // The join: everything the row bands could not cover (global pools, the
+  // classifier head) runs once, after every branch and band retired.
+  const int join_preds = graph.size();
+  const int join = graph.add([rest_body](int lane) { rest_body(lane); });
+  for (int t = 0; t < join_preds; ++t) graph.depend(join, t);
+  return graph;
+}
+
 }  // namespace
+
+std::vector<PipelinedTailLayer> build_pipelined_tail(
+    const nn::Graph& g, const PatchPlan& plan, int bands_per_layer) {
+  QMCU_REQUIRE(bands_per_layer >= 1, "need at least one band per layer");
+  const int split = plan.spec.split_layer;
+  const int grid_rows = plan.spec.grid_rows;
+  const int grid_cols = plan.spec.grid_cols;
+
+  // The assembled-map row interval each grid row's branches merge; every
+  // branch in a grid row shares its y tile (row-major branch order).
+  std::vector<Interval> merged_rows(static_cast<std::size_t>(grid_rows));
+  for (int r = 0; r < grid_rows; ++r) {
+    merged_rows[static_cast<std::size_t>(r)] =
+        plan.branches[static_cast<std::size_t>(r * grid_cols)]
+            .steps.back()
+            .out_region.y;
+  }
+
+  std::vector<PipelinedTailLayer> prefix;
+  std::vector<int> prefix_index(static_cast<std::size_t>(g.size()), -1);
+  for (int id = split + 1; id < g.size(); ++id) {
+    const nn::Layer& l = g.layer(id);
+    const bool bandable = l.kind == nn::OpKind::Conv2D ||
+                          l.kind == nn::OpKind::DepthwiseConv2D ||
+                          l.kind == nn::OpKind::MaxPool ||
+                          l.kind == nn::OpKind::AvgPool ||
+                          l.kind == nn::OpKind::Add ||
+                          l.kind == nn::OpKind::Concat;
+    if (!bandable) break;
+    bool inputs_banded = true;
+    for (const int in : l.inputs) {
+      if (in != split && prefix_index[static_cast<std::size_t>(in)] < 0) {
+        inputs_banded = false;
+        break;
+      }
+    }
+    if (!inputs_banded) break;
+
+    PipelinedTailLayer pl;
+    pl.layer_id = id;
+    const nn::TensorShape& os = g.shape(id);
+    // A band of fewer rows than this costs more in scheduling than its
+    // kernel work returns, so small maps get fewer bands (down to one —
+    // still a task, so the layer overlaps whatever it does not depend on).
+    constexpr int kMinRowsPerBand = 4;
+    const int bands = std::clamp(
+        std::min(bands_per_layer, os.h / kMinRowsPerBand), 1, os.h);
+    pl.bands.reserve(static_cast<std::size_t>(bands));
+    for (int j = 0; j < bands; ++j) {
+      pl.bands.push_back({j * os.h / bands, (j + 1) * os.h / bands});
+    }
+    pl.grid_row_deps.resize(static_cast<std::size_t>(bands));
+    pl.band_deps.resize(static_cast<std::size_t>(bands));
+    for (int j = 0; j < bands; ++j) {
+      const Region out_region{pl.bands[static_cast<std::size_t>(j)],
+                              {0, os.w}};
+      for (const int in : l.inputs) {
+        const nn::TensorShape& is = g.shape(in);
+        const Interval need =
+            clamp(required_input_region(l, is, out_region).y, 0, is.h);
+        if (need.empty()) continue;
+        if (in == split) {
+          for (int r = 0; r < grid_rows; ++r) {
+            if (rows_overlap(merged_rows[static_cast<std::size_t>(r)],
+                             need)) {
+              pl.grid_row_deps[static_cast<std::size_t>(j)].push_back(r);
+            }
+          }
+        } else {
+          const int pi = prefix_index[static_cast<std::size_t>(in)];
+          const PipelinedTailLayer& producer =
+              prefix[static_cast<std::size_t>(pi)];
+          for (int k = 0; k < static_cast<int>(producer.bands.size()); ++k) {
+            if (rows_overlap(producer.bands[static_cast<std::size_t>(k)],
+                             need)) {
+              pl.band_deps[static_cast<std::size_t>(j)].push_back({pi, k});
+            }
+          }
+        }
+      }
+    }
+    prefix_index[static_cast<std::size_t>(id)] =
+        static_cast<int>(prefix.size());
+    prefix.push_back(std::move(pl));
+  }
+  return prefix;
+}
 
 std::vector<std::vector<std::vector<std::int32_t>>> build_branch_bias(
     const nn::Graph& g, const PatchPlan& plan,
@@ -148,6 +330,14 @@ CompiledPatchModel::CompiledPatchModel(const nn::Graph& g, PatchPlan plan,
                          t.requests.begin() + num_steps_);
   shared_requests_.assign(t.requests.begin() + num_steps_, t.requests.end());
   par_assembled_slot_ = static_cast<int>(shared_requests_.size()) - 1;
+  // Pipelined dataflow structure: row-banded tail prefix (band count tied
+  // to the patch grid's row granularity), branch pricing for cost-weighted
+  // task chunking, and the widening horizon for plan_pipelined.
+  pipeline_ =
+      build_pipelined_tail(g, plan_, std::max(2, plan_.spec.grid_rows));
+  branch_costs_ = branch_costs(plan_);
+  pipeline_horizon_ =
+      num_steps_ + static_cast<int>(pipeline_.size()) - 1;
 }
 
 const nn::ParallelArenaPlan& CompiledPatchModel::parallel_plan(
@@ -161,6 +351,31 @@ const nn::ParallelArenaPlan& CompiledPatchModel::parallel_plan(
              .first;
   }
   return it->second;
+}
+
+const nn::ParallelArenaPlan& CompiledPatchModel::pipelined_plan(
+    int num_workers) const {
+  auto it = pipelined_pplans_.find(num_workers);
+  if (it == pipelined_pplans_.end()) {
+    it = pipelined_pplans_
+             .emplace(num_workers, nn::ArenaPlanner().plan_pipelined(
+                                       slice_requests_, shared_requests_,
+                                       num_workers, pipeline_horizon_))
+             .first;
+  }
+  return it->second;
+}
+
+std::span<std::uint8_t> CompiledPatchModel::bind_run_arena(
+    std::int64_t need, nn::ArenaSlab::Lease& lease) const {
+  if (arena_source_ != nullptr) {
+    lease = arena_source_->acquire(need);
+    return lease.bytes();
+  }
+  if (static_cast<std::int64_t>(arena_.size()) < need) {
+    arena_.resize(static_cast<std::size_t>(need));
+  }
+  return {arena_.data(), arena_.size()};
 }
 
 CompiledPatchModel::WorkerCtx& CompiledPatchModel::worker_ctx(
@@ -275,11 +490,10 @@ void CompiledPatchModel::exec_branch(
                    last.out_region, assembled);
 }
 
-nn::Tensor CompiledPatchModel::exec_tail(std::uint8_t* base,
-                                         std::span<const nn::ArenaSlot> slots,
-                                         int first_tail_slot,
-                                         int assembled_slot,
-                                         std::int64_t& measured) const {
+void CompiledPatchModel::bind_tail(std::uint8_t* base,
+                                   std::span<const nn::ArenaSlot> slots,
+                                   int first_tail_slot, int assembled_slot,
+                                   std::int64_t& measured) const {
   const nn::Graph& g = *graph_;
   const int split = plan_.spec.split_layer;
   tail_memo_.resize(static_cast<std::size_t>(g.size()));
@@ -291,10 +505,93 @@ nn::Tensor CompiledPatchModel::exec_tail(std::uint8_t* base,
         base,
         slots[static_cast<std::size_t>(first_tail_slot + (id - split - 1))],
         g.shape(id), measured);
+  }
+}
+
+nn::Tensor CompiledPatchModel::exec_tail(std::uint8_t* base,
+                                         std::span<const nn::ArenaSlot> slots,
+                                         int first_tail_slot,
+                                         int assembled_slot,
+                                         std::int64_t& measured) const {
+  const nn::Graph& g = *graph_;
+  const int split = plan_.spec.split_layer;
+  bind_tail(base, slots, first_tail_slot, assembled_slot, measured);
+  for (int id = split + 1; id < g.size(); ++id) {
     nn::run_layer_f32_into(g, id, tail_memo_, backend_,
                            tail_memo_[static_cast<std::size_t>(id)]);
   }
   return tail_memo_[static_cast<std::size_t>(g.output())];
+}
+
+void CompiledPatchModel::exec_tail_band(int layer_id, const Interval& rows,
+                                        WorkerCtx& ctx) const {
+  const nn::Graph& g = *graph_;
+  const nn::Layer& l = g.layer(layer_id);
+  const nn::TensorShape& os = g.shape(layer_id);
+  const Region out_region{rows, {0, os.w}};
+  nn::Tensor out =
+      row_view(tail_memo_[static_cast<std::size_t>(layer_id)], rows);
+  ctx.crops.reset();
+  switch (l.kind) {
+    case nn::OpKind::Conv2D:
+    case nn::OpKind::DepthwiseConv2D: {
+      // Same trick as the branch steps: materialise the (unclamped) input
+      // region with zero fill and run the kernel pad-free — bit-identical
+      // to the padded full-map call, proven by the patch/layer parity
+      // tests.
+      const nn::TensorShape& is = g.shape(l.inputs[0]);
+      const Region want = required_input_region(l, is, out_region);
+      nn::Tensor crop = borrow_f32(
+          ctx.crops,
+          nn::TensorShape{want.y.size(), want.x.size(), is.c});
+      crop_from_region_into(tail_memo_[static_cast<std::size_t>(l.inputs[0])],
+                            full_region(is), want, is, crop);
+      nn::Layer local = l;
+      local.pad_h = local.pad_w = 0;
+      if (l.kind == nn::OpKind::Conv2D) {
+        ctx.backend.conv2d_f32_into(crop, local, g.weights(layer_id),
+                                    g.bias(layer_id), out);
+      } else {
+        ctx.backend.depthwise_conv2d_f32_into(crop, local,
+                                              g.weights(layer_id),
+                                              g.bias(layer_id), out);
+      }
+      break;
+    }
+    case nn::OpKind::MaxPool:
+    case nn::OpKind::AvgPool: {
+      const nn::TensorShape& is = g.shape(l.inputs[0]);
+      pool_region_f32_into(tail_memo_[static_cast<std::size_t>(l.inputs[0])],
+                           full_region(is), l, out_region, is, out);
+      break;
+    }
+    case nn::OpKind::Add: {
+      // Element-wise: the band reads exactly its own rows of both inputs —
+      // pure views, no copy.
+      nn::Tensor a =
+          row_view(tail_memo_[static_cast<std::size_t>(l.inputs[0])], rows);
+      nn::Tensor b =
+          row_view(tail_memo_[static_cast<std::size_t>(l.inputs[1])], rows);
+      nn::ops::add_f32_into(a, b, l.act, out);
+      break;
+    }
+    case nn::OpKind::Concat: {
+      std::vector<nn::Tensor> views;
+      views.reserve(l.inputs.size());
+      for (const int in : l.inputs) {
+        views.push_back(
+            row_view(tail_memo_[static_cast<std::size_t>(in)], rows));
+      }
+      std::vector<const nn::Tensor*> ptrs;
+      ptrs.reserve(views.size());
+      for (const nn::Tensor& t : views) ptrs.push_back(&t);
+      nn::ops::concat_f32_into(ptrs, out);
+      break;
+    }
+    default:
+      QMCU_ENSURE(false, "op kind is not row-bandable: " +
+                             std::string(nn::to_string(l.kind)));
+  }
 }
 
 nn::Tensor CompiledPatchModel::run(const nn::Tensor& input) const {
@@ -302,10 +599,10 @@ nn::Tensor CompiledPatchModel::run(const nn::Tensor& input) const {
   const int split = plan_.spec.split_layer;
   QMCU_REQUIRE(input.shape() == g.shape(g.inputs().front()),
                "input shape does not match graph input");
-  if (static_cast<std::int64_t>(arena_.size()) < aplan_.peak_bytes) {
-    arena_.resize(static_cast<std::size_t>(aplan_.peak_bytes));
-  }
-  nn::check_arena(arena_, aplan_.peak_bytes, alignof(float));
+  nn::ArenaSlab::Lease lease;
+  const std::span<std::uint8_t> arena =
+      bind_run_arena(aplan_.peak_bytes, lease);
+  nn::check_arena(arena, aplan_.peak_bytes, alignof(float));
   // Compiled runs are per-run thread-affine: hand this run's contexts to
   // the calling thread.
   backend_.rebind_thread();
@@ -313,21 +610,99 @@ nn::Tensor CompiledPatchModel::run(const nn::Tensor& input) const {
   measured_ = 0;
 
   nn::Tensor assembled = bind_f32_slot(
-      arena_.data(), aplan_.slots[static_cast<std::size_t>(assembled_slot_)],
+      arena.data(), aplan_.slots[static_cast<std::size_t>(assembled_slot_)],
       g.shape(split), measured_);
   step_views_.resize(static_cast<std::size_t>(num_steps_));
   for (const PatchBranch& branch : plan_.branches) {
-    exec_branch(branch, input, arena_.data(),
+    exec_branch(branch, input, arena.data(),
                 std::span<const nn::ArenaSlot>(aplan_.slots)
                     .subspan(0, static_cast<std::size_t>(num_steps_)),
                 backend_, crops_, step_views_, measured_, assembled);
   }
-  return exec_tail(arena_.data(), aplan_.slots, num_steps_, assembled_slot_,
+  return exec_tail(arena.data(), aplan_.slots, num_steps_, assembled_slot_,
                    measured_);
+}
+
+nn::TaskGraph& CompiledPatchModel::pipeline_graph(int num_workers) const {
+  auto it = pipeline_graphs_.find(num_workers);
+  if (it != pipeline_graphs_.end()) return it->second;
+  const int first_rest =
+      plan_.spec.split_layer + 1 + static_cast<int>(pipeline_.size());
+  return pipeline_graphs_
+      .emplace(
+          num_workers,
+          build_pipeline_graph(
+              plan_, pipeline_, branch_costs_, num_workers,
+              [this](std::int64_t b, int lane) {
+                WorkerCtx& ctx = *workers_[static_cast<std::size_t>(lane)];
+                exec_branch(
+                    plan_.branches[static_cast<std::size_t>(b)], *run_input_,
+                    run_data_ + run_pplan_->slice_offset(lane),
+                    run_pplan_->slice.slots, ctx.backend, ctx.crops,
+                    ctx.step_views, ctx.measured,
+                    tail_memo_[static_cast<std::size_t>(
+                        plan_.spec.split_layer)]);
+                if (branch_hook_) branch_hook_(static_cast<int>(b));
+              },
+              [this](std::size_t pi, std::size_t j, int lane) {
+                exec_tail_band(pipeline_[pi].layer_id, pipeline_[pi].bands[j],
+                               *workers_[static_cast<std::size_t>(lane)]);
+              },
+              [this, first_rest](int lane) {
+                WorkerCtx& ctx = *workers_[static_cast<std::size_t>(lane)];
+                for (int id = first_rest; id < graph_->size(); ++id) {
+                  nn::run_layer_f32_into(
+                      *graph_, id, tail_memo_, ctx.backend,
+                      tail_memo_[static_cast<std::size_t>(id)]);
+                }
+              }))
+      .first->second;
 }
 
 nn::Tensor CompiledPatchModel::run(const nn::Tensor& input,
                                    nn::WorkerPool* pool) const {
+  if (pool == nullptr || pool->num_workers() == 1) return run(input);
+  const nn::Graph& g = *graph_;
+  QMCU_REQUIRE(input.shape() == g.shape(g.inputs().front()),
+               "input shape does not match graph input");
+  const int w = pool->num_workers();
+  const nn::ParallelArenaPlan& pplan = pipelined_plan(w);
+  nn::ArenaSlab::Lease lease;
+  const std::span<std::uint8_t> arena =
+      bind_run_arena(pplan.total_bytes(), lease);
+  nn::check_arena(arena, pplan.total_bytes(), alignof(float));
+  std::int64_t shared_measured = 0;
+
+  // Stage this run's state for the cached graph's tasks: arena base, plan
+  // and input, plus every shared view (assembled map and all tail layers)
+  // bound before dispatch — tasks only read and write through them.
+  run_input_ = &input;
+  run_data_ = arena.data();
+  run_pplan_ = &pplan;
+  bind_tail(run_data_ + pplan.shared_offset(), pplan.shared.slots, 0,
+            par_assembled_slot_, shared_measured);
+
+  for (int lane = 0; lane < w; ++lane) {
+    WorkerCtx& ctx = worker_ctx(lane);
+    ctx.backend.rebind_thread();
+    ctx.crops.rebind_thread();
+    ctx.step_views.resize(static_cast<std::size_t>(num_steps_));
+    ctx.measured = 0;
+  }
+
+  pool->run_graph(pipeline_graph(w));
+
+  measured_ = pplan.shared_offset() + shared_measured;
+  for (int lane = 0; lane < w; ++lane) {
+    measured_ = std::max(
+        measured_, pplan.slice_offset(lane) +
+                       workers_[static_cast<std::size_t>(lane)]->measured);
+  }
+  return tail_memo_[static_cast<std::size_t>(g.output())];
+}
+
+nn::Tensor CompiledPatchModel::run_barrier(const nn::Tensor& input,
+                                           nn::WorkerPool* pool) const {
   if (pool == nullptr || pool->num_workers() == 1) return run(input);
   const nn::Graph& g = *graph_;
   const int split = plan_.spec.split_layer;
@@ -335,13 +710,13 @@ nn::Tensor CompiledPatchModel::run(const nn::Tensor& input,
                "input shape does not match graph input");
   const int w = pool->num_workers();
   const nn::ParallelArenaPlan& pplan = parallel_plan(w);
-  if (static_cast<std::int64_t>(arena_.size()) < pplan.total_bytes()) {
-    arena_.resize(static_cast<std::size_t>(pplan.total_bytes()));
-  }
-  nn::check_arena(arena_, pplan.total_bytes(), alignof(float));
+  nn::ArenaSlab::Lease lease;
+  const std::span<std::uint8_t> arena =
+      bind_run_arena(pplan.total_bytes(), lease);
+  nn::check_arena(arena, pplan.total_bytes(), alignof(float));
   backend_.rebind_thread();  // tail runs on the calling thread
   crops_.rebind_thread();
-  std::uint8_t* shared_base = arena_.data() + pplan.shared_offset();
+  std::uint8_t* const shared_base = arena.data() + pplan.shared_offset();
   std::int64_t shared_measured = 0;
 
   nn::Tensor assembled = bind_f32_slot(
@@ -357,15 +732,17 @@ nn::Tensor CompiledPatchModel::run(const nn::Tensor& input,
     ctx.measured = 0;
   }
 
-  const auto branches = static_cast<std::int64_t>(plan_.branches.size());
-  pool->parallel_for(
-      branches, 1, [&](std::int64_t b0, std::int64_t b1, int lane) {
+  const auto chunks = weighted_chunks(
+      branch_costs_, plan_.spec.grid_rows * chunks_per_grid_row(plan_, w));
+  pool->parallel_ranges(
+      chunks, [&](std::int64_t b0, std::int64_t b1, int lane) {
         WorkerCtx& ctx = *workers_[static_cast<std::size_t>(lane)];
-        std::uint8_t* base = arena_.data() + pplan.slice_offset(lane);
+        std::uint8_t* base = arena.data() + pplan.slice_offset(lane);
         for (std::int64_t b = b0; b < b1; ++b) {
           exec_branch(plan_.branches[static_cast<std::size_t>(b)], input,
                       base, pplan.slice.slots, ctx.backend, ctx.crops,
                       ctx.step_views, ctx.measured, assembled);
+          if (branch_hook_) branch_hook_(static_cast<int>(b));
         }
       });
 
@@ -429,6 +806,11 @@ CompiledPatchQuantModel::CompiledPatchQuantModel(
   shared_requests_.assign(t.requests.begin() + num_steps_, t.requests.end());
   par_assembled_slot_ = static_cast<int>(shared_requests_.size()) - 2;
   par_input_slot_ = static_cast<int>(shared_requests_.size()) - 1;
+  pipeline_ =
+      build_pipelined_tail(g, plan_, std::max(2, plan_.spec.grid_rows));
+  branch_costs_ = branch_costs(plan_);
+  pipeline_horizon_ =
+      num_steps_ + static_cast<int>(pipeline_.size()) - 1;
 }
 
 const nn::ParallelArenaPlan& CompiledPatchQuantModel::parallel_plan(
@@ -442,6 +824,31 @@ const nn::ParallelArenaPlan& CompiledPatchQuantModel::parallel_plan(
              .first;
   }
   return it->second;
+}
+
+const nn::ParallelArenaPlan& CompiledPatchQuantModel::pipelined_plan(
+    int num_workers) const {
+  auto it = pipelined_pplans_.find(num_workers);
+  if (it == pipelined_pplans_.end()) {
+    it = pipelined_pplans_
+             .emplace(num_workers, nn::ArenaPlanner().plan_pipelined(
+                                       slice_requests_, shared_requests_,
+                                       num_workers, pipeline_horizon_))
+             .first;
+  }
+  return it->second;
+}
+
+std::span<std::uint8_t> CompiledPatchQuantModel::bind_run_arena(
+    std::int64_t need, nn::ArenaSlab::Lease& lease) const {
+  if (arena_source_ != nullptr) {
+    lease = arena_source_->acquire(need);
+    return lease.bytes();
+  }
+  if (static_cast<std::int64_t>(arena_.size()) < need) {
+    arena_.resize(static_cast<std::size_t>(need));
+  }
+  return {arena_.data(), arena_.size()};
 }
 
 const nn::QuantParams& CompiledPatchQuantModel::step_params(int branch,
@@ -479,17 +886,23 @@ CompiledPatchQuantModel::WorkerCtx& CompiledPatchQuantModel::worker_ctx(
     int lane) const {
   while (static_cast<int>(workers_.size()) <= lane) {
     auto ctx = std::make_unique<WorkerCtx>(backend_.tier());
-    // Pre-pack the stage conv panels so a lane's first branch pays no
-    // packing cost (construction-time work, exempt from the affinity
-    // guard).
+    // Pre-pack the conv panels any task on this lane may need — stage
+    // convs for branch tasks, tail convs for row bands and the join — so a
+    // lane's first run pays no packing cost (construction-time work,
+    // exempt from the affinity guard).
     const nn::Graph& g = *graph_;
-    for (const BranchStep& step : plan_.branches.front().steps) {
-      const nn::Layer& l = g.layer(step.layer_id);
-      if (l.kind != nn::OpKind::Conv2D) continue;
-      const auto& w = params_->weights[static_cast<std::size_t>(step.layer_id)];
+    const auto prepack = [&](int layer_id) {
+      const nn::Layer& l = g.layer(layer_id);
+      if (l.kind != nn::OpKind::Conv2D) return;
+      const auto& w = params_->weights[static_cast<std::size_t>(layer_id)];
       const int n = l.out_channels;
-      ctx->backend.prepack(w.data, n,
-                           static_cast<int>(w.data.size()) / n);
+      ctx->backend.prepack(w.data, n, static_cast<int>(w.data.size()) / n);
+    };
+    for (const BranchStep& step : plan_.branches.front().steps) {
+      prepack(step.layer_id);
+    }
+    for (int id = plan_.spec.split_layer + 1; id < g.size(); ++id) {
+      prepack(id);
     }
     workers_.push_back(std::move(ctx));
   }
@@ -618,9 +1031,11 @@ void CompiledPatchQuantModel::exec_branch(
                  last.out_region, assembled);
 }
 
-nn::QTensor CompiledPatchQuantModel::exec_tail(
-    std::uint8_t* base, std::span<const nn::ArenaSlot> slots,
-    int first_tail_slot, int assembled_slot, std::int64_t& measured) const {
+void CompiledPatchQuantModel::bind_tail(std::uint8_t* base,
+                                        std::span<const nn::ArenaSlot> slots,
+                                        int first_tail_slot,
+                                        int assembled_slot,
+                                        std::int64_t& measured) const {
   const nn::Graph& g = *graph_;
   const int split = plan_.spec.split_layer;
   tail_memo_.resize(static_cast<std::size_t>(g.size()));
@@ -632,10 +1047,92 @@ nn::QTensor CompiledPatchQuantModel::exec_tail(
         base,
         slots[static_cast<std::size_t>(first_tail_slot + (id - split - 1))],
         g.shape(id), effective_[static_cast<std::size_t>(id)], measured);
+  }
+}
+
+nn::QTensor CompiledPatchQuantModel::exec_tail(
+    std::uint8_t* base, std::span<const nn::ArenaSlot> slots,
+    int first_tail_slot, int assembled_slot, std::int64_t& measured) const {
+  const nn::Graph& g = *graph_;
+  const int split = plan_.spec.split_layer;
+  bind_tail(base, slots, first_tail_slot, assembled_slot, measured);
+  for (int id = split + 1; id < g.size(); ++id) {
     nn::run_layer_q_into(g, id, tail_memo_, *params_, backend_,
                          tail_memo_[static_cast<std::size_t>(id)]);
   }
   return tail_memo_[static_cast<std::size_t>(g.output())];
+}
+
+void CompiledPatchQuantModel::exec_tail_band(int layer_id,
+                                             const Interval& rows,
+                                             WorkerCtx& ctx) const {
+  const nn::Graph& g = *graph_;
+  const nn::Layer& l = g.layer(layer_id);
+  const nn::TensorShape& os = g.shape(layer_id);
+  const Region out_region{rows, {0, os.w}};
+  nn::QTensor out =
+      row_view(tail_memo_[static_cast<std::size_t>(layer_id)], rows);
+  ctx.crops.reset();
+  switch (l.kind) {
+    case nn::OpKind::Conv2D:
+    case nn::OpKind::DepthwiseConv2D: {
+      // Out-of-bounds crop positions carry the producer's zero point (the
+      // quantized encoding of real 0) and the kernel runs pad-free — the
+      // same construction every branch step uses, bit-identical to the
+      // padded full-map call.
+      const nn::TensorShape& is = g.shape(l.inputs[0]);
+      nn::QTensor& in_full =
+          tail_memo_[static_cast<std::size_t>(l.inputs[0])];
+      const Region want = required_input_region(l, is, out_region);
+      nn::QTensor crop = borrow_q(
+          ctx.crops, nn::TensorShape{want.y.size(), want.x.size(), is.c},
+          in_full.params());
+      crop_from_region_q_into(in_full, full_region(is), want, is, crop);
+      nn::Layer local = l;
+      local.pad_h = local.pad_w = 0;
+      const auto& w = params_->weights[static_cast<std::size_t>(layer_id)];
+      const auto& bias = params_->bias[static_cast<std::size_t>(layer_id)];
+      if (l.kind == nn::OpKind::Conv2D) {
+        ctx.backend.conv2d_into(crop, local, w.data, w.params, bias, out);
+      } else {
+        ctx.backend.depthwise_conv2d_into(crop, local, w.data, w.params,
+                                          bias, out);
+      }
+      break;
+    }
+    case nn::OpKind::MaxPool:
+    case nn::OpKind::AvgPool: {
+      const nn::TensorShape& is = g.shape(l.inputs[0]);
+      pool_region_q_into(tail_memo_[static_cast<std::size_t>(l.inputs[0])],
+                         full_region(is), l, out_region, is, pool_table(l),
+                         out);
+      break;
+    }
+    case nn::OpKind::Add: {
+      nn::QTensor a =
+          row_view(tail_memo_[static_cast<std::size_t>(l.inputs[0])], rows);
+      nn::QTensor b =
+          row_view(tail_memo_[static_cast<std::size_t>(l.inputs[1])], rows);
+      ctx.backend.add_into(a, b, l.act, out);
+      break;
+    }
+    case nn::OpKind::Concat: {
+      std::vector<nn::QTensor> views;
+      views.reserve(l.inputs.size());
+      for (const int in : l.inputs) {
+        views.push_back(
+            row_view(tail_memo_[static_cast<std::size_t>(in)], rows));
+      }
+      std::vector<const nn::QTensor*> ptrs;
+      ptrs.reserve(views.size());
+      for (const nn::QTensor& t : views) ptrs.push_back(&t);
+      ctx.backend.concat_into(ptrs, out);
+      break;
+    }
+    default:
+      QMCU_ENSURE(false, "op kind is not row-bandable: " +
+                             std::string(nn::to_string(l.kind)));
+  }
 }
 
 nn::QTensor CompiledPatchQuantModel::run(const nn::Tensor& input) const {
@@ -644,36 +1141,123 @@ nn::QTensor CompiledPatchQuantModel::run(const nn::Tensor& input) const {
   const int input_layer = g.inputs().front();
   QMCU_REQUIRE(input.shape() == g.shape(input_layer),
                "input shape does not match graph input");
-  if (static_cast<std::int64_t>(arena_.size()) < aplan_.peak_bytes) {
-    arena_.resize(static_cast<std::size_t>(aplan_.peak_bytes));
-  }
-  nn::check_arena(arena_, aplan_.peak_bytes, 1);
+  nn::ArenaSlab::Lease lease;
+  const std::span<std::uint8_t> arena =
+      bind_run_arena(aplan_.peak_bytes, lease);
+  nn::check_arena(arena, aplan_.peak_bytes, 1);
   backend_.rebind_thread();
   crops_.rebind_thread();
   measured_ = 0;
 
   nn::QTensor qinput = bind_q_slot(
-      arena_.data(), aplan_.slots[static_cast<std::size_t>(input_slot_)],
+      arena.data(), aplan_.slots[static_cast<std::size_t>(input_slot_)],
       g.shape(input_layer), cfg_.params[static_cast<std::size_t>(input_layer)],
       measured_);
   nn::quantize_into(input, qinput);
   nn::QTensor assembled = bind_q_slot(
-      arena_.data(), aplan_.slots[static_cast<std::size_t>(assembled_slot_)],
+      arena.data(), aplan_.slots[static_cast<std::size_t>(assembled_slot_)],
       g.shape(split), effective_[static_cast<std::size_t>(split)], measured_);
   step_views_.resize(static_cast<std::size_t>(num_steps_));
 
   for (int bi = 0; bi < static_cast<int>(plan_.branches.size()); ++bi) {
-    exec_branch(bi, qinput, arena_.data(),
+    exec_branch(bi, qinput, arena.data(),
                 std::span<const nn::ArenaSlot>(aplan_.slots)
                     .subspan(0, static_cast<std::size_t>(num_steps_)),
                 backend_, crops_, step_views_, measured_, assembled);
   }
-  return exec_tail(arena_.data(), aplan_.slots, num_steps_, assembled_slot_,
+  return exec_tail(arena.data(), aplan_.slots, num_steps_, assembled_slot_,
                    measured_);
+}
+
+nn::TaskGraph& CompiledPatchQuantModel::pipeline_graph(
+    int num_workers) const {
+  auto it = pipeline_graphs_.find(num_workers);
+  if (it != pipeline_graphs_.end()) return it->second;
+  const int first_rest =
+      plan_.spec.split_layer + 1 + static_cast<int>(pipeline_.size());
+  return pipeline_graphs_
+      .emplace(
+          num_workers,
+          build_pipeline_graph(
+              plan_, pipeline_, branch_costs_, num_workers,
+              [this](std::int64_t b, int lane) {
+                WorkerCtx& ctx = *workers_[static_cast<std::size_t>(lane)];
+                exec_branch(
+                    static_cast<int>(b), run_qinput_,
+                    run_data_ + run_pplan_->slice_offset(lane),
+                    run_pplan_->slice.slots, ctx.backend, ctx.crops,
+                    ctx.step_views, ctx.measured,
+                    tail_memo_[static_cast<std::size_t>(
+                        plan_.spec.split_layer)]);
+                if (branch_hook_) branch_hook_(static_cast<int>(b));
+              },
+              [this](std::size_t pi, std::size_t j, int lane) {
+                exec_tail_band(pipeline_[pi].layer_id, pipeline_[pi].bands[j],
+                               *workers_[static_cast<std::size_t>(lane)]);
+              },
+              [this, first_rest](int lane) {
+                WorkerCtx& ctx = *workers_[static_cast<std::size_t>(lane)];
+                for (int id = first_rest; id < graph_->size(); ++id) {
+                  nn::run_layer_q_into(
+                      *graph_, id, tail_memo_, *params_, ctx.backend,
+                      tail_memo_[static_cast<std::size_t>(id)]);
+                }
+              }))
+      .first->second;
 }
 
 nn::QTensor CompiledPatchQuantModel::run(const nn::Tensor& input,
                                          nn::WorkerPool* pool) const {
+  if (pool == nullptr || pool->num_workers() == 1) return run(input);
+  const nn::Graph& g = *graph_;
+  const int input_layer = g.inputs().front();
+  QMCU_REQUIRE(input.shape() == g.shape(input_layer),
+               "input shape does not match graph input");
+  const int w = pool->num_workers();
+  const nn::ParallelArenaPlan& pplan = pipelined_plan(w);
+  nn::ArenaSlab::Lease lease;
+  const std::span<std::uint8_t> arena =
+      bind_run_arena(pplan.total_bytes(), lease);
+  nn::check_arena(arena, pplan.total_bytes(), 1);
+  std::int64_t shared_measured = 0;
+
+  // Stage this run's state for the cached graph's tasks. The quantized
+  // input is written once here, before dispatch, and only read by the
+  // branches; the assembled map and all tail views are bound up front too
+  // (dispatch publishes everything to every lane).
+  run_data_ = arena.data();
+  run_pplan_ = &pplan;
+  std::uint8_t* const shared_base = run_data_ + pplan.shared_offset();
+  run_qinput_ = bind_q_slot(
+      shared_base,
+      pplan.shared.slots[static_cast<std::size_t>(par_input_slot_)],
+      g.shape(input_layer), cfg_.params[static_cast<std::size_t>(input_layer)],
+      shared_measured);
+  nn::quantize_into(input, run_qinput_);
+  bind_tail(shared_base, pplan.shared.slots, 0, par_assembled_slot_,
+            shared_measured);
+
+  for (int lane = 0; lane < w; ++lane) {
+    WorkerCtx& ctx = worker_ctx(lane);
+    ctx.backend.rebind_thread();
+    ctx.crops.rebind_thread();
+    ctx.step_views.resize(static_cast<std::size_t>(num_steps_));
+    ctx.measured = 0;
+  }
+
+  pool->run_graph(pipeline_graph(w));
+
+  measured_ = pplan.shared_offset() + shared_measured;
+  for (int lane = 0; lane < w; ++lane) {
+    measured_ = std::max(
+        measured_, pplan.slice_offset(lane) +
+                       workers_[static_cast<std::size_t>(lane)]->measured);
+  }
+  return tail_memo_[static_cast<std::size_t>(g.output())];
+}
+
+nn::QTensor CompiledPatchQuantModel::run_barrier(const nn::Tensor& input,
+                                                 nn::WorkerPool* pool) const {
   if (pool == nullptr || pool->num_workers() == 1) return run(input);
   const nn::Graph& g = *graph_;
   const int split = plan_.spec.split_layer;
@@ -682,13 +1266,13 @@ nn::QTensor CompiledPatchQuantModel::run(const nn::Tensor& input,
                "input shape does not match graph input");
   const int w = pool->num_workers();
   const nn::ParallelArenaPlan& pplan = parallel_plan(w);
-  if (static_cast<std::int64_t>(arena_.size()) < pplan.total_bytes()) {
-    arena_.resize(static_cast<std::size_t>(pplan.total_bytes()));
-  }
-  nn::check_arena(arena_, pplan.total_bytes(), 1);
+  nn::ArenaSlab::Lease lease;
+  const std::span<std::uint8_t> arena =
+      bind_run_arena(pplan.total_bytes(), lease);
+  nn::check_arena(arena, pplan.total_bytes(), 1);
   backend_.rebind_thread();
   crops_.rebind_thread();
-  std::uint8_t* shared_base = arena_.data() + pplan.shared_offset();
+  std::uint8_t* const shared_base = arena.data() + pplan.shared_offset();
   std::int64_t shared_measured = 0;
 
   // The quantized input is written once here, before dispatch, and only
@@ -713,15 +1297,17 @@ nn::QTensor CompiledPatchQuantModel::run(const nn::Tensor& input,
     ctx.measured = 0;
   }
 
-  const auto branches = static_cast<std::int64_t>(plan_.branches.size());
-  pool->parallel_for(
-      branches, 1, [&](std::int64_t b0, std::int64_t b1, int lane) {
+  const auto chunks = weighted_chunks(
+      branch_costs_, plan_.spec.grid_rows * chunks_per_grid_row(plan_, w));
+  pool->parallel_ranges(
+      chunks, [&](std::int64_t b0, std::int64_t b1, int lane) {
         WorkerCtx& ctx = *workers_[static_cast<std::size_t>(lane)];
-        std::uint8_t* base = arena_.data() + pplan.slice_offset(lane);
+        std::uint8_t* base = arena.data() + pplan.slice_offset(lane);
         for (std::int64_t b = b0; b < b1; ++b) {
           exec_branch(static_cast<int>(b), qinput, base, pplan.slice.slots,
                       ctx.backend, ctx.crops, ctx.step_views, ctx.measured,
                       assembled);
+          if (branch_hook_) branch_hook_(static_cast<int>(b));
         }
       });
 

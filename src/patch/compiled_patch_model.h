@@ -19,33 +19,53 @@
 // buffers, the shared accumulation buffer and tail feature maps pack into a
 // single arena the way the deployed runtime lays out SRAM.
 //
-// Parallel run(input, pool): branches are spatially independent — their
-// only interaction is the final merge into *disjoint* tiles of the
-// assembled map — so stage 1 fans out over a nn::WorkerPool. The arena
-// switches to the nn::ParallelArenaPlan layout: one private branch-slot
+// Parallel run(input, pool): a dependency-driven task graph over a
+// nn::WorkerPool. Stage-1 branches are spatially independent — their only
+// interaction is the final merge into *disjoint* tiles of the assembled
+// map — so they become independent tasks (cost-weighted: cheap border
+// branches coalesce into one task, see patch::weighted_chunks). The tail
+// no longer waits for the full branch barrier: each early tail layer is
+// split into row-band tasks whose input-row intervals come from
+// patch::receptive_field, and a band depends only on the branch tasks (and
+// upstream bands) that produce those rows — so the tail starts on spare
+// workers while interior branches are still running. Tail layers that need
+// the whole map (GlobalAvgPool, FullyConnected, Softmax) and everything
+// after them run as one final task behind the graph's join.
+//
+// The arena uses the nn::ParallelArenaPlan layout: one private branch-slot
 // slice per worker followed by one shared region (assembled map, tail
-// slots, quantized input). Each worker lane owns a WorkerCtx (KernelBackend
-// with its own scratch + panel cache, crop arena, step views) handed to its
-// thread at dispatch via the backend's thread-affinity guard; the merge is
-// the lock-free tiled merge of region_pool.h. Outputs are bit-identical to
-// the sequential path for every worker count (the kernels see the same
-// values; only which thread runs them changes), and a null/1-worker pool
-// takes the sequential code path exactly.
+// slots, quantized input). For the pipelined graph the shared region is
+// planned by ArenaPlanner::plan_pipelined, which widens the lifetimes of
+// everything live during the overlap window (assembled map, quantized
+// input, banded tail layers) so no tail band can recycle bytes a
+// still-running branch reads or writes. Each worker lane owns a WorkerCtx
+// (KernelBackend with its own scratch + panel cache, crop arena, step
+// views) handed to its thread at dispatch via the backend's
+// thread-affinity guard; the merge is the lock-free tiled merge of
+// region_pool.h, and the scheduler's dependency edges publish merged rows
+// to the bands that read them. Outputs are bit-identical to the sequential
+// path for every worker count and every readiness order (the kernels see
+// the same values; only which thread runs them, and when, changes); a
+// null/1-worker pool takes the sequential code path exactly, and
+// run_barrier keeps the PR-3 two-phase runtime for comparison.
 //
 // Halo crop temporaries are scratch (a grow-only pool reused across steps),
 // not feature maps, and are accounted via scratch_bytes().
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "nn/compiled_model.h"
 #include "nn/graph.h"
 #include "nn/memory_planner.h"
 #include "nn/ops/backend.h"
+#include "nn/runtime/arena_slab.h"
 #include "nn/runtime/worker_pool.h"
 #include "nn/tensor.h"
 #include "patch/patch_plan.h"
@@ -56,6 +76,30 @@ namespace qmcu::patch {
 struct BranchQuantConfig {
   std::vector<nn::QuantParams> per_step;
 };
+
+// One row-banded tail layer of the pipelined dataflow graph: the layer's
+// output rows are split into `bands`; band j's tasks depend on whatever
+// produces its input rows (branch tasks for the first tail layer, upstream
+// bands after that). Computed once at compile time — see
+// CompiledPatchModel's pipeline planning.
+struct PipelinedTailLayer {
+  int layer_id = -1;
+  std::vector<Interval> bands;  // output row intervals, in order
+  // Per band: grid rows whose branches must have merged (reads of the
+  // assembled map), and (layer index into the prefix, band index) pairs
+  // for upstream banded layers.
+  std::vector<std::vector<int>> grid_row_deps;
+  std::vector<std::vector<std::pair<int, int>>> band_deps;
+};
+
+// Builds the row-banded pipeline prefix for the tail of `plan`: the
+// maximal run of tail layers after the cut that are row-splittable
+// (windowed, pooling, element-wise or concat ops), each split into
+// `bands_per_layer` row bands (clamped to the layer's height), with
+// dependencies resolved through patch::receptive_field. Shared by the
+// float and quantized compiled models.
+std::vector<PipelinedTailLayer> build_pipelined_tail(
+    const nn::Graph& g, const PatchPlan& plan, int bands_per_layer);
 
 // Mixed mode: per-branch per-step int32 biases rescaled to the branch's
 // actual input scales (empty vectors for non-MAC steps). The branch's step
@@ -76,18 +120,45 @@ class CompiledPatchModel {
                      nn::ops::KernelTier tier = nn::ops::KernelTier::Fast);
 
   [[nodiscard]] nn::Tensor run(const nn::Tensor& input) const;
-  // Stage-1 branches distributed over `pool` (work stealing, per-worker
-  // arena slices); tail on the calling thread. Bit-identical to run().
-  // A null pool or a 1-worker pool takes the sequential path exactly.
+  // Pipelined dataflow run: stage-1 branch tasks and tail row-band tasks
+  // scheduled as one dependency graph over `pool` (see the header
+  // comment). Bit-identical to run() for every worker count and readiness
+  // order. A null pool or a 1-worker pool takes the sequential path
+  // exactly.
   [[nodiscard]] nn::Tensor run(const nn::Tensor& input,
                                nn::WorkerPool* pool) const;
+  // The PR-3 two-phase runtime: branch barrier, then the whole tail on the
+  // calling thread. Kept as the pipelined path's comparison baseline (and
+  // BM_ParallelPatchRun's subject). Bit-identical to run().
+  [[nodiscard]] nn::Tensor run_barrier(const nn::Tensor& input,
+                                       nn::WorkerPool* pool) const;
 
   [[nodiscard]] const nn::ArenaPlan& arena_plan() const { return aplan_; }
   [[nodiscard]] std::int64_t arena_bytes() const { return aplan_.peak_bytes; }
-  // The slice/shared layout a parallel run with `num_workers` binds
-  // (cached per worker count; also what tests assert non-overlap on).
+  // The slice/shared layout a barrier-parallel run with `num_workers`
+  // binds (cached per worker count; also what tests assert non-overlap
+  // on), and the widened-lifetime layout the pipelined graph binds.
   [[nodiscard]] const nn::ParallelArenaPlan& parallel_plan(
       int num_workers) const;
+  [[nodiscard]] const nn::ParallelArenaPlan& pipelined_plan(
+      int num_workers) const;
+  // The row-banded tail prefix of the pipelined graph (compile-time).
+  [[nodiscard]] std::span<const PipelinedTailLayer> pipelined_tail() const {
+    return pipeline_;
+  }
+  // Serving integration: when set, run arenas are leased from `slab` for
+  // the duration of each run instead of a model-owned buffer, so many
+  // models can share max-sized slices instead of the per-model sum.
+  void set_arena_source(std::shared_ptr<nn::ArenaSlab> slab) {
+    arena_source_ = std::move(slab);
+  }
+  // Test-only: called after each branch finishes (merge included) inside
+  // parallel runs, before its completion is published to dependents —
+  // tests stall chosen branches here to force adversarial readiness
+  // orders. Not for production use.
+  void set_branch_completion_hook(std::function<void(int)> hook) const {
+    branch_hook_ = std::move(hook);
+  }
   [[nodiscard]] std::int64_t measured_high_water() const { return measured_; }
   // Crop-temporary + backend scratch held after the last run, including
   // every worker context's share.
@@ -118,12 +189,27 @@ class CompiledPatchModel {
                    nn::ops::ScratchArena& crops,
                    std::span<nn::Tensor> step_views, std::int64_t& measured,
                    nn::Tensor& assembled) const;
+  // Binds the assembled map + every tail layer's view into tail_memo_.
+  void bind_tail(std::uint8_t* base, std::span<const nn::ArenaSlot> slots,
+                 int first_tail_slot, int assembled_slot,
+                 std::int64_t& measured) const;
   // Layer-based tail against slots [first_tail_slot ..) of `slots`.
   nn::Tensor exec_tail(std::uint8_t* base,
                        std::span<const nn::ArenaSlot> slots,
                        int first_tail_slot, int assembled_slot,
                        std::int64_t& measured) const;
+  // Computes output rows `rows` of banded tail layer `layer_id` from the
+  // pre-bound tail views, on `ctx`'s backend/crops (a row-band task body).
+  void exec_tail_band(int layer_id, const Interval& rows,
+                      WorkerCtx& ctx) const;
   WorkerCtx& worker_ctx(int lane) const;
+  std::span<std::uint8_t> bind_run_arena(std::int64_t need,
+                                         nn::ArenaSlab::Lease& lease) const;
+  // The cached dataflow graph for `num_workers` lanes. Its task bodies
+  // capture only `this`: per-run state (input, arena base, plan) is
+  // staged in the run_* members before dispatch, so the graph — chunking,
+  // band wiring, join — is built once per worker count, not per run.
+  nn::TaskGraph& pipeline_graph(int num_workers) const;
 
   const nn::Graph* graph_;
   PatchPlan plan_;
@@ -135,7 +221,22 @@ class CompiledPatchModel {
   std::vector<nn::ArenaRequest> slice_requests_;
   std::vector<nn::ArenaRequest> shared_requests_;
   int par_assembled_slot_ = 0;  // index into the shared request list
+  // Pipelined dataflow structure: banded tail prefix, branch pricing for
+  // cost-weighted task chunking, and the timeline step of the last banded
+  // layer (the lifetime-widening horizon of plan_pipelined).
+  std::vector<PipelinedTailLayer> pipeline_;
+  std::vector<std::int64_t> branch_costs_;
+  int pipeline_horizon_ = 0;
   mutable std::unordered_map<int, nn::ParallelArenaPlan> pplans_;
+  mutable std::unordered_map<int, nn::ParallelArenaPlan> pipelined_pplans_;
+  mutable std::unordered_map<int, nn::TaskGraph> pipeline_graphs_;
+  // Per-run state read by the cached pipelined graph's tasks; staged
+  // before dispatch (the dispatch barrier publishes it to every lane).
+  mutable const nn::Tensor* run_input_ = nullptr;
+  mutable std::uint8_t* run_data_ = nullptr;
+  mutable const nn::ParallelArenaPlan* run_pplan_ = nullptr;
+  std::shared_ptr<nn::ArenaSlab> arena_source_;
+  mutable std::function<void(int)> branch_hook_;
   mutable nn::ops::KernelBackend backend_;
   mutable nn::ops::ScratchArena crops_;  // halo crop temporaries
   mutable std::vector<std::unique_ptr<WorkerCtx>> workers_;
@@ -160,14 +261,29 @@ class CompiledPatchQuantModel {
       std::shared_ptr<const nn::QuantizedParameters> params = {});
 
   [[nodiscard]] nn::QTensor run(const nn::Tensor& input) const;
-  // Parallel stage-1 (see CompiledPatchModel::run(input, pool)).
+  // Pipelined dataflow run (see CompiledPatchModel::run(input, pool)).
   [[nodiscard]] nn::QTensor run(const nn::Tensor& input,
                                 nn::WorkerPool* pool) const;
+  // The PR-3 two-phase runtime, kept as the comparison baseline.
+  [[nodiscard]] nn::QTensor run_barrier(const nn::Tensor& input,
+                                        nn::WorkerPool* pool) const;
 
   [[nodiscard]] const nn::ArenaPlan& arena_plan() const { return aplan_; }
   [[nodiscard]] std::int64_t arena_bytes() const { return aplan_.peak_bytes; }
   [[nodiscard]] const nn::ParallelArenaPlan& parallel_plan(
       int num_workers) const;
+  [[nodiscard]] const nn::ParallelArenaPlan& pipelined_plan(
+      int num_workers) const;
+  [[nodiscard]] std::span<const PipelinedTailLayer> pipelined_tail() const {
+    return pipeline_;
+  }
+  void set_arena_source(std::shared_ptr<nn::ArenaSlab> slab) {
+    arena_source_ = std::move(slab);
+  }
+  // Test-only readiness-order hook (see CompiledPatchModel).
+  void set_branch_completion_hook(std::function<void(int)> hook) const {
+    branch_hook_ = std::move(hook);
+  }
   [[nodiscard]] std::int64_t measured_high_water() const { return measured_; }
   [[nodiscard]] std::int64_t scratch_bytes() const;
   [[nodiscard]] const PatchPlan& plan() const { return plan_; }
@@ -214,13 +330,22 @@ class CompiledPatchQuantModel {
                    nn::ops::ScratchArena& crops,
                    std::span<nn::QTensor> step_views, std::int64_t& measured,
                    nn::QTensor& assembled) const;
+  void bind_tail(std::uint8_t* base, std::span<const nn::ArenaSlot> slots,
+                 int first_tail_slot, int assembled_slot,
+                 std::int64_t& measured) const;
   nn::QTensor exec_tail(std::uint8_t* base,
                         std::span<const nn::ArenaSlot> slots,
                         int first_tail_slot, int assembled_slot,
                         std::int64_t& measured) const;
+  void exec_tail_band(int layer_id, const Interval& rows,
+                      WorkerCtx& ctx) const;
   [[nodiscard]] const nn::ops::AvgPoolMultipliers* pool_table(
       const nn::Layer& l) const;
   WorkerCtx& worker_ctx(int lane) const;
+  std::span<std::uint8_t> bind_run_arena(std::int64_t need,
+                                         nn::ArenaSlab::Lease& lease) const;
+  // Cached dataflow graph per worker count (see CompiledPatchModel).
+  nn::TaskGraph& pipeline_graph(int num_workers) const;
 
   const nn::Graph* graph_;
   PatchPlan plan_;
@@ -237,6 +362,11 @@ class CompiledPatchQuantModel {
   std::vector<nn::ArenaRequest> shared_requests_;
   int par_assembled_slot_ = 0;
   int par_input_slot_ = 0;
+  std::vector<PipelinedTailLayer> pipeline_;
+  std::vector<std::int64_t> branch_costs_;
+  int pipeline_horizon_ = 0;
+  std::shared_ptr<nn::ArenaSlab> arena_source_;
+  mutable std::function<void(int)> branch_hook_;
   // AvgPool reciprocal tables keyed by window size. Filled at construction
   // for every window the graph contains, then read-only — several workers
   // share them concurrently during parallel runs, so no lazy inserts on the
@@ -244,6 +374,13 @@ class CompiledPatchQuantModel {
   // audit flagged).
   std::unordered_map<int, nn::ops::AvgPoolMultipliers> pool_tables_;
   mutable std::unordered_map<int, nn::ParallelArenaPlan> pplans_;
+  mutable std::unordered_map<int, nn::ParallelArenaPlan> pipelined_pplans_;
+  mutable std::unordered_map<int, nn::TaskGraph> pipeline_graphs_;
+  // Per-run state read by the cached pipelined graph's tasks (see
+  // CompiledPatchModel); the quantized input is a bound arena view.
+  mutable nn::QTensor run_qinput_;
+  mutable std::uint8_t* run_data_ = nullptr;
+  mutable const nn::ParallelArenaPlan* run_pplan_ = nullptr;
   mutable nn::ops::KernelBackend backend_;
   mutable nn::ops::ScratchArena crops_;
   mutable std::vector<std::unique_ptr<WorkerCtx>> workers_;

@@ -23,6 +23,54 @@ std::vector<BranchBits> uniform_branch_bits(const PatchPlan& plan, int bits) {
   return out;
 }
 
+std::vector<std::int64_t> branch_costs(const PatchPlan& plan) {
+  std::vector<std::int64_t> costs;
+  costs.reserve(plan.branches.size());
+  for (const PatchBranch& b : plan.branches) {
+    std::int64_t c = b.total_macs;
+    for (const BranchStep& s : b.steps) c += s.element_ops;
+    costs.push_back(std::max<std::int64_t>(c, 1));
+  }
+  return costs;
+}
+
+std::vector<nn::IndexRange> weighted_chunks(
+    std::span<const std::int64_t> costs, int max_chunks) {
+  std::vector<nn::IndexRange> out;
+  const auto n = static_cast<std::int64_t>(costs.size());
+  if (n == 0) return out;
+  max_chunks = static_cast<int>(
+      std::clamp<std::int64_t>(max_chunks, 1, n));
+  std::int64_t total = 0;
+  for (const std::int64_t c : costs) total += std::max<std::int64_t>(c, 1);
+
+  std::int64_t begin = 0;
+  std::int64_t acc = 0;
+  std::int64_t done = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t c =
+        std::max<std::int64_t>(costs[static_cast<std::size_t>(i)], 1);
+    const int chunks_left = max_chunks - static_cast<int>(out.size());
+    // Close the open range *before* an element that would push it past its
+    // fair share of what remains (recomputed per range, so one expensive
+    // branch does not starve the ranges after it): cheap runs coalesce up
+    // to the target, an expensive element opens its own range.
+    if (chunks_left > 1 && acc > 0) {
+      const std::int64_t target =
+          (total - done + chunks_left - 1) / chunks_left;
+      if (acc + c > target) {
+        out.push_back({begin, i});
+        done += acc;
+        acc = 0;
+        begin = i;
+      }
+    }
+    acc += c;
+  }
+  if (begin < n) out.push_back({begin, n});
+  return out;
+}
+
 std::int64_t split_feature_map_bytes(const nn::Graph& g, const PatchPlan& plan,
                                      std::span<const BranchBits> branch_bits) {
   QMCU_REQUIRE(branch_bits.size() == plan.branches.size(),

@@ -23,6 +23,7 @@
 
 #include "mcu/cost_model.h"
 #include "nn/graph.h"
+#include "nn/runtime/worker_pool.h"
 #include "patch/patch_plan.h"
 
 namespace qmcu::patch {
@@ -42,6 +43,20 @@ struct PatchCost {
 
 // All branches and every tail layer at the same bitwidth.
 std::vector<BranchBits> uniform_branch_bits(const PatchPlan& plan, int bits);
+
+// Relative execution price of every branch (MACs plus element ops), the
+// weight the parallel runtimes chunk branches by. Border branches are
+// cheaper than interior ones (smaller halos), which is exactly the
+// imbalance cost-weighted chunking flattens.
+std::vector<std::int64_t> branch_costs(const PatchPlan& plan);
+
+// Splits [0, costs.size()) into at most `max_chunks` contiguous ranges of
+// approximately equal total cost (greedy accumulation against the running
+// average). Cheap neighbours — border branches — coalesce into one range;
+// an expensive interior branch stays alone. Never returns an empty range;
+// ranges cover the index space exactly once, in order.
+std::vector<nn::IndexRange> weighted_chunks(
+    std::span<const std::int64_t> costs, int max_chunks);
 
 // Bytes of the reassembled cut-layer feature map (sum of branch slices).
 std::int64_t split_feature_map_bytes(const nn::Graph& g, const PatchPlan& plan,

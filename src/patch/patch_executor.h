@@ -55,11 +55,18 @@ class PatchExecutor {
   [[nodiscard]] nn::Tensor run(const nn::Tensor& input,
                                const StepHook& hook = {}) const;
 
-  // Hook-free inference with stage-1 patches fanned out over `pool`
-  // (per-worker arena slices + work stealing); bit-identical to run().
+  // Hook-free pipelined inference over `pool`: branch tasks, tail row
+  // bands and the join scheduled as one dependency graph (per-worker arena
+  // slices + work stealing); bit-identical to run().
   [[nodiscard]] nn::Tensor run_parallel(const nn::Tensor& input,
                                         nn::WorkerPool* pool) const {
     return compiled_.run(input, pool);
+  }
+  // The PR-3 two-phase runtime (branch barrier, tail on the caller) —
+  // the pipelined path's comparison baseline. Bit-identical to run().
+  [[nodiscard]] nn::Tensor run_parallel_barrier(const nn::Tensor& input,
+                                                nn::WorkerPool* pool) const {
+    return compiled_.run_barrier(input, pool);
   }
 
   // The reassembled cut-layer feature map (useful in tests/examples).

@@ -49,11 +49,17 @@ class PatchQuantExecutor {
   // Compiled arena path (bit-identical to the legacy per-step-tensor path).
   [[nodiscard]] nn::QTensor run(const nn::Tensor& input) const;
 
-  // Stage-1 patches fanned out over `pool` (per-worker arena slices + work
-  // stealing); bit-identical to run() for every worker count.
+  // Pipelined dataflow inference over `pool` (branch tasks, tail row
+  // bands, join); bit-identical to run() for every worker count and
+  // readiness order.
   [[nodiscard]] nn::QTensor run_parallel(const nn::Tensor& input,
                                          nn::WorkerPool* pool) const {
     return compiled_.run(input, pool);
+  }
+  // The PR-3 two-phase runtime, kept as the comparison baseline.
+  [[nodiscard]] nn::QTensor run_parallel_barrier(const nn::Tensor& input,
+                                                 nn::WorkerPool* pool) const {
+    return compiled_.run_barrier(input, pool);
   }
 
   // The reassembled cut-layer feature map (tail params).

@@ -144,6 +144,51 @@ TEST(ArenaPlanner, ParallelPlanReplicatesSliceAndAppendsShared) {
   }
 }
 
+TEST(ArenaPlanner, PipelinedPlanWidensOverlapWindow) {
+  // Shared timeline: steps 0-1 are the branch phase, steps 2-3 banded tail
+  // layers, steps 4-5 the post-join rest. Horizon = 3 (last banded step).
+  const std::vector<ArenaRequest> slice = {{64, 0, 1}};
+  const std::vector<ArenaRequest> shared = {
+      {128, 0, 2},   // assembled map: born at 0, read by the first band
+      {96, 0, 1},    // quantized input: live across the branch phase
+      {80, 2, 3},    // banded tail layer A
+      {72, 3, 4},    // banded tail layer B, read by the rest
+      {48, 4, 5},    // rest layer (after the join)
+  };
+  const ParallelArenaPlan p =
+      ArenaPlanner().plan_pipelined(slice, shared, 2, 3);
+
+  // Everything born at or before the horizon is widened to [0, >=3]: those
+  // four slots all overlap in lifetime now, so they must be pairwise
+  // byte-disjoint even though e.g. the quantized input (dead at step 1 on
+  // the barrier timeline) could have shared bytes with tail layer A.
+  for (std::size_t a = 0; a < 4; ++a) {
+    for (std::size_t b = a + 1; b < 4; ++b) {
+      EXPECT_TRUE(p.shared.slots[a].overlaps_lifetime(p.shared.slots[b]))
+          << a << "/" << b;
+      EXPECT_FALSE(p.shared.slots[a].overlaps_bytes(p.shared.slots[b]))
+          << a << "/" << b;
+    }
+  }
+  // The widened window must cover at least the sum of the always-live
+  // slots; the barrier plan may be smaller (it reuses the input's bytes).
+  const ParallelArenaPlan barrier =
+      ArenaPlanner().plan_parallel(slice, shared, 2);
+  EXPECT_GE(p.shared.peak_bytes, 128 + 96 + 80 + 72);
+  EXPECT_LE(barrier.shared.peak_bytes, p.shared.peak_bytes);
+  // Post-horizon requests keep their lifetimes: the rest layer may still
+  // recycle bytes of a widened slot that dies at the horizon.
+  EXPECT_EQ(p.shared.slots[4].first_step, 4);
+  // Slices are untouched by the widening.
+  EXPECT_EQ(p.slice.peak_bytes, barrier.slice.peak_bytes);
+}
+
+TEST(ArenaPlanner, PipelinedPlanRejectsNegativeHorizon) {
+  const std::vector<ArenaRequest> reqs = {{16, 0, 0}};
+  EXPECT_THROW((void)ArenaPlanner().plan_pipelined(reqs, reqs, 1, -1),
+               std::exception);
+}
+
 TEST(ArenaPlanner, ParallelPlanRejectsZeroWorkers) {
   const std::vector<ArenaRequest> reqs{{64, 0, 1}};
   EXPECT_THROW(ArenaPlanner().plan_parallel(reqs, reqs, 0),

@@ -279,10 +279,15 @@ TEST(ParallelPatch, ParallelPlanSlicesAndSharedAreDisjoint) {
       }
     }
   }
-  // Parallel runs must never write past the planned arena.
+  // Parallel runs must never write past their planned arena — the barrier
+  // path binds parallel_plan, the pipelined path the widened-lifetime
+  // pipelined_plan.
   nn::WorkerPool pool(4);
-  (void)model.run(random_input(g.shape(0), 32), &pool);
+  (void)model.run_barrier(random_input(g.shape(0), 32), &pool);
   EXPECT_LE(model.measured_high_water(), model.parallel_plan(4).total_bytes());
+  (void)model.run(random_input(g.shape(0), 32), &pool);
+  EXPECT_LE(model.measured_high_water(),
+            model.pipelined_plan(4).total_bytes());
 }
 
 // --- thread-affinity enforcement --------------------------------------------

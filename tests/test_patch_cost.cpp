@@ -121,6 +121,53 @@ TEST(PatchCost, SplitFeatureMapBytesSumSlices) {
   EXPECT_EQ(split_feature_map_bytes(g, plan, bits4), g.shape(3).bytes(4));
 }
 
+TEST(PatchCost, BranchCostsPriceBordersCheaper) {
+  const nn::Graph g = stage_net();
+  const PatchPlan plan = make_plan(g, 3, 3);
+  const std::vector<std::int64_t> costs = branch_costs(plan);
+  ASSERT_EQ(costs.size(), plan.branches.size());
+  for (std::size_t b = 0; b < costs.size(); ++b) {
+    EXPECT_GE(costs[b], plan.branches[b].total_macs);
+    EXPECT_GT(costs[b], 0);
+  }
+  // The interior branch (1,1) of a 3x3 grid carries halos on all four
+  // sides: it must price above the corner branch (0,0).
+  const int cols = plan.spec.grid_cols;
+  EXPECT_GT(costs[static_cast<std::size_t>(1 * cols + 1)], costs[0]);
+}
+
+TEST(PatchCost, WeightedChunksCoverAndBalance) {
+  // Uneven costs: cheap borders around one expensive interior.
+  const std::vector<std::int64_t> costs = {10, 10, 100, 10, 10, 10};
+  for (const int max_chunks : {1, 2, 3, 4, 6, 10}) {
+    const auto chunks = weighted_chunks(costs, max_chunks);
+    ASSERT_FALSE(chunks.empty());
+    EXPECT_LE(static_cast<int>(chunks.size()), max_chunks);
+    // Exact, ordered coverage of the index space.
+    std::int64_t next = 0;
+    for (const nn::IndexRange& r : chunks) {
+      EXPECT_EQ(r.begin, next);
+      EXPECT_LT(r.begin, r.end);
+      next = r.end;
+    }
+    EXPECT_EQ(next, static_cast<std::int64_t>(costs.size()));
+  }
+  // With three chunks, the expensive element sits alone while its cheap
+  // neighbours coalesce.
+  const auto three = weighted_chunks(costs, 3);
+  ASSERT_EQ(three.size(), 3u);
+  EXPECT_EQ(three[0].end, 2);   // {10, 10}
+  EXPECT_EQ(three[1].end, 3);   // {100}
+  EXPECT_EQ(three[2].end, 6);   // {10, 10, 10}
+
+  // Degenerate inputs.
+  EXPECT_TRUE(weighted_chunks({}, 4).empty());
+  const auto one = weighted_chunks(std::vector<std::int64_t>{5}, 8);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].begin, 0);
+  EXPECT_EQ(one[0].end, 1);
+}
+
 TEST(PatchCost, RejectsMismatchedConfigs) {
   const nn::Graph g = stage_net();
   const PatchPlan plan = make_plan(g, 3, 2);

@@ -165,6 +165,107 @@ TEST(SessionPool, ServesPatchModels) {
   }
 }
 
+TEST(SessionPool, SubmitBatchMatchesSingleSubmits) {
+  const nn::Graph g = models::make_model("mobilenetv2", small_cfg());
+  const auto ranges = quant::calibrate_ranges(
+      g, std::vector<nn::Tensor>{random_input(g.shape(0), 71)});
+  const auto cfg = quant::make_quant_config(g, ranges, nn::uniform_bits(g, 8));
+  const auto params = nn::QuantizedParameters::build_shared(g, cfg);
+  const nn::CompiledQuantModel reference(g, cfg, nn::ops::KernelTier::Fast,
+                                         params);
+  nn::SessionPool<nn::CompiledQuantModel> pool(2, [&] {
+    return std::make_unique<nn::CompiledQuantModel>(
+        g, cfg, nn::ops::KernelTier::Fast, params);
+  });
+
+  std::vector<nn::Tensor> batch;
+  std::vector<nn::QTensor> expected;
+  for (std::uint64_t seed = 72; seed < 77; ++seed) {
+    batch.push_back(random_input(g.shape(0), seed));
+    expected.push_back(reference.run(batch.back()));
+  }
+  auto futures = pool.submit_batch(batch);
+  ASSERT_EQ(futures.size(), batch.size());
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    expect_q_identical(futures[i].get(), expected[i]);
+  }
+  EXPECT_EQ(pool.completed(), batch.size());
+
+  // The whole batch runs on one session (one queue entry, arena reused
+  // across the loop): exactly one session saw traffic.
+  const auto counts = pool.per_session_requests();
+  int sessions_used = 0;
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) {
+    sessions_used += c > 0 ? 1 : 0;
+    total += c;
+  }
+  EXPECT_EQ(sessions_used, 1);
+  EXPECT_EQ(total, batch.size());
+
+  // An empty batch is a no-op with no futures.
+  EXPECT_TRUE(pool.submit_batch({}).empty());
+}
+
+TEST(SessionPool, SubmitBatchFailsOnlyTheBadItem) {
+  const nn::Graph g = models::make_model("mobilenetv2", small_cfg());
+  const auto ranges = quant::calibrate_ranges(
+      g, std::vector<nn::Tensor>{random_input(g.shape(0), 81)});
+  const auto cfg = quant::make_quant_config(g, ranges, nn::uniform_bits(g, 8));
+  const auto params = nn::QuantizedParameters::build_shared(g, cfg);
+  const nn::CompiledQuantModel reference(g, cfg, nn::ops::KernelTier::Fast,
+                                         params);
+  nn::SessionPool<nn::CompiledQuantModel> pool(1, [&] {
+    return std::make_unique<nn::CompiledQuantModel>(
+        g, cfg, nn::ops::KernelTier::Fast, params);
+  });
+
+  const nn::Tensor good = random_input(g.shape(0), 82);
+  const nn::QTensor expect = reference.run(good);
+  std::vector<nn::Tensor> batch;
+  batch.push_back(good);
+  batch.push_back(random_input({4, 4, 3}, 83));  // wrong shape -> throws
+  batch.push_back(good);
+  auto futures = pool.submit_batch(batch);
+  expect_q_identical(futures[0].get(), expect);
+  EXPECT_THROW(futures[1].get(), std::exception);
+  expect_q_identical(futures[2].get(), expect);
+}
+
+TEST(SessionPool, SharedSlabCapsArenaMemoryAcrossPools) {
+  const nn::Graph g = models::make_model("mobilenetv2", small_cfg());
+  const patch::PatchPlan plan =
+      patch::build_patch_plan(g, patch::plan_mcunetv2(g, {2, 2}));
+  const patch::CompiledPatchModel reference(g, plan);
+  const nn::Tensor in = random_input(g.shape(0), 91);
+  const nn::Tensor expect = reference.run(in);
+
+  // Two pools over the same slab: sequential traffic to each must reuse
+  // one max-sized block instead of holding an arena per model.
+  auto slab = std::make_shared<nn::ArenaSlab>();
+  using PatchPool = nn::SessionPool<patch::CompiledPatchModel>;
+  const auto factory = [&](const std::shared_ptr<nn::ArenaSlab>& s) {
+    auto model = std::make_unique<patch::CompiledPatchModel>(g, plan);
+    model->set_arena_source(s);
+    return model;
+  };
+  PatchPool pool_a(1, factory, slab);
+  PatchPool pool_b(1, factory, slab);
+  EXPECT_EQ(pool_a.slab(), slab);
+  EXPECT_EQ(pool_b.slab(), slab);
+
+  const nn::Tensor out_a = pool_a.run(in);
+  const nn::Tensor out_b = pool_b.run(in);
+  ASSERT_EQ(out_a.shape(), expect.shape());
+  for (std::size_t i = 0; i < expect.data().size(); ++i) {
+    ASSERT_EQ(out_a.data()[i], expect.data()[i]);
+    ASSERT_EQ(out_b.data()[i], expect.data()[i]);
+  }
+  EXPECT_EQ(slab->outstanding_leases(), 0);
+  // One block serves both pools' models: max, not sum.
+  EXPECT_EQ(slab->footprint_bytes(), reference.arena_bytes());
+}
+
 TEST(InferenceSession, CountsRequests) {
   const nn::Graph g = models::make_model("mobilenetv2", small_cfg());
   nn::InferenceSession<nn::CompiledModel> session(

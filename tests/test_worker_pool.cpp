@@ -1,7 +1,10 @@
 // WorkerPool (nn/runtime/worker_pool.h): the chunked work-stealing
 // parallel_for must cover every index exactly once for any worker count,
 // chunking and load shape; keep lane indices inside [0, W); run inline on
-// one worker; and propagate body exceptions to the caller.
+// one worker; and propagate body exceptions to the caller. run_graph must
+// respect dependency edges for every worker count, publish predecessor
+// writes to successors, abort cleanly on task exceptions and reject
+// cycles.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -9,6 +12,7 @@
 #include <cstdint>
 #include <mutex>
 #include <set>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -114,6 +118,149 @@ TEST(WorkerPool, ClampsWorkerCount) {
   nn::WorkerPool pool(0);
   EXPECT_EQ(pool.num_workers(), 1);
   EXPECT_GE(nn::WorkerPool::hardware_workers(), 1);
+}
+
+// --- task graphs -------------------------------------------------------------
+
+TEST(TaskGraph, ChainRunsInDependencyOrder) {
+  for (const int workers : {1, 2, 4}) {
+    nn::WorkerPool pool(workers);
+    nn::TaskGraph graph;
+    std::vector<int> order;
+    std::mutex mu;
+    std::vector<int> tasks;
+    for (int i = 0; i < 16; ++i) {
+      tasks.push_back(graph.add([&order, &mu, i](int) {
+        std::lock_guard<std::mutex> lock(mu);
+        order.push_back(i);
+      }));
+      if (i > 0) graph.depend(tasks[static_cast<std::size_t>(i)],
+                              tasks[static_cast<std::size_t>(i - 1)]);
+    }
+    pool.run_graph(graph);
+    ASSERT_EQ(order.size(), 16u);
+    for (int i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(TaskGraph, DiamondPublishesPredecessorWrites) {
+  // a -> {b, c} -> d. b and c read what a wrote; d reads both — without
+  // any synchronisation beyond the dependency edges.
+  for (const int workers : {1, 2, 4, 8}) {
+    nn::WorkerPool pool(workers);
+    for (int round = 0; round < 20; ++round) {
+      nn::TaskGraph graph;
+      int x = 0, b_saw = 0, c_saw = 0, d_sum = 0;
+      const int a = graph.add([&](int) { x = 41 + round; });
+      const int b = graph.add([&](int) { b_saw = x + 1; });
+      const int c = graph.add([&](int) { c_saw = x + 2; });
+      const int d = graph.add([&](int) { d_sum = b_saw + c_saw; });
+      graph.depend(b, a);
+      graph.depend(c, a);
+      graph.depend(d, b);
+      graph.depend(d, c);
+      pool.run_graph(graph);
+      EXPECT_EQ(d_sum, 2 * (41 + round) + 3);
+    }
+  }
+}
+
+TEST(TaskGraph, WideFanRunsEveryTaskOnce) {
+  nn::WorkerPool pool(4);
+  nn::TaskGraph graph;
+  constexpr int kTasks = 200;
+  std::vector<std::atomic<int>> hits(kTasks);
+  for (auto& h : hits) h.store(0);
+  const int root = graph.add([](int) {});
+  std::vector<int> mids;
+  for (int i = 1; i < kTasks - 1; ++i) {
+    const int t = graph.add([&hits, i](int lane) {
+      EXPECT_GE(lane, 0);
+      EXPECT_LT(lane, 4);
+      hits[static_cast<std::size_t>(i)].fetch_add(1);
+    });
+    graph.depend(t, root);
+    mids.push_back(t);
+  }
+  const int join = graph.add(
+      [&hits](int) { hits[kTasks - 1].fetch_add(1); });
+  for (const int t : mids) graph.depend(join, t);
+  hits[0].fetch_add(1);  // stands in for the root
+  pool.run_graph(graph);
+  for (int i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "task " << i;
+  }
+}
+
+TEST(TaskGraph, ExceptionAbortsAndPoolStaysUsable) {
+  for (const int workers : {1, 4}) {
+    nn::WorkerPool pool(workers);
+    nn::TaskGraph graph;
+    std::atomic<bool> downstream_ran{false};
+    const int boom = graph.add(
+        [](int) { throw std::runtime_error("boom"); });
+    const int after = graph.add(
+        [&](int) { downstream_ran.store(true); });
+    graph.depend(after, boom);
+    EXPECT_THROW(pool.run_graph(graph), std::runtime_error);
+    EXPECT_FALSE(downstream_ran.load())
+        << "successors of a failed task must not run";
+    // The pool must come back clean for the next job.
+    std::atomic<std::int64_t> n{0};
+    pool.parallel_for(16, 1, [&](std::int64_t b, std::int64_t e, int) {
+      n.fetch_add(e - b);
+    });
+    EXPECT_EQ(n.load(), 16);
+  }
+}
+
+TEST(TaskGraph, RejectsCycles) {
+  for (const int workers : {1, 2}) {
+    nn::WorkerPool pool(workers);
+    nn::TaskGraph graph;
+    const int a = graph.add([](int) {});
+    const int b = graph.add([](int) {});
+    const int c = graph.add([](int) {});  // keeps one task ready
+    (void)c;
+    graph.depend(a, b);
+    graph.depend(b, a);
+    EXPECT_THROW(pool.run_graph(graph), std::exception);
+  }
+}
+
+TEST(TaskGraph, GraphsReuseThePoolBackToBack) {
+  nn::WorkerPool pool(3);
+  for (int round = 0; round < 30; ++round) {
+    nn::TaskGraph graph;
+    std::atomic<int> sum{0};
+    std::vector<int> layer1;
+    for (int i = 0; i < 6; ++i) {
+      layer1.push_back(graph.add([&sum](int) { sum.fetch_add(1); }));
+    }
+    const int join = graph.add([&sum](int) { sum.fetch_add(100); });
+    for (const int t : layer1) graph.depend(join, t);
+    pool.run_graph(graph);
+    EXPECT_EQ(sum.load(), 106);
+  }
+}
+
+TEST(WorkerPool, ParallelRangesCoversCallerChunks) {
+  for (const int workers : {1, 3}) {
+    nn::WorkerPool pool(workers);
+    const std::vector<nn::IndexRange> ranges = {
+        {0, 3}, {3, 4}, {4, 10}, {10, 11}};
+    std::vector<std::atomic<int>> hits(11);
+    for (auto& h : hits) h.store(0);
+    pool.parallel_ranges(ranges,
+                         [&](std::int64_t b, std::int64_t e, int) {
+                           for (std::int64_t i = b; i < e; ++i) {
+                             hits[static_cast<std::size_t>(i)].fetch_add(1);
+                           }
+                         });
+    for (int i = 0; i < 11; ++i) {
+      EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "index " << i;
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Bench-regression guard: compare a fresh BENCH_micro_kernels.json against
+the committed baseline and fail on real regressions of the guarded hot-path
+benchmarks.
+
+Raw wall-clock numbers are not comparable across machines, so the guard
+first computes a machine-speed scale from a calibration benchmark present
+in both files (a single-threaded integer kernel whose cost tracks raw CPU
+speed), then checks every guarded benchmark against its scaled baseline:
+
+    fail  iff  current_time > baseline_time * scale * (1 + threshold)
+
+Usage (what CI runs):
+    python3 tools/bench_guard.py \
+        --baseline bench/baselines/BENCH_micro_kernels.json \
+        --current  build/BENCH_micro_kernels.json
+"""
+
+import argparse
+import json
+import re
+import sys
+
+
+_NS_PER_UNIT = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_benchmarks(path):
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for bm in data.get("benchmarks", []):
+        if bm.get("run_type", "iteration") != "iteration":
+            continue
+        # Prefer real_time (what UseRealTime sweeps report), normalised to
+        # nanoseconds via the entry's time_unit.
+        unit = _NS_PER_UNIT[bm.get("time_unit", "ns")]
+        out[bm["name"]] = float(bm.get("real_time", bm.get("cpu_time"))) * unit
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument(
+        "--guard",
+        default=r"^BM_(RepeatedPatchRun|ParallelPatchRun|PipelinedPatchRun)\b",
+        help="regex of benchmark names that must not regress",
+    )
+    parser.add_argument(
+        "--calibrate",
+        default="BM_Conv2dInt8Ref/32",
+        help="benchmark used to normalise machine speed between files",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="allowed slowdown after calibration (0.10 = 10%%)",
+    )
+    args = parser.parse_args()
+
+    baseline = load_benchmarks(args.baseline)
+    current = load_benchmarks(args.current)
+
+    if args.calibrate not in baseline or args.calibrate not in current:
+        print(f"bench_guard: calibration benchmark '{args.calibrate}' "
+              "missing from baseline or current run", file=sys.stderr)
+        return 2
+    scale = current[args.calibrate] / baseline[args.calibrate]
+    print(f"bench_guard: machine scale {scale:.3f} "
+          f"(current {args.calibrate} / baseline)")
+
+    guard = re.compile(args.guard)
+    guarded = sorted(n for n in baseline if guard.search(n))
+    if not guarded:
+        print("bench_guard: no guarded benchmarks in the baseline",
+              file=sys.stderr)
+        return 2
+
+    failures = []
+    for name in guarded:
+        if name not in current:
+            failures.append(f"{name}: missing from the current run")
+            continue
+        allowed = baseline[name] * scale * (1.0 + args.threshold)
+        ratio = current[name] / (baseline[name] * scale)
+        status = "FAIL" if current[name] > allowed else "ok"
+        print(f"  {status}  {name}: {current[name] / 1e6:.3f} ms vs "
+              f"scaled baseline {baseline[name] * scale / 1e6:.3f} ms "
+              f"({ratio:.2f}x)")
+        if current[name] > allowed:
+            failures.append(
+                f"{name}: {ratio:.2f}x the scaled baseline "
+                f"(> {1.0 + args.threshold:.2f}x allowed)")
+
+    if failures:
+        print("bench_guard: regression detected:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"bench_guard: {len(guarded)} guarded benchmarks within "
+          f"{args.threshold:.0%} of the scaled baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
