@@ -15,6 +15,8 @@
 #include "nn/ops/backend.h"
 #include "nn/ops/float_kernels.h"
 #include "nn/ops/int8_kernels.h"
+#include "nn/ops/simd/cpu_features.h"
+#include "nn/ops/simd/simd_kernels.h"
 #include "nn/rng.h"
 #include "nn/runtime/session_pool.h"
 #include "nn/runtime/worker_pool.h"
@@ -93,6 +95,40 @@ void BM_Conv2dInt8(benchmark::State& state) {
 }
 BENCHMARK(BM_Conv2dInt8)->Arg(8)->Arg(16)->Arg(32);
 
+// The Simd tier (runtime-dispatched AVX2/NEON microkernels). On hosts
+// without a usable ISA this measures the scalar fallback; the
+// `simd_active` counter records which one ran, and tools/bench_guard.py
+// skips Simd entries when it is 0.
+void BM_Conv2dInt8Simd(benchmark::State& state) {
+  const int c = static_cast<int>(state.range(0));
+  const QuantConvSetup s = quant_conv_setup(c);
+  nn::ops::KernelBackend backend(nn::ops::KernelTier::Simd);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        backend.conv2d(s.qin, s.l, s.qw.data, s.qw.params, {}, s.out_p));
+  }
+  state.SetItemsProcessed(state.iterations() * 32 * 32 * c * 9 * c);
+  state.counters["simd_active"] = nn::ops::simd::available() ? 1 : 0;
+}
+BENCHMARK(BM_Conv2dInt8Simd)->Arg(8)->Arg(16)->Arg(32);
+
+// One row per tier over the same conv (c = 32): the tier speedup table the
+// README quotes. Arg 0 = Reference, 1 = Fast, 2 = Simd.
+void BM_GemmTierSweep(benchmark::State& state) {
+  const auto tier = static_cast<nn::ops::KernelTier>(state.range(0));
+  const QuantConvSetup s = quant_conv_setup(32);
+  nn::ops::KernelBackend backend(tier);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        backend.conv2d(s.qin, s.l, s.qw.data, s.qw.params, {}, s.out_p));
+  }
+  state.SetItemsProcessed(state.iterations() * 32 * 32 * 32 * 9 * 32);
+  state.counters["tier"] = static_cast<double>(state.range(0));
+  state.counters["simd_active"] =
+      tier == nn::ops::KernelTier::Simd && nn::ops::simd::available() ? 1 : 0;
+}
+BENCHMARK(BM_GemmTierSweep)->Arg(0)->Arg(1)->Arg(2);
+
 // The seed's reference loop nest, kept as the comparison baseline.
 void BM_Conv2dInt8Ref(benchmark::State& state) {
   const int c = static_cast<int>(state.range(0));
@@ -124,9 +160,10 @@ void BM_Conv2dInt8Packed4(benchmark::State& state) {
 }
 BENCHMARK(BM_Conv2dInt8Packed4)->Arg(8)->Arg(16)->Arg(32);
 
+// Arg 1 selects the tier: 0 = Reference, 1 = Fast, 2 = Simd.
 void BM_DepthwiseInt8(benchmark::State& state) {
   const int c = static_cast<int>(state.range(0));
-  const bool fast = state.range(1) != 0;
+  const auto tier = static_cast<nn::ops::KernelTier>(state.range(1));
   const nn::Tensor in = random_tensor({32, 32, c}, 8);
   nn::Layer l;
   l.kind = nn::OpKind::DepthwiseConv2D;
@@ -141,19 +178,22 @@ void BM_DepthwiseInt8(benchmark::State& state) {
   const nn::QTensor qin = nn::quantize(in, nn::choose_quant_params(lo, hi, 8));
   const nn::ops::QuantizedWeights qw = nn::ops::quantize_weights(w);
   const nn::QuantParams out_p = nn::choose_quant_params(0.0f, 6.0f, 8);
-  nn::ops::KernelBackend backend(fast ? nn::ops::KernelTier::Fast
-                                      : nn::ops::KernelTier::Reference);
+  nn::ops::KernelBackend backend(tier);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         backend.depthwise_conv2d(qin, l, qw.data, qw.params, {}, out_p));
   }
   state.SetItemsProcessed(state.iterations() * 32 * 32 * c * 9);
+  state.counters["simd_active"] =
+      tier == nn::ops::KernelTier::Simd && nn::ops::simd::available() ? 1 : 0;
 }
 BENCHMARK(BM_DepthwiseInt8)
     ->Args({32, 0})
     ->Args({32, 1})
+    ->Args({32, 2})
     ->Args({128, 0})
-    ->Args({128, 1});
+    ->Args({128, 1})
+    ->Args({128, 2});
 
 // Integer-only residual add (fixed-point rescale, no per-element doubles).
 void BM_AddInt8(benchmark::State& state) {
@@ -202,6 +242,31 @@ void BM_BitPack(benchmark::State& state) {
                           static_cast<std::int64_t>(values.size()));
 }
 BENCHMARK(BM_BitPack)->Arg(2)->Arg(4);
+
+// Sub-byte panel expansion (the loop feeding conv2d_packed's fused im2col
+// path), through the Simd tier's vector body when the host has one.
+void BM_BitUnpack(benchmark::State& state) {
+  const int bits = static_cast<int>(state.range(0));
+  std::vector<std::int8_t> values(1 << 16);
+  nn::Rng rng(5);
+  const int lo = -(1 << (bits - 1));
+  const int hi = (1 << (bits - 1)) - 1;
+  for (auto& v : values) {
+    v = static_cast<std::int8_t>(rng.uniform(lo, hi + 1));
+  }
+  const std::vector<std::uint8_t> packed = quant::pack(values, bits);
+  std::vector<std::int8_t> out(values.size());
+  const nn::ops::simd::SimdKernels* table = nn::ops::simd::kernels();
+  for (auto _ : state) {
+    quant::unpack_into(packed, 0, static_cast<std::int64_t>(out.size()), bits,
+                       out.data(), table);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(values.size()));
+  state.counters["simd_active"] = nn::ops::simd::available() ? 1 : 0;
+}
+BENCHMARK(BM_BitUnpack)->Arg(2)->Arg(4);
 
 void BM_ActivationEntropy(benchmark::State& state) {
   const nn::Tensor t = random_tensor({64, 64, 16}, 6);

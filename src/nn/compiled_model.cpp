@@ -22,7 +22,8 @@ ArenaPlan plan_execution_arena(const Graph& g, std::int64_t elem_bytes) {
 
 void prepack_conv_panels(const Graph& g, const QuantizedParameters& params,
                          ops::KernelBackend& backend) {
-  if (backend.tier() != ops::KernelTier::Fast) return;
+  // Every non-Reference tier runs the im2col + panel GEMM path.
+  if (backend.tier() == ops::KernelTier::Reference) return;
   for (int id = 0; id < g.size(); ++id) {
     const Layer& l = g.layer(id);
     if (l.kind != OpKind::Conv2D || !g.has_parameters(id)) continue;
@@ -69,6 +70,12 @@ CompiledModel::CompiledModel(const Graph& g, ops::KernelTier tier)
 }
 
 Tensor CompiledModel::run(const Tensor& input) const {
+  if (arena_source_ != nullptr) {
+    // Leased for exactly this run; the returned tensor deep-copies out of
+    // the arena before the lease releases the block.
+    const ArenaSlab::Lease lease = arena_source_->acquire(plan_.peak_bytes);
+    return run(input, lease.bytes());
+  }
   if (static_cast<std::int64_t>(arena_.size()) < plan_.peak_bytes) {
     arena_.resize(static_cast<std::size_t>(plan_.peak_bytes));
   }
@@ -125,6 +132,10 @@ CompiledQuantModel::CompiledQuantModel(
 }
 
 QTensor CompiledQuantModel::run(const Tensor& input) const {
+  if (arena_source_ != nullptr) {
+    const ArenaSlab::Lease lease = arena_source_->acquire(plan_.peak_bytes);
+    return run(input, lease.bytes());
+  }
   if (static_cast<std::int64_t>(arena_.size()) < plan_.peak_bytes) {
     arena_.resize(static_cast<std::size_t>(plan_.peak_bytes));
   }

@@ -33,6 +33,7 @@
 #include "nn/memory_planner.h"
 #include "nn/ops/backend.h"
 #include "nn/ops/int8_kernels.h"
+#include "nn/runtime/arena_slab.h"
 #include "nn/tensor.h"
 
 namespace qmcu::nn {
@@ -77,9 +78,11 @@ void check_arena(std::span<const std::uint8_t> arena, std::int64_t need,
 class CompiledModel {
  public:
   explicit CompiledModel(const Graph& g,
-                         ops::KernelTier tier = ops::KernelTier::Fast);
+                         ops::KernelTier tier = ops::KernelTier::Simd);
 
-  // Executes against the model's own arena (allocated once, reused).
+  // Executes against the model's own arena (allocated once, reused) — or,
+  // when an arena source is set, against a block leased from it for the
+  // duration of this run.
   [[nodiscard]] Tensor run(const Tensor& input) const;
   // Executes against a caller-provided arena (>= arena_bytes(), 4-byte
   // aligned) — the deployment form where SRAM is a fixed static buffer.
@@ -96,10 +99,18 @@ class CompiledModel {
   // the owning executor's legacy memo paths share one panel cache with the
   // compiled path instead of packing every conv panel twice.
   [[nodiscard]] ops::KernelBackend& backend() const { return backend_; }
+  // Serving integration (same contract as the patch models): when set,
+  // run() leases its arena from `slab` per run instead of growing an owned
+  // buffer, so a SessionPool fleet of layer-based models is capped at
+  // max arena x busy lanes rather than the per-model sum.
+  void set_arena_source(std::shared_ptr<ArenaSlab> slab) {
+    arena_source_ = std::move(slab);
+  }
 
  private:
   const Graph* graph_;  // non-owning; graph must outlive the model
   ArenaPlan plan_;
+  std::shared_ptr<ArenaSlab> arena_source_;
   // Mutated (scratch reuse, view rebinding) during const runs; a single
   // instance must not run concurrently from multiple threads.
   mutable ops::KernelBackend backend_;
@@ -116,7 +127,7 @@ class CompiledQuantModel {
   // across executors/compiled models of the same graph; nullptr builds
   // them here.
   CompiledQuantModel(const Graph& g, ActivationQuantConfig cfg,
-                     ops::KernelTier tier = ops::KernelTier::Fast,
+                     ops::KernelTier tier = ops::KernelTier::Simd,
                      std::shared_ptr<const QuantizedParameters> params = {});
 
   [[nodiscard]] QTensor run(const Tensor& input) const;
@@ -135,10 +146,15 @@ class CompiledQuantModel {
     return params_;
   }
   [[nodiscard]] ops::KernelBackend& backend() const { return backend_; }
+  // Serving integration: lease run arenas from `slab` (see CompiledModel).
+  void set_arena_source(std::shared_ptr<ArenaSlab> slab) {
+    arena_source_ = std::move(slab);
+  }
 
  private:
   const Graph* graph_;
   ActivationQuantConfig cfg_;
+  std::shared_ptr<ArenaSlab> arena_source_;
   std::vector<QuantParams> effective_;
   std::shared_ptr<const QuantizedParameters> params_;
   ArenaPlan plan_;

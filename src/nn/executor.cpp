@@ -10,7 +10,7 @@ namespace {
 // Weight-panel caching stays off: this backend outlives any particular
 // graph, so cached panels could dangle behind reused weight addresses.
 ops::KernelBackend& shared_backend() {
-  thread_local ops::KernelBackend backend(ops::KernelTier::Fast,
+  thread_local ops::KernelBackend backend(ops::KernelTier::Simd,
                                           /*cache_weight_panels=*/false);
   return backend;
 }

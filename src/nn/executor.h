@@ -41,7 +41,7 @@ void run_layer_f32_into(const Graph& g, int id, std::span<const Tensor> memo,
 class Executor {
  public:
   explicit Executor(const Graph& g,
-                    ops::KernelTier tier = ops::KernelTier::Fast)
+                    ops::KernelTier tier = ops::KernelTier::Simd)
       : graph_(&g), compiled_(g, tier) {}
 
   // Runs the whole graph; result[i] is the output feature map of layer i.
@@ -93,7 +93,7 @@ class QuantExecutor {
   // prebuilt shared parameters to amortise that conversion across several
   // executors over the same graph (e.g. bench sweeps).
   QuantExecutor(const Graph& g, ActivationQuantConfig cfg,
-                ops::KernelTier tier = ops::KernelTier::Fast,
+                ops::KernelTier tier = ops::KernelTier::Simd,
                 std::shared_ptr<const QuantizedParameters> params = {});
 
   [[nodiscard]] std::vector<QTensor> run_all(const Tensor& input) const;

@@ -7,9 +7,15 @@
 #include "nn/ops/float_kernels.h"
 #include "nn/ops/gemm_int8.h"
 #include "nn/ops/im2col.h"
+#include "nn/ops/simd/simd_kernels.h"
 #include "quant/bitpack.h"
 
 namespace qmcu::nn::ops {
+
+KernelBackend::KernelBackend(KernelTier tier, bool cache_weight_panels)
+    : tier_(tier),
+      simd_(tier == KernelTier::Simd ? simd::kernels() : nullptr),
+      cache_weight_panels_(cache_weight_panels) {}
 
 namespace {
 
@@ -81,6 +87,8 @@ OutputInterior output_interior(int kernel, int stride, int pad, int extent,
 // common to the unpacked and packed-input paths. `bt`/`wsum` come from
 // KernelBackend::weight_panel; the arena must already be reset by the
 // caller (the panel may live in it). Writes into the caller-bound `out`.
+// `simd` routes the GEMM block + epilogue through the Simd tier's
+// microkernels (null = Fast scalar; outputs identical either way).
 template <typename PackRow>
 void fast_conv2d_impl(ScratchArena& arena, const TensorShape& is,
                       const QuantParams& ip, const Layer& l,
@@ -88,7 +96,8 @@ void fast_conv2d_impl(ScratchArena& arena, const TensorShape& is,
                       std::span<const std::int32_t> wsum,
                       const QuantParams& wparams,
                       std::span<const std::int32_t> qbias,
-                      const PackRow& pack_row, QTensor& out) {
+                      const PackRow& pack_row, QTensor& out,
+                      const simd::SimdKernels* simd) {
   const TensorShape os = conv_output_shape(is, l, l.out_channels);
   const int n = l.out_channels;
   const int k = static_cast<int>(im2col_row_elements(is, l));
@@ -119,7 +128,7 @@ void fast_conv2d_impl(ScratchArena& arena, const TensorShape& is,
   for (int oy = 0; oy < os.h; ++oy) {
     pack_row(oy, a.data());
     gemm_int8_requant(a.data(), bt.data(), os.w, n, k, post, acc.data(),
-                      y + static_cast<std::size_t>(oy) * os.w * n);
+                      y + static_cast<std::size_t>(oy) * os.w * n, simd);
   }
 }
 
@@ -127,8 +136,8 @@ void fast_depthwise_conv2d(ScratchArena& arena, const QTensor& in,
                            const Layer& l,
                            std::span<const std::int8_t> qweights,
                            const QuantParams& wparams,
-                           std::span<const std::int32_t> qbias,
-                           QTensor& out) {
+                           std::span<const std::int32_t> qbias, QTensor& out,
+                           const simd::SimdKernels* simd) {
   const TensorShape& is = in.shape();
   const TensorShape os = conv_output_shape(is, l, is.c);
   const int c = is.c;
@@ -154,6 +163,11 @@ void fast_depthwise_conv2d(ScratchArena& arena, const QTensor& in,
       output_interior(l.kernel_h, l.stride_h, l.pad_h, is.h, os.h);
   const OutputInterior ox_int =
       output_interior(l.kernel_w, l.stride_w, l.pad_w, is.w, os.w);
+
+  const auto accumulate =
+      (simd != nullptr) ? simd->dw_accumulate : nullptr;
+  const auto requant_row =
+      (simd != nullptr) ? simd->requant_i32_row : nullptr;
 
   const auto run_pixel = [&](int oy, int ox, bool border) {
     const int iy0 = oy * l.stride_h - l.pad_h;
@@ -183,10 +197,16 @@ void fast_depthwise_conv2d(ScratchArena& arena, const QTensor& in,
                    static_cast<std::size_t>(l.kernel_w) +
                static_cast<std::size_t>(kx_lo)) *
                   static_cast<std::size_t>(c);
+      // One contiguous channel run per kernel position; the Simd MAC row
+      // computes the identical (x - zp) * w int32 sums.
       for (int kx = kx_lo; kx < kx_hi; ++kx) {
-        for (int ch = 0; ch < c; ++ch) {
-          acc[static_cast<std::size_t>(ch)] +=
-              (static_cast<std::int32_t>(xrow[ch]) - zp) * wrow[ch];
+        if (accumulate != nullptr) {
+          accumulate(xrow, wrow, c, zp, acc.data());
+        } else {
+          for (int ch = 0; ch < c; ++ch) {
+            acc[static_cast<std::size_t>(ch)] +=
+                (static_cast<std::int32_t>(xrow[ch]) - zp) * wrow[ch];
+          }
         }
         xrow += c;
         wrow += c;
@@ -194,6 +214,11 @@ void fast_depthwise_conv2d(ScratchArena& arena, const QTensor& in,
     }
     std::int8_t* yrow =
         y + static_cast<std::size_t>(flat_index(os, oy, ox, 0));
+    if (requant_row != nullptr) {
+      requant_row(acc.data(), nullptr, c, m, out_params.zero_point, act_lo,
+                  act_hi, yrow);
+      return;
+    }
     for (int ch = 0; ch < c; ++ch) {
       yrow[ch] = static_cast<std::int8_t>(
           clamp_to(apply_multiplier(acc[static_cast<std::size_t>(ch)], m) +
@@ -266,7 +291,7 @@ void KernelBackend::conv2d_into(const QTensor& in, const Layer& l,
         im2col_pack_row(x, is, l, oy,
                         conv_output_shape(is, l, l.out_channels).w, pad, dst);
       },
-      out);
+      out, simd_);
 }
 
 QTensor KernelBackend::conv2d(const QTensor& in, const Layer& l,
@@ -314,9 +339,10 @@ QTensor KernelBackend::conv2d_packed(std::span<const std::uint8_t> packed,
       [&](int oy, std::int8_t* dst) {
         im2col_pack_row_subbyte(
             packed, bits, in_shape, l, oy,
-            conv_output_shape(in_shape, l, l.out_channels).w, pad, dst);
+            conv_output_shape(in_shape, l, l.out_channels).w, pad, dst,
+            simd_);
       },
-      out);
+      out, simd_);
   return out;
 }
 
@@ -330,7 +356,7 @@ void KernelBackend::depthwise_conv2d_into(const QTensor& in, const Layer& l,
     depthwise_conv2d_q_into(in, l, qweights, wparams, qbias, out);
     return;
   }
-  fast_depthwise_conv2d(arena_, in, l, qweights, wparams, qbias, out);
+  fast_depthwise_conv2d(arena_, in, l, qweights, wparams, qbias, out, simd_);
 }
 
 QTensor KernelBackend::depthwise_conv2d(const QTensor& in, const Layer& l,
@@ -522,11 +548,31 @@ void KernelBackend::softmax_into(const QTensor& in, QTensor& out) {
 
 QTensor KernelBackend::requantize(const QTensor& q, const QuantParams& target) {
   guard();
-  return requantize_q(q, target);
+  if (q.params() == target) return q;
+  QTensor out(q.shape(), target);
+  requantize_into(q, out);  // dispatches the Simd slice requantizer
+  return out;
 }
 
 void KernelBackend::requantize_into(const QTensor& q, QTensor& out) {
   guard();
+  if (simd_ != nullptr && simd_->requant_i8_row != nullptr &&
+      !(q.params() == out.params())) {
+    // Same ElementRequantizer construction and rounding chain as
+    // requantize_q_into, lane-vectorized.
+    QMCU_REQUIRE(out.shape() == q.shape(),
+                 "requantize_q: destination shape mismatch");
+    const auto& p = q.params();
+    const QuantParams& target = out.params();
+    const ElementRequantizer r(static_cast<double>(p.scale) /
+                               static_cast<double>(target.scale));
+    simd_->requant_i8_row(q.data().data(),
+                          static_cast<std::int64_t>(q.data().size()),
+                          p.zero_point, r.left_shift(), r.multiplier(),
+                          target.zero_point, target.qmin(), target.qmax(),
+                          out.data().data());
+    return;
+  }
   requantize_q_into(q, out);
 }
 

@@ -1,12 +1,21 @@
 // backend.h — kernel tier dispatch and the per-executor scratch arena.
 //
-// Two implementation tiers share one arithmetic contract:
+// Three implementation tiers share one arithmetic contract:
 //   Reference — the plain loop nests of int8_kernels.h / float_kernels.h;
 //               they define the bit pattern of every op.
 //   Fast      — im2col + register-tiled GEMM for conv/fc, interior/border
 //               split kernels for depthwise and pooling. Bit-identical to
 //               Reference (integer arithmetic is order-independent; the
 //               float GEMM preserves the reference accumulation order).
+//   Simd      — the Fast structure with the four hottest integer inner
+//               loops (GEMM microkernel, depthwise MAC, fused requantize
+//               epilogues, sub-byte unpack) routed through the
+//               runtime-detected microkernel table of
+//               nn/ops/simd/simd_kernels.h (AVX2 / NEON). Integer
+//               arithmetic is exact, so Simd is bit-identical to both
+//               other tiers; on hosts without a usable ISA (or with
+//               QMCU_FORCE_SCALAR set) every entry falls back to the Fast
+//               scalar code, making Simd a safe default everywhere.
 //
 // Each executor owns one KernelBackend. Its ScratchArena is a grow-only
 // pool of typed blocks reused across every op the executor runs, so
@@ -31,7 +40,11 @@
 
 namespace qmcu::nn::ops {
 
-enum class KernelTier { Reference, Fast };
+namespace simd {
+struct SimdKernels;
+}  // namespace simd
+
+enum class KernelTier { Reference, Fast, Simd };
 
 // Thread-affinity guard for the backend's shared mutable state (the scratch
 // arena, the lazily-filled weight-panel and AvgPool-table caches). None of
@@ -105,11 +118,15 @@ class KernelBackend {
   // frame — pack once. It requires the weight spans to stay alive and
   // unchanged for the backend's lifetime, which holds for executors (they
   // own both); pass false where that cannot be guaranteed.
-  explicit KernelBackend(KernelTier tier = KernelTier::Fast,
-                         bool cache_weight_panels = true)
-      : tier_(tier), cache_weight_panels_(cache_weight_panels) {}
+  explicit KernelBackend(KernelTier tier = KernelTier::Simd,
+                         bool cache_weight_panels = true);
 
   [[nodiscard]] KernelTier tier() const { return tier_; }
+  // The microkernel table the Simd tier resolved at construction: null for
+  // the other tiers and on hosts without a usable ISA (then Simd == Fast).
+  [[nodiscard]] const simd::SimdKernels* simd_kernels() const {
+    return simd_;
+  }
   [[nodiscard]] ScratchArena& arena() { return arena_; }
 
   // Hands the backend (scratch arena + panel/table caches) to the next
@@ -230,6 +247,7 @@ class KernelBackend {
   void guard() const { affinity_.check("KernelBackend"); }
 
   KernelTier tier_;
+  const simd::SimdKernels* simd_ = nullptr;  // resolved once at construction
   bool cache_weight_panels_;
   ScratchArena arena_;
   ThreadAffinity affinity_;

@@ -3,27 +3,42 @@
 #include <algorithm>
 
 #include "nn/ops/float_kernels.h"
+#include "nn/ops/simd/simd_kernels.h"
 
 namespace qmcu::nn::ops {
 
-void pack_weights_kmajor(std::span<const std::int8_t> b, int n, int k,
-                         std::int8_t* bt) {
-  for (int row = 0; row < n; ++row) {
-    const std::int8_t* src = b.data() + static_cast<std::size_t>(row) * k;
-    for (int kk = 0; kk < k; ++kk) {
-      bt[static_cast<std::size_t>(kk) * n + row] = src[kk];
+namespace {
+
+// Tile edge of the blocked transpose: 16 int8 is one destination row's
+// span per tile, 16 source rows fit L1 comfortably for both element types.
+constexpr int kPackTile = 16;
+
+template <typename T>
+void pack_kmajor_blocked(const T* b, int n, int k, T* bt) {
+  for (int r0 = 0; r0 < n; r0 += kPackTile) {
+    const int r1 = std::min(r0 + kPackTile, n);
+    for (int k0 = 0; k0 < k; k0 += kPackTile) {
+      const int k1 = std::min(k0 + kPackTile, k);
+      for (int row = r0; row < r1; ++row) {
+        const T* src = b + static_cast<std::size_t>(row) * k;
+        for (int kk = k0; kk < k1; ++kk) {
+          bt[static_cast<std::size_t>(kk) * n + row] = src[kk];
+        }
+      }
     }
   }
 }
 
+}  // namespace
+
+void pack_weights_kmajor(std::span<const std::int8_t> b, int n, int k,
+                         std::int8_t* bt) {
+  pack_kmajor_blocked(b.data(), n, k, bt);
+}
+
 void pack_weights_kmajor_f32(std::span<const float> b, int n, int k,
                              float* bt) {
-  for (int row = 0; row < n; ++row) {
-    const float* src = b.data() + static_cast<std::size_t>(row) * k;
-    for (int kk = 0; kk < k; ++kk) {
-      bt[static_cast<std::size_t>(kk) * n + row] = src[kk];
-    }
-  }
+  pack_kmajor_blocked(b.data(), n, k, bt);
 }
 
 void weight_column_sums(std::span<const std::int8_t> b, int n, int k,
@@ -150,13 +165,24 @@ void gemm_block_f32(const float* __restrict a, const float* __restrict bt,
 
 void gemm_int8_requant(const std::int8_t* a, const std::int8_t* bt, int m,
                        int n, int k, const GemmQuantPost& post,
-                       std::int32_t* acc, std::int8_t* c) {
+                       std::int32_t* acc, std::int8_t* c,
+                       const simd::SimdKernels* simd) {
+  const auto block = (simd != nullptr && simd->gemm_block_i8 != nullptr)
+                         ? simd->gemm_block_i8
+                         : &gemm_block_i8;
+  const auto requant_row =
+      (simd != nullptr) ? simd->requant_i32_row : nullptr;
   for (int m0 = 0; m0 < m; m0 += 4) {
     const int rows = std::min(4, m - m0);
-    gemm_block_i8(a + static_cast<std::size_t>(m0) * k, bt, rows, n, k, acc);
+    block(a + static_cast<std::size_t>(m0) * k, bt, rows, n, k, acc);
     for (int r = 0; r < rows; ++r) {
       const std::int32_t* row = acc + static_cast<std::size_t>(r) * n;
       std::int8_t* out = c + static_cast<std::size_t>(m0 + r) * n;
+      if (requant_row != nullptr) {
+        requant_row(row, post.offset, n, post.multiplier, post.output_zp,
+                    post.act_lo, post.act_hi, out);
+        continue;
+      }
       for (int j = 0; j < n; ++j) {
         const std::int32_t total = row[j] + post.offset[j];
         const std::int32_t q =

@@ -23,7 +23,15 @@
 
 namespace qmcu::nn::ops {
 
-// Repacks row-major B [n][k] into k-major Bt [k][n].
+namespace simd {
+struct SimdKernels;
+}  // namespace simd
+
+// Repacks row-major B [n][k] into k-major Bt [k][n]. The transpose walks
+// 16x16 tiles so both the source rows and the destination columns stay
+// within a cache line per tile instead of striding the whole panel
+// column-wise per source row; output bytes are identical to the naive
+// row-by-row transpose.
 void pack_weights_kmajor(std::span<const std::int8_t> b, int n, int k,
                          std::int8_t* bt);
 void pack_weights_kmajor_f32(std::span<const float> b, int n, int k,
@@ -43,10 +51,14 @@ struct GemmQuantPost {
 };
 
 // C[m][n] (row-major, stride n) = requant(A[m][:] · Bt[:][n] + offset[n]).
-// `acc` is caller-provided scratch of at least 4 * n int32.
+// `acc` is caller-provided scratch of at least 4 * n int32. When `simd` is
+// non-null, the accumulator block and the fused requantize epilogue run on
+// its microkernels (per-entry scalar fallback; results are bit-identical
+// either way — that is the Simd tier's contract).
 void gemm_int8_requant(const std::int8_t* a, const std::int8_t* bt, int m,
                        int n, int k, const GemmQuantPost& post,
-                       std::int32_t* acc, std::int8_t* c);
+                       std::int32_t* acc, std::int8_t* c,
+                       const simd::SimdKernels* simd = nullptr);
 
 // Float flavour: C[m][n] = act(A·Bt + bias[n]). Accumulation order over k is
 // ascending with one scalar accumulator per output, bit-identical to the

@@ -52,6 +52,9 @@ class ElementRequantizer {
   }
 
   [[nodiscard]] int left_shift() const { return left_shift_; }
+  // The post-shift Q31 multiplier — exposed so the Simd tier's vectorized
+  // slice requantizer reproduces apply() lane-for-lane.
+  [[nodiscard]] const FixedPointMultiplier& multiplier() const { return m_; }
 
  private:
   FixedPointMultiplier m_{};

@@ -1,0 +1,48 @@
+#include "nn/ops/simd/cpu_features.h"
+
+#include <cstdlib>
+
+namespace qmcu::nn::ops::simd {
+
+namespace {
+
+bool force_scalar() {
+  const char* v = std::getenv("QMCU_FORCE_SCALAR");
+  if (v == nullptr || v[0] == '\0') return false;
+  return !(v[0] == '0' && v[1] == '\0');
+}
+
+Isa detect() {
+  if (force_scalar()) return Isa::None;
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+  if (__builtin_cpu_supports("avx2")) return Isa::Avx2;
+#elif defined(__ARM_NEON) || defined(__ARM_NEON__)
+  // NEON is a baseline feature of every aarch64 core this builds for; the
+  // compile-time macro is the runtime truth.
+  return Isa::Neon;
+#endif
+  return Isa::None;
+}
+
+}  // namespace
+
+Isa detected_isa() {
+  static const Isa isa = detect();
+  return isa;
+}
+
+const char* isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::Avx2:
+      return "avx2";
+    case Isa::Neon:
+      return "neon";
+    case Isa::None:
+      break;
+  }
+  return "none";
+}
+
+bool available() { return detected_isa() != Isa::None; }
+
+}  // namespace qmcu::nn::ops::simd

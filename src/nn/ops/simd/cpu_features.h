@@ -1,0 +1,24 @@
+// cpu_features.h — runtime ISA detection for the Simd kernel tier.
+//
+// Detection runs once per process and is the single source of truth for
+// which microkernel table simd::kernels() hands out. The environment
+// variable QMCU_FORCE_SCALAR (any value other than "0" or empty) forces
+// Isa::None — the escape hatch the CI scalar matrix leg and the tier
+// parity tests use to run the Simd code paths on their scalar fallbacks.
+#pragma once
+
+namespace qmcu::nn::ops::simd {
+
+enum class Isa { None, Avx2, Neon };
+
+// The ISA the running CPU supports (cached after the first call; honors
+// QMCU_FORCE_SCALAR read at that first call).
+Isa detected_isa();
+
+// "none" / "avx2" / "neon" — what CI logs as the detected ISA.
+const char* isa_name(Isa isa);
+
+// True when detected_isa() selects a real microkernel table.
+bool available();
+
+}  // namespace qmcu::nn::ops::simd

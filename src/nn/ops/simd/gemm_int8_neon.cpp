@@ -1,0 +1,167 @@
+// gemm_int8_neon.cpp — NEON microkernels for the Simd tier.
+//
+// Compiled only where NEON exists (baseline on aarch64). The table ships
+// the exact integer MAC kernels (widening vmlal_s16 sums — int16 products
+// accumulated in int32, bit-identical to the scalar sums for any order)
+// and the sub-byte unpack; the fixed-point requantize epilogues are left
+// null so they run the scalar reference until the 64-bit rounding path can
+// be validated on real hardware (vqrdmulh rounds negative midpoints
+// differently from the scalar contract and must NOT be used).
+#include "nn/ops/simd/simd_kernels.h"
+
+#if defined(__ARM_NEON) || defined(__ARM_NEON__)
+
+#include <arm_neon.h>
+
+namespace qmcu::nn::ops::simd {
+
+namespace {
+
+template <int ROWS>
+void gemm_tile_16(const std::int8_t* a, const std::int8_t* bt, int n, int k,
+                  int j0, std::int32_t* acc) {
+  int32x4_t acc_v[ROWS][4];
+  for (int r = 0; r < ROWS; ++r) {
+    for (int q = 0; q < 4; ++q) acc_v[r][q] = vdupq_n_s32(0);
+  }
+  for (int kk = 0; kk < k; ++kk) {
+    const int8x16_t w8 = vld1q_s8(bt + static_cast<std::size_t>(kk) * n + j0);
+    const int16x8_t wlo = vmovl_s8(vget_low_s8(w8));
+    const int16x8_t whi = vmovl_s8(vget_high_s8(w8));
+    for (int r = 0; r < ROWS; ++r) {
+      const int16x4_t va =
+          vdup_n_s16(static_cast<std::int16_t>(a[static_cast<std::size_t>(r) * k + kk]));
+      acc_v[r][0] = vmlal_s16(acc_v[r][0], vget_low_s16(wlo), va);
+      acc_v[r][1] = vmlal_s16(acc_v[r][1], vget_high_s16(wlo), va);
+      acc_v[r][2] = vmlal_s16(acc_v[r][2], vget_low_s16(whi), va);
+      acc_v[r][3] = vmlal_s16(acc_v[r][3], vget_high_s16(whi), va);
+    }
+  }
+  for (int r = 0; r < ROWS; ++r) {
+    std::int32_t* out = acc + static_cast<std::size_t>(r) * n + j0;
+    for (int q = 0; q < 4; ++q) vst1q_s32(out + 4 * q, acc_v[r][q]);
+  }
+}
+
+void gemm_block_i8_neon(const std::int8_t* a, const std::int8_t* bt, int rows,
+                        int n, int k, std::int32_t* acc) {
+  int j0 = 0;
+  for (; j0 + 16 <= n; j0 += 16) {
+    switch (rows) {
+      case 4:
+        gemm_tile_16<4>(a, bt, n, k, j0, acc);
+        break;
+      case 3:
+        gemm_tile_16<3>(a, bt, n, k, j0, acc);
+        break;
+      case 2:
+        gemm_tile_16<2>(a, bt, n, k, j0, acc);
+        break;
+      default:
+        gemm_tile_16<1>(a, bt, n, k, j0, acc);
+        break;
+    }
+  }
+  for (int r = 0; r < rows; ++r) {
+    const std::int8_t* ar = a + static_cast<std::size_t>(r) * k;
+    for (int j = j0; j < n; ++j) {
+      const std::int8_t* bp = bt + j;
+      std::int32_t s = 0;
+      for (int kk = 0; kk < k; ++kk) {
+        s += static_cast<std::int32_t>(ar[kk]) *
+             bp[static_cast<std::size_t>(kk) * n];
+      }
+      acc[static_cast<std::size_t>(r) * n + j] = s;
+    }
+  }
+}
+
+void dw_accumulate_neon(const std::int8_t* x, const std::int8_t* w, int c,
+                        std::int32_t zp, std::int32_t* acc) {
+  int i = 0;
+  // (x - zp) must fit int16 for the widening MAC; activation zero points
+  // live in the int8 range, but guard anyway so the contract is total.
+  if (zp >= -32000 && zp <= 32000) {
+    const int16x8_t zpv = vdupq_n_s16(static_cast<std::int16_t>(zp));
+    for (; i + 8 <= c; i += 8) {
+      const int16x8_t xv = vsubq_s16(vmovl_s8(vld1_s8(x + i)), zpv);
+      const int16x8_t wv = vmovl_s8(vld1_s8(w + i));
+      int32x4_t a0 = vld1q_s32(acc + i);
+      int32x4_t a1 = vld1q_s32(acc + i + 4);
+      a0 = vmlal_s16(a0, vget_low_s16(xv), vget_low_s16(wv));
+      a1 = vmlal_s16(a1, vget_high_s16(xv), vget_high_s16(wv));
+      vst1q_s32(acc + i, a0);
+      vst1q_s32(acc + i + 4, a1);
+    }
+  }
+  for (; i < c; ++i) {
+    acc[i] += (static_cast<std::int32_t>(x[i]) - zp) * w[i];
+  }
+}
+
+std::int64_t unpack_body_neon(const std::uint8_t* bytes, std::int64_t nbytes,
+                              int bits, std::int8_t* dst) {
+  std::int64_t consumed = 0;
+  if (bits == 4) {
+    const uint8x16_t mask = vdupq_n_u8(0x0F);
+    const int8x16_t sign = vdupq_n_s8(0x08);
+    for (; consumed + 16 <= nbytes; consumed += 16) {
+      const uint8x16_t b = vld1q_u8(bytes + consumed);
+      const uint8x16_t lo = vandq_u8(b, mask);
+      const uint8x16_t hi = vshrq_n_u8(b, 4);
+      const uint8x16x2_t e = vzipq_u8(lo, hi);  // field 0 = low nibble
+      for (int half = 0; half < 2; ++half) {
+        int8x16_t v = vreinterpretq_s8_u8(e.val[half]);
+        v = vsubq_s8(veorq_s8(v, sign), sign);
+        vst1q_s8(dst, v);
+        dst += 16;
+      }
+    }
+    return consumed;
+  }
+  if (bits == 2) {
+    const uint8x16_t mask = vdupq_n_u8(0x03);
+    const int8x16_t sign = vdupq_n_s8(0x02);
+    for (; consumed + 16 <= nbytes; consumed += 16) {
+      const uint8x16_t b = vld1q_u8(bytes + consumed);
+      const uint8x16_t v0 = vandq_u8(b, mask);
+      const uint8x16_t v1 = vandq_u8(vshrq_n_u8(b, 2), mask);
+      const uint8x16_t v2 = vandq_u8(vshrq_n_u8(b, 4), mask);
+      const uint8x16_t v3 = vshrq_n_u8(b, 6);
+      const uint8x16x2_t t01 = vzipq_u8(v0, v1);
+      const uint8x16x2_t t23 = vzipq_u8(v2, v3);
+      for (int half = 0; half < 2; ++half) {
+        const uint16x8x2_t e =
+            vzipq_u16(vreinterpretq_u16_u8(t01.val[half]),
+                      vreinterpretq_u16_u8(t23.val[half]));
+        for (int quarter = 0; quarter < 2; ++quarter) {
+          int8x16_t v = vreinterpretq_s8_u16(e.val[quarter]);
+          v = vsubq_s8(veorq_s8(v, sign), sign);
+          vst1q_s8(dst, v);
+          dst += 16;
+        }
+      }
+    }
+    return consumed;
+  }
+  return 0;
+}
+
+const SimdKernels kNeon = {
+    "neon",    &gemm_block_i8_neon, nullptr,
+    &dw_accumulate_neon, nullptr,       &unpack_body_neon,
+};
+
+}  // namespace
+
+const SimdKernels* neon_kernels() { return &kNeon; }
+
+}  // namespace qmcu::nn::ops::simd
+
+#else  // no NEON
+
+namespace qmcu::nn::ops::simd {
+const SimdKernels* neon_kernels() { return nullptr; }
+}  // namespace qmcu::nn::ops::simd
+
+#endif

@@ -1,0 +1,22 @@
+#include "nn/ops/simd/simd_kernels.h"
+
+#include "nn/ops/simd/cpu_features.h"
+
+namespace qmcu::nn::ops::simd {
+
+const SimdKernels* kernels() {
+  static const SimdKernels* table = []() -> const SimdKernels* {
+    switch (detected_isa()) {
+      case Isa::Avx2:
+        return avx2_kernels();
+      case Isa::Neon:
+        return neon_kernels();
+      case Isa::None:
+        break;
+    }
+    return nullptr;
+  }();
+  return table;
+}
+
+}  // namespace qmcu::nn::ops::simd

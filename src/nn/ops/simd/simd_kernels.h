@@ -1,0 +1,81 @@
+// simd_kernels.h — the microkernel table behind KernelTier::Simd.
+//
+// Each entry is one of the four hot inner loops of the integer runtime,
+// with the *same arithmetic contract as the scalar code it replaces* —
+// integer arithmetic is exact, so every function here must be bit-identical
+// to its scalar twin for all inputs, not merely close:
+//
+//   gemm_block_i8   — the 4 x n int8 GEMM accumulator block of
+//                     gemm_int8.cpp (k-major packed panel, raw x·w sums;
+//                     reordering the k sum is fine, the result is exact).
+//   requant_i32_row — the fused GEMM/depthwise epilogue: per-lane
+//                     acc (+ offset) -> Q31 fixed-point multiply ->
+//                     trunc-division rounding -> rounding shift -> zero
+//                     point -> clamp -> int8, exactly apply_multiplier's
+//                     rounding sequence.
+//   dw_accumulate   — the depthwise channel MAC: acc[i] += (x[i]-zp)*w[i].
+//   requant_i8_row  — the ElementRequantizer slice loop of requantize_q:
+//                     (src-zp) << left_shift -> fixed-point rescale -> zp
+//                     -> clamp.
+//   unpack_body     — the whole-byte body of quant::unpack_into for 2/4-bit
+//                     packed activations (little-endian fields, sign
+//                     extension), feeding the fused sub-byte im2col path.
+//
+// A table may leave entries null (the NEON table ships only the exact
+// integer MAC kernels and unpack; its requantize epilogues fall back to
+// scalar until they can be validated on hardware). Callers must check each
+// pointer, falling back to the scalar implementation — which is also what
+// the whole table being null (no usable ISA, or QMCU_FORCE_SCALAR) means.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/ops/requantize.h"
+
+namespace qmcu::nn::ops::simd {
+
+struct SimdKernels {
+  const char* name = "none";
+
+  // acc[r*n + j] = sum_k a[r*k + kk] * bt[kk*n + j], rows in 1..4. Writes
+  // (not accumulates into) rows*n int32 lanes of acc.
+  void (*gemm_block_i8)(const std::int8_t* a, const std::int8_t* bt, int rows,
+                        int n, int k, std::int32_t* acc) = nullptr;
+
+  // out[j] = clamp(apply_multiplier(acc[j] + (offset ? offset[j] : 0), m)
+  //               + out_zp, lo, hi) as int8. `offset` may be null.
+  void (*requant_i32_row)(const std::int32_t* acc, const std::int32_t* offset,
+                          int n, FixedPointMultiplier m, std::int32_t out_zp,
+                          std::int32_t lo, std::int32_t hi,
+                          std::int8_t* out) = nullptr;
+
+  // acc[i] += (x[i] - zp) * w[i] for i in [0, c).
+  void (*dw_accumulate)(const std::int8_t* x, const std::int8_t* w, int c,
+                        std::int32_t zp, std::int32_t* acc) = nullptr;
+
+  // dst[i] = clamp(apply_multiplier((src[i] - in_zp) << left_shift, m)
+  //               + out_zp, lo, hi) for i in [0, n).
+  void (*requant_i8_row)(const std::int8_t* src, std::int64_t n,
+                         std::int32_t in_zp, int left_shift,
+                         FixedPointMultiplier m, std::int32_t out_zp,
+                         std::int32_t lo, std::int32_t hi,
+                         std::int8_t* dst) = nullptr;
+
+  // Expands a prefix of `nbytes` whole packed bytes (bits = 2 or 4,
+  // quant/bitpack.h little-endian field order, two's-complement sign
+  // extension) into 8/bits int8 lanes per byte of `dst`. Returns the number
+  // of BYTES consumed (a multiple of its vector width; may be 0). The
+  // caller finishes the remainder with the scalar loop.
+  std::int64_t (*unpack_body)(const std::uint8_t* bytes, std::int64_t nbytes,
+                              int bits, std::int8_t* dst) = nullptr;
+};
+
+// The table for detected_isa(), or nullptr when scalar (Isa::None).
+const SimdKernels* kernels();
+
+// Per-ISA tables (null when this binary was not built for that ISA).
+// Exposed for the dispatcher and for tests that pin a table directly.
+const SimdKernels* avx2_kernels();
+const SimdKernels* neon_kernels();
+
+}  // namespace qmcu::nn::ops::simd

@@ -117,7 +117,7 @@ std::vector<std::vector<std::vector<std::int32_t>>> build_branch_bias(
 class CompiledPatchModel {
  public:
   CompiledPatchModel(const nn::Graph& g, PatchPlan plan,
-                     nn::ops::KernelTier tier = nn::ops::KernelTier::Fast);
+                     nn::ops::KernelTier tier = nn::ops::KernelTier::Simd);
 
   [[nodiscard]] nn::Tensor run(const nn::Tensor& input) const;
   // Pipelined dataflow run: stage-1 branch tasks and tail row-band tasks
@@ -145,6 +145,11 @@ class CompiledPatchModel {
   // The row-banded tail prefix of the pipelined graph (compile-time).
   [[nodiscard]] std::span<const PipelinedTailLayer> pipelined_tail() const {
     return pipeline_;
+  }
+  // How many pipelined TaskGraph skeletons are cached (one per distinct
+  // worker count seen) — repeated runs at the same width must not grow it.
+  [[nodiscard]] std::size_t cached_pipeline_graphs() const {
+    return pipeline_graphs_.size();
   }
   // Serving integration: when set, run arenas are leased from `slab` for
   // the duration of each run instead of a model-owned buffer, so many
@@ -257,7 +262,7 @@ class CompiledPatchQuantModel {
   CompiledPatchQuantModel(
       const nn::Graph& g, PatchPlan plan, nn::ActivationQuantConfig cfg,
       std::vector<BranchQuantConfig> branch_cfgs = {},
-      nn::ops::KernelTier tier = nn::ops::KernelTier::Fast,
+      nn::ops::KernelTier tier = nn::ops::KernelTier::Simd,
       std::shared_ptr<const nn::QuantizedParameters> params = {});
 
   [[nodiscard]] nn::QTensor run(const nn::Tensor& input) const;
@@ -276,6 +281,11 @@ class CompiledPatchQuantModel {
       int num_workers) const;
   [[nodiscard]] std::span<const PipelinedTailLayer> pipelined_tail() const {
     return pipeline_;
+  }
+  // Cached pipelined graph skeletons, one per worker count seen (see
+  // CompiledPatchModel::cached_pipeline_graphs).
+  [[nodiscard]] std::size_t cached_pipeline_graphs() const {
+    return pipeline_graphs_.size();
   }
   void set_arena_source(std::shared_ptr<nn::ArenaSlab> slab) {
     arena_source_ = std::move(slab);

@@ -42,7 +42,7 @@ class PatchExecutor {
   using StepHook = std::function<void(int, int, nn::Tensor&)>;
 
   PatchExecutor(const nn::Graph& g, PatchPlan plan,
-                nn::ops::KernelTier tier = nn::ops::KernelTier::Fast);
+                nn::ops::KernelTier tier = nn::ops::KernelTier::Simd);
 
   // Stage feature maps per branch: result[b][s] corresponds to
   // plan().branches[b].steps[s].

@@ -34,7 +34,7 @@ class PatchQuantExecutor {
   // Uniform mode: stage steps inherit the per-layer params of `cfg`.
   PatchQuantExecutor(
       const nn::Graph& g, PatchPlan plan, nn::ActivationQuantConfig cfg,
-      nn::ops::KernelTier tier = nn::ops::KernelTier::Fast,
+      nn::ops::KernelTier tier = nn::ops::KernelTier::Simd,
       std::shared_ptr<const nn::QuantizedParameters> params = {});
 
   // Mixed mode: `branch_cfgs[b].per_step[s]` overrides the params of
@@ -43,7 +43,7 @@ class PatchQuantExecutor {
   PatchQuantExecutor(
       const nn::Graph& g, PatchPlan plan, nn::ActivationQuantConfig cfg,
       std::vector<BranchQuantConfig> branch_cfgs,
-      nn::ops::KernelTier tier = nn::ops::KernelTier::Fast,
+      nn::ops::KernelTier tier = nn::ops::KernelTier::Simd,
       std::shared_ptr<const nn::QuantizedParameters> params = {});
 
   // Compiled arena path (bit-identical to the legacy per-step-tensor path).

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "nn/ops/simd/simd_kernels.h"
+
 namespace qmcu::quant {
 
 namespace {
@@ -51,7 +53,8 @@ std::vector<std::int8_t> unpack(std::span<const std::uint8_t> packed,
 }
 
 void unpack_into(std::span<const std::uint8_t> packed, std::int64_t first,
-                 std::int64_t count, int bits, std::int8_t* dst) {
+                 std::int64_t count, int bits, std::int8_t* dst,
+                 const nn::ops::simd::SimdKernels* simd) {
   check_bits(bits);
   QMCU_REQUIRE(first >= 0 && count >= 0, "element range must be non-negative");
   QMCU_REQUIRE(packed_size_bytes(first + count, bits) <=
@@ -76,6 +79,18 @@ void unpack_into(std::span<const std::uint8_t> packed, std::int64_t first,
     ++i;
   }
   // Body: whole bytes, all fields expanded without per-field index math.
+  // The caller-provided vector expander (the Simd tier's AVX2/NEON table;
+  // same field order and sign extension, bit-identical) takes as many
+  // whole bytes as its width allows; the scalar loop finishes the rest.
+  if (simd != nullptr && simd->unpack_body != nullptr &&
+      end - i >= per_byte) {
+    const std::int64_t whole = (end - i) / per_byte;
+    const std::int64_t bytes_done = simd->unpack_body(
+        packed.data() + static_cast<std::size_t>(i / per_byte), whole, bits,
+        dst);
+    dst += bytes_done * per_byte;
+    i += bytes_done * per_byte;
+  }
   while (end - i >= per_byte) {
     std::uint8_t byte = packed[static_cast<std::size_t>(i / per_byte)];
     for (int f = 0; f < per_byte; ++f) {

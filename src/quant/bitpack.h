@@ -14,6 +14,10 @@
 
 #include "nn/check.h"
 
+namespace qmcu::nn::ops::simd {
+struct SimdKernels;
+}  // namespace qmcu::nn::ops::simd
+
 namespace qmcu::quant {
 
 // Number of bytes needed to pack `count` elements at `bits` per element.
@@ -30,7 +34,11 @@ std::vector<std::int8_t> unpack(std::span<const std::uint8_t> packed,
 // `dst` (which must hold `count` int8 lanes). This is the fused
 // sub-byte→GEMM path: the im2col packer expands 2/4-bit rows straight into
 // its scratch buffer instead of materializing a full unpacked tensor.
+// `simd` (the Simd kernel tier's table; null = scalar) runs the whole-byte
+// body on its vector expander — bit-identical either way, so the caller's
+// tier choice, not a global, decides which code executes.
 void unpack_into(std::span<const std::uint8_t> packed, std::int64_t first,
-                 std::int64_t count, int bits, std::int8_t* dst);
+                 std::int64_t count, int bits, std::int8_t* dst,
+                 const nn::ops::simd::SimdKernels* simd = nullptr);
 
 }  // namespace qmcu::quant

@@ -1,12 +1,19 @@
-// Reference-vs-Fast kernel backend parity: the Fast tier (im2col + tiled
-// GEMM, interior/border split kernels, fused sub-byte unpack) must be
-// bit-identical to the Reference loop nests over randomized geometries,
-// activations, and 2/4/8-bit weight/activation ranges. Integer arithmetic
-// makes this an exact contract, not a tolerance; the float fast conv
-// preserves the reference accumulation order, so it is exact too.
+// Kernel backend tier parity: the Fast tier (im2col + tiled GEMM,
+// interior/border split kernels, fused sub-byte unpack) and the Simd tier
+// (the same structure over the runtime-dispatched AVX2/NEON microkernels)
+// must be bit-identical to the Reference loop nests over randomized
+// geometries, activations, and 2/4/8-bit weight/activation ranges. Integer
+// arithmetic makes this an exact contract, not a tolerance; the float fast
+// conv preserves the reference accumulation order, so it is exact too. On
+// hosts without a usable ISA (or under QMCU_FORCE_SCALAR) the Simd tier
+// runs its scalar fallbacks, so these suites stay meaningful everywhere.
 #include <gtest/gtest.h>
 
 #include <vector>
+
+#include "nn/ops/gemm_int8.h"
+#include "nn/ops/simd/cpu_features.h"
+#include "nn/ops/simd/simd_kernels.h"
 
 #include "core/quantmcu.h"
 #include "data/synthetic.h"
@@ -106,6 +113,9 @@ void expect_q_identical(const QTensor& a, const QTensor& b,
   }
 }
 
+// The non-reference tiers every suite below checks against Reference.
+constexpr KernelTier kFastTiers[] = {KernelTier::Fast, KernelTier::Simd};
+
 TEST(KernelParity, Conv2dRandomizedBitExact) {
   nn::Rng rng(101);
   const int bit_options[] = {2, 4, 8};
@@ -114,12 +124,15 @@ TEST(KernelParity, Conv2dRandomizedBitExact) {
     const int ab = bit_options[(trial / 3) % 3];
     const RandomCase c = random_case(rng, OpKind::Conv2D, wb, ab);
     KernelBackend ref(KernelTier::Reference);
-    KernelBackend fast(KernelTier::Fast);
     const QTensor a = ref.conv2d(c.qin, c.layer, c.qweights, c.wparams,
                                  c.qbias, c.out_params);
-    const QTensor b = fast.conv2d(c.qin, c.layer, c.qweights, c.wparams,
-                                  c.qbias, c.out_params);
-    expect_q_identical(a, b, "conv2d");
+    for (const KernelTier tier : kFastTiers) {
+      KernelBackend fast(tier);
+      const QTensor b = fast.conv2d(c.qin, c.layer, c.qweights, c.wparams,
+                                    c.qbias, c.out_params);
+      expect_q_identical(a, b, tier == KernelTier::Simd ? "conv2d-simd"
+                                                        : "conv2d-fast");
+    }
   }
 }
 
@@ -131,13 +144,16 @@ TEST(KernelParity, DepthwiseRandomizedBitExact) {
                                      bit_options[trial % 3],
                                      bit_options[(trial / 3) % 3]);
     KernelBackend ref(KernelTier::Reference);
-    KernelBackend fast(KernelTier::Fast);
-    expect_q_identical(
-        ref.depthwise_conv2d(c.qin, c.layer, c.qweights, c.wparams, c.qbias,
-                             c.out_params),
-        fast.depthwise_conv2d(c.qin, c.layer, c.qweights, c.wparams, c.qbias,
-                              c.out_params),
-        "depthwise");
+    const QTensor a = ref.depthwise_conv2d(c.qin, c.layer, c.qweights,
+                                           c.wparams, c.qbias, c.out_params);
+    for (const KernelTier tier : kFastTiers) {
+      KernelBackend fast(tier);
+      expect_q_identical(
+          a,
+          fast.depthwise_conv2d(c.qin, c.layer, c.qweights, c.wparams,
+                                c.qbias, c.out_params),
+          tier == KernelTier::Simd ? "depthwise-simd" : "depthwise-fast");
+    }
   }
 }
 
@@ -165,10 +181,12 @@ TEST(KernelParity, FullyConnectedRandomizedBitExact) {
       b = static_cast<std::int32_t>(rng.uniform(-3000, 3000));
     }
     KernelBackend ref(KernelTier::Reference);
-    KernelBackend fast(KernelTier::Fast);
-    expect_q_identical(ref.fully_connected(qin, l, w, wp, bias, out_p),
-                       fast.fully_connected(qin, l, w, wp, bias, out_p),
-                       "fc");
+    const QTensor a = ref.fully_connected(qin, l, w, wp, bias, out_p);
+    for (const KernelTier tier : kFastTiers) {
+      KernelBackend fast(tier);
+      expect_q_identical(a, fast.fully_connected(qin, l, w, wp, bias, out_p),
+                         "fc");
+    }
   }
 }
 
@@ -177,13 +195,15 @@ TEST(KernelParity, PoolsRandomizedBitExact) {
   for (int trial = 0; trial < 30; ++trial) {
     const RandomCase c = random_case(rng, OpKind::MaxPool, 8, 8);
     KernelBackend ref(KernelTier::Reference);
-    KernelBackend fast(KernelTier::Fast);
-    expect_q_identical(ref.max_pool(c.qin, c.layer),
-                       fast.max_pool(c.qin, c.layer), "max_pool");
-    expect_q_identical(ref.avg_pool(c.qin, c.layer),
-                       fast.avg_pool(c.qin, c.layer), "avg_pool");
-    expect_q_identical(ref.global_avg_pool(c.qin),
-                       fast.global_avg_pool(c.qin), "global_avg_pool");
+    for (const KernelTier tier : kFastTiers) {
+      KernelBackend fast(tier);
+      expect_q_identical(ref.max_pool(c.qin, c.layer),
+                         fast.max_pool(c.qin, c.layer), "max_pool");
+      expect_q_identical(ref.avg_pool(c.qin, c.layer),
+                         fast.avg_pool(c.qin, c.layer), "avg_pool");
+      expect_q_identical(ref.global_avg_pool(c.qin),
+                         fast.global_avg_pool(c.qin), "global_avg_pool");
+    }
   }
 }
 
@@ -197,7 +217,6 @@ TEST(KernelParity, PackedConvMatchesUnpacked) {
     const std::vector<std::uint8_t> packed = quant::pack(c.qin.data(), bits);
 
     KernelBackend ref(KernelTier::Reference);
-    KernelBackend fast(KernelTier::Fast);
     const QTensor base = ref.conv2d(c.qin, c.layer, c.qweights, c.wparams,
                                     c.qbias, c.out_params);
     expect_q_identical(
@@ -205,11 +224,127 @@ TEST(KernelParity, PackedConvMatchesUnpacked) {
         ref.conv2d_packed(packed, c.in_shape, c.in_params, c.layer,
                           c.qweights, c.wparams, c.qbias, c.out_params),
         "packed-ref");
-    expect_q_identical(
-        base,
-        fast.conv2d_packed(packed, c.in_shape, c.in_params, c.layer,
-                           c.qweights, c.wparams, c.qbias, c.out_params),
-        "packed-fast");
+    for (const KernelTier tier : kFastTiers) {
+      KernelBackend fast(tier);
+      expect_q_identical(
+          base,
+          fast.conv2d_packed(packed, c.in_shape, c.in_params, c.layer,
+                             c.qweights, c.wparams, c.qbias, c.out_params),
+          tier == KernelTier::Simd ? "packed-simd" : "packed-fast");
+    }
+  }
+}
+
+// The Simd slice requantizer (ElementRequantizer row kernel) must round
+// exactly like the scalar loop across scale ratios above and below 1,
+// shifted zero points, and sub-byte targets.
+TEST(KernelParity, RequantizeRandomizedBitExact) {
+  nn::Rng rng(808);
+  const int bit_options[] = {2, 4, 8};
+  for (int trial = 0; trial < 60; ++trial) {
+    const int h = 1 + static_cast<int>(rng.uniform(0, 12));
+    const int w = 1 + static_cast<int>(rng.uniform(0, 12));
+    const int ch = 1 + static_cast<int>(rng.uniform(0, 33));
+    const QuantParams in_p{
+        static_cast<float>(rng.uniform(0.01, 0.2)),
+        static_cast<std::int32_t>(rng.uniform(-20, 20)),
+        bit_options[trial % 3]};
+    const QuantParams out_p{
+        static_cast<float>(rng.uniform(0.01, 0.2)),
+        static_cast<std::int32_t>(rng.uniform(-20, 20)),
+        bit_options[(trial / 3) % 3]};
+    QTensor qin(TensorShape{h, w, ch}, in_p);
+    for (std::int8_t& v : qin.data()) {
+      v = static_cast<std::int8_t>(
+          rng.uniform(in_p.qmin(), in_p.qmax() + 1));
+    }
+    KernelBackend ref(KernelTier::Reference);
+    const QTensor a = ref.requantize(qin, out_p);
+    for (const KernelTier tier : kFastTiers) {
+      KernelBackend fast(tier);
+      expect_q_identical(a, fast.requantize(qin, out_p),
+                         tier == KernelTier::Simd ? "requantize-simd"
+                                                  : "requantize-fast");
+    }
+  }
+}
+
+// The Simd unpack body (AVX2/NEON whole-byte expander) and the scalar loop
+// against a straight per-field decode of the bitpack wire format, over
+// randomized [first, first + count) windows so the head/vector-body/tail
+// splits all get exercised. The table is passed explicitly — the caller's
+// tier decides which body runs, never a global.
+TEST(KernelParity, UnpackIntoMatchesFieldDecode) {
+  nn::Rng rng(909);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int bits = trial % 2 == 0 ? 4 : 2;
+    const int per_byte = 8 / bits;
+    const std::int64_t total = 64 + static_cast<std::int64_t>(
+                                        rng.uniform(0, 2000));
+    std::vector<std::int8_t> values(static_cast<std::size_t>(total));
+    const int lo = -(1 << (bits - 1));
+    const int hi = (1 << (bits - 1)) - 1;
+    for (auto& v : values) {
+      v = static_cast<std::int8_t>(rng.uniform(lo, hi + 1));
+    }
+    const std::vector<std::uint8_t> packed = quant::pack(values, bits);
+
+    const std::int64_t first = static_cast<std::int64_t>(
+        rng.uniform(0, static_cast<double>(total)));
+    const std::int64_t count = static_cast<std::int64_t>(
+        rng.uniform(0, static_cast<double>(total - first + 1)));
+    for (const simd::SimdKernels* table :
+         {static_cast<const simd::SimdKernels*>(nullptr), simd::kernels()}) {
+      std::vector<std::int8_t> got(static_cast<std::size_t>(count), 99);
+      quant::unpack_into(packed, first, count, bits, got.data(), table);
+      for (std::int64_t i = 0; i < count; ++i) {
+        // Independent field decode straight off the wire bytes.
+        const std::int64_t e = first + i;
+        const std::uint8_t byte =
+            packed[static_cast<std::size_t>(e / per_byte)];
+        std::uint8_t raw = static_cast<std::uint8_t>(
+            (byte >> (static_cast<int>(e % per_byte) * bits)) &
+            ((1u << bits) - 1));
+        if (raw & (1u << (bits - 1))) {
+          raw = static_cast<std::uint8_t>(raw | ~((1u << bits) - 1));
+        }
+        ASSERT_EQ(static_cast<int>(got[static_cast<std::size_t>(i)]),
+                  static_cast<int>(static_cast<std::int8_t>(raw)))
+            << "bits " << bits << " element " << i << " table "
+            << (table != nullptr ? table->name : "scalar") << " (isa "
+            << simd::isa_name(simd::detected_isa()) << ")";
+      }
+    }
+  }
+}
+
+// The cache-blocked k-major transpose must produce byte-identical panels
+// (and f32 panels) to the naive row-by-row transpose, including ragged
+// edges where n or k is not a multiple of the 16-wide tile.
+TEST(KernelParity, BlockedWeightPackIdenticalPanels) {
+  nn::Rng rng(1010);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = 1 + static_cast<int>(rng.uniform(0, 70));
+    const int k = 1 + static_cast<int>(rng.uniform(0, 70));
+    std::vector<std::int8_t> b(static_cast<std::size_t>(n) * k);
+    for (auto& v : b) v = static_cast<std::int8_t>(rng.uniform(-128, 128));
+    std::vector<float> bf(b.size());
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      bf[i] = static_cast<float>(rng.normal(0.0, 1.0));
+    }
+
+    std::vector<std::int8_t> bt(b.size(), 0);
+    pack_weights_kmajor(b, n, k, bt.data());
+    std::vector<float> btf(b.size(), 0.0f);
+    pack_weights_kmajor_f32(bf, n, k, btf.data());
+    for (int row = 0; row < n; ++row) {
+      for (int kk = 0; kk < k; ++kk) {
+        const std::size_t dst = static_cast<std::size_t>(kk) * n + row;
+        const std::size_t src = static_cast<std::size_t>(row) * k + kk;
+        ASSERT_EQ(bt[dst], b[src]) << "n=" << n << " k=" << k;
+        ASSERT_EQ(btf[dst], bf[src]) << "n=" << n << " k=" << k;
+      }
+    }
   }
 }
 
@@ -302,8 +437,11 @@ TEST(BackendRegression, QuantExecutorTierInvariant) {
   const auto cfg = quant::make_quant_config(g, ranges, nn::uniform_bits(g, 8));
   const nn::QuantExecutor ref(g, cfg, nn::ops::KernelTier::Reference);
   const nn::QuantExecutor fast(g, cfg, nn::ops::KernelTier::Fast);
+  const nn::QuantExecutor simd(g, cfg, nn::ops::KernelTier::Simd);
   const nn::Tensor in = random_input(g.shape(0), 22);
-  expect_q_identical(ref.run(in), fast.run(in));
+  const nn::QTensor want = ref.run(in);
+  expect_q_identical(want, fast.run(in));
+  expect_q_identical(want, simd.run(in));
 }
 
 TEST(BackendRegression, PatchQuantExecutorMixedModeTierInvariant) {
@@ -326,8 +464,12 @@ TEST(BackendRegression, PatchQuantExecutorMixedModeTierInvariant) {
                                nn::ops::KernelTier::Reference);
   const PatchQuantExecutor fast(g, plan.patch_plan, deploy_cfg, branch_cfgs,
                                 nn::ops::KernelTier::Fast);
+  const PatchQuantExecutor simd(g, plan.patch_plan, deploy_cfg, branch_cfgs,
+                                nn::ops::KernelTier::Simd);
   const nn::Tensor in = ds.image(11);
-  expect_q_identical(ref.run(in), fast.run(in));
+  const nn::QTensor want = ref.run(in);
+  expect_q_identical(want, fast.run(in));
+  expect_q_identical(want, simd.run(in));
 }
 
 TEST(BackendRegression, PatchExecutorFloatTierInvariant) {
@@ -335,14 +477,16 @@ TEST(BackendRegression, PatchExecutorFloatTierInvariant) {
   const PatchSpec spec = plan_mcunetv2(g, {2, 4});
   const PatchExecutor ref(g, build_patch_plan(g, spec),
                           nn::ops::KernelTier::Reference);
-  const PatchExecutor fast(g, build_patch_plan(g, spec),
-                           nn::ops::KernelTier::Fast);
   const nn::Tensor in = random_input(g.shape(0), 23);
   const nn::Tensor a = ref.run(in);
-  const nn::Tensor b = fast.run(in);
-  ASSERT_EQ(a.shape(), b.shape());
-  for (std::size_t i = 0; i < a.data().size(); ++i) {
-    ASSERT_EQ(a.data()[i], b.data()[i]) << "element " << i;
+  for (const nn::ops::KernelTier tier :
+       {nn::ops::KernelTier::Fast, nn::ops::KernelTier::Simd}) {
+    const PatchExecutor fast(g, build_patch_plan(g, spec), tier);
+    const nn::Tensor b = fast.run(in);
+    ASSERT_EQ(a.shape(), b.shape());
+    for (std::size_t i = 0; i < a.data().size(); ++i) {
+      ASSERT_EQ(a.data()[i], b.data()[i]) << "element " << i;
+    }
   }
 }
 

@@ -324,6 +324,50 @@ TEST(PipelinedPatch, InterleavedModesReuseModelState) {
 
 // --- arena slab leasing ------------------------------------------------------
 
+// The pipelined TaskGraph skeleton is built once per worker count and
+// reused across runs: repeated runs must not grow the cache (no per-run
+// closure rebuilding) and must stay bit-identical to the first.
+TEST(PipelinedPatch, TaskGraphCachedPerWorkerCount) {
+  const nn::Graph g = models::make_model("mobilenetv2", small_cfg());
+  const auto ranges = quant::calibrate_ranges(
+      g, std::vector<nn::Tensor>{random_input(g.shape(0), 41)});
+  const auto cfg = quant::make_quant_config(g, ranges, nn::uniform_bits(g, 8));
+  const patch::PatchPlan plan =
+      patch::build_patch_plan(g, patch::plan_mcunetv2(g, {2, 2}));
+
+  const patch::CompiledPatchModel fmodel(g, plan);
+  const patch::CompiledPatchQuantModel qmodel(g, plan, cfg);
+  EXPECT_EQ(fmodel.cached_pipeline_graphs(), 0u);
+  EXPECT_EQ(qmodel.cached_pipeline_graphs(), 0u);
+
+  const nn::Tensor in = random_input(g.shape(0), 42);
+  nn::WorkerPool pool2(2);
+  const nn::Tensor fexpect = fmodel.run(in, &pool2);
+  const nn::QTensor qexpect = qmodel.run(in, &pool2);
+  EXPECT_EQ(fmodel.cached_pipeline_graphs(), 1u);
+  EXPECT_EQ(qmodel.cached_pipeline_graphs(), 1u);
+
+  for (int rep = 0; rep < 3; ++rep) {
+    expect_f_identical(fmodel.run(in, &pool2), fexpect);
+    expect_q_identical(qmodel.run(in, &pool2), qexpect);
+  }
+  // Same worker count -> same cached skeleton, no growth.
+  EXPECT_EQ(fmodel.cached_pipeline_graphs(), 1u);
+  EXPECT_EQ(qmodel.cached_pipeline_graphs(), 1u);
+
+  // A new worker count builds (and caches) a second skeleton; results stay
+  // bit-identical, and re-running at either width grows nothing further.
+  nn::WorkerPool pool4(4);
+  expect_f_identical(fmodel.run(in, &pool4), fexpect);
+  expect_q_identical(qmodel.run(in, &pool4), qexpect);
+  EXPECT_EQ(fmodel.cached_pipeline_graphs(), 2u);
+  EXPECT_EQ(qmodel.cached_pipeline_graphs(), 2u);
+  expect_f_identical(fmodel.run(in, &pool2), fexpect);
+  expect_q_identical(qmodel.run(in, &pool2), qexpect);
+  EXPECT_EQ(fmodel.cached_pipeline_graphs(), 2u);
+  EXPECT_EQ(qmodel.cached_pipeline_graphs(), 2u);
+}
+
 TEST(PipelinedPatch, ArenaSlabLeasesAcrossModelsAndModes) {
   const nn::Graph g = models::make_model("mobilenetv2", small_cfg());
   const auto ranges = quant::calibrate_ranges(

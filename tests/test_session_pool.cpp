@@ -266,6 +266,63 @@ TEST(SessionPool, SharedSlabCapsArenaMemoryAcrossPools) {
   EXPECT_EQ(slab->footprint_bytes(), reference.arena_bytes());
 }
 
+// Layer-based compiled models lease run arenas the same way the patch
+// models do: two pools over one slab (float + quant flavours of the same
+// graph), sequential traffic, and the slab holds max-sized blocks instead
+// of one arena per model — with outputs bit-identical to owned-arena runs.
+TEST(SessionPool, LayerBasedModelsLeaseFromSharedSlab) {
+  const nn::Graph g = models::make_model("mobilenetv2", small_cfg());
+  const auto ranges = quant::calibrate_ranges(
+      g, std::vector<nn::Tensor>{random_input(g.shape(0), 95)});
+  const auto cfg = quant::make_quant_config(g, ranges, nn::uniform_bits(g, 8));
+  const auto params = nn::QuantizedParameters::build_shared(g, cfg);
+  const nn::CompiledQuantModel qreference(g, cfg, nn::ops::KernelTier::Fast,
+                                          params);
+  const nn::CompiledModel freference(g);
+  const nn::Tensor in = random_input(g.shape(0), 96);
+  const nn::QTensor qexpect = qreference.run(in);
+  const nn::Tensor fexpect = freference.run(in);
+
+  auto slab = std::make_shared<nn::ArenaSlab>();
+  nn::SessionPool<nn::CompiledQuantModel> qpool(
+      2,
+      [&](const std::shared_ptr<nn::ArenaSlab>& s) {
+        auto model = std::make_unique<nn::CompiledQuantModel>(
+            g, cfg, nn::ops::KernelTier::Fast, params);
+        model->set_arena_source(s);
+        return model;
+      },
+      slab);
+  nn::SessionPool<nn::CompiledModel> fpool(
+      1,
+      [&](const std::shared_ptr<nn::ArenaSlab>& s) {
+        auto model = std::make_unique<nn::CompiledModel>(g);
+        model->set_arena_source(s);
+        return model;
+      },
+      slab);
+  EXPECT_EQ(qpool.slab(), slab);
+  EXPECT_EQ(fpool.slab(), slab);
+
+  for (int rep = 0; rep < 3; ++rep) {
+    expect_q_identical(qpool.run(in), qexpect);
+    const nn::Tensor fout = fpool.run(in);
+    ASSERT_EQ(fout.shape(), fexpect.shape());
+    for (std::size_t i = 0; i < fexpect.data().size(); ++i) {
+      ASSERT_EQ(fout.data()[i], fexpect.data()[i]);
+    }
+  }
+  // Every lease returned, and sequential traffic never held more than one
+  // block per concurrently-running request.
+  EXPECT_EQ(slab->outstanding_leases(), 0);
+  EXPECT_EQ(slab->high_water_bytes(),
+            std::max(qreference.arena_bytes(), freference.arena_bytes()));
+  // The two block sizes bound the footprint by max + smaller-model block,
+  // strictly below the three-model sum an unshared fleet would hold.
+  EXPECT_LE(slab->footprint_bytes(),
+            qreference.arena_bytes() + freference.arena_bytes());
+}
+
 TEST(InferenceSession, CountsRequests) {
   const nn::Graph g = models::make_model("mobilenetv2", small_cfg());
   nn::InferenceSession<nn::CompiledModel> session(

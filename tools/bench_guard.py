@@ -35,8 +35,17 @@ def load_benchmarks(path):
         # Prefer real_time (what UseRealTime sweeps report), normalised to
         # nanoseconds via the entry's time_unit.
         unit = _NS_PER_UNIT[bm.get("time_unit", "ns")]
-        out[bm["name"]] = float(bm.get("real_time", bm.get("cpu_time"))) * unit
+        out[bm["name"]] = {
+            "time": float(bm.get("real_time", bm.get("cpu_time"))) * unit,
+            # Simd-tier benches report whether a real ISA ran (1) or the
+            # scalar fallback (0); absent means not a Simd entry.
+            "simd_active": bm.get("simd_active"),
+        }
     return out
+
+
+def simd_entry(name):
+    return "Simd" in name
 
 
 def main():
@@ -45,7 +54,8 @@ def main():
     parser.add_argument("--current", required=True)
     parser.add_argument(
         "--guard",
-        default=r"^BM_(RepeatedPatchRun|ParallelPatchRun|PipelinedPatchRun)\b",
+        default=r"^BM_(RepeatedPatchRun|ParallelPatchRun|PipelinedPatchRun"
+                r"|Conv2dInt8Simd)\b",
         help="regex of benchmark names that must not regress",
     )
     parser.add_argument(
@@ -68,7 +78,7 @@ def main():
         print(f"bench_guard: calibration benchmark '{args.calibrate}' "
               "missing from baseline or current run", file=sys.stderr)
         return 2
-    scale = current[args.calibrate] / baseline[args.calibrate]
+    scale = current[args.calibrate]["time"] / baseline[args.calibrate]["time"]
     print(f"bench_guard: machine scale {scale:.3f} "
           f"(current {args.calibrate} / baseline)")
 
@@ -80,17 +90,32 @@ def main():
         return 2
 
     failures = []
+    checked = 0
     for name in guarded:
+        # Simd-tier entries are only comparable when the host actually ran
+        # a vector ISA: a host without one (or a QMCU_FORCE_SCALAR run)
+        # reports the scalar fallback, which is not a regression. A Simd
+        # bench *missing* from the current run is still a hard failure —
+        # the bench runs (as fallback) on every host, so absence means the
+        # filter or the bench itself was dropped.
+        if simd_entry(name) and name in current and \
+                not current[name].get("simd_active"):
+            print(f"  skip  {name}: scalar fallback on this host "
+                  "(simd_active=0)")
+            continue
         if name not in current:
             failures.append(f"{name}: missing from the current run")
             continue
-        allowed = baseline[name] * scale * (1.0 + args.threshold)
-        ratio = current[name] / (baseline[name] * scale)
-        status = "FAIL" if current[name] > allowed else "ok"
-        print(f"  {status}  {name}: {current[name] / 1e6:.3f} ms vs "
-              f"scaled baseline {baseline[name] * scale / 1e6:.3f} ms "
+        checked += 1
+        cur = current[name]["time"]
+        base = baseline[name]["time"]
+        allowed = base * scale * (1.0 + args.threshold)
+        ratio = cur / (base * scale)
+        status = "FAIL" if cur > allowed else "ok"
+        print(f"  {status}  {name}: {cur / 1e6:.3f} ms vs "
+              f"scaled baseline {base * scale / 1e6:.3f} ms "
               f"({ratio:.2f}x)")
-        if current[name] > allowed:
+        if cur > allowed:
             failures.append(
                 f"{name}: {ratio:.2f}x the scaled baseline "
                 f"(> {1.0 + args.threshold:.2f}x allowed)")
@@ -100,8 +125,9 @@ def main():
         for f in failures:
             print(f"  {f}", file=sys.stderr)
         return 1
-    print(f"bench_guard: {len(guarded)} guarded benchmarks within "
-          f"{args.threshold:.0%} of the scaled baseline")
+    print(f"bench_guard: {checked} guarded benchmarks within "
+          f"{args.threshold:.0%} of the scaled baseline "
+          f"({len(guarded) - checked} skipped)")
     return 0
 
 
