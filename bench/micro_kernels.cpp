@@ -7,6 +7,7 @@
 // by default (see bench_common.h).
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <memory>
 
 #include "bench/bench_common.h"
@@ -14,7 +15,9 @@
 #include "models/zoo.h"
 #include "nn/ops/backend.h"
 #include "nn/ops/float_kernels.h"
+#include "nn/ops/gemm_int8.h"
 #include "nn/ops/int8_kernels.h"
+#include "nn/ops/lut/lut_kernels.h"
 #include "nn/ops/simd/cpu_features.h"
 #include "nn/ops/simd/simd_kernels.h"
 #include "nn/rng.h"
@@ -159,6 +162,100 @@ void BM_Conv2dInt8Packed4(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 32 * 32 * c * 9 * c);
 }
 BENCHMARK(BM_Conv2dInt8Packed4)->Arg(8)->Arg(16)->Arg(32);
+
+// Packed sub-byte conv across all four ways to compute it, same conv
+// (c = 32, 3x3, 32x32 input): arg 0 = activation bits (2/4), arg 1 = tier
+// row — 0 Reference, 1 Fast, 2 Simd (both pinned to the unpack + GEMM path
+// via QMCU_NO_LUT), 3 LUT (Simd backend with QMCU_FORCE_LUT). The README's
+// packed-conv tier table and the LUT acceptance criterion (4-bit LUT >=
+// int8 Simd, 2-bit LUT ~ 2x) come from this family. `simd_active` reports
+// whether the row's vector body (GEMM or LUT) actually ran, so
+// tools/bench_guard.py can skip vector rows on scalar hosts.
+void BM_PackedConvTierSweep(benchmark::State& state) {
+  const int bits = static_cast<int>(state.range(0));
+  const int row = static_cast<int>(state.range(1));
+  constexpr int kC = 32;
+  const nn::Tensor in = random_tensor({32, 32, kC}, 3);
+  const nn::Layer l = conv_layer(kC, 3, 1, 1);
+  std::vector<float> w(static_cast<std::size_t>(kC * 3 * 3 * kC));
+  nn::Rng rng(4);
+  for (float& v : w) v = static_cast<float>(rng.normal(0.0, 0.1));
+  const nn::ops::QuantizedWeights qw = nn::ops::quantize_weights(w);
+  const nn::QuantParams out_p = nn::choose_quant_params(-4.0f, 4.0f, 8);
+  // Sub-byte params chosen at `bits` so the zero point is representable —
+  // the LUT eligibility precondition.
+  const auto [lo, hi] = nn::tensor_min_max(in);
+  const nn::QTensor q = nn::quantize(in, nn::choose_quant_params(lo, hi, bits));
+  const std::vector<std::uint8_t> packed = quant::pack(q.data(), bits);
+
+  const bool lut_row = row == 3;
+  ::setenv(lut_row ? "QMCU_FORCE_LUT" : "QMCU_NO_LUT", "1", 1);
+  const auto tier = row == 0   ? nn::ops::KernelTier::Reference
+                    : row == 1 ? nn::ops::KernelTier::Fast
+                               : nn::ops::KernelTier::Simd;
+  nn::ops::KernelBackend backend(tier);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        backend.conv2d_packed(packed, q.shape(), q.params(), l, qw.data,
+                              qw.params, {}, out_p));
+  }
+  ::unsetenv(lut_row ? "QMCU_FORCE_LUT" : "QMCU_NO_LUT");
+  state.SetItemsProcessed(state.iterations() * 32 * 32 * kC * 9 * kC);
+  state.counters["bits"] = bits;
+  state.counters["tier"] = row;
+  const nn::ops::simd::SimdKernels* table = nn::ops::simd::kernels();
+  state.counters["simd_active"] =
+      lut_row ? (table != nullptr && table->lut_gemm_block != nullptr ? 1 : 0)
+              : (row == 2 && nn::ops::simd::available() ? 1 : 0);
+}
+BENCHMARK(BM_PackedConvTierSweep)
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({4, 2})
+    ->Args({4, 3})
+    ->Args({2, 0})
+    ->Args({2, 1})
+    ->Args({2, 2})
+    ->Args({2, 3});
+
+// The LUT-GEMM primitive itself (table build amortized away): m x n x k
+// tile through lut_gemm_requant — index tiles, table lookups, chunked
+// int16 sums, fused requantize. Arg 0 = activation bits.
+void BM_LutGemm(benchmark::State& state) {
+  const int bits = static_cast<int>(state.range(0));
+  constexpr int kM = 1024, kN = 32, kK = 288;
+  nn::Rng rng(6);
+  std::vector<std::int8_t> a(static_cast<std::size_t>(kM) * kK);
+  const int lo = -(1 << (bits - 1));
+  const int hi = (1 << (bits - 1)) - 1;
+  for (auto& v : a) v = static_cast<std::int8_t>(rng.uniform(lo, hi + 1));
+  std::vector<std::int8_t> w(static_cast<std::size_t>(kN) * kK);
+  for (auto& v : w) v = static_cast<std::int8_t>(rng.uniform(-128, 128));
+  std::vector<std::int8_t> tables(
+      static_cast<std::size_t>(nn::ops::lut::lut_table_bytes(kN, kK, bits)));
+  nn::ops::lut::pack_weights_lut(w, kN, kK, bits, tables.data());
+  const int groups = nn::ops::lut::lut_groups(kK, bits);
+  std::vector<std::uint8_t> idx(static_cast<std::size_t>(groups) *
+                                nn::ops::lut::kLutTileM);
+  std::vector<std::int32_t> acc(
+      static_cast<std::size_t>(nn::ops::lut::kLutTileM) * kN);
+  std::vector<std::int8_t> out(static_cast<std::size_t>(kM) * kN);
+  nn::ops::GemmQuantPost post;
+  post.multiplier = nn::ops::quantize_multiplier(0.02);
+  const nn::ops::simd::SimdKernels* table = nn::ops::simd::kernels();
+  for (auto _ : state) {
+    nn::ops::lut::lut_gemm_requant(a.data(), tables.data(), kM, kN, kK, bits,
+                                   post, idx.data(), acc.data(), out.data(),
+                                   table);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(kM) *
+                          kN * kK);
+  state.counters["bits"] = bits;
+  state.counters["simd_active"] =
+      table != nullptr && table->lut_gemm_block != nullptr ? 1 : 0;
+}
+BENCHMARK(BM_LutGemm)->Arg(4)->Arg(2);
 
 // Arg 1 selects the tier: 0 = Reference, 1 = Fast, 2 = Simd.
 void BM_DepthwiseInt8(benchmark::State& state) {

@@ -4,13 +4,30 @@
 // QMCU_FORCE_SCALAR pinned it to the scalar fallback).
 #include <cstdio>
 
+#include "nn/ops/lut/lut_kernels.h"
 #include "nn/ops/simd/cpu_features.h"
 #include "nn/ops/simd/simd_kernels.h"
+
+namespace {
+
+const char* lut_force_name(qmcu::nn::ops::lut::LutForce f) {
+  using qmcu::nn::ops::lut::LutForce;
+  switch (f) {
+    case LutForce::On: return "forced on (QMCU_FORCE_LUT)";
+    case LutForce::Off: return "forced off (QMCU_NO_LUT)";
+    case LutForce::Auto: return "auto (per-layer heuristic)";
+  }
+  return "?";
+}
+
+}  // namespace
 
 int main() {
   using namespace qmcu::nn::ops::simd;
   const Isa isa = detected_isa();
   std::printf("detected ISA: %s\n", isa_name(isa));
+  std::printf("LUT tier: %s\n",
+              lut_force_name(qmcu::nn::ops::lut::lut_force()));
   const SimdKernels* k = kernels();
   if (k == nullptr) {
     std::printf("Simd tier: scalar fallback (Fast code paths)\n");
@@ -24,5 +41,6 @@ int main() {
   std::printf("  requant_i8_row:  %s\n",
               k->requant_i8_row ? "simd" : "scalar");
   std::printf("  unpack_body:     %s\n", k->unpack_body ? "simd" : "scalar");
+  std::printf("  lut_gemm_block:  %s\n", k->lut_gemm_block ? "simd" : "scalar");
   return 0;
 }

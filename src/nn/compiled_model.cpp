@@ -4,6 +4,7 @@
 
 #include "nn/executor.h"
 #include "nn/ops/im2col.h"
+#include "nn/ops/lut/lut_kernels.h"
 
 namespace qmcu::nn {
 
@@ -21,16 +22,36 @@ ArenaPlan plan_execution_arena(const Graph& g, std::int64_t elem_bytes) {
 }
 
 void prepack_conv_panels(const Graph& g, const QuantizedParameters& params,
+                         std::span<const QuantParams> effective,
                          ops::KernelBackend& backend) {
   // Every non-Reference tier runs the im2col + panel GEMM path.
   if (backend.tier() == ops::KernelTier::Reference) return;
   for (int id = 0; id < g.size(); ++id) {
     const Layer& l = g.layer(id);
-    if (l.kind != OpKind::Conv2D || !g.has_parameters(id)) continue;
-    const int k = static_cast<int>(
-        ops::im2col_row_elements(g.shape(l.inputs[0]), l));
-    backend.prepack(params.weights[static_cast<std::size_t>(id)].data,
-                    l.out_channels, k);
+    if (!g.has_parameters(id)) continue;
+    if (l.kind == OpKind::Conv2D) {
+      const int k = static_cast<int>(
+          ops::im2col_row_elements(g.shape(l.inputs[0]), l));
+      const auto& w = params.weights[static_cast<std::size_t>(id)];
+      backend.prepack(w.data, l.out_channels, k);
+      // Sub-byte inputs may take the LUT path: bake its weight recode too,
+      // so the first inference pays no table construction either. Only
+      // tables the current force mode can actually run are baked — 4-bit
+      // tables cost 32*n*k bytes and only run under QMCU_FORCE_LUT.
+      const int in_bits =
+          effective[static_cast<std::size_t>(l.inputs[0])].bits;
+      if (ops::lut::lut_planned(in_bits)) {
+        backend.prepack_lut(w.data, l.out_channels, k, in_bits);
+      }
+    } else if (l.kind == OpKind::FullyConnected) {
+      const int in_bits =
+          effective[static_cast<std::size_t>(l.inputs[0])].bits;
+      if (ops::lut::lut_planned(in_bits)) {
+        const auto& w = params.weights[static_cast<std::size_t>(id)];
+        const int k = static_cast<int>(g.shape(l.inputs[0]).elements());
+        backend.prepack_lut(w.data, l.out_channels, k, in_bits);
+      }
+    }
   }
 }
 
@@ -128,7 +149,7 @@ CompiledQuantModel::CompiledQuantModel(
       plan_(plan_execution_arena(g, 1)),
       backend_(tier) {
   QMCU_REQUIRE(g.inputs().size() == 1, "compiled model expects one input");
-  prepack_conv_panels(g, *params_, backend_);
+  prepack_conv_panels(g, *params_, effective_, backend_);
 }
 
 QTensor CompiledQuantModel::run(const Tensor& input) const {

@@ -7,15 +7,22 @@
 //               split kernels for depthwise and pooling. Bit-identical to
 //               Reference (integer arithmetic is order-independent; the
 //               float GEMM preserves the reference accumulation order).
-//   Simd      — the Fast structure with the four hottest integer inner
-//               loops (GEMM microkernel, depthwise MAC, fused requantize
-//               epilogues, sub-byte unpack) routed through the
-//               runtime-detected microkernel table of
+//   Simd      — the Fast structure with the hottest integer inner loops
+//               (GEMM microkernel, depthwise MAC, fused requantize
+//               epilogues, sub-byte unpack, LUT-GEMM tile) routed through
+//               the runtime-detected microkernel table of
 //               nn/ops/simd/simd_kernels.h (AVX2 / NEON). Integer
 //               arithmetic is exact, so Simd is bit-identical to both
 //               other tiers; on hosts without a usable ISA (or with
 //               QMCU_FORCE_SCALAR set) every entry falls back to the Fast
 //               scalar code, making Simd a safe default everywhere.
+//
+// Orthogonally to the tier, 2/4-bit conv and fc inputs can take the LUT
+// path (nn/ops/lut/lut_kernels.h): per-layer the backend consults
+// lut_use() — bits, zero-point range, shape thresholds, QMCU_FORCE_LUT /
+// QMCU_NO_LUT — and swaps the unpack+GEMM inner product for table lookups
+// over prepacked weight tables. Bit-identical to the GEMM path, so tier
+// invariance holds with the LUT forced on, off, or auto.
 //
 // Each executor owns one KernelBackend. Its ScratchArena is a grow-only
 // pool of typed blocks reused across every op the executor runs, so
@@ -144,6 +151,14 @@ class KernelBackend {
   // packing cost. No-op unless panel caching is enabled.
   void prepack(std::span<const std::int8_t> qweights, int n, int k);
 
+  // Export-time weight recode for the LUT tier: bakes (and caches) the
+  // pack_weights_lut table blob + column sums of a weight blob for one
+  // sub-byte activation width (bits = 2 or 4; the 2- and 4-bit recodes of
+  // the same blob are cached independently). Like prepack(), construction
+  // time and a no-op unless panel caching is enabled.
+  void prepack_lut(std::span<const std::int8_t> qweights, int n, int k,
+                   int bits);
+
   // --- integer ops (contracts in int8_kernels.h) ---------------------------
   // Each op has a value-returning form and an `_into` form writing into a
   // caller-bound destination (shape preset; its QuantParams are the output
@@ -243,6 +258,20 @@ class KernelBackend {
   // Returns the k-major panel for `qweights` (cached or arena-backed).
   PanelView weight_panel(std::span<const std::int8_t> qweights, int n, int k);
 
+  struct LutPanel {
+    std::vector<std::int8_t> tables;  // [n][groups][2][16] lookup blob
+    std::vector<std::int32_t> wsum;   // per-channel weight sums
+  };
+  struct LutView {
+    std::span<const std::int8_t> tables;
+    std::span<const std::int32_t> wsum;
+  };
+
+  // Returns the LUT table blob for `qweights` at the given activation bit
+  // width (cached or arena-backed, mirroring weight_panel).
+  LutView lut_panel(std::span<const std::int8_t> qweights, int n, int k,
+                    int bits);
+
   // Affinity assert shared by every op entry point.
   void guard() const { affinity_.check("KernelBackend"); }
 
@@ -252,6 +281,10 @@ class KernelBackend {
   ScratchArena arena_;
   ThreadAffinity affinity_;
   std::unordered_map<const std::int8_t*, WeightPanel> panels_;
+  // LUT table blobs keyed by weight blob address, one map per activation
+  // bit width (index 0: 2-bit, index 1: 4-bit) — a mixed-precision model
+  // can hit the same weights at both widths.
+  std::unordered_map<const std::int8_t*, LutPanel> lut_panels_[2];
   // AvgPool reciprocal tables keyed by window size, reused across runs.
   std::unordered_map<int, AvgPoolMultipliers> avg_pool_tables_;
 };

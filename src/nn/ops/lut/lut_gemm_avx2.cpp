@@ -1,0 +1,77 @@
+// lut_gemm_avx2.cpp — AVX2 vpshufb body of the LUT-GEMM tier.
+//
+// Per (output channel, k-group): broadcast the 16-byte low and high table
+// planes across both 128-bit lanes, gather all kLutTileM = 32 index lanes
+// with two vpshufb, and interleave the planes back into int16 entries.
+// Entries are summed in int16 for at most kLutChunkGroups groups (bounded
+// in lut_kernels.h so the partial sums cannot wrap), then widened into
+// four int32 accumulators — arithmetic identical to the scalar core.
+//
+// Compiled with -mavx2 (see CMakeLists); the guard keeps a flagless build
+// compiling to an empty TU, which leaves the table entry null.
+#include "nn/ops/lut/lut_simd_bodies.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include "nn/ops/lut/lut_kernels.h"
+
+namespace qmcu::nn::ops::lut {
+
+void lut_gemm_block_avx2(const std::uint8_t* idx_t, const std::int8_t* tables,
+                         int rows, int n, int groups, std::int32_t* acc) {
+  for (int j = 0; j < n; ++j) {
+    const std::int8_t* tbl =
+        tables + static_cast<std::size_t>(j) * groups * kLutGroupBytes;
+    __m256i acc0 = _mm256_setzero_si256();  // m 0..7
+    __m256i acc1 = _mm256_setzero_si256();  // m 8..15
+    __m256i acc2 = _mm256_setzero_si256();  // m 16..23
+    __m256i acc3 = _mm256_setzero_si256();  // m 24..31
+    for (int g0 = 0; g0 < groups; g0 += kLutChunkGroups) {
+      const int g1 = g0 + kLutChunkGroups < groups ? g0 + kLutChunkGroups
+                                                   : groups;
+      // s_a holds the int16 entries of m {0..7 | 16..23}, s_b of
+      // m {8..15 | 24..31} (the unpack instructions interleave per
+      // 128-bit lane).
+      __m256i s_a = _mm256_setzero_si256();
+      __m256i s_b = _mm256_setzero_si256();
+      for (int g = g0; g < g1; ++g) {
+        const __m256i idx = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+            idx_t + static_cast<std::size_t>(g) * kLutTileM));
+        const __m256i tlo =
+            _mm256_broadcastsi128_si256(_mm_loadu_si128(
+                reinterpret_cast<const __m128i*>(
+                    tbl + static_cast<std::size_t>(g) * kLutGroupBytes)));
+        const __m256i thi =
+            _mm256_broadcastsi128_si256(_mm_loadu_si128(
+                reinterpret_cast<const __m128i*>(
+                    tbl + static_cast<std::size_t>(g) * kLutGroupBytes + 16)));
+        const __m256i lo = _mm256_shuffle_epi8(tlo, idx);
+        const __m256i hi = _mm256_shuffle_epi8(thi, idx);
+        s_a = _mm256_add_epi16(s_a, _mm256_unpacklo_epi8(lo, hi));
+        s_b = _mm256_add_epi16(s_b, _mm256_unpackhi_epi8(lo, hi));
+      }
+      acc0 = _mm256_add_epi32(
+          acc0, _mm256_cvtepi16_epi32(_mm256_castsi256_si128(s_a)));
+      acc1 = _mm256_add_epi32(
+          acc1, _mm256_cvtepi16_epi32(_mm256_castsi256_si128(s_b)));
+      acc2 = _mm256_add_epi32(
+          acc2, _mm256_cvtepi16_epi32(_mm256_extracti128_si256(s_a, 1)));
+      acc3 = _mm256_add_epi32(
+          acc3, _mm256_cvtepi16_epi32(_mm256_extracti128_si256(s_b, 1)));
+    }
+    alignas(32) std::int32_t buf[kLutTileM];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(buf), acc0);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(buf + 8), acc1);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(buf + 16), acc2);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(buf + 24), acc3);
+    for (int r = 0; r < rows; ++r) {
+      acc[static_cast<std::size_t>(r) * n + j] = buf[r];
+    }
+  }
+}
+
+}  // namespace qmcu::nn::ops::lut
+
+#endif  // defined(__AVX2__)

@@ -1,0 +1,73 @@
+// lut_gemm_neon.cpp — AArch64 NEON vqtbl1q body of the LUT-GEMM tier.
+//
+// Same structure as the AVX2 body at half the register width: per
+// (channel, group) the two 16-byte table planes are looked up with one
+// vqtbl1q_u8 per plane per 16-lane half of the index tile, vzipq_u8
+// reassembles the little-endian int16 entries, and int16 chunk sums
+// (bounded by kLutChunkGroups, see lut_kernels.h) widen into int32 —
+// arithmetic identical to the scalar core. vqtbl1q is AArch64-only, so
+// 32-bit ARM builds leave the table entry null (scalar fallback).
+#include "nn/ops/lut/lut_simd_bodies.h"
+
+#if defined(__aarch64__) && (defined(__ARM_NEON) || defined(__ARM_NEON__))
+
+#include <arm_neon.h>
+
+#include "nn/ops/lut/lut_kernels.h"
+
+namespace qmcu::nn::ops::lut {
+
+void lut_gemm_block_neon(const std::uint8_t* idx_t, const std::int8_t* tables,
+                         int rows, int n, int groups, std::int32_t* acc) {
+  for (int j = 0; j < n; ++j) {
+    const std::uint8_t* tbl = reinterpret_cast<const std::uint8_t*>(
+        tables + static_cast<std::size_t>(j) * groups * kLutGroupBytes);
+    int32x4_t acc32[kLutTileM / 4];
+    for (auto& v : acc32) v = vdupq_n_s32(0);
+    for (int g0 = 0; g0 < groups; g0 += kLutChunkGroups) {
+      const int g1 = g0 + kLutChunkGroups < groups ? g0 + kLutChunkGroups
+                                                   : groups;
+      int16x8_t s0 = vdupq_n_s16(0);  // m 0..7
+      int16x8_t s1 = vdupq_n_s16(0);  // m 8..15
+      int16x8_t s2 = vdupq_n_s16(0);  // m 16..23
+      int16x8_t s3 = vdupq_n_s16(0);  // m 24..31
+      for (int g = g0; g < g1; ++g) {
+        const std::uint8_t* ig =
+            idx_t + static_cast<std::size_t>(g) * kLutTileM;
+        const uint8x16_t idx_lo = vld1q_u8(ig);
+        const uint8x16_t idx_hi = vld1q_u8(ig + 16);
+        const uint8x16_t tlo =
+            vld1q_u8(tbl + static_cast<std::size_t>(g) * kLutGroupBytes);
+        const uint8x16_t thi =
+            vld1q_u8(tbl + static_cast<std::size_t>(g) * kLutGroupBytes + 16);
+        const uint8x16x2_t e_lo =
+            vzipq_u8(vqtbl1q_u8(tlo, idx_lo), vqtbl1q_u8(thi, idx_lo));
+        const uint8x16x2_t e_hi =
+            vzipq_u8(vqtbl1q_u8(tlo, idx_hi), vqtbl1q_u8(thi, idx_hi));
+        s0 = vaddq_s16(s0, vreinterpretq_s16_u8(e_lo.val[0]));
+        s1 = vaddq_s16(s1, vreinterpretq_s16_u8(e_lo.val[1]));
+        s2 = vaddq_s16(s2, vreinterpretq_s16_u8(e_hi.val[0]));
+        s3 = vaddq_s16(s3, vreinterpretq_s16_u8(e_hi.val[1]));
+      }
+      acc32[0] = vaddw_s16(acc32[0], vget_low_s16(s0));
+      acc32[1] = vaddw_s16(acc32[1], vget_high_s16(s0));
+      acc32[2] = vaddw_s16(acc32[2], vget_low_s16(s1));
+      acc32[3] = vaddw_s16(acc32[3], vget_high_s16(s1));
+      acc32[4] = vaddw_s16(acc32[4], vget_low_s16(s2));
+      acc32[5] = vaddw_s16(acc32[5], vget_high_s16(s2));
+      acc32[6] = vaddw_s16(acc32[6], vget_low_s16(s3));
+      acc32[7] = vaddw_s16(acc32[7], vget_high_s16(s3));
+    }
+    std::int32_t buf[kLutTileM];
+    for (int q = 0; q < kLutTileM / 4; ++q) {
+      vst1q_s32(buf + 4 * q, acc32[q]);
+    }
+    for (int r = 0; r < rows; ++r) {
+      acc[static_cast<std::size_t>(r) * n + j] = buf[r];
+    }
+  }
+}
+
+}  // namespace qmcu::nn::ops::lut
+
+#endif  // aarch64 NEON

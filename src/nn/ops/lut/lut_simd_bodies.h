@@ -1,0 +1,28 @@
+// lut_simd_bodies.h — declarations of the per-ISA LUT-GEMM bodies, for the
+// SimdKernels table initializers in nn/ops/simd/. Each body lives in its
+// own TU under nn/ops/lut/ so it can carry the ISA-specific compile flags;
+// the declarations are guarded the same way the defining TUs are, so a
+// build without the ISA simply leaves the table entry null (scalar
+// fallback), never an unresolved symbol.
+#pragma once
+
+#include <cstdint>
+
+namespace qmcu::nn::ops::lut {
+
+#if defined(__AVX2__)
+// vpshufb body: both 16-byte table planes are broadcast across the 256-bit
+// register, one shuffle per plane gathers all kLutTileM lanes' bytes, and
+// byte interleaving reassembles the int16 entries.
+void lut_gemm_block_avx2(const std::uint8_t* idx_t, const std::int8_t* tables,
+                         int rows, int n, int groups, std::int32_t* acc);
+#endif
+
+#if defined(__aarch64__) && (defined(__ARM_NEON) || defined(__ARM_NEON__))
+// vqtbl1q body (AArch64 only — the 16-byte table lookup is not available
+// as a single instruction on 32-bit ARM, which keeps the entry null there).
+void lut_gemm_block_neon(const std::uint8_t* idx_t, const std::int8_t* tables,
+                         int rows, int n, int groups, std::int32_t* acc);
+#endif
+
+}  // namespace qmcu::nn::ops::lut

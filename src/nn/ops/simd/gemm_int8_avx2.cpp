@@ -13,6 +13,8 @@
 
 #include <cstring>
 
+#include "nn/ops/lut/lut_simd_bodies.h"
+
 namespace qmcu::nn::ops::simd {
 
 namespace {
@@ -432,6 +434,7 @@ std::int64_t unpack_body_avx2(const std::uint8_t* bytes, std::int64_t nbytes,
 const SimdKernels kAvx2 = {
     "avx2",          &gemm_block_i8_avx2, &requant_i32_row_avx2,
     &dw_accumulate_avx2, &requant_i8_row_avx2, &unpack_body_avx2,
+    &lut::lut_gemm_block_avx2,
 };
 
 }  // namespace

@@ -2,20 +2,158 @@
 //
 // Compiled only where NEON exists (baseline on aarch64). The table ships
 // the exact integer MAC kernels (widening vmlal_s16 sums — int16 products
-// accumulated in int32, bit-identical to the scalar sums for any order)
-// and the sub-byte unpack; the fixed-point requantize epilogues are left
-// null so they run the scalar reference until the 64-bit rounding path can
-// be validated on real hardware (vqrdmulh rounds negative midpoints
-// differently from the scalar contract and must NOT be used).
+// accumulated in int32, bit-identical to the scalar sums for any order),
+// the sub-byte unpack, and the fixed-point requantize epilogues. The
+// epilogues take the 64-bit vmull_s32 rounding path so every lane follows
+// apply_multiplier's exact SRDHM + truncating-division + rounding-shift
+// sequence; vqrdmulh is deliberately NOT used — it rounds negative
+// midpoints up where the scalar contract rounds them away from zero, and
+// the scalar-contract parity test (RequantizeRandomizedBitExact) is the
+// gate that keeps that door shut.
 #include "nn/ops/simd/simd_kernels.h"
 
 #if defined(__ARM_NEON) || defined(__ARM_NEON__)
 
 #include <arm_neon.h>
 
+#include "nn/ops/lut/lut_simd_bodies.h"
+
 namespace qmcu::nn::ops::simd {
 
 namespace {
+
+// ---------------------------------------------------------------------------
+// Fixed-point requantization lanes (same derivation as the AVX2 TU).
+//
+// The scalar SRDHM computes (a*b + nudge) / 2^31 with truncating division,
+// nudge = ab >= 0 ? 2^30 : 1 - 2^30. The sign masks come from 64-bit
+// arithmetic shifts, so no 64-bit compare (absent on 32-bit ARM) is
+// needed; adding 2^31 - 1 to negative nudged lanes turns the arithmetic
+// shift into the truncating divide. The quotient fits int32, so the
+// narrowing move is exact.
+
+inline int64x2_t srdhm_q31_half(int32x2_t x, int32x2_t mant) {
+  int64x2_t p = vmull_s32(x, mant);
+  const int64x2_t neg = vshrq_n_s64(p, 63);  // 0 or -1 per lane
+  p = vaddq_s64(p, vdupq_n_s64(std::int64_t{1} << 30));
+  // Negative products use nudge 1 - 2^30 instead: add the difference.
+  p = vaddq_s64(
+      p, vandq_s64(neg, vdupq_n_s64(1 - (std::int64_t{1} << 31))));
+  // Truncating divide by 2^31: bump negative lanes by 2^31 - 1, then
+  // arithmetic shift.
+  p = vaddq_s64(p, vandq_s64(vshrq_n_s64(p, 63),
+                             vdupq_n_s64((std::int64_t{1} << 31) - 1)));
+  return vshrq_n_s64(p, 31);
+}
+
+inline int32x4_t srdhm_q31_neon(int32x4_t x, int32x2_t mant) {
+  const int64x2_t lo = srdhm_q31_half(vget_low_s32(x), mant);
+  const int64x2_t hi = srdhm_q31_half(vget_high_s32(x), mant);
+  return vcombine_s32(vmovn_s64(lo), vmovn_s64(hi));
+}
+
+// rounding_divide_by_pot: round half away from zero. `neg_exp` is the
+// negated exponent for vshlq's variable arithmetic right shift; `mask` =
+// 2^exp - 1 and `thr_base` = mask >> 1 are splatted by the caller.
+// exponent == 0 degenerates to the identity (mask 0 => no increment).
+inline int32x4_t rounding_rshift_neon(int32x4_t x, int32x4_t neg_exp,
+                                      int32x4_t mask, int32x4_t thr_base) {
+  const int32x4_t rem = vandq_s32(x, mask);
+  // threshold = mask >> 1, +1 for negative lanes (the compare mask is -1).
+  const int32x4_t thr = vsubq_s32(
+      thr_base,
+      vreinterpretq_s32_u32(vcltq_s32(x, vdupq_n_s32(0))));
+  const int32x4_t shifted = vshlq_s32(x, neg_exp);
+  return vsubq_s32(shifted,
+                   vreinterpretq_s32_u32(vcgtq_s32(rem, thr)));
+}
+
+// Clamps two int32x4 (already inside [-128, 127] after the clamp) and
+// stores 8 consecutive int8; the saturating narrows cannot engage.
+inline void store_8_i8(int32x4_t v0, int32x4_t v1, int32x4_t lo, int32x4_t hi,
+                       std::int8_t* out) {
+  v0 = vminq_s32(vmaxq_s32(v0, lo), hi);
+  v1 = vminq_s32(vmaxq_s32(v1, lo), hi);
+  const int16x8_t p16 = vcombine_s16(vqmovn_s32(v0), vqmovn_s32(v1));
+  vst1_s8(out, vqmovn_s16(p16));
+}
+
+void requant_i32_row_neon(const std::int32_t* acc, const std::int32_t* offset,
+                          int n, FixedPointMultiplier m, std::int32_t out_zp,
+                          std::int32_t lo, std::int32_t hi, std::int8_t* out) {
+  int j = 0;
+  if (m.right_shift >= 0 && m.right_shift <= 31) {
+    const int32x2_t mant = vdup_n_s32(m.mantissa);
+    const int32x4_t neg_exp = vdupq_n_s32(-m.right_shift);
+    const std::uint32_t mask_bits = (1u << m.right_shift) - 1;
+    const int32x4_t mask =
+        vdupq_n_s32(static_cast<std::int32_t>(mask_bits));
+    const int32x4_t thr_base =
+        vdupq_n_s32(static_cast<std::int32_t>(mask_bits >> 1));
+    const int32x4_t zp = vdupq_n_s32(out_zp);
+    const int32x4_t lov = vdupq_n_s32(lo);
+    const int32x4_t hiv = vdupq_n_s32(hi);
+    for (; j + 8 <= n; j += 8) {
+      int32x4_t v0 = vld1q_s32(acc + j);
+      int32x4_t v1 = vld1q_s32(acc + j + 4);
+      if (offset != nullptr) {
+        v0 = vaddq_s32(v0, vld1q_s32(offset + j));
+        v1 = vaddq_s32(v1, vld1q_s32(offset + j + 4));
+      }
+      v0 = rounding_rshift_neon(srdhm_q31_neon(v0, mant), neg_exp, mask,
+                                thr_base);
+      v1 = rounding_rshift_neon(srdhm_q31_neon(v1, mant), neg_exp, mask,
+                                thr_base);
+      store_8_i8(vaddq_s32(v0, zp), vaddq_s32(v1, zp), lov, hiv, out + j);
+    }
+  }
+  for (; j < n; ++j) {
+    const std::int32_t total = acc[j] + (offset != nullptr ? offset[j] : 0);
+    out[j] = static_cast<std::int8_t>(
+        clamp_to(apply_multiplier(total, m) + out_zp, lo, hi));
+  }
+}
+
+void requant_i8_row_neon(const std::int8_t* src, std::int64_t n,
+                         std::int32_t in_zp, int left_shift,
+                         FixedPointMultiplier m, std::int32_t out_zp,
+                         std::int32_t lo, std::int32_t hi, std::int8_t* dst) {
+  std::int64_t i = 0;
+  if (m.right_shift >= 0 && m.right_shift <= 31) {
+    const int32x2_t mant = vdup_n_s32(m.mantissa);
+    const int32x4_t neg_exp = vdupq_n_s32(-m.right_shift);
+    const std::uint32_t mask_bits = (1u << m.right_shift) - 1;
+    const int32x4_t mask =
+        vdupq_n_s32(static_cast<std::int32_t>(mask_bits));
+    const int32x4_t thr_base =
+        vdupq_n_s32(static_cast<std::int32_t>(mask_bits >> 1));
+    const int32x4_t izp = vdupq_n_s32(in_zp);
+    const int32x4_t lshift = vdupq_n_s32(left_shift);
+    const int32x4_t ozp = vdupq_n_s32(out_zp);
+    const int32x4_t lov = vdupq_n_s32(lo);
+    const int32x4_t hiv = vdupq_n_s32(hi);
+    for (; i + 8 <= n; i += 8) {
+      const int16x8_t w = vmovl_s8(vld1_s8(src + i));
+      // centered << left_shift cannot overflow int32: the requantizer
+      // chose the shift so the product fits.
+      int32x4_t c0 = vshlq_s32(
+          vsubq_s32(vmovl_s16(vget_low_s16(w)), izp), lshift);
+      int32x4_t c1 = vshlq_s32(
+          vsubq_s32(vmovl_s16(vget_high_s16(w)), izp), lshift);
+      c0 = rounding_rshift_neon(srdhm_q31_neon(c0, mant), neg_exp, mask,
+                                thr_base);
+      c1 = rounding_rshift_neon(srdhm_q31_neon(c1, mant), neg_exp, mask,
+                                thr_base);
+      store_8_i8(vaddq_s32(c0, ozp), vaddq_s32(c1, ozp), lov, hiv, dst + i);
+    }
+  }
+  for (; i < n; ++i) {
+    const std::int32_t centered =
+        (static_cast<std::int32_t>(src[i]) - in_zp) * (1 << left_shift);
+    dst[i] = static_cast<std::int8_t>(
+        clamp_to(apply_multiplier(centered, m) + out_zp, lo, hi));
+  }
+}
 
 template <int ROWS>
 void gemm_tile_16(const std::int8_t* a, const std::int8_t* bt, int n, int k,
@@ -148,8 +286,13 @@ std::int64_t unpack_body_neon(const std::uint8_t* bytes, std::int64_t nbytes,
 }
 
 const SimdKernels kNeon = {
-    "neon",    &gemm_block_i8_neon, nullptr,
-    &dw_accumulate_neon, nullptr,       &unpack_body_neon,
+    "neon",    &gemm_block_i8_neon, &requant_i32_row_neon,
+    &dw_accumulate_neon, &requant_i8_row_neon, &unpack_body_neon,
+#if defined(__aarch64__)
+    &lut::lut_gemm_block_neon,
+#else
+    nullptr,  // vqtbl1q is AArch64-only; 32-bit ARM runs the scalar core
+#endif
 };
 
 }  // namespace

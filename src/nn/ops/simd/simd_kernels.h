@@ -20,12 +20,17 @@
 //   unpack_body     — the whole-byte body of quant::unpack_into for 2/4-bit
 //                     packed activations (little-endian fields, sign
 //                     extension), feeding the fused sub-byte im2col path.
+//   lut_gemm_block  — the LUT-GEMM m-tile of nn/ops/lut/lut_kernels.h:
+//                     per (channel, group) 16-entry table lookups over the
+//                     kLutTileM-lane index tile (vpshufb / vtbl), summed in
+//                     bounded int16 chunks then widened, matching
+//                     lut_gemm_block_scalar bit-for-bit.
 //
-// A table may leave entries null (the NEON table ships only the exact
-// integer MAC kernels and unpack; its requantize epilogues fall back to
-// scalar until they can be validated on hardware). Callers must check each
-// pointer, falling back to the scalar implementation — which is also what
-// the whole table being null (no usable ISA, or QMCU_FORCE_SCALAR) means.
+// A table may leave entries null (the NEON table leaves lut_gemm_block
+// null on 32-bit ARM, where the 16-byte vqtbl1q lookup does not exist).
+// Callers must check each pointer, falling back to the scalar
+// implementation — which is also what the whole table being null (no
+// usable ISA, or QMCU_FORCE_SCALAR) means.
 #pragma once
 
 #include <cstdint>
@@ -68,6 +73,14 @@ struct SimdKernels {
   // caller finishes the remainder with the scalar loop.
   std::int64_t (*unpack_body)(const std::uint8_t* bytes, std::int64_t nbytes,
                               int bits, std::int8_t* dst) = nullptr;
+
+  // acc[r*n + j] = sum over g of the int16 table entry tables[j][g]
+  // selected by idx_t[g*kLutTileM + r] (lut_kernels.h layout: 16 low then
+  // 16 high bytes per group). rows in 1..kLutTileM; idx lanes beyond
+  // `rows` are zeroed by the caller. Writes rows*n int32 lanes.
+  void (*lut_gemm_block)(const std::uint8_t* idx_t, const std::int8_t* tables,
+                         int rows, int n, int groups,
+                         std::int32_t* acc) = nullptr;
 };
 
 // The table for detected_isa(), or nullptr when scalar (Isa::None).

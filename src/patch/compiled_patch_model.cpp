@@ -6,6 +6,7 @@
 
 #include "nn/executor.h"
 #include "nn/ops/float_kernels.h"
+#include "nn/ops/lut/lut_kernels.h"
 #include "nn/ops/requantize.h"
 #include "patch/patch_cost.h"
 #include "patch/patch_executor.h"
@@ -893,10 +894,29 @@ CompiledPatchQuantModel::WorkerCtx& CompiledPatchQuantModel::worker_ctx(
     const nn::Graph& g = *graph_;
     const auto prepack = [&](int layer_id) {
       const nn::Layer& l = g.layer(layer_id);
-      if (l.kind != nn::OpKind::Conv2D) return;
-      const auto& w = params_->weights[static_cast<std::size_t>(layer_id)];
-      const int n = l.out_channels;
-      ctx->backend.prepack(w.data, n, static_cast<int>(w.data.size()) / n);
+      const auto in_bits = [&] {
+        return effective_[static_cast<std::size_t>(l.inputs[0])].bits;
+      };
+      if (l.kind == nn::OpKind::Conv2D) {
+        const auto& w = params_->weights[static_cast<std::size_t>(layer_id)];
+        const int n = l.out_channels;
+        const int k = static_cast<int>(w.data.size()) / n;
+        ctx->backend.prepack(w.data, n, k);
+        // Sub-byte stages may take the LUT path: bake the recode up front
+        // so a lane's first patch pays no table construction. Only tables
+        // the current force mode can actually run are baked — 4-bit
+        // tables cost 32*n*k bytes and only run under QMCU_FORCE_LUT.
+        const int bits = in_bits();
+        if (nn::ops::lut::lut_planned(bits)) {
+          ctx->backend.prepack_lut(w.data, n, k, bits);
+        }
+      } else if (l.kind == nn::OpKind::FullyConnected &&
+                 g.has_parameters(layer_id) &&
+                 nn::ops::lut::lut_planned(in_bits())) {
+        const auto& w = params_->weights[static_cast<std::size_t>(layer_id)];
+        const int k = static_cast<int>(g.shape(l.inputs[0]).elements());
+        ctx->backend.prepack_lut(w.data, l.out_channels, k, in_bits());
+      }
     };
     for (const BranchStep& step : plan_.branches.front().steps) {
       prepack(step.layer_id);

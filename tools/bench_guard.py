@@ -44,10 +44,6 @@ def load_benchmarks(path):
     return out
 
 
-def simd_entry(name):
-    return "Simd" in name
-
-
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True)
@@ -55,7 +51,7 @@ def main():
     parser.add_argument(
         "--guard",
         default=r"^BM_(RepeatedPatchRun|ParallelPatchRun|PipelinedPatchRun"
-                r"|Conv2dInt8Simd)\b",
+                r"|Conv2dInt8Simd|PackedConvTierSweep|LutGemm)\b",
         help="regex of benchmark names that must not regress",
     )
     parser.add_argument(
@@ -90,21 +86,32 @@ def main():
         return 2
 
     failures = []
-    checked = 0
-    for name in guarded:
-        # Simd-tier entries are only comparable when the host actually ran
-        # a vector ISA: a host without one (or a QMCU_FORCE_SCALAR run)
-        # reports the scalar fallback, which is not a regression. A Simd
-        # bench *missing* from the current run is still a hard failure —
-        # the bench runs (as fallback) on every host, so absence means the
-        # filter or the bench itself was dropped.
-        if simd_entry(name) and name in current and \
-                not current[name].get("simd_active"):
-            print(f"  skip  {name}: scalar fallback on this host "
-                  "(simd_active=0)")
-            continue
+
+    # Every baseline benchmark must appear in the current run, guarded or
+    # not: each bench runs on every host (vector entries fall back to
+    # scalar), so absence means the name, the filter, or the bench itself
+    # was silently dropped — exactly the kind of coverage loss that should
+    # fail loudly instead of shrinking the guard.
+    for name in sorted(baseline):
         if name not in current:
             failures.append(f"{name}: missing from the current run")
+
+    checked = 0
+    skipped = 0
+    for name in guarded:
+        if name not in current:
+            continue  # already recorded as a hard failure above
+        # Vector-tier entries are only comparable when the host actually
+        # ran a vector body. The baseline records which entries had one
+        # (simd_active=1: Simd GEMM rows, LUT rows with a vpshufb/vtbl
+        # body); if the current host reports the scalar fallback
+        # (simd_active=0, e.g. no usable ISA or QMCU_FORCE_SCALAR), the
+        # comparison is meaningless, not a regression.
+        if baseline[name].get("simd_active") and \
+                not current[name].get("simd_active"):
+            print(f"  skip  {name}: scalar fallback on this host "
+                  "(baseline simd_active=1, current 0)")
+            skipped += 1
             continue
         checked += 1
         cur = current[name]["time"]
@@ -127,7 +134,7 @@ def main():
         return 1
     print(f"bench_guard: {checked} guarded benchmarks within "
           f"{args.threshold:.0%} of the scaled baseline "
-          f"({len(guarded) - checked} skipped)")
+          f"({skipped} skipped)")
     return 0
 
 
