@@ -116,21 +116,95 @@ void BM_Conv2dInt8Simd(benchmark::State& state) {
 BENCHMARK(BM_Conv2dInt8Simd)->Arg(8)->Arg(16)->Arg(32);
 
 // One row per tier over the same conv (c = 32): the tier speedup table the
-// README quotes. Arg 0 = Reference, 1 = Fast, 2 = Simd.
+// README quotes. Arg 0 = row: 0 Reference, 1 Fast, 2 Simd pinned to the
+// pair-madd generation (QMCU_FORCE_NO_DOT wraps backend construction, where
+// the kernel table is snapshotted), 3 Simd default dispatch — the
+// dot-product generation (AVX-VNNI / NEON sdot) where the host has one,
+// identical to row 2 elsewhere. `dot_active` records whether row 3 really
+// ran a dot table, so tools/bench_guard.py can skip it on pair-madd hosts.
 void BM_GemmTierSweep(benchmark::State& state) {
-  const auto tier = static_cast<nn::ops::KernelTier>(state.range(0));
+  const int row = static_cast<int>(state.range(0));
+  const auto tier = row == 0   ? nn::ops::KernelTier::Reference
+                    : row == 1 ? nn::ops::KernelTier::Fast
+                               : nn::ops::KernelTier::Simd;
   const QuantConvSetup s = quant_conv_setup(32);
+  if (row == 2) ::setenv("QMCU_FORCE_NO_DOT", "1", 1);
   nn::ops::KernelBackend backend(tier);
+  if (row == 2) ::unsetenv("QMCU_FORCE_NO_DOT");
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         backend.conv2d(s.qin, s.l, s.qw.data, s.qw.params, {}, s.out_p));
   }
   state.SetItemsProcessed(state.iterations() * 32 * 32 * 32 * 9 * 32);
-  state.counters["tier"] = static_cast<double>(state.range(0));
+  state.counters["tier"] = static_cast<double>(row);
   state.counters["simd_active"] =
       tier == nn::ops::KernelTier::Simd && nn::ops::simd::available() ? 1 : 0;
+  state.counters["dot_active"] =
+      row == 3 && nn::ops::simd::dot_available() ? 1 : 0;
 }
-BENCHMARK(BM_GemmTierSweep)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_GemmTierSweep)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+// The fully-connected microkernel sweep (m == 1 panel GEMM): same tier rows
+// as BM_GemmTierSweep over k ∈ {64, 256, 1024} input features (arg 1) at 64
+// output channels. Row 0 is the reference per-output dot product — the old
+// scalar row loop's arithmetic — so row 2/3 vs row 0 is the fc microkernel
+// acceptance ratio.
+void BM_FcTierSweep(benchmark::State& state) {
+  const int row = static_cast<int>(state.range(0));
+  const int k = static_cast<int>(state.range(1));
+  constexpr int kOut = 64;
+  nn::Layer l;
+  l.kind = nn::OpKind::FullyConnected;
+  l.out_channels = kOut;
+  l.act = nn::Activation::None;
+  nn::Rng rng(14);
+  const nn::QuantParams in_p{0.04f, 3, 8};
+  const nn::QuantParams out_p{0.1f, -2, 8};
+  const nn::QuantParams wp{0.015f, 0, 8};
+  nn::QTensor qin(nn::TensorShape{1, 1, k}, in_p);
+  for (std::int8_t& v : qin.data()) {
+    v = static_cast<std::int8_t>(rng.uniform(-128, 128));
+  }
+  std::vector<std::int8_t> w(static_cast<std::size_t>(k) * kOut);
+  for (std::int8_t& v : w) {
+    v = static_cast<std::int8_t>(rng.uniform(-128, 128));
+  }
+  std::vector<std::int32_t> bias(kOut);
+  for (std::int32_t& b : bias) {
+    b = static_cast<std::int32_t>(rng.uniform(-3000, 3000));
+  }
+  const auto tier = row == 0   ? nn::ops::KernelTier::Reference
+                    : row == 1 ? nn::ops::KernelTier::Fast
+                               : nn::ops::KernelTier::Simd;
+  if (row == 2) ::setenv("QMCU_FORCE_NO_DOT", "1", 1);
+  nn::ops::KernelBackend backend(tier);
+  if (row == 2) ::unsetenv("QMCU_FORCE_NO_DOT");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        backend.fully_connected(qin, l, w, wp, bias, out_p));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(k) * kOut);
+  state.counters["tier"] = static_cast<double>(row);
+  state.counters["k"] = static_cast<double>(k);
+  state.counters["simd_active"] =
+      tier == nn::ops::KernelTier::Simd && nn::ops::simd::available() ? 1 : 0;
+  state.counters["dot_active"] =
+      row == 3 && nn::ops::simd::dot_available() ? 1 : 0;
+}
+BENCHMARK(BM_FcTierSweep)
+    ->Args({0, 64})
+    ->Args({1, 64})
+    ->Args({2, 64})
+    ->Args({3, 64})
+    ->Args({0, 256})
+    ->Args({1, 256})
+    ->Args({2, 256})
+    ->Args({3, 256})
+    ->Args({0, 1024})
+    ->Args({1, 1024})
+    ->Args({2, 1024})
+    ->Args({3, 1024});
 
 // The seed's reference loop nest, kept as the comparison baseline.
 void BM_Conv2dInt8Ref(benchmark::State& state) {

@@ -26,6 +26,9 @@ int main() {
   using namespace qmcu::nn::ops::simd;
   const Isa isa = detected_isa();
   std::printf("detected ISA: %s\n", isa_name(isa));
+  const DotIsa dot = detected_dot_isa();
+  std::printf("detected dot ISA: %s%s\n", dot_isa_name(dot),
+              dot_forced_off() ? " (demoted: QMCU_FORCE_NO_DOT)" : "");
   std::printf("LUT tier: %s\n",
               lut_force_name(qmcu::nn::ops::lut::lut_force()));
   const SimdKernels* k = kernels();
@@ -34,6 +37,9 @@ int main() {
     return 0;
   }
   std::printf("Simd tier table: %s\n", k->name);
+  std::printf("  gemm generation: %s (%s)\n",
+              k->gemm_dot ? "dot-product" : "pair-madd",
+              k->gemm_block_i8 ? k->name : "scalar");
   std::printf("  gemm_block_i8:   %s\n", k->gemm_block_i8 ? "simd" : "scalar");
   std::printf("  requant_i32_row: %s\n",
               k->requant_i32_row ? "simd" : "scalar");

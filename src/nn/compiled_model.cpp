@@ -44,11 +44,14 @@ void prepack_conv_panels(const Graph& g, const QuantizedParameters& params,
         backend.prepack_lut(w.data, l.out_channels, k, in_bits);
       }
     } else if (l.kind == OpKind::FullyConnected) {
+      const auto& w = params.weights[static_cast<std::size_t>(id)];
+      const int k = static_cast<int>(g.shape(l.inputs[0]).elements());
+      // fc runs the same k-major panel GEMM as conv since the microkernel
+      // rewrite; bake its panel so the first inference pays no repack.
+      backend.prepack(w.data, l.out_channels, k);
       const int in_bits =
           effective[static_cast<std::size_t>(l.inputs[0])].bits;
       if (ops::lut::lut_planned(in_bits)) {
-        const auto& w = params.weights[static_cast<std::size_t>(id)];
-        const int k = static_cast<int>(g.shape(l.inputs[0]).elements());
         backend.prepack_lut(w.data, l.out_channels, k, in_bits);
       }
     }

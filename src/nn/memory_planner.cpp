@@ -51,17 +51,23 @@ std::int64_t fast_scratch_bytes(const Graph& g, int id, int in_act_bits) {
       return std::max(gemm, lut);
     }
     case OpKind::FullyConnected: {
-      // Int8 inputs run the scratch-free dot-product loop; sub-byte inputs
-      // the force mode can LUT may take the table path (tables + offsets +
-      // index tile + one accumulator row, matching fully_connected_into).
-      if (!sub_byte || !ops::lut::lut_planned(in_act_bits)) return 0;
+      // Int8 inputs run the m == 1 panel GEMM microkernel: in uncached-panel
+      // mode a k-major panel (n*k i8) + column sums (n i32), plus per-column
+      // offsets (n i32) + one accumulator row (n i32). Sub-byte inputs the
+      // force mode can LUT may take the table path instead (tables + offsets
+      // + index tile + one accumulator row, matching fully_connected_into);
+      // max() bounds whichever dispatch wins.
       const std::int64_t k = g.shape(l.inputs[0]).elements();
       const std::int64_t n = l.out_channels;
+      const std::int64_t gemm = n * k + (n + n + n) * 4;
+      if (!sub_byte || !ops::lut::lut_planned(in_act_bits)) return gemm;
       const std::int64_t groups =
           ops::lut::lut_groups(static_cast<int>(k), in_act_bits);
-      return ops::lut::lut_table_bytes(static_cast<int>(n),
-                                       static_cast<int>(k), in_act_bits) +
-             groups * ops::lut::kLutTileM + (n + n + n) * 4;
+      const std::int64_t lut =
+          ops::lut::lut_table_bytes(static_cast<int>(n), static_cast<int>(k),
+                                    in_act_bits) +
+          groups * ops::lut::kLutTileM + (n + n + n) * 4;
+      return std::max(gemm, lut);
     }
     case OpKind::DepthwiseConv2D:
       // Per-channel int32 accumulators.
@@ -92,9 +98,11 @@ std::int64_t fast_panel_bytes(const Graph& g, int id, int in_act_bits) {
            n * 4;
   };
   if (l.kind == OpKind::FullyConnected) {
-    return ops::lut::lut_planned(in_act_bits)
-               ? lut_panel(g.shape(l.inputs[0]).elements())
-               : 0;
+    // fc shares the conv panel GEMM: bt panel + wsum always resident once
+    // prepacked, plus the LUT recode when the force mode can run it.
+    const std::int64_t k = g.shape(l.inputs[0]).elements();
+    const std::int64_t gemm = l.out_channels * k + l.out_channels * 4;
+    return ops::lut::lut_planned(in_act_bits) ? gemm + lut_panel(k) : gemm;
   }
   if (l.kind != OpKind::Conv2D) return 0;
   const std::int64_t k = ops::im2col_row_elements(g.shape(l.inputs[0]), l);

@@ -106,12 +106,16 @@ void fast_conv2d_impl(ScratchArena& arena, const TensorShape& is,
   const QuantParams& out_params = out.params();
 
   // Per-column constant folding bias and the input zero-point correction.
+  // The AVX-VNNI generation's GEMM block biases every activation lane by
+  // +128 (see SimdKernels::gemm_a_bias); treating the bias as part of the
+  // zero point folds its -128*Σw correction into the same constant.
+  const std::int32_t a_zp = ip.zero_point + simd::gemm_activation_bias(simd);
   auto offset = arena.i32(static_cast<std::size_t>(n));
   for (int j = 0; j < n; ++j) {
     const std::int32_t bias =
         qbias.empty() ? 0 : qbias[static_cast<std::size_t>(j)];
     offset[static_cast<std::size_t>(j)] =
-        bias - ip.zero_point * wsum[static_cast<std::size_t>(j)];
+        bias - a_zp * wsum[static_cast<std::size_t>(j)];
   }
   auto a = arena.i8(static_cast<std::size_t>(os.w) * k);
   auto acc = arena.i32(4 * static_cast<std::size_t>(n));
@@ -514,57 +518,35 @@ void KernelBackend::fully_connected_into(const QTensor& in, const Layer& l,
                           acc.data(), out.data().data(), simd_);
     return;
   }
-  const FixedPointMultiplier m = quantize_multiplier(
+  // m == 1 GEMM over the k-major weight panel: the same accumulator tile
+  // (and Simd microkernel — pair-madd or dot-product generation) as conv,
+  // with CMSIS-NN zero-point folding in place of the per-lane subtraction.
+  // The panel is cached/prepacked exactly like a conv panel, so compiled
+  // models pay the repack once at construction.
+  const int n = l.out_channels;
+  const int k = static_cast<int>(in_features);
+  arena_.reset();
+  const PanelView w = weight_panel(qweights, n, k);
+  const std::int32_t a_zp =
+      ip.zero_point + simd::gemm_activation_bias(simd_);
+  auto offset = arena_.i32(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    const std::int32_t bias =
+        qbias.empty() ? 0 : qbias[static_cast<std::size_t>(j)];
+    offset[static_cast<std::size_t>(j)] =
+        bias - a_zp * w.wsum[static_cast<std::size_t>(j)];
+  }
+  auto acc = arena_.i32(static_cast<std::size_t>(n));  // one row: m == 1
+  GemmQuantPost post;
+  post.offset = offset.data();
+  post.multiplier = quantize_multiplier(
       static_cast<double>(ip.scale) * wparams.scale / out_params.scale);
+  post.output_zp = out_params.zero_point;
   const auto [act_lo, act_hi] = activation_range(l.act, out_params);
-  const std::int32_t zp = ip.zero_point;
-  const std::int8_t* x = in.data().data();
-  const std::int8_t* w = qweights.data();
-  std::int8_t* y = out.data().data();
-  const std::size_t kf = static_cast<std::size_t>(in_features);
-  int o = 0;
-  for (; o + 4 <= l.out_channels; o += 4) {
-    const std::int8_t* w0 = w + static_cast<std::size_t>(o) * kf;
-    const std::int8_t* w1 = w0 + kf;
-    const std::int8_t* w2 = w1 + kf;
-    const std::int8_t* w3 = w2 + kf;
-    std::int32_t a0 = qbias.empty() ? 0 : qbias[static_cast<std::size_t>(o)];
-    std::int32_t a1 =
-        qbias.empty() ? 0 : qbias[static_cast<std::size_t>(o) + 1];
-    std::int32_t a2 =
-        qbias.empty() ? 0 : qbias[static_cast<std::size_t>(o) + 2];
-    std::int32_t a3 =
-        qbias.empty() ? 0 : qbias[static_cast<std::size_t>(o) + 3];
-    for (std::size_t i = 0; i < kf; ++i) {
-      const std::int32_t xv = static_cast<std::int32_t>(x[i]) - zp;
-      a0 += xv * w0[i];
-      a1 += xv * w1[i];
-      a2 += xv * w2[i];
-      a3 += xv * w3[i];
-    }
-    y[o] = static_cast<std::int8_t>(
-        clamp_to(apply_multiplier(a0, m) + out_params.zero_point, act_lo,
-                 act_hi));
-    y[o + 1] = static_cast<std::int8_t>(
-        clamp_to(apply_multiplier(a1, m) + out_params.zero_point, act_lo,
-                 act_hi));
-    y[o + 2] = static_cast<std::int8_t>(
-        clamp_to(apply_multiplier(a2, m) + out_params.zero_point, act_lo,
-                 act_hi));
-    y[o + 3] = static_cast<std::int8_t>(
-        clamp_to(apply_multiplier(a3, m) + out_params.zero_point, act_lo,
-                 act_hi));
-  }
-  for (; o < l.out_channels; ++o) {
-    const std::int8_t* wr = w + static_cast<std::size_t>(o) * kf;
-    std::int32_t acc = qbias.empty() ? 0 : qbias[static_cast<std::size_t>(o)];
-    for (std::size_t i = 0; i < kf; ++i) {
-      acc += (static_cast<std::int32_t>(x[i]) - zp) * wr[i];
-    }
-    y[o] = static_cast<std::int8_t>(
-        clamp_to(apply_multiplier(acc, m) + out_params.zero_point, act_lo,
-                 act_hi));
-  }
+  post.act_lo = act_lo;
+  post.act_hi = act_hi;
+  gemm_int8_requant(in.data().data(), w.bt.data(), 1, n, k, post, acc.data(),
+                    out.data().data(), simd_);
 }
 
 QTensor KernelBackend::fully_connected(const QTensor& in, const Layer& l,

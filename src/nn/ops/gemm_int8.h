@@ -51,7 +51,9 @@ struct GemmQuantPost {
 };
 
 // C[m][n] (row-major, stride n) = requant(A[m][:] · Bt[:][n] + offset[n]).
-// `acc` is caller-provided scratch of at least 4 * n int32. When `simd` is
+// `acc` is caller-provided scratch of at least min(4, m) * n int32 (the
+// block walks at most 4 A rows at a time; fc calls with m == 1 need only
+// one accumulator row). When `simd` is
 // non-null, the accumulator block and the fused requantize epilogue run on
 // its microkernels (per-entry scalar fallback; results are bit-identical
 // either way — that is the Simd tier's contract).

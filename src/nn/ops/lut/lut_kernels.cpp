@@ -198,6 +198,12 @@ bool lut_use(int bits, int zero_point, int n, int k, int m, bool fc,
   if (bits != 2) return false;
   if (!cached_panels) return false;
   if (simd == nullptr || simd->lut_gemm_block == nullptr) return false;
+  // The 2-bit edge was measured against the pair-madd GEMM (~1.11x on
+  // AVX2). A dot-product gemm_block_i8 generation (AVX-VNNI / NEON sdot)
+  // retires 4 k-elements per lane and clears that bar, so Auto keeps the
+  // GEMM path whenever the active table is a dot generation
+  // (QMCU_FORCE_NO_DOT demotes the table and restores the LUT win).
+  if (simd->gemm_dot) return false;
   if (fc) return k >= 64;
   if (m < 16) return false;  // partial m-tiles waste shuffle lanes
   return n >= 8 && k >= 16;
@@ -208,7 +214,13 @@ bool lut_planned(int bits) {
   switch (lut_force()) {
     case LutForce::Off: return false;
     case LutForce::On: return true;
-    case LutForce::Auto: return bits == 2;
+    case LutForce::Auto:
+      // Mirror lut_use: a dot-product GEMM generation outruns the 2-bit
+      // shuffle body, so Auto never dispatches the LUT there — don't bake
+      // its tables. QMCU_FORCE_NO_DOT is read live inside kernels(), so
+      // flipping it after construction costs at most one lazy table build.
+      return bits == 2 &&
+             !(simd::kernels() != nullptr && simd::kernels()->gemm_dot);
   }
   return false;
 }

@@ -5,6 +5,14 @@
 // variable QMCU_FORCE_SCALAR (any value other than "0" or empty) forces
 // Isa::None — the escape hatch the CI scalar matrix leg and the tier
 // parity tests use to run the Simd code paths on their scalar fallbacks.
+//
+// Layered on top of the base ISA is the dot-product *generation*: CPUs
+// that fuse the 4-element int8 multiply-reduce into one instruction
+// (AVX-VNNI's vpdpbusd, AArch64 dotprod's sdot) get a table whose
+// gemm_block_i8 retires 4 k-elements per lane instead of the pair-madd
+// kernels' 2. QMCU_FORCE_NO_DOT demotes the dispatch to the base
+// pair-madd table; unlike QMCU_FORCE_SCALAR it is read live (like the
+// LUT force variables), so a single process can compare both generations.
 #pragma once
 
 namespace qmcu::nn::ops::simd {
@@ -20,5 +28,24 @@ const char* isa_name(Isa isa);
 
 // True when detected_isa() selects a real microkernel table.
 bool available();
+
+// Dot-product instruction generation layered on the base ISA.
+enum class DotIsa { None, AvxVnni, NeonDot };
+
+// The dot-product generation the running CPU supports (cached after the
+// first call; Isa::None — including forced scalar — implies DotIsa::None).
+DotIsa detected_dot_isa();
+
+// "none" / "avx-vnni" / "neon-dot" — what CI logs for the dot probe.
+const char* dot_isa_name(DotIsa isa);
+
+// True when QMCU_FORCE_NO_DOT demotes the dispatch to the pair-madd
+// table. Read live on every call, so tests can flip it mid-process.
+bool dot_forced_off();
+
+// True when kernels() hands out a dot-product generation right now:
+// detected_dot_isa() found one, its table is compiled into this binary,
+// and QMCU_FORCE_NO_DOT is not set.
+bool dot_available();
 
 }  // namespace qmcu::nn::ops::simd

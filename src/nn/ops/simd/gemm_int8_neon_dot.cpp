@@ -1,0 +1,165 @@
+// gemm_int8_neon_dot.cpp — AArch64 dotprod (sdot) GEMM generation.
+//
+// Compiled per-TU with the dotprod arch extension where the toolchain
+// supports it (see CMakeLists.txt) and compile-gated on
+// __ARM_FEATURE_DOTPROD, so base aarch64 builds still carry the kernel
+// and cpu_features' hwcap probe decides at runtime whether it ever runs.
+//
+// sdot is the signed 4-way fused multiply-reduce: each int32 lane gains
+// dot(a.bytes[4i..4i+3], b.bytes[4i..4i+3]) in one instruction, retiring
+// 4 k-elements per lane where the pair-widening vmlal_s16 kernel retires
+// 2 — and both operands are signed, so unlike the AVX-VNNI generation no
+// activation bias is needed (gemm_a_bias stays 0). Integer sums are
+// exact in any order, so the result is bit-identical to the scalar block.
+//
+// The k-major panel stores consecutive columns per byte while sdot wants
+// each lane's 4 bytes to be consecutive k steps of one column; a
+// two-level vzip ladder transposes 4 weight rows into per-column 4-byte
+// groups on the fly, amortized over the 4 activation rows of the tile.
+#include "nn/ops/simd/simd_kernels.h"
+
+#if (defined(__ARM_NEON) || defined(__ARM_NEON__)) && \
+    defined(__ARM_FEATURE_DOTPROD)
+
+#include <arm_neon.h>
+
+#include <cstring>
+
+namespace qmcu::nn::ops::simd {
+
+namespace {
+
+// Broadcast of 4 consecutive activation bytes to every 32-bit lane.
+// `count` in 1..4; missing bytes stay 0, exact against the zeroed weight
+// rows the tail path pairs them with.
+inline int8x16_t broadcast_a4(const std::int8_t* a, int count) {
+  std::uint32_t g = 0;
+  if (count == 4) {
+    std::memcpy(&g, a, 4);
+  } else {
+    for (int i = 0; i < count; ++i) {
+      g |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(a[i]))
+           << (8 * i);
+    }
+  }
+  return vreinterpretq_s8_u32(vdupq_n_u32(g));
+}
+
+// Transposes four 16-byte weight rows (k steps kk..kk+3 of 16 columns)
+// into four vectors whose lane c holds column c's 4 k-bytes: byte-zip
+// pairs rows (0,1) and (2,3), the 16-bit zip interleaves the pairs.
+inline void transpose_4x16(int8x16_t r0, int8x16_t r1, int8x16_t r2,
+                           int8x16_t r3, int8x16_t w[4]) {
+  const int8x16x2_t z01 = vzipq_s8(r0, r1);
+  const int8x16x2_t z23 = vzipq_s8(r2, r3);
+  const int16x8x2_t lo = vzipq_s16(vreinterpretq_s16_s8(z01.val[0]),
+                                   vreinterpretq_s16_s8(z23.val[0]));
+  const int16x8x2_t hi = vzipq_s16(vreinterpretq_s16_s8(z01.val[1]),
+                                   vreinterpretq_s16_s8(z23.val[1]));
+  w[0] = vreinterpretq_s8_s16(lo.val[0]);  // columns 0..3
+  w[1] = vreinterpretq_s8_s16(lo.val[1]);  // columns 4..7
+  w[2] = vreinterpretq_s8_s16(hi.val[0]);  // columns 8..11
+  w[3] = vreinterpretq_s8_s16(hi.val[1]);  // columns 12..15
+}
+
+template <int ROWS>
+void gemm_tile_16(const std::int8_t* a, const std::int8_t* bt, int n, int k,
+                  int j0, std::int32_t* acc) {
+  int32x4_t acc_v[ROWS][4];
+  for (int r = 0; r < ROWS; ++r) {
+    for (int q = 0; q < 4; ++q) acc_v[r][q] = vdupq_n_s32(0);
+  }
+  int8x16_t w[4];
+  int kk = 0;
+  for (; kk + 4 <= k; kk += 4) {
+    const std::int8_t* b0 = bt + static_cast<std::size_t>(kk) * n + j0;
+    transpose_4x16(vld1q_s8(b0), vld1q_s8(b0 + n), vld1q_s8(b0 + 2 * n),
+                   vld1q_s8(b0 + 3 * n), w);
+    for (int r = 0; r < ROWS; ++r) {
+      const int8x16_t av =
+          broadcast_a4(a + static_cast<std::size_t>(r) * k + kk, 4);
+      for (int q = 0; q < 4; ++q) {
+        acc_v[r][q] = vdotq_s32(acc_v[r][q], av, w[q]);
+      }
+    }
+  }
+  if (kk < k) {  // k tail: zero-filled weight rows against zero a bytes
+    const int t = k - kk;
+    const std::int8_t* b0 = bt + static_cast<std::size_t>(kk) * n + j0;
+    const int8x16_t r1 = t > 1 ? vld1q_s8(b0 + n) : vdupq_n_s8(0);
+    const int8x16_t r2 = t > 2 ? vld1q_s8(b0 + 2 * n) : vdupq_n_s8(0);
+    transpose_4x16(vld1q_s8(b0), r1, r2, vdupq_n_s8(0), w);
+    for (int r = 0; r < ROWS; ++r) {
+      const int8x16_t av =
+          broadcast_a4(a + static_cast<std::size_t>(r) * k + kk, t);
+      for (int q = 0; q < 4; ++q) {
+        acc_v[r][q] = vdotq_s32(acc_v[r][q], av, w[q]);
+      }
+    }
+  }
+  for (int r = 0; r < ROWS; ++r) {
+    std::int32_t* out = acc + static_cast<std::size_t>(r) * n + j0;
+    for (int q = 0; q < 4; ++q) vst1q_s32(out + 4 * q, acc_v[r][q]);
+  }
+}
+
+void gemm_block_i8_neon_dot(const std::int8_t* a, const std::int8_t* bt,
+                            int rows, int n, int k, std::int32_t* acc) {
+  int j0 = 0;
+  for (; j0 + 16 <= n; j0 += 16) {
+    switch (rows) {
+      case 4:
+        gemm_tile_16<4>(a, bt, n, k, j0, acc);
+        break;
+      case 3:
+        gemm_tile_16<3>(a, bt, n, k, j0, acc);
+        break;
+      case 2:
+        gemm_tile_16<2>(a, bt, n, k, j0, acc);
+        break;
+      default:
+        gemm_tile_16<1>(a, bt, n, k, j0, acc);
+        break;
+    }
+  }
+  // Column tail (< 16): the base NEON table's scalar column walk.
+  for (int r = 0; r < rows; ++r) {
+    const std::int8_t* ar = a + static_cast<std::size_t>(r) * k;
+    for (int j = j0; j < n; ++j) {
+      const std::int8_t* bp = bt + j;
+      std::int32_t s = 0;
+      for (int kk = 0; kk < k; ++kk) {
+        s += static_cast<std::int32_t>(ar[kk]) *
+             bp[static_cast<std::size_t>(kk) * n];
+      }
+      acc[static_cast<std::size_t>(r) * n + j] = s;
+    }
+  }
+}
+
+}  // namespace
+
+const SimdKernels* neon_dot_kernels() {
+  static const SimdKernels* table = []() -> const SimdKernels* {
+    const SimdKernels* base = neon_kernels();
+    if (base == nullptr) return nullptr;
+    // The generation shares every non-GEMM entry with the base NEON table.
+    static SimdKernels t;
+    t = *base;
+    t.name = "neon+dot";
+    t.gemm_block_i8 = &gemm_block_i8_neon_dot;
+    t.gemm_dot = true;
+    return &t;
+  }();
+  return table;
+}
+
+}  // namespace qmcu::nn::ops::simd
+
+#else  // no NEON dotprod support in this TU's target
+
+namespace qmcu::nn::ops::simd {
+const SimdKernels* neon_dot_kernels() { return nullptr; }
+}  // namespace qmcu::nn::ops::simd
+
+#endif

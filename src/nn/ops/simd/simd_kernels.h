@@ -42,8 +42,12 @@ namespace qmcu::nn::ops::simd {
 struct SimdKernels {
   const char* name = "none";
 
-  // acc[r*n + j] = sum_k a[r*k + kk] * bt[kk*n + j], rows in 1..4. Writes
-  // (not accumulates into) rows*n int32 lanes of acc.
+  // acc[r*n + j] = sum_k (a[r*k + kk] + gemm_a_bias) * bt[kk*n + j], rows
+  // in 1..4. Writes (not accumulates into) rows*n int32 lanes of acc.
+  // gemm_a_bias is 0 for every table except the AVX-VNNI generation, whose
+  // vpdpbusd multiplies u8 x s8: it biases activations by xor 0x80
+  // (a + 128) and the caller folds the -128*Σw correction into the
+  // per-column zero-point offset row (gemm_activation_bias() below).
   void (*gemm_block_i8)(const std::int8_t* a, const std::int8_t* bt, int rows,
                         int n, int k, std::int32_t* acc) = nullptr;
 
@@ -81,14 +85,42 @@ struct SimdKernels {
   void (*lut_gemm_block)(const std::uint8_t* idx_t, const std::int8_t* tables,
                          int rows, int n, int groups,
                          std::int32_t* acc) = nullptr;
+
+  // Constant added to every activation lane inside gemm_block_i8 (see its
+  // contract above): 128 for the AVX-VNNI generation, 0 everywhere else.
+  std::int32_t gemm_a_bias = 0;
+
+  // True when gemm_block_i8 is a dot-product generation (vpdpbusd / sdot)
+  // — what the LUT break-even heuristic and the dot bench counters key on.
+  bool gemm_dot = false;
 };
 
-// The table for detected_isa(), or nullptr when scalar (Isa::None).
+// The activation bias the *selected* GEMM block applies: the table's
+// gemm_a_bias when its gemm_block_i8 entry will run, 0 when the scalar
+// fallback runs instead. Callers building the per-column offset row must
+// subtract (zero_point + this) * wsum[j] for bit-exactness.
+inline std::int32_t gemm_activation_bias(const SimdKernels* simd) {
+  return (simd != nullptr && simd->gemm_block_i8 != nullptr)
+             ? simd->gemm_a_bias
+             : 0;
+}
+
+// The table for detected_isa(), or nullptr when scalar (Isa::None). When
+// the CPU has a dot-product generation (detected_dot_isa()) and
+// QMCU_FORCE_NO_DOT is unset, the matching dot table is returned instead
+// of the base pair-madd table. The force variable is read live on every
+// call, so backends constructed after a setenv() see the change.
 const SimdKernels* kernels();
 
 // Per-ISA tables (null when this binary was not built for that ISA).
 // Exposed for the dispatcher and for tests that pin a table directly.
 const SimdKernels* avx2_kernels();
 const SimdKernels* neon_kernels();
+
+// Dot-product generations: the base table with gemm_block_i8 swapped for
+// the fused multiply-reduce kernel (null when the base table is null or
+// the dot TU was compiled out).
+const SimdKernels* avx2_vnni_kernels();
+const SimdKernels* neon_dot_kernels();
 
 }  // namespace qmcu::nn::ops::simd

@@ -911,11 +911,14 @@ CompiledPatchQuantModel::WorkerCtx& CompiledPatchQuantModel::worker_ctx(
           ctx->backend.prepack_lut(w.data, n, k, bits);
         }
       } else if (l.kind == nn::OpKind::FullyConnected &&
-                 g.has_parameters(layer_id) &&
-                 nn::ops::lut::lut_planned(in_bits())) {
+                 g.has_parameters(layer_id)) {
         const auto& w = params_->weights[static_cast<std::size_t>(layer_id)];
         const int k = static_cast<int>(g.shape(l.inputs[0]).elements());
-        ctx->backend.prepack_lut(w.data, l.out_channels, k, in_bits());
+        // fc shares the conv panel GEMM since the microkernel rewrite.
+        ctx->backend.prepack(w.data, l.out_channels, k);
+        if (nn::ops::lut::lut_planned(in_bits())) {
+          ctx->backend.prepack_lut(w.data, l.out_channels, k, in_bits());
+        }
       }
     };
     for (const BranchStep& step : plan_.branches.front().steps) {

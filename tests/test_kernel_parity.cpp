@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <optional>
 #include <vector>
 
 #include "nn/ops/gemm_int8.h"
@@ -254,6 +255,187 @@ struct EnvGuard {
   EnvGuard& operator=(const EnvGuard&) = delete;
   const char* name_;
 };
+
+// --- Dot-product GEMM generation -------------------------------------------
+// The AVX-VNNI / NEON sdot gemm_block_i8 bodies retire 4 k-elements per
+// int32 lane. VNNI's vpdpbusd is u8×s8, so that table biases activations by
+// +128 (gemm_a_bias) and the backend folds the -128·Σw correction into the
+// offset row; sdot is s8×s8 and needs no bias. Both must reproduce the
+// scalar accumulator bit-exactly. QMCU_FORCE_NO_DOT is read live, so one
+// process can pin the pair-madd generation and compare.
+
+// Direct pinned-table check against the documented contract
+//   acc[r*n+j] = Σ_k (a[r*k+kk] + gemm_a_bias) · bt[kk*n+j]
+// over ragged shapes: column tails < 16 and < 8, odd k, k % 4 tails, k < 4
+// (a single partly-filled dot group), and saturating ±extreme operands.
+TEST(KernelParity, DotGemmBlockMatchesContract) {
+  const simd::SimdKernels* table = nullptr;
+  switch (simd::detected_dot_isa()) {
+    case simd::DotIsa::AvxVnni:
+      table = simd::avx2_vnni_kernels();
+      break;
+    case simd::DotIsa::NeonDot:
+      table = simd::neon_dot_kernels();
+      break;
+    case simd::DotIsa::None:
+      break;
+  }
+  if (table == nullptr) {
+    GTEST_SKIP() << "no dot-product generation on this host (probe "
+                 << simd::dot_isa_name(simd::detected_dot_isa()) << ")";
+  }
+  ASSERT_TRUE(table->gemm_dot);
+  ASSERT_NE(table->gemm_block_i8, nullptr);
+  nn::Rng rng(2323);
+  for (int trial = 0; trial < 80; ++trial) {
+    const int rows = 1 + static_cast<int>(rng.uniform(0, 4));
+    const int n = 1 + static_cast<int>(rng.uniform(0, 70));
+    const int k = 1 + static_cast<int>(rng.uniform(0, 90));
+    std::vector<std::int8_t> a(static_cast<std::size_t>(rows) * k);
+    std::vector<std::int8_t> w(static_cast<std::size_t>(n) * k);
+    if (trial % 7 == 0) {
+      // Saturating extremes: the largest per-group magnitudes vpdpbusd and
+      // sdot can see (255·127 and 128·128 products).
+      for (auto& v : a) v = rng.uniform() < 0.5 ? -128 : 127;
+      for (auto& v : w) v = rng.uniform() < 0.5 ? -128 : 127;
+    } else {
+      for (auto& v : a) v = static_cast<std::int8_t>(rng.uniform(-128, 128));
+      for (auto& v : w) v = static_cast<std::int8_t>(rng.uniform(-128, 128));
+    }
+    std::vector<std::int8_t> bt(w.size());
+    pack_weights_kmajor(w, n, k, bt.data());
+    std::vector<std::int32_t> acc(static_cast<std::size_t>(rows) * n, -7);
+    table->gemm_block_i8(a.data(), bt.data(), rows, n, k, acc.data());
+    for (int r = 0; r < rows; ++r) {
+      for (int j = 0; j < n; ++j) {
+        std::int32_t want = 0;
+        for (int kk = 0; kk < k; ++kk) {
+          want += (static_cast<std::int32_t>(
+                       a[static_cast<std::size_t>(r) * k + kk]) +
+                   table->gemm_a_bias) *
+                  w[static_cast<std::size_t>(j) * k + kk];
+        }
+        ASSERT_EQ(acc[static_cast<std::size_t>(r) * n + j], want)
+            << "rows=" << rows << " n=" << n << " k=" << k << " r=" << r
+            << " j=" << j;
+      }
+    }
+  }
+}
+
+// fc shape ladder through the m == 1 panel microkernel: k below one dot
+// group (k < 4), below the 16-wide panel, odd k, and past the panel width,
+// across every weight/activation bit mode with and without bias — Fast and
+// Simd against Reference, once with the dot generation active and once
+// demoted to pair-madd (the backend snapshots the table at construction, so
+// the guard wraps construction).
+TEST(KernelParity, FullyConnectedLadderBitExact) {
+  nn::Rng rng(2424);
+  const int ks[] = {1, 2, 3, 5, 7, 12, 15, 16, 17, 31, 33, 64, 127};
+  const int bit_options[] = {2, 4, 8};
+  for (int pass = 0; pass < 2; ++pass) {
+    std::optional<EnvGuard> no_dot;
+    if (pass == 1) no_dot.emplace("QMCU_FORCE_NO_DOT", "1");
+    int trial = 0;
+    for (const int k : ks) {
+      const int wb = bit_options[trial % 3];
+      const int ab = bit_options[(trial / 3) % 3];
+      ++trial;
+      const int out_c = 1 + static_cast<int>(rng.uniform(0, 40));
+      Layer l;
+      l.kind = OpKind::FullyConnected;
+      l.out_channels = out_c;
+      QuantParams in_p{0.04f, 0, ab};
+      in_p.zero_point =
+          static_cast<std::int32_t>(rng.uniform(in_p.qmin(), in_p.qmax() + 1));
+      const QuantParams out_p{
+          0.1f, static_cast<std::int32_t>(rng.uniform(-8, 8)), 8};
+      const QuantParams wp{0.015f, 0, wb};
+      QTensor qin(TensorShape{1, 1, k}, in_p);
+      for (std::int8_t& v : qin.data()) {
+        v = static_cast<std::int8_t>(
+            rng.uniform(in_p.qmin(), in_p.qmax() + 1));
+      }
+      std::vector<std::int8_t> w(static_cast<std::size_t>(k) * out_c);
+      for (std::int8_t& v : w) {
+        v = static_cast<std::int8_t>(rng.uniform(wp.qmin(), wp.qmax() + 1));
+      }
+      std::vector<std::int32_t> bias;
+      if (trial % 2 == 0) {
+        bias.resize(static_cast<std::size_t>(out_c));
+        for (std::int32_t& b : bias) {
+          b = static_cast<std::int32_t>(rng.uniform(-3000, 3000));
+        }
+      }
+      KernelBackend ref(KernelTier::Reference);
+      const QTensor want = ref.fully_connected(qin, l, w, wp, bias, out_p);
+      for (const KernelTier tier : kFastTiers) {
+        KernelBackend fast(tier);
+        expect_q_identical(want,
+                           fast.fully_connected(qin, l, w, wp, bias, out_p),
+                           pass == 1 ? "fc-ladder-nodot" : "fc-ladder");
+      }
+    }
+  }
+}
+
+// The VNNI bias-correction fold under zero-point extremes: a_zp = zp + 128
+// spans 0..255, and a sign mistake in the u8 bias or the folded -128·Σw
+// term shows immediately at the ±128/±127 corners. conv exercises the same
+// fold through the padded im2col path.
+TEST(KernelParity, DotGenerationZeroPointBitExact) {
+  nn::Rng rng(2525);
+  const std::int32_t zps[] = {-128, -100, -8, -1, 0, 1, 7, 100, 127};
+  for (int pass = 0; pass < 2; ++pass) {
+    std::optional<EnvGuard> no_dot;
+    if (pass == 1) no_dot.emplace("QMCU_FORCE_NO_DOT", "1");
+    for (const std::int32_t zp : zps) {
+      // fc: saturating activations/weights on even trials.
+      const int k = 5 + static_cast<int>(rng.uniform(0, 90));
+      const int out_c = 1 + static_cast<int>(rng.uniform(0, 30));
+      Layer l;
+      l.kind = OpKind::FullyConnected;
+      l.out_channels = out_c;
+      const QuantParams in_p{0.04f, zp, 8};
+      const QuantParams out_p{0.1f, -2, 8};
+      const QuantParams wp{0.015f, 0, 8};
+      QTensor qin(TensorShape{1, 1, k}, in_p);
+      const bool saturate = zp % 2 == 0;
+      for (std::int8_t& v : qin.data()) {
+        v = saturate ? (rng.uniform() < 0.5 ? -128 : 127)
+                     : static_cast<std::int8_t>(rng.uniform(-128, 128));
+      }
+      std::vector<std::int8_t> w(static_cast<std::size_t>(k) * out_c);
+      for (std::int8_t& v : w) {
+        v = saturate ? (rng.uniform() < 0.5 ? -128 : 127)
+                     : static_cast<std::int8_t>(rng.uniform(-128, 128));
+      }
+      KernelBackend ref(KernelTier::Reference);
+      const QTensor want = ref.fully_connected(qin, l, w, wp, {}, out_p);
+      for (const KernelTier tier : kFastTiers) {
+        KernelBackend fast(tier);
+        expect_q_identical(want,
+                           fast.fully_connected(qin, l, w, wp, {}, out_p),
+                           "fc-zp");
+      }
+
+      // conv: zero-point padding flows through the same offset fold.
+      RandomCase c = random_case(rng, OpKind::Conv2D, 8, 8);
+      c.in_params.zero_point = zp;
+      QTensor cin(c.in_shape, c.in_params);
+      std::copy(c.qin.data().begin(), c.qin.data().end(), cin.data().begin());
+      const QTensor cwant = ref.conv2d(cin, c.layer, c.qweights, c.wparams,
+                                       c.qbias, c.out_params);
+      for (const KernelTier tier : kFastTiers) {
+        KernelBackend fast(tier);
+        expect_q_identical(cwant,
+                           fast.conv2d(cin, c.layer, c.qweights, c.wparams,
+                                       c.qbias, c.out_params),
+                           "conv-zp");
+      }
+    }
+  }
+}
 
 // A conv/fc case whose input zero point is representable at `act_bits` —
 // the LUT eligibility precondition (im2col pads with the zero point, which
@@ -703,6 +885,25 @@ TEST(BackendRegression, ExecutorsTierInvariantUnderForcedLut) {
   expect_q_identical(want, fast.run(in));
   expect_q_identical(want, simd.run(in));
   ::unsetenv("QMCU_FORCE_LUT");
+}
+
+// Demoting the dot-product GEMM generation must not change any executor
+// output. The backend snapshots its kernel table at construction, so one
+// executor is built with QMCU_FORCE_NO_DOT pinned and one without; on hosts
+// with no dot generation both resolve to the same table and the test
+// degenerates to self-comparison.
+TEST(BackendRegression, QuantExecutorDotGenerationInvariant) {
+  const nn::Graph g = small_mbv2();
+  const std::vector<nn::Tensor> calib{random_input(g.shape(0), 41)};
+  const auto ranges = quant::calibrate_ranges(g, calib);
+  const auto cfg = quant::make_quant_config(g, ranges, nn::uniform_bits(g, 8));
+  const nn::QuantExecutor dot(g, cfg, nn::ops::KernelTier::Simd);
+  ::setenv("QMCU_FORCE_NO_DOT", "1", 1);
+  const nn::QuantExecutor nodot(g, cfg, nn::ops::KernelTier::Simd);
+  const nn::Tensor in = random_input(g.shape(0), 42);
+  const nn::QTensor want = nodot.run(in);
+  ::unsetenv("QMCU_FORCE_NO_DOT");
+  expect_q_identical(want, dot.run(in));
 }
 
 TEST(BackendRegression, PatchExecutorFloatTierInvariant) {

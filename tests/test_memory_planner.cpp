@@ -174,7 +174,12 @@ TEST(MemoryPlanner, ScratchModelMatchesMeasuredLutBackendFootprint) {
   ::unsetenv("QMCU_FORCE_LUT");
   ::unsetenv("QMCU_NO_LUT");
   EXPECT_EQ(fast_scratch_bytes(g, conv, 4), fast_scratch_bytes(g, conv));
+  // Pin the pair-madd generation: on dot-capable hosts Auto skips the
+  // 2-bit LUT entirely (the dot GEMM outruns it), so no tables are priced
+  // and the 2-bit bound would equal int8's.
+  ::setenv("QMCU_FORCE_NO_DOT", "1", 1);
   EXPECT_GT(fast_scratch_bytes(g, conv, 2), fast_scratch_bytes(g, conv));
+  ::unsetenv("QMCU_FORCE_NO_DOT");
 }
 
 TEST(MemoryPlanner, ScratchCoversSoftmaxFloatDetour) {
@@ -183,7 +188,9 @@ TEST(MemoryPlanner, ScratchCoversSoftmaxFloatDetour) {
   const int fc = g.add_fully_connected(in, 10, Activation::None);
   const int sm = g.add_softmax(fc);
   const auto plan = plan_layer_based(g, uniform_bits(g, 8));
-  EXPECT_EQ(plan.step_scratch_bytes[static_cast<std::size_t>(fc)], 0);
+  // fc scratch: uncached k-major panel (n*k) + wsum/offset/acc (3n words).
+  EXPECT_EQ(plan.step_scratch_bytes[static_cast<std::size_t>(fc)],
+            10 * 10 + (10 + 10 + 10) * 4);
   EXPECT_EQ(plan.step_scratch_bytes[static_cast<std::size_t>(sm)],
             2 * 10 * 4);
 }

@@ -38,8 +38,11 @@ def load_benchmarks(path):
         out[bm["name"]] = {
             "time": float(bm.get("real_time", bm.get("cpu_time"))) * unit,
             # Simd-tier benches report whether a real ISA ran (1) or the
-            # scalar fallback (0); absent means not a Simd entry.
+            # scalar fallback (0); absent means not a Simd entry. The same
+            # convention covers the dot-product GEMM generation rows
+            # (dot_active: AVX-VNNI / NEON sdot ran, vs pair-madd).
             "simd_active": bm.get("simd_active"),
+            "dot_active": bm.get("dot_active"),
         }
     return out
 
@@ -51,7 +54,8 @@ def main():
     parser.add_argument(
         "--guard",
         default=r"^BM_(RepeatedPatchRun|ParallelPatchRun|PipelinedPatchRun"
-                r"|Conv2dInt8Simd|PackedConvTierSweep|LutGemm)\b",
+                r"|Conv2dInt8Simd|PackedConvTierSweep|LutGemm"
+                r"|GemmTierSweep|FcTierSweep)\b",
         help="regex of benchmark names that must not regress",
     )
     parser.add_argument(
@@ -70,13 +74,26 @@ def main():
     baseline = load_benchmarks(args.baseline)
     current = load_benchmarks(args.current)
 
-    if args.calibrate not in baseline or args.calibrate not in current:
+    calibrate = args.calibrate
+    if calibrate not in baseline or calibrate not in current:
+        # A --benchmark_filter that excludes the default calibration entry
+        # (e.g. a CI leg running only one family) shouldn't crash the
+        # guard: fall back to any Reference-tier entry both runs share —
+        # scalar single-threaded kernels that track raw machine speed
+        # exactly like the default.
+        shared = sorted(n for n in baseline
+                        if n in current and "Ref" in n)
+        if not shared:
+            print(f"bench_guard: calibration benchmark '{calibrate}' "
+                  "missing from baseline or current run, and no shared "
+                  "*Ref* entry to fall back to", file=sys.stderr)
+            return 2
+        calibrate = shared[0]
         print(f"bench_guard: calibration benchmark '{args.calibrate}' "
-              "missing from baseline or current run", file=sys.stderr)
-        return 2
-    scale = current[args.calibrate]["time"] / baseline[args.calibrate]["time"]
+              f"not in both runs; falling back to '{calibrate}'")
+    scale = current[calibrate]["time"] / baseline[calibrate]["time"]
     print(f"bench_guard: machine scale {scale:.3f} "
-          f"(current {args.calibrate} / baseline)")
+          f"(current {calibrate} / baseline)")
 
     guard = re.compile(args.guard)
     guarded = sorted(n for n in baseline if guard.search(n))
@@ -111,6 +128,15 @@ def main():
                 not current[name].get("simd_active"):
             print(f"  skip  {name}: scalar fallback on this host "
                   "(baseline simd_active=1, current 0)")
+            skipped += 1
+            continue
+        # Same trick for the dot-product generation rows: a baseline
+        # recorded on an AVX-VNNI / sdot host is not a bar a pair-madd
+        # host can be held to.
+        if baseline[name].get("dot_active") and \
+                not current[name].get("dot_active"):
+            print(f"  skip  {name}: no dot-product generation on this host "
+                  "(baseline dot_active=1, current 0)")
             skipped += 1
             continue
         checked += 1
