@@ -18,6 +18,12 @@
 // Blocks are recycled best-fit and grow-only: a release returns the block
 // to the free list, an acquire reuses the smallest free block that fits or
 // allocates a new one. Thread-safe; the lease itself is move-only RAII.
+//
+// A slab may carry a capacity (bytes it will ever back). Serving
+// deployments use it as a hard memory budget: an acquire that cannot be
+// satisfied without growing past the capacity throws ArenaSlabExhausted —
+// a graceful, catchable error on the requesting lane (its future carries
+// it), never a deadlock or a partial lease. Capacity 0 = unbounded.
 #pragma once
 
 #include <algorithm>
@@ -25,15 +31,36 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "nn/check.h"
 
 namespace qmcu::nn {
 
+// Thrown by ArenaSlab::acquire when satisfying the lease would grow the
+// slab past its capacity. Distinct from QMCU_REQUIRE misuse errors so
+// serving layers can shed the one request instead of treating it as a bug.
+class ArenaSlabExhausted : public std::runtime_error {
+ public:
+  ArenaSlabExhausted(std::int64_t requested, std::int64_t capacity,
+                     std::int64_t footprint)
+      : std::runtime_error(
+            "arena slab exhausted: lease of " + std::to_string(requested) +
+            " B would grow footprint " + std::to_string(footprint) +
+            " B past capacity " + std::to_string(capacity) + " B") {}
+};
+
 class ArenaSlab {
  public:
   ArenaSlab() = default;
+  // `capacity_bytes` > 0 bounds the total bytes the slab will ever back;
+  // 0 keeps the grow-only unbounded behaviour.
+  explicit ArenaSlab(std::int64_t capacity_bytes)
+      : capacity_(capacity_bytes) {
+    QMCU_REQUIRE(capacity_bytes >= 0, "slab capacity must be non-negative");
+  }
   ArenaSlab(const ArenaSlab&) = delete;
   ArenaSlab& operator=(const ArenaSlab&) = delete;
 
@@ -98,6 +125,17 @@ class ArenaSlab {
       }
     }
     if (best < 0) {
+      if (capacity_ > 0) {
+        std::int64_t footprint = 0;
+        for (const Block& b : blocks_) footprint += b.size;
+        if (footprint + bytes > capacity_) {
+          // No free block fits and growing would bust the budget: fail
+          // this one lease loudly. The lock releases on unwind, leased
+          // blocks are untouched, and a later release makes room — the
+          // canonical recovery is "shed the request, retry later".
+          throw ArenaSlabExhausted(bytes, capacity_, footprint);
+        }
+      }
       blocks_.push_back(Block{
           std::make_unique<std::uint8_t[]>(static_cast<std::size_t>(bytes)),
           bytes, false});
@@ -131,6 +169,8 @@ class ArenaSlab {
     for (const Block& b : blocks_) n += b.in_use ? 1 : 0;
     return n;
   }
+  // The configured byte budget (0 = unbounded).
+  [[nodiscard]] std::int64_t capacity_bytes() const { return capacity_; }
 
  private:
   friend class Lease;
@@ -150,6 +190,7 @@ class ArenaSlab {
 
   mutable std::mutex mu_;
   std::vector<Block> blocks_;
+  std::int64_t capacity_ = 0;  // 0 = unbounded
   std::int64_t leased_ = 0;
   std::int64_t high_water_ = 0;
 };

@@ -1,0 +1,71 @@
+#include "nn/runtime/cpu_affinity.h"
+
+#include <algorithm>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace qmcu::nn::runtime {
+
+#if defined(__linux__)
+
+namespace {
+
+// Builds the cpu_set_t for `cpus`; false when the list is empty or names a
+// core the mask cannot represent.
+bool build_mask(std::span<const int> cpus, cpu_set_t* mask) {
+  CPU_ZERO(mask);
+  bool any = false;
+  for (const int c : cpus) {
+    if (c < 0 || c >= CPU_SETSIZE) return false;
+    CPU_SET(c, mask);
+    any = true;
+  }
+  return any;
+}
+
+}  // namespace
+
+bool affinity_supported() { return true; }
+
+int usable_cpus() {
+  cpu_set_t mask;
+  if (sched_getaffinity(0, sizeof(mask), &mask) == 0) {
+    const int n = CPU_COUNT(&mask);
+    if (n >= 1) return n;
+  }
+  return std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+}
+
+bool pin_current_thread(std::span<const int> cpus) {
+  cpu_set_t mask;
+  if (!build_mask(cpus, &mask)) return false;
+  return pthread_setaffinity_np(pthread_self(), sizeof(mask), &mask) == 0;
+}
+
+bool pin_thread(std::thread::native_handle_type handle,
+                std::span<const int> cpus) {
+  cpu_set_t mask;
+  if (!build_mask(cpus, &mask)) return false;
+  return pthread_setaffinity_np(handle, sizeof(mask), &mask) == 0;
+}
+
+#else  // !__linux__ — pinning is a no-op hint; callers run unpinned.
+
+bool affinity_supported() { return false; }
+
+int usable_cpus() {
+  return std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+}
+
+bool pin_current_thread(std::span<const int>) { return false; }
+
+bool pin_thread(std::thread::native_handle_type, std::span<const int>) {
+  return false;
+}
+
+#endif
+
+}  // namespace qmcu::nn::runtime

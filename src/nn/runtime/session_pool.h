@@ -36,6 +36,7 @@
 // traffic (max model arena x busy lanes), not by the number of models.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -71,6 +72,16 @@ class InferenceSession {
     return model_->run(input);
   }
 
+  // Pool-run flavour for models with intra-request parallelism
+  // (CompiledPatchModel::run(input, WorkerPool*)): the session's request
+  // accounting, the model's parallel path. Only instantiated when called,
+  // so plain run(input)-only models cost nothing.
+  template <class Pool>
+  Output run(const Tensor& input, Pool* pool) {
+    ++requests_;
+    return model_->run(input, pool);
+  }
+
   [[nodiscard]] const Model& model() const { return *model_; }
   [[nodiscard]] Model& model() { return *model_; }
   [[nodiscard]] std::uint64_t requests_served() const { return requests_; }
@@ -89,13 +100,19 @@ class SessionPool {
   // model (model->set_arena_source(slab)) as it is built.
   using SlabFactory =
       std::function<std::unique_ptr<Model>(const std::shared_ptr<ArenaSlab>&)>;
+  // Runs on serving thread i before it pops its first request — the
+  // serving front-end's hook for pinning each lane to its core-budget
+  // slice. Must not throw.
+  using LaneStart = std::function<void(std::size_t)>;
 
   // `slab`: the arena pool this SessionPool's models may lease run arenas
   // from. Defaults to a pool-owned slab; pass a shared one to cap arena
   // memory across several SessionPools serving different models.
   explicit SessionPool(int sessions, const Factory& factory,
-                       std::shared_ptr<ArenaSlab> slab = nullptr)
-      : slab_(slab ? std::move(slab) : std::make_shared<ArenaSlab>()) {
+                       std::shared_ptr<ArenaSlab> slab = nullptr,
+                       LaneStart lane_start = nullptr)
+      : slab_(slab ? std::move(slab) : std::make_shared<ArenaSlab>()),
+        lane_start_(std::move(lane_start)) {
     QMCU_REQUIRE(sessions >= 1, "session pool needs at least one session");
     sessions_.reserve(static_cast<std::size_t>(sessions));
     for (int i = 0; i < sessions; ++i) {
@@ -108,8 +125,10 @@ class SessionPool {
   // Same, with the slab handed to the factory so each model can lease its
   // run arenas from it (model->set_arena_source(slab)).
   SessionPool(int sessions, const SlabFactory& factory,
-              std::shared_ptr<ArenaSlab> slab = nullptr)
-      : slab_(slab ? std::move(slab) : std::make_shared<ArenaSlab>()) {
+              std::shared_ptr<ArenaSlab> slab = nullptr,
+              LaneStart lane_start = nullptr)
+      : slab_(slab ? std::move(slab) : std::make_shared<ArenaSlab>()),
+        lane_start_(std::move(lane_start)) {
     QMCU_REQUIRE(sessions >= 1, "session pool needs at least one session");
     sessions_.reserve(static_cast<std::size_t>(sessions));
     for (int i = 0; i < sessions; ++i) {
@@ -178,6 +197,27 @@ class SessionPool {
   // directly, this is safe from any number of caller threads at once.
   Output run(const Tensor& input) { return submit(input).get(); }
 
+  // Raw task entry points for serving front-ends that own their request
+  // envelope (deadlines, shed accounting, batch spreading): the task runs
+  // on whichever serving thread frees up first and receives that lane's
+  // index. The task owns its promise — SessionPool's completed() counter
+  // does NOT see these requests. try_submit_raw enforces a bounded queue:
+  // false = full (or shut down), the task was dropped and the caller must
+  // fail the request itself.
+  void submit_raw(runtime::TaskQueue::Task task) {
+    queue_.push(std::move(task));
+  }
+  [[nodiscard]] bool try_submit_raw(runtime::TaskQueue::Task task,
+                                    std::size_t max_depth) {
+    return queue_.try_push(std::move(task), max_depth);
+  }
+
+  // Lane i's session. Only lane i's serving thread may run() it (sessions
+  // are exclusive); other threads may read accounting.
+  [[nodiscard]] InferenceSession<Model>& session(std::size_t i) {
+    return *sessions_[i];
+  }
+
   // The arena slab this pool's models lease from (shared across pools when
   // passed at construction).
   [[nodiscard]] const std::shared_ptr<ArenaSlab>& slab() const {
@@ -193,6 +233,12 @@ class SessionPool {
   }
   // Requests queued but not yet picked up by a serving thread.
   [[nodiscard]] std::size_t pending() const { return queue_.depth(); }
+  // Sessions not currently executing a request (instantaneous; a batch
+  // spreader uses it to decide how many chunks are worth splitting off).
+  [[nodiscard]] int idle_sessions() const {
+    const int busy = busy_.load(std::memory_order_relaxed);
+    return std::max(0, num_sessions() - busy);
+  }
   // Per-session request counts (read when no traffic is in flight).
   [[nodiscard]] std::vector<std::uint64_t> per_session_requests() const {
     std::vector<std::uint64_t> counts;
@@ -211,15 +257,22 @@ class SessionPool {
   }
 
   void serve(std::size_t session_index) {
+    if (lane_start_) lane_start_(session_index);
     runtime::TaskQueue::Task task;
-    while (queue_.pop(task)) task(session_index);
+    while (queue_.pop(task)) {
+      busy_.fetch_add(1, std::memory_order_relaxed);
+      task(session_index);
+      busy_.fetch_sub(1, std::memory_order_relaxed);
+    }
   }
 
   std::shared_ptr<ArenaSlab> slab_;
+  LaneStart lane_start_;
   std::vector<std::unique_ptr<InferenceSession<Model>>> sessions_;
   runtime::TaskQueue queue_;
   std::vector<std::thread> threads_;
   std::atomic<std::uint64_t> completed_{0};
+  std::atomic<int> busy_{0};
 };
 
 }  // namespace qmcu::nn

@@ -13,6 +13,16 @@ void TaskQueue::push(Task task) {
   cv_.notify_one();
 }
 
+bool TaskQueue::try_push(Task task, std::size_t max_depth) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || tasks_.size() >= max_depth) return false;
+    tasks_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return true;
+}
+
 bool TaskQueue::pop(Task& out) {
   std::unique_lock<std::mutex> lock(mu_);
   cv_.wait(lock, [&] { return closed_ || !tasks_.empty(); });

@@ -28,6 +28,14 @@ class TaskQueue {
   // not a hang.
   void push(Task task);
 
+  // Bounded-admission push: enqueues only if fewer than `max_depth` tasks
+  // are already queued (checked under the queue lock, so concurrent
+  // submitters cannot overshoot the bound). Returns false — dropping the
+  // task — when the queue is full or shut down; the serving front-end
+  // turns that into an explicit load-shed rejection instead of letting a
+  // backlog grow without bound.
+  bool try_push(Task task, std::size_t max_depth);
+
   // Blocks until a task is available or the queue is shut down *and*
   // drained. Returns false only in the latter case.
   bool pop(Task& out);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "nn/check.h"
+#include "nn/runtime/cpu_affinity.h"
 
 namespace qmcu::nn {
 
@@ -47,6 +48,14 @@ WorkerPool::~WorkerPool() {
 
 int WorkerPool::hardware_workers() {
   return std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+}
+
+bool WorkerPool::pin_workers(std::span<const int> cpus) {
+  bool all = runtime::affinity_supported() && !cpus.empty();
+  for (std::thread& t : threads_) {
+    all = runtime::pin_thread(t.native_handle(), cpus) && all;
+  }
+  return all;
 }
 
 bool WorkerPool::take_own(int lane, int& out) {
@@ -129,19 +138,39 @@ void WorkerPool::execute(int task, int lane) {
   }
 }
 
+// How many empty deque scans an idle worker tolerates before parking on
+// ready_cv_. Pipelined graphs publish successors within microseconds of a
+// band finishing, so a short spin (each round yields the timeslice) dodges
+// a futex sleep/wake round-trip per publication — but the spin MUST be
+// bounded: under the serving front-end's core budget several lanes share
+// the machine, and an idle worker that spun indefinitely would keep
+// burning a core another lane was promised. Parking on the condition
+// variable is what actually cedes the core.
+constexpr int kIdleSpinRounds = 32;
+
 void WorkerPool::drain(int lane) {
   int task = -1;
+  int spins = 0;
   for (;;) {
     if (abort_.load(std::memory_order_acquire)) return;
     if (remaining_.load(std::memory_order_acquire) == 0) return;
     if (take_own(lane, task) || steal_any(lane, task)) {
       execute(task, lane);
+      spins = 0;
       continue;
     }
-    // Nothing runnable: wait for a publish (or completion/abort). The
-    // epoch is read before the deque scan above could miss a concurrent
-    // publish — the publisher bumps it under ready_mu_ after pushing, so
-    // either the scan saw the task or the epoch moved.
+    // Nothing runnable: spin briefly (new work usually arrives within the
+    // publish latency of a running task), then park until a publish (or
+    // completion/abort). The epoch is read before the deque scan above
+    // could miss a concurrent publish — the publisher bumps it under
+    // ready_mu_ after pushing, so either the scan saw the task or the
+    // epoch moved.
+    if (spins < kIdleSpinRounds) {
+      ++spins;
+      std::this_thread::yield();
+      continue;
+    }
+    spins = 0;
     std::unique_lock<std::mutex> lock(ready_mu_);
     const std::uint64_t seen = ready_epoch_;
     ready_cv_.wait(lock, [&] {

@@ -127,6 +127,13 @@ class WorkerPool {
   // non-empty; they need not be contiguous or sorted.
   void parallel_ranges(std::span<const IndexRange> ranges, const Body& body);
 
+  // Pins the pool's spawned worker threads to `cpus` (the caller — worker
+  // 0 — is a thread the pool does not own; the driver pins it itself).
+  // Best-effort serving-lane placement: returns true iff every worker was
+  // pinned, false where affinity is unsupported or rejected. Never affects
+  // results, only which cores the lane's arenas stay resident on.
+  bool pin_workers(std::span<const int> cpus);
+
   // Reasonable default worker count for this host (>= 1).
   static int hardware_workers();
 

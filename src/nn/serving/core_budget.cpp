@@ -1,0 +1,40 @@
+#include "nn/serving/core_budget.h"
+
+#include <algorithm>
+
+#include "nn/check.h"
+#include "nn/runtime/cpu_affinity.h"
+
+namespace qmcu::nn::serving {
+
+CoreBudget CoreBudget::partition(int sessions, int total_cores) {
+  QMCU_REQUIRE(sessions >= 1, "core budget needs at least one session");
+  CoreBudget b;
+  b.total_cores =
+      total_cores > 0 ? total_cores : runtime::usable_cpus();
+  b.sessions = sessions;
+  b.workers_per_session = std::max(1, b.total_cores / sessions);
+  return b;
+}
+
+std::vector<int> CoreBudget::lane_cpus(int lane) const {
+  QMCU_REQUIRE(lane >= 0 && lane < sessions, "lane out of range");
+  std::vector<int> cpus;
+  if (sessions >= total_cores) {
+    // Lanes outnumber cores: round-robin single-core lanes. Two lanes on
+    // one core time-share it — the admission queue, not the scheduler,
+    // is what keeps that from melting down.
+    cpus.push_back(lane % total_cores);
+    return cpus;
+  }
+  const int w = workers_per_session;
+  cpus.reserve(static_cast<std::size_t>(w) + 1);
+  for (int i = 0; i < w; ++i) cpus.push_back(lane * w + i);
+  // Deal the remainder cores [sessions*w, total) to the first lanes as
+  // extra scheduling room (no extra workers — the thread budget is fixed).
+  const int rem_base = sessions * w;
+  if (lane < total_cores - rem_base) cpus.push_back(rem_base + lane);
+  return cpus;
+}
+
+}  // namespace qmcu::nn::serving

@@ -16,6 +16,7 @@
 #include <thread>
 #include <vector>
 
+#include "nn/runtime/cpu_affinity.h"
 #include "nn/runtime/worker_pool.h"
 
 namespace qmcu {
@@ -261,6 +262,38 @@ TEST(WorkerPool, ParallelRangesCoversCallerChunks) {
       EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "index " << i;
     }
   }
+}
+
+// pin_workers is best-effort by contract: on a platform with affinity it
+// pins every pool thread and reports true; anywhere else (or with an empty
+// cpu list) it reports false — and in no case does it change what the pool
+// computes.
+TEST(WorkerPool, PinWorkersIsBestEffortAndPreservesResults) {
+  nn::WorkerPool pool(2);
+  const std::vector<int> cpu0 = {0};
+  if (nn::runtime::affinity_supported()) {
+    EXPECT_TRUE(pool.pin_workers(cpu0));
+  } else {
+    EXPECT_FALSE(pool.pin_workers(cpu0));
+  }
+  EXPECT_FALSE(pool.pin_workers({}));  // nothing to pin to
+
+  std::atomic<std::int64_t> sum{0};
+  pool.parallel_for(100, 1, [&](std::int64_t b, std::int64_t e, int) {
+    for (std::int64_t i = b; i < e; ++i) sum.fetch_add(i);
+  });
+  EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(CpuAffinity, PinCurrentThreadMatchesPlatformSupport) {
+  EXPECT_GE(nn::runtime::usable_cpus(), 1);
+  // Out-of-range and empty cpu lists are always refused.
+  EXPECT_FALSE(nn::runtime::pin_current_thread({}));
+  const std::vector<int> bogus = {1 << 20};
+  EXPECT_FALSE(nn::runtime::pin_current_thread(bogus));
+  const std::vector<int> cpu0 = {0};
+  EXPECT_EQ(nn::runtime::pin_current_thread(cpu0),
+            nn::runtime::affinity_supported());
 }
 
 }  // namespace

@@ -1,19 +1,34 @@
 #!/usr/bin/env python3
-"""Bench-regression guard: compare a fresh BENCH_micro_kernels.json against
-the committed baseline and fail on real regressions of the guarded hot-path
+"""Bench-regression guard: compare fresh bench artifacts against the
+committed baselines and fail on real regressions of the guarded hot-path
 benchmarks.
 
-Raw wall-clock numbers are not comparable across machines, so the guard
-first computes a machine-speed scale from a calibration benchmark present
-in both files (a single-threaded integer kernel whose cost tracks raw CPU
-speed), then checks every guarded benchmark against its scaled baseline:
+Accepts multiple --baseline/--current pairs (each flag may repeat); all
+baseline files are merged into one namespace, all current files into
+another, so one invocation guards e.g. the micro-kernel latencies and the
+serving throughput sweep together:
 
-    fail  iff  current_time > baseline_time * scale * (1 + threshold)
-
-Usage (what CI runs):
     python3 tools/bench_guard.py \
         --baseline bench/baselines/BENCH_micro_kernels.json \
-        --current  build/BENCH_micro_kernels.json
+        --baseline bench/baselines/BENCH_serving.json \
+        --current  build/BENCH_micro_kernels.json \
+        --current  build/BENCH_serving.json
+
+Two artifact formats are understood:
+  * google-benchmark JSON (real_time/time_unit iteration entries) — these
+    are latency entries: lower is better.
+  * the repo's JsonReport format ({"name", "value", "unit"}) — the unit
+    decides the direction: time units (ns/us/ms/s) are latencies,
+    rate/ratio units (req/s, x) are throughputs guarded as MUST NOT DROP,
+    and anything else (cores, frac, count) is informational — presence-
+    checked but never speed-compared.
+
+Raw numbers are not comparable across machines, so the guard first
+computes a machine-speed scale from a calibration benchmark present in
+both runs (a single-threaded kernel whose cost tracks raw CPU speed):
+
+    latency    fails  iff  current > baseline * scale * (1 + threshold)
+    throughput fails  iff  current < baseline / scale * (1 - threshold)
 """
 
 import argparse
@@ -23,6 +38,8 @@ import sys
 
 
 _NS_PER_UNIT = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+# JsonReport units guarded as higher-is-better throughput.
+_THROUGHPUT_UNITS = {"req/s", "items/s", "GB/s", "x"}
 
 
 def load_benchmarks(path):
@@ -30,13 +47,32 @@ def load_benchmarks(path):
         data = json.load(f)
     out = {}
     for bm in data.get("benchmarks", []):
+        if "value" in bm:
+            # JsonReport entry: the unit decides whether it's a latency, a
+            # throughput, or informational.
+            unit = bm.get("unit", "")
+            if unit in _NS_PER_UNIT:
+                out[bm["name"]] = {
+                    "kind": "time",
+                    "value": float(bm["value"]) * _NS_PER_UNIT[unit],
+                }
+            elif unit in _THROUGHPUT_UNITS:
+                out[bm["name"]] = {
+                    "kind": "throughput",
+                    "value": float(bm["value"]),
+                }
+            else:
+                out[bm["name"]] = {"kind": "info",
+                                   "value": float(bm["value"])}
+            continue
         if bm.get("run_type", "iteration") != "iteration":
             continue
-        # Prefer real_time (what UseRealTime sweeps report), normalised to
-        # nanoseconds via the entry's time_unit.
+        # google-benchmark entry. Prefer real_time (what UseRealTime
+        # sweeps report), normalised to nanoseconds via time_unit.
         unit = _NS_PER_UNIT[bm.get("time_unit", "ns")]
         out[bm["name"]] = {
-            "time": float(bm.get("real_time", bm.get("cpu_time"))) * unit,
+            "kind": "time",
+            "value": float(bm.get("real_time", bm.get("cpu_time"))) * unit,
             # Simd-tier benches report whether a real ISA ran (1) or the
             # scalar fallback (0); absent means not a Simd entry. The same
             # convention covers the dot-product GEMM generation rows
@@ -47,15 +83,31 @@ def load_benchmarks(path):
     return out
 
 
+def load_merged(paths):
+    merged = {}
+    for path in paths:
+        entries = load_benchmarks(path)
+        dup = sorted(set(merged) & set(entries))
+        if dup:
+            print(f"bench_guard: warning: {path} redefines {dup[0]}"
+                  f"{' (+%d more)' % (len(dup) - 1) if len(dup) > 1 else ''}",
+                  file=sys.stderr)
+        merged.update(entries)
+    return merged
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--baseline", required=True)
-    parser.add_argument("--current", required=True)
+    parser.add_argument("--baseline", required=True, action="append",
+                        help="committed baseline artifact (repeatable)")
+    parser.add_argument("--current", required=True, action="append",
+                        help="fresh artifact from this run (repeatable)")
     parser.add_argument(
         "--guard",
         default=r"^BM_(RepeatedPatchRun|ParallelPatchRun|PipelinedPatchRun"
                 r"|Conv2dInt8Simd|PackedConvTierSweep|LutGemm"
-                r"|GemmTierSweep|FcTierSweep)\b",
+                r"|GemmTierSweep|FcTierSweep)\b"
+                r"|^serving/closed/.*req_per_s$",
         help="regex of benchmark names that must not regress",
     )
     parser.add_argument(
@@ -71,27 +123,32 @@ def main():
     )
     args = parser.parse_args()
 
-    baseline = load_benchmarks(args.baseline)
-    current = load_benchmarks(args.current)
+    baseline = load_merged(args.baseline)
+    current = load_merged(args.current)
+
+    def is_time(entries, name):
+        return name in entries and entries[name]["kind"] == "time"
 
     calibrate = args.calibrate
-    if calibrate not in baseline or calibrate not in current:
+    if not (is_time(baseline, calibrate) and is_time(current, calibrate)):
         # A --benchmark_filter that excludes the default calibration entry
         # (e.g. a CI leg running only one family) shouldn't crash the
-        # guard: fall back to any Reference-tier entry both runs share —
-        # scalar single-threaded kernels that track raw machine speed
-        # exactly like the default.
+        # guard: fall back to any Reference-tier latency entry both runs
+        # share — scalar single-threaded kernels that track raw machine
+        # speed exactly like the default (the serving bench contributes
+        # serving/calibration/RefSingleRun for exactly this purpose).
         shared = sorted(n for n in baseline
-                        if n in current and "Ref" in n)
+                        if is_time(baseline, n) and is_time(current, n)
+                        and "Ref" in n)
         if not shared:
             print(f"bench_guard: calibration benchmark '{calibrate}' "
                   "missing from baseline or current run, and no shared "
-                  "*Ref* entry to fall back to", file=sys.stderr)
+                  "*Ref* latency entry to fall back to", file=sys.stderr)
             return 2
         calibrate = shared[0]
         print(f"bench_guard: calibration benchmark '{args.calibrate}' "
               f"not in both runs; falling back to '{calibrate}'")
-    scale = current[calibrate]["time"] / baseline[calibrate]["time"]
+    scale = current[calibrate]["value"] / baseline[calibrate]["value"]
     print(f"bench_guard: machine scale {scale:.3f} "
           f"(current {calibrate} / baseline)")
 
@@ -106,9 +163,10 @@ def main():
 
     # Every baseline benchmark must appear in the current run, guarded or
     # not: each bench runs on every host (vector entries fall back to
-    # scalar), so absence means the name, the filter, or the bench itself
-    # was silently dropped — exactly the kind of coverage loss that should
-    # fail loudly instead of shrinking the guard.
+    # scalar, serving entry names are host-independent), so absence means
+    # the name, the filter, or the bench itself was silently dropped —
+    # exactly the kind of coverage loss that should fail loudly instead of
+    # shrinking the guard.
     for name in sorted(baseline):
         if name not in current:
             failures.append(f"{name}: missing from the current run")
@@ -118,14 +176,19 @@ def main():
     for name in guarded:
         if name not in current:
             continue  # already recorded as a hard failure above
+        base_entry = baseline[name]
+        cur_entry = current[name]
+        if base_entry["kind"] == "info":
+            skipped += 1
+            continue
         # Vector-tier entries are only comparable when the host actually
         # ran a vector body. The baseline records which entries had one
         # (simd_active=1: Simd GEMM rows, LUT rows with a vpshufb/vtbl
         # body); if the current host reports the scalar fallback
         # (simd_active=0, e.g. no usable ISA or QMCU_FORCE_SCALAR), the
         # comparison is meaningless, not a regression.
-        if baseline[name].get("simd_active") and \
-                not current[name].get("simd_active"):
+        if base_entry.get("simd_active") and \
+                not cur_entry.get("simd_active"):
             print(f"  skip  {name}: scalar fallback on this host "
                   "(baseline simd_active=1, current 0)")
             skipped += 1
@@ -133,25 +196,38 @@ def main():
         # Same trick for the dot-product generation rows: a baseline
         # recorded on an AVX-VNNI / sdot host is not a bar a pair-madd
         # host can be held to.
-        if baseline[name].get("dot_active") and \
-                not current[name].get("dot_active"):
+        if base_entry.get("dot_active") and \
+                not cur_entry.get("dot_active"):
             print(f"  skip  {name}: no dot-product generation on this host "
                   "(baseline dot_active=1, current 0)")
             skipped += 1
             continue
         checked += 1
-        cur = current[name]["time"]
-        base = baseline[name]["time"]
-        allowed = base * scale * (1.0 + args.threshold)
-        ratio = cur / (base * scale)
-        status = "FAIL" if cur > allowed else "ok"
-        print(f"  {status}  {name}: {cur / 1e6:.3f} ms vs "
-              f"scaled baseline {base * scale / 1e6:.3f} ms "
-              f"({ratio:.2f}x)")
-        if cur > allowed:
-            failures.append(
-                f"{name}: {ratio:.2f}x the scaled baseline "
-                f"(> {1.0 + args.threshold:.2f}x allowed)")
+        cur = cur_entry["value"]
+        base = base_entry["value"]
+        if base_entry["kind"] == "time":
+            allowed = base * scale * (1.0 + args.threshold)
+            ratio = cur / (base * scale)
+            bad = cur > allowed
+            print(f"  {'FAIL' if bad else 'ok'}  {name}: "
+                  f"{cur / 1e6:.3f} ms vs scaled baseline "
+                  f"{base * scale / 1e6:.3f} ms ({ratio:.2f}x)")
+            if bad:
+                failures.append(
+                    f"{name}: {ratio:.2f}x the scaled baseline "
+                    f"(> {1.0 + args.threshold:.2f}x allowed)")
+        else:  # throughput: must not drop below the scaled baseline
+            expected = base / scale
+            allowed = expected * (1.0 - args.threshold)
+            ratio = cur / expected
+            bad = cur < allowed
+            print(f"  {'FAIL' if bad else 'ok'}  {name}: "
+                  f"{cur:.1f} vs scaled baseline {expected:.1f} "
+                  f"({ratio:.2f}x)")
+            if bad:
+                failures.append(
+                    f"{name}: dropped to {ratio:.2f}x the scaled baseline "
+                    f"(< {1.0 - args.threshold:.2f}x allowed)")
 
     if failures:
         print("bench_guard: regression detected:", file=sys.stderr)
