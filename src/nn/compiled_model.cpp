@@ -8,8 +8,6 @@
 
 namespace qmcu::nn {
 
-namespace {
-
 // Layer-based arena requests: layer i's (unpacked, host-execution) feature
 // map is live from its producing step through its last consumer.
 ArenaPlan plan_execution_arena(const Graph& g, std::int64_t elem_bytes) {
@@ -21,14 +19,19 @@ ArenaPlan plan_execution_arena(const Graph& g, std::int64_t elem_bytes) {
   return ArenaPlanner().plan(requests);
 }
 
+namespace {
+
 void prepack_conv_panels(const Graph& g, const QuantizedParameters& params,
                          std::span<const QuantParams> effective,
                          ops::KernelBackend& backend) {
-  // Every non-Reference tier runs the im2col + panel GEMM path.
+  // Every non-Reference tier runs the im2col + panel GEMM path. Gate on
+  // the quantized params (not the graph): the artifact path loads a
+  // topology-only graph, but its params views still identify every MAC
+  // layer — and an adopted panel makes the prepack a no-op anyway.
   if (backend.tier() == ops::KernelTier::Reference) return;
   for (int id = 0; id < g.size(); ++id) {
     const Layer& l = g.layer(id);
-    if (!g.has_parameters(id)) continue;
+    if (params.weights[static_cast<std::size_t>(id)].data.empty()) continue;
     if (l.kind == OpKind::Conv2D) {
       const int k = static_cast<int>(
           ops::im2col_row_elements(g.shape(l.inputs[0]), l));
@@ -59,6 +62,18 @@ void prepack_conv_panels(const Graph& g, const QuantizedParameters& params,
 }
 
 }  // namespace
+
+void PrecompiledBundle::apply(ops::KernelBackend& backend) const {
+  for (const PanelEntry& p : panels) {
+    backend.adopt_panel(p.key, p.bt, p.wsum);
+  }
+  for (const LutEntry& l : luts) {
+    backend.adopt_lut_panel(l.key, l.bits, l.tables, l.wsum);
+  }
+  for (const OffsetEntry& o : offsets) {
+    backend.register_offset_row(o.key, o.a_zp, o.offset);
+  }
+}
 
 void check_arena(std::span<const std::uint8_t> arena, std::int64_t need,
                  std::size_t alignment) {
@@ -91,6 +106,14 @@ CompiledModel::CompiledModel(const Graph& g, ops::KernelTier tier)
       plan_(plan_execution_arena(g, static_cast<std::int64_t>(sizeof(float)))),
       backend_(tier) {
   QMCU_REQUIRE(g.inputs().size() == 1, "compiled model expects one input");
+}
+
+CompiledModel::CompiledModel(const Graph& g, ArenaPlan plan,
+                             ops::KernelTier tier)
+    : graph_(&g), plan_(std::move(plan)), backend_(tier) {
+  QMCU_REQUIRE(g.inputs().size() == 1, "compiled model expects one input");
+  QMCU_REQUIRE(static_cast<int>(plan_.slots.size()) == g.size(),
+               "arena plan does not cover every layer");
 }
 
 Tensor CompiledModel::run(const Tensor& input) const {
@@ -152,6 +175,28 @@ CompiledQuantModel::CompiledQuantModel(
       plan_(plan_execution_arena(g, 1)),
       backend_(tier) {
   QMCU_REQUIRE(g.inputs().size() == 1, "compiled model expects one input");
+  prepack_conv_panels(g, *params_, effective_, backend_);
+}
+
+CompiledQuantModel::CompiledQuantModel(
+    const Graph& g, ActivationQuantConfig cfg,
+    std::shared_ptr<const QuantizedParameters> params, ArenaPlan plan,
+    std::shared_ptr<const PrecompiledBundle> bundle, ops::KernelTier tier)
+    : graph_(&g),
+      cfg_(std::move(cfg)),
+      effective_(effective_output_params(g, cfg_)),
+      params_(std::move(params)),
+      bundle_(std::move(bundle)),
+      plan_(std::move(plan)),
+      backend_(tier) {
+  QMCU_REQUIRE(g.inputs().size() == 1, "compiled model expects one input");
+  QMCU_REQUIRE(params_ != nullptr, "artifact path requires prebuilt params");
+  QMCU_REQUIRE(static_cast<int>(plan_.slots.size()) == g.size(),
+               "arena plan does not cover every layer");
+  if (bundle_ != nullptr) bundle_->apply(backend_);
+  // With an adopted bundle every panel the model needs is already resident;
+  // this only builds tables the artifact's kernel generation did not bake
+  // (e.g. a LUT width that only the current force mode enables).
   prepack_conv_panels(g, *params_, effective_, backend_);
 }
 

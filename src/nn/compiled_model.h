@@ -52,9 +52,31 @@ struct ActivationQuantConfig {
 // int32 biases rescaled to in_scale * weight_scale, per MAC layer. Shared
 // by the layer-based QuantExecutor and the patch-based quantized executor;
 // build once with build_shared() when several executors run the same graph.
+//
+// The per-layer entries are span views: build() points them at the owned
+// `weight_store`/`bias_store`, while the plan-artifact loader points them
+// straight into a read-only mmap so a fleet of processes shares one
+// physical copy of the weights. Views alias the stores, so the struct is
+// move-only (vector moves keep heap buffers stable; a copy would alias the
+// source's storage).
 struct QuantizedParameters {
-  std::vector<ops::QuantizedWeights> weights;  // indexed by layer id
-  std::vector<std::vector<std::int32_t>> bias;
+  struct WeightView {
+    std::span<const std::int8_t> data;
+    QuantParams params;  // zero_point == 0
+  };
+  std::vector<WeightView> weights;  // indexed by layer id
+  std::vector<std::span<const std::int32_t>> bias;
+
+  // Backing storage for the in-memory build path; unused entries (and the
+  // whole vectors, on the artifact path) stay empty.
+  std::vector<ops::QuantizedWeights> weight_store;
+  std::vector<std::vector<std::int32_t>> bias_store;
+
+  QuantizedParameters() = default;
+  QuantizedParameters(QuantizedParameters&&) = default;
+  QuantizedParameters& operator=(QuantizedParameters&&) = default;
+  QuantizedParameters(const QuantizedParameters&) = delete;
+  QuantizedParameters& operator=(const QuantizedParameters&) = delete;
 
   static QuantizedParameters build(const Graph& g,
                                    const ActivationQuantConfig& cfg);
@@ -68,6 +90,41 @@ struct QuantizedParameters {
 std::vector<QuantParams> effective_output_params(
     const Graph& g, const ActivationQuantConfig& cfg);
 
+// The layer-lifetime arena placement a CompiledModel/CompiledQuantModel
+// computes at construction (elem_bytes = sizeof(float) / 1). Exposed so the
+// plan-artifact writer bakes exactly the plan the constructor would derive.
+ArenaPlan plan_execution_arena(const Graph& g, std::int64_t elem_bytes);
+
+// Construction-time kernel state precomputed by the plan-artifact writer:
+// k-major weight panels, LUT recode tables and bias/zero-point offset rows,
+// each a span view into the read-only artifact mapping (keyed by the layer's
+// quantized-weight pointer, also a mapping view). apply() hands them to a
+// backend, which then skips its own packing for those weights — the first
+// inference after load_compiled() performs no panel construction at all.
+struct PrecompiledBundle {
+  struct PanelEntry {
+    const std::int8_t* key = nullptr;  // quantized weight blob address
+    std::span<const std::int8_t> bt;   // k-major [K][N] panel
+    std::span<const std::int32_t> wsum;
+  };
+  struct LutEntry {
+    const std::int8_t* key = nullptr;
+    int bits = 0;  // activation width the tables decode (2 or 4)
+    std::span<const std::int8_t> tables;
+    std::span<const std::int32_t> wsum;
+  };
+  struct OffsetEntry {
+    const std::int8_t* key = nullptr;
+    std::int32_t a_zp = 0;  // activation zero point the row was baked for
+    std::span<const std::int32_t> offset;
+  };
+  std::vector<PanelEntry> panels;
+  std::vector<LutEntry> luts;
+  std::vector<OffsetEntry> offsets;
+
+  void apply(ops::KernelBackend& backend) const;
+};
+
 // Validates a caller-provided arena against a plan's peak and the element
 // alignment the bound views need. Shared by every compiled model.
 void check_arena(std::span<const std::uint8_t> arena, std::int64_t need,
@@ -79,6 +136,8 @@ class CompiledModel {
  public:
   explicit CompiledModel(const Graph& g,
                          ops::KernelTier tier = ops::KernelTier::Simd);
+  // Artifact path: adopt a precomputed arena plan instead of re-planning.
+  CompiledModel(const Graph& g, ArenaPlan plan, ops::KernelTier tier);
 
   // Executes against the model's own arena (allocated once, reused) — or,
   // when an arena source is set, against a block leased from it for the
@@ -129,6 +188,15 @@ class CompiledQuantModel {
   CompiledQuantModel(const Graph& g, ActivationQuantConfig cfg,
                      ops::KernelTier tier = ops::KernelTier::Simd,
                      std::shared_ptr<const QuantizedParameters> params = {});
+  // Artifact path: everything the default constructor computes arrives
+  // precomputed — params view into the mapping, the baked arena plan, and
+  // the panel/LUT/offset bundle adopted by the backend before prepack (so
+  // prepack sees every panel already resident and does no packing work).
+  CompiledQuantModel(const Graph& g, ActivationQuantConfig cfg,
+                     std::shared_ptr<const QuantizedParameters> params,
+                     ArenaPlan plan,
+                     std::shared_ptr<const PrecompiledBundle> bundle,
+                     ops::KernelTier tier = ops::KernelTier::Simd);
 
   [[nodiscard]] QTensor run(const Tensor& input) const;
   QTensor run(const Tensor& input, std::span<std::uint8_t> arena) const;
@@ -157,6 +225,9 @@ class CompiledQuantModel {
   std::shared_ptr<ArenaSlab> arena_source_;
   std::vector<QuantParams> effective_;
   std::shared_ptr<const QuantizedParameters> params_;
+  // Keeps the adopted panel/offset storage (artifact mapping) alive for as
+  // long as the backend holds views into it.
+  std::shared_ptr<const PrecompiledBundle> bundle_;
   ArenaPlan plan_;
   mutable ops::KernelBackend backend_;
   mutable std::vector<std::uint8_t> arena_;

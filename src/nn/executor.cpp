@@ -140,19 +140,22 @@ QuantizedParameters QuantizedParameters::build(
   QuantizedParameters out;
   out.weights.resize(static_cast<std::size_t>(g.size()));
   out.bias.resize(static_cast<std::size_t>(g.size()));
+  out.weight_store.resize(static_cast<std::size_t>(g.size()));
+  out.bias_store.resize(static_cast<std::size_t>(g.size()));
   for (int id = 0; id < g.size(); ++id) {
     const Layer& l = g.layer(id);
     if (!is_mac_op(l.kind)) continue;
     QMCU_REQUIRE(g.has_parameters(id),
                  "MAC layer missing parameters: " + l.name);
-    out.weights[static_cast<std::size_t>(id)] =
-        ops::quantize_weights(g.weights(id));
+    const auto i = static_cast<std::size_t>(id);
+    out.weight_store[i] = ops::quantize_weights(g.weights(id));
+    out.weights[i] = {out.weight_store[i].data, out.weight_store[i].params};
     if (!g.bias(id).empty()) {
       const float in_scale =
           effective[static_cast<std::size_t>(l.inputs[0])].scale;
-      out.bias[static_cast<std::size_t>(id)] = ops::quantize_bias(
-          g.bias(id), in_scale,
-          out.weights[static_cast<std::size_t>(id)].params.scale);
+      out.bias_store[i] = ops::quantize_bias(
+          g.bias(id), in_scale, out.weight_store[i].params.scale);
+      out.bias[i] = out.bias_store[i];
     }
   }
   return out;

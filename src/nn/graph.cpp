@@ -240,19 +240,49 @@ void Graph::set_parameters(int id, std::vector<float> weights,
   biases_[static_cast<std::size_t>(id)] = std::move(bias);
 }
 
+void Graph::set_parameter_views(int id, std::span<const float> weights,
+                                std::span<const float> bias) {
+  const Layer& l = layer(id);
+  QMCU_REQUIRE(is_mac_op(l.kind), "only MAC layers carry parameters");
+  QMCU_REQUIRE(static_cast<std::int64_t>(weights.size()) == weight_count(id),
+               "weight element count mismatch");
+  const int bias_count =
+      l.kind == OpKind::DepthwiseConv2D ? shape(l.inputs[0]).c : l.out_channels;
+  if (l.has_bias) {
+    QMCU_REQUIRE(static_cast<int>(bias.size()) == bias_count,
+                 "bias element count mismatch");
+  } else {
+    QMCU_REQUIRE(bias.empty(), "layer declared without bias");
+  }
+  weight_views_.resize(layers_.size());
+  bias_views_.resize(layers_.size());
+  weight_views_[static_cast<std::size_t>(id)] = weights;
+  bias_views_[static_cast<std::size_t>(id)] = bias;
+}
+
 std::span<const float> Graph::weights(int id) const {
   QMCU_REQUIRE(id >= 0 && id < size(), "layer id out of range");
-  return weights_[static_cast<std::size_t>(id)];
+  const auto i = static_cast<std::size_t>(id);
+  if (i < weight_views_.size() && !weight_views_[i].empty()) {
+    return weight_views_[i];
+  }
+  return weights_[i];
 }
 
 std::span<const float> Graph::bias(int id) const {
   QMCU_REQUIRE(id >= 0 && id < size(), "layer id out of range");
-  return biases_[static_cast<std::size_t>(id)];
+  const auto i = static_cast<std::size_t>(id);
+  if (i < bias_views_.size() && !bias_views_[i].empty()) {
+    return bias_views_[i];
+  }
+  return biases_[i];
 }
 
 bool Graph::has_parameters(int id) const {
   QMCU_REQUIRE(id >= 0 && id < size(), "layer id out of range");
-  return !weights_[static_cast<std::size_t>(id)].empty();
+  const auto i = static_cast<std::size_t>(id);
+  return !weights_[i].empty() ||
+         (i < weight_views_.size() && !weight_views_[i].empty());
 }
 
 std::int64_t Graph::macs(int id) const {

@@ -117,6 +117,14 @@ class Graph {
   void set_parameters(int id, std::vector<float> weights,
                       std::vector<float> bias);
 
+  // Attach parameters as *views* into caller-owned storage (the plan-
+  // artifact loader points these straight into a read-only mmap, so a fleet
+  // of processes shares one physical copy). Same layout and validation as
+  // set_parameters; the backing memory must outlive the graph. A view takes
+  // precedence over owned parameters for the same layer.
+  void set_parameter_views(int id, std::span<const float> weights,
+                           std::span<const float> bias);
+
   // --- inspection ---------------------------------------------------------
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] int size() const { return static_cast<int>(layers_.size()); }
@@ -153,6 +161,10 @@ class Graph {
   std::vector<TensorShape> shapes_;
   std::vector<std::vector<float>> weights_;
   std::vector<std::vector<float>> biases_;
+  // Non-owning parameter views (set_parameter_views); lazily sized, checked
+  // before the owned vectors.
+  std::vector<std::span<const float>> weight_views_;
+  std::vector<std::span<const float>> bias_views_;
   mutable std::vector<std::vector<int>> consumers_;  // lazily built cache
   mutable bool consumers_valid_ = false;
 };

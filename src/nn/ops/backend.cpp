@@ -98,7 +98,8 @@ void fast_conv2d_impl(ScratchArena& arena, const TensorShape& is,
                       const QuantParams& wparams,
                       std::span<const std::int32_t> qbias,
                       const PackRow& pack_row, QTensor& out,
-                      const simd::SimdKernels* simd) {
+                      const simd::SimdKernels* simd,
+                      std::span<const std::int32_t> pre_offset = {}) {
   const TensorShape os = conv_output_shape(is, l, l.out_channels);
   const int n = l.out_channels;
   const int k = static_cast<int>(im2col_row_elements(is, l));
@@ -109,13 +110,20 @@ void fast_conv2d_impl(ScratchArena& arena, const TensorShape& is,
   // The AVX-VNNI generation's GEMM block biases every activation lane by
   // +128 (see SimdKernels::gemm_a_bias); treating the bias as part of the
   // zero point folds its -128*Σw correction into the same constant.
-  const std::int32_t a_zp = ip.zero_point + simd::gemm_activation_bias(simd);
-  auto offset = arena.i32(static_cast<std::size_t>(n));
-  for (int j = 0; j < n; ++j) {
-    const std::int32_t bias =
-        qbias.empty() ? 0 : qbias[static_cast<std::size_t>(j)];
-    offset[static_cast<std::size_t>(j)] =
-        bias - a_zp * wsum[static_cast<std::size_t>(j)];
+  // `pre_offset` (a registered artifact row validated by the caller against
+  // the live a_zp) skips the per-run recomputation.
+  std::span<const std::int32_t> offset = pre_offset;
+  if (offset.empty()) {
+    const std::int32_t a_zp =
+        ip.zero_point + simd::gemm_activation_bias(simd);
+    auto row = arena.i32(static_cast<std::size_t>(n));
+    for (int j = 0; j < n; ++j) {
+      const std::int32_t bias =
+          qbias.empty() ? 0 : qbias[static_cast<std::size_t>(j)];
+      row[static_cast<std::size_t>(j)] =
+          bias - a_zp * wsum[static_cast<std::size_t>(j)];
+    }
+    offset = row;
   }
   auto a = arena.i8(static_cast<std::size_t>(os.w) * k);
   auto acc = arena.i32(4 * static_cast<std::size_t>(n));
@@ -149,7 +157,8 @@ void lut_conv2d_impl(ScratchArena& arena, const TensorShape& is,
                      const QuantParams& wparams,
                      std::span<const std::int32_t> qbias,
                      const PackRow& pack_row, QTensor& out,
-                     const simd::SimdKernels* simd) {
+                     const simd::SimdKernels* simd,
+                     std::span<const std::int32_t> pre_offset = {}) {
   const TensorShape os = conv_output_shape(is, l, l.out_channels);
   const int n = l.out_channels;
   const int k = static_cast<int>(im2col_row_elements(is, l));
@@ -157,12 +166,18 @@ void lut_conv2d_impl(ScratchArena& arena, const TensorShape& is,
   QMCU_REQUIRE(out.shape() == os, "conv2d: destination shape mismatch");
   const QuantParams& out_params = out.params();
 
-  auto offset = arena.i32(static_cast<std::size_t>(n));
-  for (int j = 0; j < n; ++j) {
-    const std::int32_t bias =
-        qbias.empty() ? 0 : qbias[static_cast<std::size_t>(j)];
-    offset[static_cast<std::size_t>(j)] =
-        bias - ip.zero_point * wsum[static_cast<std::size_t>(j)];
+  // The LUT path has no activation bias, so its registered rows are keyed
+  // at a_zp == ip.zero_point exactly.
+  std::span<const std::int32_t> offset = pre_offset;
+  if (offset.empty()) {
+    auto row = arena.i32(static_cast<std::size_t>(n));
+    for (int j = 0; j < n; ++j) {
+      const std::int32_t bias =
+          qbias.empty() ? 0 : qbias[static_cast<std::size_t>(j)];
+      row[static_cast<std::size_t>(j)] =
+          bias - ip.zero_point * wsum[static_cast<std::size_t>(j)];
+    }
+    offset = row;
   }
   auto a = arena.i8(static_cast<std::size_t>(os.w) * k);
   auto idx = arena.i8(static_cast<std::size_t>(groups) * lut::kLutTileM);
@@ -296,6 +311,15 @@ void fast_depthwise_conv2d(ScratchArena& arena, const QTensor& in,
 
 KernelBackend::PanelView KernelBackend::weight_panel(
     std::span<const std::int8_t> qweights, int n, int k) {
+  if (!adopted_panels_.empty()) {
+    const auto it = adopted_panels_.find(qweights.data());
+    if (it != adopted_panels_.end() &&
+        static_cast<int>(it->second.wsum.size()) == n &&
+        static_cast<std::int64_t>(it->second.bt.size()) ==
+            static_cast<std::int64_t>(n) * k) {
+      return it->second;
+    }
+  }
   if (cache_weight_panels_) {
     WeightPanel& p = panels_[qweights.data()];
     if (static_cast<int>(p.wsum.size()) != n ||
@@ -324,6 +348,15 @@ void KernelBackend::prepack(std::span<const std::int8_t> qweights, int n,
 KernelBackend::LutView KernelBackend::lut_panel(
     std::span<const std::int8_t> qweights, int n, int k, int bits) {
   const std::int64_t bytes = lut::lut_table_bytes(n, k, bits);
+  const auto& adopted = adopted_lut_[bits == 4 ? 1 : 0];
+  if (!adopted.empty()) {
+    const auto it = adopted.find(qweights.data());
+    if (it != adopted.end() &&
+        static_cast<int>(it->second.wsum.size()) == n &&
+        static_cast<std::int64_t>(it->second.tables.size()) == bytes) {
+      return it->second;
+    }
+  }
   if (cache_weight_panels_) {
     LutPanel& p = lut_panels_[bits == 4 ? 1 : 0][qweights.data()];
     if (static_cast<int>(p.wsum.size()) != n ||
@@ -346,6 +379,42 @@ void KernelBackend::prepack_lut(std::span<const std::int8_t> qweights, int n,
                                 int k, int bits) {
   if (!cache_weight_panels_) return;
   (void)lut_panel(qweights, n, k, bits);
+}
+
+void KernelBackend::adopt_panel(const std::int8_t* key,
+                                std::span<const std::int8_t> bt,
+                                std::span<const std::int32_t> wsum) {
+  QMCU_REQUIRE(key != nullptr && !bt.empty() && !wsum.empty(),
+               "adopt_panel: empty panel");
+  adopted_panels_[key] = PanelView{bt, wsum};
+}
+
+void KernelBackend::adopt_lut_panel(const std::int8_t* key, int bits,
+                                    std::span<const std::int8_t> tables,
+                                    std::span<const std::int32_t> wsum) {
+  QMCU_REQUIRE(key != nullptr && (bits == 2 || bits == 4) &&
+                   !tables.empty() && !wsum.empty(),
+               "adopt_lut_panel: empty table blob");
+  adopted_lut_[bits == 4 ? 1 : 0][key] = LutView{tables, wsum};
+}
+
+void KernelBackend::register_offset_row(const std::int8_t* key,
+                                        std::int32_t a_zp,
+                                        std::span<const std::int32_t> offset) {
+  QMCU_REQUIRE(key != nullptr && !offset.empty(),
+               "register_offset_row: empty row");
+  offset_rows_[key] = OffsetRow{a_zp, offset};
+}
+
+std::span<const std::int32_t> KernelBackend::offset_row(
+    const std::int8_t* key, std::int32_t a_zp, int n) const {
+  if (offset_rows_.empty()) return {};
+  const auto it = offset_rows_.find(key);
+  if (it == offset_rows_.end() || it->second.a_zp != a_zp ||
+      static_cast<int>(it->second.offset.size()) != n) {
+    return {};
+  }
+  return it->second.offset;
 }
 
 void KernelBackend::conv2d_into(const QTensor& in, const Layer& l,
@@ -376,13 +445,16 @@ void KernelBackend::conv2d_into(const QTensor& in, const Layer& l,
     arena_.reset();
     const LutView t = lut_panel(qweights, n, static_cast<int>(k), ip.bits);
     lut_conv2d_impl(arena_, is, ip, l, t.tables, t.wsum, wparams, qbias,
-                    pack_row, out, simd_);
+                    pack_row, out, simd_,
+                    offset_row(qweights.data(), ip.zero_point, n));
     return;
   }
   arena_.reset();
   const PanelView w = weight_panel(qweights, n, static_cast<int>(k));
-  fast_conv2d_impl(arena_, is, ip, l, w.bt, w.wsum, wparams, qbias, pack_row,
-                   out, simd_);
+  fast_conv2d_impl(
+      arena_, is, ip, l, w.bt, w.wsum, wparams, qbias, pack_row, out, simd_,
+      offset_row(qweights.data(),
+                 ip.zero_point + simd::gemm_activation_bias(simd_), n));
 }
 
 QTensor KernelBackend::conv2d(const QTensor& in, const Layer& l,
@@ -434,13 +506,17 @@ QTensor KernelBackend::conv2d_packed(std::span<const std::uint8_t> packed,
     arena_.reset();
     const LutView t = lut_panel(qweights, n, static_cast<int>(k), bits);
     lut_conv2d_impl(arena_, in_shape, in_params, l, t.tables, t.wsum, wparams,
-                    qbias, pack_row, out, simd_);
+                    qbias, pack_row, out, simd_,
+                    offset_row(qweights.data(), in_params.zero_point, n));
     return out;
   }
   arena_.reset();
   const PanelView w = weight_panel(qweights, n, static_cast<int>(k));
-  fast_conv2d_impl(arena_, in_shape, in_params, l, w.bt, w.wsum, wparams,
-                   qbias, pack_row, out, simd_);
+  fast_conv2d_impl(
+      arena_, in_shape, in_params, l, w.bt, w.wsum, wparams, qbias, pack_row,
+      out, simd_,
+      offset_row(qweights.data(),
+                 in_params.zero_point + simd::gemm_activation_bias(simd_), n));
   return out;
 }
 
@@ -494,12 +570,17 @@ void KernelBackend::fully_connected_into(const QTensor& in, const Layer& l,
     arena_.reset();
     const LutView t = lut_panel(qweights, l.out_channels, kf_lut, ip.bits);
     const int n = l.out_channels;
-    auto offset = arena_.i32(static_cast<std::size_t>(n));
-    for (int j = 0; j < n; ++j) {
-      const std::int32_t bias =
-          qbias.empty() ? 0 : qbias[static_cast<std::size_t>(j)];
-      offset[static_cast<std::size_t>(j)] =
-          bias - ip.zero_point * t.wsum[static_cast<std::size_t>(j)];
+    std::span<const std::int32_t> offset =
+        offset_row(qweights.data(), ip.zero_point, n);
+    if (offset.empty()) {
+      auto row = arena_.i32(static_cast<std::size_t>(n));
+      for (int j = 0; j < n; ++j) {
+        const std::int32_t bias =
+            qbias.empty() ? 0 : qbias[static_cast<std::size_t>(j)];
+        row[static_cast<std::size_t>(j)] =
+            bias - ip.zero_point * t.wsum[static_cast<std::size_t>(j)];
+      }
+      offset = row;
     }
     const int groups = lut::lut_groups(kf_lut, ip.bits);
     auto idx = arena_.i8(static_cast<std::size_t>(groups) * lut::kLutTileM);
@@ -529,12 +610,16 @@ void KernelBackend::fully_connected_into(const QTensor& in, const Layer& l,
   const PanelView w = weight_panel(qweights, n, k);
   const std::int32_t a_zp =
       ip.zero_point + simd::gemm_activation_bias(simd_);
-  auto offset = arena_.i32(static_cast<std::size_t>(n));
-  for (int j = 0; j < n; ++j) {
-    const std::int32_t bias =
-        qbias.empty() ? 0 : qbias[static_cast<std::size_t>(j)];
-    offset[static_cast<std::size_t>(j)] =
-        bias - a_zp * w.wsum[static_cast<std::size_t>(j)];
+  std::span<const std::int32_t> offset = offset_row(qweights.data(), a_zp, n);
+  if (offset.empty()) {
+    auto row = arena_.i32(static_cast<std::size_t>(n));
+    for (int j = 0; j < n; ++j) {
+      const std::int32_t bias =
+          qbias.empty() ? 0 : qbias[static_cast<std::size_t>(j)];
+      row[static_cast<std::size_t>(j)] =
+          bias - a_zp * w.wsum[static_cast<std::size_t>(j)];
+    }
+    offset = row;
   }
   auto acc = arena_.i32(static_cast<std::size_t>(n));  // one row: m == 1
   GemmQuantPost post;

@@ -34,6 +34,12 @@
 // set_arena_source, so every model leases its run arena for the duration
 // of a request and the fleet's arena memory is capped by concurrent
 // traffic (max model arena x busy lanes), not by the number of models.
+//
+// swap_session() hot-swaps one lane's model under live traffic: the
+// replacement is built on the calling thread, then installed by the lane's
+// own serving thread via a lane-addressed control task (task_queue.h), so
+// the lane drains, rebinds between two requests, and resumes — no admitted
+// request is dropped and no session is ever touched by two threads.
 #pragma once
 
 #include <algorithm>
@@ -80,6 +86,15 @@ class InferenceSession {
   Output run(const Tensor& input, Pool* pool) {
     ++requests_;
     return model_->run(input, pool);
+  }
+
+  // Rebinds this session to a new model. Must only run on the thread that
+  // owns the session's execution (the pool routes it there as a
+  // lane-addressed control task), so it can never race a run() — the old
+  // model is destroyed here, after its last request finished.
+  void replace_model(std::unique_ptr<Model> model) {
+    QMCU_REQUIRE(model != nullptr, "session needs a model");
+    model_ = std::move(model);
   }
 
   [[nodiscard]] const Model& model() const { return *model_; }
@@ -218,6 +233,28 @@ class SessionPool {
     return *sessions_[i];
   }
 
+  // Hot-swaps lane `lane`'s model: builds the replacement HERE (on the
+  // calling thread — compilation and prepack never block a serving
+  // thread), then routes a lane-addressed rebind through the queue and
+  // blocks until the lane has executed it. FIFO queue order gives the
+  // drain → rebind → resume contract per lane: every request admitted
+  // before the swap is either claimed by another lane or runs on this
+  // lane before the rebind; requests admitted after it run on the new
+  // model (on this lane). Nothing is dropped. Throws
+  // std::future_error(broken_promise) if the pool shuts down first.
+  void swap_session(std::size_t lane, const SlabFactory& factory) {
+    QMCU_REQUIRE(lane < sessions_.size(), "lane out of range");
+    auto fresh = std::make_shared<std::unique_ptr<Model>>(factory(slab_));
+    QMCU_REQUIRE(*fresh != nullptr, "swap factory returned no model");
+    auto rebound = std::make_shared<std::promise<void>>();
+    std::future<void> done = rebound->get_future();
+    queue_.push_to(lane, [this, fresh, rebound](std::size_t si) {
+      sessions_[si]->replace_model(std::move(*fresh));
+      rebound->set_value();
+    });
+    done.get();
+  }
+
   // The arena slab this pool's models lease from (shared across pools when
   // passed at construction).
   [[nodiscard]] const std::shared_ptr<ArenaSlab>& slab() const {
@@ -259,7 +296,7 @@ class SessionPool {
   void serve(std::size_t session_index) {
     if (lane_start_) lane_start_(session_index);
     runtime::TaskQueue::Task task;
-    while (queue_.pop(task)) {
+    while (queue_.pop(session_index, task)) {
       busy_.fetch_add(1, std::memory_order_relaxed);
       task(session_index);
       busy_.fetch_sub(1, std::memory_order_relaxed);

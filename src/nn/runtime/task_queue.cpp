@@ -8,7 +8,8 @@ void TaskQueue::push(Task task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (closed_) return;
-    tasks_.push_back(std::move(task));
+    tasks_.push_back(Entry{std::move(task), false, 0});
+    ++requests_;
   }
   cv_.notify_one();
 }
@@ -16,20 +17,40 @@ void TaskQueue::push(Task task) {
 bool TaskQueue::try_push(Task task, std::size_t max_depth) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (closed_ || tasks_.size() >= max_depth) return false;
-    tasks_.push_back(std::move(task));
+    if (closed_ || requests_ >= max_depth) return false;
+    tasks_.push_back(Entry{std::move(task), false, 0});
+    ++requests_;
   }
   cv_.notify_one();
   return true;
 }
 
-bool TaskQueue::pop(Task& out) {
+void TaskQueue::push_to(std::size_t lane, Task task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return;
+    tasks_.push_back(Entry{std::move(task), true, lane});
+  }
+  // Any lane may be the addressee — wake them all; non-addressees re-check
+  // and sleep again.
+  cv_.notify_all();
+}
+
+bool TaskQueue::pop(std::size_t lane, Task& out) {
   std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] { return closed_ || !tasks_.empty(); });
-  if (tasks_.empty()) return false;  // closed and drained
-  out = std::move(tasks_.front());
-  tasks_.pop_front();
-  return true;
+  for (;;) {
+    // Oldest entry this lane may run: requests are eligible to everyone,
+    // control tasks only to their addressee.
+    for (auto it = tasks_.begin(); it != tasks_.end(); ++it) {
+      if (it->targeted && it->lane != lane) continue;
+      if (!it->targeted) --requests_;
+      out = std::move(it->fn);
+      tasks_.erase(it);
+      return true;
+    }
+    if (closed_) return false;  // drained of everything this lane may run
+    cv_.wait(lock);
+  }
 }
 
 void TaskQueue::shutdown() {
@@ -42,7 +63,7 @@ void TaskQueue::shutdown() {
 
 std::size_t TaskQueue::depth() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return tasks_.size();
+  return requests_;
 }
 
 }  // namespace qmcu::nn::runtime

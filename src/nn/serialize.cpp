@@ -5,7 +5,10 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 #include <vector>
+
+#include "nn/checksum.h"
 
 namespace qmcu::nn {
 
@@ -13,7 +16,11 @@ namespace {
 
 constexpr char kGraphMagic[4] = {'Q', 'M', 'C', 'U'};
 constexpr char kConfigMagic[4] = {'Q', 'M', 'C', 'Q'};
-constexpr std::uint32_t kVersion = 1;
+// v2: endianness sentinel after the version word, the payload framed by an
+// explicit byte count, and a trailing CRC32 so truncation and bit flips are
+// both detected before any of the payload is interpreted.
+constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kEndianSentinel = 0x01020304u;
 
 // --- primitive writers/readers (explicit little-endian) --------------------
 
@@ -29,6 +36,21 @@ std::uint32_t read_u32(std::istream& is) {
   QMCU_REQUIRE(is.good(), "truncated model file");
   std::uint32_t v = 0;
   for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(buf[i]) << (8 * i);
+  return v;
+}
+
+void write_u64(std::ostream& os, std::uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  os.write(buf, 8);
+}
+
+std::uint64_t read_u64(std::istream& is) {
+  unsigned char buf[8];
+  is.read(reinterpret_cast<char*>(buf), 8);
+  QMCU_REQUIRE(is.good(), "truncated model file");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(buf[i]) << (8 * i);
   return v;
 }
 
@@ -81,27 +103,57 @@ std::vector<float> read_f32_blob(std::istream& is) {
   return out;
 }
 
-void write_magic(std::ostream& os, const char (&magic)[4]) {
+// --- v2 framing ------------------------------------------------------------
+//
+// magic | u32 version | u32 endianness sentinel | u64 payload bytes |
+// payload | u32 crc32(payload)
+//
+// The reader pulls the whole payload by its declared length and verifies
+// the checksum before a single payload byte is interpreted, so a truncated
+// copy and a bit-flipped blob fail with the same loud error instead of a
+// structural check tripping (or worse, not tripping) somewhere downstream.
+// Framing also keeps concatenated streams (graph + config in one file)
+// parseable: each frame knows exactly where it ends.
+
+void write_framed(std::ostream& os, const char (&magic)[4],
+                  const std::string& payload) {
   os.write(magic, 4);
+  write_u32(os, kVersion);
+  write_u32(os, kEndianSentinel);
+  write_u64(os, payload.size());
+  os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  write_u32(os, crc32(payload.data(), payload.size()));
 }
 
-void check_magic(std::istream& is, const char (&magic)[4],
-                 const char* what) {
+std::string read_framed(std::istream& is, const char (&magic)[4],
+                        const char* what) {
   char buf[4];
   is.read(buf, 4);
   QMCU_REQUIRE(is.good() && std::memcmp(buf, magic, 4) == 0,
                std::string("bad magic: not a ") + what + " file");
   const std::uint32_t version = read_u32(is);
   QMCU_REQUIRE(version == kVersion, "unsupported file version");
+  QMCU_REQUIRE(read_u32(is) == kEndianSentinel,
+               "endianness sentinel mismatch: file written on an "
+               "incompatible host");
+  const std::uint64_t size = read_u64(is);
+  QMCU_REQUIRE(size <= (1ull << 32), "implausible payload size in file");
+  std::string payload(static_cast<std::size_t>(size), '\0');
+  is.read(payload.data(), static_cast<std::streamsize>(size));
+  QMCU_REQUIRE(is.good() && is.gcount() == static_cast<std::streamsize>(size),
+               std::string("truncated ") + what + " file");
+  const std::uint32_t stored_crc = read_u32(is);
+  QMCU_REQUIRE(stored_crc == crc32(payload.data(), payload.size()),
+               std::string("checksum mismatch: corrupt ") + what + " file");
+  return payload;
 }
 
 }  // namespace
 
-void write_graph(const Graph& g, std::ostream& os) {
-  write_magic(os, kGraphMagic);
-  write_u32(os, kVersion);
-  write_string(os, g.name());
-  write_i32(os, g.size());
+void write_graph(const Graph& g, std::ostream& os, bool include_parameters) {
+  std::ostringstream body;
+  write_string(body, g.name());
+  write_i32(body, g.size());
   for (int id = 0; id < g.size(); ++id) {
     const Layer& l = g.layer(id);
     // Builders only produce square geometry; the reader reconstructs
@@ -109,47 +161,49 @@ void write_graph(const Graph& g, std::ostream& os) {
     QMCU_REQUIRE(l.kernel_h == l.kernel_w && l.stride_h == l.stride_w &&
                      l.pad_h == l.pad_w,
                  "serializer supports square geometry only");
-    write_u32(os, static_cast<std::uint32_t>(l.kind));
-    write_u32(os, static_cast<std::uint32_t>(l.act));
-    write_string(os, l.name);
-    write_i32(os, static_cast<std::int32_t>(l.inputs.size()));
-    for (int in : l.inputs) write_i32(os, in);
-    write_i32(os, l.kernel_h);
-    write_i32(os, l.stride_h);
-    write_i32(os, l.pad_h);
-    write_i32(os, l.out_channels);
+    write_u32(body, static_cast<std::uint32_t>(l.kind));
+    write_u32(body, static_cast<std::uint32_t>(l.act));
+    write_string(body, l.name);
+    write_i32(body, static_cast<std::int32_t>(l.inputs.size()));
+    for (int in : l.inputs) write_i32(body, in);
+    write_i32(body, l.kernel_h);
+    write_i32(body, l.stride_h);
+    write_i32(body, l.pad_h);
+    write_i32(body, l.out_channels);
     const TensorShape& s = g.shape(id);
-    write_i32(os, s.h);
-    write_i32(os, s.w);
-    write_i32(os, s.c);
-    write_u32(os, g.has_parameters(id) ? 1 : 0);
-    if (g.has_parameters(id)) {
-      write_f32_blob(os, g.weights(id));
-      write_f32_blob(os, g.bias(id));
+    write_i32(body, s.h);
+    write_i32(body, s.w);
+    write_i32(body, s.c);
+    const bool params = include_parameters && g.has_parameters(id);
+    write_u32(body, params ? 1 : 0);
+    if (params) {
+      write_f32_blob(body, g.weights(id));
+      write_f32_blob(body, g.bias(id));
     }
   }
+  write_framed(os, kGraphMagic, body.str());
 }
 
 Graph read_graph(std::istream& is) {
-  check_magic(is, kGraphMagic, "QMCU graph");
-  Graph g(read_string(is));
-  const std::int32_t count = read_i32(is);
+  std::istringstream body(read_framed(is, kGraphMagic, "QMCU graph"));
+  Graph g(read_string(body));
+  const std::int32_t count = read_i32(body);
   QMCU_REQUIRE(count >= 0 && count <= (1 << 20),
                "implausible layer count in model file");
   for (std::int32_t id = 0; id < count; ++id) {
-    const auto kind = static_cast<OpKind>(read_u32(is));
-    const auto act = static_cast<Activation>(read_u32(is));
-    const std::string name = read_string(is);
-    const std::int32_t num_inputs = read_i32(is);
+    const auto kind = static_cast<OpKind>(read_u32(body));
+    const auto act = static_cast<Activation>(read_u32(body));
+    const std::string name = read_string(body);
+    const std::int32_t num_inputs = read_i32(body);
     QMCU_REQUIRE(num_inputs >= 0 && num_inputs <= 64,
                  "implausible input count in model file");
     std::vector<int> inputs(static_cast<std::size_t>(num_inputs));
-    for (int& in : inputs) in = read_i32(is);
-    const int kernel = read_i32(is);
-    const int stride = read_i32(is);
-    const int pad = read_i32(is);
-    const int out_c = read_i32(is);
-    const TensorShape shape{read_i32(is), read_i32(is), read_i32(is)};
+    for (int& in : inputs) in = read_i32(body);
+    const int kernel = read_i32(body);
+    const int stride = read_i32(body);
+    const int pad = read_i32(body);
+    const int out_c = read_i32(body);
+    const TensorShape shape{read_i32(body), read_i32(body), read_i32(body)};
 
     int nid = -1;
     switch (kind) {
@@ -191,9 +245,9 @@ Graph read_graph(std::istream& is) {
     QMCU_ENSURE(nid == id, "layer ids must be stable across serialization");
     QMCU_REQUIRE(g.shape(nid) == shape,
                  "shape mismatch after reconstruction — corrupt file?");
-    if (read_u32(is) != 0) {
-      std::vector<float> w = read_f32_blob(is);
-      std::vector<float> b = read_f32_blob(is);
+    if (read_u32(body) != 0) {
+      std::vector<float> w = read_f32_blob(body);
+      std::vector<float> b = read_f32_blob(body);
       g.set_parameters(nid, std::move(w), std::move(b));
     }
   }
@@ -214,27 +268,27 @@ Graph load_graph(const std::string& path) {
 }
 
 void write_quant_config(const ActivationQuantConfig& cfg, std::ostream& os) {
-  write_magic(os, kConfigMagic);
-  write_u32(os, kVersion);
-  write_u32(os, static_cast<std::uint32_t>(cfg.params.size()));
+  std::ostringstream body;
+  write_u32(body, static_cast<std::uint32_t>(cfg.params.size()));
   for (const QuantParams& p : cfg.params) {
-    write_f32(os, p.scale);
-    write_i32(os, p.zero_point);
-    write_i32(os, p.bits);
+    write_f32(body, p.scale);
+    write_i32(body, p.zero_point);
+    write_i32(body, p.bits);
   }
+  write_framed(os, kConfigMagic, body.str());
 }
 
 ActivationQuantConfig read_quant_config(std::istream& is) {
-  check_magic(is, kConfigMagic, "QMCU quant-config");
-  const std::uint32_t n = read_u32(is);
+  std::istringstream body(read_framed(is, kConfigMagic, "QMCU quant-config"));
+  const std::uint32_t n = read_u32(body);
   QMCU_REQUIRE(n <= (1u << 20), "implausible layer count in config file");
   ActivationQuantConfig cfg;
   cfg.params.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
     QuantParams p;
-    p.scale = read_f32(is);
-    p.zero_point = read_i32(is);
-    p.bits = read_i32(is);
+    p.scale = read_f32(body);
+    p.zero_point = read_i32(body);
+    p.bits = read_i32(body);
     QMCU_REQUIRE(p.scale > 0.0f && p.bits >= 2 && p.bits <= 8,
                  "invalid quant params in config file");
     cfg.params.push_back(p);

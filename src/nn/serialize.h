@@ -1,11 +1,13 @@
 // serialize.h — binary model (de)serialization.
 //
-// Format "QMCU" v1, little-endian, self-contained: graph topology, layer
+// Format "QMCU" v2, little-endian, self-contained: graph topology, layer
 // geometry, float parameters, and optionally an ActivationQuantConfig (the
-// deployment package a converter would hand to the device runtime).
-// Loading validates magic, version, and structural invariants through the
-// regular Graph construction API, so a corrupted file fails loudly instead
-// of producing a malformed graph.
+// deployment package a converter would hand to the device runtime). Each
+// stream frames its payload with an explicit byte count, an endianness
+// sentinel, and a trailing CRC32, so truncated or bit-flipped files are
+// rejected before any payload byte is interpreted. Loading then validates
+// structural invariants through the regular Graph construction API, so a
+// corrupted file fails loudly instead of producing a malformed graph.
 #pragma once
 
 #include <iosfwd>
@@ -21,7 +23,11 @@ void save_graph(const Graph& g, const std::string& path);
 Graph load_graph(const std::string& path);
 
 // --- stream variants (testable without touching the filesystem) ------------
-void write_graph(const Graph& g, std::ostream& os);
+// `include_parameters = false` writes every layer parameterless (topology
+// and geometry only) — the plan-artifact writer uses it because weights
+// travel in their own zero-copy sections. read_graph handles both forms.
+void write_graph(const Graph& g, std::ostream& os,
+                 bool include_parameters = true);
 Graph read_graph(std::istream& is);
 
 // --- quantization configs ----------------------------------------------------

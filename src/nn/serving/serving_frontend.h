@@ -35,6 +35,11 @@
 // queue entry each) instead of serializing the whole batch on whichever
 // single lane pops it — idle lanes start immediately, busy lanes pick up
 // remaining chunks as they free.
+//
+// swap_model() hot-swaps the whole fleet under traffic, one lane at a
+// time, without dropping an admitted request — pair it with a factory over
+// a mapped plan artifact (nn/plan_artifact.h) for zero-downtime deploys
+// where every lane views one shared weight mapping.
 #pragma once
 
 #include <atomic>
@@ -80,6 +85,7 @@ struct ServingStats {
   std::uint64_t rejected = 0;   // shed at admission (queue full)
   std::uint64_t expired = 0;    // shed at pop (deadline passed)
   std::uint64_t degraded = 0;   // completed sequentially under Downgrade
+  std::uint64_t swapped_lanes = 0;  // lane rebinds completed by swap_model
   std::size_t pending = 0;      // queued, not yet popped
   int idle_sessions = 0;        // lanes with no request in flight
   int pinned_lanes = 0;         // lanes whose serving thread pinned OK
@@ -227,12 +233,36 @@ class ServingFrontend {
   // Synchronous convenience: submit + wait.
   Output run(const Tensor& input) { return submit(input).get(); }
 
+  // Hot-swaps the fleet's model under live traffic, one lane at a time:
+  // lane i's replacement is built on THIS thread (compilation, prepack or
+  // artifact-bundle adoption never stall a serving thread), then installed
+  // by lane i's own serving thread between two requests (the drain →
+  // rebind → resume contract of SessionPool::swap_session), before lane
+  // i+1 starts. Requests admitted before the call complete on whichever
+  // model generation their lane runs when they are claimed; requests
+  // admitted after it run on the new model once their lane has swapped.
+  // Nothing is dropped either way. With `factory` closing over a mapped
+  // plan artifact (nn::load_compiled / PlanArtifact::make_quant_model)
+  // this is the fleet's zero-downtime deploy: N lanes rebind to one new
+  // shared mapping while the old mapping drains away with its last lane.
+  void swap_model(const Factory& factory) {
+    for (int lane = 0; lane < num_sessions(); ++lane) {
+      pool_->swap_session(
+          static_cast<std::size_t>(lane),
+          [&factory, lane](const std::shared_ptr<ArenaSlab>& s) {
+            return factory(lane, s);
+          });
+      swapped_lanes_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
   [[nodiscard]] ServingStats stats() const {
     ServingStats s;
     s.completed = completed_.load(std::memory_order_relaxed);
     s.rejected = rejected_.load(std::memory_order_relaxed);
     s.expired = expired_.load(std::memory_order_relaxed);
     s.degraded = degraded_.load(std::memory_order_relaxed);
+    s.swapped_lanes = swapped_lanes_.load(std::memory_order_relaxed);
     s.pending = pool_->pending();
     s.idle_sessions = pool_->idle_sessions();
     s.pinned_lanes = pinned_lanes_.load(std::memory_order_relaxed);
@@ -332,6 +362,7 @@ class ServingFrontend {
   std::atomic<std::uint64_t> rejected_{0};
   std::atomic<std::uint64_t> expired_{0};
   std::atomic<std::uint64_t> degraded_{0};
+  std::atomic<std::uint64_t> swapped_lanes_{0};
   std::atomic<int> pinned_lanes_{0};
   std::mutex latency_mu_;
   std::atomic<bool> record_latency_{false};

@@ -766,6 +766,15 @@ CompiledPatchQuantModel::CompiledPatchQuantModel(
     const nn::Graph& g, PatchPlan plan, nn::ActivationQuantConfig cfg,
     std::vector<BranchQuantConfig> branch_cfgs, nn::ops::KernelTier tier,
     std::shared_ptr<const nn::QuantizedParameters> params)
+    : CompiledPatchQuantModel(g, std::move(plan), std::move(cfg),
+                              std::move(branch_cfgs), std::move(params),
+                              PrecompiledPatchParts{}, tier) {}
+
+CompiledPatchQuantModel::CompiledPatchQuantModel(
+    const nn::Graph& g, PatchPlan plan, nn::ActivationQuantConfig cfg,
+    std::vector<BranchQuantConfig> branch_cfgs,
+    std::shared_ptr<const nn::QuantizedParameters> params,
+    PrecompiledPatchParts parts, nn::ops::KernelTier tier)
     : graph_(&g),
       plan_(std::move(plan)),
       cfg_(std::move(cfg)),
@@ -773,8 +782,10 @@ CompiledPatchQuantModel::CompiledPatchQuantModel(
       branch_cfgs_(std::move(branch_cfgs)),
       params_(params ? std::move(params)
                      : nn::QuantizedParameters::build_shared(g, cfg_)),
+      bundle_(std::move(parts.kernels)),
       backend_(tier) {
   QMCU_REQUIRE(!plan_.branches.empty(), "plan has no branches");
+  if (bundle_ != nullptr) bundle_->apply(backend_);
   if (!branch_cfgs_.empty()) {
     QMCU_REQUIRE(branch_cfgs_.size() == plan_.branches.size(),
                  "branch configs must cover every branch");
@@ -783,7 +794,15 @@ CompiledPatchQuantModel::CompiledPatchQuantModel(
                        plan_.branches[b].steps.size(),
                    "branch config must cover every step");
     }
-    branch_bias_ = build_branch_bias(g, plan_, branch_cfgs_, *params_);
+    if (parts.branch_bias.empty()) {
+      branch_bias_ = build_branch_bias(g, plan_, branch_cfgs_, *params_);
+    } else {
+      // Artifact-supplied biases (the graph may be topology-only, so the
+      // float-bias rescale that build_branch_bias runs is not available).
+      QMCU_REQUIRE(parts.branch_bias.size() == plan_.branches.size(),
+                   "precomputed branch bias must cover every branch");
+      branch_bias_ = std::move(parts.branch_bias);
+    }
   }
   // AvgPool reciprocal tables for every window size the graph uses —
   // built now so the run path (possibly many workers at once) only reads.
@@ -808,7 +827,9 @@ CompiledPatchQuantModel::CompiledPatchQuantModel(
   par_assembled_slot_ = static_cast<int>(shared_requests_.size()) - 2;
   par_input_slot_ = static_cast<int>(shared_requests_.size()) - 1;
   pipeline_ =
-      build_pipelined_tail(g, plan_, std::max(2, plan_.spec.grid_rows));
+      parts.pipeline.empty()
+          ? build_pipelined_tail(g, plan_, std::max(2, plan_.spec.grid_rows))
+          : std::move(parts.pipeline);
   branch_costs_ = branch_costs(plan_);
   pipeline_horizon_ =
       num_steps_ + static_cast<int>(pipeline_.size()) - 1;
@@ -887,18 +908,23 @@ CompiledPatchQuantModel::WorkerCtx& CompiledPatchQuantModel::worker_ctx(
     int lane) const {
   while (static_cast<int>(workers_.size()) <= lane) {
     auto ctx = std::make_unique<WorkerCtx>(backend_.tier());
+    // Artifact path: adopt the precomputed panels first, so the prepack
+    // pass below is a no-op for everything the artifact baked.
+    if (bundle_ != nullptr) bundle_->apply(ctx->backend);
     // Pre-pack the conv panels any task on this lane may need — stage
     // convs for branch tasks, tail convs for row bands and the join — so a
     // lane's first run pays no packing cost (construction-time work,
-    // exempt from the affinity guard).
+    // exempt from the affinity guard). Gated on the quantized params, not
+    // the graph: the artifact path loads a topology-only graph.
     const nn::Graph& g = *graph_;
     const auto prepack = [&](int layer_id) {
       const nn::Layer& l = g.layer(layer_id);
+      const auto& w = params_->weights[static_cast<std::size_t>(layer_id)];
+      if (w.data.empty()) return;
       const auto in_bits = [&] {
         return effective_[static_cast<std::size_t>(l.inputs[0])].bits;
       };
       if (l.kind == nn::OpKind::Conv2D) {
-        const auto& w = params_->weights[static_cast<std::size_t>(layer_id)];
         const int n = l.out_channels;
         const int k = static_cast<int>(w.data.size()) / n;
         ctx->backend.prepack(w.data, n, k);
@@ -910,9 +936,7 @@ CompiledPatchQuantModel::WorkerCtx& CompiledPatchQuantModel::worker_ctx(
         if (nn::ops::lut::lut_planned(bits)) {
           ctx->backend.prepack_lut(w.data, n, k, bits);
         }
-      } else if (l.kind == nn::OpKind::FullyConnected &&
-                 g.has_parameters(layer_id)) {
-        const auto& w = params_->weights[static_cast<std::size_t>(layer_id)];
+      } else if (l.kind == nn::OpKind::FullyConnected) {
         const int k = static_cast<int>(g.shape(l.inputs[0]).elements());
         // fc shares the conv panel GEMM since the microkernel rewrite.
         ctx->backend.prepack(w.data, l.out_channels, k);
@@ -995,11 +1019,12 @@ void CompiledPatchQuantModel::exec_branch(
             producer_crop(layer.inputs[0], step.in_region);
         nn::Layer local = layer;
         local.pad_h = local.pad_w = 0;
-        const std::vector<std::int32_t>& bias =
+        const std::span<const std::int32_t> bias =
             branch_cfgs_.empty()
                 ? params_->bias[static_cast<std::size_t>(step.layer_id)]
-                : branch_bias_[static_cast<std::size_t>(branch_index)]
-                              [static_cast<std::size_t>(s)];
+                : std::span<const std::int32_t>(
+                      branch_bias_[static_cast<std::size_t>(branch_index)]
+                                  [static_cast<std::size_t>(s)]);
         const auto& w =
             params_->weights[static_cast<std::size_t>(step.layer_id)];
         if (layer.kind == nn::OpKind::Conv2D) {

@@ -112,6 +112,16 @@ std::vector<std::vector<std::vector<std::int32_t>>> build_branch_bias(
     std::span<const BranchQuantConfig> branch_cfgs,
     const nn::QuantizedParameters& params);
 
+// Construction-time products precomputed by the plan-artifact loader:
+// mixed-mode branch biases, the row-banded pipeline structure, and the
+// panel/offset bundle every lane backend adopts (see nn::PrecompiledBundle).
+// Empty members fall back to in-constructor computation.
+struct PrecompiledPatchParts {
+  std::vector<std::vector<std::vector<std::int32_t>>> branch_bias;
+  std::vector<PipelinedTailLayer> pipeline;
+  std::shared_ptr<const nn::PrecompiledBundle> kernels;
+};
+
 // --- float -----------------------------------------------------------------
 
 class CompiledPatchModel {
@@ -264,6 +274,15 @@ class CompiledPatchQuantModel {
       std::vector<BranchQuantConfig> branch_cfgs = {},
       nn::ops::KernelTier tier = nn::ops::KernelTier::Simd,
       std::shared_ptr<const nn::QuantizedParameters> params = {});
+  // Artifact path: precomputed branch biases / pipeline structure / kernel
+  // bundle skip the corresponding construction-time work (the bundle's
+  // panels are adopted by the model backend and every worker lane).
+  CompiledPatchQuantModel(
+      const nn::Graph& g, PatchPlan plan, nn::ActivationQuantConfig cfg,
+      std::vector<BranchQuantConfig> branch_cfgs,
+      std::shared_ptr<const nn::QuantizedParameters> params,
+      PrecompiledPatchParts parts,
+      nn::ops::KernelTier tier = nn::ops::KernelTier::Simd);
 
   [[nodiscard]] nn::QTensor run(const nn::Tensor& input) const;
   // Pipelined dataflow run (see CompiledPatchModel::run(input, pool)).
@@ -364,6 +383,9 @@ class CompiledPatchQuantModel {
   std::vector<BranchQuantConfig> branch_cfgs_;  // empty = uniform mode
   std::vector<std::vector<std::vector<std::int32_t>>> branch_bias_;
   std::shared_ptr<const nn::QuantizedParameters> params_;
+  // Artifact bundle adopted by backend_ and every worker lane (keeps the
+  // panel/offset views registered with the backends alive).
+  std::shared_ptr<const nn::PrecompiledBundle> bundle_;
   int num_steps_ = 0;
   int assembled_slot_ = 0;
   int input_slot_ = 0;  // quantized full input

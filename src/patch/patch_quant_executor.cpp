@@ -109,11 +109,12 @@ std::vector<nn::QTensor> PatchQuantExecutor::run_branch(
             producer_tensor(layer.inputs[0], step.in_region);
         nn::Layer local = layer;
         local.pad_h = local.pad_w = 0;
-        const std::vector<std::int32_t>& bias =
+        const std::span<const std::int32_t> bias =
             compiled_.branch_configs().empty()
                 ? params.bias[static_cast<std::size_t>(step.layer_id)]
-                : compiled_.branch_bias()
-                      [static_cast<std::size_t>(branch_index)][s];
+                : std::span<const std::int32_t>(
+                      compiled_.branch_bias()
+                          [static_cast<std::size_t>(branch_index)][s]);
         if (layer.kind == nn::OpKind::Conv2D) {
           regions[s] = compiled_.backend().conv2d(
               padded, local,

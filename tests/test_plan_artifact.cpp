@@ -1,0 +1,472 @@
+// Plan artifacts (nn/plan_artifact.h, patch/patch_artifact.h): a model
+// loaded from an mmap'd QMCP file must be bit-identical to one compiled
+// from the graph in-memory — across float, uniform int8, sub-byte, mixed
+// per-layer and patch-based mixed-precision modes, in every kernel
+// generation the running host can dispatch — and corrupt or truncated
+// artifacts must be rejected at map time, before any byte is trusted.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "core/quantmcu.h"
+#include "data/synthetic.h"
+#include "models/weights.h"
+#include "models/zoo.h"
+#include "nn/compiled_model.h"
+#include "nn/plan_artifact.h"
+#include "nn/rng.h"
+#include "nn/runtime/worker_pool.h"
+#include "patch/compiled_patch_model.h"
+#include "patch/mcunetv2.h"
+#include "nn/serving/serving_frontend.h"
+#include "patch/patch_artifact.h"
+#include "quant/calibration.h"
+
+namespace qmcu {
+namespace {
+
+nn::Tensor random_input(nn::TensorShape s, std::uint64_t seed) {
+  nn::Tensor t(s);
+  nn::Rng rng(seed);
+  for (float& v : t.data()) v = static_cast<float>(rng.normal(0.0, 1.0));
+  return t;
+}
+
+nn::Graph small_net() {
+  nn::Graph g("small");
+  const int in = g.add_input(nn::TensorShape{16, 16, 3});
+  const int stem =
+      g.add_conv2d(in, 8, 3, 2, 1, nn::Activation::ReLU6, "stem");
+  const int a = g.add_conv2d(stem, 8, 3, 1, 1, nn::Activation::ReLU, "a");
+  const int b = g.add_conv2d(a, 8, 3, 1, 1, nn::Activation::None, "b");
+  const int add = g.add_residual_add(stem, b, nn::Activation::ReLU, "res");
+  const int dw = g.add_depthwise_conv2d(add, 3, 2, 1, nn::Activation::ReLU6);
+  const int gap = g.add_global_avg_pool(dw);
+  const int fc = g.add_fully_connected(gap, 10, nn::Activation::None);
+  g.add_softmax(fc);
+  models::init_parameters(g, 42);
+  return g;
+}
+
+nn::Graph mbv2_net() {
+  models::ModelConfig cfg;
+  cfg.width_multiplier = 0.25f;
+  cfg.resolution = 48;
+  cfg.num_classes = 10;
+  return models::make_mobilenet_v2(cfg);
+}
+
+void expect_f_identical(const nn::Tensor& a, const nn::Tensor& b) {
+  ASSERT_EQ(a.shape(), b.shape());
+  for (std::size_t i = 0; i < a.data().size(); ++i) {
+    ASSERT_EQ(a.data()[i], b.data()[i]) << "element " << i;
+  }
+}
+
+void expect_q_identical(const nn::QTensor& a, const nn::QTensor& b) {
+  ASSERT_EQ(a.shape(), b.shape());
+  ASSERT_EQ(a.params(), b.params());
+  for (std::size_t i = 0; i < a.data().size(); ++i) {
+    ASSERT_EQ(static_cast<int>(a.data()[i]), static_cast<int>(b.data()[i]))
+        << "element " << i;
+  }
+}
+
+std::string artifact_path(const char* name) {
+  return ::testing::TempDir() + "/" + name + ".qmcp";
+}
+
+// QMCU_FORCE_* are read live by the dispatch tables, so an RAII guard
+// flips kernel generations in-process (see test_kernel_parity.cpp).
+struct EnvGuard {
+  EnvGuard(const char* name, const char* value) : name_(name) {
+    ::setenv(name, value, 1);
+  }
+  ~EnvGuard() { ::unsetenv(name_); }
+  EnvGuard(const EnvGuard&) = delete;
+  EnvGuard& operator=(const EnvGuard&) = delete;
+  const char* name_;
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  EXPECT_TRUE(is.is_open()) << path;
+  return std::string(std::istreambuf_iterator<char>(is),
+                     std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(os.is_open()) << path;
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// --- float kind ------------------------------------------------------------
+
+TEST(PlanArtifact, FloatRoundTripBitExact) {
+  const nn::Graph g = small_net();
+  const std::string path = artifact_path("float_small");
+  nn::compile_to_artifact(g, path);
+
+  const nn::LoadedModel loaded = nn::load_compiled(path);
+  ASSERT_EQ(loaded.kind(), nn::ArtifactModelKind::Float);
+  ASSERT_NE(loaded.float_model, nullptr);
+  EXPECT_EQ(loaded.model, nullptr);
+
+  const nn::CompiledModel ref(g);
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const nn::Tensor in = random_input(g.shape(0), seed);
+    expect_f_identical(loaded.float_model->run(in), ref.run(in));
+  }
+}
+
+TEST(PlanArtifact, FloatMbv2RoundTripBitExact) {
+  const nn::Graph g = mbv2_net();
+  const std::string path = artifact_path("float_mbv2");
+  nn::compile_to_artifact(g, path);
+  const nn::LoadedModel loaded = nn::load_compiled(path);
+  const nn::CompiledModel ref(g);
+  const nn::Tensor in = random_input(g.shape(0), 4);
+  expect_f_identical(loaded.float_model->run(in), ref.run(in));
+}
+
+// --- quant kind ------------------------------------------------------------
+
+TEST(PlanArtifact, QuantRoundTripBitExactAcrossBitwidths) {
+  const nn::Graph g = small_net();
+  const std::vector<nn::Tensor> calib{random_input(g.shape(0), 6),
+                                      random_input(g.shape(0), 7)};
+  const auto ranges = quant::calibrate_ranges(g, calib);
+  const nn::Tensor in = random_input(g.shape(0), 8);
+
+  // Uniform 8/4/2-bit plus a mixed per-layer assignment — exercises the
+  // plain panel path, both LUT widths and the width-per-layer case.
+  std::vector<std::vector<int>> assignments{
+      nn::uniform_bits(g, 8), nn::uniform_bits(g, 4), nn::uniform_bits(g, 2)};
+  std::vector<int> mixed = nn::uniform_bits(g, 8);
+  for (std::size_t i = 0; i < mixed.size(); i += 2) mixed[i] = 4;
+  assignments.push_back(mixed);
+
+  for (std::size_t a = 0; a < assignments.size(); ++a) {
+    const auto cfg = quant::make_quant_config(g, ranges, assignments[a]);
+    const std::string path =
+        artifact_path(("quant_small_" + std::to_string(a)).c_str());
+    nn::compile_to_artifact(g, cfg, path);
+
+    const nn::LoadedModel loaded = nn::load_compiled(path);
+    ASSERT_EQ(loaded.kind(), nn::ArtifactModelKind::Quant);
+    ASSERT_NE(loaded.model, nullptr);
+    EXPECT_TRUE(loaded.artifact->fingerprint_matches());
+
+    const nn::CompiledQuantModel ref(g, cfg);
+    expect_q_identical(loaded.model->run(in), ref.run(in));
+    // Repeated runs through the mapped storage stay deterministic.
+    expect_q_identical(loaded.model->run(in), loaded.model->run(in));
+  }
+}
+
+TEST(PlanArtifact, QuantMbv2RoundTripBitExact) {
+  const nn::Graph g = mbv2_net();
+  const auto ranges = quant::calibrate_ranges(
+      g, std::vector<nn::Tensor>{random_input(g.shape(0), 9)});
+  const auto cfg = quant::make_quant_config(g, ranges, nn::uniform_bits(g, 8));
+  const std::string path = artifact_path("quant_mbv2");
+  nn::compile_to_artifact(g, cfg, path);
+
+  const nn::LoadedModel loaded = nn::load_compiled(path);
+  const nn::CompiledQuantModel ref(g, cfg);
+  const nn::Tensor in = random_input(g.shape(0), 10);
+  expect_q_identical(loaded.model->run(in), ref.run(in));
+
+  // The arena plan rode along — no placement pass ran at load time.
+  EXPECT_EQ(loaded.model->arena_bytes(), ref.arena_bytes());
+  EXPECT_EQ(loaded.artifact->arena_plan().slots.size(),
+            ref.arena_plan().slots.size());
+}
+
+TEST(PlanArtifact, SharedMappingAcrossModels) {
+  // Several models over ONE mapping — the fleet configuration. All views
+  // alias the same artifact pages and agree bit-exactly.
+  const nn::Graph g = small_net();
+  const auto ranges = quant::calibrate_ranges(
+      g, std::vector<nn::Tensor>{random_input(g.shape(0), 11)});
+  const auto cfg = quant::make_quant_config(g, ranges, nn::uniform_bits(g, 8));
+  const std::string path = artifact_path("quant_shared");
+  nn::compile_to_artifact(g, cfg, path);
+
+  const auto artifact = nn::PlanArtifact::map(path);
+  std::vector<std::unique_ptr<nn::CompiledQuantModel>> lanes;
+  for (int i = 0; i < 3; ++i) lanes.push_back(artifact->make_quant_model());
+  for (const auto& lane : lanes) {
+    EXPECT_EQ(lane->shared_parameters().get(), artifact->parameters().get());
+  }
+
+  const nn::CompiledQuantModel ref(g, cfg);
+  const nn::Tensor in = random_input(g.shape(0), 12);
+  const nn::QTensor want = ref.run(in);
+  for (const auto& lane : lanes) expect_q_identical(lane->run(in), want);
+}
+
+// --- cross-generation load -------------------------------------------------
+// An artifact is baked under one kernel generation but must load and run
+// bit-exactly under any other: panels, column sums and LUT tables are
+// generation-independent, and the loader re-derives offset rows when the
+// baked activation zero-point bias differs from the running one.
+
+TEST(PlanArtifact, LoadsBitExactUnderForcedGenerations) {
+  const nn::Graph g = small_net();
+  const auto ranges = quant::calibrate_ranges(
+      g, std::vector<nn::Tensor>{random_input(g.shape(0), 13)});
+  const nn::Tensor in = random_input(g.shape(0), 14);
+
+  for (int bits : {8, 4}) {
+    const auto cfg =
+        quant::make_quant_config(g, ranges, nn::uniform_bits(g, bits));
+    const std::string path =
+        artifact_path(("crossgen_" + std::to_string(bits)).c_str());
+    // Bake under the host's native generation (whatever it dispatches).
+    nn::compile_to_artifact(g, cfg, path);
+    const nn::KernelFingerprint baked = nn::KernelFingerprint::current();
+
+    const auto check_under = [&](const char* env) {
+      EnvGuard guard(env, "1");
+      // The reference is built AFTER the flip: both sides now run the
+      // forced generation, and outputs must agree with the mapped panels.
+      const nn::LoadedModel loaded = nn::load_compiled(path);
+      const nn::CompiledQuantModel ref(g, cfg);
+      expect_q_identical(loaded.model->run(in), ref.run(in));
+      EXPECT_EQ(loaded.artifact->fingerprint() == baked, true);
+      EXPECT_EQ(loaded.artifact->fingerprint_matches(),
+                nn::KernelFingerprint::current() == baked);
+    };
+    check_under("QMCU_FORCE_NO_DOT");
+    check_under("QMCU_FORCE_SCALAR");
+  }
+}
+
+TEST(PlanArtifact, ScalarBakedArtifactLoadsUnderNativeGeneration) {
+  // The reverse direction: bake under the weakest generation, load under
+  // the host's strongest. Offset rows are re-derived when needed.
+  const nn::Graph g = small_net();
+  const auto ranges = quant::calibrate_ranges(
+      g, std::vector<nn::Tensor>{random_input(g.shape(0), 15)});
+  const auto cfg = quant::make_quant_config(g, ranges, nn::uniform_bits(g, 8));
+  const std::string path = artifact_path("crossgen_scalar_baked");
+  {
+    EnvGuard guard("QMCU_FORCE_SCALAR", "1");
+    nn::compile_to_artifact(g, cfg, path);
+  }
+  const nn::LoadedModel loaded = nn::load_compiled(path);
+  const nn::CompiledQuantModel ref(g, cfg);
+  const nn::Tensor in = random_input(g.shape(0), 16);
+  expect_q_identical(loaded.model->run(in), ref.run(in));
+}
+
+// --- patch kind ------------------------------------------------------------
+
+TEST(PlanArtifact, PatchUniformRoundTripBitExact) {
+  const nn::Graph g = mbv2_net();
+  const auto ranges = quant::calibrate_ranges(
+      g, std::vector<nn::Tensor>{random_input(g.shape(0), 17)});
+  const auto cfg = quant::make_quant_config(g, ranges, nn::uniform_bits(g, 8));
+  const patch::PatchSpec spec = patch::plan_mcunetv2(g, {2, 2});
+  const std::string path = artifact_path("patch_uniform");
+  patch::compile_to_artifact(g, spec, cfg, {}, path);
+
+  const patch::LoadedPatchModel loaded = patch::load_compiled_patch(path);
+  ASSERT_NE(loaded.model, nullptr);
+  const patch::CompiledPatchQuantModel ref(
+      g, patch::build_patch_plan(g, spec), cfg);
+  const nn::Tensor in = random_input(g.shape(0), 18);
+  expect_q_identical(loaded.model->run(in), ref.run(in));
+
+  // Pipelined dataflow run over the mapped storage: worker lanes adopt the
+  // bundle's panels and must agree with the sequential path bit-exactly.
+  nn::WorkerPool pool(3);
+  expect_q_identical(loaded.model->run(in, &pool), ref.run(in));
+}
+
+TEST(PlanArtifact, PatchMixedModeRoundTripBitExact) {
+  const nn::Graph g = mbv2_net();
+  data::DataConfig dc;
+  dc.resolution = 48;
+  const data::SyntheticDataset ds(dc);
+  const std::vector<nn::Tensor> calib = ds.batch(0, 2);
+
+  core::QuantMcuConfig qcfg;
+  qcfg.patch.grid = 2;
+  qcfg.patch.stage_downsample = 4;
+  const core::QuantMcuPlan plan = core::build_quantmcu_plan(
+      g, mcu::arduino_nano_33_ble_sense(), calib, qcfg);
+  const auto ranges = quant::calibrate_ranges(g, calib);
+  const auto branch_cfgs = core::make_branch_quant_configs(g, plan, ranges);
+  const auto deploy_cfg = core::make_deployment_quant_config(g, plan, ranges);
+
+  const std::string path = artifact_path("patch_mixed");
+  patch::compile_to_artifact(g, plan.patch_plan.spec, deploy_cfg, branch_cfgs,
+                             path);
+
+  const patch::LoadedPatchModel loaded = patch::load_compiled_patch(path);
+  const patch::CompiledPatchQuantModel ref(g, plan.patch_plan, deploy_cfg,
+                                           branch_cfgs);
+  const nn::Tensor in = ds.image(19);
+  expect_q_identical(loaded.model->run(in), ref.run(in));
+  nn::WorkerPool pool(3);
+  expect_q_identical(loaded.model->run(in, &pool), ref.run(in));
+}
+
+// --- serving fleet ---------------------------------------------------------
+
+bool q_equal(const nn::QTensor& a, const nn::QTensor& b) {
+  if (a.shape() != b.shape() || !(a.params() == b.params())) return false;
+  for (std::size_t i = 0; i < a.data().size(); ++i) {
+    if (a.data()[i] != b.data()[i]) return false;
+  }
+  return true;
+}
+
+TEST(PlanArtifact, ServingFleetSharesOneMappingAndHotSwaps) {
+  const nn::Graph g = small_net();
+  const auto ranges = quant::calibrate_ranges(
+      g, std::vector<nn::Tensor>{random_input(g.shape(0), 30)});
+  const auto cfg8 = quant::make_quant_config(g, ranges, nn::uniform_bits(g, 8));
+  const auto cfg4 = quant::make_quant_config(g, ranges, nn::uniform_bits(g, 4));
+  const std::string path8 = artifact_path("serve_v1");
+  const std::string path4 = artifact_path("serve_v2");
+  nn::compile_to_artifact(g, cfg8, path8);
+  nn::compile_to_artifact(g, cfg4, path4);
+
+  const nn::Tensor in = random_input(g.shape(0), 31);
+  const nn::QTensor want8 = nn::CompiledQuantModel(g, cfg8).run(in);
+  const nn::QTensor want4 = nn::CompiledQuantModel(g, cfg4).run(in);
+  ASSERT_FALSE(q_equal(want8, want4));  // the swap must be observable
+
+  // Artifacts outlive the frontend: every lane's model views the mapping.
+  const auto art8 = nn::PlanArtifact::map(path8);
+  const auto art4 = nn::PlanArtifact::map(path4);
+
+  nn::serving::ServingConfig scfg;
+  scfg.sessions = 3;
+  scfg.pin_lanes = false;
+  scfg.max_queue_depth = 0;  // unbounded: nothing may be shed in this test
+  nn::serving::ServingFrontend<nn::CompiledQuantModel> frontend(
+      scfg, [&art8](int, const std::shared_ptr<nn::ArenaSlab>&) {
+        return art8->make_quant_model();
+      });
+
+  // All lanes serve the v1 mapping.
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_TRUE(q_equal(frontend.run(in), want8));
+  }
+
+  // Hot-swap to the v2 mapping while traffic is in flight. Requests
+  // admitted before the swap may run either generation (their lane swaps
+  // drain → rebind → resume), but every one of them must complete.
+  std::vector<std::future<nn::QTensor>> inflight;
+  for (int i = 0; i < 24; ++i) inflight.push_back(frontend.submit(in));
+  frontend.swap_model([&art4](int, const std::shared_ptr<nn::ArenaSlab>&) {
+    return art4->make_quant_model();
+  });
+  for (auto& f : inflight) {
+    const nn::QTensor out = f.get();  // throws if any request was dropped
+    EXPECT_TRUE(q_equal(out, want8) || q_equal(out, want4));
+  }
+
+  // After swap_model returns every lane serves the v2 mapping.
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_TRUE(q_equal(frontend.run(in), want4));
+  }
+  const nn::serving::ServingStats stats = frontend.stats();
+  EXPECT_EQ(stats.swapped_lanes, 3u);
+  EXPECT_EQ(stats.completed, 36u);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.expired, 0u);
+}
+
+// --- kind routing ----------------------------------------------------------
+
+TEST(PlanArtifact, KindMismatchesAreRejected) {
+  const nn::Graph g = small_net();
+  const auto ranges = quant::calibrate_ranges(
+      g, std::vector<nn::Tensor>{random_input(g.shape(0), 20)});
+  const auto cfg = quant::make_quant_config(g, ranges, nn::uniform_bits(g, 8));
+
+  const std::string qpath = artifact_path("kind_quant");
+  nn::compile_to_artifact(g, cfg, qpath);
+  EXPECT_THROW((void)patch::load_compiled_patch(qpath), std::invalid_argument);
+  const auto quant_art = nn::PlanArtifact::map(qpath);
+  EXPECT_THROW((void)quant_art->make_float_model(), std::invalid_argument);
+
+  const std::string fpath = artifact_path("kind_float");
+  nn::compile_to_artifact(g, fpath);
+  const auto float_art = nn::PlanArtifact::map(fpath);
+  EXPECT_THROW((void)float_art->make_quant_model(), std::invalid_argument);
+  EXPECT_THROW((void)float_art->config(), std::invalid_argument);
+}
+
+// --- adversarial inputs ----------------------------------------------------
+
+TEST(PlanArtifact, RejectsTruncationAtEveryScale) {
+  const nn::Graph g = small_net();
+  const auto ranges = quant::calibrate_ranges(
+      g, std::vector<nn::Tensor>{random_input(g.shape(0), 21)});
+  const auto cfg = quant::make_quant_config(g, ranges, nn::uniform_bits(g, 8));
+  const std::string path = artifact_path("trunc_src");
+  nn::compile_to_artifact(g, cfg, path);
+  const std::string bytes = read_file(path);
+  ASSERT_GT(bytes.size(), 256u);
+
+  const std::string broken = artifact_path("trunc_broken");
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{3}, std::size_t{16}, std::size_t{63},
+        std::size_t{64}, std::size_t{200}, bytes.size() / 2,
+        bytes.size() - 1}) {
+    write_file(broken, bytes.substr(0, keep));
+    EXPECT_THROW((void)nn::PlanArtifact::map(broken), std::invalid_argument)
+        << "kept " << keep << " of " << bytes.size() << " bytes";
+  }
+  // Appended garbage is a size mismatch, not silently ignored tail data.
+  write_file(broken, bytes + std::string(16, '\xee'));
+  EXPECT_THROW((void)nn::PlanArtifact::map(broken), std::invalid_argument);
+}
+
+TEST(PlanArtifact, RejectsBitFlipsAnywhere) {
+  const nn::Graph g = small_net();
+  const auto ranges = quant::calibrate_ranges(
+      g, std::vector<nn::Tensor>{random_input(g.shape(0), 22)});
+  const auto cfg = quant::make_quant_config(g, ranges, nn::uniform_bits(g, 8));
+  const std::string path = artifact_path("flip_src");
+  nn::compile_to_artifact(g, cfg, path);
+  const std::string bytes = read_file(path);
+
+  const std::string broken = artifact_path("flip_broken");
+  // Validated header fields (magic, version, sentinel, kind, section count,
+  // file size — the fingerprint is deliberately NOT an integrity field: a
+  // different generation is a valid artifact) plus payload samples. The
+  // file ends inside the BLOB payload, so positions near the end land on
+  // CRC-covered weight/panel bytes.
+  std::vector<std::size_t> positions{0, 2, 4, 8, 12, 28, 32};
+  for (int q = 1; q <= 8; ++q) {
+    positions.push_back(bytes.size() - 1 - static_cast<std::size_t>(q) *
+                                               (bytes.size() / 32));
+  }
+  for (const std::size_t pos : positions) {
+    std::string corrupt = bytes;
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^ 0x40);
+    write_file(broken, corrupt);
+    EXPECT_THROW((void)nn::PlanArtifact::map(broken), std::invalid_argument)
+        << "flipped bit at byte " << pos;
+  }
+}
+
+TEST(PlanArtifact, RejectsMissingFile) {
+  EXPECT_THROW((void)nn::load_compiled("/nonexistent/model.qmcp"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qmcu

@@ -1,7 +1,9 @@
 // Tests for binary model serialization (nn/serialize.h).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
+#include <utility>
 
 #include "models/zoo.h"
 #include "nn/executor.h"
@@ -100,6 +102,80 @@ TEST(Serialize, RejectsTruncatedFile) {
 TEST(Serialize, RejectsMissingFile) {
   EXPECT_THROW(load_graph("/nonexistent/path/model.qmcu"),
                std::invalid_argument);
+}
+
+TEST(Serialize, RejectsTruncationAtEveryPrefixLength) {
+  // Any strict prefix must be rejected — the payload-size framing plus the
+  // trailing checksum mean no truncation point can slip through, including
+  // cuts inside the header and one byte short of the full stream.
+  const Graph g = sample_graph();
+  std::stringstream ss;
+  write_graph(g, ss);
+  const std::string full = ss.str();
+  for (std::size_t cut : {std::size_t{0}, std::size_t{3}, std::size_t{7},
+                          std::size_t{11}, std::size_t{19},
+                          full.size() / 3, full.size() - 1}) {
+    std::stringstream prefix(full.substr(0, cut));
+    EXPECT_THROW(read_graph(prefix), std::invalid_argument) << "cut=" << cut;
+  }
+}
+
+TEST(Serialize, RejectsBitFlippedStream) {
+  // Flip one bit at a spread of positions across the stream (header fields,
+  // payload, checksum trailer): every single one must fail loudly.
+  const Graph g = sample_graph();
+  std::stringstream ss;
+  write_graph(g, ss);
+  const std::string full = ss.str();
+  for (std::size_t pos = 0; pos < full.size();
+       pos += std::max<std::size_t>(1, full.size() / 97)) {
+    std::string bad = full;
+    bad[pos] = static_cast<char>(bad[pos] ^ 0x10);
+    std::stringstream corrupted(bad);
+    EXPECT_THROW(read_graph(corrupted), std::invalid_argument)
+        << "flip at byte " << pos;
+  }
+}
+
+TEST(Serialize, RejectsUnsupportedVersion) {
+  const Graph g = sample_graph();
+  std::stringstream ss;
+  write_graph(g, ss);
+  std::string bad = ss.str();
+  bad[4] = 99;  // version word follows the 4-byte magic (little-endian)
+  std::stringstream vs(bad);
+  EXPECT_THROW(read_graph(vs), std::invalid_argument);
+}
+
+TEST(Serialize, RejectsByteSwappedEndianSentinel) {
+  const Graph g = sample_graph();
+  std::stringstream ss;
+  write_graph(g, ss);
+  std::string bad = ss.str();
+  // The sentinel 0x01020304 sits after magic+version; byte-swap it the way
+  // a big-endian writer would have laid it down.
+  std::swap(bad[8], bad[11]);
+  std::swap(bad[9], bad[10]);
+  std::stringstream es(bad);
+  EXPECT_THROW(read_graph(es), std::invalid_argument);
+}
+
+TEST(Serialize, QuantConfigRejectsTruncationAndCorruption) {
+  const Graph g = sample_graph();
+  const std::vector<Tensor> calib{random_input(g.shape(0), 8)};
+  const auto ranges = quant::calibrate_ranges(g, calib);
+  const auto cfg = quant::make_quant_config(g, ranges, uniform_bits(g, 8));
+  std::stringstream ss;
+  write_quant_config(cfg, ss);
+  const std::string full = ss.str();
+
+  std::stringstream cut(full.substr(0, full.size() - 3));
+  EXPECT_THROW(read_quant_config(cut), std::invalid_argument);
+
+  std::string flipped = full;
+  flipped[full.size() / 2] = static_cast<char>(flipped[full.size() / 2] ^ 1);
+  std::stringstream cs(flipped);
+  EXPECT_THROW(read_quant_config(cs), std::invalid_argument);
 }
 
 TEST(Serialize, QuantConfigRoundTrip) {

@@ -60,6 +60,10 @@ def load_benchmarks(path):
                 out[bm["name"]] = {
                     "kind": "throughput",
                     "value": float(bm["value"]),
+                    # "x" entries are same-machine ratios (one path timed
+                    # against another in the same process); the machine
+                    # scale cancels out, so they compare unscaled.
+                    "scale_free": unit == "x",
                 }
             else:
                 out[bm["name"]] = {"kind": "info",
@@ -107,7 +111,8 @@ def main():
         default=r"^BM_(RepeatedPatchRun|ParallelPatchRun|PipelinedPatchRun"
                 r"|Conv2dInt8Simd|PackedConvTierSweep|LutGemm"
                 r"|GemmTierSweep|FcTierSweep)\b"
-                r"|^serving/closed/.*req_per_s$",
+                r"|^serving/closed/.*req_per_s$"
+                r"|^cold_start/speedup_x$",
         help="regex of benchmark names that must not regress",
     )
     parser.add_argument(
@@ -217,7 +222,7 @@ def main():
                     f"{name}: {ratio:.2f}x the scaled baseline "
                     f"(> {1.0 + args.threshold:.2f}x allowed)")
         else:  # throughput: must not drop below the scaled baseline
-            expected = base / scale
+            expected = base if base_entry.get("scale_free") else base / scale
             allowed = expected * (1.0 - args.threshold)
             ratio = cur / expected
             bad = cur < allowed

@@ -1,0 +1,267 @@
+// qmcu_pack — bake, verify and inspect QMCP plan artifacts from the
+// command line.
+//
+// Build mode compiles a model (zoo registry entry or a saved .qmcu graph)
+// into a plan artifact; --verify reloads the written file through the
+// mmap path and proves its inference bit-identical to a model compiled
+// in-memory from the same graph. --check does the verification half
+// against an EXISTING artifact — that is the cross-generation /
+// cross-architecture CI step: bake on one host, re-derive the reference
+// on another (the synthetic zoo is bit-identical across toolchains) and
+// require equality. --inspect prints the header and section table.
+//
+//   qmcu_pack --model mobilenetv2 --kind quant --bits 8 \
+//             --out mbv2_int8.qmcp --verify
+//   qmcu_pack --model mobilenetv2 --kind quant --bits 8 \
+//             --check mbv2_int8.qmcp          # no write, just compare
+//   qmcu_pack --inspect mbv2_int8.qmcp
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/zoo.h"
+#include "nn/compiled_model.h"
+#include "nn/plan_artifact.h"
+#include "nn/rng.h"
+#include "nn/serialize.h"
+#include "patch/compiled_patch_model.h"
+#include "patch/mcunetv2.h"
+#include "patch/patch_artifact.h"
+#include "quant/calibration.h"
+
+namespace {
+
+using namespace qmcu;
+
+struct Options {
+  std::string model;          // zoo registry name
+  std::string graph_path;     // or a saved .qmcu graph
+  std::string kind = "quant"; // float | quant | patch
+  int bits = 8;
+  int grid = 2;
+  int calib = 2;
+  int resolution = 48;
+  float width = 0.25f;
+  int classes = 10;
+  std::string out;
+  std::string check;          // verify an existing artifact, write nothing
+  std::string inspect;
+  bool verify = false;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --model NAME | --graph FILE.qmcu\n"
+      "          [--kind float|quant|patch] [--bits N] [--grid G]\n"
+      "          [--calib N] [--resolution N] [--width W] [--classes N]\n"
+      "          --out FILE.qmcp [--verify]\n"
+      "       %s --model NAME ... --check FILE.qmcp\n"
+      "       %s --inspect FILE.qmcp\n",
+      argv0, argv0, argv0);
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (a == "--model") {
+      o.model = value();
+    } else if (a == "--graph") {
+      o.graph_path = value();
+    } else if (a == "--kind") {
+      o.kind = value();
+    } else if (a == "--bits") {
+      o.bits = std::atoi(value().c_str());
+    } else if (a == "--grid") {
+      o.grid = std::atoi(value().c_str());
+    } else if (a == "--calib") {
+      o.calib = std::atoi(value().c_str());
+    } else if (a == "--resolution") {
+      o.resolution = std::atoi(value().c_str());
+    } else if (a == "--width") {
+      o.width = static_cast<float>(std::atof(value().c_str()));
+    } else if (a == "--classes") {
+      o.classes = std::atoi(value().c_str());
+    } else if (a == "--out") {
+      o.out = value();
+    } else if (a == "--check") {
+      o.check = value();
+    } else if (a == "--inspect") {
+      o.inspect = value();
+    } else if (a == "--verify") {
+      o.verify = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", a.c_str());
+      usage(argv[0]);
+    }
+  }
+  if (!o.inspect.empty()) return o;
+  if (o.model.empty() == o.graph_path.empty()) usage(argv[0]);
+  if (o.out.empty() && o.check.empty()) usage(argv[0]);
+  return o;
+}
+
+nn::Tensor random_input(nn::TensorShape s, std::uint64_t seed) {
+  nn::Tensor t(s);
+  nn::Rng rng(seed);
+  for (float& v : t.data()) v = static_cast<float>(rng.normal(0.0, 1.0));
+  return t;
+}
+
+bool q_equal(const nn::QTensor& a, const nn::QTensor& b) {
+  if (a.shape() != b.shape() || !(a.params() == b.params())) return false;
+  for (std::size_t i = 0; i < a.data().size(); ++i) {
+    if (a.data()[i] != b.data()[i]) return false;
+  }
+  return true;
+}
+
+bool f_equal(const nn::Tensor& a, const nn::Tensor& b) {
+  if (a.shape() != b.shape()) return false;
+  for (std::size_t i = 0; i < a.data().size(); ++i) {
+    if (a.data()[i] != b.data()[i]) return false;
+  }
+  return true;
+}
+
+int inspect(const std::string& path) {
+  const auto art = nn::PlanArtifact::map(path);
+  const char* kind = "?";
+  switch (art->kind()) {
+    case nn::ArtifactModelKind::Float: kind = "float"; break;
+    case nn::ArtifactModelKind::Quant: kind = "quant"; break;
+    case nn::ArtifactModelKind::PatchQuant: kind = "patch-quant"; break;
+  }
+  const nn::KernelFingerprint& fp = art->fingerprint();
+  std::printf("%s: %zu bytes, kind %s\n", path.c_str(), art->mapped_bytes(),
+              kind);
+  std::printf("  baked kernel generation: %u (a_bias %d, lut_mask 0x%x)%s\n",
+              fp.gemm_generation, fp.gemm_a_bias, fp.lut_mask,
+              art->fingerprint_matches()
+                  ? ""
+                  : "  [differs from this host: offset rows re-derived]");
+  std::printf("  graph: %d layers, arena peak %lld bytes (%zu slots)\n",
+              art->graph().size(),
+              static_cast<long long>(art->arena_plan().peak_bytes),
+              art->arena_plan().slots.size());
+  for (const std::uint32_t tag :
+       {nn::artifact_tag('G', 'R', 'P', 'H'), nn::artifact_tag('Q', 'C', 'F', 'G'),
+        nn::artifact_tag('L', 'I', 'D', 'X'), nn::artifact_tag('P', 'L', 'A', 'N'),
+        nn::artifact_tag('F', 'I', 'D', 'X'), nn::artifact_tag('P', 'T', 'C', 'H'),
+        nn::artifact_tag('B', 'B', 'I', 'A'), nn::artifact_tag('P', 'I', 'P', 'E'),
+        nn::artifact_tag('B', 'L', 'O', 'B')}) {
+    const auto bytes = art->section(tag);
+    if (bytes.empty()) continue;
+    const char name[5] = {static_cast<char>(tag & 0xff),
+                          static_cast<char>((tag >> 8) & 0xff),
+                          static_cast<char>((tag >> 16) & 0xff),
+                          static_cast<char>((tag >> 24) & 0xff), '\0'};
+    std::printf("  section %s: %zu bytes\n", name, bytes.size());
+  }
+  return 0;
+}
+
+// Verifies `path` against a reference compiled in-memory from `g`:
+// bit-identical outputs on deterministic inputs, for the artifact's kind.
+int verify_artifact(const std::string& path, const nn::Graph& g,
+                    const Options& o) {
+  const nn::Tensor in = random_input(g.shape(0), 7);
+  if (o.kind == "float") {
+    const nn::LoadedModel loaded = nn::load_compiled(path);
+    const nn::CompiledModel ref(g);
+    if (!f_equal(loaded.float_model->run(in), ref.run(in))) {
+      std::fprintf(stderr, "FAIL: artifact inference differs from in-memory "
+                           "compilation\n");
+      return 1;
+    }
+  } else {
+    std::vector<nn::Tensor> calib;
+    for (int i = 0; i < o.calib; ++i) {
+      calib.push_back(random_input(g.shape(0), 100 + static_cast<unsigned>(i)));
+    }
+    const auto ranges = quant::calibrate_ranges(g, calib);
+    const auto cfg =
+        quant::make_quant_config(g, ranges, nn::uniform_bits(g, o.bits));
+    if (o.kind == "quant") {
+      const nn::LoadedModel loaded = nn::load_compiled(path);
+      const nn::CompiledQuantModel ref(g, cfg);
+      if (!q_equal(loaded.model->run(in), ref.run(in))) {
+        std::fprintf(stderr, "FAIL: artifact inference differs from "
+                             "in-memory compilation\n");
+        return 1;
+      }
+    } else {
+      const patch::PatchSpec spec = patch::plan_mcunetv2(g, {o.grid, o.grid});
+      const patch::LoadedPatchModel loaded = patch::load_compiled_patch(path);
+      const patch::CompiledPatchQuantModel ref(
+          g, patch::build_patch_plan(g, spec), cfg);
+      if (!q_equal(loaded.model->run(in), ref.run(in))) {
+        std::fprintf(stderr, "FAIL: artifact inference differs from "
+                             "in-memory compilation\n");
+        return 1;
+      }
+    }
+  }
+  const auto art = nn::PlanArtifact::map(path);
+  std::printf("OK: %s bit-identical to in-memory compilation (%s kernel "
+              "generation)\n",
+              path.c_str(),
+              art->fingerprint_matches() ? "matching" : "re-derived");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse(argc, argv);
+  try {
+    if (!o.inspect.empty()) return inspect(o.inspect);
+
+    models::ModelConfig mc;
+    mc.width_multiplier = o.width;
+    mc.resolution = o.resolution;
+    mc.num_classes = o.classes;
+    const nn::Graph g = o.model.empty() ? nn::load_graph(o.graph_path)
+                                        : models::make_model(o.model, mc);
+
+    if (!o.check.empty()) return verify_artifact(o.check, g, o);
+
+    if (o.kind == "float") {
+      nn::compile_to_artifact(g, o.out);
+    } else {
+      std::vector<nn::Tensor> calib;
+      for (int i = 0; i < o.calib; ++i) {
+        calib.push_back(
+            random_input(g.shape(0), 100 + static_cast<unsigned>(i)));
+      }
+      const auto ranges = quant::calibrate_ranges(g, calib);
+      const auto cfg =
+          quant::make_quant_config(g, ranges, nn::uniform_bits(g, o.bits));
+      if (o.kind == "quant") {
+        nn::compile_to_artifact(g, cfg, o.out);
+      } else if (o.kind == "patch") {
+        const patch::PatchSpec spec =
+            patch::plan_mcunetv2(g, {o.grid, o.grid});
+        patch::compile_to_artifact(g, spec, cfg, {}, o.out);
+      } else {
+        std::fprintf(stderr, "unknown --kind: %s\n", o.kind.c_str());
+        return 2;
+      }
+    }
+    std::printf("wrote %s\n", o.out.c_str());
+    if (o.verify) return verify_artifact(o.out, g, o);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "qmcu_pack: %s\n", e.what());
+    return 1;
+  }
+}
