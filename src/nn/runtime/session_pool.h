@@ -226,6 +226,15 @@ class SessionPool {
                                     std::size_t max_depth) {
     return queue_.try_push(std::move(task), max_depth);
   }
+  // Lane-addressed raw task: runs on lane `lane` specifically, in FIFO
+  // order with everything else addressed to that lane. This is what pins a
+  // frame stream to one session — per-stream state (retained arenas, diff
+  // baselines) is only coherent if every frame of the stream runs on the
+  // same lane, in order.
+  void submit_raw_to(std::size_t lane, runtime::TaskQueue::Task task) {
+    QMCU_REQUIRE(lane < sessions_.size(), "lane out of range");
+    queue_.push_to(lane, std::move(task));
+  }
 
   // Lane i's session. Only lane i's serving thread may run() it (sessions
   // are exclusive); other threads may read accounting.

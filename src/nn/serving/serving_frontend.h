@@ -40,6 +40,17 @@
 // time, without dropping an admitted request — pair it with a factory over
 // a mapped plan artifact (nn/plan_artifact.h) for zero-downtime deploys
 // where every lane views one shared weight mapping.
+//
+// Streams (models with run_streaming, i.e. the patch models): open_stream
+// pins a StreamingSession to a lane round-robin; submit_stream routes each
+// frame to that lane IN FIFO ORDER (SessionPool::submit_raw_to), so the
+// stream's retained arena and diff baseline stay coherent — and frames see
+// the previous frame's work. Stream frames deliberately bypass admission
+// control (bounded queue, deadlines, downgrade): dropping or reordering a
+// frame would force a full recompute and cost more than running it, and a
+// degraded (different worker count) run is incompatible with the stream's
+// pinned arena layout. Back-pressure for streams belongs at the source
+// (skip capture frames, not queued ones).
 #pragma once
 
 #include <atomic>
@@ -53,11 +64,14 @@
 #include <utility>
 #include <vector>
 
+#include <map>
+
 #include "nn/check.h"
 #include "nn/runtime/cpu_affinity.h"
 #include "nn/runtime/session_pool.h"
 #include "nn/runtime/worker_pool.h"
 #include "nn/serving/core_budget.h"
+#include "nn/streaming/streaming_session.h"
 
 namespace qmcu::nn::serving {
 
@@ -86,6 +100,8 @@ struct ServingStats {
   std::uint64_t expired = 0;    // shed at pop (deadline passed)
   std::uint64_t degraded = 0;   // completed sequentially under Downgrade
   std::uint64_t swapped_lanes = 0;  // lane rebinds completed by swap_model
+  std::uint64_t streams = 0;        // streams opened (lifetime total)
+  std::uint64_t stream_frames = 0;  // stream frames completed
   std::size_t pending = 0;      // queued, not yet popped
   int idle_sessions = 0;        // lanes with no request in flight
   int pinned_lanes = 0;         // lanes whose serving thread pinned OK
@@ -106,6 +122,14 @@ class ServingFrontend {
   static constexpr bool kPoolRunnable =
       requires(const Model& m, const Tensor& t, WorkerPool* p) {
         m.run(t, p);
+      };
+
+  // True when Model supports temporal patch reuse (the patch models'
+  // run_streaming); gates the stream API below.
+  static constexpr bool kStreamable =
+      requires(const Model& m, const Tensor& t, WorkerPool* p,
+               patch::StreamState& s) {
+        m.run_streaming(t, p, s);
       };
 
   // No deadline for this request.
@@ -256,6 +280,78 @@ class ServingFrontend {
     }
   }
 
+  // Opens a frame stream and pins it to a lane (round-robin). Every frame
+  // of this stream runs on that lane, in submission order; the lane keeps
+  // serving ordinary requests interleaved between frames.
+  std::uint64_t open_stream(streaming::StreamingConfig scfg = {})
+    requires kStreamable
+  {
+    std::lock_guard<std::mutex> lock(stream_mu_);
+    const std::uint64_t id = next_stream_id_++;
+    StreamEntry entry;
+    entry.lane = next_stream_lane_;
+    next_stream_lane_ = (next_stream_lane_ + 1) %
+                        static_cast<std::size_t>(num_sessions());
+    entry.session =
+        std::make_shared<streaming::StreamingSession<Model>>(scfg);
+    streams_.emplace(id, std::move(entry));
+    opened_streams_.fetch_add(1, std::memory_order_relaxed);
+    return id;
+  }
+
+  // Runs one frame of stream `id` on its pinned lane. No admission control
+  // (see the header comment); the future resolves with the frame's output
+  // or whatever the model threw. Throws std::out_of_range for an unknown
+  // (or closed) stream id.
+  std::future<Output> submit_stream(std::uint64_t id, Tensor frame)
+    requires kStreamable
+  {
+    StreamEntry entry = stream_entry(id);
+    auto promise = std::make_shared<std::promise<Output>>();
+    std::future<Output> result = promise->get_future();
+    pool_->submit_raw_to(
+        entry.lane, [this, session = entry.session, promise,
+                     frame = std::move(frame)](std::size_t lane) {
+          try {
+            WorkerPool* pool =
+                pools_.empty() ? nullptr : pools_[lane].get();
+            Output out = session->next(pool_->session(lane).model(), frame,
+                                       pool);
+            stream_frames_.fetch_add(1, std::memory_order_relaxed);
+            promise->set_value(std::move(out));
+          } catch (...) {
+            promise->set_exception(std::current_exception());
+          }
+        });
+    return result;
+  }
+
+  // Point-in-time copy of the stream's skip/drift counters. Routed through
+  // the stream's lane (after all frames submitted before this call), so it
+  // never races the lane's own updates.
+  std::future<streaming::StreamingStats> stream_stats(std::uint64_t id)
+    requires kStreamable
+  {
+    StreamEntry entry = stream_entry(id);
+    auto promise =
+        std::make_shared<std::promise<streaming::StreamingStats>>();
+    std::future<streaming::StreamingStats> result = promise->get_future();
+    pool_->submit_raw_to(entry.lane,
+                         [session = entry.session, promise](std::size_t) {
+                           promise->set_value(session->stats());
+                         });
+    return result;
+  }
+
+  // Forgets the stream. Frames already queued still run (they share
+  // ownership of the session); new submit_stream calls throw.
+  void close_stream(std::uint64_t id)
+    requires kStreamable
+  {
+    std::lock_guard<std::mutex> lock(stream_mu_);
+    streams_.erase(id);
+  }
+
   [[nodiscard]] ServingStats stats() const {
     ServingStats s;
     s.completed = completed_.load(std::memory_order_relaxed);
@@ -263,6 +359,8 @@ class ServingFrontend {
     s.expired = expired_.load(std::memory_order_relaxed);
     s.degraded = degraded_.load(std::memory_order_relaxed);
     s.swapped_lanes = swapped_lanes_.load(std::memory_order_relaxed);
+    s.streams = opened_streams_.load(std::memory_order_relaxed);
+    s.stream_frames = stream_frames_.load(std::memory_order_relaxed);
     s.pending = pool_->pending();
     s.idle_sessions = pool_->idle_sessions();
     s.pinned_lanes = pinned_lanes_.load(std::memory_order_relaxed);
@@ -353,11 +451,29 @@ class ServingFrontend {
             .count());
   }
 
+  // A stream's lane pin plus its session (shared with queued frame tasks,
+  // so close_stream never yanks state out from under an in-flight frame).
+  struct StreamEntry {
+    std::size_t lane = 0;
+    std::shared_ptr<streaming::StreamingSession<Model>> session;
+  };
+
+  [[nodiscard]] StreamEntry stream_entry(std::uint64_t id) {
+    std::lock_guard<std::mutex> lock(stream_mu_);
+    return streams_.at(id);
+  }
+
   ServingConfig cfg_;
   CoreBudget budget_;
   // Lane -> WorkerPool slice (empty when the model has no pool-run entry
   // point or the budget gives each lane a single worker).
   std::vector<std::unique_ptr<WorkerPool>> pools_;
+  std::mutex stream_mu_;
+  std::map<std::uint64_t, StreamEntry> streams_;
+  std::uint64_t next_stream_id_ = 1;
+  std::size_t next_stream_lane_ = 0;
+  std::atomic<std::uint64_t> opened_streams_{0};
+  std::atomic<std::uint64_t> stream_frames_{0};
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> rejected_{0};
   std::atomic<std::uint64_t> expired_{0};

@@ -133,6 +133,19 @@ constexpr bool rows_overlap(const Interval& a, const Interval& b) {
   return a.begin < b.end && b.begin < a.end;
 }
 
+// The streaming layout widens every shared slot's lifetime to the whole
+// timeline: retained bytes (assembled tiles, tail maps) must survive from
+// frame to frame, so no shared slot may ever be overlaid on another.
+std::vector<ArenaRequest> widen_shared(std::vector<ArenaRequest> requests) {
+  int last = 0;
+  for (const ArenaRequest& r : requests) last = std::max(last, r.last_step);
+  for (ArenaRequest& r : requests) {
+    r.first_step = 0;
+    r.last_step = last;
+  }
+  return requests;
+}
+
 // How many branch tasks each grid row contributes for `workers` lanes:
 // roughly two tasks per lane across the whole grid keeps the scheduler fed
 // without shredding the cost-weighted coalescing.
@@ -367,6 +380,20 @@ const nn::ParallelArenaPlan& CompiledPatchModel::pipelined_plan(
   return it->second;
 }
 
+const nn::ParallelArenaPlan& CompiledPatchModel::streaming_plan(
+    int num_workers) const {
+  auto it = streaming_pplans_.find(num_workers);
+  if (it == streaming_pplans_.end()) {
+    it = streaming_pplans_
+             .emplace(num_workers,
+                      nn::ArenaPlanner().plan_parallel(
+                          slice_requests_, widen_shared(shared_requests_),
+                          num_workers))
+             .first;
+  }
+  return it->second;
+}
+
 std::span<std::uint8_t> CompiledPatchModel::bind_run_arena(
     std::int64_t need, nn::ArenaSlab::Lease& lease) const {
   if (arena_source_ != nullptr) {
@@ -404,7 +431,8 @@ void CompiledPatchModel::exec_branch(
     const PatchBranch& branch, const nn::Tensor& input, std::uint8_t* base,
     std::span<const nn::ArenaSlot> slots, nn::ops::KernelBackend& backend,
     nn::ops::ScratchArena& crops, std::span<nn::Tensor> step_views,
-    std::int64_t& measured, nn::Tensor& assembled) const {
+    std::int64_t& measured, nn::Tensor& assembled,
+    bool* merge_changed) const {
   const nn::Graph& g = *graph_;
   const int split = plan_.spec.split_layer;
   for (int s = 0; s < num_steps_; ++s) {
@@ -487,8 +515,14 @@ void CompiledPatchModel::exec_branch(
   }
   const BranchStep& last = branch.steps.back();
   QMCU_ENSURE(last.layer_id == split, "branch must end at the cut layer");
-  merge_region_f32(step_views[static_cast<std::size_t>(num_steps_ - 1)],
-                   last.out_region, assembled);
+  if (merge_changed == nullptr) {
+    merge_region_f32(step_views[static_cast<std::size_t>(num_steps_ - 1)],
+                     last.out_region, assembled);
+  } else {
+    *merge_changed = merge_region_f32_changed(
+        step_views[static_cast<std::size_t>(num_steps_ - 1)], last.out_region,
+        assembled);
+  }
 }
 
 void CompiledPatchModel::bind_tail(std::uint8_t* base,
@@ -525,14 +559,15 @@ nn::Tensor CompiledPatchModel::exec_tail(std::uint8_t* base,
 }
 
 void CompiledPatchModel::exec_tail_band(int layer_id, const Interval& rows,
-                                        WorkerCtx& ctx) const {
+                                        nn::ops::KernelBackend& backend,
+                                        nn::ops::ScratchArena& crops) const {
   const nn::Graph& g = *graph_;
   const nn::Layer& l = g.layer(layer_id);
   const nn::TensorShape& os = g.shape(layer_id);
   const Region out_region{rows, {0, os.w}};
   nn::Tensor out =
       row_view(tail_memo_[static_cast<std::size_t>(layer_id)], rows);
-  ctx.crops.reset();
+  crops.reset();
   switch (l.kind) {
     case nn::OpKind::Conv2D:
     case nn::OpKind::DepthwiseConv2D: {
@@ -543,19 +578,19 @@ void CompiledPatchModel::exec_tail_band(int layer_id, const Interval& rows,
       const nn::TensorShape& is = g.shape(l.inputs[0]);
       const Region want = required_input_region(l, is, out_region);
       nn::Tensor crop = borrow_f32(
-          ctx.crops,
+          crops,
           nn::TensorShape{want.y.size(), want.x.size(), is.c});
       crop_from_region_into(tail_memo_[static_cast<std::size_t>(l.inputs[0])],
                             full_region(is), want, is, crop);
       nn::Layer local = l;
       local.pad_h = local.pad_w = 0;
       if (l.kind == nn::OpKind::Conv2D) {
-        ctx.backend.conv2d_f32_into(crop, local, g.weights(layer_id),
-                                    g.bias(layer_id), out);
+        backend.conv2d_f32_into(crop, local, g.weights(layer_id),
+                                g.bias(layer_id), out);
       } else {
-        ctx.backend.depthwise_conv2d_f32_into(crop, local,
-                                              g.weights(layer_id),
-                                              g.bias(layer_id), out);
+        backend.depthwise_conv2d_f32_into(crop, local,
+                                          g.weights(layer_id),
+                                          g.bias(layer_id), out);
       }
       break;
     }
@@ -635,21 +670,42 @@ nn::TaskGraph& CompiledPatchModel::pipeline_graph(int num_workers) const {
           build_pipeline_graph(
               plan_, pipeline_, branch_costs_, num_workers,
               [this](std::int64_t b, int lane) {
+                // Streaming frames route through the same cached graph:
+                // clean branches return immediately, dirty ones report
+                // whether their merge changed any retained byte.
+                StreamState* stream = run_stream_;
+                if (stream != nullptr &&
+                    !stream->branch_dirty[static_cast<std::size_t>(b)]) {
+                  return;
+                }
                 WorkerCtx& ctx = *workers_[static_cast<std::size_t>(lane)];
+                bool changed = false;
                 exec_branch(
                     plan_.branches[static_cast<std::size_t>(b)], *run_input_,
                     run_data_ + run_pplan_->slice_offset(lane),
                     run_pplan_->slice.slots, ctx.backend, ctx.crops,
                     ctx.step_views, ctx.measured,
                     tail_memo_[static_cast<std::size_t>(
-                        plan_.spec.split_layer)]);
+                        plan_.spec.split_layer)],
+                    stream != nullptr ? &changed : nullptr);
+                if (stream != nullptr) stream_mark_branch(*stream, b, changed);
                 if (branch_hook_) branch_hook_(static_cast<int>(b));
               },
               [this](std::size_t pi, std::size_t j, int lane) {
+                StreamState* stream = run_stream_;
+                if (stream != nullptr && !stream_band_needed(*stream, pi, j)) {
+                  return;
+                }
+                WorkerCtx& ctx = *workers_[static_cast<std::size_t>(lane)];
                 exec_tail_band(pipeline_[pi].layer_id, pipeline_[pi].bands[j],
-                               *workers_[static_cast<std::size_t>(lane)]);
+                               ctx.backend, ctx.crops);
+                if (stream != nullptr) stream_mark_band(*stream, pi, j);
               },
               [this, first_rest](int lane) {
+                if (run_stream_ != nullptr &&
+                    !run_stream_->frame_changed_output()) {
+                  return;
+                }
                 WorkerCtx& ctx = *workers_[static_cast<std::size_t>(lane)];
                 for (int id = first_rest; id < graph_->size(); ++id) {
                   nn::run_layer_f32_into(
@@ -658,6 +714,218 @@ nn::TaskGraph& CompiledPatchModel::pipeline_graph(int num_workers) const {
                 }
               }))
       .first->second;
+}
+
+// --- streaming (float) ------------------------------------------------------
+
+void CompiledPatchModel::prime_stream_state(StreamState& state,
+                                            int workers) const {
+  QMCU_REQUIRE(workers >= 1, "streaming needs at least one lane");
+  if (state.workers != 0) {
+    QMCU_REQUIRE(state.workers == workers,
+                 "stream state is pinned to its first frame's worker count");
+  }
+  state.workers = workers;
+  state.branch_dirty.resize(plan_.branches.size(), 1);
+  if (state.row_changed == nullptr) {
+    state.row_changed = std::make_unique<std::atomic<char>[]>(
+        static_cast<std::size_t>(plan_.spec.grid_rows));
+    state.band_offset.resize(pipeline_.size());
+    int total = 0;
+    for (std::size_t pi = 0; pi < pipeline_.size(); ++pi) {
+      state.band_offset[pi] = total;
+      total += static_cast<int>(pipeline_[pi].bands.size());
+    }
+    state.band_changed = std::make_unique<std::atomic<char>[]>(
+        static_cast<std::size_t>(std::max(total, 1)));
+  }
+}
+
+std::span<std::uint8_t> CompiledPatchModel::bind_stream_arena(
+    std::int64_t need, StreamState& state) const {
+  if (arena_source_ != nullptr) {
+    if (state.lease.empty() ||
+        static_cast<std::int64_t>(state.lease.bytes().size()) < need) {
+      QMCU_ENSURE(!state.primed,
+                  "streaming arena cannot be re-acquired once primed");
+      state.lease = arena_source_->acquire(need);
+    }
+    return state.lease.bytes();
+  }
+  if (static_cast<std::int64_t>(state.owned.size()) < need) {
+    QMCU_ENSURE(!state.primed, "streaming arena cannot grow once primed");
+    state.owned.resize(static_cast<std::size_t>(need));
+  }
+  return {state.owned.data(), state.owned.size()};
+}
+
+bool CompiledPatchModel::stream_band_needed(const StreamState& state,
+                                            std::size_t pi,
+                                            std::size_t j) const {
+  const PipelinedTailLayer& pl = pipeline_[pi];
+  for (const int r : pl.grid_row_deps[j]) {
+    if (state.row_changed[static_cast<std::size_t>(r)].load(
+            std::memory_order_relaxed) != 0) {
+      return true;
+    }
+  }
+  for (const auto& [qi, k] : pl.band_deps[j]) {
+    if (state
+            .band_changed[static_cast<std::size_t>(
+                state.band_offset[static_cast<std::size_t>(qi)] + k)]
+            .load(std::memory_order_relaxed) != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void CompiledPatchModel::stream_mark_branch(StreamState& state,
+                                            std::int64_t b,
+                                            bool changed) const {
+  state.branches_run.fetch_add(1, std::memory_order_relaxed);
+  if (!changed) return;
+  state.row_changed[static_cast<std::size_t>(b / plan_.spec.grid_cols)].store(
+      1, std::memory_order_relaxed);
+  state.any_changed.store(1, std::memory_order_relaxed);
+}
+
+void CompiledPatchModel::stream_mark_band(StreamState& state, std::size_t pi,
+                                          std::size_t j) const {
+  state.bands_run.fetch_add(1, std::memory_order_relaxed);
+  state
+      .band_changed[static_cast<std::size_t>(state.band_offset[pi]) + j]
+      .store(1, std::memory_order_relaxed);
+}
+
+namespace {
+
+// Clears one frame's change-propagation flags and counters. On the priming
+// frame (`force_all_dirty`) every grid row starts dirty instead: the
+// arena's initial bytes are not a valid previous frame, so a first-frame
+// merge that happens to match them (all-zero quant tiles over a fresh
+// zeroed buffer) must not suppress the bands downstream of it.
+void reset_stream_frame(StreamState& state, int grid_rows, int total_bands,
+                        bool force_all_dirty) {
+  const char row_init = force_all_dirty ? 1 : 0;
+  for (int r = 0; r < grid_rows; ++r) {
+    state.row_changed[static_cast<std::size_t>(r)].store(
+        row_init, std::memory_order_relaxed);
+  }
+  for (int i = 0; i < total_bands; ++i) {
+    state.band_changed[static_cast<std::size_t>(i)].store(
+        0, std::memory_order_relaxed);
+  }
+  state.any_changed.store(row_init, std::memory_order_relaxed);
+  state.branches_run.store(0, std::memory_order_relaxed);
+  state.bands_run.store(0, std::memory_order_relaxed);
+}
+
+int total_band_count(std::span<const PipelinedTailLayer> pipeline) {
+  int total = 0;
+  for (const PipelinedTailLayer& pl : pipeline) {
+    total += static_cast<int>(pl.bands.size());
+  }
+  return total;
+}
+
+}  // namespace
+
+nn::Tensor CompiledPatchModel::run_streaming(const nn::Tensor& input,
+                                             nn::WorkerPool* pool,
+                                             StreamState& state) const {
+  const nn::Graph& g = *graph_;
+  const int split = plan_.spec.split_layer;
+  QMCU_REQUIRE(input.shape() == g.shape(g.inputs().front()),
+               "input shape does not match graph input");
+  const int w = pool == nullptr ? 1 : pool->num_workers();
+  prime_stream_state(state, w);
+  const nn::ParallelArenaPlan& pplan = streaming_plan(w);
+  const std::span<std::uint8_t> arena =
+      bind_stream_arena(pplan.total_bytes(), state);
+  nn::check_arena(arena, pplan.total_bytes(), alignof(float));
+
+  // First frame: nothing retained yet, every branch runs.
+  if (!state.primed) {
+    std::fill(state.branch_dirty.begin(), state.branch_dirty.end(),
+              std::uint8_t{1});
+  }
+  reset_stream_frame(state, plan_.spec.grid_rows, total_band_count(pipeline_),
+                     !state.primed);
+
+  std::int64_t shared_measured = 0;
+  run_input_ = &input;
+  run_data_ = arena.data();
+  run_pplan_ = &pplan;
+  bind_tail(run_data_ + pplan.shared_offset(), pplan.shared.slots, 0,
+            par_assembled_slot_, shared_measured);
+  run_stream_ = &state;
+
+  if (w == 1) {
+    backend_.rebind_thread();
+    crops_.rebind_thread();
+    step_views_.resize(static_cast<std::size_t>(num_steps_));
+    std::int64_t slice_measured = 0;
+    std::uint8_t* const slice_base = run_data_ + pplan.slice_offset(0);
+    for (std::size_t b = 0; b < plan_.branches.size(); ++b) {
+      if (!state.branch_dirty[b]) continue;
+      bool changed = false;
+      exec_branch(plan_.branches[b], input, slice_base, pplan.slice.slots,
+                  backend_, crops_, step_views_, slice_measured,
+                  tail_memo_[static_cast<std::size_t>(split)], &changed);
+      stream_mark_branch(state, static_cast<std::int64_t>(b), changed);
+      if (branch_hook_) branch_hook_(static_cast<int>(b));
+    }
+    for (std::size_t pi = 0; pi < pipeline_.size(); ++pi) {
+      const std::size_t nb = pipeline_[pi].bands.size();
+      std::size_t needed = 0;
+      for (std::size_t j = 0; j < nb; ++j) {
+        needed += stream_band_needed(state, pi, j) ? 1 : 0;
+      }
+      if (needed == nb) {
+        // Every band is dirty: run the layer whole like the sequential
+        // tail (bit-identical) instead of paying one halo crop per band.
+        const int id = pipeline_[pi].layer_id;
+        nn::run_layer_f32_into(g, id, tail_memo_, backend_,
+                               tail_memo_[static_cast<std::size_t>(id)]);
+        for (std::size_t j = 0; j < nb; ++j) stream_mark_band(state, pi, j);
+        continue;
+      }
+      for (std::size_t j = 0; j < nb; ++j) {
+        if (!stream_band_needed(state, pi, j)) continue;
+        exec_tail_band(pipeline_[pi].layer_id, pipeline_[pi].bands[j],
+                       backend_, crops_);
+        stream_mark_band(state, pi, j);
+      }
+    }
+    if (state.frame_changed_output()) {
+      const int first_rest = split + 1 + static_cast<int>(pipeline_.size());
+      for (int id = first_rest; id < g.size(); ++id) {
+        nn::run_layer_f32_into(g, id, tail_memo_, backend_,
+                               tail_memo_[static_cast<std::size_t>(id)]);
+      }
+    }
+    measured_ = std::max(pplan.shared_offset() + shared_measured,
+                         pplan.slice_offset(0) + slice_measured);
+  } else {
+    for (int lane = 0; lane < w; ++lane) {
+      WorkerCtx& ctx = worker_ctx(lane);
+      ctx.backend.rebind_thread();
+      ctx.crops.rebind_thread();
+      ctx.step_views.resize(static_cast<std::size_t>(num_steps_));
+      ctx.measured = 0;
+    }
+    pool->run_graph(pipeline_graph(w));
+    measured_ = pplan.shared_offset() + shared_measured;
+    for (int lane = 0; lane < w; ++lane) {
+      measured_ = std::max(
+          measured_, pplan.slice_offset(lane) +
+                         workers_[static_cast<std::size_t>(lane)]->measured);
+    }
+  }
+  run_stream_ = nullptr;
+  state.primed = true;
+  return tail_memo_[static_cast<std::size_t>(g.output())];
 }
 
 nn::Tensor CompiledPatchModel::run(const nn::Tensor& input,
@@ -861,6 +1129,20 @@ const nn::ParallelArenaPlan& CompiledPatchQuantModel::pipelined_plan(
   return it->second;
 }
 
+const nn::ParallelArenaPlan& CompiledPatchQuantModel::streaming_plan(
+    int num_workers) const {
+  auto it = streaming_pplans_.find(num_workers);
+  if (it == streaming_pplans_.end()) {
+    it = streaming_pplans_
+             .emplace(num_workers,
+                      nn::ArenaPlanner().plan_parallel(
+                          slice_requests_, widen_shared(shared_requests_),
+                          num_workers))
+             .first;
+  }
+  return it->second;
+}
+
 std::span<std::uint8_t> CompiledPatchQuantModel::bind_run_arena(
     std::int64_t need, nn::ArenaSlab::Lease& lease) const {
   if (arena_source_ != nullptr) {
@@ -960,7 +1242,8 @@ void CompiledPatchQuantModel::exec_branch(
     int branch_index, const nn::QTensor& qinput, std::uint8_t* base,
     std::span<const nn::ArenaSlot> slots, nn::ops::KernelBackend& backend,
     nn::ops::ScratchArena& crops, std::span<nn::QTensor> step_views,
-    std::int64_t& measured, nn::QTensor& assembled) const {
+    std::int64_t& measured, nn::QTensor& assembled,
+    bool* merge_changed) const {
   const nn::Graph& g = *graph_;
   const int split = plan_.spec.split_layer;
   const PatchBranch& branch =
@@ -1075,8 +1358,14 @@ void CompiledPatchQuantModel::exec_branch(
   // The branch slice is requantized into the shared accumulation buffer's
   // parameters (identity copy in uniform mode). Tiles are disjoint, so
   // concurrent merges from several workers commute.
-  merge_region_q(step_views[static_cast<std::size_t>(num_steps_ - 1)],
-                 last.out_region, assembled);
+  if (merge_changed == nullptr) {
+    merge_region_q(step_views[static_cast<std::size_t>(num_steps_ - 1)],
+                   last.out_region, assembled);
+  } else {
+    *merge_changed = merge_region_q_changed(
+        step_views[static_cast<std::size_t>(num_steps_ - 1)], last.out_region,
+        assembled);
+  }
 }
 
 void CompiledPatchQuantModel::bind_tail(std::uint8_t* base,
@@ -1111,16 +1400,16 @@ nn::QTensor CompiledPatchQuantModel::exec_tail(
   return tail_memo_[static_cast<std::size_t>(g.output())];
 }
 
-void CompiledPatchQuantModel::exec_tail_band(int layer_id,
-                                             const Interval& rows,
-                                             WorkerCtx& ctx) const {
+void CompiledPatchQuantModel::exec_tail_band(
+    int layer_id, const Interval& rows, nn::ops::KernelBackend& backend,
+    nn::ops::ScratchArena& crops) const {
   const nn::Graph& g = *graph_;
   const nn::Layer& l = g.layer(layer_id);
   const nn::TensorShape& os = g.shape(layer_id);
   const Region out_region{rows, {0, os.w}};
   nn::QTensor out =
       row_view(tail_memo_[static_cast<std::size_t>(layer_id)], rows);
-  ctx.crops.reset();
+  crops.reset();
   switch (l.kind) {
     case nn::OpKind::Conv2D:
     case nn::OpKind::DepthwiseConv2D: {
@@ -1133,7 +1422,7 @@ void CompiledPatchQuantModel::exec_tail_band(int layer_id,
           tail_memo_[static_cast<std::size_t>(l.inputs[0])];
       const Region want = required_input_region(l, is, out_region);
       nn::QTensor crop = borrow_q(
-          ctx.crops, nn::TensorShape{want.y.size(), want.x.size(), is.c},
+          crops, nn::TensorShape{want.y.size(), want.x.size(), is.c},
           in_full.params());
       crop_from_region_q_into(in_full, full_region(is), want, is, crop);
       nn::Layer local = l;
@@ -1141,10 +1430,10 @@ void CompiledPatchQuantModel::exec_tail_band(int layer_id,
       const auto& w = params_->weights[static_cast<std::size_t>(layer_id)];
       const auto& bias = params_->bias[static_cast<std::size_t>(layer_id)];
       if (l.kind == nn::OpKind::Conv2D) {
-        ctx.backend.conv2d_into(crop, local, w.data, w.params, bias, out);
+        backend.conv2d_into(crop, local, w.data, w.params, bias, out);
       } else {
-        ctx.backend.depthwise_conv2d_into(crop, local, w.data, w.params,
-                                          bias, out);
+        backend.depthwise_conv2d_into(crop, local, w.data, w.params,
+                                      bias, out);
       }
       break;
     }
@@ -1161,7 +1450,7 @@ void CompiledPatchQuantModel::exec_tail_band(int layer_id,
           row_view(tail_memo_[static_cast<std::size_t>(l.inputs[0])], rows);
       nn::QTensor b =
           row_view(tail_memo_[static_cast<std::size_t>(l.inputs[1])], rows);
-      ctx.backend.add_into(a, b, l.act, out);
+      backend.add_into(a, b, l.act, out);
       break;
     }
     case nn::OpKind::Concat: {
@@ -1174,7 +1463,7 @@ void CompiledPatchQuantModel::exec_tail_band(int layer_id,
       std::vector<const nn::QTensor*> ptrs;
       ptrs.reserve(views.size());
       for (const nn::QTensor& t : views) ptrs.push_back(&t);
-      ctx.backend.concat_into(ptrs, out);
+      backend.concat_into(ptrs, out);
       break;
     }
     default:
@@ -1213,8 +1502,10 @@ nn::QTensor CompiledPatchQuantModel::run(const nn::Tensor& input) const {
                     .subspan(0, static_cast<std::size_t>(num_steps_)),
                 backend_, crops_, step_views_, measured_, assembled);
   }
-  return exec_tail(arena.data(), aplan_.slots, num_steps_, assembled_slot_,
-                   measured_);
+  nn::QTensor out = exec_tail(arena.data(), aplan_.slots, num_steps_,
+                              assembled_slot_, measured_);
+  invoke_stats_hook();
+  return out;
 }
 
 nn::TaskGraph& CompiledPatchQuantModel::pipeline_graph(
@@ -1229,21 +1520,41 @@ nn::TaskGraph& CompiledPatchQuantModel::pipeline_graph(
           build_pipeline_graph(
               plan_, pipeline_, branch_costs_, num_workers,
               [this](std::int64_t b, int lane) {
+                // Streaming frames route through the same cached graph
+                // (see CompiledPatchModel::pipeline_graph).
+                StreamState* stream = run_stream_;
+                if (stream != nullptr &&
+                    !stream->branch_dirty[static_cast<std::size_t>(b)]) {
+                  return;
+                }
                 WorkerCtx& ctx = *workers_[static_cast<std::size_t>(lane)];
+                bool changed = false;
                 exec_branch(
                     static_cast<int>(b), run_qinput_,
                     run_data_ + run_pplan_->slice_offset(lane),
                     run_pplan_->slice.slots, ctx.backend, ctx.crops,
                     ctx.step_views, ctx.measured,
                     tail_memo_[static_cast<std::size_t>(
-                        plan_.spec.split_layer)]);
+                        plan_.spec.split_layer)],
+                    stream != nullptr ? &changed : nullptr);
+                if (stream != nullptr) stream_mark_branch(*stream, b, changed);
                 if (branch_hook_) branch_hook_(static_cast<int>(b));
               },
               [this](std::size_t pi, std::size_t j, int lane) {
+                StreamState* stream = run_stream_;
+                if (stream != nullptr && !stream_band_needed(*stream, pi, j)) {
+                  return;
+                }
+                WorkerCtx& ctx = *workers_[static_cast<std::size_t>(lane)];
                 exec_tail_band(pipeline_[pi].layer_id, pipeline_[pi].bands[j],
-                               *workers_[static_cast<std::size_t>(lane)]);
+                               ctx.backend, ctx.crops);
+                if (stream != nullptr) stream_mark_band(*stream, pi, j);
               },
               [this, first_rest](int lane) {
+                if (run_stream_ != nullptr &&
+                    !run_stream_->frame_changed_output()) {
+                  return;
+                }
                 WorkerCtx& ctx = *workers_[static_cast<std::size_t>(lane)];
                 for (int id = first_rest; id < graph_->size(); ++id) {
                   nn::run_layer_q_into(
@@ -1252,6 +1563,207 @@ nn::TaskGraph& CompiledPatchQuantModel::pipeline_graph(
                 }
               }))
       .first->second;
+}
+
+// --- streaming (quantized) --------------------------------------------------
+
+void CompiledPatchQuantModel::prime_stream_state(StreamState& state,
+                                                 int workers) const {
+  QMCU_REQUIRE(workers >= 1, "streaming needs at least one lane");
+  if (state.workers != 0) {
+    QMCU_REQUIRE(state.workers == workers,
+                 "stream state is pinned to its first frame's worker count");
+  }
+  state.workers = workers;
+  state.branch_dirty.resize(plan_.branches.size(), 1);
+  if (state.row_changed == nullptr) {
+    state.row_changed = std::make_unique<std::atomic<char>[]>(
+        static_cast<std::size_t>(plan_.spec.grid_rows));
+    state.band_offset.resize(pipeline_.size());
+    int total = 0;
+    for (std::size_t pi = 0; pi < pipeline_.size(); ++pi) {
+      state.band_offset[pi] = total;
+      total += static_cast<int>(pipeline_[pi].bands.size());
+    }
+    state.band_changed = std::make_unique<std::atomic<char>[]>(
+        static_cast<std::size_t>(std::max(total, 1)));
+  }
+}
+
+std::span<std::uint8_t> CompiledPatchQuantModel::bind_stream_arena(
+    std::int64_t need, StreamState& state) const {
+  if (arena_source_ != nullptr) {
+    if (state.lease.empty() ||
+        static_cast<std::int64_t>(state.lease.bytes().size()) < need) {
+      QMCU_ENSURE(!state.primed,
+                  "streaming arena cannot be re-acquired once primed");
+      state.lease = arena_source_->acquire(need);
+    }
+    return state.lease.bytes();
+  }
+  if (static_cast<std::int64_t>(state.owned.size()) < need) {
+    QMCU_ENSURE(!state.primed, "streaming arena cannot grow once primed");
+    state.owned.resize(static_cast<std::size_t>(need));
+  }
+  return {state.owned.data(), state.owned.size()};
+}
+
+bool CompiledPatchQuantModel::stream_band_needed(const StreamState& state,
+                                                 std::size_t pi,
+                                                 std::size_t j) const {
+  const PipelinedTailLayer& pl = pipeline_[pi];
+  for (const int r : pl.grid_row_deps[j]) {
+    if (state.row_changed[static_cast<std::size_t>(r)].load(
+            std::memory_order_relaxed) != 0) {
+      return true;
+    }
+  }
+  for (const auto& [qi, k] : pl.band_deps[j]) {
+    if (state
+            .band_changed[static_cast<std::size_t>(
+                state.band_offset[static_cast<std::size_t>(qi)] + k)]
+            .load(std::memory_order_relaxed) != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void CompiledPatchQuantModel::stream_mark_branch(StreamState& state,
+                                                 std::int64_t b,
+                                                 bool changed) const {
+  state.branches_run.fetch_add(1, std::memory_order_relaxed);
+  if (!changed) return;
+  state.row_changed[static_cast<std::size_t>(b / plan_.spec.grid_cols)].store(
+      1, std::memory_order_relaxed);
+  state.any_changed.store(1, std::memory_order_relaxed);
+}
+
+void CompiledPatchQuantModel::stream_mark_band(StreamState& state,
+                                               std::size_t pi,
+                                               std::size_t j) const {
+  state.bands_run.fetch_add(1, std::memory_order_relaxed);
+  state
+      .band_changed[static_cast<std::size_t>(state.band_offset[pi]) + j]
+      .store(1, std::memory_order_relaxed);
+}
+
+void CompiledPatchQuantModel::invoke_stats_hook() const {
+  if (!stats_hook_) return;
+  const int split = plan_.spec.split_layer;
+  for (int id = split; id < graph_->size(); ++id) {
+    stats_hook_(id, tail_memo_[static_cast<std::size_t>(id)]);
+  }
+}
+
+nn::QTensor CompiledPatchQuantModel::run_streaming(const nn::Tensor& input,
+                                                   nn::WorkerPool* pool,
+                                                   StreamState& state) const {
+  const nn::Graph& g = *graph_;
+  const int split = plan_.spec.split_layer;
+  const int input_layer = g.inputs().front();
+  QMCU_REQUIRE(input.shape() == g.shape(input_layer),
+               "input shape does not match graph input");
+  const int w = pool == nullptr ? 1 : pool->num_workers();
+  prime_stream_state(state, w);
+  const nn::ParallelArenaPlan& pplan = streaming_plan(w);
+  const std::span<std::uint8_t> arena =
+      bind_stream_arena(pplan.total_bytes(), state);
+  nn::check_arena(arena, pplan.total_bytes(), 1);
+
+  if (!state.primed) {
+    std::fill(state.branch_dirty.begin(), state.branch_dirty.end(),
+              std::uint8_t{1});
+  }
+  reset_stream_frame(state, plan_.spec.grid_rows, total_band_count(pipeline_),
+                     !state.primed);
+
+  // The full frame is requantized every time (cheap, and dirty branches
+  // crop it); a byte-identical float crop quantizes to byte-identical
+  // int8, so clean branches stay clean through this write.
+  std::int64_t shared_measured = 0;
+  run_data_ = arena.data();
+  run_pplan_ = &pplan;
+  std::uint8_t* const shared_base = run_data_ + pplan.shared_offset();
+  run_qinput_ = bind_q_slot(
+      shared_base,
+      pplan.shared.slots[static_cast<std::size_t>(par_input_slot_)],
+      g.shape(input_layer), cfg_.params[static_cast<std::size_t>(input_layer)],
+      shared_measured);
+  nn::quantize_into(input, run_qinput_);
+  bind_tail(shared_base, pplan.shared.slots, 0, par_assembled_slot_,
+            shared_measured);
+  run_stream_ = &state;
+
+  if (w == 1) {
+    backend_.rebind_thread();
+    crops_.rebind_thread();
+    step_views_.resize(static_cast<std::size_t>(num_steps_));
+    std::int64_t slice_measured = 0;
+    std::uint8_t* const slice_base = run_data_ + pplan.slice_offset(0);
+    for (std::size_t b = 0; b < plan_.branches.size(); ++b) {
+      if (!state.branch_dirty[b]) continue;
+      bool changed = false;
+      exec_branch(static_cast<int>(b), run_qinput_, slice_base,
+                  pplan.slice.slots, backend_, crops_, step_views_,
+                  slice_measured, tail_memo_[static_cast<std::size_t>(split)],
+                  &changed);
+      stream_mark_branch(state, static_cast<std::int64_t>(b), changed);
+      if (branch_hook_) branch_hook_(static_cast<int>(b));
+    }
+    for (std::size_t pi = 0; pi < pipeline_.size(); ++pi) {
+      const std::size_t nb = pipeline_[pi].bands.size();
+      std::size_t needed = 0;
+      for (std::size_t j = 0; j < nb; ++j) {
+        needed += stream_band_needed(state, pi, j) ? 1 : 0;
+      }
+      if (needed == nb) {
+        // Every band is dirty: the banded path would pay one halo crop per
+        // band for nothing — run the layer whole, exactly like the
+        // sequential tail does (bit-identical; the bands exist for
+        // multi-worker pipelining, not for single-lane execution).
+        const int id = pipeline_[pi].layer_id;
+        nn::run_layer_q_into(g, id, tail_memo_, *params_, backend_,
+                             tail_memo_[static_cast<std::size_t>(id)]);
+        for (std::size_t j = 0; j < nb; ++j) stream_mark_band(state, pi, j);
+        continue;
+      }
+      for (std::size_t j = 0; j < nb; ++j) {
+        if (!stream_band_needed(state, pi, j)) continue;
+        exec_tail_band(pipeline_[pi].layer_id, pipeline_[pi].bands[j],
+                       backend_, crops_);
+        stream_mark_band(state, pi, j);
+      }
+    }
+    if (state.frame_changed_output()) {
+      const int first_rest = split + 1 + static_cast<int>(pipeline_.size());
+      for (int id = first_rest; id < g.size(); ++id) {
+        nn::run_layer_q_into(g, id, tail_memo_, *params_, backend_,
+                             tail_memo_[static_cast<std::size_t>(id)]);
+      }
+    }
+    measured_ = std::max(pplan.shared_offset() + shared_measured,
+                         pplan.slice_offset(0) + slice_measured);
+  } else {
+    for (int lane = 0; lane < w; ++lane) {
+      WorkerCtx& ctx = worker_ctx(lane);
+      ctx.backend.rebind_thread();
+      ctx.crops.rebind_thread();
+      ctx.step_views.resize(static_cast<std::size_t>(num_steps_));
+      ctx.measured = 0;
+    }
+    pool->run_graph(pipeline_graph(w));
+    measured_ = pplan.shared_offset() + shared_measured;
+    for (int lane = 0; lane < w; ++lane) {
+      measured_ = std::max(
+          measured_, pplan.slice_offset(lane) +
+                         workers_[static_cast<std::size_t>(lane)]->measured);
+    }
+  }
+  run_stream_ = nullptr;
+  state.primed = true;
+  invoke_stats_hook();
+  return tail_memo_[static_cast<std::size_t>(g.output())];
 }
 
 nn::QTensor CompiledPatchQuantModel::run(const nn::Tensor& input,
@@ -1301,6 +1813,7 @@ nn::QTensor CompiledPatchQuantModel::run(const nn::Tensor& input,
         measured_, pplan.slice_offset(lane) +
                        workers_[static_cast<std::size_t>(lane)]->measured);
   }
+  invoke_stats_hook();
   return tail_memo_[static_cast<std::size_t>(g.output())];
 }
 
@@ -1369,6 +1882,7 @@ nn::QTensor CompiledPatchQuantModel::run_barrier(const nn::Tensor& input,
   nn::QTensor out = exec_tail(shared_base, pplan.shared.slots, 0,
                               par_assembled_slot_, tail_measured);
   measured_ = std::max(measured_, pplan.shared_offset() + tail_measured);
+  invoke_stats_hook();
   return out;
 }
 

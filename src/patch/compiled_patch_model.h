@@ -53,6 +53,7 @@
 // not feature maps, and are accounted via scratch_bytes().
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -122,6 +123,73 @@ struct PrecompiledPatchParts {
   std::shared_ptr<const nn::PrecompiledBundle> kernels;
 };
 
+// --- streaming -------------------------------------------------------------
+
+// Per-stream persistent state for run_streaming: the arena whose retained
+// bytes (assembled map tiles, tail feature maps) carry clean branches' work
+// from frame to frame, plus the per-frame dirty mask and change-propagation
+// flags. One StreamState per stream; the model is stateless across streams
+// and several streams may share one model (serving: one state per lane).
+//
+// run_streaming binds the *streaming* arena layout — every shared slot's
+// lifetime widened to the whole timeline, so no tail slot can recycle bytes
+// another retained slot owns across frames (the sequential and pipelined
+// layouts overlay dead slots, which is exactly what retention forbids).
+// The worker count is pinned by the first frame: the slice layout, and
+// therefore every retained offset, depends on it.
+struct StreamState {
+  StreamState() = default;
+  StreamState(const StreamState&) = delete;
+  StreamState& operator=(const StreamState&) = delete;
+
+  // Caller-set before each frame: branch_dirty[b] != 0 schedules branch b
+  // (see patch::dirty_branches). Ignored on the first frame — everything
+  // runs until the state is primed. A recomputed branch whose merged tile
+  // matches the retained bytes still leaves its grid row clean.
+  std::vector<std::uint8_t> branch_dirty;
+
+  // Stats for the frame just run (reset at each run_streaming entry).
+  [[nodiscard]] std::int64_t frame_branches_run() const {
+    return branches_run.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t frame_bands_run() const {
+    return bands_run.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool frame_changed_output() const {
+    return any_changed.load(std::memory_order_relaxed) != 0;
+  }
+  [[nodiscard]] bool is_primed() const { return primed; }
+  [[nodiscard]] int pinned_workers() const { return workers; }
+
+  // Forget everything (scene cut / rebind to another model): the next
+  // frame runs in full and may re-pin a new worker count.
+  void reset() {
+    branch_dirty.clear();
+    lease.release();
+    owned.clear();
+    row_changed.reset();
+    band_changed.reset();
+    band_offset.clear();
+    workers = 0;
+    primed = false;
+  }
+
+  // -- managed by run_streaming ----------------------------------------
+  nn::ArenaSlab::Lease lease;       // slab-backed retained arena
+  std::vector<std::uint8_t> owned;  // fallback when no slab is attached
+  int workers = 0;                  // pinned by the first frame
+  bool primed = false;              // first frame completed
+  // Per-frame change propagation: which grid rows merged new bytes, which
+  // tail bands recomputed (relaxed atomics — the task graph's dependency
+  // edges order every read after the writes it needs).
+  std::unique_ptr<std::atomic<char>[]> row_changed;
+  std::unique_ptr<std::atomic<char>[]> band_changed;
+  std::vector<int> band_offset;  // band_changed index base per tail layer
+  std::atomic<char> any_changed{0};
+  std::atomic<std::int64_t> branches_run{0};
+  std::atomic<std::int64_t> bands_run{0};
+};
+
 // --- float -----------------------------------------------------------------
 
 class CompiledPatchModel {
@@ -142,6 +210,17 @@ class CompiledPatchModel {
   // BM_ParallelPatchRun's subject). Bit-identical to run().
   [[nodiscard]] nn::Tensor run_barrier(const nn::Tensor& input,
                                        nn::WorkerPool* pool) const;
+  // Temporal-reuse run over `state` (see StreamState): only branches with
+  // state.branch_dirty set are recomputed — clean branches contribute
+  // their retained assembled-map tiles for free — and tail row-bands whose
+  // upstream grid rows merged no new bytes are skipped, as is the
+  // non-banded rest of the tail when nothing changed at all. Bit-identical
+  // to run() on the same frame for every worker count, provided the dirty
+  // mask is conservative (patch::dirty_branches exact mode). A null pool
+  // or 1-worker pool streams sequentially over the same retained layout.
+  [[nodiscard]] nn::Tensor run_streaming(const nn::Tensor& input,
+                                         nn::WorkerPool* pool,
+                                         StreamState& state) const;
 
   [[nodiscard]] const nn::ArenaPlan& arena_plan() const { return aplan_; }
   [[nodiscard]] std::int64_t arena_bytes() const { return aplan_.peak_bytes; }
@@ -151,6 +230,10 @@ class CompiledPatchModel {
   [[nodiscard]] const nn::ParallelArenaPlan& parallel_plan(
       int num_workers) const;
   [[nodiscard]] const nn::ParallelArenaPlan& pipelined_plan(
+      int num_workers) const;
+  // The retained streaming layout: shared lifetimes widened to the whole
+  // timeline so no slot's bytes are ever overlaid between frames.
+  [[nodiscard]] const nn::ParallelArenaPlan& streaming_plan(
       int num_workers) const;
   // The row-banded tail prefix of the pipelined graph (compile-time).
   [[nodiscard]] std::span<const PipelinedTailLayer> pipelined_tail() const {
@@ -198,12 +281,15 @@ class CompiledPatchModel {
 
   // Runs one branch's steps against the slot layout `slots` (indices equal
   // step indices) at `base`, then merges the final tile into `assembled`.
+  // With `merge_changed` set the merge compares before writing and reports
+  // whether any assembled byte changed (streaming change propagation).
   void exec_branch(const PatchBranch& branch, const nn::Tensor& input,
                    std::uint8_t* base, std::span<const nn::ArenaSlot> slots,
                    nn::ops::KernelBackend& backend,
                    nn::ops::ScratchArena& crops,
                    std::span<nn::Tensor> step_views, std::int64_t& measured,
-                   nn::Tensor& assembled) const;
+                   nn::Tensor& assembled,
+                   bool* merge_changed = nullptr) const;
   // Binds the assembled map + every tail layer's view into tail_memo_.
   void bind_tail(std::uint8_t* base, std::span<const nn::ArenaSlot> slots,
                  int first_tail_slot, int assembled_slot,
@@ -214,12 +300,26 @@ class CompiledPatchModel {
                        int first_tail_slot, int assembled_slot,
                        std::int64_t& measured) const;
   // Computes output rows `rows` of banded tail layer `layer_id` from the
-  // pre-bound tail views, on `ctx`'s backend/crops (a row-band task body).
+  // pre-bound tail views on the given backend/crops (a row-band task body;
+  // sequential streaming drives it on the model's own context).
   void exec_tail_band(int layer_id, const Interval& rows,
-                      WorkerCtx& ctx) const;
+                      nn::ops::KernelBackend& backend,
+                      nn::ops::ScratchArena& crops) const;
   WorkerCtx& worker_ctx(int lane) const;
   std::span<std::uint8_t> bind_run_arena(std::int64_t need,
                                          nn::ArenaSlab::Lease& lease) const;
+  // Streaming internals: size `state` for this plan and pin its worker
+  // count; arena binding that retains the lease/buffer across frames; the
+  // band-skip predicate and the change-propagation marks (see StreamState).
+  void prime_stream_state(StreamState& state, int workers) const;
+  std::span<std::uint8_t> bind_stream_arena(std::int64_t need,
+                                            StreamState& state) const;
+  bool stream_band_needed(const StreamState& state, std::size_t pi,
+                          std::size_t j) const;
+  void stream_mark_branch(StreamState& state, std::int64_t b,
+                          bool changed) const;
+  void stream_mark_band(StreamState& state, std::size_t pi,
+                        std::size_t j) const;
   // The cached dataflow graph for `num_workers` lanes. Its task bodies
   // capture only `this`: per-run state (input, arena base, plan) is
   // staged in the run_* members before dispatch, so the graph — chunking,
@@ -244,12 +344,16 @@ class CompiledPatchModel {
   int pipeline_horizon_ = 0;
   mutable std::unordered_map<int, nn::ParallelArenaPlan> pplans_;
   mutable std::unordered_map<int, nn::ParallelArenaPlan> pipelined_pplans_;
+  mutable std::unordered_map<int, nn::ParallelArenaPlan> streaming_pplans_;
   mutable std::unordered_map<int, nn::TaskGraph> pipeline_graphs_;
   // Per-run state read by the cached pipelined graph's tasks; staged
   // before dispatch (the dispatch barrier publishes it to every lane).
+  // run_stream_ is non-null only while a streaming frame is in flight —
+  // the cached graph serves both modes and checks it per task.
   mutable const nn::Tensor* run_input_ = nullptr;
   mutable std::uint8_t* run_data_ = nullptr;
   mutable const nn::ParallelArenaPlan* run_pplan_ = nullptr;
+  mutable StreamState* run_stream_ = nullptr;
   std::shared_ptr<nn::ArenaSlab> arena_source_;
   mutable std::function<void(int)> branch_hook_;
   mutable nn::ops::KernelBackend backend_;
@@ -291,12 +395,22 @@ class CompiledPatchQuantModel {
   // The PR-3 two-phase runtime, kept as the comparison baseline.
   [[nodiscard]] nn::QTensor run_barrier(const nn::Tensor& input,
                                         nn::WorkerPool* pool) const;
+  // Temporal-reuse run (see CompiledPatchModel::run_streaming). The dirty
+  // mask is computed on the float frames: quantization is deterministic
+  // per element, so a byte-identical float crop quantizes to a
+  // byte-identical branch input.
+  [[nodiscard]] nn::QTensor run_streaming(const nn::Tensor& input,
+                                          nn::WorkerPool* pool,
+                                          StreamState& state) const;
 
   [[nodiscard]] const nn::ArenaPlan& arena_plan() const { return aplan_; }
   [[nodiscard]] std::int64_t arena_bytes() const { return aplan_.peak_bytes; }
   [[nodiscard]] const nn::ParallelArenaPlan& parallel_plan(
       int num_workers) const;
   [[nodiscard]] const nn::ParallelArenaPlan& pipelined_plan(
+      int num_workers) const;
+  // Retained streaming layout (see CompiledPatchModel::streaming_plan).
+  [[nodiscard]] const nn::ParallelArenaPlan& streaming_plan(
       int num_workers) const;
   [[nodiscard]] std::span<const PipelinedTailLayer> pipelined_tail() const {
     return pipeline_;
@@ -312,6 +426,14 @@ class CompiledPatchQuantModel {
   // Test-only readiness-order hook (see CompiledPatchModel).
   void set_branch_completion_hook(std::function<void(int)> hook) const {
     branch_hook_ = std::move(hook);
+  }
+  // Opt-in activation statistics: called once per completed run on the
+  // calling thread, for the assembled cut layer and every tail layer, with
+  // the layer's output view (drift tracking — see
+  // nn::streaming::ActivationStatsTracker). Null clears it.
+  void set_stats_hook(
+      std::function<void(int, const nn::QTensor&)> hook) const {
+    stats_hook_ = std::move(hook);
   }
   [[nodiscard]] std::int64_t measured_high_water() const { return measured_; }
   [[nodiscard]] std::int64_t scratch_bytes() const;
@@ -358,7 +480,8 @@ class CompiledPatchQuantModel {
                    nn::ops::KernelBackend& backend,
                    nn::ops::ScratchArena& crops,
                    std::span<nn::QTensor> step_views, std::int64_t& measured,
-                   nn::QTensor& assembled) const;
+                   nn::QTensor& assembled,
+                   bool* merge_changed = nullptr) const;
   void bind_tail(std::uint8_t* base, std::span<const nn::ArenaSlot> slots,
                  int first_tail_slot, int assembled_slot,
                  std::int64_t& measured) const;
@@ -367,12 +490,24 @@ class CompiledPatchQuantModel {
                         int first_tail_slot, int assembled_slot,
                         std::int64_t& measured) const;
   void exec_tail_band(int layer_id, const Interval& rows,
-                      WorkerCtx& ctx) const;
+                      nn::ops::KernelBackend& backend,
+                      nn::ops::ScratchArena& crops) const;
   [[nodiscard]] const nn::ops::AvgPoolMultipliers* pool_table(
       const nn::Layer& l) const;
   WorkerCtx& worker_ctx(int lane) const;
   std::span<std::uint8_t> bind_run_arena(std::int64_t need,
                                          nn::ArenaSlab::Lease& lease) const;
+  // Streaming internals (see CompiledPatchModel).
+  void prime_stream_state(StreamState& state, int workers) const;
+  std::span<std::uint8_t> bind_stream_arena(std::int64_t need,
+                                            StreamState& state) const;
+  bool stream_band_needed(const StreamState& state, std::size_t pi,
+                          std::size_t j) const;
+  void stream_mark_branch(StreamState& state, std::int64_t b,
+                          bool changed) const;
+  void stream_mark_band(StreamState& state, std::size_t pi,
+                        std::size_t j) const;
+  void invoke_stats_hook() const;
   // Cached dataflow graph per worker count (see CompiledPatchModel).
   nn::TaskGraph& pipeline_graph(int num_workers) const;
 
@@ -399,6 +534,7 @@ class CompiledPatchQuantModel {
   int pipeline_horizon_ = 0;
   std::shared_ptr<nn::ArenaSlab> arena_source_;
   mutable std::function<void(int)> branch_hook_;
+  mutable std::function<void(int, const nn::QTensor&)> stats_hook_;
   // AvgPool reciprocal tables keyed by window size. Filled at construction
   // for every window the graph contains, then read-only — several workers
   // share them concurrently during parallel runs, so no lazy inserts on the
@@ -407,12 +543,14 @@ class CompiledPatchQuantModel {
   std::unordered_map<int, nn::ops::AvgPoolMultipliers> pool_tables_;
   mutable std::unordered_map<int, nn::ParallelArenaPlan> pplans_;
   mutable std::unordered_map<int, nn::ParallelArenaPlan> pipelined_pplans_;
+  mutable std::unordered_map<int, nn::ParallelArenaPlan> streaming_pplans_;
   mutable std::unordered_map<int, nn::TaskGraph> pipeline_graphs_;
   // Per-run state read by the cached pipelined graph's tasks (see
   // CompiledPatchModel); the quantized input is a bound arena view.
   mutable nn::QTensor run_qinput_;
   mutable std::uint8_t* run_data_ = nullptr;
   mutable const nn::ParallelArenaPlan* run_pplan_ = nullptr;
+  mutable StreamState* run_stream_ = nullptr;
   mutable nn::ops::KernelBackend backend_;
   mutable nn::ops::ScratchArena crops_;
   mutable std::vector<std::unique_ptr<WorkerCtx>> workers_;

@@ -211,4 +211,82 @@ void merge_region_q(const nn::QTensor& tile, const Region& r,
   }
 }
 
+bool merge_region_f32_changed(const nn::Tensor& tile, const Region& r,
+                              nn::Tensor& assembled) {
+  const int c = assembled.shape().c;
+  QMCU_REQUIRE(tile.shape() ==
+                   nn::TensorShape(r.y.size(), r.x.size(), c),
+               "merge_region_f32: tile does not cover its region");
+  QMCU_REQUIRE(r.y.begin >= 0 && r.y.end <= assembled.shape().h &&
+                   r.x.begin >= 0 && r.x.end <= assembled.shape().w,
+               "merge_region_f32: region exceeds the assembled map");
+  // A region row is contiguous in both the tile and the assembled map.
+  const std::size_t row_bytes = static_cast<std::size_t>(r.x.size()) *
+                                static_cast<std::size_t>(c) * sizeof(float);
+  bool changed = false;
+  for (int y = r.y.begin; y < r.y.end; ++y) {
+    float* dst =
+        assembled.data().data() + nn::flat_index(assembled.shape(), y, r.x.begin, 0);
+    const float* src =
+        tile.data().data() + nn::flat_index(tile.shape(), y - r.y.begin, 0, 0);
+    if (std::memcmp(dst, src, row_bytes) != 0) {
+      std::memcpy(dst, src, row_bytes);
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+bool merge_region_q_changed(const nn::QTensor& tile, const Region& r,
+                            nn::QTensor& assembled) {
+  const nn::QuantParams& p = tile.params();
+  const nn::QuantParams& t = assembled.params();
+  const int c = assembled.shape().c;
+  QMCU_REQUIRE(tile.shape() ==
+                   nn::TensorShape(r.y.size(), r.x.size(), c),
+               "merge_region_q: tile does not cover its region");
+  QMCU_REQUIRE(r.y.begin >= 0 && r.y.end <= assembled.shape().h &&
+                   r.x.begin >= 0 && r.x.end <= assembled.shape().w,
+               "merge_region_q: region exceeds the assembled map");
+  bool changed = false;
+  if (p == t) {
+    const std::size_t row_bytes =
+        static_cast<std::size_t>(r.x.size()) * static_cast<std::size_t>(c);
+    for (int y = r.y.begin; y < r.y.end; ++y) {
+      std::int8_t* dst = assembled.data().data() +
+                         nn::flat_index(assembled.shape(), y, r.x.begin, 0);
+      const std::int8_t* src =
+          tile.data().data() + nn::flat_index(tile.shape(), y - r.y.begin, 0, 0);
+      if (std::memcmp(dst, src, row_bytes) != 0) {
+        std::memcpy(dst, src, row_bytes);
+        changed = true;
+      }
+    }
+    return changed;
+  }
+  const nn::ops::ElementRequantizer rq(static_cast<double>(p.scale) /
+                                       static_cast<double>(t.scale));
+  const std::int32_t qmin = t.qmin();
+  const std::int32_t qmax = t.qmax();
+  for (int y = r.y.begin; y < r.y.end; ++y) {
+    for (int x = r.x.begin; x < r.x.end; ++x) {
+      for (int ch = 0; ch < c; ++ch) {
+        const std::int32_t v =
+            rq.apply(static_cast<std::int32_t>(
+                         tile.at(y - r.y.begin, x - r.x.begin, ch)) -
+                     p.zero_point) +
+            t.zero_point;
+        const std::int8_t q =
+            static_cast<std::int8_t>(std::clamp(v, qmin, qmax));
+        std::int8_t& slot = assembled.at(y, x, ch);
+        if (slot != q) {
+          slot = q;
+          changed = true;
+        }
+      }
+    }
+  }
+  return changed;
+}
+
 }  // namespace qmcu::patch

@@ -60,4 +60,15 @@ void merge_region_f32(const nn::Tensor& tile, const Region& r,
 void merge_region_q(const nn::QTensor& tile, const Region& r,
                     nn::QTensor& assembled);
 
+// Compare-before-write merge for the streaming runtime: identical to the
+// plain merge, but returns whether any assembled byte actually changed (a
+// recomputed branch whose tile matches the retained bytes leaves its grid
+// row clean, so downstream tail bands can still be skipped). Byte-exact
+// compare — merges remain order-independent because rows that would write
+// identical bytes write nothing.
+bool merge_region_f32_changed(const nn::Tensor& tile, const Region& r,
+                              nn::Tensor& assembled);
+bool merge_region_q_changed(const nn::QTensor& tile, const Region& r,
+                            nn::QTensor& assembled);
+
 }  // namespace qmcu::patch

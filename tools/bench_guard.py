@@ -112,7 +112,8 @@ def main():
                 r"|Conv2dInt8Simd|PackedConvTierSweep|LutGemm"
                 r"|GemmTierSweep|FcTierSweep)\b"
                 r"|^serving/closed/.*req_per_s$"
-                r"|^cold_start/speedup_x$",
+                r"|^cold_start/speedup_x$"
+                r"|^streaming/.*speedup_x$",
         help="regex of benchmark names that must not regress",
     )
     parser.add_argument(
